@@ -1,0 +1,52 @@
+//! Bench for **E1** — the headline energy-per-QoS table. Criterion times
+//! one representative cell of each kind (a baseline-governor run and a
+//! trained-RL run); once per invocation it also prints the regenerated
+//! quick-matrix table so `cargo bench` output contains the rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use experiments::{run, PolicyKind, RunConfig, TrainingProtocol};
+use governors::GovernorKind;
+use soc::Soc;
+use workload::ScenarioKind;
+
+fn bench_e1(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    // Print the regenerated (quick) table once.
+    let result = run_e1(&soc_config, &E1Config::quick());
+    println!("{}", result.energy_per_qos_table().to_markdown());
+    println!("{}", result.summary_table().to_markdown());
+
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+
+    group.bench_function("baseline_cell_video_ondemand_20s", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(soc_config.clone()).unwrap();
+            let mut scenario = ScenarioKind::Video.build(1);
+            let mut governor = GovernorKind::Ondemand.build(&soc_config);
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+        })
+    });
+
+    group.bench_function("rl_cell_video_train_quick_eval_20s", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(soc_config.clone()).unwrap();
+            let mut governor = PolicyKind::Rl.build_trained(
+                &soc_config,
+                ScenarioKind::Video,
+                TrainingProtocol::quick(),
+                1,
+            );
+            let mut scenario = ScenarioKind::Video.build(2);
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench for **E2** — the learning-convergence figure. Times one training
+//! episode (the unit of the curve's x-axis) and prints a short
+//! regenerated curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e2_learning_curve::{run_e2, E2Config};
+use experiments::{run, RunConfig};
+use governors::Governor;
+use rlpm::{RlConfig, RlGovernor};
+use soc::Soc;
+use workload::ScenarioKind;
+
+fn bench_e2(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    let result = run_e2(&soc_config, &E2Config::quick());
+    println!("{}", result.table().to_markdown());
+    println!(
+        "improvement head->tail: {:.2}% | ondemand reference {:.5} J/unit\n",
+        result.improvement(3) * 100.0,
+        result.ondemand_reference
+    );
+
+    let mut group = c.benchmark_group("e2");
+    group.sample_size(10);
+    group.bench_function("one_training_episode_mixed_30s", |b| {
+        let mut policy = RlGovernor::new(RlConfig::for_soc(&soc_config), 5);
+        let mut scenario = ScenarioKind::Mixed.build(5);
+        b.iter(|| {
+            let mut soc = Soc::new(soc_config.clone()).unwrap();
+            let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(30));
+            scenario.reset();
+            policy.reset();
+            metrics
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

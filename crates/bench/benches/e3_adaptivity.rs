@@ -1,0 +1,33 @@
+//! Bench for **E3** — the scenario-switching adaptivity comparison.
+//! Times one policy pass over the phase-switching trace and prints the
+//! regenerated per-phase table (quick settings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e3_adaptivity::{phase_table, run_e3, run_policy_over_phases, E3Config};
+use experiments::PolicyKind;
+use governors::GovernorKind;
+
+fn bench_e3(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+    let config = E3Config::quick();
+
+    let results = run_e3(&soc_config, &config);
+    println!("{}", phase_table(&results).to_markdown());
+
+    let mut group = c.benchmark_group("e3");
+    group.sample_size(10);
+    group.bench_function("ondemand_over_40s_phase_trace", |b| {
+        b.iter(|| {
+            run_policy_over_phases(
+                &soc_config,
+                &config,
+                PolicyKind::Baseline(GovernorKind::Ondemand),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench for **E4** — the decision-latency comparison. Criterion measures
+//! the *host cost* of simulating one hardware decision/update and one
+//! full closed-loop epoch through the register interface; the simulated
+//! latencies themselves are printed from the regenerated ladder table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e4_decision_latency::{distribution, distribution_table, ladder, ladder_table};
+use rlpm::fixed::Fx;
+use rlpm::RlConfig;
+use rlpm_hw::{HwConfig, PolicyEngine};
+
+fn bench_e4(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    let l = ladder(&soc_config);
+    println!("{}", ladder_table(&l).to_markdown());
+    let d = distribution(&soc_config, 10, 4);
+    println!("{}", distribution_table(&d).to_markdown());
+    println!(
+        "speedups: up to {:.1}x compute-only, {:.2}x mean end-to-end (paper: up to 40x / 3.92x)\n",
+        l.max_speedup, d.speedup
+    );
+
+    let rl = RlConfig::for_soc(&soc_config);
+    let mut group = c.benchmark_group("e4");
+
+    group.bench_function("engine_decision_cycle_accurate", |b| {
+        let mut engine = PolicyEngine::new(HwConfig::default(), &rl);
+        let mut s = 0usize;
+        b.iter(|| {
+            s = (s + 17) % rl.num_states();
+            engine.run_decision(s)
+        })
+    });
+
+    group.bench_function("engine_update_cycle_accurate", |b| {
+        let mut engine = PolicyEngine::new(HwConfig::default(), &rl);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            engine.run_update(
+                i % rl.num_states(),
+                i % rl.num_actions(),
+                Fx::from_f64(0.25),
+                (i * 31) % rl.num_states(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for **E5** — the QoS-violation table behind the "without
+//! compromising user satisfaction" claim. Times the worst-case accounting
+//! path (a heavily violating powersave gaming run) and prints the
+//! regenerated quick tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use experiments::e5_qos_violations::{qos_ratio_table, violations_table};
+use experiments::{run, RunConfig};
+use governors::GovernorKind;
+use soc::Soc;
+use workload::ScenarioKind;
+
+fn bench_e5(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    let result = run_e1(&soc_config, &E1Config::quick());
+    println!("{}", violations_table(&result).to_markdown());
+    println!("{}", qos_ratio_table(&result).to_markdown());
+
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(10);
+    group.bench_function("powersave_gaming_violation_accounting_10s", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(soc_config.clone()).unwrap();
+            let mut scenario = ScenarioKind::Gaming.build(9);
+            let mut governor = GovernorKind::Powersave.build(&soc_config);
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for **E6** — hardware/software parity and the bit-width study.
+//! Times the parity replay and prints the regenerated parity and sweep
+//! tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::e6_fixed_point::{parity_table, run_parity, run_sweep, sweep_table};
+use rlpm::RlConfig;
+use rlpm_hw::{parity_check, HwConfig};
+
+fn bench_e6(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    let report = run_parity(&soc_config, 20_000, 6);
+    println!("{}", parity_table(&report).to_markdown());
+    let points = run_sweep(&soc_config, 10_000, 6);
+    println!("{}", sweep_table(&points).to_markdown());
+
+    let rl = RlConfig::for_soc(&soc_config);
+    let mut group = c.benchmark_group("e6");
+    group.sample_size(10);
+    group.bench_function("parity_replay_10k_transitions", |b| {
+        b.iter(|| parity_check(&rl, HwConfig::default(), 10_000, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the substrates themselves: how fast does the
+//! simulator run relative to simulated time, how expensive is a governor
+//! decision, a scenario window, a Q-table lookup. These are the numbers
+//! that size the full experiment matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::{run, RunConfig};
+use governors::{state::synthetic_state, Governor, GovernorKind};
+use rlpm::{RlConfig, RlGovernor};
+use simkit::SimTime;
+use soc::{Job, JobClass, LevelRequest, Soc};
+use workload::ScenarioKind;
+
+fn bench_substrate(c: &mut Criterion) {
+    let soc_config = bench::soc_under_test();
+
+    let mut group = c.benchmark_group("substrate");
+
+    group.bench_function("soc_epoch_loaded", |b| {
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let request = LevelRequest::max(soc.config());
+        let mut id = 0u64;
+        b.iter(|| {
+            // Keep the SoC saturated so the epoch executes real work.
+            for _ in 0..4 {
+                id += 1;
+                soc.push_job(Job::new(
+                    id,
+                    30_000_000,
+                    soc.now() + simkit::SimDuration::from_millis(33),
+                    JobClass::Heavy,
+                ));
+            }
+            soc.run_epoch(&request).unwrap()
+        })
+    });
+
+    group.bench_function("scenario_window_mixed_20ms", |b| {
+        let mut scenario = ScenarioKind::Mixed.build(3);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let to = t + simkit::SimDuration::from_millis(20);
+            let out = scenario.arrivals(t, to);
+            t = to;
+            out
+        })
+    });
+
+    group.bench_function("governor_decision_schedutil", |b| {
+        let mut governor = GovernorKind::Schedutil.build(&soc_config);
+        let state = synthetic_state(&[
+            (0.7, 5, 13, 700_000_000, (200_000_000, 1_400_000_000)),
+            (0.8, 9, 19, 1_100_000_000, (200_000_000, 2_000_000_000)),
+        ]);
+        b.iter(|| governor.decide(&state))
+    });
+
+    group.bench_function("governor_decision_rlpm_learning", |b| {
+        let mut governor = RlGovernor::new(RlConfig::for_soc(&soc_config), 7);
+        let state = synthetic_state(&[
+            (0.7, 5, 13, 700_000_000, (200_000_000, 1_400_000_000)),
+            (0.8, 9, 19, 1_100_000_000, (200_000_000, 2_000_000_000)),
+        ]);
+        b.iter(|| governor.decide(&state))
+    });
+
+    group.bench_function("closed_loop_second_video_ondemand", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(soc_config.clone()).unwrap();
+            let mut scenario = ScenarioKind::Video.build(1);
+            let mut governor = GovernorKind::Ondemand.build(&soc_config);
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(1))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

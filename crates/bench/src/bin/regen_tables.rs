@@ -1,0 +1,167 @@
+//! Regenerates every table and figure series of the reproduced
+//! evaluation. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured notes.
+
+use std::path::Path;
+
+use experiments::ablations::{
+    a1_state_features, a2_reward_shaping, a3_exploration, a4_algorithm, ablation_table,
+    AblationConfig,
+};
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use experiments::e2_learning_curve::{run_e2, E2Config};
+use experiments::e3_adaptivity::{phase_table, run_e3, E3Config};
+use experiments::e4_decision_latency::{
+    distribution, distribution_table, ladder, ladder_table,
+};
+use experiments::e5_qos_violations::{qos_ratio_table, satisfaction_summary, violations_table};
+use experiments::e6_fixed_point::{parity_table, run_parity, run_sweep, sweep_table};
+use experiments::e7_hw_cost::{cost_table, latency_optimal, run_e7};
+use experiments::e8_idle_states::{idle_table, run_e8, E8Config};
+use experiments::table::{fmt_pct, Table};
+
+fn emit(table: &Table, results_dir: &Path, file: &str) {
+    println!("{}", table.to_markdown());
+    let path = results_dir.join(file);
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(csv written to {})\n", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
+
+    let soc_config = bench::soc_under_test();
+    let results_dir = Path::new("results");
+    let _ = std::fs::create_dir_all(results_dir);
+
+    if want("e1") || want("e5") {
+        let config = if quick { E1Config::quick() } else { E1Config::default() };
+        eprintln!(
+            "running E1 matrix: {} scenarios x {} policies x {} seeds ...",
+            config.scenarios.len(),
+            config.policies.len(),
+            config.seeds.len()
+        );
+        let result = run_e1(&soc_config, &config);
+        if want("e1") {
+            emit(&result.energy_per_qos_table(), results_dir, "e1_energy_per_qos.csv");
+            emit(&result.stddev_table(), results_dir, "e1_energy_per_qos_std.csv");
+            emit(&result.summary_table(), results_dir, "e1_summary.csv");
+            println!(
+                "E1 headline: proposed policy's energy-per-QoS is {} lower than the six-governor mean (paper: 31.66%)\n",
+                fmt_pct(result.reduction_vs_six())
+            );
+        }
+        if want("e5") {
+            emit(&violations_table(&result), results_dir, "e5_violations.csv");
+            emit(&qos_ratio_table(&result), results_dir, "e5_qos_ratio.csv");
+            let (rl_qos, shortfall) = satisfaction_summary(&result);
+            println!(
+                "E5 headline: proposed policy delivers {} of achievable QoS ({} below the performance governor)\n",
+                fmt_pct(rl_qos),
+                fmt_pct(shortfall)
+            );
+        }
+    }
+
+    if want("e2") {
+        let config = if quick { E2Config::quick() } else { E2Config::default() };
+        eprintln!("running E2 learning curve: {} episodes ...", config.episodes);
+        let result = run_e2(&soc_config, &config);
+        emit(&result.table(), results_dir, "e2_learning_curve.csv");
+        println!(
+            "E2 headline: energy-per-QoS improved {} from the first to the last training episodes; ondemand reference = {:.4} J/unit\n",
+            fmt_pct(result.improvement(10)),
+            result.ondemand_reference
+        );
+    }
+
+    if want("e3") {
+        let config = if quick { E3Config::quick() } else { E3Config::default() };
+        eprintln!("running E3 adaptivity trace ({} s) ...", config.duration_secs);
+        let results = run_e3(&soc_config, &config);
+        emit(&phase_table(&results), results_dir, "e3_adaptivity.csv");
+    }
+
+    if want("e4") {
+        eprintln!("running E4 latency models ...");
+        let l = ladder(&soc_config);
+        emit(&ladder_table(&l), results_dir, "e4_ladder.csv");
+        let d = distribution(&soc_config, if quick { 10 } else { 60 }, 4);
+        emit(&distribution_table(&d), results_dir, "e4_distribution.csv");
+        println!(
+            "E4 headline: decision latency reduced up to {:.1}x (compute-only; paper: up to 40x), {:.2}x on average end-to-end (journal: 3.92x)\n",
+            l.max_speedup, d.speedup
+        );
+    }
+
+    if want("e6") {
+        eprintln!("running E6 parity and bit-width sweep ...");
+        let transitions = if quick { 5_000 } else { 50_000 };
+        let report = run_parity(&soc_config, transitions, 6);
+        emit(&parity_table(&report), results_dir, "e6_parity.csv");
+        let points = run_sweep(&soc_config, transitions, 6);
+        emit(&sweep_table(&points), results_dir, "e6_bitwidth.csv");
+    }
+
+    if want("e7") {
+        eprintln!("running E7 fabric-cost sweep ...");
+        let reports = run_e7(&soc_config);
+        emit(&cost_table(&reports), results_dir, "e7_hw_cost.csv");
+        let best = latency_optimal(&reports);
+        println!(
+            "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
+            best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
+        );
+    }
+
+    if want("e9") {
+        // E9: the same headline comparison on the symmetric quad-core SoC
+        // (the journal evaluates both CPU types).
+        let config = if quick { E1Config::quick() } else { E1Config::default() };
+        eprintln!("running E9 (E1 on the symmetric SoC) ...");
+        let symmetric = soc::SocConfig::symmetric_quad().expect("preset valid");
+        let result = run_e1(&symmetric, &config);
+        emit(&result.energy_per_qos_table(), results_dir, "e9_symmetric_energy_per_qos.csv");
+        emit(&result.summary_table(), results_dir, "e9_symmetric_summary.csv");
+        println!(
+            "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
+            fmt_pct(result.reduction_vs_six())
+        );
+    }
+
+    if want("e8") {
+        let config = if quick { E8Config::quick() } else { E8Config::default() };
+        eprintln!("running E8 cpuidle comparison ...");
+        let cells = run_e8(&config);
+        emit(&idle_table(&cells), results_dir, "e8_idle_states.csv");
+    }
+
+    let ablation_config = if quick { AblationConfig::quick() } else { AblationConfig::default() };
+    if want("a1") {
+        eprintln!("running A1 state-feature ablation ...");
+        let rows = a1_state_features(&soc_config, &ablation_config);
+        emit(&ablation_table("A1: state-feature ablation", &rows), results_dir, "a1_state_features.csv");
+    }
+    if want("a2") {
+        eprintln!("running A2 reward-shaping ablation ...");
+        let rows = a2_reward_shaping(&soc_config, &ablation_config);
+        emit(&ablation_table("A2: violation-penalty sweep", &rows), results_dir, "a2_reward_shaping.csv");
+    }
+    if want("a3") {
+        eprintln!("running A3 exploration-schedule ablation ...");
+        let rows = a3_exploration(&soc_config, &ablation_config);
+        emit(&ablation_table("A3: exploration schedules", &rows), results_dir, "a3_exploration.csv");
+    }
+    if want("a4") {
+        eprintln!("running A4 algorithm ablation ...");
+        let rows = a4_algorithm(&soc_config, &ablation_config);
+        emit(&ablation_table("A4: TD algorithms", &rows), results_dir, "a4_algorithm.csv");
+    }
+}

@@ -1,0 +1,24 @@
+//! # bench — benchmark harness and table regeneration
+//!
+//! This crate carries no logic of its own: the Criterion benches under
+//! `benches/` (one per table/figure of the reproduced evaluation) and the
+//! `regen-tables` binary both drive the [`experiments`] crate.
+//!
+//! Regenerate every table and series:
+//!
+//! ```text
+//! cargo run --release -p bench --bin regen-tables            # everything
+//! cargo run --release -p bench --bin regen-tables -- e1 e4   # a subset
+//! cargo run --release -p bench --bin regen-tables -- --quick # smoke sizes
+//! ```
+//!
+//! Outputs are printed as markdown and written as CSV under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Re-exported so benches and the binary share one definition of the
+/// standard SoC under test.
+pub fn soc_under_test() -> soc::SocConfig {
+    soc::SocConfig::odroid_xu3_like().expect("preset is valid")
+}

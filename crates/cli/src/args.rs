@@ -1,0 +1,207 @@
+//! Hand-rolled argument parsing for `rlpm-sim` (no external CLI crates).
+//!
+//! Grammar: `rlpm-sim <command> [positional...] [--flag [value]]...`.
+//! Flags may appear anywhere after the command; unknown flags are errors
+//! (not silently ignored), and every command validates its own
+//! requirements in `commands.rs`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The command word (`run`, `train`, …).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--flag value` / `--flag` pairs (bare flags map to an empty
+    /// string).
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Flags that take no value.
+const BARE_FLAGS: &[&str] = &["trace", "quiet", "help"];
+
+/// Parses a raw argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] when no command is given, a value-taking
+/// flag has no value, or a flag is malformed.
+pub fn parse<I, S>(args: I) -> Result<Invocation, ParseArgsError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut args = args.into_iter().map(Into::into).peekable();
+    let command = args
+        .next()
+        .ok_or_else(|| ParseArgsError("no command given; try `rlpm-sim help`".into()))?;
+    if command.starts_with('-') {
+        return Err(ParseArgsError(format!(
+            "expected a command, got flag {command:?}; try `rlpm-sim help`"
+        )));
+    }
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    while let Some(arg) = args.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if name.is_empty() {
+                return Err(ParseArgsError("empty flag `--`".into()));
+            }
+            // `--flag=value` form.
+            if let Some((k, v)) = name.split_once('=') {
+                flags.insert(k.to_owned(), v.to_owned());
+                continue;
+            }
+            if BARE_FLAGS.contains(&name) {
+                flags.insert(name.to_owned(), String::new());
+                continue;
+            }
+            // `--flag value` form: the next token is the value unless it
+            // is another flag.
+            match args.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = args.next().expect("peeked");
+                    flags.insert(name.to_owned(), value);
+                }
+                _ => {
+                    return Err(ParseArgsError(format!("flag --{name} needs a value")));
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok(Invocation {
+        command,
+        positional,
+        flags,
+    })
+}
+
+impl Invocation {
+    /// A flag's value parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when the flag is present but unparsable.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseArgsError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when the flag is absent.
+    pub fn required_flag(&self, name: &str) -> Result<&str, ParseArgsError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| ParseArgsError(format!("missing required flag --{name}")))
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Rejects flags outside the allowed set (catches typos early).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] naming the first unknown flag.
+    pub fn allow_flags(&self, allowed: &[&str]) -> Result<(), ParseArgsError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ParseArgsError(format!(
+                    "unknown flag --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let inv = parse(["run", "video", "rlpm", "--secs", "30", "--trace"]).unwrap();
+        assert_eq!(inv.command, "run");
+        assert_eq!(inv.positional, vec!["video", "rlpm"]);
+        assert_eq!(inv.flag_or("secs", 0u64).unwrap(), 30);
+        assert!(inv.has("trace"));
+    }
+
+    #[test]
+    fn equals_form_is_supported() {
+        let inv = parse(["train", "gaming", "--episodes=12", "--out=policy.bin"]).unwrap();
+        assert_eq!(inv.flag_or("episodes", 0u32).unwrap(), 12);
+        assert_eq!(inv.required_flag("out").unwrap(), "policy.bin");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse(["run", "video", "--secs"]).unwrap_err();
+        assert!(err.0.contains("--secs"));
+        let err = parse(["run", "--secs", "--trace"]).unwrap_err();
+        assert!(err.0.contains("needs a value"));
+    }
+
+    #[test]
+    fn no_command_is_an_error() {
+        assert!(parse(Vec::<String>::new()).is_err());
+        assert!(parse(["--help"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_allow_list() {
+        let inv = parse(["run", "video", "--sexs", "30"]).unwrap();
+        let err = inv.allow_flags(&["secs", "seed"]).unwrap_err();
+        assert!(err.0.contains("--sexs"));
+        assert!(err.0.contains("allowed"));
+    }
+
+    #[test]
+    fn flag_parse_failure_is_reported() {
+        let inv = parse(["run", "--secs", "abc"]).unwrap();
+        let err = inv.flag_or("secs", 0u64).unwrap_err();
+        assert!(err.0.contains("abc"));
+    }
+
+    #[test]
+    fn required_flag_absence_is_reported() {
+        let inv = parse(["eval", "video"]).unwrap();
+        let err = inv.required_flag("policy-file").unwrap_err();
+        assert!(err.0.contains("policy-file"));
+    }
+}

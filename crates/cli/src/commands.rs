@@ -1,0 +1,407 @@
+//! `rlpm-sim` command implementations.
+
+use std::error::Error;
+
+use experiments::table::{fmt_f64, Table};
+use experiments::{run, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
+use governors::GovernorKind;
+use rlpm::{persist, RlConfig, RlGovernor};
+use simkit::SimDuration;
+use soc::{Soc, SocConfig};
+use workload::{RecordedTrace, ScenarioKind};
+
+use crate::args::{Invocation, ParseArgsError};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Resolves a SoC preset name.
+fn soc_config(name: &str) -> Result<SocConfig, Box<dyn Error>> {
+    Ok(match name {
+        "xu3" => SocConfig::odroid_xu3_like()?,
+        "xu3-cstates" => SocConfig::odroid_xu3_like_cstates()?,
+        "symmetric" => SocConfig::symmetric_quad()?,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown SoC preset {other:?} (xu3 | xu3-cstates | symmetric)"
+            ))
+            .into())
+        }
+    })
+}
+
+/// Resolves a scenario name.
+fn scenario_kind(name: &str) -> Result<ScenarioKind, Box<dyn Error>> {
+    ScenarioKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+            ParseArgsError(format!(
+                "unknown scenario {name:?} (one of: {})",
+                names.join(", ")
+            ))
+            .into()
+        })
+}
+
+/// Resolves a policy name.
+fn policy_kind(name: &str) -> Result<PolicyKind, Box<dyn Error>> {
+    if name == "rlpm" {
+        return Ok(PolicyKind::Rl);
+    }
+    if name == "rlpm-hw" {
+        return Ok(PolicyKind::RlHw);
+    }
+    GovernorKind::SIX_BASELINES
+        .into_iter()
+        .find(|k| k.name() == name)
+        .map(PolicyKind::Baseline)
+        .ok_or_else(|| {
+            ParseArgsError(format!(
+                "unknown policy {name:?} (performance | powersave | ondemand | conservative | interactive | schedutil | rlpm | rlpm-hw)"
+            ))
+            .into()
+        })
+}
+
+fn print_metrics(label: &str, m: &RunMetrics) {
+    println!("=== {label} ===");
+    println!("energy            : {:.3} J ({:.3} W average)", m.energy_j, m.avg_power_w);
+    println!("energy per QoS    : {}", fmt_f64(m.energy_per_qos));
+    println!(
+        "QoS               : {:.2}% delivered, {} violations, {}/{} on time",
+        m.qos.qos_ratio() * 100.0,
+        m.qos.violations,
+        m.qos.on_time,
+        m.qos.completed
+    );
+    println!("DVFS transitions  : {}", m.transitions);
+    if m.idle_collapsed_core_s > 0.0 || m.idle_gated_core_s > 0.0 {
+        println!(
+            "cpuidle residency : {:.2} core-s gated, {:.2} core-s collapsed",
+            m.idle_gated_core_s, m.idle_collapsed_core_s
+        );
+    }
+}
+
+/// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]`
+pub fn cmd_run(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["secs", "seed", "soc", "trace"])?;
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("video");
+    let policy_name = inv.positional.get(1).map(String::as_str).unwrap_or("rlpm");
+    let secs: u64 = inv.flag_or("secs", 30)?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let kind = scenario_kind(scenario_name)?;
+    let policy = policy_kind(policy_name)?;
+    eprintln!("building {policy_name} (RL variants train first) ...");
+    let mut governor = policy.build_trained(&soc_cfg, kind, TrainingProtocol::default(), seed);
+    let mut soc = Soc::new(soc_cfg)?;
+    let mut scenario = kind.build(seed.wrapping_add(1));
+    let mut config = RunConfig::seconds(secs);
+    if inv.has("trace") {
+        config = config.with_trace();
+    }
+    let metrics = run(&mut soc, scenario.as_mut(), governor.as_mut(), config);
+    if let Some(trace) = &metrics.trace {
+        print!("{}", trace.to_csv());
+    }
+    print_metrics(&format!("{scenario_name} / {policy_name} for {secs}s"), &metrics);
+    Ok(())
+}
+
+/// `train <scenario> [--episodes N] [--episode-secs N] [--seed N] [--soc P] --out FILE`
+pub fn cmd_train(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["episodes", "episode-secs", "seed", "soc", "out"])?;
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let episodes: u32 = inv.flag_or("episodes", 100)?;
+    let episode_secs: u64 = inv.flag_or("episode-secs", 30)?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+    let out = inv.required_flag("out")?;
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let kind = scenario_kind(scenario_name)?;
+    eprintln!("training on {scenario_name}: {episodes} episodes x {episode_secs}s ...");
+    let policy = experiments::train_rl_governor(
+        &soc_cfg,
+        kind,
+        TrainingProtocol {
+            episodes,
+            episode_secs,
+        },
+        seed,
+    );
+    let bytes = persist::save_policy(&policy);
+    std::fs::write(out, &bytes)?;
+    println!(
+        "trained {} updates over {} states; saved {} bytes to {out}",
+        policy.agent().updates(),
+        policy.config().num_states(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `eval <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]`
+pub fn cmd_eval(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["policy-file", "secs", "seed", "soc"])?;
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let file = inv.required_flag("policy-file")?;
+    let secs: u64 = inv.flag_or("secs", 60)?;
+    let seed: u64 = inv.flag_or("seed", 43)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let kind = scenario_kind(scenario_name)?;
+    let bytes = std::fs::read(file)?;
+    let mut policy = RlGovernor::new(RlConfig::for_soc(&soc_cfg), seed);
+    persist::load_policy(&mut policy, &bytes)?;
+    policy.set_frozen(true);
+
+    let mut soc = Soc::new(soc_cfg)?;
+    let mut scenario = kind.build(seed);
+    let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(secs));
+    print_metrics(&format!("{scenario_name} / saved policy for {secs}s"), &metrics);
+    Ok(())
+}
+
+/// `compare <scenario> [--secs N] [--seed N] [--soc P]`
+pub fn cmd_compare(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["secs", "seed", "soc"])?;
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("video");
+    let secs: u64 = inv.flag_or("secs", 60)?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let kind = scenario_kind(scenario_name)?;
+    let mut table = Table::new(
+        &format!("{scenario_name} for {secs}s"),
+        ["policy", "energy (J)", "energy/QoS", "QoS %", "violations"],
+    );
+    for policy in PolicyKind::evaluation_set() {
+        eprint!("{policy} ... ");
+        let mut governor = policy.build_trained(&soc_cfg, kind, TrainingProtocol::default(), seed);
+        let mut soc = Soc::new(soc_cfg.clone())?;
+        let mut scenario = kind.build(seed.wrapping_add(1));
+        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs));
+        eprintln!("done");
+        table.push([
+            policy.name().to_owned(),
+            fmt_f64(m.energy_j),
+            fmt_f64(m.energy_per_qos),
+            format!("{:.2}", m.qos.qos_ratio() * 100.0),
+            m.qos.violations.to_string(),
+        ]);
+    }
+    println!("\n{}", table.to_markdown());
+    Ok(())
+}
+
+/// `record <scenario> [--secs N] [--seed N] --out FILE`
+pub fn cmd_record(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["secs", "seed", "out"])?;
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let secs: u64 = inv.flag_or("secs", 60)?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let out = inv.required_flag("out")?;
+
+    let kind = scenario_kind(scenario_name)?;
+    let mut scenario = kind.build(seed);
+    let trace = RecordedTrace::record(scenario.as_mut(), SimDuration::from_secs(secs));
+    std::fs::write(out, trace.to_csv())?;
+    println!("recorded {} arrivals over {secs}s to {out}", trace.len());
+    Ok(())
+}
+
+/// `replay <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]`
+pub fn cmd_replay(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["trace-file", "scenario", "secs", "seed", "soc"])?;
+    let policy_name = inv.positional.first().map(String::as_str).unwrap_or("schedutil");
+    let file = inv.required_flag("trace-file")?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+    // QoS spec comes from the named source scenario (default: mixed).
+    let spec_scenario: String = inv.flag_or("scenario", "mixed".to_owned())?;
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let spec = scenario_kind(&spec_scenario)?.build(0).qos_spec();
+    let csv = std::fs::read_to_string(file)?;
+    let mut trace = RecordedTrace::from_csv("replay", spec, &csv)?;
+    let trace_secs = trace.duration().as_secs_f64().ceil() as u64 + 1;
+    let secs: u64 = inv.flag_or("secs", trace_secs)?;
+
+    let policy = policy_kind(policy_name)?;
+    // RL variants train on the spec scenario, then replay frozen.
+    let mut governor = policy.build_trained(
+        &soc_cfg,
+        scenario_kind(&spec_scenario)?,
+        TrainingProtocol::default(),
+        seed,
+    );
+    let mut soc = Soc::new(soc_cfg)?;
+    let metrics = run(&mut soc, &mut trace, governor.as_mut(), RunConfig::seconds(secs));
+    print_metrics(&format!("replay({file}) / {policy_name} for {secs}s"), &metrics);
+    Ok(())
+}
+
+/// `latency [--soc P]` — the E4 ladder.
+pub fn cmd_latency(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["soc"])?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+    let soc_cfg = soc_config(&soc_name)?;
+    let ladder = experiments::e4_decision_latency::ladder(&soc_cfg);
+    println!("{}", experiments::e4_decision_latency::ladder_table(&ladder).to_markdown());
+    println!(
+        "up to {:.1}x compute-only, {:.2}x average end-to-end",
+        ladder.max_speedup, ladder.avg_speedup
+    );
+    Ok(())
+}
+
+/// `help`
+pub fn cmd_help() -> CmdResult {
+    println!(
+        "rlpm-sim — MPSoC power-management simulator (RL DVFS policy reproduction)
+
+USAGE:
+  rlpm-sim run      <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]
+  rlpm-sim compare  <scenario> [--secs N] [--seed N] [--soc P]
+  rlpm-sim train    <scenario> --out FILE [--episodes N] [--episode-secs N] [--seed N] [--soc P]
+  rlpm-sim eval     <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]
+  rlpm-sim record   <scenario> --out FILE [--secs N] [--seed N]
+  rlpm-sim replay   <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]
+  rlpm-sim latency  [--soc P]
+  rlpm-sim help
+
+SCENARIOS: video web gaming audio camera video-call navigation app-launch idle mixed
+POLICIES:  performance powersave ondemand conservative interactive schedutil rlpm rlpm-hw
+SOC PRESETS (--soc): xu3 (default) | xu3-cstates | symmetric"
+    );
+    Ok(())
+}
+
+/// Dispatches a parsed invocation.
+pub fn dispatch(inv: &Invocation) -> CmdResult {
+    match inv.command.as_str() {
+        "run" => cmd_run(inv),
+        "train" => cmd_train(inv),
+        "eval" => cmd_eval(inv),
+        "compare" => cmd_compare(inv),
+        "record" => cmd_record(inv),
+        "replay" => cmd_replay(inv),
+        "latency" => cmd_latency(inv),
+        "help" => cmd_help(),
+        other => Err(ParseArgsError(format!(
+            "unknown command {other:?}; try `rlpm-sim help`"
+        ))
+        .into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    #[test]
+    fn name_resolution() {
+        assert!(scenario_kind("video").is_ok());
+        assert!(scenario_kind("navigation").is_ok());
+        assert!(scenario_kind("nope").is_err());
+        assert!(policy_kind("schedutil").is_ok());
+        assert!(policy_kind("rlpm").is_ok());
+        assert!(policy_kind("rlpm-hw").is_ok());
+        assert!(policy_kind("turbo").is_err());
+        assert!(soc_config("xu3").is_ok());
+        assert!(soc_config("xu3-cstates").is_ok());
+        assert!(soc_config("zen5").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let inv = parse(["frobnicate"]).unwrap();
+        let err = dispatch(&inv).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_flag_is_reported_before_running() {
+        let inv = parse(["run", "video", "rlpm", "--sexs", "1"]).unwrap();
+        let err = dispatch(&inv).unwrap_err();
+        assert!(err.to_string().contains("--sexs"));
+    }
+
+    #[test]
+    fn latency_command_runs() {
+        let inv = parse(["latency"]).unwrap();
+        dispatch(&inv).expect("latency prints the ladder");
+    }
+
+    #[test]
+    fn record_then_replay_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("rlpm-sim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audio.trace.csv");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let inv = parse([
+            "record".to_owned(),
+            "audio".to_owned(),
+            "--secs".to_owned(),
+            "3".to_owned(),
+            "--out".to_owned(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        dispatch(&inv).expect("record");
+
+        let inv = parse([
+            "replay".to_owned(),
+            "powersave".to_owned(),
+            "--trace-file".to_owned(),
+            path_str,
+            "--scenario".to_owned(),
+            "audio".to_owned(),
+        ])
+        .unwrap();
+        dispatch(&inv).expect("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_then_eval_round_trips_a_policy_file() {
+        let dir = std::env::temp_dir().join("rlpm-sim-test-policy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.bin");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let inv = parse([
+            "train".to_owned(),
+            "audio".to_owned(),
+            "--episodes".to_owned(),
+            "2".to_owned(),
+            "--episode-secs".to_owned(),
+            "5".to_owned(),
+            "--out".to_owned(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        dispatch(&inv).expect("train");
+
+        let inv = parse([
+            "eval".to_owned(),
+            "audio".to_owned(),
+            "--policy-file".to_owned(),
+            path_str,
+            "--secs".to_owned(),
+            "5".to_owned(),
+        ])
+        .unwrap();
+        dispatch(&inv).expect("eval");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,17 @@
+//! `rlpm-sim` — command-line front-end for the rlpm power-management
+//! simulator. See `rlpm-sim help` or the crate README.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args::parse(raw) {
+        Ok(inv) => commands::dispatch(&inv),
+        Err(e) => Err(e.into()),
+    };
+    if let Err(e) = result {
+        eprintln!("rlpm-sim: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,215 @@
+//! **E3 — scenario-switching adaptivity**: "the policy can flexibly
+//! manage the system power regardless of the application scenario". The
+//! Markov phase mixer switches between regimes mid-run; per-phase energy
+//! and QoS show whether a policy adapts or is stuck with one regime's
+//! operating point.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use governors::Governor;
+use simkit::SimTime;
+use soc::{Soc, SocConfig};
+use workload::scenarios::MarkovMix;
+
+use crate::table::{fmt_f64, Table};
+use crate::{run, PolicyKind, RunConfig, TrainingProtocol};
+
+/// Adaptivity-run configuration.
+#[derive(Debug, Clone)]
+pub struct E3Config {
+    /// Total simulated seconds of the phase-switching trace.
+    pub duration_secs: u64,
+    /// Seed for the trace and policies.
+    pub seed: u64,
+    /// Policies to compare (RL is trained on the mixed scenario first).
+    pub policies: Vec<PolicyKind>,
+    /// RL pre-training protocol.
+    pub training: TrainingProtocol,
+}
+
+impl Default for E3Config {
+    fn default() -> Self {
+        E3Config {
+            duration_secs: 240,
+            seed: 7,
+            policies: vec![
+                PolicyKind::Baseline(governors::GovernorKind::Performance),
+                PolicyKind::Baseline(governors::GovernorKind::Ondemand),
+                PolicyKind::Baseline(governors::GovernorKind::Interactive),
+                PolicyKind::Baseline(governors::GovernorKind::Schedutil),
+                PolicyKind::Rl,
+            ],
+            training: TrainingProtocol::default(),
+        }
+    }
+}
+
+impl E3Config {
+    /// A short run for tests.
+    pub fn quick() -> Self {
+        E3Config {
+            duration_secs: 40,
+            seed: 7,
+            policies: vec![
+                PolicyKind::Baseline(governors::GovernorKind::Ondemand),
+                PolicyKind::Rl,
+            ],
+            training: TrainingProtocol::quick(),
+        }
+    }
+}
+
+/// Energy and QoS units accumulated inside one phase kind.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseFigures {
+    /// Seconds spent in the phase kind.
+    pub seconds: f64,
+    /// Energy consumed (J).
+    pub energy_j: f64,
+    /// QoS units delivered.
+    pub qos_units: f64,
+}
+
+impl PhaseFigures {
+    /// Energy per QoS unit inside this phase kind.
+    pub fn energy_per_qos(&self) -> f64 {
+        if self.qos_units <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.energy_j / self.qos_units
+        }
+    }
+}
+
+/// Per-policy result: phase-kind → figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E3PolicyResult {
+    /// The policy's display name.
+    pub policy: String,
+    /// Figures by phase name ("video", "gaming", …).
+    pub per_phase: BTreeMap<String, PhaseFigures>,
+    /// Whole-run energy per QoS.
+    pub overall_energy_per_qos: f64,
+}
+
+/// Runs one policy over the identical phase-switching trace and
+/// attributes per-epoch energy/QoS to phases.
+pub fn run_policy_over_phases(
+    soc_config: &SocConfig,
+    config: &E3Config,
+    policy: PolicyKind,
+) -> E3PolicyResult {
+    let mut governor: Box<dyn Governor> = policy.build_trained(
+        soc_config,
+        workload::ScenarioKind::Mixed,
+        config.training,
+        config.seed,
+    );
+    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut mix = MarkovMix::new(config.seed.wrapping_add(0xE3));
+    let metrics = run(
+        &mut soc,
+        &mut mix,
+        governor.as_mut(),
+        RunConfig::seconds(config.duration_secs).with_trace(),
+    );
+    let trace = metrics.trace.as_ref().expect("trace requested");
+
+    // Attribute each epoch to the phase active at its end.
+    let history: Vec<(SimTime, &str)> = mix.phase_history();
+    let epoch_s = soc_config.epoch.as_secs_f64();
+    let mut per_phase: BTreeMap<String, PhaseFigures> = BTreeMap::new();
+    let power = trace.series("power_w");
+    let units = trace.series("qos_units");
+    for ((t_s, p_w), (_, u)) in power.into_iter().zip(units) {
+        let at = simkit::SimDuration::from_secs_f64(t_s);
+        let phase = history
+            .iter()
+            .rev()
+            .find(|(start, _)| (SimTime::ZERO + at) >= *start)
+            .map(|(_, name)| *name)
+            .unwrap_or("unknown");
+        let entry = per_phase.entry(phase.to_owned()).or_default();
+        entry.seconds += epoch_s;
+        entry.energy_j += p_w * epoch_s;
+        entry.qos_units += u;
+    }
+
+    E3PolicyResult {
+        policy: policy.name().to_owned(),
+        per_phase,
+        overall_energy_per_qos: metrics.energy_per_qos,
+    }
+}
+
+/// Runs every configured policy over the same trace.
+pub fn run_e3(soc_config: &SocConfig, config: &E3Config) -> Vec<E3PolicyResult> {
+    crate::par::parallel_map(config.policies.clone(), |policy| {
+        run_policy_over_phases(soc_config, config, policy)
+    })
+}
+
+/// Renders the per-phase energy-per-QoS comparison.
+pub fn phase_table(results: &[E3PolicyResult]) -> Table {
+    // Collect the union of phase names.
+    let mut phases: Vec<String> = results
+        .iter()
+        .flat_map(|r| r.per_phase.keys().cloned())
+        .collect();
+    phases.sort();
+    phases.dedup();
+
+    let mut header: Vec<String> = vec!["phase".into()];
+    header.extend(results.iter().map(|r| r.policy.clone()));
+    let mut table = Table::new(
+        "E3: per-phase energy per QoS unit across a phase-switching trace",
+        header,
+    );
+    for phase in &phases {
+        let mut row = vec![phase.clone()];
+        for r in results {
+            row.push(
+                r.per_phase
+                    .get(phase)
+                    .map(|f| fmt_f64(f.energy_per_qos()))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push(row);
+    }
+    let mut overall = vec!["(overall)".to_owned()];
+    for r in results {
+        overall.push(fmt_f64(r.overall_energy_per_qos));
+    }
+    table.push(overall);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_attributed_and_tables_render() {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let config = E3Config::quick();
+        let results = run_e3(&soc_config, &config);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(!r.per_phase.is_empty(), "{}: no phases attributed", r.policy);
+            let total_s: f64 = r.per_phase.values().map(|f| f.seconds).sum();
+            assert!(
+                (total_s - config.duration_secs as f64).abs() < 1.0,
+                "{}: attributed {total_s}s of {}s",
+                r.policy,
+                config.duration_secs
+            );
+            assert!(r.overall_energy_per_qos.is_finite());
+        }
+        let table = phase_table(&results);
+        assert!(table.len() >= 2, "at least one phase plus the overall row");
+        assert!(table.to_markdown().contains("(overall)"));
+    }
+}

@@ -1,0 +1,252 @@
+//! **E4 — software vs hardware decision latency** (LBR: "reduced the
+//! average latency up to 40×"; journal: "3.92 times faster").
+//!
+//! Two views:
+//!
+//! * the **ladder table**: software decision latency at every LITTLE-core
+//!   OPP versus the engine's compute-only and end-to-end latency, with
+//!   speedup columns — the compute-only speedup at the lowest OPP is the
+//!   "up to" figure;
+//! * the **closed-loop distribution**: mean/p99 latency of the software
+//!   policy sampled at the frequencies a real run actually visits,
+//!   versus the measured end-to-end latency of the [`HwPolicyDriver`] on
+//!   the same trace — the average figure.
+
+use serde::{Deserialize, Serialize};
+
+use rlpm::RlConfig;
+use rlpm_hw::{
+    AxiLiteBus, DriverMode, HwConfig, HwLatencyModel, HwPolicyDriver, PolicyEngine, PolicyMmio,
+    SwLatencyModel,
+};
+use simkit::stats::{Histogram, Running};
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+use crate::table::{fmt_f64, Table};
+use crate::{run, RunConfig};
+
+/// One row of the OPP ladder comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadderRow {
+    /// LITTLE-core frequency the software policy runs at (Hz).
+    pub sw_freq_hz: u64,
+    /// Software decision latency (µs).
+    pub sw_us: f64,
+    /// Hardware compute-only latency (µs).
+    pub hw_compute_us: f64,
+    /// Hardware end-to-end latency including the bus (µs).
+    pub hw_e2e_us: f64,
+    /// `sw / hw_compute`.
+    pub speedup_compute: f64,
+    /// `sw / hw_e2e`.
+    pub speedup_e2e: f64,
+}
+
+/// The ladder + headline speedups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E4Ladder {
+    /// Per-OPP rows, ascending frequency.
+    pub rows: Vec<LadderRow>,
+    /// Maximum compute-only speedup (the "up to N×" figure).
+    pub max_speedup: f64,
+    /// Mean end-to-end speedup across the ladder.
+    pub avg_speedup: f64,
+}
+
+/// Builds the OPP-ladder comparison for a SoC.
+pub fn ladder(soc_config: &SocConfig) -> E4Ladder {
+    let rl = RlConfig::for_soc(soc_config);
+    let engine = PolicyEngine::new(HwConfig::default(), &rl);
+    let bus = AxiLiteBus::new(PolicyMmio::new(engine.clone()));
+    let hw = HwLatencyModel::new(&engine, &bus);
+    let sw = SwLatencyModel::little_core(rl.num_actions());
+
+    // The software governor runs on the first (LITTLE/efficiency)
+    // cluster.
+    let opps = &soc_config.clusters[0].opps;
+    let rows: Vec<LadderRow> = opps
+        .points()
+        .iter()
+        .map(|opp| {
+            let sw_us = sw.decision_latency(opp.freq_hz).as_secs_f64() * 1e6;
+            let hw_compute_us = hw.decision_compute().as_secs_f64() * 1e6;
+            let hw_e2e_us = hw.decision_end_to_end().as_secs_f64() * 1e6;
+            LadderRow {
+                sw_freq_hz: opp.freq_hz,
+                sw_us,
+                hw_compute_us,
+                hw_e2e_us,
+                speedup_compute: sw_us / hw_compute_us,
+                speedup_e2e: sw_us / hw_e2e_us,
+            }
+        })
+        .collect();
+    let max_speedup = rows.iter().map(|r| r.speedup_compute).fold(0.0, f64::max);
+    let avg_speedup = rows.iter().map(|r| r.speedup_e2e).sum::<f64>() / rows.len() as f64;
+    E4Ladder {
+        rows,
+        max_speedup,
+        avg_speedup,
+    }
+}
+
+/// Renders the ladder as a table.
+pub fn ladder_table(l: &E4Ladder) -> Table {
+    let mut table = Table::new(
+        "E4: decision latency, software (per OPP) vs hardware engine",
+        [
+            "sw freq (MHz)",
+            "sw (us)",
+            "hw compute (us)",
+            "hw end-to-end (us)",
+            "speedup (compute)",
+            "speedup (e2e)",
+        ],
+    );
+    for r in &l.rows {
+        table.push([
+            format!("{:.0}", r.sw_freq_hz as f64 / 1e6),
+            fmt_f64(r.sw_us),
+            fmt_f64(r.hw_compute_us),
+            fmt_f64(r.hw_e2e_us),
+            fmt_f64(r.speedup_compute),
+            fmt_f64(r.speedup_e2e),
+        ]);
+    }
+    table.push([
+        "(max / avg)".to_owned(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_f64(l.max_speedup),
+        fmt_f64(l.avg_speedup),
+    ]);
+    table
+}
+
+/// Closed-loop latency distribution comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E4Distribution {
+    /// Software mean latency (µs) at the frequencies the run visited.
+    pub sw_mean_us: f64,
+    /// Software p99 (µs).
+    pub sw_p99_us: f64,
+    /// Hardware driver mean end-to-end latency (µs), measured over the
+    /// bus model (polling mode).
+    pub hw_mean_us: f64,
+    /// Hardware driver mean latency in interrupt mode (µs).
+    pub hw_irq_mean_us: f64,
+    /// Mean speedup (sw mean / hw polling mean).
+    pub speedup: f64,
+    /// Decisions sampled.
+    pub decisions: u64,
+}
+
+/// Runs the hardware driver closed-loop on the mixed scenario (training
+/// on-line in the engine, as deployed) and samples the software model at
+/// the LITTLE frequencies the very same run visits.
+pub fn distribution(soc_config: &SocConfig, secs: u64, seed: u64) -> E4Distribution {
+    let rl = RlConfig::for_soc(soc_config);
+    let sw = SwLatencyModel::little_core(rl.num_actions());
+
+    let mut driver = HwPolicyDriver::new(HwConfig::default(), &rl);
+    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut scenario = ScenarioKind::Mixed.build(seed);
+    let metrics = run(
+        &mut soc,
+        scenario.as_mut(),
+        &mut driver,
+        RunConfig::seconds(secs).with_trace(),
+    );
+    let trace = metrics.trace.expect("trace requested");
+
+    // Same run in interrupt mode (typical mobile IRQ path ~0.5 µs).
+    let mut irq_driver = HwPolicyDriver::new(HwConfig::default(), &rl);
+    irq_driver.set_mode(DriverMode::Interrupt {
+        irq_latency: simkit::SimDuration::from_nanos(500),
+    });
+    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut scenario = ScenarioKind::Mixed.build(seed);
+    run(
+        &mut soc,
+        scenario.as_mut(),
+        &mut irq_driver,
+        RunConfig::seconds(secs),
+    );
+
+    // Software latency at each epoch's LITTLE frequency.
+    let opps = &soc_config.clusters[0].opps;
+    let mut sw_stats = Running::new();
+    let mut sw_hist = Histogram::new(0.0, 50.0, 1_000); // µs
+    for (_, level) in trace.series("level_0") {
+        let freq = opps.opp(level as usize).freq_hz;
+        let us = sw.decision_latency(freq).as_secs_f64() * 1e6;
+        sw_stats.add(us);
+        sw_hist.add(us);
+    }
+
+    let hw_mean_us = driver.latency_stats().mean() * 1e6;
+    E4Distribution {
+        sw_mean_us: sw_stats.mean(),
+        sw_p99_us: sw_hist.percentile(99.0),
+        hw_mean_us,
+        hw_irq_mean_us: irq_driver.latency_stats().mean() * 1e6,
+        speedup: sw_stats.mean() / hw_mean_us,
+        decisions: driver.latency_stats().count(),
+    }
+}
+
+/// Renders the distribution comparison as a table.
+pub fn distribution_table(d: &E4Distribution) -> Table {
+    let mut table = Table::new(
+        "E4: closed-loop decision latency distribution (mixed scenario)",
+        ["metric", "software", "hardware (e2e)"],
+    );
+    table.push(["mean (us)".to_owned(), fmt_f64(d.sw_mean_us), fmt_f64(d.hw_mean_us)]);
+    table.push([
+        "mean, irq mode (us)".to_owned(),
+        "-".into(),
+        fmt_f64(d.hw_irq_mean_us),
+    ]);
+    table.push(["p99 (us)".to_owned(), fmt_f64(d.sw_p99_us), "-".into()]);
+    table.push([
+        "mean speedup".to_owned(),
+        "-".into(),
+        format!("{:.2}x", d.speedup),
+    ]);
+    table.push(["decisions".to_owned(), d.decisions.to_string(), d.decisions.to_string()]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_reproduces_the_speedup_shape() {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let l = ladder(&soc_config);
+        assert_eq!(l.rows.len(), 13, "one row per LITTLE OPP");
+        // Software latency decreases with frequency; hardware is flat.
+        assert!(l.rows.windows(2).all(|w| w[1].sw_us <= w[0].sw_us + 1e-12));
+        assert!(l.rows.windows(2).all(|w| w[0].hw_e2e_us == w[1].hw_e2e_us));
+        // Headline shapes: "up to ~40x" compute-only, single-digit e2e
+        // average.
+        assert!(l.max_speedup > 25.0 && l.max_speedup < 60.0, "max {}", l.max_speedup);
+        assert!(l.avg_speedup > 2.0 && l.avg_speedup < 8.0, "avg {}", l.avg_speedup);
+        assert_eq!(ladder_table(&l).len(), 14);
+    }
+
+    #[test]
+    fn closed_loop_distribution_shows_hardware_ahead() {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let d = distribution(&soc_config, 20, 3);
+        assert_eq!(d.decisions, 1_000, "one decision per 20 ms epoch for 20 s");
+        assert!(d.sw_mean_us > d.hw_mean_us, "sw {} vs hw {}", d.sw_mean_us, d.hw_mean_us);
+        assert!(d.sw_p99_us >= d.sw_mean_us);
+        assert!(d.speedup > 1.5, "speedup {}", d.speedup);
+        assert!(d.hw_irq_mean_us > 0.0);
+        assert_eq!(distribution_table(&d).len(), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! **E5 — QoS violations per policy** ("without compromising the user
+//! satisfaction"): the violation counts and delivered-QoS ratios behind
+//! the E1 matrix.
+
+use workload::ScenarioKind;
+
+use crate::e1_energy_per_qos::E1Result;
+use crate::table::{fmt_f64, fmt_pct, Table};
+use crate::PolicyKind;
+
+/// Violation-count table (scenarios × policies) from an E1 matrix.
+pub fn violations_table(result: &E1Result) -> Table {
+    let mut header: Vec<String> = vec!["scenario".into()];
+    header.extend(result.config.policies.iter().map(|p| p.name().to_owned()));
+    let mut table = Table::new("E5: QoS violations (count), lower is better", header);
+    for &scenario in &result.config.scenarios {
+        let mut row = vec![scenario.name().to_owned()];
+        for &policy in &result.config.policies {
+            row.push(fmt_f64(result.cell(scenario, policy).violations));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Delivered QoS ratio table (scenarios × policies).
+pub fn qos_ratio_table(result: &E1Result) -> Table {
+    let mut header: Vec<String> = vec!["scenario".into()];
+    header.extend(result.config.policies.iter().map(|p| p.name().to_owned()));
+    let mut table = Table::new("E5: delivered QoS ratio, higher is better", header);
+    for &scenario in &result.config.scenarios {
+        let mut row = vec![scenario.name().to_owned()];
+        for &policy in &result.config.policies {
+            row.push(fmt_pct(result.cell(scenario, policy).qos_ratio));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// The "user satisfaction" check: the proposed policy's mean QoS ratio
+/// across scenarios, and its shortfall versus the `performance` governor
+/// (the QoS-optimal reference).
+pub fn satisfaction_summary(result: &E1Result) -> (f64, f64) {
+    let scenarios = &result.config.scenarios;
+    let mean = |policy: PolicyKind| -> f64 {
+        scenarios
+            .iter()
+            .map(|&s| result.cell(s, policy).qos_ratio)
+            .sum::<f64>()
+            / scenarios.len() as f64
+    };
+    let rl = mean(PolicyKind::Rl);
+    let perf = mean(PolicyKind::Baseline(governors::GovernorKind::Performance));
+    (rl, perf - rl)
+}
+
+/// Convenience filter: scenarios where a policy violated at all.
+pub fn violating_scenarios(result: &E1Result, policy: PolicyKind) -> Vec<ScenarioKind> {
+    result
+        .config
+        .scenarios
+        .iter()
+        .copied()
+        .filter(|&s| result.cell(s, policy).violations > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e1_energy_per_qos::{run_e1, E1Config};
+    use crate::TrainingProtocol;
+    use governors::GovernorKind;
+    use soc::SocConfig;
+
+    #[test]
+    fn violations_show_powersave_failing_gaming() {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let config = E1Config {
+            scenarios: vec![ScenarioKind::Gaming],
+            policies: vec![
+                PolicyKind::Baseline(GovernorKind::Performance),
+                PolicyKind::Baseline(GovernorKind::Powersave),
+                PolicyKind::Rl,
+            ],
+            seeds: vec![5],
+            eval_secs: 10,
+            training: TrainingProtocol::quick(),
+        };
+        let result = run_e1(&soc_config, &config);
+        let save = result.cell(ScenarioKind::Gaming, PolicyKind::Baseline(GovernorKind::Powersave));
+        let perf = result.cell(ScenarioKind::Gaming, PolicyKind::Baseline(GovernorKind::Performance));
+        assert!(save.violations > 50.0, "powersave must violate hard on gaming: {save:?}");
+        assert_eq!(perf.violations, 0.0, "performance never violates: {perf:?}");
+
+        let table = violations_table(&result);
+        assert_eq!(table.len(), 1);
+        assert!(
+            violating_scenarios(&result, PolicyKind::Baseline(GovernorKind::Powersave))
+                .contains(&ScenarioKind::Gaming)
+        );
+        let (rl_qos, shortfall) = satisfaction_summary(&result);
+        assert!(rl_qos > 0.0 && shortfall.abs() <= 1.0);
+        assert!(!qos_ratio_table(&result).is_empty());
+    }
+}

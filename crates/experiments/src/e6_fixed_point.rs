@@ -1,0 +1,71 @@
+//! **E6 — HW/SW functional parity and the fixed-point bit-width study**:
+//! implementing the policy as hardware must not change what it decides.
+
+use rlpm::RlConfig;
+use rlpm_hw::{parity_check, quantization_sweep, HwConfig, ParityReport, QuantizationPoint};
+use soc::SocConfig;
+
+use crate::table::{fmt_f64, fmt_pct, Table};
+
+/// Runs the Q16.16 parity check with the experiment-default transition
+/// volume.
+pub fn run_parity(soc_config: &SocConfig, transitions: u64, seed: u64) -> ParityReport {
+    let rl = RlConfig::for_soc(soc_config);
+    parity_check(&rl, HwConfig::default(), transitions, seed)
+}
+
+/// Runs the bit-width sweep over the standard ladder.
+pub fn run_sweep(soc_config: &SocConfig, transitions: u64, seed: u64) -> Vec<QuantizationPoint> {
+    let rl = RlConfig::for_soc(soc_config);
+    quantization_sweep(&rl, &[4, 6, 8, 10, 12, 16, 20, 24], transitions, seed)
+}
+
+/// Renders the parity report.
+pub fn parity_table(report: &ParityReport) -> Table {
+    let mut table = Table::new(
+        "E6: software (f64) vs hardware (Q16.16) functional parity",
+        ["metric", "value"],
+    );
+    table.push(["transitions replayed".to_owned(), report.transitions.to_string()]);
+    table.push(["greedy-action agreement".to_owned(), fmt_pct(report.greedy_agreement)]);
+    table.push(["max |Q| error".to_owned(), fmt_f64(report.max_q_error)]);
+    table.push(["mean |Q| error".to_owned(), fmt_f64(report.mean_q_error)]);
+    table
+}
+
+/// Renders the sweep.
+pub fn sweep_table(points: &[QuantizationPoint]) -> Table {
+    let mut table = Table::new(
+        "E6: fixed-point fractional bits vs policy fidelity",
+        ["frac bits", "greedy agreement", "max |Q| error"],
+    );
+    for p in points {
+        table.push([
+            p.frac_bits.to_string(),
+            fmt_pct(p.greedy_agreement),
+            fmt_f64(p.max_q_error),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_and_sweep_tables() {
+        let soc_config = SocConfig::symmetric_quad().unwrap();
+        let report = run_parity(&soc_config, 5_000, 1);
+        assert!(report.greedy_agreement > 0.99);
+        assert_eq!(parity_table(&report).len(), 4);
+
+        let points = run_sweep(&soc_config, 3_000, 1);
+        assert_eq!(points.len(), 8);
+        assert_eq!(sweep_table(&points).len(), 8);
+        // 16 fractional bits (the shipped datapath) must be essentially
+        // lossless for control purposes.
+        let q16 = points.iter().find(|p| p.frac_bits == 16).unwrap();
+        assert!(q16.greedy_agreement > 0.99);
+    }
+}

@@ -1,0 +1,90 @@
+//! **E7 — hardware cost pathfinding** (extension): the fabric cost of
+//! the policy engine and its banking trade-off. The paper reports an
+//! FPGA implementation; this experiment reproduces the cost analysis a
+//! full paper would carry, from the first-order structural model in
+//! [`rlpm_hw::estimate_resources`].
+
+use rlpm::RlConfig;
+use rlpm_hw::{banking_sweep, ResourceReport};
+use soc::SocConfig;
+
+use crate::table::{fmt_f64, Table};
+
+/// The default banking axis.
+pub const BANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the banking sweep for the standard SoC's policy.
+pub fn run_e7(soc_config: &SocConfig) -> Vec<ResourceReport> {
+    let rl = RlConfig::for_soc(soc_config);
+    banking_sweep(&rl, &BANKS)
+}
+
+/// Renders the sweep.
+pub fn cost_table(reports: &[ResourceReport]) -> Table {
+    let mut table = Table::new(
+        "E7: engine fabric cost vs BRAM banking (structural estimates)",
+        [
+            "banks",
+            "BRAM18",
+            "LUTs",
+            "FFs",
+            "DSPs",
+            "est fmax (MHz)",
+            "decision (us @ fmax)",
+        ],
+    );
+    for r in reports {
+        table.push([
+            r.banks.to_string(),
+            r.bram18_blocks.to_string(),
+            r.luts.to_string(),
+            r.ffs.to_string(),
+            r.dsps.to_string(),
+            fmt_f64(r.est_fmax_mhz),
+            fmt_f64(r.decision_us_at_fmax),
+        ]);
+    }
+    table
+}
+
+/// The banking with the lowest decision latency at its own fmax.
+pub fn latency_optimal(reports: &[ResourceReport]) -> &ResourceReport {
+    reports
+        .iter()
+        .min_by(|a, b| {
+            a.decision_us_at_fmax
+                .partial_cmp(&b.decision_us_at_fmax)
+                .expect("latencies are finite")
+        })
+        .expect("sweep is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_banking_shows_diminishing_returns() {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let reports = run_e7(&soc_config);
+        assert_eq!(reports.len(), BANKS.len());
+        let best = latency_optimal(&reports);
+        assert!(best.banks > 1, "serial fetch must not be optimal");
+        // Going from 1 to 8 banks buys much more than going from 8 to 32:
+        // the trade-off flattens once the row fits a couple of beats.
+        let lat = |banks: usize| {
+            reports
+                .iter()
+                .find(|r| r.banks == banks)
+                .expect("bank point present")
+                .decision_us_at_fmax
+        };
+        let early_gain = lat(1) - lat(8);
+        let late_gain = lat(8) - lat(32);
+        assert!(
+            early_gain > 4.0 * late_gain,
+            "expected diminishing returns: early {early_gain} vs late {late_gain}"
+        );
+        assert_eq!(cost_table(&reports).len(), BANKS.len());
+    }
+}

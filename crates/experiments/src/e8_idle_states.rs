@@ -1,0 +1,191 @@
+//! **E8 — cpuidle interaction** (extension): what happens to the DVFS
+//! comparison when the cluster also has C-states?
+//!
+//! DVFS and cpuidle are the two halves of mobile CPU power management.
+//! Deep idle states reward *racing to idle* (finish fast, collapse), so
+//! they shift the governor trade-off: the `performance` governor's idle
+//! tail becomes cheaper, while just-enough policies lose part of their
+//! edge. This experiment runs the same scenarios on the calibrated SoC
+//! and on its C-state variant and reports the energy deltas.
+
+use serde::{Deserialize, Serialize};
+
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+use crate::par::parallel_map;
+use crate::table::{fmt_f64, fmt_pct, Table};
+use crate::{run, PolicyKind, RunConfig, TrainingProtocol};
+
+/// E8 configuration.
+#[derive(Debug, Clone)]
+pub struct E8Config {
+    /// Scenarios to compare.
+    pub scenarios: Vec<ScenarioKind>,
+    /// Policies to compare.
+    pub policies: Vec<PolicyKind>,
+    /// Evaluation seconds per run.
+    pub eval_secs: u64,
+    /// Seed.
+    pub seed: u64,
+    /// RL training protocol (per SoC variant — the policy retrains on the
+    /// hardware it will run on).
+    pub training: TrainingProtocol,
+}
+
+impl Default for E8Config {
+    fn default() -> Self {
+        E8Config {
+            scenarios: vec![
+                ScenarioKind::Video,
+                ScenarioKind::Web,
+                ScenarioKind::Gaming,
+                ScenarioKind::Idle,
+            ],
+            policies: vec![
+                PolicyKind::Baseline(governors::GovernorKind::Performance),
+                PolicyKind::Baseline(governors::GovernorKind::Schedutil),
+                PolicyKind::Rl,
+            ],
+            eval_secs: 60,
+            seed: 8,
+            training: TrainingProtocol::default(),
+        }
+    }
+}
+
+impl E8Config {
+    /// A reduced configuration for tests.
+    pub fn quick() -> Self {
+        E8Config {
+            scenarios: vec![ScenarioKind::Idle, ScenarioKind::Video],
+            policies: vec![
+                PolicyKind::Baseline(governors::GovernorKind::Performance),
+                PolicyKind::Baseline(governors::GovernorKind::Schedutil),
+            ],
+            eval_secs: 15,
+            seed: 8,
+            training: TrainingProtocol::quick(),
+        }
+    }
+}
+
+/// One comparison cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E8Cell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy name.
+    pub policy: String,
+    /// Energy without C-states (J).
+    pub energy_plain_j: f64,
+    /// Energy with C-states (J).
+    pub energy_cstates_j: f64,
+    /// Core-seconds collapsed during the C-state run.
+    pub collapsed_core_s: f64,
+}
+
+impl E8Cell {
+    /// Relative energy saving from enabling C-states.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.energy_cstates_j / self.energy_plain_j
+    }
+}
+
+fn run_one(
+    soc_config: &SocConfig,
+    scenario: ScenarioKind,
+    policy: PolicyKind,
+    config: &E8Config,
+) -> (f64, f64) {
+    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut governor = policy.build_trained(soc_config, scenario, config.training, config.seed);
+    let mut scenario = scenario.build(config.seed.wrapping_add(0xE8));
+    let metrics = run(
+        &mut soc,
+        scenario.as_mut(),
+        governor.as_mut(),
+        RunConfig::seconds(config.eval_secs),
+    );
+    (metrics.energy_j, metrics.idle_collapsed_core_s)
+}
+
+/// Runs the comparison matrix.
+pub fn run_e8(config: &E8Config) -> Vec<E8Cell> {
+    let plain = SocConfig::odroid_xu3_like().expect("preset valid");
+    let cstates = SocConfig::odroid_xu3_like_cstates().expect("preset valid");
+    let mut jobs = Vec::new();
+    for &scenario in &config.scenarios {
+        for &policy in &config.policies {
+            jobs.push((scenario, policy));
+        }
+    }
+    parallel_map(jobs, |(scenario, policy)| {
+        let (energy_plain_j, _) = run_one(&plain, scenario, policy, config);
+        let (energy_cstates_j, collapsed_core_s) = run_one(&cstates, scenario, policy, config);
+        E8Cell {
+            scenario: scenario.name().to_owned(),
+            policy: policy.name().to_owned(),
+            energy_plain_j,
+            energy_cstates_j,
+            collapsed_core_s,
+        }
+    })
+}
+
+/// Renders the comparison.
+pub fn idle_table(cells: &[E8Cell]) -> Table {
+    let mut table = Table::new(
+        "E8: energy with vs without cpuidle (C-states)",
+        ["scenario", "policy", "plain (J)", "C-states (J)", "saving"],
+    );
+    for c in cells {
+        table.push([
+            c.scenario.clone(),
+            c.policy.clone(),
+            fmt_f64(c.energy_plain_j),
+            fmt_f64(c.energy_cstates_j),
+            fmt_pct(c.saving()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cstates_always_save_energy_and_most_on_idle_scenarios() {
+        let cells = run_e8(&E8Config::quick());
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(
+                c.saving() > 0.0,
+                "{}/{}: C-states must not cost energy ({} -> {})",
+                c.scenario,
+                c.policy,
+                c.energy_plain_j,
+                c.energy_cstates_j
+            );
+        }
+        // The performance governor on the idle scenario benefits the
+        // most: its cores idle at the top OPP where the clock tree burns
+        // the most.
+        let perf_idle = cells
+            .iter()
+            .find(|c| c.scenario == "idle" && c.policy == "performance")
+            .expect("cell present");
+        let perf_video = cells
+            .iter()
+            .find(|c| c.scenario == "video" && c.policy == "performance")
+            .expect("cell present");
+        assert!(
+            perf_idle.saving() > perf_video.saving(),
+            "idle saving {} should beat video saving {}",
+            perf_idle.saving(),
+            perf_video.saving()
+        );
+        assert_eq!(idle_table(&cells).len(), 4);
+    }
+}

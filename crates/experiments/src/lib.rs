@@ -1,0 +1,44 @@
+//! # experiments — the paper's evaluation, reproduced
+//!
+//! This crate closes the loop between the [`soc`] simulator, the
+//! [`workload`] scenarios, and the policies ([`governors`], [`rlpm`],
+//! `rlpm-hw`), and defines one module per experiment in the
+//! reproduction plan (see `DESIGN.md` at the repository root):
+//!
+//! | Module | Experiment |
+//! |---|---|
+//! | [`e1_energy_per_qos`] | E1 — energy per unit QoS vs the six governors (headline table) |
+//! | [`e2_learning_curve`] | E2 — online-learning convergence |
+//! | [`e3_adaptivity`] | E3 — scenario-switching adaptivity |
+//! | [`e4_decision_latency`] | E4 — SW vs HW decision latency (up to ~40×, ~4× end-to-end) |
+//! | [`e5_qos_violations`] | E5 — QoS violations per policy |
+//! | [`e6_fixed_point`] | E6 — HW/SW parity and fixed-point bit-width study |
+//! | [`e7_hw_cost`] | E7 — engine fabric cost pathfinding (extension) |
+//! | [`e8_idle_states`] | E8 — cpuidle (C-state) interaction (extension) |
+//! | [`ablations`] | A1–A4 — state features, reward shaping, exploration, TD algorithm |
+//!
+//! The building blocks are [`run`] (one closed-loop simulation),
+//! [`PolicyKind`] (every policy under test, including the pre-trained RL
+//! policy), and [`table::Table`] (markdown/CSV rendering used by the
+//! `regen-tables` binary and the benches).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod e1_energy_per_qos;
+pub mod e2_learning_curve;
+pub mod e3_adaptivity;
+pub mod e4_decision_latency;
+pub mod e5_qos_violations;
+pub mod e6_fixed_point;
+pub mod e7_hw_cost;
+pub mod e8_idle_states;
+pub mod table;
+
+mod par;
+mod policies;
+mod runner;
+
+pub use policies::{train_rl_governor, PolicyKind, TrainingProtocol};
+pub use runner::{run, RunConfig, RunMetrics};

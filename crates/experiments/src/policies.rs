@@ -1,0 +1,173 @@
+//! The policies under test, including the pre-trained RL policy.
+
+use governors::{Governor, GovernorKind};
+use rlpm::{RlConfig, RlGovernor};
+use rlpm_hw::{HwConfig, HwPolicyDriver};
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+use crate::{run, RunConfig};
+
+/// How the RL policy is trained before a frozen evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingProtocol {
+    /// Number of training episodes.
+    pub episodes: u32,
+    /// Simulated seconds per episode.
+    pub episode_secs: u64,
+}
+
+impl Default for TrainingProtocol {
+    fn default() -> Self {
+        TrainingProtocol {
+            episodes: 100,
+            episode_secs: 30,
+        }
+    }
+}
+
+impl TrainingProtocol {
+    /// A short protocol for tests and smoke benches.
+    pub fn quick() -> Self {
+        TrainingProtocol {
+            episodes: 6,
+            episode_secs: 10,
+        }
+    }
+}
+
+/// Every policy the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// One of the Linux baselines.
+    Baseline(GovernorKind),
+    /// The paper's policy (software implementation), trained online on
+    /// the evaluation scenario before a frozen measurement.
+    Rl,
+    /// The paper's policy behind the hardware engine and register bus.
+    RlHw,
+}
+
+impl PolicyKind {
+    /// The six baselines plus the proposed policy, in table order.
+    pub fn evaluation_set() -> Vec<PolicyKind> {
+        let mut v: Vec<PolicyKind> = GovernorKind::SIX_BASELINES
+            .into_iter()
+            .map(PolicyKind::Baseline)
+            .collect();
+        v.push(PolicyKind::Rl);
+        v
+    }
+
+    /// Display name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Baseline(kind) => kind.name(),
+            PolicyKind::Rl => "rlpm",
+            PolicyKind::RlHw => "rlpm-hw",
+        }
+    }
+
+    /// Builds the governor ready for a frozen evaluation run: baselines
+    /// as-is, RL variants trained on `scenario` with `protocol` and then
+    /// frozen.
+    pub fn build_trained(
+        &self,
+        soc_config: &SocConfig,
+        scenario: ScenarioKind,
+        protocol: TrainingProtocol,
+        seed: u64,
+    ) -> Box<dyn Governor> {
+        match self {
+            PolicyKind::Baseline(kind) => kind.build(soc_config),
+            PolicyKind::Rl => {
+                let mut policy = train_rl_governor(soc_config, scenario, protocol, seed);
+                policy.set_frozen(true);
+                policy.reset();
+                Box::new(policy)
+            }
+            PolicyKind::RlHw => {
+                // Train in software, then load the table into the engine —
+                // the deployment flow the paper describes.
+                let mut sw = train_rl_governor(soc_config, scenario, protocol, seed);
+                sw.set_frozen(true);
+                let rl_config = sw.config().clone();
+                let mut driver = HwPolicyDriver::new(HwConfig::default(), &rl_config);
+                driver.load_table(&sw.agent().merged_table());
+                driver.set_training(false);
+                Box::new(driver)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Trains an [`RlGovernor`] online: `protocol.episodes` episodes of the
+/// scenario, resetting the SoC and the episode state (but not the
+/// Q-table) in between.
+pub fn train_rl_governor(
+    soc_config: &SocConfig,
+    scenario: ScenarioKind,
+    protocol: TrainingProtocol,
+    seed: u64,
+) -> RlGovernor {
+    let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
+    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut scenario = scenario.build(seed.wrapping_add(0x5eed));
+    for _ in 0..protocol.episodes {
+        run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut policy,
+            RunConfig::seconds(protocol.episode_secs),
+        );
+        soc.reset();
+        scenario.reset();
+        policy.reset();
+    }
+    policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_set_is_six_plus_one() {
+        let set = PolicyKind::evaluation_set();
+        assert_eq!(set.len(), 7);
+        assert_eq!(set[6], PolicyKind::Rl);
+        assert_eq!(set[0].name(), "performance");
+    }
+
+    #[test]
+    fn training_visits_states_and_freezes() {
+        let cfg = SocConfig::odroid_xu3_like().unwrap();
+        let policy = train_rl_governor(&cfg, ScenarioKind::Video, TrainingProtocol::quick(), 1);
+        let visited = policy
+            .agent()
+            .table()
+            .visited_entries(policy.config().q_init);
+        assert!(visited > 100, "training touched only {visited} entries");
+        assert!(policy.agent().updates() > 1_000);
+    }
+
+    #[test]
+    fn build_trained_returns_frozen_rl() {
+        let cfg = SocConfig::symmetric_quad().unwrap();
+        let g = PolicyKind::Rl.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 2);
+        assert_eq!(g.name(), "rlpm");
+    }
+
+    #[test]
+    fn build_trained_hw_loads_engine_table() {
+        let cfg = SocConfig::symmetric_quad().unwrap();
+        let g = PolicyKind::RlHw.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 3);
+        assert_eq!(g.name(), "rlpm-hw");
+    }
+}

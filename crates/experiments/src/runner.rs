@@ -1,0 +1,300 @@
+//! The closed control loop: scenario → SoC → QoS accounting → governor.
+
+use serde::{Deserialize, Serialize};
+
+use governors::{Governor, QosFeedback, SystemState};
+use simkit::trace::Trace;
+use simkit::SimDuration;
+use soc::{LevelRequest, Soc};
+use workload::{QosReport, QosTracker, Scenario};
+
+/// Parameters of one closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Record a per-epoch trace (frequency levels, power, QoS) for
+    /// figure regeneration. Costs memory proportional to epochs.
+    pub record_trace: bool,
+}
+
+impl RunConfig {
+    /// A run of the given number of simulated seconds, without tracing.
+    pub fn seconds(secs: u64) -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs(secs),
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Final QoS accounting.
+    pub qos: QosReport,
+    /// The headline metric: energy per delivered QoS unit (J/unit).
+    pub energy_per_qos: f64,
+    /// Mean power draw (W).
+    pub avg_power_w: f64,
+    /// DVFS transitions performed.
+    pub transitions: u64,
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Jobs submitted by the scenario.
+    pub jobs_submitted: u64,
+    /// Mean per-cluster frequency level over the run, normalised to
+    /// `[0, 1]` of each table.
+    pub mean_level_frac: Vec<f64>,
+    /// Core-seconds spent clock-gated (zero unless the SoC has cpuidle).
+    pub idle_gated_core_s: f64,
+    /// Core-seconds spent power-collapsed.
+    pub idle_collapsed_core_s: f64,
+    /// Optional per-epoch trace: columns `level_<cluster>`,
+    /// `util_<cluster>`, `power_w`, `qos_units`.
+    pub trace: Option<Trace>,
+}
+
+/// Runs `governor` on `scenario` for `config.duration`, starting from the
+/// SoC's current state (callers reset the SoC for independent runs; the
+/// training loop deliberately does not).
+///
+/// The loop matches the paper's control structure: at each epoch boundary
+/// the governor observes the epoch just finished (utilisation, energy,
+/// QoS feedback) and sets levels for the next epoch. The first epoch runs
+/// at the lowest OPP.
+pub fn run(
+    soc: &mut Soc,
+    scenario: &mut dyn Scenario,
+    governor: &mut dyn Governor,
+    config: RunConfig,
+) -> RunMetrics {
+    let epoch = soc.config().epoch;
+    let epochs = config.duration / epoch;
+    assert!(epochs > 0, "run must span at least one epoch");
+    let num_clusters = soc.config().clusters.len();
+
+    let mut tracker = QosTracker::new(scenario.qos_spec());
+    let mut request = LevelRequest::new(
+        (0..num_clusters)
+            .map(|c| soc.clusters()[c].level())
+            .collect(),
+    );
+    let mut transitions = 0u64;
+    let mut level_frac_sum = vec![0.0f64; num_clusters];
+    let mut idle_gated_core_s = 0.0f64;
+    let mut idle_collapsed_core_s = 0.0f64;
+    let started_at = soc.now();
+    let start_energy = soc.total_energy_j();
+    let start_jobs = soc.jobs_submitted();
+    let mut trace = config.record_trace.then(|| {
+        let mut columns: Vec<String> = Vec::new();
+        for c in 0..num_clusters {
+            columns.push(format!("level_{c}"));
+        }
+        for c in 0..num_clusters {
+            columns.push(format!("util_{c}"));
+        }
+        columns.push("power_w".into());
+        columns.push("qos_units".into());
+        Trace::new("run", columns)
+    });
+
+    let mut prev_snapshot = tracker.snapshot();
+    for _ in 0..epochs {
+        // Feed the next epoch's arrivals before running it.
+        let from = soc.now();
+        let to = from + epoch;
+        for (at, job) in scenario.arrivals(from, to) {
+            soc.schedule_job(at, job);
+        }
+
+        let report = soc.run_epoch(&request).expect("validated level request");
+        tracker.observe_all(report.completed());
+        let snapshot = tracker.snapshot();
+        let epoch_units = snapshot.units - prev_snapshot.units;
+        let epoch_max_units = snapshot.max_units - prev_snapshot.max_units;
+        let epoch_violations = snapshot.violations - prev_snapshot.violations;
+        prev_snapshot = snapshot;
+        // Per-epoch QoS ratio: a cumulative ratio would let one bad epoch
+        // poison the state signal for the rest of the episode.
+        let epoch_qos_ratio = if epoch_max_units > 0.0 {
+            (epoch_units / epoch_max_units).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+
+        for (c, r) in report.clusters.iter().enumerate() {
+            transitions += u64::from(r.transitions);
+            let max_level = (soc.config().clusters[c].opps.len() - 1).max(1);
+            level_frac_sum[c] += r.level as f64 / max_level as f64;
+            idle_gated_core_s += r.idle_gated_s;
+            idle_collapsed_core_s += r.idle_collapsed_s;
+        }
+
+        let state = SystemState::new(
+            soc.observe(&report),
+            QosFeedback {
+                qos_ratio: epoch_qos_ratio,
+                units: epoch_units,
+                violations: epoch_violations,
+                pending_jobs: soc.queued_jobs(),
+            },
+        );
+        if let Some(trace) = trace.as_mut() {
+            let mut row: Vec<f64> = Vec::with_capacity(2 * num_clusters + 2);
+            for r in &report.clusters {
+                row.push(r.level as f64);
+            }
+            for r in &report.clusters {
+                row.push(r.util_max);
+            }
+            row.push(report.energy_j / epoch.as_secs_f64());
+            row.push(epoch_units);
+            trace.record(report.ended_at, row);
+        }
+        request = governor.decide(&state);
+    }
+
+    let energy_j = soc.total_energy_j() - start_energy;
+    let unfinished = soc.queued_jobs() + soc.pending_arrivals();
+    let qos = tracker.finalize(unfinished);
+    let wall = (soc.now() - started_at).as_secs_f64();
+
+    RunMetrics {
+        energy_j,
+        energy_per_qos: qos.energy_per_qos(energy_j),
+        qos,
+        avg_power_w: energy_j / wall,
+        transitions,
+        epochs,
+        jobs_submitted: soc.jobs_submitted() - start_jobs,
+        mean_level_frac: level_frac_sum.iter().map(|s| s / epochs as f64).collect(),
+        idle_gated_core_s,
+        idle_collapsed_core_s,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::GovernorKind;
+    use soc::SocConfig;
+    use workload::ScenarioKind;
+
+    fn soc() -> Soc {
+        Soc::new(SocConfig::odroid_xu3_like().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn performance_beats_powersave_on_gaming_qos() {
+        let run_with = |kind: GovernorKind| {
+            let mut soc = soc();
+            let mut scenario = ScenarioKind::Gaming.build(1);
+            let mut governor = kind.build(soc.config());
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+        };
+        let perf = run_with(GovernorKind::Performance);
+        let save = run_with(GovernorKind::Powersave);
+        assert!(perf.qos.qos_ratio() > 0.95, "performance delivers: {:?}", perf.qos);
+        assert!(save.qos.qos_ratio() < 0.5, "powersave collapses: {:?}", save.qos);
+        assert!(perf.energy_j > 2.0 * save.energy_j);
+    }
+
+    #[test]
+    fn powersave_wins_energy_on_idle() {
+        let run_with = |kind: GovernorKind| {
+            let mut soc = soc();
+            let mut scenario = ScenarioKind::Idle.build(2);
+            let mut governor = kind.build(soc.config());
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+        };
+        let perf = run_with(GovernorKind::Performance);
+        let save = run_with(GovernorKind::Powersave);
+        assert!(save.energy_j < perf.energy_j / 2.0);
+        assert!(save.qos.qos_ratio() > 0.9, "idle is easy even at min OPP");
+    }
+
+    #[test]
+    fn ondemand_lands_between_the_extremes_on_video() {
+        let run_with = |kind: GovernorKind| {
+            let mut soc = soc();
+            let mut scenario = ScenarioKind::Video.build(3);
+            let mut governor = kind.build(soc.config());
+            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+        };
+        let perf = run_with(GovernorKind::Performance);
+        let od = run_with(GovernorKind::Ondemand);
+        assert!(od.energy_j < perf.energy_j, "ondemand saves energy vs performance");
+        assert!(od.qos.qos_ratio() > 0.85, "without giving up QoS: {:?}", od.qos);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let mut soc = soc();
+        let mut scenario = ScenarioKind::Camera.build(4);
+        let mut governor = GovernorKind::Schedutil.build(soc.config());
+        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(5));
+        assert_eq!(m.epochs, 250);
+        assert!(m.energy_j > 0.0);
+        assert!((m.avg_power_w - m.energy_j / 5.0).abs() < 1e-9);
+        assert!(m.energy_per_qos >= m.energy_j / m.qos.max_units.max(1.0));
+        assert_eq!(m.mean_level_frac.len(), 2);
+        assert!(m.mean_level_frac.iter().all(|f| (0.0..=1.0).contains(f)));
+        assert!(m.trace.is_none());
+    }
+
+    #[test]
+    fn trace_records_one_row_per_epoch() {
+        let mut soc = soc();
+        let mut scenario = ScenarioKind::Audio.build(5);
+        let mut governor = GovernorKind::Conservative.build(soc.config());
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig::seconds(2).with_trace(),
+        );
+        let trace = m.trace.expect("trace requested");
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.columns().len(), 6);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let go = || {
+            let mut soc = soc();
+            let mut scenario = ScenarioKind::Mixed.build(7);
+            let mut governor = GovernorKind::Interactive.build(soc.config());
+            let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(15));
+            (m.energy_j, m.qos, m.transitions)
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_duration_rejected() {
+        let mut soc = soc();
+        let mut scenario = ScenarioKind::Idle.build(1);
+        let mut governor = GovernorKind::Powersave.build(soc.config());
+        run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig {
+                duration: SimDuration::from_millis(1),
+                record_trace: false,
+            },
+        );
+    }
+}

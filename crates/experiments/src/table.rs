@@ -1,0 +1,207 @@
+//! Result tables: markdown rendering and CSV export.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new<I, S>(title: &str, header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            title: title.to_owned(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn push<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} does not match {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any filesystem error.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let ax = x.abs();
+    if ax == 0.0 {
+        "0".into()
+    } else if ax >= 100.0 {
+        format!("{x:.1}")
+    } else if ax >= 1.0 {
+        format!("{x:.3}")
+    } else if ax >= 1e-3 {
+        format!("{x:.5}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", ["policy", "energy"]);
+        t.push(["ondemand", "1.5"]);
+        t.push(["rlpm", "1.0"]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = table().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "### Demo");
+        assert!(lines[2].starts_with("| policy"));
+        assert!(lines[3].starts_with("|---"));
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", ["a"]);
+        t.push(["hello, \"world\""]);
+        assert_eq!(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        table().push(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.56), "1234.6");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(0.012345), "0.01235");
+        assert_eq!(fmt_f64(1.5e-6), "1.500e-6");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.3166), "31.66%");
+    }
+}

@@ -1,0 +1,175 @@
+//! The Linux `conservative` governor.
+//!
+//! Kernel algorithm (drivers/cpufreq/cpufreq_conservative.c): instead of
+//! jumping to max like `ondemand`, step gracefully:
+//!
+//! * load > `up_threshold` (default 80%): increase frequency by
+//!   `freq_step` (default 5% of the range);
+//! * load < `down_threshold` (default 20%): decrease by `freq_step`;
+//! * otherwise hold.
+//!
+//! The graceful ramp is battery-friendly but slow to react — the paper's
+//! bursty scenarios (web, app-launch) are exactly where it hurts QoS.
+
+use serde::{Deserialize, Serialize};
+
+use soc::LevelRequest;
+
+use crate::{Governor, SystemState};
+
+/// `conservative` tunables (kernel defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConservativeTunables {
+    /// Load above which to step up.
+    pub up_threshold: f64,
+    /// Load below which to step down.
+    pub down_threshold: f64,
+    /// Step size as a fraction of the frequency range.
+    pub freq_step: f64,
+}
+
+impl Default for ConservativeTunables {
+    fn default() -> Self {
+        ConservativeTunables {
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+            freq_step: 0.05,
+        }
+    }
+}
+
+/// Linux `conservative`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conservative {
+    tunables: ConservativeTunables,
+}
+
+impl Conservative {
+    /// Creates the governor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_threshold >= up_threshold` or `freq_step` is not in
+    /// `(0, 1]`.
+    pub fn new(tunables: ConservativeTunables) -> Self {
+        assert!(
+            tunables.down_threshold < tunables.up_threshold,
+            "down_threshold must be below up_threshold"
+        );
+        assert!(
+            tunables.freq_step > 0.0 && tunables.freq_step <= 1.0,
+            "freq_step must be in (0, 1]"
+        );
+        Conservative { tunables }
+    }
+}
+
+impl Governor for Conservative {
+    fn name(&self) -> &str {
+        "conservative"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let levels = state
+            .soc
+            .clusters
+            .iter()
+            .map(|c| {
+                let max_level = c.num_levels - 1;
+                // Step of at least one level.
+                let step = ((self.tunables.freq_step * max_level as f64).round() as usize).max(1);
+                if c.util_max > self.tunables.up_threshold {
+                    (c.level + step).min(max_level)
+                } else if c.util_max < self.tunables.down_threshold {
+                    c.level.saturating_sub(step)
+                } else {
+                    c.level
+                }
+            })
+            .collect();
+        LevelRequest::new(levels)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::synthetic_state;
+    use proptest::prelude::*;
+
+    const LITTLE: (u64, u64) = (200_000_000, 1_400_000_000);
+
+    fn state(util: f64, level: usize) -> SystemState {
+        synthetic_state(&[(util, level, 13, 600_000_000, LITTLE)])
+    }
+
+    #[test]
+    fn steps_up_under_load() {
+        let mut g = Conservative::new(Default::default());
+        assert_eq!(g.decide(&state(0.95, 4)).levels, vec![5]);
+    }
+
+    #[test]
+    fn steps_down_when_idle() {
+        let mut g = Conservative::new(Default::default());
+        assert_eq!(g.decide(&state(0.10, 4)).levels, vec![3]);
+    }
+
+    #[test]
+    fn holds_in_the_dead_band() {
+        let mut g = Conservative::new(Default::default());
+        for util in [0.21, 0.5, 0.79] {
+            assert_eq!(g.decide(&state(util, 6)).levels, vec![6], "util {util}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_table_edges() {
+        let mut g = Conservative::new(Default::default());
+        assert_eq!(g.decide(&state(0.95, 12)).levels, vec![12]);
+        assert_eq!(g.decide(&state(0.0, 0)).levels, vec![0]);
+    }
+
+    #[test]
+    fn larger_freq_step_moves_faster() {
+        let mut g = Conservative::new(ConservativeTunables {
+            freq_step: 0.25,
+            ..Default::default()
+        });
+        assert_eq!(g.decide(&state(0.95, 4)).levels, vec![7], "3-level step");
+    }
+
+    #[test]
+    #[should_panic(expected = "down_threshold")]
+    fn rejects_inverted_thresholds() {
+        Conservative::new(ConservativeTunables {
+            up_threshold: 0.2,
+            down_threshold: 0.8,
+            freq_step: 0.05,
+        });
+    }
+
+    proptest! {
+        /// The governor never moves more than one step per decision.
+        #[test]
+        fn prop_moves_at_most_one_step(util in 0.0f64..=1.0, level in 0usize..13) {
+            let mut g = Conservative::new(Default::default());
+            let next = g.decide(&state(util, level)).levels[0];
+            let diff = (next as i64 - level as i64).abs();
+            prop_assert!(diff <= 1, "level {level} -> {next}");
+        }
+
+        /// Monotone response: more load never yields a lower level from
+        /// the same starting point.
+        #[test]
+        fn prop_monotone_in_load(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0, level in 0usize..13) {
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let mut g = Conservative::new(Default::default());
+            let l_lo = g.decide(&state(lo, level)).levels[0];
+            let l_hi = g.decide(&state(hi, level)).levels[0];
+            prop_assert!(l_hi >= l_lo);
+        }
+    }
+}

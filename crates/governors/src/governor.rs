@@ -1,0 +1,135 @@
+//! The [`Governor`] trait and catalog.
+
+use soc::{LevelRequest, SocConfig};
+
+use crate::{
+    Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil, SystemState,
+    Userspace,
+};
+
+/// A DVFS policy: observes the system at each epoch boundary and picks the
+/// per-cluster frequency levels for the next epoch.
+pub trait Governor: Send {
+    /// Stable display name used in result tables.
+    fn name(&self) -> &str;
+
+    /// Picks levels for the next epoch.
+    fn decide(&mut self, state: &SystemState) -> LevelRequest;
+
+    /// Clears internal state between runs/episodes (hold timers, history);
+    /// learned parameters, if any, are *kept* — resetting them is a
+    /// policy-specific operation.
+    fn reset(&mut self);
+}
+
+/// Catalog of the baseline governors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GovernorKind {
+    /// Pin at maximum frequency.
+    Performance,
+    /// Pin at minimum frequency.
+    Powersave,
+    /// Linux `ondemand`.
+    Ondemand,
+    /// Linux `conservative`.
+    Conservative,
+    /// Android/Linux `interactive`.
+    Interactive,
+    /// Linux `schedutil`.
+    Schedutil,
+    /// Fixed operator-chosen levels.
+    Userspace,
+}
+
+impl GovernorKind {
+    /// The six governors the paper compares against, in table order.
+    pub const SIX_BASELINES: [GovernorKind; 6] = [
+        GovernorKind::Performance,
+        GovernorKind::Powersave,
+        GovernorKind::Ondemand,
+        GovernorKind::Conservative,
+        GovernorKind::Interactive,
+        GovernorKind::Schedutil,
+    ];
+
+    /// The governor's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GovernorKind::Performance => "performance",
+            GovernorKind::Powersave => "powersave",
+            GovernorKind::Ondemand => "ondemand",
+            GovernorKind::Conservative => "conservative",
+            GovernorKind::Interactive => "interactive",
+            GovernorKind::Schedutil => "schedutil",
+            GovernorKind::Userspace => "userspace",
+        }
+    }
+
+    /// Instantiates the governor with kernel-default tunables for the
+    /// given SoC.
+    pub fn build(self, config: &SocConfig) -> Box<dyn Governor> {
+        let n = config.clusters.len();
+        match self {
+            GovernorKind::Performance => Box::new(Performance::new()),
+            GovernorKind::Powersave => Box::new(Powersave::new()),
+            GovernorKind::Ondemand => Box::new(Ondemand::new(Default::default(), n)),
+            GovernorKind::Conservative => Box::new(Conservative::new(Default::default())),
+            GovernorKind::Interactive => Box::new(Interactive::new(Default::default(), n)),
+            GovernorKind::Schedutil => Box::new(Schedutil::new(Default::default(), n)),
+            GovernorKind::Userspace => {
+                // Default userspace pin: middle of each table.
+                let levels = config
+                    .clusters
+                    .iter()
+                    .map(|c| c.opps.max_level() / 2)
+                    .collect();
+                Box::new(Userspace::new(levels))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for GovernorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::synthetic_state;
+
+    #[test]
+    fn catalog_builds_and_names_match() {
+        let cfg = soc::SocConfig::odroid_xu3_like().unwrap();
+        for kind in GovernorKind::SIX_BASELINES {
+            let g = kind.build(&cfg);
+            assert_eq!(g.name(), kind.name());
+        }
+        let u = GovernorKind::Userspace.build(&cfg);
+        assert_eq!(u.name(), "userspace");
+    }
+
+    #[test]
+    fn every_governor_returns_correct_arity_and_valid_levels() {
+        let cfg = soc::SocConfig::odroid_xu3_like().unwrap();
+        let state = synthetic_state(&[
+            (0.7, 3, 13, 500_000_000, (200_000_000, 1_400_000_000)),
+            (0.9, 5, 19, 700_000_000, (200_000_000, 2_000_000_000)),
+        ]);
+        let mut kinds: Vec<GovernorKind> = GovernorKind::SIX_BASELINES.to_vec();
+        kinds.push(GovernorKind::Userspace);
+        for kind in kinds {
+            let mut g = kind.build(&cfg);
+            for _ in 0..5 {
+                let req = g.decide(&state);
+                assert_eq!(req.levels.len(), 2, "{kind}");
+                assert!(req.levels[0] < 13, "{kind} little level {}", req.levels[0]);
+                assert!(req.levels[1] < 19, "{kind} big level {}", req.levels[1]);
+            }
+            g.reset();
+        }
+    }
+}

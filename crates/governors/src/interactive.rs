@@ -1,0 +1,221 @@
+//! The Android/Linux `interactive` governor.
+//!
+//! Algorithm (drivers/cpufreq/cpufreq_interactive.c, the governor mobile
+//! vendors shipped for years):
+//!
+//! * when load exceeds `go_hispeed_load` (default 85% here; vendors used
+//!   85–99), burst at least to `hispeed_freq` (default 60% of max);
+//! * otherwise choose the frequency at which the current demand would
+//!   produce `target_load` (default 90%): `f_next = f_cur · load / target_load`;
+//! * never ramp *down* until the current frequency has been held for
+//!   `min_sample_time` (default 80 ms = 4 epochs), the anti-jank hold;
+//! * further raises above `hispeed_freq` wait `above_hispeed_delay`
+//!   (default 20 ms = 1 epoch).
+
+use serde::{Deserialize, Serialize};
+
+use soc::LevelRequest;
+
+use crate::ondemand::level_for_freq_ceiling;
+use crate::{Governor, SystemState};
+
+/// `interactive` tunables (epoch-granular defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveTunables {
+    /// Load that triggers the hispeed burst.
+    pub go_hispeed_load: f64,
+    /// Burst frequency as a fraction of the cluster max.
+    pub hispeed_freq_frac: f64,
+    /// Load the steady-state tracker aims for.
+    pub target_load: f64,
+    /// Epochs a frequency must be held before ramping down.
+    pub min_sample_epochs: u32,
+    /// Epochs to wait at/above hispeed before raising further.
+    pub above_hispeed_delay_epochs: u32,
+}
+
+impl Default for InteractiveTunables {
+    fn default() -> Self {
+        InteractiveTunables {
+            go_hispeed_load: 0.85,
+            hispeed_freq_frac: 0.60,
+            target_load: 0.90,
+            min_sample_epochs: 4,
+            above_hispeed_delay_epochs: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClusterState {
+    /// Epochs the current level has been held.
+    held: u32,
+    /// Epochs spent at/above hispeed waiting to raise further.
+    above_hispeed: u32,
+}
+
+/// Android `interactive`.
+#[derive(Debug, Clone)]
+pub struct Interactive {
+    tunables: InteractiveTunables,
+    per_cluster: Vec<ClusterState>,
+}
+
+impl Interactive {
+    /// Creates the governor for `num_clusters` clusters.
+    pub fn new(tunables: InteractiveTunables, num_clusters: usize) -> Self {
+        Interactive {
+            tunables,
+            per_cluster: vec![ClusterState::default(); num_clusters],
+        }
+    }
+}
+
+impl Governor for Interactive {
+    fn name(&self) -> &str {
+        "interactive"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let t = self.tunables;
+        let levels = state
+            .soc
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let cs = &mut self.per_cluster[i];
+                let max_level = c.num_levels - 1;
+                let (_, f_max) = c.freq_range_hz;
+                let hispeed_freq = (f_max as f64 * t.hispeed_freq_frac) as u64;
+                let hispeed_level = level_for_freq_ceiling(c, hispeed_freq);
+
+                // Steady-state target.
+                let f_target = (c.freq_hz as f64 * c.util_max / t.target_load) as u64;
+                let mut target = level_for_freq_ceiling(c, f_target);
+
+                // Burst rule.
+                if c.util_max >= t.go_hispeed_load {
+                    if c.level < hispeed_level {
+                        target = target.max(hispeed_level);
+                    } else {
+                        // Already at/above hispeed: raising further waits
+                        // out the above-hispeed delay.
+                        if target > c.level && cs.above_hispeed < t.above_hispeed_delay_epochs {
+                            cs.above_hispeed += 1;
+                            target = c.level;
+                        }
+                    }
+                } else {
+                    cs.above_hispeed = 0;
+                }
+
+                // Anti-jank hold: no down-ramps until min_sample_time.
+                let next = if target < c.level && cs.held < t.min_sample_epochs {
+                    c.level
+                } else {
+                    target.min(max_level)
+                };
+
+                if next == c.level {
+                    cs.held = cs.held.saturating_add(1);
+                } else {
+                    cs.held = 0;
+                }
+                next
+            })
+            .collect();
+        LevelRequest::new(levels)
+    }
+
+    fn reset(&mut self) {
+        self.per_cluster
+            .iter_mut()
+            .for_each(|c| *c = ClusterState::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::synthetic_state;
+
+    const LITTLE: (u64, u64) = (200_000_000, 1_400_000_000);
+
+    fn state(util: f64, level: usize, freq: u64) -> SystemState {
+        synthetic_state(&[(util, level, 13, freq, LITTLE)])
+    }
+
+    #[test]
+    fn bursts_to_hispeed_on_load() {
+        let mut g = Interactive::new(Default::default(), 1);
+        // Idle at bottom, sudden 100% load → at least hispeed (60% of
+        // 1.4 GHz = 840 MHz → level ceil((840-200)/1200*12) = 7).
+        let level = g.decide(&state(1.0, 0, 200_000_000)).levels[0];
+        assert!(level >= 7, "burst level {level}");
+    }
+
+    #[test]
+    fn tracks_target_load_in_closed_loop() {
+        // Closed loop: a fixed demand of 540 MHz-equivalents. Utilisation
+        // at frequency f is demand/f. Starting from max, the governor
+        // must come down off the top and then hover in a mid band (the
+        // real interactive dithers between the target-load point and the
+        // hispeed burst).
+        let mut g = Interactive::new(Default::default(), 1);
+        let demand_hz = 540.0e6;
+        let mut level: usize = 12;
+        let mut history = Vec::new();
+        for _ in 0..40 {
+            let freq = 200_000_000 + level as u64 * 100_000_000;
+            let util = (demand_hz / freq as f64).min(1.0);
+            level = g.decide(&state(util, level, freq)).levels[0];
+            history.push(level);
+        }
+        let tail = &history[20..];
+        assert!(tail.iter().all(|&l| (3..=8).contains(&l)), "tail {tail:?}");
+    }
+
+    #[test]
+    fn min_sample_time_prevents_immediate_downramp() {
+        let mut g = Interactive::new(Default::default(), 1);
+        // Start high with zero load: the first decisions must hold.
+        let first = g.decide(&state(0.0, 10, 1_200_000_000)).levels[0];
+        assert_eq!(first, 10, "held by min_sample_time");
+        // After the hold expires it drops.
+        let mut level = first;
+        for _ in 0..6 {
+            level = g
+                .decide(&state(0.0, level, 200_000_000 + level as u64 * 100_000_000))
+                .levels[0];
+        }
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn above_hispeed_delay_gates_further_raises() {
+        let tun = InteractiveTunables {
+            above_hispeed_delay_epochs: 2,
+            ..Default::default()
+        };
+        let mut g = Interactive::new(tun, 1);
+        // Saturated at level 7 (900 MHz): the steady-state target is
+        // 900/0.9 = 1 GHz (level 8), but the raise above hispeed is
+        // delayed two epochs.
+        let l1 = g.decide(&state(1.0, 7, 900_000_000)).levels[0];
+        assert_eq!(l1, 7, "first epoch: wait");
+        let l2 = g.decide(&state(1.0, 7, 900_000_000)).levels[0];
+        assert_eq!(l2, 7, "second epoch: wait");
+        let l3 = g.decide(&state(1.0, 7, 900_000_000)).levels[0];
+        assert_eq!(l3, 8, "then raise one target step");
+    }
+
+    #[test]
+    fn reset_clears_holds() {
+        let mut g = Interactive::new(Default::default(), 1);
+        g.decide(&state(0.0, 10, 1_200_000_000));
+        g.reset();
+        let level = g.decide(&state(0.0, 10, 1_200_000_000)).levels[0];
+        assert_eq!(level, 10, "hold restarts after reset");
+    }
+}

@@ -1,0 +1,56 @@
+//! # governors — the six baseline DVFS governors
+//!
+//! The paper reports its policy's energy-per-QoS against "the previous six
+//! dynamic voltage/frequency scaling governors" — the standard Linux
+//! cpufreq set. This crate reimplements their decision rules from the
+//! published kernel algorithms, at the DVFS-epoch granularity of the
+//! [`soc`] simulator:
+//!
+//! | Governor | Rule |
+//! |---|---|
+//! | [`Performance`] | pin every cluster at the top OPP |
+//! | [`Powersave`] | pin every cluster at the bottom OPP |
+//! | [`Ondemand`] | jump to max above `up_threshold`, else proportional; `sampling_down_factor` holds high levels |
+//! | [`Conservative`] | step up/down by `freq_step` between `down_threshold` and `up_threshold` |
+//! | [`Interactive`] | burst to `hispeed_freq` on load, then track `target_load`, with `min_sample_time` hold |
+//! | [`Schedutil`] | `f = 1.25 · f_max · capacity_utilisation`, with down-rate limiting |
+//! | [`Userspace`] | fixed operator-chosen levels (used for sweeps, not part of the six) |
+//!
+//! All of them implement the [`Governor`] trait, the same interface the
+//! paper's RL policy (crate `rlpm`) plugs into.
+//!
+//! ```
+//! use governors::{Governor, GovernorKind, SystemState};
+//! use soc::{Soc, SocConfig, LevelRequest};
+//!
+//! let mut soc = Soc::new(SocConfig::symmetric_quad()?)?;
+//! let mut governor = GovernorKind::Ondemand.build(soc.config());
+//! let report = soc.run_epoch(&LevelRequest::min(soc.config()))?;
+//! let state = SystemState::new(soc.observe(&report), Default::default());
+//! let request = governor.decide(&state);
+//! assert_eq!(request.levels.len(), 1);
+//! # Ok::<(), soc::SocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod conservative;
+mod governor;
+mod interactive;
+mod ondemand;
+mod performance;
+mod powersave;
+mod schedutil;
+pub mod state;
+mod userspace;
+
+pub use conservative::{Conservative, ConservativeTunables};
+pub use governor::{Governor, GovernorKind};
+pub use interactive::{Interactive, InteractiveTunables};
+pub use ondemand::{Ondemand, OndemandTunables};
+pub use performance::Performance;
+pub use powersave::Powersave;
+pub use schedutil::{Schedutil, SchedutilTunables};
+pub use state::{QosFeedback, SystemState};
+pub use userspace::Userspace;

@@ -1,0 +1,55 @@
+//! The `performance` governor: every cluster pinned at its top OPP.
+//! Best-possible QoS, worst-possible energy — one end of the envelope the
+//! paper's policy is judged against.
+
+use soc::LevelRequest;
+
+use crate::{Governor, SystemState};
+
+/// Pin at maximum frequency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Performance;
+
+impl Performance {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        Performance
+    }
+}
+
+impl Governor for Performance {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        LevelRequest::new(
+            state
+                .soc
+                .clusters
+                .iter()
+                .map(|c| c.num_levels - 1)
+                .collect(),
+        )
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::synthetic_state;
+
+    #[test]
+    fn always_top_level_regardless_of_load() {
+        let mut g = Performance::new();
+        for util in [0.0, 0.5, 1.0] {
+            let s = synthetic_state(&[
+                (util, 0, 13, 200_000_000, (200_000_000, 1_400_000_000)),
+                (util, 0, 19, 200_000_000, (200_000_000, 2_000_000_000)),
+            ]);
+            assert_eq!(g.decide(&s).levels, vec![12, 18]);
+        }
+    }
+}

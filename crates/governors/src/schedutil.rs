@@ -1,0 +1,172 @@
+//! The Linux `schedutil` governor.
+//!
+//! Kernel algorithm (kernel/sched/cpufreq_schedutil.c): pick
+//!
+//! ```text
+//! f_next = C · f_max · util_cap,   C = 1.25  ("headroom")
+//! ```
+//!
+//! where `util_cap` is the capacity-normalised utilisation
+//! (`util · f_cur / f_max` in this simulator's frequency-relative terms),
+//! rounded up to an OPP. Frequency *reductions* are rate-limited
+//! (`rate_limit_down_epochs`); increases apply immediately.
+
+use serde::{Deserialize, Serialize};
+
+use soc::LevelRequest;
+
+use crate::ondemand::level_for_freq_ceiling;
+use crate::{Governor, SystemState};
+
+/// `schedutil` tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedutilTunables {
+    /// Headroom multiplier applied to the utilisation (kernel: 1.25).
+    pub headroom: f64,
+    /// Epochs to wait before applying a *lower* frequency.
+    pub rate_limit_down_epochs: u32,
+}
+
+impl Default for SchedutilTunables {
+    fn default() -> Self {
+        SchedutilTunables {
+            headroom: 1.25,
+            rate_limit_down_epochs: 1,
+        }
+    }
+}
+
+/// Linux `schedutil`.
+#[derive(Debug, Clone)]
+pub struct Schedutil {
+    tunables: SchedutilTunables,
+    /// Epochs each cluster has been waiting to go down.
+    down_wait: Vec<u32>,
+}
+
+impl Schedutil {
+    /// Creates the governor for `num_clusters` clusters.
+    pub fn new(tunables: SchedutilTunables, num_clusters: usize) -> Self {
+        Schedutil {
+            tunables,
+            down_wait: vec![0; num_clusters],
+        }
+    }
+}
+
+impl Governor for Schedutil {
+    fn name(&self) -> &str {
+        "schedutil"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let levels = state
+            .soc
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (_, f_max) = c.freq_range_hz;
+                let util_cap = c.util_max * c.freq_hz as f64 / f_max as f64;
+                let f_next = (self.tunables.headroom * f_max as f64 * util_cap) as u64;
+                let target = level_for_freq_ceiling(c, f_next);
+                if target >= c.level {
+                    self.down_wait[i] = 0;
+                    target
+                } else if self.down_wait[i] < self.tunables.rate_limit_down_epochs {
+                    self.down_wait[i] += 1;
+                    c.level
+                } else {
+                    self.down_wait[i] = 0;
+                    target
+                }
+            })
+            .collect();
+        LevelRequest::new(levels)
+    }
+
+    fn reset(&mut self) {
+        self.down_wait.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::synthetic_state;
+    use proptest::prelude::*;
+
+    const LITTLE: (u64, u64) = (200_000_000, 1_400_000_000);
+
+    fn state(util: f64, level: usize, freq: u64) -> SystemState {
+        synthetic_state(&[(util, level, 13, freq, LITTLE)])
+    }
+
+    #[test]
+    fn saturated_at_max_stays_at_max() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        assert_eq!(g.decide(&state(1.0, 12, 1_400_000_000)).levels, vec![12]);
+    }
+
+    #[test]
+    fn headroom_overprovisions() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        // 60% at max capacity → f = 1.25·0.6·1.4G = 1.05 GHz → level
+        // ceil((1050-200)/1200*12) = 9. The first decision is a down-move
+        // and is rate-limited; the second applies.
+        assert_eq!(g.decide(&state(0.60, 12, 1_400_000_000)).levels, vec![12]);
+        assert_eq!(g.decide(&state(0.60, 12, 1_400_000_000)).levels, vec![9]);
+    }
+
+    #[test]
+    fn capacity_invariance() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        // 100% at 200 MHz = 14.3% capacity → f = 1.25·0.143·1.4G =
+        // 250 MHz → level 1.
+        assert_eq!(g.decide(&state(1.0, 0, 200_000_000)).levels, vec![1]);
+    }
+
+    #[test]
+    fn down_moves_are_rate_limited() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        // High level, idle: first decision holds, second drops.
+        assert_eq!(g.decide(&state(0.0, 10, 1_200_000_000)).levels, vec![10]);
+        assert_eq!(g.decide(&state(0.0, 10, 1_200_000_000)).levels, vec![0]);
+    }
+
+    #[test]
+    fn up_moves_are_immediate() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        // util_cap = 500/1400, f = 1.25·500 MHz = 625 MHz → level
+        // ceil((625-200)/1200·12) = 5, applied on the very first decision.
+        assert_eq!(g.decide(&state(1.0, 3, 500_000_000)).levels, vec![5]);
+    }
+
+    #[test]
+    fn reset_clears_rate_limit() {
+        let mut g = Schedutil::new(Default::default(), 1);
+        g.decide(&state(0.0, 10, 1_200_000_000));
+        g.reset();
+        // After reset the hold starts again.
+        assert_eq!(g.decide(&state(0.0, 10, 1_200_000_000)).levels, vec![10]);
+    }
+
+    proptest! {
+        /// The chosen frequency always provides at least the measured
+        /// demand (modulo the table top).
+        #[test]
+        fn prop_never_underprovisions(util in 0.0f64..=1.0, level in 0usize..13) {
+            let freq = 200_000_000 + level as u64 * 100_000_000;
+            let mut g = Schedutil::new(Default::default(), 1);
+            // Run twice so rate limiting cannot mask the target.
+            g.decide(&state(util, level, freq));
+            let next = g.decide(&state(util, level, freq)).levels[0];
+            let f_next = 200_000_000 + next as u64 * 100_000_000;
+            let demand_hz = util * freq as f64;
+            prop_assert!(
+                f_next as f64 >= demand_hz.min(1_400_000_000.0) - 1.0,
+                "chose {f_next} for demand {demand_hz}"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The observation a governor decides on.
+
+use serde::{Deserialize, Serialize};
+
+use soc::EpochObservation;
+
+/// QoS feedback for the epoch just finished. The Linux baselines ignore
+/// it (they are QoS-blind, as on a real device); the RL policy consumes
+/// it as part of its state and reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosFeedback {
+    /// Delivered / achievable QoS over the recent window, in `[0, 1]`.
+    pub qos_ratio: f64,
+    /// QoS units delivered during the epoch just finished (weighted,
+    /// decay-discounted completions).
+    pub units: f64,
+    /// Deadline-bearing jobs that violated their tolerance in the epoch.
+    pub violations: u64,
+    /// Jobs still queued (a leading indicator of upcoming misses).
+    pub pending_jobs: usize,
+}
+
+impl Default for QosFeedback {
+    fn default() -> Self {
+        QosFeedback {
+            qos_ratio: 1.0,
+            units: 0.0,
+            violations: 0,
+            pending_jobs: 0,
+        }
+    }
+}
+
+/// Everything a governor sees at an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    /// The SoC-side observation (per-cluster utilisation, levels,
+    /// temperature, energy).
+    pub soc: EpochObservation,
+    /// The QoS-side feedback.
+    pub qos: QosFeedback,
+}
+
+impl SystemState {
+    /// Bundles an observation with QoS feedback.
+    pub fn new(soc: EpochObservation, qos: QosFeedback) -> Self {
+        SystemState { soc, qos }
+    }
+
+    /// Number of clusters in the observation.
+    pub fn num_clusters(&self) -> usize {
+        self.soc.clusters.len()
+    }
+}
+
+/// Test/bench helper: builds a synthetic single-purpose state.
+///
+/// Exposed because downstream crates (`rlpm`, `experiments`, benches) need
+/// to drive governors open-loop with controlled utilisation patterns.
+pub fn synthetic_state(per_cluster: &[(f64, usize, usize, u64, (u64, u64))]) -> SystemState {
+    use soc::ClusterObservation;
+    SystemState {
+        soc: EpochObservation {
+            at: simkit::SimTime::ZERO,
+            clusters: per_cluster
+                .iter()
+                .map(|&(util, level, num_levels, freq_hz, freq_range_hz)| ClusterObservation {
+                    util_avg: util,
+                    util_max: util,
+                    level,
+                    num_levels,
+                    freq_hz,
+                    freq_range_hz,
+                    temp_c: 40.0,
+                    throttled: false,
+                    queued: 0,
+                })
+                .collect(),
+            energy_j: 0.0,
+        },
+        qos: QosFeedback::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_feedback_is_clean() {
+        let q = QosFeedback::default();
+        assert_eq!(q.qos_ratio, 1.0);
+        assert_eq!(q.violations, 0);
+        assert_eq!(q.pending_jobs, 0);
+    }
+
+    #[test]
+    fn synthetic_state_shape() {
+        let s = synthetic_state(&[(0.5, 2, 13, 600_000_000, (200_000_000, 1_400_000_000))]);
+        assert_eq!(s.num_clusters(), 1);
+        assert_eq!(s.soc.clusters[0].util_max, 0.5);
+        assert_eq!(s.soc.clusters[0].level, 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! The CPU-side driver: a [`Governor`] that makes its decisions by
+//! talking to the policy engine over the register interface — the
+//! closed-loop form of the paper's hardware-implemented policy.
+
+use governors::{Governor, SystemState};
+use serde::{Deserialize, Serialize};
+use simkit::stats::Running;
+use simkit::SimDuration;
+use soc::LevelRequest;
+
+use rlpm::fixed::Fx;
+use rlpm::reward::{EpochOutcome, RewardFn};
+use rlpm::{Action, ActionSpace, Predictor, RlConfig, StateIndex, StateSpace};
+
+use crate::mmio::{regs, CTRL_START_DECIDE, CTRL_START_UPDATE};
+use crate::{AxiLiteBus, HwConfig, PolicyEngine, PolicyMmio};
+
+/// How the CPU learns that the engine finished.
+///
+/// Polling reads `STATUS` until `DONE`; each poll is a full bus read, and
+/// the first one cannot observe completion earlier than the engine's own
+/// compute time. An interrupt line skips the status traffic entirely at
+/// the cost of the SoC's IRQ delivery latency — cheaper for this engine
+/// only when the interrupt path is faster than one status read, which is
+/// exactly the trade-off E4's distribution table shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriverMode {
+    /// Busy-poll `STATUS` over the bus.
+    Polling,
+    /// Wait for the completion interrupt (fixed delivery latency), then
+    /// read the result.
+    Interrupt {
+        /// IRQ delivery + handler entry latency.
+        irq_latency: SimDuration,
+    },
+}
+
+impl Default for DriverMode {
+    fn default() -> Self {
+        DriverMode::Polling
+    }
+}
+
+/// A governor whose brain is the hardware engine.
+#[derive(Debug, Clone)]
+pub struct HwPolicyDriver {
+    bus: AxiLiteBus<PolicyMmio>,
+    mode: DriverMode,
+    states: StateSpace,
+    actions: ActionSpace,
+    predictor: Predictor,
+    reward_fn: RewardFn,
+    prev: Option<(StateIndex, Action)>,
+    training: bool,
+    /// Per-epoch end-to-end decision latency (bus + fabric).
+    latency: Running,
+    engine_clock_hz: u64,
+}
+
+impl HwPolicyDriver {
+    /// Builds the driver, engine and bus for a policy configuration.
+    pub fn new(hw: HwConfig, rl: &RlConfig) -> Self {
+        let engine = PolicyEngine::new(hw, rl);
+        let engine_clock_hz = engine.config().clock_hz;
+        HwPolicyDriver {
+            bus: AxiLiteBus::new(PolicyMmio::new(engine)),
+            mode: DriverMode::Polling,
+            states: StateSpace::new(rl),
+            actions: ActionSpace::new(rl),
+            predictor: Predictor::new(rl),
+            reward_fn: RewardFn::from_config(rl),
+            prev: None,
+            training: true,
+            latency: Running::new(),
+            engine_clock_hz,
+        }
+    }
+
+    /// Enables/disables on-line training (update transactions).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Selects how completion is detected (polling vs interrupt).
+    pub fn set_mode(&mut self, mode: DriverMode) {
+        self.mode = mode;
+    }
+
+    /// The completion-detection mode in use.
+    pub fn mode(&self) -> DriverMode {
+        self.mode
+    }
+
+    /// Time from issuing `CTRL` to knowing the engine is done, charged
+    /// according to the driver mode. The engine's compute time overlaps
+    /// with the wait in either mode.
+    fn completion_wait(&mut self, compute: SimDuration) -> SimDuration {
+        match self.mode {
+            DriverMode::Polling => {
+                // The status read cannot complete before the engine does.
+                let (_, t) = self.bus.read(regs::STATUS);
+                compute.max(t)
+            }
+            DriverMode::Interrupt { irq_latency } => compute + irq_latency,
+        }
+    }
+
+    /// Loads a software-trained Q-table into the engine over the `QADDR`/
+    /// `QDATA` port, exactly as the real driver would after offline
+    /// training. Returns the bus time the bulk load took.
+    pub fn load_table(&mut self, table: &rlpm::QTable) -> SimDuration {
+        let mut spent = SimDuration::ZERO;
+        spent += self.bus.write(regs::QADDR, 0);
+        for &v in table.values() {
+            spent += self.bus.write(regs::QDATA, Fx::from_f64(v).to_bits() as u32);
+        }
+        spent
+    }
+
+    /// The engine behind the bus.
+    pub fn engine(&self) -> &PolicyEngine {
+        self.bus.device().engine()
+    }
+
+    /// Statistics over per-epoch end-to-end decision latency.
+    pub fn latency_stats(&self) -> &Running {
+        &self.latency
+    }
+
+    /// Bus transaction counters.
+    pub fn bus_stats(&self) -> crate::BusStats {
+        self.bus.stats()
+    }
+
+    fn engine_op_latency(&self) -> SimDuration {
+        // The CTRL write returns after the model ran the FSM; charge its
+        // cycle count at the fabric clock explicitly.
+        let cycles = self.bus.device().engine().cycles_of_last_op();
+        SimDuration::from_secs_f64(cycles as f64 / self.engine_clock_hz as f64)
+    }
+}
+
+impl Governor for HwPolicyDriver {
+    fn name(&self) -> &str {
+        "rlpm-hw"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        self.predictor.observe(state);
+        let s = self.states.encode(state, &self.predictor);
+        let mut spent = SimDuration::ZERO;
+
+        if self.training {
+            if let Some((ps, pa)) = self.prev {
+                let r = self.reward_fn.reward(&EpochOutcome {
+                    qos_units: state.qos.units,
+                    energy_j: state.soc.energy_j,
+                    violations: state.qos.violations,
+                    pending_jobs: state.qos.pending_jobs,
+                });
+                spent += self.bus.write(regs::STATE, ps as u32);
+                spent += self.bus.write(regs::PREV_ACTION, pa as u32);
+                spent += self.bus.write(regs::NEXT_STATE, s as u32);
+                spent += self.bus.write(regs::REWARD, Fx::from_f64(r).to_bits() as u32);
+                spent += self.bus.write(regs::CTRL, CTRL_START_UPDATE);
+                let compute = self.engine_op_latency();
+                spent += self.completion_wait(compute);
+            }
+        }
+
+        spent += self.bus.write(regs::STATE, s as u32);
+        spent += self.bus.write(regs::CTRL, CTRL_START_DECIDE);
+        let compute = self.engine_op_latency();
+        spent += self.completion_wait(compute);
+        let (action, t) = self.bus.read(regs::ACTION);
+        spent += t;
+
+        self.latency.add(spent.as_secs_f64());
+        let action = action as Action;
+        self.prev = Some((s, action));
+        let current: Vec<usize> = state.soc.clusters.iter().map(|c| c.level).collect();
+        self.actions.apply(&current, action)
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+        self.predictor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::state::synthetic_state;
+    use soc::SocConfig;
+
+    fn driver() -> HwPolicyDriver {
+        let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        HwPolicyDriver::new(HwConfig::default(), &rl)
+    }
+
+    fn obs(util: f64, level: usize) -> SystemState {
+        let mut s = synthetic_state(&[(
+            util,
+            level,
+            11,
+            300_000_000 + level as u64 * 150_000_000,
+            (300_000_000, 1_800_000_000),
+        )]);
+        s.soc.energy_j = 0.03;
+        s.qos.units = 0.8;
+        s
+    }
+
+    #[test]
+    fn decisions_are_valid_and_latency_is_tracked() {
+        let mut d = driver();
+        for i in 0..10 {
+            let req = d.decide(&obs(0.5, i % 11));
+            assert_eq!(req.levels.len(), 1);
+            assert!(req.levels[0] < 11);
+        }
+        assert_eq!(d.latency_stats().count(), 10);
+        // Every epoch costs on the order of a microsecond.
+        let mean = d.latency_stats().mean();
+        assert!(mean > 0.2e-6 && mean < 10e-6, "mean latency {mean}");
+    }
+
+    #[test]
+    fn training_updates_the_engine_table() {
+        let mut d = driver();
+        let before: Vec<i32> = (0..20)
+            .map(|i| d.engine().agent().table().get(i, 0).to_bits())
+            .collect();
+        for i in 0..200 {
+            d.decide(&obs((i % 10) as f64 / 10.0, i % 11));
+        }
+        let after: Vec<i32> = (0..20)
+            .map(|i| d.engine().agent().table().get(i, 0).to_bits())
+            .collect();
+        assert_ne!(before, after, "table must learn");
+        let (decisions, updates) = d.engine().op_counts();
+        assert_eq!(decisions, 200);
+        assert_eq!(updates, 199, "first decision has no prior transition");
+    }
+
+    #[test]
+    fn frozen_driver_performs_no_updates() {
+        let mut d = driver();
+        d.set_training(false);
+        for i in 0..50 {
+            d.decide(&obs(0.5, i % 11));
+        }
+        assert_eq!(d.engine().op_counts().1, 0);
+        // Decision-only traffic: 2 writes + 2 reads per epoch.
+        assert_eq!(d.bus_stats().writes, 100);
+        assert_eq!(d.bus_stats().reads, 100);
+    }
+
+    #[test]
+    fn interrupt_mode_trades_status_reads_for_irq_latency() {
+        let mut polling = driver();
+        polling.set_training(false);
+        let mut irq_fast = driver();
+        irq_fast.set_training(false);
+        irq_fast.set_mode(DriverMode::Interrupt {
+            irq_latency: SimDuration::from_nanos(40),
+        });
+        let mut irq_slow = driver();
+        irq_slow.set_training(false);
+        irq_slow.set_mode(DriverMode::Interrupt {
+            irq_latency: SimDuration::from_micros(2),
+        });
+        for i in 0..50 {
+            polling.decide(&obs(0.5, i % 11));
+            irq_fast.decide(&obs(0.5, i % 11));
+            irq_slow.decide(&obs(0.5, i % 11));
+        }
+        // A fast IRQ beats polling; a slow one loses to it.
+        assert!(irq_fast.latency_stats().mean() < polling.latency_stats().mean());
+        assert!(irq_slow.latency_stats().mean() > polling.latency_stats().mean());
+        // Interrupt mode issues no STATUS reads: only the ACTION read.
+        assert_eq!(irq_fast.bus_stats().reads, 50);
+        assert_eq!(polling.bus_stats().reads, 100);
+    }
+
+    #[test]
+    fn table_load_round_trips() {
+        let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        let mut d = HwPolicyDriver::new(HwConfig::default(), &rl);
+        let mut table = rlpm::QTable::new(rl.num_states(), rl.num_actions(), 0.0);
+        table.set(3, 2, 1.5);
+        table.set(7, 4, -2.25);
+        let spent = d.load_table(&table);
+        assert!(spent > SimDuration::ZERO);
+        assert_eq!(d.engine().agent().table().get(3, 2).to_f64(), 1.5);
+        assert_eq!(d.engine().agent().table().get(7, 4).to_f64(), -2.25);
+    }
+
+    #[test]
+    fn reset_clears_transition_but_keeps_table() {
+        let mut d = driver();
+        for i in 0..20 {
+            d.decide(&obs(0.7, i % 11));
+        }
+        let table_before: Vec<i32> = (0..10)
+            .map(|i| d.engine().agent().table().get(i, 0).to_bits())
+            .collect();
+        let updates = d.engine().op_counts().1;
+        d.reset();
+        d.decide(&obs(0.7, 0));
+        assert_eq!(d.engine().op_counts().1, updates, "no update across episodes");
+        let table_after: Vec<i32> = (0..10)
+            .map(|i| d.engine().agent().table().get(i, 0).to_bits())
+            .collect();
+        assert_eq!(table_before, table_after);
+    }
+}

@@ -1,0 +1,487 @@
+//! Cycle-level model of the Q-learning policy engine.
+//!
+//! The datapath mirrors what a small FPGA implementation of a tabular
+//! policy looks like:
+//!
+//! * the Q-table lives in `bram_banks` parallel BRAMs, action-interleaved,
+//!   so one state's row is fetched in `⌈A/banks⌉` beats after the BRAM
+//!   read latency;
+//! * a binary comparator tree reduces the row to the argmax in
+//!   `⌈log₂ A⌉` pipelined stages (left operand wins ties — the same
+//!   lowest-index semantics as [`FxQTable::argmax`]);
+//! * the TD-update pipeline computes `Q + α·(r + γ·max − Q)` in five
+//!   single-cycle fixed-point ALU stages and writes back in one.
+//!
+//! The FSM is ticked one clock cycle at a time; functional results are
+//! bit-exact against [`FxAgent`].
+
+use serde::{Deserialize, Serialize};
+
+use rlpm::fixed::Fx;
+use rlpm::{Action, RlConfig, StateIndex};
+
+use crate::{FxAgent, FxQTable};
+
+/// Hardware build parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Engine clock (Hz). 100 MHz is a conservative FPGA fabric clock.
+    pub clock_hz: u64,
+    /// Parallel BRAM banks holding the Q-table.
+    pub bram_banks: usize,
+    /// BRAM synchronous read latency in cycles.
+    pub bram_read_latency: u64,
+    /// Fixed-point learning rate baked into the update pipeline.
+    pub alpha: Fx,
+    /// Fixed-point discount factor.
+    pub gamma: Fx,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig {
+            clock_hz: 100_000_000,
+            bram_banks: 8,
+            bram_read_latency: 2,
+            alpha: Fx::from_f64(0.25),
+            gamma: Fx::from_f64(0.85),
+        }
+    }
+}
+
+/// The engine's FSM phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnginePhase {
+    /// Waiting for a command.
+    Idle,
+    /// Latching the state registers.
+    Latch,
+    /// Streaming a Q-row out of the BRAMs.
+    FetchRow,
+    /// Reducing through the comparator tree.
+    Reduce,
+    /// TD arithmetic (update only).
+    TdCompute,
+    /// Writing the updated entry back (update only).
+    WriteBack,
+    /// Raising `done` with the action registered (decision only).
+    Output,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Decide {
+        state: StateIndex,
+    },
+    Update {
+        state: StateIndex,
+        action: Action,
+        reward: Fx,
+        next_state: StateIndex,
+    },
+}
+
+/// The cycle-level policy engine.
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    config: HwConfig,
+    agent: FxAgent,
+    phase: EnginePhase,
+    phase_left: u64,
+    op: Option<Op>,
+    cycles_this_op: u64,
+    total_cycles: u64,
+    action_out: Action,
+    decisions: u64,
+    updates: u64,
+}
+
+impl PolicyEngine {
+    /// Builds an engine sized for the given policy configuration, with
+    /// the Q-table initialised to the policy's optimistic init value.
+    pub fn new(config: HwConfig, rl: &RlConfig) -> Self {
+        assert!(config.bram_banks > 0, "need at least one BRAM bank");
+        assert!(config.clock_hz > 0, "clock must be positive");
+        let table = FxQTable::new(rl.num_states(), rl.num_actions(), Fx::from_f64(rl.q_init));
+        PolicyEngine {
+            agent: FxAgent::new(table, config.alpha, config.gamma),
+            config,
+            phase: EnginePhase::Idle,
+            phase_left: 0,
+            op: None,
+            cycles_this_op: 0,
+            total_cycles: 0,
+            action_out: 0,
+            decisions: 0,
+            updates: 0,
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.config
+    }
+
+    /// The fixed-point agent backing the datapath (table load/inspect).
+    pub fn agent(&self) -> &FxAgent {
+        &self.agent
+    }
+
+    /// Mutable agent access (table load over the register interface).
+    pub fn agent_mut(&mut self) -> &mut FxAgent {
+        &mut self.agent
+    }
+
+    /// Current FSM phase.
+    pub fn phase(&self) -> EnginePhase {
+        self.phase
+    }
+
+    /// Whether an operation is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.phase != EnginePhase::Idle
+    }
+
+    /// The action register (valid after a decision completes).
+    pub fn action_out(&self) -> Action {
+        self.action_out
+    }
+
+    /// Cycles consumed by the most recent (or in-flight) operation.
+    pub fn cycles_of_last_op(&self) -> u64 {
+        self.cycles_this_op
+    }
+
+    /// Total cycles ticked since construction.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Completed decision / update counts.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.decisions, self.updates)
+    }
+
+    fn row_fetch_cycles(&self) -> u64 {
+        let a = self.agent.table().num_actions() as u64;
+        let banks = self.config.bram_banks as u64;
+        self.config.bram_read_latency + a.div_ceil(banks) - 1
+    }
+
+    fn reduce_cycles(&self) -> u64 {
+        let a = self.agent.table().num_actions() as u64;
+        (64 - (a - 1).leading_zeros() as u64).max(1)
+    }
+
+    /// Closed-form cycles for one decision (latch + fetch + reduce +
+    /// output).
+    pub fn decision_cycles(&self) -> u64 {
+        1 + self.row_fetch_cycles() + self.reduce_cycles() + 1
+    }
+
+    /// Closed-form cycles for one TD update (latch + fetch next row +
+    /// reduce + 5 ALU stages + write-back).
+    pub fn update_cycles(&self) -> u64 {
+        1 + self.row_fetch_cycles() + self.reduce_cycles() + 5 + 1
+    }
+
+    /// Latency of one decision at the configured clock.
+    pub fn decision_latency(&self) -> simkit::SimDuration {
+        simkit::SimDuration::from_secs_f64(self.decision_cycles() as f64 / self.config.clock_hz as f64)
+    }
+
+    /// Starts a decision for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is busy or `state` is out of range — the MMIO
+    /// wrapper checks `STATUS` before issuing, so reaching either
+    /// condition is a driver bug.
+    pub fn start_decision(&mut self, state: StateIndex) {
+        assert!(!self.is_busy(), "start_decision while busy");
+        assert!(state < self.agent.table().num_states(), "state out of range");
+        self.op = Some(Op::Decide { state });
+        self.phase = EnginePhase::Latch;
+        self.phase_left = 1;
+        self.cycles_this_op = 0;
+    }
+
+    /// Starts a TD update for the transition `(s, a) → (r, s')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is busy or any index is out of range.
+    pub fn start_update(
+        &mut self,
+        state: StateIndex,
+        action: Action,
+        reward: Fx,
+        next_state: StateIndex,
+    ) {
+        assert!(!self.is_busy(), "start_update while busy");
+        let t = self.agent.table();
+        assert!(state < t.num_states() && next_state < t.num_states(), "state out of range");
+        assert!(action < t.num_actions(), "action out of range");
+        self.op = Some(Op::Update {
+            state,
+            action,
+            reward,
+            next_state,
+        });
+        self.phase = EnginePhase::Latch;
+        self.phase_left = 1;
+        self.cycles_this_op = 0;
+    }
+
+    /// Advances one clock cycle. Returns `true` when the in-flight
+    /// operation completed on this cycle.
+    pub fn tick(&mut self) -> bool {
+        if self.phase == EnginePhase::Idle {
+            self.total_cycles += 1;
+            return false;
+        }
+        self.total_cycles += 1;
+        self.cycles_this_op += 1;
+        self.phase_left -= 1;
+        if self.phase_left > 0 {
+            return false;
+        }
+        // Phase boundary: advance the FSM.
+        let op = self.op.expect("busy engine has an op");
+        match (self.phase, op) {
+            (EnginePhase::Latch, _) => {
+                self.phase = EnginePhase::FetchRow;
+                self.phase_left = self.row_fetch_cycles();
+                false
+            }
+            (EnginePhase::FetchRow, _) => {
+                self.phase = EnginePhase::Reduce;
+                self.phase_left = self.reduce_cycles();
+                false
+            }
+            (EnginePhase::Reduce, Op::Decide { state }) => {
+                // Comparator tree result registered at the end of the
+                // reduce phase.
+                self.action_out = self.agent.greedy_action(state);
+                self.phase = EnginePhase::Output;
+                self.phase_left = 1;
+                false
+            }
+            (EnginePhase::Reduce, Op::Update { .. }) => {
+                self.phase = EnginePhase::TdCompute;
+                self.phase_left = 5;
+                false
+            }
+            (EnginePhase::TdCompute, Op::Update { .. }) => {
+                self.phase = EnginePhase::WriteBack;
+                self.phase_left = 1;
+                false
+            }
+            (EnginePhase::WriteBack, Op::Update { state, action, reward, next_state }) => {
+                self.agent.update(state, action, reward, next_state);
+                self.updates += 1;
+                self.finish()
+            }
+            (EnginePhase::Output, Op::Decide { .. }) => {
+                self.decisions += 1;
+                self.finish()
+            }
+            (phase, op) => unreachable!("invalid engine phase {phase:?} for {op:?}"),
+        }
+    }
+
+    fn finish(&mut self) -> bool {
+        self.phase = EnginePhase::Idle;
+        self.op = None;
+        true
+    }
+
+    /// Runs a full decision to completion, returning the action and the
+    /// cycle count.
+    pub fn run_decision(&mut self, state: StateIndex) -> (Action, u64) {
+        self.start_decision(state);
+        while !self.tick() {}
+        (self.action_out, self.cycles_this_op)
+    }
+
+    /// Runs a full update to completion, returning the cycle count.
+    pub fn run_update(
+        &mut self,
+        state: StateIndex,
+        action: Action,
+        reward: Fx,
+        next_state: StateIndex,
+    ) -> u64 {
+        self.start_update(state, action, reward, next_state);
+        while !self.tick() {}
+        self.cycles_this_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc::SocConfig;
+
+    fn rl_config() -> RlConfig {
+        RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap())
+    }
+
+    fn engine() -> PolicyEngine {
+        PolicyEngine::new(HwConfig::default(), &rl_config())
+    }
+
+    #[test]
+    fn decision_cycle_count_matches_closed_form() {
+        let mut e = engine();
+        // 25 actions, 8 banks, 2-cycle BRAM: fetch = 2 + ceil(25/8) - 1 =
+        // 5; reduce = ceil(log2 25) = 5; total = 1 + 5 + 5 + 1 = 12.
+        assert_eq!(e.decision_cycles(), 12);
+        let (_, cycles) = e.run_decision(0);
+        assert_eq!(cycles, 12);
+    }
+
+    #[test]
+    fn update_cycle_count_matches_closed_form() {
+        let mut e = engine();
+        // 1 + 5 + 5 + 5 + 1 = 17.
+        assert_eq!(e.update_cycles(), 17);
+        let cycles = e.run_update(0, 3, Fx::from_f64(0.5), 1);
+        assert_eq!(cycles, 17);
+    }
+
+    #[test]
+    fn decision_latency_at_100mhz() {
+        let e = engine();
+        assert_eq!(e.decision_latency().as_micros(), 0, "sub-microsecond");
+        assert!((e.decision_latency().as_secs_f64() - 12.0 / 100e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_is_bit_exact_against_fx_agent() {
+        let mut e = engine();
+        // Perturb the table so argmax is non-trivial.
+        for s in 0..50 {
+            for a in 0..25 {
+                e.agent_mut()
+                    .table_mut()
+                    .set(s, a, Fx::from_f64(((s * 7 + a * 13) % 17) as f64 / 7.0));
+            }
+        }
+        let reference = e.agent().clone();
+        for s in 0..50 {
+            let (action, _) = e.run_decision(s);
+            assert_eq!(action, reference.greedy_action(s), "state {s}");
+        }
+    }
+
+    #[test]
+    fn update_is_bit_exact_against_fx_agent() {
+        let mut e = engine();
+        let mut reference = e.agent().clone();
+        for i in 0..200usize {
+            let s = i % 40;
+            let a = i % 25;
+            let r = Fx::from_f64((i % 9) as f64 / 4.0 - 1.0);
+            let s2 = (i * 3) % 40;
+            e.run_update(s, a, r, s2);
+            reference.update(s, a, r, s2);
+        }
+        for s in 0..40 {
+            for a in 0..25 {
+                assert_eq!(
+                    e.agent().table().get(s, a).to_bits(),
+                    reference.table().get(s, a).to_bits(),
+                    "divergence at ({s}, {a})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phases_progress_in_order_for_decision() {
+        let mut e = engine();
+        e.start_decision(0);
+        let mut seen = vec![e.phase()];
+        while !e.tick() {
+            if *seen.last().unwrap() != e.phase() {
+                seen.push(e.phase());
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                EnginePhase::Latch,
+                EnginePhase::FetchRow,
+                EnginePhase::Reduce,
+                EnginePhase::Output,
+            ]
+        );
+        assert_eq!(e.phase(), EnginePhase::Idle);
+    }
+
+    #[test]
+    fn phases_progress_in_order_for_update() {
+        let mut e = engine();
+        e.start_update(1, 2, Fx::ZERO, 3);
+        let mut seen = vec![e.phase()];
+        while !e.tick() {
+            if *seen.last().unwrap() != e.phase() {
+                seen.push(e.phase());
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                EnginePhase::Latch,
+                EnginePhase::FetchRow,
+                EnginePhase::Reduce,
+                EnginePhase::TdCompute,
+                EnginePhase::WriteBack,
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "while busy")]
+    fn double_start_panics() {
+        let mut e = engine();
+        e.start_decision(0);
+        e.start_decision(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn out_of_range_state_panics() {
+        engine().start_decision(usize::MAX);
+    }
+
+    #[test]
+    fn idle_ticks_count_time_but_do_nothing() {
+        let mut e = engine();
+        for _ in 0..10 {
+            assert!(!e.tick());
+        }
+        assert_eq!(e.total_cycles(), 10);
+        assert_eq!(e.op_counts(), (0, 0));
+    }
+
+    #[test]
+    fn fewer_banks_cost_more_fetch_cycles() {
+        let rl = rl_config();
+        let wide = PolicyEngine::new(HwConfig { bram_banks: 32, ..Default::default() }, &rl);
+        let narrow = PolicyEngine::new(HwConfig { bram_banks: 1, ..Default::default() }, &rl);
+        assert!(narrow.decision_cycles() > wide.decision_cycles());
+        // 1 bank: fetch = 2 + 25 - 1 = 26; total = 1 + 26 + 5 + 1 = 33.
+        assert_eq!(narrow.decision_cycles(), 33);
+    }
+
+    #[test]
+    fn op_counts_track_completions() {
+        let mut e = engine();
+        e.run_decision(0);
+        e.run_decision(1);
+        e.run_update(0, 0, Fx::ZERO, 1);
+        assert_eq!(e.op_counts(), (2, 1));
+    }
+}

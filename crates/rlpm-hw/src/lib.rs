@@ -1,0 +1,63 @@
+//! # rlpm-hw — the hardware-implemented policy
+//!
+//! The paper's second contribution is implementing the policy in hardware
+//! "to minimize the process overhead": an FPGA engine plus "a
+//! communication interface between the CPUs and the hardware", with
+//! decision-making "up to 40×" faster than software (3.92× on average in
+//! the journal version). Without the physical FPGA, this crate models the
+//! two sides whose ratio those numbers measure:
+//!
+//! * [`PolicyEngine`] — a cycle-level FSM of the Q-learning datapath:
+//!   banked BRAM Q-table in Q16.16 fixed point ([`FxQTable`]), parallel
+//!   row fetch, comparator-tree argmax, and a TD-update pipeline. Every
+//!   phase is ticked cycle by cycle; the functional result is bit-exact
+//!   against the fixed-point software agent ([`FxAgent`]).
+//! * [`AxiLiteBus`] / [`PolicyMmio`] — the memory-mapped register
+//!   interface the CPU drives (state in, reward in, action out, Q-table
+//!   load), with per-transaction bus latency.
+//! * [`SwLatencyModel`] — an instruction/cache model of the *software*
+//!   policy running on a LITTLE core at each OPP, the baseline the
+//!   speedups are quoted against.
+//! * [`HwPolicyDriver`] — a [`governors::Governor`] that drives the
+//!   engine through the bus exactly as the CPU-side driver would
+//!   (polling or interrupt completion, [`DriverMode`]), accounting
+//!   decision latency along the way.
+//! * [`estimate_resources`] / [`banking_sweep`] — structural fabric-cost
+//!   estimates (BRAM18 / LUT / FF / DSP / fmax) for the engine and its
+//!   banking trade-off (experiment E7).
+//!
+//! ```
+//! use rlpm::RlConfig;
+//! use rlpm_hw::{HwConfig, PolicyEngine};
+//! use soc::SocConfig;
+//!
+//! let rl = RlConfig::for_soc(&SocConfig::symmetric_quad()?);
+//! let mut engine = PolicyEngine::new(HwConfig::default(), &rl);
+//! let (action, cycles) = engine.run_decision(3);
+//! assert!(action < rl.num_actions());
+//! assert!(cycles > 0);
+//! # Ok::<(), soc::SocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bus;
+mod driver;
+mod engine;
+mod fxtable;
+mod latency;
+mod mmio;
+mod resources;
+mod verify;
+
+pub use bus::{AxiLiteBus, BusStats, MmioDevice};
+pub use driver::{DriverMode, HwPolicyDriver};
+pub use engine::{EnginePhase, HwConfig, PolicyEngine};
+pub use fxtable::{FxAgent, FxQTable};
+pub use latency::{HwLatencyModel, SwLatencyModel};
+pub use mmio::{regs, PolicyMmio, CTRL_START_DECIDE, CTRL_START_UPDATE, ID_VALUE, STATUS_DONE};
+pub use resources::{banking_sweep, estimate as estimate_resources, ResourceReport};
+pub use verify::{
+    engine_matches_fx_agent, parity_check, quantization_sweep, ParityReport, QuantizationPoint,
+};

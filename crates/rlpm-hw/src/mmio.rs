@@ -1,0 +1,238 @@
+//! The policy engine's register map.
+//!
+//! The CPU-side driver sees the engine as a small window of 32-bit
+//! registers. A decision is: write `STATE`, write `CTRL = START_DECIDE`,
+//! poll `STATUS` until `DONE`, read `ACTION`. An update additionally
+//! writes `PREV_ACTION` and `REWARD` (Q16.16 bits) before triggering.
+//! `QADDR`/`QDATA` expose the Q-table linearly for bulk load/dump.
+//!
+//! Writing `CTRL` runs the engine to completion inside the write
+//! transaction from the model's point of view — the FSM's cycle count is
+//! latched in `CYCLES`, and the caller's latency model charges it
+//! separately (the real device raises `DONE` asynchronously; the driver
+//! model accounts poll time explicitly).
+
+use rlpm::fixed::Fx;
+
+use crate::{MmioDevice, PolicyEngine};
+
+/// Register byte offsets.
+pub mod regs {
+    /// Control: write [`CTRL_START_DECIDE`](super::CTRL_START_DECIDE) or
+    /// [`CTRL_START_UPDATE`](super::CTRL_START_UPDATE).
+    pub const CTRL: u32 = 0x00;
+    /// Status: bit 0 = busy, bit 1 = done.
+    pub const STATUS: u32 = 0x04;
+    /// Current discrete state index.
+    pub const STATE: u32 = 0x08;
+    /// Next-state index (updates).
+    pub const NEXT_STATE: u32 = 0x0C;
+    /// Action taken at the previous step (updates).
+    pub const PREV_ACTION: u32 = 0x10;
+    /// Reward as raw Q16.16 bits (updates).
+    pub const REWARD: u32 = 0x14;
+    /// Greedy action output (read-only).
+    pub const ACTION: u32 = 0x18;
+    /// Cycle count of the last operation (read-only).
+    pub const CYCLES: u32 = 0x1C;
+    /// Q-table linear address for load/dump.
+    pub const QADDR: u32 = 0x20;
+    /// Q-table data port (read/write at `QADDR`, auto-incrementing).
+    pub const QDATA: u32 = 0x24;
+    /// Identification register.
+    pub const ID: u32 = 0x28;
+}
+
+/// `CTRL` command: run one decision.
+pub const CTRL_START_DECIDE: u32 = 0x1;
+/// `CTRL` command: run one TD update.
+pub const CTRL_START_UPDATE: u32 = 0x2;
+/// `STATUS` bit: operation completed since the last `CTRL` write.
+pub const STATUS_DONE: u32 = 0x2;
+/// Value of the `ID` register ("RLPM" in ASCII).
+pub const ID_VALUE: u32 = 0x524C_504D;
+
+/// The engine behind its register map.
+#[derive(Debug, Clone)]
+pub struct PolicyMmio {
+    engine: PolicyEngine,
+    state: u32,
+    next_state: u32,
+    prev_action: u32,
+    reward_bits: u32,
+    qaddr: u32,
+    done: bool,
+}
+
+impl PolicyMmio {
+    /// Wraps an engine.
+    pub fn new(engine: PolicyEngine) -> Self {
+        PolicyMmio {
+            engine,
+            state: 0,
+            next_state: 0,
+            prev_action: 0,
+            reward_bits: 0,
+            qaddr: 0,
+            done: false,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (test setup).
+    pub fn engine_mut(&mut self) -> &mut PolicyEngine {
+        &mut self.engine
+    }
+}
+
+impl MmioDevice for PolicyMmio {
+    fn read(&mut self, addr: u32) -> u32 {
+        match addr {
+            regs::STATUS => u32::from(self.done) << 1,
+            regs::STATE => self.state,
+            regs::NEXT_STATE => self.next_state,
+            regs::PREV_ACTION => self.prev_action,
+            regs::REWARD => self.reward_bits,
+            regs::ACTION => self.engine.action_out() as u32,
+            regs::CYCLES => self.engine.cycles_of_last_op() as u32,
+            regs::QADDR => self.qaddr,
+            regs::QDATA => {
+                let v = self
+                    .engine
+                    .agent()
+                    .table()
+                    .get_linear(self.qaddr as usize)
+                    .map_or(0, |fx| fx.to_bits() as u32);
+                self.qaddr = self.qaddr.wrapping_add(1);
+                v
+            }
+            regs::ID => ID_VALUE,
+            // Reserved / write-only space reads as zero.
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32) {
+        match addr {
+            regs::CTRL => {
+                self.done = false;
+                match value {
+                    CTRL_START_DECIDE => {
+                        self.engine.start_decision(self.state as usize);
+                        while !self.engine.tick() {}
+                        self.done = true;
+                    }
+                    CTRL_START_UPDATE => {
+                        self.engine.start_update(
+                            self.state as usize,
+                            self.prev_action as usize,
+                            Fx::from_bits(self.reward_bits as i32),
+                            self.next_state as usize,
+                        );
+                        while !self.engine.tick() {}
+                        self.done = true;
+                    }
+                    _ => {} // unknown commands are ignored, like real HW
+                }
+            }
+            regs::STATE => self.state = value,
+            regs::NEXT_STATE => self.next_state = value,
+            regs::PREV_ACTION => self.prev_action = value,
+            regs::REWARD => self.reward_bits = value,
+            regs::QADDR => self.qaddr = value,
+            regs::QDATA => {
+                self.engine
+                    .agent_mut()
+                    .table_mut()
+                    .set_linear(self.qaddr as usize, Fx::from_bits(value as i32));
+                self.qaddr = self.qaddr.wrapping_add(1);
+            }
+            _ => {} // writes to RO/reserved registers are dropped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HwConfig;
+    use rlpm::RlConfig;
+    use soc::SocConfig;
+
+    fn mmio() -> PolicyMmio {
+        let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        PolicyMmio::new(PolicyEngine::new(HwConfig::default(), &rl))
+    }
+
+    #[test]
+    fn id_register_identifies_device() {
+        let mut m = mmio();
+        assert_eq!(m.read(regs::ID), ID_VALUE);
+    }
+
+    #[test]
+    fn decision_over_registers() {
+        let mut m = mmio();
+        // Make action 3 the best in state 5 via the QDATA port.
+        let a_count = m.engine().agent().table().num_actions();
+        m.write(regs::QADDR, (5 * a_count + 3) as u32);
+        m.write(regs::QDATA, Fx::from_f64(9.0).to_bits() as u32);
+
+        m.write(regs::STATE, 5);
+        m.write(regs::CTRL, CTRL_START_DECIDE);
+        assert_eq!(m.read(regs::STATUS), STATUS_DONE);
+        assert_eq!(m.read(regs::ACTION), 3);
+        assert!(m.read(regs::CYCLES) > 0);
+    }
+
+    #[test]
+    fn update_over_registers_changes_table() {
+        let mut m = mmio();
+        let before = m.engine().agent().table().get(2, 1);
+        m.write(regs::STATE, 2);
+        m.write(regs::PREV_ACTION, 1);
+        m.write(regs::NEXT_STATE, 3);
+        m.write(regs::REWARD, Fx::from_f64(2.0).to_bits() as u32);
+        m.write(regs::CTRL, CTRL_START_UPDATE);
+        let after = m.engine().agent().table().get(2, 1);
+        assert!(after > before, "positive reward raises Q");
+    }
+
+    #[test]
+    fn qdata_autoincrements_for_bulk_load() {
+        let mut m = mmio();
+        m.write(regs::QADDR, 10);
+        for i in 0..4 {
+            m.write(regs::QDATA, Fx::from_f64(i as f64).to_bits() as u32);
+        }
+        m.write(regs::QADDR, 10);
+        for i in 0..4 {
+            let bits = m.read(regs::QDATA) as i32;
+            assert_eq!(Fx::from_bits(bits).to_f64(), i as f64);
+        }
+        assert_eq!(m.read(regs::QADDR), 14);
+    }
+
+    #[test]
+    fn unknown_registers_are_benign() {
+        let mut m = mmio();
+        m.write(0xFC, 123);
+        assert_eq!(m.read(0xFC), 0);
+        m.write(regs::CTRL, 0xFF); // unknown command
+        assert_eq!(m.read(regs::STATUS), 0, "no done flag raised");
+    }
+
+    #[test]
+    fn status_clears_on_new_command() {
+        let mut m = mmio();
+        m.write(regs::STATE, 0);
+        m.write(regs::CTRL, CTRL_START_DECIDE);
+        assert_eq!(m.read(regs::STATUS), STATUS_DONE);
+        m.write(regs::CTRL, 0xFF);
+        assert_eq!(m.read(regs::STATUS), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! First-order FPGA resource and timing estimates for the policy engine.
+//!
+//! The paper implements its policy on an FPGA; an LBR-style evaluation of
+//! such an engine reports its fabric cost. Without a synthesis flow, this
+//! module provides the structural estimate a pathfinding study would use:
+//! count the datapath's storage bits and arithmetic operators, map them
+//! onto BRAM18 blocks / LUT6+FF pairs / DSP slices with the usual
+//! per-operator costs, and derive an achievable clock from the deepest
+//! combinational stage. The numbers are *estimates with stated
+//! assumptions*, not synthesis results — their role is to expose the
+//! banking trade-off: more BRAM banks fetch the Q-row in fewer beats but
+//! cost ports, muxing and routing pressure.
+
+use serde::{Deserialize, Serialize};
+
+use rlpm::RlConfig;
+
+use crate::{HwConfig, PolicyEngine};
+
+/// Bits per BRAM18 block (18 kb).
+const BRAM18_BITS: u64 = 18 * 1024;
+/// LUTs for one 32-bit comparator + select mux stage of the argmax tree.
+const COMPARATOR_LUTS: u64 = 48;
+/// FFs per pipeline register (32-bit value + index tag).
+const STAGE_FFS: u64 = 40;
+/// LUT/FF cost of the control FSM.
+const FSM_LUTS: u64 = 120;
+const FSM_FFS: u64 = 90;
+/// LUT/FF cost of the AXI-Lite register file and handshake.
+const BUS_LUTS: u64 = 180;
+const BUS_FFS: u64 = 220;
+/// DSP slices for one Q16.16 multiplier (32×32 partial products).
+const DSPS_PER_MUL: u64 = 3;
+/// LUTs for one 32-bit saturating adder/subtractor.
+const ADDER_LUTS: u64 = 40;
+/// Base combinational delay of a comparator stage (ns) and the extra
+/// routing delay added per doubling of the bank fan-in.
+const STAGE_DELAY_NS: f64 = 2.6;
+const FANIN_DELAY_NS: f64 = 0.35;
+
+/// Estimated fabric cost of one engine build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// BRAM banks configured.
+    pub banks: usize,
+    /// Q-table storage in kilobits.
+    pub table_kbits: u64,
+    /// BRAM18 blocks, including banking overhead (each bank rounds up to
+    /// whole blocks).
+    pub bram18_blocks: u64,
+    /// Estimated LUT count.
+    pub luts: u64,
+    /// Estimated flip-flop count.
+    pub ffs: u64,
+    /// Estimated DSP slices.
+    pub dsps: u64,
+    /// Achievable clock estimate (MHz).
+    pub est_fmax_mhz: f64,
+    /// Decision latency at the estimated fmax (µs).
+    pub decision_us_at_fmax: f64,
+}
+
+/// Estimates the fabric cost of an engine sized for `rl` with `hw`'s
+/// banking.
+pub fn estimate(rl: &RlConfig, hw: &HwConfig) -> ResourceReport {
+    let states = rl.num_states() as u64;
+    let actions = rl.num_actions() as u64;
+    let banks = hw.bram_banks as u64;
+
+    let table_bits = states * actions * 32;
+    // Each bank holds ceil(entries/banks) words and rounds up to whole
+    // BRAM18 blocks.
+    let entries_per_bank = (states * actions).div_ceil(banks);
+    let blocks_per_bank = (entries_per_bank * 32).div_ceil(BRAM18_BITS);
+    let bram18_blocks = blocks_per_bank * banks;
+
+    // Argmax comparator tree over one row: A−1 comparators, plus a
+    // bank-width input register stage.
+    let tree_luts = (actions - 1) * COMPARATOR_LUTS;
+    let tree_ffs = actions.next_power_of_two().ilog2() as u64 * STAGE_FFS;
+    // TD pipeline: two multipliers (γ·max, α·δ), three adders, write mux.
+    let td_luts = 3 * ADDER_LUTS + 60;
+    let td_dsps = 2 * DSPS_PER_MUL;
+    // Bank read mux: banks-to-1, 32 bits wide.
+    let mux_luts = banks.saturating_sub(1) * 16;
+
+    let luts = tree_luts + td_luts + mux_luts + FSM_LUTS + BUS_LUTS;
+    let ffs = tree_ffs + 5 * STAGE_FFS + FSM_FFS + BUS_FFS;
+    let dsps = td_dsps;
+
+    // Critical path: a comparator stage plus the bank-mux fan-in routing.
+    let fanin_doublings = (banks as f64).log2().max(0.0);
+    let critical_ns = STAGE_DELAY_NS + FANIN_DELAY_NS * fanin_doublings;
+    let est_fmax_mhz = 1_000.0 / critical_ns;
+
+    // Decision cycles at this banking (same formula as the engine).
+    let engine = PolicyEngine::new(*hw, rl);
+    let decision_us_at_fmax = engine.decision_cycles() as f64 / est_fmax_mhz;
+
+    ResourceReport {
+        banks: hw.bram_banks,
+        table_kbits: table_bits / 1024,
+        bram18_blocks,
+        luts,
+        ffs,
+        dsps,
+        est_fmax_mhz,
+        decision_us_at_fmax,
+    }
+}
+
+/// Sweeps the banking axis, the engine's main area/latency trade-off.
+pub fn banking_sweep(rl: &RlConfig, banks: &[usize]) -> Vec<ResourceReport> {
+    banks
+        .iter()
+        .map(|&b| {
+            estimate(
+                rl,
+                &HwConfig {
+                    bram_banks: b,
+                    ..HwConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc::SocConfig;
+
+    fn rl() -> RlConfig {
+        RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap())
+    }
+
+    #[test]
+    fn table_storage_matches_dimensions() {
+        let rl = rl();
+        let r = estimate(&rl, &HwConfig::default());
+        assert_eq!(
+            r.table_kbits,
+            (rl.num_states() * rl.num_actions() * 32 / 1024) as u64
+        );
+        // 6912 states x 25 actions x 32b = 5.4 Mb needs ~300+ BRAM18s.
+        assert!(r.bram18_blocks >= r.table_kbits / 18);
+    }
+
+    #[test]
+    fn more_banks_cost_more_blocks_and_fmax_but_fewer_cycles() {
+        let rl = rl();
+        let sweep = banking_sweep(&rl, &[1, 2, 4, 8, 16, 32]);
+        for w in sweep.windows(2) {
+            assert!(w[1].bram18_blocks >= w[0].bram18_blocks, "banking never frees BRAM");
+            assert!(w[1].est_fmax_mhz <= w[0].est_fmax_mhz, "fan-in slows the clock");
+            assert!(w[1].luts >= w[0].luts, "mux grows");
+        }
+        // The latency-optimal point is interior: 1 bank is slow because
+        // of serial fetch; 32 banks are slow because of the clock.
+        let lat: Vec<f64> = sweep.iter().map(|r| r.decision_us_at_fmax).collect();
+        let best = lat
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best > 0, "1 bank must not be optimal: {lat:?}");
+    }
+
+    #[test]
+    fn fabric_cost_is_small_soc_scale() {
+        // The engine is supposed to be a tiny companion block: a few
+        // hundred to a few thousand LUTs, a handful of DSPs.
+        let r = estimate(&rl(), &HwConfig::default());
+        assert!(r.luts < 5_000, "{} LUTs", r.luts);
+        assert!(r.dsps <= 8);
+        assert!(r.est_fmax_mhz > 100.0, "must close timing at the 100 MHz default");
+    }
+
+    #[test]
+    fn smaller_policies_cost_less() {
+        let big = estimate(&rl(), &HwConfig::default());
+        let small_rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        let small = estimate(&small_rl, &HwConfig::default());
+        assert!(small.table_kbits < big.table_kbits);
+        assert!(small.luts < big.luts);
+    }
+}

@@ -1,0 +1,226 @@
+//! Software↔hardware functional parity and the fixed-point bit-width
+//! study (experiment E6).
+//!
+//! The engine's correctness claim is that putting the policy in hardware
+//! changes *when* decisions arrive, not *what* they are. [`parity_check`]
+//! feeds an identical transition stream to the `f64` reference agent and
+//! the fixed-point engine and reports greedy-action agreement and
+//! Q-value error; [`quantization_sweep`] repeats the comparison at
+//! several fractional bit widths to justify the Q16.16 choice.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::SimRng;
+
+use rlpm::fixed::{quantize, Fx};
+use rlpm::{QTable, RlConfig};
+
+use crate::{FxAgent, FxQTable, HwConfig, PolicyEngine};
+
+/// Result of a parity run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParityReport {
+    /// Transitions replayed into both implementations.
+    pub transitions: u64,
+    /// Fraction of states on which the greedy actions agree, in `[0, 1]`.
+    pub greedy_agreement: f64,
+    /// Largest |Q_float − Q_fx| over the table after the run.
+    pub max_q_error: f64,
+    /// Mean |Q_float − Q_fx|.
+    pub mean_q_error: f64,
+}
+
+/// One point of the bit-width sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationPoint {
+    /// Fractional bits of the simulated datapath.
+    pub frac_bits: u32,
+    /// Greedy-action agreement with the float reference.
+    pub greedy_agreement: f64,
+    /// Largest |Q| error.
+    pub max_q_error: f64,
+}
+
+/// Synthetic transition stream shared by both implementations.
+fn transition_stream(
+    rl: &RlConfig,
+    transitions: u64,
+    seed: u64,
+) -> impl Iterator<Item = (usize, usize, f64, usize)> {
+    let mut rng = SimRng::seed_from(seed).split("parity");
+    let states = rl.num_states();
+    let actions = rl.num_actions();
+    (0..transitions).map(move |_| {
+        let s = rng.uniform_usize(states.min(4096));
+        let a = rng.uniform_usize(actions);
+        // Rewards in the range the closed-loop policy actually sees.
+        let r = rng.uniform_in(-3.0, 2.0);
+        let s2 = rng.uniform_usize(states.min(4096));
+        (s, a, r, s2)
+    })
+}
+
+/// Replays `transitions` random transitions into the float agent and the
+/// cycle-level engine and compares the results.
+pub fn parity_check(rl: &RlConfig, hw: HwConfig, transitions: u64, seed: u64) -> ParityReport {
+    let mut float_table = QTable::new(rl.num_states(), rl.num_actions(), rl.q_init);
+    let mut engine = PolicyEngine::new(hw, rl);
+    let alpha = hw.alpha.to_f64();
+    let gamma = hw.gamma.to_f64();
+
+    for (s, a, r, s2) in transition_stream(rl, transitions, seed) {
+        // Float reference (same constants the datapath bakes in).
+        let target = r + gamma * float_table.max_value(s2);
+        let old = float_table.get(s, a);
+        float_table.set(s, a, old + alpha * (target - old));
+        // Hardware path.
+        engine.run_update(s, a, Fx::from_f64(r), s2);
+    }
+
+    let mut agree = 0u64;
+    let checked_states = rl.num_states().min(4096);
+    let mut max_err = 0.0f64;
+    let mut sum_err = 0.0f64;
+    for s in 0..checked_states {
+        let (hw_action, _) = engine.run_decision(s);
+        if hw_action == float_table.argmax(s) {
+            agree += 1;
+        }
+        for a in 0..rl.num_actions() {
+            let err = (float_table.get(s, a) - engine.agent().table().get(s, a).to_f64()).abs();
+            max_err = max_err.max(err);
+            sum_err += err;
+        }
+    }
+    ParityReport {
+        transitions,
+        greedy_agreement: agree as f64 / checked_states as f64,
+        max_q_error: max_err,
+        mean_q_error: sum_err / (checked_states * rl.num_actions()) as f64,
+    }
+}
+
+/// Runs the parity comparison at several fractional bit widths by
+/// emulating a quantised datapath in software.
+pub fn quantization_sweep(
+    rl: &RlConfig,
+    frac_bits: &[u32],
+    transitions: u64,
+    seed: u64,
+) -> Vec<QuantizationPoint> {
+    let alpha = 0.25;
+    let gamma = 0.85;
+    frac_bits
+        .iter()
+        .map(|&bits| {
+            let mut float_table = QTable::new(rl.num_states(), rl.num_actions(), rl.q_init);
+            let mut q_table = QTable::new(
+                rl.num_states(),
+                rl.num_actions(),
+                quantize(rl.q_init, bits),
+            );
+            for (s, a, r, s2) in transition_stream(rl, transitions, seed) {
+                let target = r + gamma * float_table.max_value(s2);
+                let old = float_table.get(s, a);
+                float_table.set(s, a, old + alpha * (target - old));
+
+                // Quantised datapath: every intermediate is re-quantised,
+                // mirroring fixed-point truncation after each operation.
+                let qr = quantize(r, bits);
+                let qmax = q_table.max_value(s2);
+                let qtarget = quantize(qr + quantize(gamma * qmax, bits), bits);
+                let qold = q_table.get(s, a);
+                let qdelta = quantize(alpha * quantize(qtarget - qold, bits), bits);
+                q_table.set(s, a, quantize(qold + qdelta, bits));
+            }
+            let checked = rl.num_states().min(4096);
+            let mut agree = 0u64;
+            let mut max_err = 0.0f64;
+            for s in 0..checked {
+                if float_table.argmax(s) == q_table.argmax(s) {
+                    agree += 1;
+                }
+                for a in 0..rl.num_actions() {
+                    max_err = max_err.max((float_table.get(s, a) - q_table.get(s, a)).abs());
+                }
+            }
+            QuantizationPoint {
+                frac_bits: bits,
+                greedy_agreement: agree as f64 / checked as f64,
+                max_q_error: max_err,
+            }
+        })
+        .collect()
+}
+
+/// Bit-exactness check between the engine and the pure-software
+/// fixed-point agent (no float reference involved): they must be
+/// *identical*, not merely close.
+pub fn engine_matches_fx_agent(rl: &RlConfig, hw: HwConfig, transitions: u64, seed: u64) -> bool {
+    let mut engine = PolicyEngine::new(hw, rl);
+    let mut agent = FxAgent::new(
+        FxQTable::new(rl.num_states(), rl.num_actions(), Fx::from_f64(rl.q_init)),
+        hw.alpha,
+        hw.gamma,
+    );
+    for (s, a, r, s2) in transition_stream(rl, transitions, seed) {
+        engine.run_update(s, a, Fx::from_f64(r), s2);
+        agent.update(s, a, Fx::from_f64(r), s2);
+    }
+    let checked = rl.num_states().min(4096);
+    (0..checked).all(|s| {
+        engine.run_decision(s).0 == agent.greedy_action(s)
+            && (0..rl.num_actions()).all(|a| {
+                engine.agent().table().get(s, a).to_bits() == agent.table().get(s, a).to_bits()
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc::SocConfig;
+
+    fn rl() -> RlConfig {
+        RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap())
+    }
+
+    #[test]
+    fn q16_16_parity_is_high() {
+        let report = parity_check(&rl(), HwConfig::default(), 20_000, 1);
+        assert!(report.greedy_agreement > 0.99, "agreement {}", report.greedy_agreement);
+        assert!(report.max_q_error < 0.01, "max error {}", report.max_q_error);
+        assert!(report.mean_q_error <= report.max_q_error);
+    }
+
+    #[test]
+    fn engine_is_bit_exact_with_fx_agent() {
+        assert!(engine_matches_fx_agent(&rl(), HwConfig::default(), 5_000, 7));
+    }
+
+    #[test]
+    fn sweep_improves_with_more_bits() {
+        let points = quantization_sweep(&rl(), &[4, 8, 16, 24], 10_000, 3);
+        assert_eq!(points.len(), 4);
+        // Max error shrinks monotonically with precision.
+        for w in points.windows(2) {
+            assert!(
+                w[1].max_q_error <= w[0].max_q_error + 1e-12,
+                "{:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Agreement at 16+ bits is essentially perfect; at 4 bits it is
+        // visibly degraded.
+        assert!(points[2].greedy_agreement > 0.99);
+        assert!(points[0].greedy_agreement < points[2].greedy_agreement);
+    }
+
+    #[test]
+    fn parity_is_deterministic_in_the_seed() {
+        let a = parity_check(&rl(), HwConfig::default(), 2_000, 9);
+        let b = parity_check(&rl(), HwConfig::default(), 2_000, 9);
+        assert_eq!(a, b);
+    }
+}

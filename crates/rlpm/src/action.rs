@@ -1,0 +1,187 @@
+//! The action space: per-cluster frequency-level deltas.
+//!
+//! Delta actions (`−max_delta … +max_delta` per cluster) keep the action
+//! set small — 25 actions for a two-cluster SoC with `max_delta = 2` —
+//! and bound how violently the policy can actuate, which is what makes a
+//! table-sized policy practical to put on an FPGA. Actions are ordered
+//! most-negative-first so the deterministic argmax tie-break prefers the
+//! lower-power choice; in under-visited states this biases the policy
+//! toward descending until the QoS signal pushes back, which is the safe
+//! default for a power governor.
+
+use serde::{Deserialize, Serialize};
+
+use soc::{LevelRequest, OppLevel};
+
+use crate::RlConfig;
+
+/// Index of an action, in `0..ActionSpace::len()`.
+pub type Action = usize;
+
+/// Enumerates per-cluster level deltas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    max_delta: isize,
+    num_clusters: usize,
+    levels_per_cluster: Vec<usize>,
+}
+
+impl ActionSpace {
+    /// Builds the action space described by `config`.
+    pub fn new(config: &RlConfig) -> Self {
+        ActionSpace {
+            max_delta: config.max_delta as isize,
+            num_clusters: config.num_clusters,
+            levels_per_cluster: config.levels_per_cluster.clone(),
+        }
+    }
+
+    /// Number of deltas per cluster (`2·max_delta + 1`).
+    pub fn deltas_per_cluster(&self) -> usize {
+        (2 * self.max_delta + 1) as usize
+    }
+
+    /// Total number of joint actions.
+    pub fn len(&self) -> usize {
+        self.deltas_per_cluster().pow(self.num_clusters as u32)
+    }
+
+    /// An action space is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decodes an action index into per-cluster deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn deltas(&self, action: Action) -> Vec<isize> {
+        assert!(action < self.len(), "action {action} out of range");
+        let base = self.deltas_per_cluster();
+        let mut rem = action;
+        let mut deltas = vec![0isize; self.num_clusters];
+        for d in deltas.iter_mut().rev() {
+            *d = (rem % base) as isize - self.max_delta;
+            rem /= base;
+        }
+        deltas
+    }
+
+    /// Encodes per-cluster deltas into an action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is wrong or any delta exceeds `max_delta`.
+    pub fn action_of(&self, deltas: &[isize]) -> Action {
+        assert_eq!(deltas.len(), self.num_clusters, "delta arity mismatch");
+        let base = self.deltas_per_cluster();
+        let mut action = 0;
+        for &d in deltas {
+            assert!(
+                d.abs() <= self.max_delta,
+                "delta {d} exceeds max_delta {}",
+                self.max_delta
+            );
+            action = action * base + (d + self.max_delta) as usize;
+        }
+        action
+    }
+
+    /// The "hold everything" action (all deltas zero).
+    pub fn hold(&self) -> Action {
+        self.action_of(&vec![0; self.num_clusters])
+    }
+
+    /// Applies an action to the current levels, clamping into each
+    /// cluster's table.
+    pub fn apply(&self, current: &[OppLevel], action: Action) -> LevelRequest {
+        let deltas = self.deltas(action);
+        LevelRequest::new(
+            current
+                .iter()
+                .zip(&deltas)
+                .zip(&self.levels_per_cluster)
+                .map(|((&level, &delta), &n)| {
+                    (level as isize + delta).clamp(0, n as isize - 1) as OppLevel
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use soc::SocConfig;
+
+    fn space() -> ActionSpace {
+        ActionSpace::new(&RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap()))
+    }
+
+    #[test]
+    fn xu3_has_25_actions() {
+        assert_eq!(space().len(), 25);
+        assert_eq!(space().deltas_per_cluster(), 5);
+    }
+
+    #[test]
+    fn action_zero_is_most_negative() {
+        assert_eq!(space().deltas(0), vec![-2, -2]);
+    }
+
+    #[test]
+    fn hold_action_is_all_zero() {
+        let s = space();
+        assert_eq!(s.deltas(s.hold()), vec![0, 0]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = space();
+        for a in 0..s.len() {
+            assert_eq!(s.action_of(&s.deltas(a)), a);
+        }
+    }
+
+    #[test]
+    fn apply_moves_and_clamps() {
+        let s = space();
+        // LITTLE has 13 levels (0..=12), big 19 (0..=18).
+        let req = s.apply(&[0, 18], s.action_of(&[-2, 2]));
+        assert_eq!(req.levels, vec![0, 18], "clamped at both edges");
+        let req = s.apply(&[5, 5], s.action_of(&[2, -1]));
+        assert_eq!(req.levels, vec![7, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        space().deltas(25);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_delta")]
+    fn encode_rejects_big_delta() {
+        space().action_of(&[3, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_always_in_table(l0 in 0usize..13, l1 in 0usize..19, a in 0usize..25) {
+            let s = space();
+            let req = s.apply(&[l0, l1], a);
+            prop_assert!(req.levels[0] < 13);
+            prop_assert!(req.levels[1] < 19);
+        }
+
+        #[test]
+        fn prop_apply_moves_by_at_most_max_delta(l0 in 0usize..13, l1 in 0usize..19, a in 0usize..25) {
+            let s = space();
+            let req = s.apply(&[l0, l1], a);
+            prop_assert!((req.levels[0] as isize - l0 as isize).abs() <= 2);
+            prop_assert!((req.levels[1] as isize - l1 as isize).abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Hyperparameters and space sizing for the RL policy.
+
+use serde::{Deserialize, Serialize};
+
+use soc::SocConfig;
+
+/// The temporal-difference algorithm driving the policy.
+///
+/// The paper specifies Q-learning; [`Algorithm::DoubleQLearning`] is the
+/// default here because the single estimator measurably over-provisions
+/// under stochastic workloads (see `agent.rs`). The on-policy variants
+/// are provided for the algorithm ablation (A4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Watkins Q-learning (single estimator), as in the paper.
+    QLearning,
+    /// Double Q-learning (van Hasselt, 2010) — two estimators.
+    DoubleQLearning,
+    /// On-policy SARSA.
+    Sarsa,
+    /// Expected SARSA (expectation over the ε-greedy policy).
+    ExpectedSarsa,
+}
+
+impl Algorithm {
+    /// All algorithms, for sweeps.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::QLearning,
+        Algorithm::DoubleQLearning,
+        Algorithm::Sarsa,
+        Algorithm::ExpectedSarsa,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::QLearning => "q-learning",
+            Algorithm::DoubleQLearning => "double-q-learning",
+            Algorithm::Sarsa => "sarsa",
+            Algorithm::ExpectedSarsa => "expected-sarsa",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of the RL power-management policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RlConfig {
+    /// Number of clusters being managed.
+    pub num_clusters: usize,
+    /// Number of OPP levels per cluster (needed to clamp actions).
+    pub levels_per_cluster: Vec<usize>,
+
+    // --- state discretisation ---
+    /// Bins for capacity-normalised utilisation per cluster.
+    pub util_bins: usize,
+    /// Cap on frequency-level bins per cluster; the effective bin count
+    /// is `min(level_bins, table size)`, so the default of 32 gives one
+    /// state per OPP (exact levels — see `state.rs` for why coarser bins
+    /// cause drift oscillations).
+    pub level_bins: usize,
+    /// Bins for the QoS slack signal.
+    pub qos_bins: usize,
+    /// Bins for the predictor's load trend (falling / flat / rising).
+    pub trend_bins: usize,
+
+    // --- actions ---
+    /// Maximum per-cluster level delta per decision (action set is
+    /// `{-max_delta, …, +max_delta}` per cluster).
+    pub max_delta: usize,
+
+    // --- learning ---
+    /// Initial learning rate α₀.
+    pub alpha0: f64,
+    /// Learning-rate decay: α(t) = α₀ / (1 + alpha_decay · t).
+    pub alpha_decay: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Initial exploration rate ε₀.
+    pub epsilon0: f64,
+    /// Exploration floor.
+    pub epsilon_min: f64,
+    /// Per-update multiplicative ε decay.
+    pub epsilon_decay: f64,
+    /// Optimistic initial Q value (encourages systematic exploration).
+    pub q_init: f64,
+    /// The TD algorithm; see [`Algorithm`].
+    pub algorithm: Algorithm,
+
+    // --- reward ---
+    /// Weight of delivered QoS units (+).
+    pub w_qos: f64,
+    /// Weight of consumed energy in joules (−).
+    pub w_energy: f64,
+    /// Penalty per QoS violation (−).
+    pub w_violation: f64,
+    /// Violations counted per epoch are capped here before weighting:
+    /// a single saturated epoch can contain dozens of violations, and an
+    /// uncapped penalty injects enough reward variance to keep the
+    /// Q-values of neighbouring actions permanently noisy.
+    pub violation_cap: u64,
+    /// Penalty per pending (backlogged) job at the epoch end (−), the
+    /// leading indicator that deadlines are about to be missed.
+    pub w_backlog: f64,
+
+    // --- predictor ---
+    /// EWMA smoothing factor for the utilisation predictor.
+    pub predictor_alpha: f64,
+    /// Dead band below which a trend counts as flat.
+    pub trend_dead_band: f64,
+}
+
+impl RlConfig {
+    /// A configuration sized for the given SoC with the defaults used in
+    /// the experiments.
+    pub fn for_soc(config: &SocConfig) -> Self {
+        RlConfig {
+            num_clusters: config.clusters.len(),
+            levels_per_cluster: config.clusters.iter().map(|c| c.opps.len()).collect(),
+            util_bins: 6,
+            level_bins: 4,
+            qos_bins: 4,
+            trend_bins: 3,
+            max_delta: 2,
+            alpha0: 0.25,
+            alpha_decay: 1e-4,
+            gamma: 0.85,
+            epsilon0: 0.35,
+            epsilon_min: 0.02,
+            epsilon_decay: 0.9998,
+            q_init: 0.5,
+            algorithm: Algorithm::DoubleQLearning,
+            w_qos: 1.0,
+            w_energy: 8.0,
+            w_violation: 3.0,
+            violation_cap: 5,
+            w_backlog: 0.05,
+            predictor_alpha: 0.35,
+            trend_dead_band: 0.04,
+        }
+    }
+
+    /// Total number of discrete states.
+    pub fn num_states(&self) -> usize {
+        self.levels_per_cluster
+            .iter()
+            .map(|&l| self.util_bins * l.min(self.level_bins))
+            .product::<usize>()
+            * self.qos_bins
+            * self.trend_bins
+    }
+
+    /// Total number of actions.
+    pub fn num_actions(&self) -> usize {
+        (2 * self.max_delta + 1).pow(self.num_clusters as u32)
+    }
+
+    /// Q-table entries (`num_states × num_actions`).
+    pub fn table_entries(&self) -> usize {
+        self.num_states() * self.num_actions()
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant. Called
+    /// by [`crate::RlGovernor::new`]; configurations built by
+    /// [`RlConfig::for_soc`] always pass.
+    pub fn validate(&self) {
+        assert!(self.num_clusters > 0, "need at least one cluster");
+        assert_eq!(
+            self.levels_per_cluster.len(),
+            self.num_clusters,
+            "levels_per_cluster arity mismatch"
+        );
+        assert!(
+            self.levels_per_cluster.iter().all(|&l| l >= 2),
+            "each cluster needs at least two OPP levels"
+        );
+        assert!(self.util_bins >= 2 && self.qos_bins >= 1 && self.trend_bins >= 1);
+        assert!(self.level_bins >= 2, "need at least two level bins");
+        assert!(self.max_delta >= 1, "actions must be able to move levels");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma in [0, 1]");
+        assert!(self.alpha0 > 0.0 && self.alpha0 <= 1.0, "alpha0 in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.epsilon0)
+                && (0.0..=1.0).contains(&self.epsilon_min)
+                && self.epsilon_min <= self.epsilon0,
+            "epsilon schedule must be within [0, 1] and non-increasing"
+        );
+        assert!(
+            self.epsilon_decay > 0.0 && self.epsilon_decay <= 1.0,
+            "epsilon_decay in (0, 1]"
+        );
+        assert!(
+            self.predictor_alpha > 0.0 && self.predictor_alpha <= 1.0,
+            "predictor_alpha in (0, 1]"
+        );
+        assert!(
+            self.table_entries() < 50_000_000,
+            "state/action space too large: {} entries",
+            self.table_entries()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_for_xu3() {
+        let cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        cfg.validate();
+        assert_eq!(cfg.num_clusters, 2);
+        assert_eq!(cfg.num_states(), (6 * 4) * (6 * 4) * 4 * 3);
+        assert_eq!(cfg.num_actions(), 25);
+        assert_eq!(cfg.table_entries(), cfg.num_states() * 25);
+    }
+
+    #[test]
+    fn sizes_for_symmetric() {
+        let cfg = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        cfg.validate();
+        assert_eq!(cfg.num_clusters, 1);
+        assert_eq!(cfg.num_states(), 6 * 4 * 4 * 3);
+        assert_eq!(cfg.num_actions(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn validate_catches_arity_mismatch() {
+        let mut cfg = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        cfg.num_clusters = 2;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn validate_catches_explosion() {
+        let mut cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        cfg.util_bins = 1000;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,247 @@
+//! Q16.16 fixed-point arithmetic.
+//!
+//! The paper implements its policy on an FPGA; the datapath there holds
+//! Q-values in fixed point. This module provides the exact arithmetic the
+//! hardware model (`rlpm-hw`) uses, so the software agent can be run
+//! bit-identically against the hardware and the bit-width study (E6) can
+//! quantify the precision/area trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits in [`Fx`].
+pub const FRAC_BITS: u32 = 16;
+const ONE: i64 = 1 << FRAC_BITS;
+
+/// A Q16.16 signed fixed-point number with saturating arithmetic.
+///
+/// ```
+/// use rlpm::fixed::Fx;
+///
+/// let a = Fx::from_f64(1.5);
+/// let b = Fx::from_f64(-0.25);
+/// assert_eq!((a + b).to_f64(), 1.25);
+/// assert_eq!((a * b).to_f64(), -0.375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Fx(i32);
+
+impl Fx {
+    /// The zero value.
+    pub const ZERO: Fx = Fx(0);
+    /// The smallest positive increment (2⁻¹⁶).
+    pub const EPSILON: Fx = Fx(1);
+    /// The largest representable value (~32768).
+    pub const MAX: Fx = Fx(i32::MAX);
+    /// The smallest representable value (~−32768).
+    pub const MIN: Fx = Fx(i32::MIN);
+
+    /// Converts from a float, rounding to the nearest representable value
+    /// and saturating out-of-range inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn from_f64(x: f64) -> Fx {
+        assert!(!x.is_nan(), "cannot represent NaN in fixed point");
+        let scaled = (x * ONE as f64).round();
+        Fx(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts to a float (exact).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE as f64
+    }
+
+    /// The raw underlying bits.
+    pub fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits.
+    pub fn from_bits(bits: i32) -> Fx {
+        Fx(bits)
+    }
+
+    /// Saturating multiplication.
+    pub fn saturating_mul(self, rhs: Fx) -> Fx {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC_BITS;
+        Fx(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Fx) -> Fx {
+        Fx(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Fx) -> Fx {
+        Fx(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The maximum of two values.
+    pub fn max(self, other: Fx) -> Fx {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::ops::Add for Fx {
+    type Output = Fx;
+    fn add(self, rhs: Fx) -> Fx {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub for Fx {
+    type Output = Fx;
+    fn sub(self, rhs: Fx) -> Fx {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::ops::Mul for Fx {
+    type Output = Fx;
+    fn mul(self, rhs: Fx) -> Fx {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl std::fmt::Display for Fx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+impl From<Fx> for f64 {
+    fn from(v: Fx) -> f64 {
+        v.to_f64()
+    }
+}
+
+/// Quantises a float to a signed fixed-point grid with `frac_bits`
+/// fractional bits and a 32-bit word, returning the dequantised float.
+/// Used by the bit-width parity study (E6).
+///
+/// # Panics
+///
+/// Panics if `frac_bits >= 32` or `x` is NaN.
+pub fn quantize(x: f64, frac_bits: u32) -> f64 {
+    assert!(frac_bits < 32, "frac_bits must fit a 32-bit word");
+    assert!(!x.is_nan(), "cannot quantise NaN");
+    let one = (1i64 << frac_bits) as f64;
+    let max = i32::MAX as f64;
+    let min = i32::MIN as f64;
+    ((x * one).round().clamp(min, max)) / one
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_of_exact_values() {
+        for x in [-2.0, -0.5, 0.0, 0.25, 1.0, 100.015625] {
+            assert_eq!(Fx::from_f64(x).to_f64(), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        // 1/65536 is the grid; halfway rounds away from zero via
+        // f64::round.
+        let tiny = 1.0 / 65536.0;
+        assert_eq!(Fx::from_f64(tiny * 0.4).to_f64(), 0.0);
+        assert_eq!(Fx::from_f64(tiny * 0.6).to_f64(), tiny);
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        assert_eq!(Fx::from_f64(1e12), Fx::MAX);
+        assert_eq!(Fx::from_f64(-1e12), Fx::MIN);
+        assert_eq!(Fx::MAX + Fx::from_f64(1.0), Fx::MAX);
+        assert_eq!(Fx::MIN - Fx::from_f64(1.0), Fx::MIN);
+        assert_eq!(Fx::from_f64(30000.0) * Fx::from_f64(30000.0), Fx::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Fx::from_f64(f64::NAN);
+    }
+
+    #[test]
+    fn multiplication_matches_float_for_small_values() {
+        let a = Fx::from_f64(3.125);
+        let b = Fx::from_f64(-2.5);
+        assert_eq!((a * b).to_f64(), -7.8125);
+    }
+
+    #[test]
+    fn display_renders_decimal() {
+        assert_eq!(Fx::from_f64(1.5).to_string(), "1.50000");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let v = Fx::from_f64(-12.0625);
+        assert_eq!(Fx::from_bits(v.to_bits()), v);
+    }
+
+    #[test]
+    fn quantize_is_coarser_with_fewer_bits() {
+        let x = 0.123456789;
+        let q8 = quantize(x, 8);
+        let q16 = quantize(x, 16);
+        let q24 = quantize(x, 24);
+        assert!((x - q24).abs() <= (x - q16).abs());
+        assert!((x - q16).abs() <= (x - q8).abs());
+        assert!((x - q8).abs() <= 1.0 / 512.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantize_16_matches_fx() {
+        for x in [-3.7, 0.0, 0.1, 2.9999, 1000.123] {
+            assert_eq!(quantize(x, 16), Fx::from_f64(x).to_f64(), "{x}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_error_bounded(x in -30000.0f64..30000.0) {
+            let err = (Fx::from_f64(x).to_f64() - x).abs();
+            prop_assert!(err <= 0.5 / 65536.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_add_matches_float_within_range(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let sum = (Fx::from_f64(a) + Fx::from_f64(b)).to_f64();
+            prop_assert!((sum - (a + b)).abs() < 2.0 / 65536.0);
+        }
+
+        #[test]
+        fn prop_mul_error_bounded(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let prod = (Fx::from_f64(a) * Fx::from_f64(b)).to_f64();
+            // Truncation after the multiply plus two input roundings.
+            let tol = (a.abs() + b.abs() + 2.0) / 65536.0;
+            prop_assert!((prod - a * b).abs() <= tol, "a={a} b={b} got {prod}");
+        }
+
+        #[test]
+        fn prop_ordering_matches_float(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let (fa, fb) = (Fx::from_f64(a), Fx::from_f64(b));
+            if (a - b).abs() > 1.0 / 65536.0 {
+                prop_assert_eq!(fa > fb, a > b);
+            }
+        }
+
+        #[test]
+        fn prop_quantize_idempotent(x in -1000.0f64..1000.0, bits in 4u32..17) {
+            let q = quantize(x, bits);
+            prop_assert_eq!(quantize(q, bits), q);
+        }
+    }
+}

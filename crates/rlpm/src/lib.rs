@@ -1,0 +1,65 @@
+//! # rlpm — the reinforcement-learning power management policy
+//!
+//! This crate implements the paper's contribution: a Q-learning DVFS
+//! policy that "predicts a system's characteristics and learns power
+//! management controls to adapt to the system's variations", achieving
+//! lower **energy per unit QoS** than the six Linux governors without
+//! per-scenario tuning.
+//!
+//! ## Structure
+//!
+//! * [`StateSpace`] — discretises the observation into a compact state:
+//!   per-cluster capacity-normalised utilisation and frequency level,
+//!   plus a global QoS-slack bin and the [`Predictor`]'s load-trend bin;
+//! * [`ActionSpace`] — per-cluster frequency-level *deltas*
+//!   (`−2 … +2` levels), the same action encoding used by RL-DVFS
+//!   hardware implementations because it keeps the action set small and
+//!   the actuation incremental;
+//! * [`reward`] — per-epoch reward trading delivered QoS units against
+//!   consumed energy with a violation penalty, the scalarisation of the
+//!   paper's energy-per-QoS objective;
+//! * [`QTable`] / [`QLearningAgent`] — tabular Q-learning with ε-greedy
+//!   exploration and decaying learning-rate/exploration schedules;
+//! * [`RlGovernor`] — packages all of it behind the same
+//!   [`governors::Governor`] trait as the baselines, learning online;
+//! * [`fixed`] — Q16.16 fixed-point arithmetic shared with the `rlpm-hw`
+//!   hardware model, plus quantisation helpers for the bit-width study.
+//!
+//! ```
+//! use governors::Governor;
+//! use rlpm::{RlConfig, RlGovernor};
+//! use soc::{Soc, SocConfig, LevelRequest};
+//!
+//! let soc_cfg = SocConfig::symmetric_quad()?;
+//! let mut policy = RlGovernor::new(RlConfig::for_soc(&soc_cfg), 42);
+//! let mut soc = Soc::new(soc_cfg)?;
+//!
+//! // One closed-loop epoch: run, observe, let the policy pick levels.
+//! let report = soc.run_epoch(&LevelRequest::min(soc.config()))?;
+//! let state = governors::SystemState::new(soc.observe(&report), Default::default());
+//! let request = policy.decide(&state);
+//! soc.run_epoch(&request)?;
+//! # Ok::<(), soc::SocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod action;
+mod agent;
+mod config;
+pub mod fixed;
+mod policy;
+pub mod persist;
+mod predictor;
+mod qtable;
+pub mod reward;
+mod state;
+
+pub use action::{Action, ActionSpace};
+pub use agent::QLearningAgent;
+pub use config::{Algorithm, RlConfig};
+pub use policy::RlGovernor;
+pub use predictor::Predictor;
+pub use qtable::QTable;
+pub use state::{StateIndex, StateSpace};

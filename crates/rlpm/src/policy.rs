@@ -1,0 +1,335 @@
+//! [`RlGovernor`] — the paper's policy behind the common governor
+//! interface.
+//!
+//! Each epoch boundary it (1) feeds the observation to the predictor,
+//! (2) encodes the discrete state, (3) closes the previous transition
+//! with a TD update using the epoch's reward, (4) ε-greedily picks the
+//! next action, and (5) applies the per-cluster level deltas. Freezing
+//! the agent turns the same object into the evaluation-mode policy used
+//! for the headline comparison.
+
+use governors::{Governor, SystemState};
+use soc::LevelRequest;
+
+use crate::reward::{EpochOutcome, RewardFn};
+use crate::{Action, ActionSpace, Predictor, QLearningAgent, RlConfig, StateIndex, StateSpace};
+
+/// The Q-learning power-management governor.
+#[derive(Debug, Clone)]
+pub struct RlGovernor {
+    config: RlConfig,
+    states: StateSpace,
+    actions: ActionSpace,
+    agent: QLearningAgent,
+    predictor: Predictor,
+    reward_fn: RewardFn,
+    prev: Option<(StateIndex, Action)>,
+    last_reward: Option<f64>,
+}
+
+impl RlGovernor {
+    /// Creates the governor from a validated configuration and an
+    /// exploration seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`RlConfig::validate`]).
+    pub fn new(config: RlConfig, seed: u64) -> Self {
+        config.validate();
+        RlGovernor {
+            states: StateSpace::new(&config),
+            actions: ActionSpace::new(&config),
+            agent: QLearningAgent::new(&config, seed),
+            predictor: Predictor::new(&config),
+            reward_fn: RewardFn::from_config(&config),
+            config,
+            prev: None,
+            last_reward: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RlConfig {
+        &self.config
+    }
+
+    /// The state encoder.
+    pub fn state_space(&self) -> &StateSpace {
+        &self.states
+    }
+
+    /// The action encoder.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.actions
+    }
+
+    /// The learning agent (Q-table access, ε/α inspection).
+    pub fn agent(&self) -> &QLearningAgent {
+        &self.agent
+    }
+
+    /// Mutable agent access (loading trained tables, freezing).
+    pub fn agent_mut(&mut self) -> &mut QLearningAgent {
+        &mut self.agent
+    }
+
+    /// Freezes (`true`) or unfreezes (`false`) learning and exploration.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.agent.set_frozen(frozen);
+    }
+
+    /// The reward granted at the most recent decision (None before the
+    /// second decision of an episode).
+    pub fn last_reward(&self) -> Option<f64> {
+        self.last_reward
+    }
+
+    /// Computes the reward signal for an observation (exposed for the
+    /// hardware model, which computes the same quantity in fixed point).
+    pub fn reward_of(&self, state: &SystemState) -> f64 {
+        self.reward_fn.reward(&EpochOutcome {
+            qos_units: state.qos.units,
+            energy_j: state.soc.energy_j,
+            violations: state.qos.violations,
+            pending_jobs: state.qos.pending_jobs,
+        })
+    }
+}
+
+impl Governor for RlGovernor {
+    fn name(&self) -> &str {
+        "rlpm"
+    }
+
+    fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        self.predictor.observe(state);
+        let s = self.states.encode(state, &self.predictor);
+
+        // SARSA is on-policy: the bootstrap needs the action actually
+        // taken in `s`, so the selection happens before the update. The
+        // off-policy algorithms update first so the fresh values inform
+        // this very decision.
+        let a = if self.agent.algorithm() == crate::Algorithm::Sarsa {
+            let a = self.agent.select_action(s);
+            if let Some((ps, pa)) = self.prev {
+                let r = self.reward_of(state);
+                self.agent.update_with_next(ps, pa, r, s, a);
+                self.last_reward = Some(r);
+            }
+            a
+        } else {
+            if let Some((ps, pa)) = self.prev {
+                let r = self.reward_of(state);
+                self.agent.update(ps, pa, r, s);
+                self.last_reward = Some(r);
+            }
+            self.agent.select_action(s)
+        };
+        self.prev = Some((s, a));
+
+        let current: Vec<usize> = state.soc.clusters.iter().map(|c| c.level).collect();
+        self.actions.apply(&current, a)
+    }
+
+    fn reset(&mut self) {
+        // New episode: drop the dangling transition and predictor memory,
+        // keep everything learned.
+        self.prev = None;
+        self.last_reward = None;
+        self.predictor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::state::synthetic_state;
+    use governors::QosFeedback;
+    use soc::SocConfig;
+
+    fn governor() -> RlGovernor {
+        RlGovernor::new(
+            RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap()),
+            42,
+        )
+    }
+
+    fn obs(util: f64, levels: (usize, usize), qos: QosFeedback) -> SystemState {
+        let mut s = synthetic_state(&[
+            (
+                util,
+                levels.0,
+                13,
+                200_000_000 + levels.0 as u64 * 100_000_000,
+                (200_000_000, 1_400_000_000),
+            ),
+            (
+                util,
+                levels.1,
+                19,
+                200_000_000 + levels.1 as u64 * 100_000_000,
+                (200_000_000, 2_000_000_000),
+            ),
+        ]);
+        s.qos = qos;
+        s.soc.energy_j = 0.05;
+        s
+    }
+
+    #[test]
+    fn decisions_are_valid_level_requests() {
+        let mut g = governor();
+        for level in [0usize, 5, 12] {
+            let req = g.decide(&obs(0.5, (level, level), QosFeedback::default()));
+            assert_eq!(req.levels.len(), 2);
+            assert!(req.levels[0] < 13 && req.levels[1] < 19);
+            // Delta actions move at most max_delta from the current level.
+            assert!((req.levels[0] as isize - level as isize).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn learning_happens_from_the_second_decision() {
+        let mut g = governor();
+        assert_eq!(g.agent().updates(), 0);
+        g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
+        assert_eq!(g.agent().updates(), 0, "first decision has no prior transition");
+        g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
+        assert_eq!(g.agent().updates(), 1);
+        assert!(g.last_reward().is_some());
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_episode_but_keeps_learning() {
+        let mut g = governor();
+        g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
+        g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
+        let updates = g.agent().updates();
+        g.reset();
+        assert!(g.last_reward().is_none());
+        g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
+        assert_eq!(
+            g.agent().updates(),
+            updates,
+            "no update across the episode boundary"
+        );
+    }
+
+    #[test]
+    fn frozen_governor_is_deterministic() {
+        let mut g = governor();
+        // Train a bit.
+        for i in 0..200 {
+            let util = (i % 10) as f64 / 10.0;
+            g.decide(&obs(util, (5, 5), QosFeedback::default()));
+        }
+        g.set_frozen(true);
+        let run = |g: &mut RlGovernor| {
+            (0..20)
+                .map(|i| {
+                    let util = (i % 5) as f64 / 5.0;
+                    g.decide(&obs(util, (6, 6), QosFeedback::default())).levels
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut g2 = g.clone();
+        assert_eq!(run(&mut g), run(&mut g2));
+    }
+
+    #[test]
+    fn violations_produce_negative_reward() {
+        let g = governor();
+        let bad = obs(
+            1.0,
+            (0, 0),
+            QosFeedback {
+                qos_ratio: 0.3,
+                units: 0.1,
+                violations: 5,
+                pending_jobs: 12,
+            },
+        );
+        assert!(g.reward_of(&bad) < 0.0);
+        let good = obs(
+            0.5,
+            (5, 5),
+            QosFeedback {
+                qos_ratio: 1.0,
+                units: 1.5,
+                violations: 0,
+                pending_jobs: 0,
+            },
+        );
+        assert!(g.reward_of(&good) > g.reward_of(&bad));
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(governor().name(), "rlpm");
+    }
+
+    #[test]
+    fn learns_to_avoid_penalised_action_in_a_synthetic_loop() {
+        // Synthetic MDP exercising the full decide() path: running below
+        // level 5 on the big cluster causes violations; running above
+        // costs energy. The learned greedy policy in the "comfortable"
+        // state should not slam to the extremes.
+        let mut g = governor();
+        let mut levels = (6usize, 6usize);
+        for _ in 0..3_000 {
+            let qos = if levels.1 < 5 {
+                QosFeedback {
+                    qos_ratio: 0.4,
+                    units: 0.2,
+                    violations: 3,
+                    pending_jobs: 8,
+                }
+            } else {
+                QosFeedback {
+                    qos_ratio: 1.0,
+                    units: 1.0,
+                    violations: 0,
+                    pending_jobs: 0,
+                }
+            };
+            let mut s = obs(0.6, levels, qos);
+            // Energy grows with level.
+            s.soc.energy_j = 0.01 + 0.01 * levels.1 as f64;
+            let req = g.decide(&s);
+            levels = (req.levels[0], req.levels[1]);
+        }
+        // Evaluate frozen from the comfortable state.
+        g.set_frozen(true);
+        g.reset();
+        let mut levels = (6usize, 6usize);
+        let mut visited = Vec::new();
+        for _ in 0..50 {
+            let qos = if levels.1 < 5 {
+                QosFeedback {
+                    qos_ratio: 0.4,
+                    units: 0.2,
+                    violations: 3,
+                    pending_jobs: 8,
+                }
+            } else {
+                QosFeedback {
+                    qos_ratio: 1.0,
+                    units: 1.0,
+                    violations: 0,
+                    pending_jobs: 0,
+                }
+            };
+            let mut s = obs(0.6, levels, qos);
+            s.soc.energy_j = 0.01 + 0.01 * levels.1 as f64;
+            let req = g.decide(&s);
+            levels = (req.levels[0], req.levels[1]);
+            visited.push(levels.1);
+        }
+        let time_in_violation = visited.iter().filter(|&&l| l < 5).count();
+        assert!(
+            time_in_violation <= 10,
+            "policy lingers in the violating region: {visited:?}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Workload characteristic predictor.
+//!
+//! The paper's policy "predicts a system's characteristics": the
+//! observable implementation of that in a tabular agent is a trend
+//! feature — is demand rising, flat, or falling — derived from an EWMA
+//! over the capacity-normalised utilisation. Rising demand lets the
+//! policy raise frequency *before* deadlines slip; falling demand lets it
+//! cut early.
+
+use serde::{Deserialize, Serialize};
+
+use governors::SystemState;
+use simkit::stats::Ewma;
+
+use crate::RlConfig;
+
+/// EWMA-based load predictor with a trend classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predictor {
+    ewma: Ewma,
+    last: f64,
+    trend: f64,
+    dead_band: f64,
+}
+
+impl Predictor {
+    /// Creates a predictor with the configured smoothing and dead band.
+    pub fn new(config: &RlConfig) -> Self {
+        Predictor {
+            ewma: Ewma::new(config.predictor_alpha),
+            last: 0.0,
+            trend: 0.0,
+            dead_band: config.trend_dead_band,
+        }
+    }
+
+    /// Aggregate capacity-normalised demand across clusters for an
+    /// observation, in `[0, 1]`.
+    pub fn demand_of(state: &SystemState) -> f64 {
+        let mut total = 0.0;
+        for c in &state.soc.clusters {
+            let (_, f_max) = c.freq_range_hz;
+            total += (c.util_max * c.freq_hz as f64 / f_max as f64).clamp(0.0, 1.0);
+        }
+        total / state.num_clusters() as f64
+    }
+
+    /// Feeds one epoch's observation; must be called exactly once per
+    /// epoch, before encoding the state.
+    pub fn observe(&mut self, state: &SystemState) {
+        let demand = Self::demand_of(state);
+        let smoothed = self.ewma.update(demand);
+        self.trend = demand - smoothed;
+        self.last = demand;
+    }
+
+    /// Predicted demand for the next epoch (EWMA plus momentum).
+    pub fn predicted_demand(&self) -> f64 {
+        (self.ewma.value() + 1.5 * self.trend).clamp(0.0, 1.0)
+    }
+
+    /// The raw trend signal (positive = rising).
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Classifies the trend into `bins` (odd counts give a symmetric
+    /// falling/flat/rising split; bin `bins/2` is "flat").
+    pub fn trend_bin(&self, bins: usize) -> usize {
+        if bins == 1 {
+            return 0;
+        }
+        let mid = bins / 2;
+        if self.trend > self.dead_band {
+            (mid + 1).min(bins - 1)
+        } else if self.trend < -self.dead_band {
+            mid.saturating_sub(1)
+        } else {
+            mid
+        }
+    }
+
+    /// Clears state between episodes.
+    pub fn reset(&mut self) {
+        self.ewma.reset();
+        self.last = 0.0;
+        self.trend = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::state::synthetic_state;
+    use soc::SocConfig;
+
+    fn predictor() -> Predictor {
+        Predictor::new(&RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap()))
+    }
+
+    fn obs(util: f64) -> SystemState {
+        // Single cluster at max frequency so util == capacity demand.
+        synthetic_state(&[(util, 10, 11, 1_800_000_000, (300_000_000, 1_800_000_000))])
+    }
+
+    #[test]
+    fn flat_load_is_flat_trend() {
+        let mut p = predictor();
+        for _ in 0..20 {
+            p.observe(&obs(0.5));
+        }
+        assert_eq!(p.trend_bin(3), 1);
+        assert!((p.predicted_demand() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn rising_load_is_detected() {
+        let mut p = predictor();
+        for i in 0..10 {
+            p.observe(&obs(0.1 + 0.08 * i as f64));
+        }
+        assert_eq!(p.trend_bin(3), 2);
+        assert!(p.predicted_demand() > 0.8, "momentum extrapolates: {}", p.predicted_demand());
+    }
+
+    #[test]
+    fn falling_load_is_detected() {
+        let mut p = predictor();
+        for i in 0..10 {
+            p.observe(&obs(0.9 - 0.08 * i as f64));
+        }
+        assert_eq!(p.trend_bin(3), 0);
+    }
+
+    #[test]
+    fn small_wiggles_stay_in_dead_band() {
+        let mut p = predictor();
+        for i in 0..50 {
+            p.observe(&obs(0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }));
+        }
+        assert_eq!(p.trend_bin(3), 1);
+    }
+
+    #[test]
+    fn single_bin_always_zero() {
+        let mut p = predictor();
+        p.observe(&obs(1.0));
+        assert_eq!(p.trend_bin(1), 0);
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut p = predictor();
+        for _ in 0..10 {
+            p.observe(&obs(1.0));
+        }
+        p.reset();
+        assert_eq!(p.trend(), 0.0);
+        assert_eq!(p.predicted_demand(), 0.0);
+    }
+
+    #[test]
+    fn demand_normalises_by_frequency() {
+        // 100% busy at the lowest OPP is a small capacity demand.
+        let low = synthetic_state(&[(1.0, 0, 11, 300_000_000, (300_000_000, 1_800_000_000))]);
+        let high = synthetic_state(&[(1.0, 10, 11, 1_800_000_000, (300_000_000, 1_800_000_000))]);
+        assert!(Predictor::demand_of(&low) < 0.2);
+        assert!((Predictor::demand_of(&high) - 1.0).abs() < 1e-12);
+    }
+}

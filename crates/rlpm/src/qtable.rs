@@ -1,0 +1,206 @@
+//! The dense Q-table.
+//!
+//! A flat `states × actions` array of `f64` action values. The hardware
+//! model mirrors this layout into banked BRAMs; the deterministic
+//! lowest-index argmax tie-break matches the hardware comparator tree,
+//! which is what makes software/hardware parity checks exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Action, StateIndex};
+
+/// A dense `states × actions` table of action values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    num_states: usize,
+    num_actions: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// Creates a table with every entry initialised to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `init` is not finite.
+    pub fn new(num_states: usize, num_actions: usize, init: f64) -> Self {
+        assert!(num_states > 0 && num_actions > 0, "table dimensions must be positive");
+        assert!(init.is_finite(), "initial Q value must be finite");
+        QTable {
+            num_states,
+            num_actions,
+            values: vec![init; num_states * num_actions],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    #[inline]
+    fn idx(&self, s: StateIndex, a: Action) -> usize {
+        debug_assert!(s < self.num_states, "state {s} out of range");
+        debug_assert!(a < self.num_actions, "action {a} out of range");
+        s * self.num_actions + a
+    }
+
+    /// The value of `(s, a)`.
+    pub fn get(&self, s: StateIndex, a: Action) -> f64 {
+        self.values[self.idx(s, a)]
+    }
+
+    /// Sets the value of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn set(&mut self, s: StateIndex, a: Action, value: f64) {
+        assert!(value.is_finite(), "Q value must be finite");
+        let i = self.idx(s, a);
+        self.values[i] = value;
+    }
+
+    /// The row of action values for `s`.
+    pub fn row(&self, s: StateIndex) -> &[f64] {
+        let start = self.idx(s, 0);
+        &self.values[start..start + self.num_actions]
+    }
+
+    /// The greedy action for `s`: the *lowest-indexed* maximiser (ties
+    /// break toward the hold action, then lower-power moves, by the
+    /// action ordering).
+    pub fn argmax(&self, s: StateIndex) -> Action {
+        let row = self.row(s);
+        let mut best = 0;
+        let mut best_v = row[0];
+        for (a, &v) in row.iter().enumerate().skip(1) {
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    /// The maximum action value for `s`.
+    pub fn max_value(&self, s: StateIndex) -> f64 {
+        let row = self.row(s);
+        row.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The full value vector (row-major), for hardware export and
+    /// serialisation.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Overwrites the full table (row-major), for restoring a trained
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length or non-finite entries.
+    pub fn load(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.values.len(), "table size mismatch");
+        assert!(values.iter().all(|v| v.is_finite()), "Q values must be finite");
+        self.values.copy_from_slice(values);
+    }
+
+    /// Number of entries that have moved away from `init` (coverage
+    /// diagnostic for training).
+    pub fn visited_entries(&self, init: f64) -> usize {
+        self.values.iter().filter(|&&v| v != init).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn initialises_uniformly() {
+        let t = QTable::new(4, 3, 0.5);
+        for s in 0..4 {
+            for a in 0..3 {
+                assert_eq!(t.get(s, a), 0.5);
+            }
+        }
+        assert_eq!(t.visited_entries(0.5), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut t = QTable::new(4, 3, 0.0);
+        t.set(2, 1, -3.25);
+        assert_eq!(t.get(2, 1), -3.25);
+        assert_eq!(t.get(2, 0), 0.0);
+        assert_eq!(t.visited_entries(0.0), 1);
+    }
+
+    #[test]
+    fn argmax_picks_highest() {
+        let mut t = QTable::new(2, 4, 0.0);
+        t.set(0, 2, 5.0);
+        t.set(0, 3, 4.0);
+        assert_eq!(t.argmax(0), 2);
+        assert_eq!(t.max_value(0), 5.0);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_lowest_index() {
+        let mut t = QTable::new(1, 5, 0.0);
+        t.set(0, 1, 7.0);
+        t.set(0, 3, 7.0);
+        assert_eq!(t.argmax(0), 1);
+    }
+
+    #[test]
+    fn all_equal_row_argmax_is_zero() {
+        let t = QTable::new(1, 25, 0.5);
+        assert_eq!(t.argmax(0), 0, "uniform init prefers the hold action");
+    }
+
+    #[test]
+    fn load_restores_values() {
+        let mut t = QTable::new(2, 2, 0.0);
+        t.load(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn load_rejects_wrong_length() {
+        QTable::new(2, 2, 0.0).load(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_rejects_nan() {
+        QTable::new(1, 1, 0.0).set(0, 0, f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_argmax_is_a_maximiser(values in proptest::collection::vec(-100.0f64..100.0, 5)) {
+            let mut t = QTable::new(1, 5, 0.0);
+            for (a, &v) in values.iter().enumerate() {
+                t.set(0, a, v);
+            }
+            let best = t.argmax(0);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(t.get(0, best), max);
+            // Lowest-index property.
+            for a in 0..best {
+                prop_assert!(t.get(0, a) < max);
+            }
+        }
+    }
+}

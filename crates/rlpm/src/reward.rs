@@ -1,0 +1,143 @@
+//! The per-epoch reward: the scalarisation of "lower energy per QoS
+//! without compromising user satisfaction".
+//!
+//! ```text
+//! r = w_qos · qos_units − w_energy · energy_J − w_violation · violations
+//!     − w_backlog · pending_jobs
+//! ```
+//!
+//! Maximising the long-run sum of this reward minimises energy per unit
+//! QoS subject to the violation penalty: delivered units pay a bounded
+//! positive amount per epoch, so the only way to keep accumulating reward
+//! is to deliver QoS while shaving the energy term. Violations and
+//! backlog are penalised directly because they are the leading edge of
+//! "compromised user satisfaction".
+
+use serde::{Deserialize, Serialize};
+
+use crate::RlConfig;
+
+/// Inputs to the reward for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// QoS units delivered during the epoch (weighted, decay-discounted).
+    pub qos_units: f64,
+    /// Energy consumed during the epoch (J).
+    pub energy_j: f64,
+    /// QoS violations during the epoch.
+    pub violations: u64,
+    /// Jobs still pending at the epoch boundary.
+    pub pending_jobs: usize,
+}
+
+/// Reward weights (copied out of [`RlConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardFn {
+    /// Weight of delivered QoS units.
+    pub w_qos: f64,
+    /// Weight of consumed energy (J).
+    pub w_energy: f64,
+    /// Penalty per violation.
+    pub w_violation: f64,
+    /// Per-epoch cap on penalised violations (variance control).
+    pub violation_cap: u64,
+    /// Penalty per pending job.
+    pub w_backlog: f64,
+}
+
+impl RewardFn {
+    /// Extracts the reward weights from a policy configuration.
+    pub fn from_config(config: &RlConfig) -> Self {
+        RewardFn {
+            w_qos: config.w_qos,
+            w_energy: config.w_energy,
+            w_violation: config.w_violation,
+            violation_cap: config.violation_cap,
+            w_backlog: config.w_backlog,
+        }
+    }
+
+    /// Computes the reward for one epoch.
+    pub fn reward(&self, outcome: &EpochOutcome) -> f64 {
+        self.w_qos * outcome.qos_units
+            - self.w_energy * outcome.energy_j
+            - self.w_violation * outcome.violations.min(self.violation_cap) as f64
+            - self.w_backlog * outcome.pending_jobs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use soc::SocConfig;
+
+    fn reward_fn() -> RewardFn {
+        RewardFn::from_config(&RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap()))
+    }
+
+    fn outcome(qos_units: f64, energy_j: f64, violations: u64, pending: usize) -> EpochOutcome {
+        EpochOutcome {
+            qos_units,
+            energy_j,
+            violations,
+            pending_jobs: pending,
+        }
+    }
+
+    #[test]
+    fn delivering_qos_with_less_energy_is_better() {
+        let r = reward_fn();
+        let cheap = r.reward(&outcome(1.0, 0.02, 0, 0));
+        let expensive = r.reward(&outcome(1.0, 0.15, 0, 0));
+        assert!(cheap > expensive);
+    }
+
+    #[test]
+    fn violations_dominate_marginal_energy_savings() {
+        let r = reward_fn();
+        // Saving the entire epoch's energy (~0.1 J at moderate load) must
+        // not be worth even one violation.
+        let safe = r.reward(&outcome(1.0, 0.10, 0, 0));
+        let violating = r.reward(&outcome(1.0, 0.0, 1, 0));
+        assert!(safe > violating);
+    }
+
+    #[test]
+    fn idle_epoch_prefers_low_energy() {
+        let r = reward_fn();
+        let low = r.reward(&outcome(0.0, 0.005, 0, 0));
+        let high = r.reward(&outcome(0.0, 0.08, 0, 0));
+        assert!(low > high, "with no QoS at stake, energy decides");
+    }
+
+    #[test]
+    fn backlog_is_penalised() {
+        let r = reward_fn();
+        let clean = r.reward(&outcome(0.5, 0.05, 0, 0));
+        let backlogged = r.reward(&outcome(0.5, 0.05, 0, 10));
+        assert!(clean > backlogged);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reward_monotone(
+            qos in 0.0f64..5.0,
+            energy in 0.0f64..0.5,
+            violations in 0u64..5,
+            pending in 0usize..20,
+        ) {
+            let r = reward_fn();
+            let base = r.reward(&outcome(qos, energy, violations, pending));
+            // More QoS is never worse.
+            prop_assert!(r.reward(&outcome(qos + 0.1, energy, violations, pending)) >= base);
+            // More energy is never better.
+            prop_assert!(r.reward(&outcome(qos, energy + 0.01, violations, pending)) <= base);
+            // More violations are never better.
+            prop_assert!(r.reward(&outcome(qos, energy, violations + 1, pending)) <= base);
+            // The cap saturates the penalty.
+            let capped = r.reward(&outcome(qos, energy, 100, pending));
+            prop_assert_eq!(capped, r.reward(&outcome(qos, energy, 1_000, pending)));
+        }
+    }
+}

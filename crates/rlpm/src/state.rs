@@ -1,0 +1,293 @@
+//! State discretisation.
+//!
+//! The paper's policy "considers the behavioral characteristics of
+//! systems … under diverse scenarios": the state must capture how loaded
+//! each cluster is, where its frequency currently sits, whether the user
+//! is getting their QoS, and which way the load is heading.
+//!
+//! The frequency level enters the state *exactly* (one bin per OPP,
+//! capped by [`RlConfig::level_bins`]). Coarse level bins alias several
+//! OPPs into one state; combined with delta actions and the
+//! lower-power-first tie-break, that produces a structural drift: the
+//! policy steps down inside a bin without the Q-table being able to see
+//! it, exits the bin, violates, jumps back up, and oscillates. Exact
+//! levels remove the aliasing.
+
+use serde::{Deserialize, Serialize};
+
+use governors::SystemState;
+
+use crate::{Predictor, RlConfig};
+
+/// Index of a discrete state, in `0..StateSpace::len()`.
+pub type StateIndex = usize;
+
+/// Encodes observations into Q-table state indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSpace {
+    util_bins: usize,
+    /// Effective level bins per cluster: `min(config.level_bins, levels)`.
+    level_bins: Vec<usize>,
+    /// OPP count per cluster (to rescale when level bins are coarse).
+    levels: Vec<usize>,
+    qos_bins: usize,
+    trend_bins: usize,
+}
+
+/// The decoded feature vector, exposed for debugging and the hardware
+/// model's register interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateFeatures {
+    /// Per-cluster busy-fraction bin.
+    pub util: Vec<usize>,
+    /// Per-cluster frequency-level bin (exact level when uncapped).
+    pub level: Vec<usize>,
+    /// QoS slack bin (0 = violating hard, max = comfortable).
+    pub qos: usize,
+    /// Load-trend bin (0 = falling, 1 = flat, 2 = rising for 3 bins).
+    pub trend: usize,
+}
+
+impl StateSpace {
+    /// Builds the state space described by `config`.
+    pub fn new(config: &RlConfig) -> Self {
+        let level_bins = config
+            .levels_per_cluster
+            .iter()
+            .map(|&l| l.min(config.level_bins))
+            .collect();
+        StateSpace {
+            util_bins: config.util_bins,
+            level_bins,
+            levels: config.levels_per_cluster.clone(),
+            qos_bins: config.qos_bins,
+            trend_bins: config.trend_bins,
+        }
+    }
+
+    /// Total number of states.
+    pub fn len(&self) -> usize {
+        self.level_bins
+            .iter()
+            .map(|&b| self.util_bins * b)
+            .product::<usize>()
+            * self.qos_bins
+            * self.trend_bins
+    }
+
+    /// A state space is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Extracts the discrete features from an observation.
+    ///
+    /// `predictor` supplies the trend bin; pass a freshly reset predictor
+    /// for a trendless encoding.
+    pub fn features(&self, state: &SystemState, predictor: &Predictor) -> StateFeatures {
+        let mut util = Vec::with_capacity(self.level_bins.len());
+        let mut level = Vec::with_capacity(self.level_bins.len());
+        for (i, c) in state.soc.clusters.iter().enumerate() {
+            // Raw busy fraction at the current OPP. Together with the
+            // exact level this fully locates the demand: "90% busy at
+            // level 0" (saturating, cheap to fix) and "90% busy at the
+            // top level" (genuinely loaded) are different states, while a
+            // capacity-normalised encoding would fold the whole busy
+            // range at low frequencies into one bin and blind the policy
+            // to low-OPP saturation.
+            util.push(Self::bin(c.util_max.clamp(0.0, 1.0), self.util_bins));
+            let bins = self.level_bins[i];
+            if bins >= self.levels[i] {
+                level.push(c.level);
+            } else {
+                let frac = c.level as f64 / (c.num_levels - 1) as f64;
+                level.push(Self::bin(frac, bins));
+            }
+        }
+        // QoS slack: perfect QoS with no backlog = top bin; violations
+        // drive it to 0.
+        let qos_signal = if state.qos.violations > 0 {
+            0.0
+        } else {
+            (state.qos.qos_ratio - 0.02 * state.qos.pending_jobs as f64).clamp(0.0, 1.0)
+        };
+        let qos = Self::bin(qos_signal, self.qos_bins);
+        let trend = predictor.trend_bin(self.trend_bins);
+        StateFeatures {
+            util,
+            level,
+            qos,
+            trend,
+        }
+    }
+
+    /// Encodes an observation into a state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's cluster count differs from the
+    /// configured one.
+    pub fn encode(&self, state: &SystemState, predictor: &Predictor) -> StateIndex {
+        assert_eq!(
+            state.num_clusters(),
+            self.level_bins.len(),
+            "observation has wrong cluster count"
+        );
+        self.index_of(&self.features(state, predictor))
+    }
+
+    /// Converts features to an index (mixed-radix packing).
+    pub fn index_of(&self, f: &StateFeatures) -> StateIndex {
+        let mut idx = 0;
+        for ((u, l), &bins) in f.util.iter().zip(&f.level).zip(&self.level_bins) {
+            debug_assert!(*u < self.util_bins && *l < bins);
+            idx = idx * self.util_bins + u;
+            idx = idx * bins + l;
+        }
+        idx = idx * self.qos_bins + f.qos;
+        idx = idx * self.trend_bins + f.trend;
+        idx
+    }
+
+    fn bin(x: f64, bins: usize) -> usize {
+        ((x * bins as f64) as usize).min(bins - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::state::synthetic_state;
+    use soc::SocConfig;
+
+    fn space() -> (StateSpace, Predictor, RlConfig) {
+        let cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        (StateSpace::new(&cfg), Predictor::new(&cfg), cfg)
+    }
+
+    fn obs(u_l: f64, u_b: f64, lvl_l: usize, lvl_b: usize) -> SystemState {
+        synthetic_state(&[
+            (
+                u_l,
+                lvl_l,
+                13,
+                200_000_000 + lvl_l as u64 * 100_000_000,
+                (200_000_000, 1_400_000_000),
+            ),
+            (
+                u_b,
+                lvl_b,
+                19,
+                200_000_000 + lvl_b as u64 * 100_000_000,
+                (200_000_000, 2_000_000_000),
+            ),
+        ])
+    }
+
+    #[test]
+    fn index_is_within_bounds_everywhere() {
+        let (space, pred, _) = space();
+        for u in [0.0, 0.3, 0.7, 1.0] {
+            for lvl in [0usize, 6, 12] {
+                let idx = space.encode(&obs(u, u, lvl, lvl), &pred);
+                assert!(idx < space.len());
+            }
+        }
+    }
+
+    #[test]
+    fn uncapped_config_gives_every_opp_level_its_own_state() {
+        // With level_bins >= the table size, adjacent levels never alias.
+        let mut cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        cfg.level_bins = 32;
+        let space = StateSpace::new(&cfg);
+        let pred = Predictor::new(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        for lvl_b in 0..19 {
+            let idx = space.encode(&obs(0.5, 0.5, 5, lvl_b), &pred);
+            assert!(seen.insert(idx), "big level {lvl_b} aliases another level");
+        }
+        for lvl_l in 0..13 {
+            let idx = space.encode(&obs(0.5, 0.5, lvl_l, 5), &pred);
+            assert!(idx < space.len());
+        }
+    }
+
+    #[test]
+    fn distinct_features_give_distinct_indices() {
+        let (space, pred, _) = space();
+        let a = space.encode(&obs(0.1, 0.1, 0, 0), &pred);
+        let b = space.encode(&obs(0.9, 0.1, 0, 0), &pred);
+        let c = space.encode(&obs(0.1, 0.1, 12, 0), &pred);
+        assert_ne!(a, b, "utilisation must be visible in the state");
+        assert_ne!(a, c, "frequency level must be visible in the state");
+    }
+
+    #[test]
+    fn index_of_is_injective_over_feature_grid() {
+        let (space, _, cfg) = space();
+        let mut seen = std::collections::HashSet::new();
+        for u0 in 0..cfg.util_bins {
+            for l0 in 0..cfg.level_bins.min(13) {
+                for u1 in 0..cfg.util_bins {
+                    for l1 in 0..cfg.level_bins.min(19) {
+                        for q in 0..cfg.qos_bins {
+                            for t in 0..cfg.trend_bins {
+                                let f = StateFeatures {
+                                    util: vec![u0, u1],
+                                    level: vec![l0, l1],
+                                    qos: q,
+                                    trend: t,
+                                };
+                                let idx = space.index_of(&f);
+                                assert!(idx < space.len());
+                                assert!(seen.insert(idx), "collision at {f:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), space.len(), "packing is a bijection");
+    }
+
+    #[test]
+    fn coarse_cap_still_bins_sanely() {
+        let mut cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        cfg.level_bins = 4;
+        let space = StateSpace::new(&cfg);
+        let pred = Predictor::new(&cfg);
+        assert_eq!(space.len(), (6 * 4) * (6 * 4) * 4 * 3);
+        let f_low = space.features(&obs(0.5, 0.5, 0, 0), &pred);
+        let f_high = space.features(&obs(0.5, 0.5, 12, 18), &pred);
+        assert_eq!(f_low.level, vec![0, 0]);
+        assert_eq!(f_high.level, vec![3, 3]);
+    }
+
+    #[test]
+    fn violations_zero_the_qos_bin() {
+        let (space, pred, _) = space();
+        let mut s = obs(0.5, 0.5, 3, 3);
+        s.qos.violations = 2;
+        let f = space.features(&s, &pred);
+        assert_eq!(f.qos, 0);
+    }
+
+    #[test]
+    fn saturation_at_min_opp_is_visible() {
+        // A saturated cluster at the lowest OPP must land in a different
+        // util bin than an idle one.
+        let (space, pred, _) = space();
+        let idle = space.features(&obs(0.05, 0.0, 0, 0), &pred);
+        let saturated = space.features(&obs(0.95, 0.0, 0, 0), &pred);
+        assert!(saturated.util[0] > idle.util[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong cluster count")]
+    fn arity_mismatch_panics() {
+        let (space, pred, _) = space();
+        let s = synthetic_state(&[(0.5, 0, 13, 200_000_000, (200_000_000, 1_400_000_000))]);
+        space.encode(&s, &pred);
+    }
+}

@@ -1,0 +1,258 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by their scheduled time; events scheduled for the same
+//! instant are delivered in FIFO insertion order. Determinism of simultaneous
+//! events matters: a DVFS epoch boundary and a job arrival can coincide, and
+//! the simulation must behave identically run-to-run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An event together with the instant it is scheduled for.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number establishing FIFO order among simultaneous
+    /// events.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of timestamped events with stable FIFO tie-breaking.
+///
+/// ```
+/// use simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_millis(1);
+/// q.schedule(t, "first");
+/// q.schedule(t, "second"); // same instant: FIFO order is preserved
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("first"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock: the time of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past indicates a simulation bug and must not be silently
+    /// reordered.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "heap returned an out-of-order event");
+        self.now = ev.at;
+        Some((ev.at, ev.event))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `deadline`. Leaves later events queued and the clock untouched
+    /// otherwise.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drops all pending events without changing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(30), "b");
+        assert_eq!(q.pop_until(SimTime::from_millis(20)), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop_until(SimTime::from_millis(20)), None);
+        assert_eq!(q.len(), 1);
+        // Clock stayed at the last popped event, not the deadline.
+        assert_eq!(q.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 1);
+        q.pop();
+        // Re-scheduling at exactly `now` models zero-delay follow-up events.
+        q.schedule(SimTime::from_millis(10), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 2)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        /// Whatever order events are inserted in, they come out sorted by
+        /// time, with ties in insertion order.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ms) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(ms), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &ms)| (ms, i)).collect();
+            expected.sort(); // stable key (ms, insertion index)
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_millis(), i))).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Interleaved schedule/pop never yields a decreasing clock.
+        #[test]
+        fn prop_clock_is_monotone(deltas in proptest::collection::vec(0u64..50, 1..100)) {
+            let mut q = EventQueue::new();
+            let mut last = SimTime::ZERO;
+            for &d in &deltas {
+                let at = q.now() + SimDuration::from_millis(d);
+                q.schedule(at, ());
+                let (t, _) = q.pop().unwrap();
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # simkit — simulation substrate for the `rlpm` workspace
+//!
+//! This crate provides the domain-neutral building blocks every other crate
+//! in the workspace is written on top of:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time
+//!   with overflow-checked arithmetic;
+//! * [`EventQueue`] — a deterministic discrete-event queue with stable
+//!   FIFO ordering for simultaneous events;
+//! * [`SimRng`] — a seedable, splittable random source plus the handful of
+//!   distributions the workload generators need;
+//! * [`stats`] — online statistics (Welford mean/variance, fixed-bin
+//!   histograms with percentile queries, exponentially weighted moving
+//!   averages);
+//! * [`trace`] — time-series recording with CSV export for the experiment
+//!   harness.
+//!
+//! Everything is deterministic given a seed: there is no wall-clock access
+//! anywhere in the workspace's simulation path.
+//!
+//! ```
+//! use simkit::{SimTime, SimDuration, EventQueue};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(5), "dvfs-epoch");
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(1), "job-arrival");
+//! let (t, ev) = queue.pop().expect("queue is non-empty");
+//! assert_eq!(ev, "job-arrival");
+//! assert_eq!(t.as_micros(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod rng;
+mod time;
+
+pub mod stats;
+pub mod trace;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,550 @@
+//! Online statistics: running moments, histograms with percentile queries,
+//! and exponentially weighted moving averages.
+//!
+//! The experiment harness aggregates per-epoch measurements (power, QoS,
+//! decision latency) over long simulations; these accumulators keep memory
+//! constant regardless of run length.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean / variance / min / max via Welford's algorithm.
+///
+/// ```
+/// use simkit::stats::Running;
+///
+/// let mut acc = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert_eq!(acc.count(), 4);
+/// assert_eq!(acc.min(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN — a NaN sample silently poisons every statistic,
+    /// so it is rejected at the boundary.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample added to statistics accumulator");
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (zero when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples have been added.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty accumulator");
+        self.min
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples have been added.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty accumulator");
+        self.max
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Running::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// A fixed-range linear-bin histogram with percentile queries.
+///
+/// Samples outside the configured range are clamped into the first/last bin
+/// and counted, so percentile queries remain conservative.
+///
+/// ```
+/// use simkit::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 100);
+/// for i in 0..100 {
+///     h.add(i as f64);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 - 50.0).abs() <= 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+    clamped_low: u64,
+    clamped_high: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            clamped_low: 0,
+            clamped_high: 0,
+        }
+    }
+
+    /// Adds one sample, clamping out-of-range values into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample added to histogram");
+        let n = self.bins.len();
+        let idx = if x < self.lo {
+            self.clamped_low += 1;
+            0
+        } else if x >= self.hi {
+            self.clamped_high += 1;
+            n - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples that fell below / above the configured range.
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.clamped_low, self.clamped_high)
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The value at percentile `p` (0–100), estimated as the upper edge of
+    /// the bin containing that rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(self.count > 0, "percentile of empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.lo + width * (i + 1) as f64;
+            }
+        }
+        self.hi
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different configurations"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.clamped_low += other.clamped_low;
+        self.clamped_high += other.clamped_high;
+    }
+}
+
+/// An exponentially weighted moving average.
+///
+/// Used by the workload predictor in the RL policy and by the `interactive`
+/// governor's load tracking.
+///
+/// ```
+/// use simkit::stats::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.update(10.0);
+/// e.update(20.0);
+/// assert_eq!(e.value(), 15.0); // 0.5*20 + 0.5*10
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha weights recent samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1], got {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one sample and returns the updated average. The first sample
+    /// initialises the average directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn update(&mut self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "NaN sample fed to EWMA");
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average (zero before any sample).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn is_initialized(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Clears the average back to the uninitialised state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn running_basic_moments() {
+        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.mean(), 5.0);
+        assert_eq!(acc.variance(), 4.0);
+        assert_eq!(acc.std_dev(), 2.0);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.sum(), 40.0);
+    }
+
+    #[test]
+    fn running_empty_is_safe_for_mean_and_variance() {
+        let acc = Running::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn running_min_of_empty_panics() {
+        Running::new().min();
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn running_rejects_nan() {
+        Running::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Running = xs.iter().copied().collect();
+        let mut left: Running = xs[..37].iter().copied().collect();
+        let right: Running = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn running_merge_with_empty_is_identity() {
+        let mut acc: Running = [1.0, 2.0].into_iter().collect();
+        let before = acc;
+        acc.merge(&Running::new());
+        assert_eq!(acc, before);
+
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new(0.0, 1000.0, 1000);
+        for i in 0..1000 {
+            h.add(i as f64);
+        }
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            let v = h.percentile(p);
+            assert!((v - 10.0 * p).abs() <= 11.0, "p{p} -> {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(-5.0);
+        h.add(15.0);
+        assert_eq!(h.clamped(), (1, 1));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn histogram_percentile_0_and_100() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.add(5.0);
+        h.add(95.0);
+        assert!(h.percentile(0.0) <= 10.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn histogram_percentile_of_empty_panics() {
+        Histogram::new(0.0, 1.0, 4).percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 2.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.add(1.0);
+        b.add(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.bins()[1], 1);
+        assert_eq!(a.bins()[9], 1);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.update(42.0);
+        }
+        assert!((e.value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_sample_initialises() {
+        let mut e = Ewma::new(0.1);
+        assert!(!e.is_initialized());
+        e.update(7.0);
+        assert_eq!(e.value(), 7.0);
+        assert!(e.is_initialized());
+    }
+
+    #[test]
+    fn ewma_reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(1.0);
+        e.reset();
+        assert!(!e.is_initialized());
+        e.update(3.0);
+        assert_eq!(e.value(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_running_mean_within_min_max(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+            let acc: Running = xs.iter().copied().collect();
+            prop_assert!(acc.mean() >= acc.min() - 1e-6);
+            prop_assert!(acc.mean() <= acc.max() + 1e-6);
+            prop_assert!(acc.variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_running_merge_matches_whole(
+            xs in proptest::collection::vec(-1e6f64..1e6, 2..100),
+            split in 1usize..99,
+        ) {
+            let split = split.min(xs.len() - 1);
+            let whole: Running = xs.iter().copied().collect();
+            let mut left: Running = xs[..split].iter().copied().collect();
+            let right: Running = xs[split..].iter().copied().collect();
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        }
+
+        #[test]
+        fn prop_histogram_percentile_is_monotone(
+            xs in proptest::collection::vec(0.0f64..100.0, 1..200),
+        ) {
+            let mut h = Histogram::new(0.0, 100.0, 50);
+            for &x in &xs {
+                h.add(x);
+            }
+            let mut last = f64::NEG_INFINITY;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                let v = h.percentile(p);
+                prop_assert!(v >= last, "p{} = {} < previous {}", p, v, last);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn prop_ewma_stays_within_sample_hull(
+            alpha in 0.01f64..=1.0,
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut e = Ewma::new(alpha);
+            for &x in &xs {
+                let v = e.update(x);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Simulated time: absolute instants and durations at nanosecond resolution.
+//!
+//! Nanoseconds in a `u64` cover ~584 years of simulated time, far beyond
+//! any experiment in this workspace, while resolving individual fabric
+//! clock cycles (10 ns at 100 MHz) in the hardware-latency model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is ordered and supports arithmetic with [`SimDuration`]:
+///
+/// ```
+/// use simkit::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(20);
+/// assert_eq!(t.as_micros(), 20_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// ```
+/// use simkit::SimDuration;
+///
+/// let epoch = SimDuration::from_millis(20);
+/// assert_eq!(epoch / 4, SimDuration::from_millis(5));
+/// assert_eq!(epoch.as_secs_f64(), 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the origin.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond representation.
+    pub const fn from_micros(micros: u64) -> Self {
+        match micros.checked_mul(1_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_micros overflowed"),
+        }
+    }
+
+    /// Creates an instant `millis` milliseconds after the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_millis overflowed"),
+        }
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_secs(secs: u64) -> Self {
+        match secs.checked_mul(1_000_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_secs overflowed"),
+        }
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the origin (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since the origin (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the origin as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is in the future, mirroring
+    /// `std::time::Instant::saturating_duration_since`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The duration elapsed since `earlier`, or `None` if `earlier > self`.
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Adds a duration, returning `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Rounds this instant *down* to a multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn align_down(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "alignment step must be non-zero");
+        SimTime(self.0 - self.0 % step.0)
+    }
+
+    /// Rounds this instant *up* to a multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or the result overflows.
+    pub fn align_up(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "alignment step must be non-zero");
+        let rem = self.0 % step.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(
+                self.0
+                    .checked_add(step.0 - rem)
+                    .expect("SimTime::align_up overflowed"),
+            )
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// A duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// A duration of `micros` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond representation.
+    pub const fn from_micros(micros: u64) -> Self {
+        match micros.checked_mul(1_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_micros overflowed"),
+        }
+    }
+
+    /// A duration of `millis` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_millis overflowed"),
+        }
+    }
+
+    /// A duration of `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_secs(secs: u64) -> Self {
+        match secs.checked_mul(1_000_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_secs overflowed"),
+        }
+    }
+
+    /// A duration of `secs` seconds given as a float, rounded to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, non-finite, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        let ns = (secs * 1e9).round();
+        assert!(ns <= u64::MAX as f64, "duration overflows: {secs} s");
+        SimDuration(ns as u64)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+
+    /// Checked integer multiplication.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
+    }
+
+    /// Multiplies by a float factor, rounding to the nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite, or on overflow.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflowed"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime difference underflowed (rhs is later than lhs)"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration multiplication overflowed"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    /// How many whole `rhs` intervals fit in `self`.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_micros(3), SimTime::from_nanos(3_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn time_plus_duration_round_trips() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_micros(123);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps_to_zero() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
+        assert_eq!(
+            late.saturating_duration_since(early),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn checked_duration_since_detects_order() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.checked_duration_since(late), None);
+        assert_eq!(
+            late.checked_duration_since(early),
+            Some(SimDuration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn align_down_and_up() {
+        let step = SimDuration::from_millis(20);
+        assert_eq!(SimTime::from_millis(45).align_down(step), SimTime::from_millis(40));
+        assert_eq!(SimTime::from_millis(45).align_up(step), SimTime::from_millis(60));
+        assert_eq!(SimTime::from_millis(40).align_down(step), SimTime::from_millis(40));
+        assert_eq!(SimTime::from_millis(40).align_up(step), SimTime::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn align_rejects_zero_step() {
+        let _ = SimTime::from_millis(1).align_down(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_float_round_trip() {
+        let d = SimDuration::from_secs_f64(0.125);
+        assert_eq!(d.as_micros(), 125_000);
+        assert_eq!(d.as_secs_f64(), 0.125);
+        // Sub-microsecond values survive: 120 ns is representable.
+        assert_eq!(SimDuration::from_secs_f64(120e-9).as_nanos(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_division_counts_intervals() {
+        let epoch = SimDuration::from_millis(20);
+        let total = SimDuration::from_secs(1);
+        assert_eq!(total / epoch, 50);
+        assert_eq!(total % epoch, SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis(25) % epoch, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_pick_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(999).to_string(), "999ns");
+        assert_eq!(SimDuration::from_micros(999).to_string(), "999.000us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_overflow_panics() {
+        let _ = SimTime::MAX + SimDuration::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_difference_panics() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_align_down_le_input_le_align_up(us in 0u64..1_000_000_000, step_ms in 1u64..1_000) {
+            let t = SimTime::from_micros(us);
+            let step = SimDuration::from_millis(step_ms);
+            let down = t.align_down(step);
+            let up = t.align_up(step);
+            prop_assert!(down <= t);
+            prop_assert!(t <= up);
+            prop_assert_eq!(down.as_micros() % step.as_micros(), 0);
+            prop_assert_eq!(up.as_micros() % step.as_micros(), 0);
+            prop_assert!(up.as_micros() - down.as_micros() <= step.as_micros());
+        }
+
+        #[test]
+        fn prop_time_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+            let t = SimTime::from_nanos(a);
+            let d = SimDuration::from_nanos(b);
+            prop_assert_eq!((t + d).checked_duration_since(t), Some(d));
+        }
+
+        #[test]
+        fn prop_duration_ordering_matches_nanos(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let da = SimDuration::from_nanos(a);
+            let db = SimDuration::from_nanos(b);
+            prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Time-series trace recording.
+//!
+//! Experiments record per-epoch signals (frequency, power, utilisation,
+//! QoS) into a [`Trace`] and export them as CSV so figures can be
+//! regenerated outside the harness.
+
+use std::fmt::Write as _;
+use std::io;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// One multi-column sample at an instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// One value per configured column.
+    pub values: Vec<f64>,
+}
+
+/// A named multi-column time series.
+///
+/// ```
+/// use simkit::{SimTime, trace::Trace};
+///
+/// let mut trace = Trace::new("power", ["big_w", "little_w"]);
+/// trace.record(SimTime::from_millis(20), [1.5, 0.3]);
+/// trace.record(SimTime::from_millis(40), [2.0, 0.4]);
+/// assert_eq!(trace.len(), 2);
+/// let csv = trace.to_csv();
+/// assert!(csv.starts_with("time_s,big_w,little_w\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    columns: Vec<String>,
+    samples: Vec<Sample>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new<I, S>(name: &str, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "trace needs at least one column");
+        Trace {
+            name: name.to_owned(),
+            columns,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the number of columns,
+    /// or if `at` is earlier than the previous sample (traces are
+    /// append-only in time order).
+    pub fn record<I>(&mut self, at: SimTime, values: I)
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let values: Vec<f64> = values.into_iter().collect();
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "sample arity {} does not match {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        if let Some(last) = self.samples.last() {
+            assert!(
+                at >= last.at,
+                "trace samples must be recorded in time order: {at} < {prev}",
+                prev = last.at
+            );
+        }
+        self.samples.push(Sample { at, values });
+    }
+
+    /// The recorded samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Extracts a single column as `(seconds, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is not one of the configured column names.
+    pub fn series(&self, column: &str) -> Vec<(f64, f64)> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .unwrap_or_else(|| panic!("unknown trace column {column:?}"));
+        self.samples
+            .iter()
+            .map(|s| (s.at.as_secs_f64(), s.values[idx]))
+            .collect()
+    }
+
+    /// Renders the trace as CSV with a `time_s` first column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 24 + 64);
+        out.push_str("time_s");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for s in &self.samples {
+            let _ = write!(out, "{:.6}", s.at.as_secs_f64());
+            for v in &s.values {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_csv<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::new("demo", ["a", "b"]);
+        t.record(SimTime::from_millis(1), [1.0, 10.0]);
+        t.record(SimTime::from_millis(2), [2.0, 20.0]);
+        t.record(SimTime::from_millis(3), [3.0, 30.0]);
+        t
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let t = demo_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.columns(), ["a".to_owned(), "b".to_owned()]);
+        assert_eq!(t.samples()[1].values, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn series_extracts_column() {
+        let t = demo_trace();
+        let b = t.series("b");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[2], (0.003, 30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown trace column")]
+    fn series_rejects_unknown_column() {
+        demo_trace().series("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn record_rejects_wrong_arity() {
+        let mut t = Trace::new("x", ["a"]);
+        t.record(SimTime::ZERO, [1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn record_rejects_time_regression() {
+        let mut t = Trace::new("x", ["a"]);
+        t.record(SimTime::from_millis(2), [1.0]);
+        t.record(SimTime::from_millis(1), [1.0]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let mut t = Trace::new("x", ["a"]);
+        let at = SimTime::from_millis(2);
+        t.record(at, [1.0]);
+        t.record(at, [2.0]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_shape_is_stable() {
+        let t = demo_trace();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.001000,1,10"));
+    }
+
+    #[test]
+    fn write_csv_round_trips_through_writer() {
+        let t = demo_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).expect("writing to Vec cannot fail");
+        assert_eq!(String::from_utf8(buf).unwrap(), t.to_csv());
+    }
+
+    #[test]
+    fn long_trace_remains_ordered() {
+        let mut t = Trace::new("x", ["v"]);
+        let mut at = SimTime::ZERO;
+        for i in 0..1000 {
+            t.record(at, [i as f64]);
+            at += SimDuration::from_millis(20);
+        }
+        let s = t.series("v");
+        assert_eq!(s.len(), 1000);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,547 @@
+//! A DVFS cluster: a group of identical cores sharing one frequency /
+//! voltage domain, a power model and a thermal node.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::{SimDuration, SimTime};
+
+use crate::{ClusterConfig, CompletedJob, CoreModel, IdleDepth, Job, OppLevel, SocError};
+
+/// Per-epoch aggregate report for one cluster.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Mean busy fraction across cores and sub-steps.
+    pub util_avg: f64,
+    /// Busy fraction of the busiest core, averaged over sub-steps (what
+    /// Linux cpufreq governors act on).
+    pub util_max: f64,
+    /// Energy consumed this epoch (J), including uncore and transitions.
+    pub energy_j: f64,
+    /// Junction temperature at the end of the epoch (°C).
+    pub temp_c: f64,
+    /// OPP level in effect at the end of the epoch.
+    pub level: OppLevel,
+    /// Number of DVFS transitions performed this epoch.
+    pub transitions: u32,
+    /// Jobs completed this epoch.
+    pub completed: Vec<CompletedJob>,
+    /// Queued jobs remaining at the end of the epoch.
+    pub queued: usize,
+    /// Core-seconds spent clock-gated this epoch (zero without cpuidle).
+    pub idle_gated_s: f64,
+    /// Core-seconds spent power-collapsed this epoch.
+    pub idle_collapsed_s: f64,
+}
+
+/// Observation of one cluster handed to governors at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterObservation {
+    /// Mean busy fraction across cores and sub-steps.
+    pub util_avg: f64,
+    /// Busiest-core busy fraction.
+    pub util_max: f64,
+    /// Current OPP level.
+    pub level: OppLevel,
+    /// Number of levels in the table.
+    pub num_levels: usize,
+    /// Current frequency (Hz).
+    pub freq_hz: u64,
+    /// Minimum and maximum frequency of the table (Hz).
+    pub freq_range_hz: (u64, u64),
+    /// Junction temperature (°C).
+    pub temp_c: f64,
+    /// Whether the thermal clamp is engaged.
+    pub throttled: bool,
+    /// Jobs queued (including in-flight) on the cluster.
+    pub queued: usize,
+}
+
+/// A group of cores sharing a DVFS domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    config: ClusterConfig,
+    cores: Vec<CoreModel>,
+    level: OppLevel,
+    /// Stall applied to the next sub-step because of an in-flight
+    /// transition.
+    pending_stall: SimDuration,
+    /// Accumulators for the epoch in progress.
+    acc: EpochAcc,
+}
+
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct EpochAcc {
+    substeps: u32,
+    util_avg_sum: f64,
+    util_max_sum: f64,
+    energy_j: f64,
+    transitions: u32,
+    completed: Vec<CompletedJob>,
+    idle_gated_s: f64,
+    idle_collapsed_s: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster from its configuration, starting at the lowest OPP
+    /// with all cores idle.
+    pub fn new(config: ClusterConfig) -> Self {
+        let cores = (0..config.cores).map(|_| CoreModel::new(config.ipc)).collect();
+        Cluster {
+            config,
+            cores,
+            level: 0,
+            pending_stall: SimDuration::ZERO,
+            acc: EpochAcc::default(),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current OPP level.
+    pub fn level(&self) -> OppLevel {
+        self.level
+    }
+
+    /// Current frequency in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.config.opps.opp(self.level).freq_hz
+    }
+
+    /// Current junction temperature.
+    pub fn temp_c(&self) -> f64 {
+        self.config.thermal.temp_c()
+    }
+
+    /// Whether the thermal clamp is engaged.
+    pub fn is_throttled(&self) -> bool {
+        self.config.thermal.is_throttled()
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Total queued jobs across cores.
+    pub fn queued_jobs(&self) -> usize {
+        self.cores.iter().map(CoreModel::queue_len).sum()
+    }
+
+    /// Total backlog in reference instructions.
+    pub fn backlog(&self) -> f64 {
+        self.cores.iter().map(CoreModel::backlog).sum()
+    }
+
+    /// Effective capacity at the current OPP (reference instructions per
+    /// second across all cores).
+    pub fn capacity_ips(&self) -> f64 {
+        self.cores.len() as f64 * self.config.ipc * self.freq_hz() as f64
+    }
+
+    /// Index of the core with the smallest backlog.
+    pub fn least_loaded_core(&self) -> usize {
+        self.cores
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.backlog()
+                    .partial_cmp(&b.backlog())
+                    .expect("backlog is never NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("cluster has at least one core")
+    }
+
+    /// Enqueues a job on a specific core, charging the cpuidle wake-up
+    /// stall if the core was in a deep idle state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn enqueue_on(&mut self, core: usize, job: Job) {
+        if let Some(idle) = &self.config.idle {
+            let depth = idle.depth(self.cores[core].idle_for());
+            if depth != IdleDepth::Active {
+                self.cores[core].wake(idle.wake_latency(depth));
+            }
+        }
+        self.cores[core].enqueue(job);
+    }
+
+    /// Requests a new OPP level, applying the thermal clamp. Returns the
+    /// level actually set. A change incurs the configured transition
+    /// stall and energy at the next sub-step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::LevelOutOfRange`] if `level` is beyond the
+    /// table (clamping to the thermal limit is silent, but a level the
+    /// table never had is a caller bug worth surfacing).
+    pub fn set_level(&mut self, level: OppLevel, cluster_id: usize) -> Result<OppLevel, SocError> {
+        if level > self.config.opps.max_level() {
+            return Err(SocError::LevelOutOfRange {
+                cluster: cluster_id,
+                requested: level,
+                available: self.config.opps.len(),
+            });
+        }
+        let clamped = level.min(self.config.thermal.clamp_max_level(self.config.opps.max_level()));
+        if clamped != self.level {
+            self.level = clamped;
+            self.pending_stall = self.config.transition_latency;
+            self.acc.energy_j += self.config.power.transition_energy_j;
+            self.acc.transitions += 1;
+        }
+        Ok(self.level)
+    }
+
+    /// Advances all cores by one sub-step and integrates power and
+    /// temperature.
+    pub fn advance_substep(&mut self, start: SimTime, dt: SimDuration) {
+        let stall = self.pending_stall.min(dt);
+        self.pending_stall = SimDuration::ZERO;
+        let opp = self.config.opps.opp(self.level);
+        let temp = self.config.thermal.temp_c();
+        let dt_s = dt.as_secs_f64();
+
+        let mut busy = Vec::with_capacity(self.cores.len());
+        let mut power_w = self.config.power.uncore_w(opp);
+        for core in &mut self.cores {
+            // The cpuidle depth in effect during this sub-step is decided
+            // by the residency at its start (waking resets it via
+            // `enqueue_on`).
+            let depth = self
+                .config
+                .idle
+                .as_ref()
+                .map(|idle| idle.depth(core.idle_for()))
+                .unwrap_or(IdleDepth::Active);
+            let report = core.advance(start, dt, opp.freq_hz, stall);
+            let (dyn_scale, leak_scale) = self
+                .config
+                .idle
+                .as_ref()
+                .map(|idle| idle.power_scales(depth))
+                .unwrap_or((1.0, 1.0));
+            power_w += self
+                .config
+                .power
+                .core_w_scaled(opp, report.busy, temp, dyn_scale, leak_scale);
+            match depth {
+                IdleDepth::ClockGated => self.acc.idle_gated_s += dt_s,
+                IdleDepth::Collapsed => self.acc.idle_collapsed_s += dt_s,
+                IdleDepth::Active => {}
+            }
+            busy.push(report.busy);
+            self.acc.completed.extend(report.completed);
+        }
+
+        self.acc.energy_j += power_w * dt_s;
+        self.config.thermal.step(power_w, dt);
+
+        // Re-apply the thermal clamp in case the trip point was crossed
+        // mid-epoch while running at a now-forbidden level.
+        let clamp = self.config.thermal.clamp_max_level(self.config.opps.max_level());
+        if self.level > clamp {
+            self.level = clamp;
+            self.pending_stall = self.config.transition_latency;
+            self.acc.energy_j += self.config.power.transition_energy_j;
+            self.acc.transitions += 1;
+        }
+
+        let n = busy.len() as f64;
+        self.acc.util_avg_sum += busy.iter().sum::<f64>() / n;
+        self.acc.util_max_sum += busy.iter().copied().fold(0.0, f64::max);
+        self.acc.substeps += 1;
+    }
+
+    /// Closes the epoch: returns the aggregate report and clears the
+    /// accumulators.
+    pub fn end_epoch(&mut self) -> ClusterReport {
+        let acc = std::mem::take(&mut self.acc);
+        let n = acc.substeps.max(1) as f64;
+        ClusterReport {
+            util_avg: acc.util_avg_sum / n,
+            util_max: acc.util_max_sum / n,
+            energy_j: acc.energy_j,
+            temp_c: self.config.thermal.temp_c(),
+            level: self.level,
+            transitions: acc.transitions,
+            completed: acc.completed,
+            queued: self.queued_jobs(),
+            idle_gated_s: acc.idle_gated_s,
+            idle_collapsed_s: acc.idle_collapsed_s,
+        }
+    }
+
+    /// A snapshot observation for governors.
+    pub fn observe(&self, util_avg: f64, util_max: f64) -> ClusterObservation {
+        ClusterObservation {
+            util_avg,
+            util_max,
+            level: self.level,
+            num_levels: self.config.opps.len(),
+            freq_hz: self.freq_hz(),
+            freq_range_hz: (self.config.opps.min_freq_hz(), self.config.opps.max_freq_hz()),
+            temp_c: self.temp_c(),
+            throttled: self.is_throttled(),
+            queued: self.queued_jobs(),
+        }
+    }
+
+    /// Clears queues, resets thermal state and returns to level 0.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            core.clear();
+        }
+        self.config.thermal.reset();
+        self.level = 0;
+        self.pending_stall = SimDuration::ZERO;
+        self.acc = EpochAcc::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobClass, SocConfig};
+
+    fn test_cluster() -> Cluster {
+        Cluster::new(SocConfig::tiny_test().unwrap().clusters[0].clone())
+    }
+
+    fn job(id: u64, work: u64) -> Job {
+        Job::new(id, work, SimTime::from_millis(50), JobClass::Normal)
+    }
+
+    #[test]
+    fn starts_at_level_zero_idle() {
+        let c = test_cluster();
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.freq_hz(), 200_000_000);
+        assert_eq!(c.queued_jobs(), 0);
+        assert!(!c.is_throttled());
+    }
+
+    #[test]
+    fn set_level_changes_frequency_and_counts_transition() {
+        let mut c = test_cluster();
+        let set = c.set_level(2, 0).unwrap();
+        assert_eq!(set, 2);
+        assert_eq!(c.freq_hz(), 1_000_000_000);
+        c.advance_substep(SimTime::ZERO, SimDuration::from_millis(1));
+        let report = c.end_epoch();
+        assert_eq!(report.transitions, 1);
+    }
+
+    #[test]
+    fn set_same_level_is_free() {
+        let mut c = test_cluster();
+        c.set_level(0, 0).unwrap();
+        c.advance_substep(SimTime::ZERO, SimDuration::from_millis(1));
+        let report = c.end_epoch();
+        assert_eq!(report.transitions, 0);
+    }
+
+    #[test]
+    fn set_level_out_of_range_errors() {
+        let mut c = test_cluster();
+        assert!(matches!(
+            c.set_level(3, 7),
+            Err(SocError::LevelOutOfRange { cluster: 7, requested: 3, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn executes_work_and_reports_utilization() {
+        let mut c = test_cluster();
+        c.set_level(2, 0).unwrap(); // 1 GHz
+        // 0.5 ms of work on core 0 only.
+        c.enqueue_on(0, job(1, 500_000));
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            c.advance_substep(t, SimDuration::from_millis(1));
+            t += SimDuration::from_millis(1);
+        }
+        let report = c.end_epoch();
+        assert_eq!(report.completed.len(), 1);
+        // Busy 0.5ms of 20ms on one of two cores.
+        assert!((report.util_avg - 0.0125).abs() < 1e-3, "util_avg {}", report.util_avg);
+        assert!((report.util_max - 0.025).abs() < 2e-3, "util_max {}", report.util_max);
+        assert!(report.energy_j > 0.0);
+    }
+
+    #[test]
+    fn energy_grows_with_load_and_level() {
+        let run = |level: OppLevel, with_work: bool| -> f64 {
+            let mut c = test_cluster();
+            c.set_level(level, 0).unwrap();
+            let mut t = SimTime::ZERO;
+            // Settle the transition before measuring.
+            c.advance_substep(t, SimDuration::from_millis(1));
+            t += SimDuration::from_millis(1);
+            c.end_epoch();
+            if with_work {
+                c.enqueue_on(0, job(1, u64::MAX / 4));
+                c.enqueue_on(1, job(2, u64::MAX / 4));
+            }
+            for _ in 0..20 {
+                c.advance_substep(t, SimDuration::from_millis(1));
+                t += SimDuration::from_millis(1);
+            }
+            c.end_epoch().energy_j
+        };
+        let idle_low = run(0, false);
+        let idle_high = run(2, false);
+        let busy_low = run(0, true);
+        let busy_high = run(2, true);
+        assert!(idle_low < idle_high, "higher OPP leaks/clocks more even idle");
+        assert!(busy_low > idle_low);
+        assert!(busy_high > busy_low, "busy at high OPP is the most expensive");
+    }
+
+    #[test]
+    fn least_loaded_core_tracks_backlog() {
+        let mut c = test_cluster();
+        assert_eq!(c.least_loaded_core(), 0, "tie breaks to first core");
+        c.enqueue_on(0, job(1, 1_000_000));
+        assert_eq!(c.least_loaded_core(), 1);
+        c.enqueue_on(1, job(2, 2_000_000));
+        assert_eq!(c.least_loaded_core(), 0);
+    }
+
+    #[test]
+    fn thermal_clamp_limits_level_mid_epoch() {
+        let mut cfg = SocConfig::tiny_test().unwrap().clusters[0].clone();
+        // A thermal model that trips almost immediately under load.
+        cfg.thermal = crate::ThermalModel::new(50.0, 0.01, 25.0, 40.0, 35.0, 2);
+        let mut c = Cluster::new(cfg);
+        c.set_level(2, 0).unwrap();
+        c.enqueue_on(0, job(1, u64::MAX / 4));
+        c.enqueue_on(1, job(2, u64::MAX / 4));
+        let mut t = SimTime::ZERO;
+        for _ in 0..400 {
+            c.advance_substep(t, SimDuration::from_millis(1));
+            t += SimDuration::from_millis(1);
+        }
+        assert!(c.is_throttled());
+        assert_eq!(c.level(), 0, "clamp removed 2 of 3 levels");
+        // Requesting the top level while throttled silently clamps.
+        let set = c.set_level(2, 0).unwrap();
+        assert_eq!(set, 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_idle_state() {
+        let mut c = test_cluster();
+        c.set_level(2, 0).unwrap();
+        c.enqueue_on(0, job(1, 1_000_000_000));
+        for i in 0..100 {
+            c.advance_substep(SimTime::from_millis(i), SimDuration::from_millis(1));
+        }
+        c.reset();
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.queued_jobs(), 0);
+        assert_eq!(c.temp_c(), c.config().thermal.ambient_c);
+    }
+
+    #[test]
+    fn observation_reflects_state() {
+        let mut c = test_cluster();
+        c.set_level(1, 0).unwrap();
+        c.enqueue_on(0, job(1, 10_000_000_000));
+        let obs = c.observe(0.4, 0.8);
+        assert_eq!(obs.level, 1);
+        assert_eq!(obs.freq_hz, 600_000_000);
+        assert_eq!(obs.num_levels, 3);
+        assert_eq!(obs.queued, 1);
+        assert_eq!(obs.util_avg, 0.4);
+        assert_eq!(obs.util_max, 0.8);
+        assert_eq!(obs.freq_range_hz, (200_000_000, 1_000_000_000));
+    }
+
+    #[test]
+    fn cpuidle_cuts_idle_power_after_residency() {
+        let mk = |idle: Option<crate::IdleStates>| {
+            let mut cfg = SocConfig::tiny_test().unwrap().clusters[0].clone();
+            cfg.idle = idle;
+            Cluster::new(cfg)
+        };
+        let run_idle_epochs = |c: &mut Cluster, epochs: usize| -> f64 {
+            let mut t = SimTime::ZERO;
+            let mut total = 0.0;
+            for _ in 0..epochs {
+                for _ in 0..20 {
+                    c.advance_substep(t, SimDuration::from_millis(1));
+                    t += SimDuration::from_millis(1);
+                }
+                total += c.end_epoch().energy_j;
+            }
+            total
+        };
+        let mut plain = mk(None);
+        let mut cstates = mk(Some(crate::IdleStates::mobile_cpuidle()));
+        let e_plain = run_idle_epochs(&mut plain, 50);
+        let e_cstates = run_idle_epochs(&mut cstates, 50);
+        assert!(
+            e_cstates < 0.7 * e_plain,
+            "idle energy with C-states {e_cstates} vs without {e_plain}"
+        );
+    }
+
+    #[test]
+    fn cpuidle_reports_residency_and_charges_wakeup() {
+        let mut cfg = SocConfig::tiny_test().unwrap().clusters[0].clone();
+        cfg.idle = Some(crate::IdleStates::mobile_cpuidle());
+        let mut c = Cluster::new(cfg);
+        // Stay idle for 30 ms: both cores pass gate (1 ms) and collapse
+        // (10 ms) thresholds.
+        let mut t = SimTime::ZERO;
+        for _ in 0..30 {
+            c.advance_substep(t, SimDuration::from_millis(1));
+            t += SimDuration::from_millis(1);
+        }
+        let report = c.end_epoch();
+        assert!(report.idle_gated_s > 0.0, "gated residency recorded");
+        assert!(report.idle_collapsed_s > 0.0, "collapsed residency recorded");
+
+        // Wake with a short job: the 150 us collapse wake-up delays its
+        // completion relative to a cluster without C-states.
+        c.enqueue_on(0, job(1, 200_000)); // 1 ms at 200 MHz
+        c.advance_substep(t, SimDuration::from_millis(1));
+        t += SimDuration::from_millis(1);
+        c.advance_substep(t, SimDuration::from_millis(1));
+        let report = c.end_epoch();
+        let done = &report.completed[0];
+        // 30 ms idle + 150 us wake + 1 ms execute.
+        assert!(
+            done.completed_at >= SimTime::from_micros(31_150),
+            "completed at {} without the wake-up stall",
+            done.completed_at
+        );
+    }
+
+    #[test]
+    fn cpuidle_active_cluster_pays_no_wake_penalty() {
+        let mut cfg = SocConfig::tiny_test().unwrap().clusters[0].clone();
+        cfg.idle = Some(crate::IdleStates::mobile_cpuidle());
+        let mut c = Cluster::new(cfg);
+        // Enqueue immediately: core never entered an idle state.
+        c.enqueue_on(0, job(1, 200_000));
+        c.advance_substep(SimTime::ZERO, SimDuration::from_millis(1));
+        let report = c.end_epoch();
+        assert_eq!(report.completed[0].completed_at, SimTime::from_millis(1));
+        assert_eq!(report.idle_gated_s, 0.0);
+    }
+
+    #[test]
+    fn capacity_scales_with_level() {
+        let mut c = test_cluster();
+        let low = c.capacity_ips();
+        c.set_level(2, 0).unwrap();
+        assert_eq!(c.capacity_ips(), low * 5.0, "1 GHz vs 200 MHz, 2 cores, ipc 1");
+    }
+}

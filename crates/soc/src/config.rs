@@ -1,0 +1,385 @@
+//! SoC configuration and board-like presets.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::SimDuration;
+
+use crate::{IdleStates, Opp, OppTable, PowerModel, SocError, ThermalModel};
+
+/// Configuration of one DVFS cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Human-readable name ("big", "LITTLE", …).
+    pub name: String,
+    /// Number of cores in the cluster.
+    pub cores: usize,
+    /// Relative instructions-per-cycle of each core (reference core = 1.0).
+    pub ipc: f64,
+    /// The cluster's OPP table.
+    pub opps: OppTable,
+    /// The cluster's power model.
+    pub power: PowerModel,
+    /// The cluster's thermal model (initial state).
+    pub thermal: ThermalModel,
+    /// Time the cluster stalls while changing OPP (regulator + PLL).
+    pub transition_latency: SimDuration,
+    /// Optional cpuidle (C-state) table. `None` in the calibrated presets
+    /// — enabling idle states is an explicit experiment (E8).
+    pub idle: Option<IdleStates>,
+}
+
+/// Configuration of the whole SoC.
+///
+/// Construct via the presets ([`SocConfig::odroid_xu3_like`],
+/// [`SocConfig::symmetric_quad`]) or assemble the fields manually and call
+/// [`SocConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Per-cluster configurations; index = [`crate::ClusterId`].
+    pub clusters: Vec<ClusterConfig>,
+    /// Always-on board power excluded from any cluster (rails, memory
+    /// standby), in watts.
+    pub board_base_w: f64,
+    /// Length of one DVFS control epoch.
+    pub epoch: SimDuration,
+    /// Execution/thermal integration sub-step; must divide `epoch`.
+    pub substep: SimDuration,
+}
+
+impl SocConfig {
+    /// A two-cluster asymmetric SoC shaped like the Exynos 5422
+    /// (ODROID-XU3): 4×Cortex-A7-class LITTLE at 200 MHz–1.4 GHz and
+    /// 4×Cortex-A15-class big at 200 MHz–2.0 GHz, 20 ms epochs.
+    ///
+    /// Frequencies follow the published 200 MHz-step tables; voltages are
+    /// representative of the published V–f curves.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`SocConfig::validate`].
+    pub fn odroid_xu3_like() -> Result<Self, SocError> {
+        let little_opps = OppTable::new(vec![
+            Opp::new(200_000_000, 0.9125),
+            Opp::new(300_000_000, 0.9125),
+            Opp::new(400_000_000, 0.9250),
+            Opp::new(500_000_000, 0.9500),
+            Opp::new(600_000_000, 0.9750),
+            Opp::new(700_000_000, 1.0000),
+            Opp::new(800_000_000, 1.0250),
+            Opp::new(900_000_000, 1.0625),
+            Opp::new(1_000_000_000, 1.1125),
+            Opp::new(1_100_000_000, 1.1625),
+            Opp::new(1_200_000_000, 1.2125),
+            Opp::new(1_300_000_000, 1.2625),
+            Opp::new(1_400_000_000, 1.3125),
+        ])?;
+        let big_opps = OppTable::new(vec![
+            Opp::new(200_000_000, 0.9125),
+            Opp::new(300_000_000, 0.9125),
+            Opp::new(400_000_000, 0.9125),
+            Opp::new(500_000_000, 0.9250),
+            Opp::new(600_000_000, 0.9500),
+            Opp::new(700_000_000, 0.9750),
+            Opp::new(800_000_000, 1.0000),
+            Opp::new(900_000_000, 1.0250),
+            Opp::new(1_000_000_000, 1.0500),
+            Opp::new(1_100_000_000, 1.0750),
+            Opp::new(1_200_000_000, 1.1125),
+            Opp::new(1_300_000_000, 1.1375),
+            Opp::new(1_400_000_000, 1.1625),
+            Opp::new(1_500_000_000, 1.1875),
+            Opp::new(1_600_000_000, 1.2250),
+            Opp::new(1_700_000_000, 1.2625),
+            Opp::new(1_800_000_000, 1.3000),
+            Opp::new(1_900_000_000, 1.3375),
+            Opp::new(2_000_000_000, 1.3625),
+        ])?;
+        let cfg = SocConfig {
+            clusters: vec![
+                ClusterConfig {
+                    name: "LITTLE".into(),
+                    cores: 4,
+                    ipc: 1.0,
+                    opps: little_opps,
+                    power: PowerModel::little_cluster(),
+                    thermal: ThermalModel::little_cluster(),
+                    transition_latency: SimDuration::from_micros(50),
+                    idle: None,
+                },
+                ClusterConfig {
+                    name: "big".into(),
+                    cores: 4,
+                    ipc: 2.0,
+                    opps: big_opps,
+                    power: PowerModel::big_cluster(),
+                    thermal: ThermalModel::big_cluster(),
+                    transition_latency: SimDuration::from_micros(100),
+                    idle: None,
+                },
+            ],
+            board_base_w: 0.15,
+            epoch: SimDuration::from_millis(20),
+            substep: SimDuration::from_millis(1),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// A single-cluster symmetric quad-core mobile SoC (the "symmetric
+    /// multicore CPU" configuration of the related scenario-aware paper).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`SocConfig::validate`].
+    pub fn symmetric_quad() -> Result<Self, SocError> {
+        let opps = OppTable::linear(300_000_000, 1_800_000_000, 11, 0.90, 1.25)?;
+        let cfg = SocConfig {
+            clusters: vec![ClusterConfig {
+                name: "cpu".into(),
+                cores: 4,
+                ipc: 1.5,
+                opps,
+                power: PowerModel::symmetric_cluster(),
+                thermal: ThermalModel::big_cluster(),
+                transition_latency: SimDuration::from_micros(70),
+                idle: None,
+            }],
+            board_base_w: 0.12,
+            epoch: SimDuration::from_millis(20),
+            substep: SimDuration::from_millis(1),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// A tiny 2-core single-cluster SoC with a 3-level OPP table, for fast
+    /// deterministic unit tests.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`SocConfig::validate`].
+    pub fn tiny_test() -> Result<Self, SocError> {
+        let opps = OppTable::new(vec![
+            Opp::new(200_000_000, 0.9),
+            Opp::new(600_000_000, 1.0),
+            Opp::new(1_000_000_000, 1.1),
+        ])?;
+        let cfg = SocConfig {
+            clusters: vec![ClusterConfig {
+                name: "cpu".into(),
+                cores: 2,
+                ipc: 1.0,
+                opps,
+                power: PowerModel::symmetric_cluster(),
+                thermal: ThermalModel::little_cluster(),
+                transition_latency: SimDuration::from_micros(50),
+                idle: None,
+            }],
+            board_base_w: 0.05,
+            epoch: SimDuration::from_millis(20),
+            substep: SimDuration::from_millis(1),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The asymmetric preset with mobile cpuidle (C-state) tables enabled
+    /// on both clusters — the configuration experiment E8 compares
+    /// against [`SocConfig::odroid_xu3_like`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`SocConfig::validate`].
+    pub fn odroid_xu3_like_cstates() -> Result<Self, SocError> {
+        let mut cfg = Self::odroid_xu3_like()?;
+        for cluster in &mut cfg.clusters {
+            cluster.idle = Some(IdleStates::mobile_cpuidle());
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the configuration invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidSocConfig`] or
+    /// [`SocError::InvalidClusterConfig`] describing the first violation
+    /// found.
+    pub fn validate(&self) -> Result<(), SocError> {
+        if self.clusters.is_empty() {
+            return Err(SocError::InvalidSocConfig {
+                reason: "SoC needs at least one cluster".into(),
+            });
+        }
+        if self.epoch.is_zero() || self.substep.is_zero() {
+            return Err(SocError::InvalidSocConfig {
+                reason: "epoch and substep must be positive".into(),
+            });
+        }
+        if !(self.epoch % self.substep).is_zero() {
+            return Err(SocError::InvalidSocConfig {
+                reason: format!(
+                    "substep {} must divide epoch {}",
+                    self.substep, self.epoch
+                ),
+            });
+        }
+        if !self.board_base_w.is_finite() || self.board_base_w < 0.0 {
+            return Err(SocError::InvalidSocConfig {
+                reason: "board base power must be finite and non-negative".into(),
+            });
+        }
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.cores == 0 {
+                return Err(SocError::InvalidClusterConfig {
+                    cluster: i,
+                    reason: "cluster needs at least one core".into(),
+                });
+            }
+            if !c.ipc.is_finite() || c.ipc <= 0.0 {
+                return Err(SocError::InvalidClusterConfig {
+                    cluster: i,
+                    reason: format!("IPC must be positive, got {}", c.ipc),
+                });
+            }
+            if c.transition_latency >= self.substep {
+                return Err(SocError::InvalidClusterConfig {
+                    cluster: i,
+                    reason: format!(
+                        "transition latency {} must be below the substep {}",
+                        c.transition_latency, self.substep
+                    ),
+                });
+            }
+            if let Some(idle) = &c.idle {
+                idle.validate();
+                if c.transition_latency + idle.collapse_wake_latency >= self.substep {
+                    return Err(SocError::InvalidClusterConfig {
+                        cluster: i,
+                        reason: format!(
+                            "transition latency {} plus collapse wake-up {} must fit the substep {}",
+                            c.transition_latency, idle.collapse_wake_latency, self.substep
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Peak achievable reference-instruction throughput per second across
+    /// the SoC (all cores at top OPP).
+    pub fn peak_ips(&self) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| c.cores as f64 * c.ipc * c.opps.max_freq_hz() as f64)
+            .sum()
+    }
+
+    /// Number of sub-steps per epoch.
+    pub fn substeps_per_epoch(&self) -> u64 {
+        self.epoch / self.substep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(SocConfig::odroid_xu3_like().is_ok());
+        assert!(SocConfig::symmetric_quad().is_ok());
+        assert!(SocConfig::tiny_test().is_ok());
+        assert!(SocConfig::odroid_xu3_like_cstates().is_ok());
+    }
+
+    #[test]
+    fn cstates_preset_differs_only_in_idle_tables() {
+        let base = SocConfig::odroid_xu3_like().unwrap();
+        let with = SocConfig::odroid_xu3_like_cstates().unwrap();
+        assert!(base.clusters.iter().all(|c| c.idle.is_none()));
+        assert!(with.clusters.iter().all(|c| c.idle.is_some()));
+        for (a, b) in base.clusters.iter().zip(&with.clusters) {
+            assert_eq!(a.opps, b.opps);
+            assert_eq!(a.power, b.power);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wake_latency_that_breaks_the_substep() {
+        let mut cfg = SocConfig::odroid_xu3_like_cstates().unwrap();
+        if let Some(idle) = &mut cfg.clusters[1].idle {
+            idle.collapse_wake_latency = SimDuration::from_micros(950);
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(SocError::InvalidClusterConfig { cluster: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn xu3_shape_matches_published_tables() {
+        let cfg = SocConfig::odroid_xu3_like().unwrap();
+        assert_eq!(cfg.clusters.len(), 2);
+        let little = &cfg.clusters[0];
+        let big = &cfg.clusters[1];
+        assert_eq!(little.opps.len(), 13);
+        assert_eq!(big.opps.len(), 19);
+        assert_eq!(little.opps.max_freq_hz(), 1_400_000_000);
+        assert_eq!(big.opps.max_freq_hz(), 2_000_000_000);
+        assert!(big.ipc > little.ipc, "big cores have higher IPC");
+    }
+
+    #[test]
+    fn validate_rejects_empty_soc() {
+        let cfg = SocConfig {
+            clusters: vec![],
+            board_base_w: 0.0,
+            epoch: SimDuration::from_millis(20),
+            substep: SimDuration::from_millis(1),
+        };
+        assert!(matches!(cfg.validate(), Err(SocError::InvalidSocConfig { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_non_dividing_substep() {
+        let mut cfg = SocConfig::tiny_test().unwrap();
+        cfg.substep = SimDuration::from_millis(3);
+        assert!(matches!(cfg.validate(), Err(SocError::InvalidSocConfig { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_zero_cores() {
+        let mut cfg = SocConfig::tiny_test().unwrap();
+        cfg.clusters[0].cores = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SocError::InvalidClusterConfig { cluster: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_transition_latency_above_substep() {
+        let mut cfg = SocConfig::tiny_test().unwrap();
+        cfg.clusters[0].transition_latency = SimDuration::from_millis(2);
+        assert!(matches!(
+            cfg.validate(),
+            Err(SocError::InvalidClusterConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_ips_is_sum_over_clusters() {
+        let cfg = SocConfig::odroid_xu3_like().unwrap();
+        let expected = 4.0 * 1.0 * 1.4e9 + 4.0 * 2.0 * 2.0e9;
+        assert!((cfg.peak_ips() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn substeps_per_epoch() {
+        let cfg = SocConfig::tiny_test().unwrap();
+        assert_eq!(cfg.substeps_per_epoch(), 20);
+    }
+}

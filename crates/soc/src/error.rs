@@ -1,0 +1,98 @@
+//! Error type for SoC configuration and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a configuration or operating the SoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// An OPP table was empty, unsorted, or contained non-physical values.
+    InvalidOppTable {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// A cluster configuration was inconsistent (e.g. zero cores).
+    InvalidClusterConfig {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// A top-level SoC configuration problem (e.g. no clusters at all).
+    InvalidSocConfig {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// A frequency level outside the cluster's OPP table was requested.
+    LevelOutOfRange {
+        /// The cluster the request addressed.
+        cluster: usize,
+        /// The requested level.
+        requested: usize,
+        /// Number of levels available.
+        available: usize,
+    },
+    /// A request addressed a cluster that does not exist.
+    NoSuchCluster {
+        /// The requested cluster index.
+        cluster: usize,
+        /// Number of clusters available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::InvalidOppTable { reason } => {
+                write!(f, "invalid OPP table: {reason}")
+            }
+            SocError::InvalidClusterConfig { cluster, reason } => {
+                write!(f, "invalid configuration for cluster {cluster}: {reason}")
+            }
+            SocError::InvalidSocConfig { reason } => {
+                write!(f, "invalid SoC configuration: {reason}")
+            }
+            SocError::LevelOutOfRange {
+                cluster,
+                requested,
+                available,
+            } => write!(
+                f,
+                "frequency level {requested} out of range for cluster {cluster} ({available} levels)"
+            ),
+            SocError::NoSuchCluster { cluster, available } => {
+                write!(f, "no such cluster {cluster} ({available} clusters)")
+            }
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SocError::LevelOutOfRange {
+            cluster: 1,
+            requested: 20,
+            available: 13,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("20"));
+        assert!(msg.contains("13"));
+        assert!(msg.contains("cluster 1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(SocError::InvalidSocConfig {
+            reason: "x".into(),
+        });
+    }
+}

@@ -1,0 +1,175 @@
+//! CPU idle states (C-states).
+//!
+//! DVFS governs the *active* power of a mobile CPU; its companion is
+//! cpuidle: a core whose run queue stays empty progressively enters
+//! deeper idle states — clock gating (WFI) first, then power collapse —
+//! trading residency thresholds and wake-up latency for static-power
+//! savings. The model is deliberately two-level, matching the
+//! C1/C2-style tables mobile SoCs ship:
+//!
+//! | state | entered after | saves | wake-up cost |
+//! |---|---|---|---|
+//! | clock gate | `gate_after` idle | most idle *dynamic* power | `gate_wake_latency` |
+//! | power collapse | `collapse_after` idle | idle dynamic *and* most leakage | `collapse_wake_latency` |
+//!
+//! Idle states are **opt-in per cluster** ([`crate::ClusterConfig::idle`]
+//! is `None` in the calibrated presets) so that enabling them is an
+//! explicit, measurable experiment (E8) rather than a silent change to
+//! every result.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::SimDuration;
+
+/// Two-level cpuidle configuration for one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdleStates {
+    /// Idle residency after which the core clock-gates.
+    pub gate_after: SimDuration,
+    /// Idle residency after which the core power-collapses.
+    pub collapse_after: SimDuration,
+    /// Fraction of the idle *dynamic* power removed while gated, `[0, 1]`.
+    pub gate_dynamic_saving: f64,
+    /// Fraction of core *leakage* removed while collapsed, `[0, 1]`
+    /// (collapse also keeps the gate's dynamic saving).
+    pub collapse_leakage_saving: f64,
+    /// Stall charged to the first job after waking from the gate.
+    pub gate_wake_latency: SimDuration,
+    /// Stall charged to the first job after waking from collapse.
+    pub collapse_wake_latency: SimDuration,
+}
+
+/// The idle state a core is in, given its idle residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdleDepth {
+    /// Running or recently idle: full idle power.
+    Active,
+    /// Clock-gated (WFI-class).
+    ClockGated,
+    /// Power-collapsed.
+    Collapsed,
+}
+
+impl IdleStates {
+    /// A table representative of mobile cpuidle drivers: gate after 1 ms
+    /// (50 µs wake), collapse after 10 ms (150 µs wake).
+    pub fn mobile_cpuidle() -> Self {
+        IdleStates {
+            gate_after: SimDuration::from_millis(1),
+            collapse_after: SimDuration::from_millis(10),
+            gate_dynamic_saving: 0.90,
+            collapse_leakage_saving: 0.95,
+            gate_wake_latency: SimDuration::from_micros(50),
+            collapse_wake_latency: SimDuration::from_micros(150),
+        }
+    }
+
+    /// Validates the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inverted thresholds, savings outside `[0, 1]`, or wake
+    /// latencies that are not shorter than the residency thresholds.
+    pub fn validate(&self) {
+        assert!(
+            self.gate_after < self.collapse_after,
+            "collapse must be the deeper (later) state"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.gate_dynamic_saving)
+                && (0.0..=1.0).contains(&self.collapse_leakage_saving),
+            "savings are fractions in [0, 1]"
+        );
+        assert!(
+            self.gate_wake_latency < self.gate_after
+                && self.collapse_wake_latency < self.collapse_after,
+            "wake-up must cost less than the residency that justified entry"
+        );
+    }
+
+    /// The state a core with `idle_for` of idle residency is in.
+    pub fn depth(&self, idle_for: SimDuration) -> IdleDepth {
+        if idle_for >= self.collapse_after {
+            IdleDepth::Collapsed
+        } else if idle_for >= self.gate_after {
+            IdleDepth::ClockGated
+        } else {
+            IdleDepth::Active
+        }
+    }
+
+    /// Power scale factors `(idle_dynamic_scale, leakage_scale)` for a
+    /// core at `depth`.
+    pub fn power_scales(&self, depth: IdleDepth) -> (f64, f64) {
+        match depth {
+            IdleDepth::Active => (1.0, 1.0),
+            IdleDepth::ClockGated => (1.0 - self.gate_dynamic_saving, 1.0),
+            IdleDepth::Collapsed => (
+                1.0 - self.gate_dynamic_saving,
+                1.0 - self.collapse_leakage_saving,
+            ),
+        }
+    }
+
+    /// The wake-up stall for leaving `depth`.
+    pub fn wake_latency(&self, depth: IdleDepth) -> SimDuration {
+        match depth {
+            IdleDepth::Active => SimDuration::ZERO,
+            IdleDepth::ClockGated => self.gate_wake_latency,
+            IdleDepth::Collapsed => self.collapse_wake_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_table_validates() {
+        IdleStates::mobile_cpuidle().validate();
+    }
+
+    #[test]
+    fn depth_progression() {
+        let c = IdleStates::mobile_cpuidle();
+        assert_eq!(c.depth(SimDuration::ZERO), IdleDepth::Active);
+        assert_eq!(c.depth(SimDuration::from_micros(999)), IdleDepth::Active);
+        assert_eq!(c.depth(SimDuration::from_millis(1)), IdleDepth::ClockGated);
+        assert_eq!(c.depth(SimDuration::from_millis(9)), IdleDepth::ClockGated);
+        assert_eq!(c.depth(SimDuration::from_millis(10)), IdleDepth::Collapsed);
+    }
+
+    #[test]
+    fn deeper_states_save_more() {
+        let c = IdleStates::mobile_cpuidle();
+        let (dyn_a, leak_a) = c.power_scales(IdleDepth::Active);
+        let (dyn_g, leak_g) = c.power_scales(IdleDepth::ClockGated);
+        let (dyn_c, leak_c) = c.power_scales(IdleDepth::Collapsed);
+        assert!(dyn_g < dyn_a && leak_g == leak_a);
+        assert!(dyn_c <= dyn_g && leak_c < leak_g);
+    }
+
+    #[test]
+    fn deeper_states_cost_more_to_leave() {
+        let c = IdleStates::mobile_cpuidle();
+        assert!(c.wake_latency(IdleDepth::Active) < c.wake_latency(IdleDepth::ClockGated));
+        assert!(c.wake_latency(IdleDepth::ClockGated) < c.wake_latency(IdleDepth::Collapsed));
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper")]
+    fn inverted_thresholds_rejected() {
+        let mut c = IdleStates::mobile_cpuidle();
+        c.collapse_after = SimDuration::from_micros(500);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "wake-up")]
+    fn pointless_wake_latency_rejected() {
+        let mut c = IdleStates::mobile_cpuidle();
+        c.gate_wake_latency = SimDuration::from_millis(2);
+        c.validate();
+    }
+}

@@ -1,0 +1,160 @@
+//! Units of work executed by the SoC.
+//!
+//! A [`Job`] is a burst of computation with a QoS deadline — a video frame
+//! to decode, a UI event to handle, a chunk of a page load. Work is
+//! expressed in *reference instructions*: a core retires
+//! `frequency · IPC` reference instructions per second, so the same job
+//! takes longer on a LITTLE core than on a big one, matching how
+//! big.LITTLE schedulers reason about capacity.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::SimTime;
+
+/// Unique identifier of a job within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Scheduling class of a job, used as the placement affinity hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Latency-critical heavy work (frame rendering, decode) — prefers the
+    /// big cluster.
+    Heavy,
+    /// Ordinary interactive work — placed by load.
+    Normal,
+    /// Light periodic work (audio buffers, sensors) — prefers LITTLE.
+    Light,
+    /// Throughput-only background work — LITTLE, lowest priority.
+    Background,
+}
+
+impl JobClass {
+    /// All classes, for exhaustive sweeps in tests and benches.
+    pub const ALL: [JobClass; 4] = [
+        JobClass::Heavy,
+        JobClass::Normal,
+        JobClass::Light,
+        JobClass::Background,
+    ];
+}
+
+/// A burst of computation with a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id.
+    pub id: JobId,
+    /// Work in reference instructions.
+    pub work: u64,
+    /// QoS deadline: the instant by which the job should complete.
+    pub deadline: SimTime,
+    /// Placement affinity hint.
+    pub class: JobClass,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is zero — zero-work jobs would complete "before"
+    /// they run and break completion-time interpolation.
+    pub fn new(id: u64, work: u64, deadline: SimTime, class: JobClass) -> Self {
+        assert!(work > 0, "job work must be positive");
+        Job {
+            id: JobId(id),
+            work,
+            deadline,
+            class,
+        }
+    }
+}
+
+/// A finished job with its completion timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's deadline.
+    pub deadline: SimTime,
+    /// When the last instruction retired.
+    pub completed_at: SimTime,
+    /// The job's class.
+    pub class: JobClass,
+    /// The job's work, for per-class accounting.
+    pub work: u64,
+}
+
+impl CompletedJob {
+    /// Whether the job finished by its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.completed_at <= self.deadline
+    }
+
+    /// How late the job was (zero when on time).
+    pub fn tardiness(&self) -> simkit::SimDuration {
+        self.completed_at.saturating_duration_since(self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    #[test]
+    fn job_construction() {
+        let j = Job::new(3, 1_000, SimTime::from_millis(16), JobClass::Heavy);
+        assert_eq!(j.id, JobId(3));
+        assert_eq!(j.work, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_rejected() {
+        Job::new(0, 0, SimTime::ZERO, JobClass::Light);
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let on_time = CompletedJob {
+            id: JobId(1),
+            deadline: SimTime::from_millis(16),
+            completed_at: SimTime::from_millis(10),
+            class: JobClass::Heavy,
+            work: 100,
+        };
+        assert!(on_time.met_deadline());
+        assert_eq!(on_time.tardiness(), SimDuration::ZERO);
+
+        let late = CompletedJob {
+            completed_at: SimTime::from_millis(20),
+            ..on_time
+        };
+        assert!(!late.met_deadline());
+        assert_eq!(late.tardiness(), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn exactly_on_deadline_counts_as_met() {
+        let j = CompletedJob {
+            id: JobId(1),
+            deadline: SimTime::from_millis(16),
+            completed_at: SimTime::from_millis(16),
+            class: JobClass::Normal,
+            work: 1,
+        };
+        assert!(j.met_deadline());
+    }
+
+    #[test]
+    fn display_of_job_id() {
+        assert_eq!(JobId(7).to_string(), "job#7");
+    }
+}

@@ -1,0 +1,65 @@
+//! # soc — a mobile MPSoC simulator
+//!
+//! This crate is the hardware substrate for the `rlpm` workspace. It models
+//! a multiprocessor system-on-chip of the class the paper evaluates on —
+//! an asymmetric (big.LITTLE) mobile application processor — at the level
+//! of detail that matters for comparing DVFS policies:
+//!
+//! * [`OppTable`] — discrete operating performance points (frequency /
+//!   voltage pairs) per cluster, mirroring real mobile OPP tables;
+//! * [`PowerModel`] — per-core dynamic power `C_eff · V² · f · u`,
+//!   temperature-dependent leakage, cluster uncore power, and DVFS
+//!   transition energy;
+//! * [`ThermalModel`] — a lumped-RC thermal node per cluster with a
+//!   throttling clamp;
+//! * [`Cluster`] / [`Soc`] — cores grouped into per-cluster DVFS domains
+//!   executing queued [`Job`]s in fixed sub-steps;
+//! * [`Scheduler`] — affinity-aware dispatch with least-loaded placement
+//!   and big↔LITTLE spillover;
+//! * [`SocConfig`] — validated configuration with board-like presets.
+//!
+//! The simulator advances in sub-steps (default 1 ms) inside DVFS epochs
+//! (default 20 ms). At every epoch boundary it emits an
+//! [`EpochObservation`] that a governor consumes to pick the next
+//! frequency levels.
+//!
+//! ```
+//! use simkit::SimDuration;
+//! use soc::{Soc, SocConfig, Job, JobClass, LevelRequest};
+//!
+//! let mut soc = Soc::new(SocConfig::odroid_xu3_like()?)?;
+//! soc.push_job(Job::new(0, 8_000_000, soc.now() + SimDuration::from_millis(16), JobClass::Heavy));
+//! let report = soc.run_epoch(&LevelRequest::max(soc.config()))?;
+//! assert!(report.energy_j > 0.0);
+//! # Ok::<(), soc::SocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cluster;
+mod config;
+mod core_model;
+mod error;
+mod idle;
+mod job;
+mod opp;
+mod power;
+mod sched;
+mod soc_impl;
+mod thermal;
+
+pub use cluster::{Cluster, ClusterObservation, ClusterReport};
+pub use config::{ClusterConfig, SocConfig};
+pub use core_model::{CoreModel, CoreReport};
+pub use error::SocError;
+pub use idle::{IdleDepth, IdleStates};
+pub use job::{CompletedJob, Job, JobClass, JobId};
+pub use opp::{Opp, OppLevel, OppTable};
+pub use power::PowerModel;
+pub use sched::Scheduler;
+pub use soc_impl::{EpochObservation, EpochReport, LevelRequest, Soc};
+pub use thermal::ThermalModel;
+
+/// Identifies a cluster within the SoC (index into [`SocConfig::clusters`]).
+pub type ClusterId = usize;

@@ -1,0 +1,361 @@
+//! Operating performance points (OPPs).
+//!
+//! Real mobile SoCs expose a discrete table of frequency/voltage pairs per
+//! DVFS domain; governors pick *levels*, not arbitrary frequencies. The
+//! tables bundled with [`crate::SocConfig`] presets follow the shape of the
+//! published Exynos 5422 (ODROID-XU3) tables: LITTLE 200 MHz–1.4 GHz,
+//! big 200 MHz–2.0 GHz, with voltage rising superlinearly toward the top.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SocError;
+
+/// Index of an OPP within a cluster's table; level 0 is the slowest point.
+pub type OppLevel = usize;
+
+/// A single operating performance point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Opp {
+    /// Core clock frequency in hertz.
+    pub freq_hz: u64,
+    /// Supply voltage in volts at this frequency.
+    pub voltage_v: f64,
+}
+
+impl Opp {
+    /// Creates an OPP.
+    pub const fn new(freq_hz: u64, voltage_v: f64) -> Self {
+        Opp { freq_hz, voltage_v }
+    }
+
+    /// Frequency in MHz as a float (for display and table output).
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_hz as f64 / 1e6
+    }
+}
+
+/// A validated, ascending table of OPPs for one DVFS domain.
+///
+/// Invariants (checked by [`OppTable::new`]):
+/// * at least one point;
+/// * frequencies strictly increasing;
+/// * voltages positive and non-decreasing;
+/// * all values finite.
+///
+/// ```
+/// use soc::{Opp, OppTable};
+///
+/// let table = OppTable::new(vec![
+///     Opp::new(200_000_000, 0.90),
+///     Opp::new(600_000_000, 1.00),
+///     Opp::new(1_000_000_000, 1.10),
+/// ])?;
+/// assert_eq!(table.len(), 3);
+/// assert_eq!(table.max_level(), 2);
+/// assert_eq!(table.level_for_min_freq(700_000_000), 2);
+/// # Ok::<(), soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OppTable {
+    points: Vec<Opp>,
+}
+
+impl OppTable {
+    /// Validates and wraps a list of OPPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidOppTable`] if the table is empty, not
+    /// strictly ascending in frequency, has non-monotone or non-positive
+    /// voltages, or contains non-finite values.
+    pub fn new(points: Vec<Opp>) -> Result<Self, SocError> {
+        if points.is_empty() {
+            return Err(SocError::InvalidOppTable {
+                reason: "table is empty".into(),
+            });
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.freq_hz == 0 {
+                return Err(SocError::InvalidOppTable {
+                    reason: format!("point {i} has zero frequency"),
+                });
+            }
+            if !p.voltage_v.is_finite() || p.voltage_v <= 0.0 {
+                return Err(SocError::InvalidOppTable {
+                    reason: format!("point {i} has non-physical voltage {}", p.voltage_v),
+                });
+            }
+        }
+        for (i, w) in points.windows(2).enumerate() {
+            if w[1].freq_hz <= w[0].freq_hz {
+                return Err(SocError::InvalidOppTable {
+                    reason: format!(
+                        "frequencies must be strictly increasing (points {i} and {})",
+                        i + 1
+                    ),
+                });
+            }
+            if w[1].voltage_v < w[0].voltage_v {
+                return Err(SocError::InvalidOppTable {
+                    reason: format!(
+                        "voltages must be non-decreasing (points {i} and {})",
+                        i + 1
+                    ),
+                });
+            }
+        }
+        Ok(OppTable { points })
+    }
+
+    /// Builds a synthetic table spanning `[f_min_hz, f_max_hz]` in `n`
+    /// equal frequency steps, with voltage interpolated linearly between
+    /// `v_min` and `v_max`. Useful for tests and symmetric-SoC presets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidOppTable`] for degenerate parameters.
+    pub fn linear(
+        f_min_hz: u64,
+        f_max_hz: u64,
+        n: usize,
+        v_min: f64,
+        v_max: f64,
+    ) -> Result<Self, SocError> {
+        if n < 2 || f_max_hz <= f_min_hz || v_max < v_min {
+            return Err(SocError::InvalidOppTable {
+                reason: "linear table needs n >= 2, f_max > f_min, v_max >= v_min".into(),
+            });
+        }
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                Opp::new(
+                    f_min_hz + ((f_max_hz - f_min_hz) as f64 * t).round() as u64,
+                    v_min + (v_max - v_min) * t,
+                )
+            })
+            .collect();
+        OppTable::new(points)
+    }
+
+    /// Number of levels in the table.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// An OPP table is never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The highest level index (`len() - 1`).
+    pub fn max_level(&self) -> OppLevel {
+        self.points.len() - 1
+    }
+
+    /// The OPP at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range; use [`OppTable::get`] for the
+    /// checked variant.
+    pub fn opp(&self, level: OppLevel) -> Opp {
+        self.points[level]
+    }
+
+    /// The OPP at `level`, or `None` if out of range.
+    pub fn get(&self, level: OppLevel) -> Option<Opp> {
+        self.points.get(level).copied()
+    }
+
+    /// All points in ascending frequency order.
+    pub fn points(&self) -> &[Opp] {
+        &self.points
+    }
+
+    /// The lowest frequency in the table.
+    pub fn min_freq_hz(&self) -> u64 {
+        self.points[0].freq_hz
+    }
+
+    /// The highest frequency in the table.
+    pub fn max_freq_hz(&self) -> u64 {
+        self.points[self.points.len() - 1].freq_hz
+    }
+
+    /// The lowest level whose frequency is at least `freq_hz` (the
+    /// "frequency ceiling" lookup used by `ondemand` and `schedutil`).
+    /// Returns the top level if no point is fast enough.
+    pub fn level_for_min_freq(&self, freq_hz: u64) -> OppLevel {
+        self.points
+            .iter()
+            .position(|p| p.freq_hz >= freq_hz)
+            .unwrap_or(self.max_level())
+    }
+
+    /// The highest level whose frequency is at most `freq_hz` (the
+    /// "frequency floor" lookup used by `conservative` when stepping down).
+    /// Returns level 0 if every point is faster.
+    pub fn level_for_max_freq(&self, freq_hz: u64) -> OppLevel {
+        self.points
+            .iter()
+            .rposition(|p| p.freq_hz <= freq_hz)
+            .unwrap_or(0)
+    }
+
+    /// Clamps a level into the valid range.
+    pub fn clamp_level(&self, level: isize) -> OppLevel {
+        level.clamp(0, self.max_level() as isize) as OppLevel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> OppTable {
+        OppTable::new(vec![
+            Opp::new(200_000_000, 0.9),
+            Opp::new(600_000_000, 1.0),
+            Opp::new(1_000_000_000, 1.1),
+            Opp::new(1_400_000_000, 1.25),
+        ])
+        .expect("valid test table")
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            OppTable::new(vec![]),
+            Err(SocError::InvalidOppTable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_frequency() {
+        let err = OppTable::new(vec![Opp::new(600_000_000, 1.0), Opp::new(200_000_000, 0.9)]);
+        assert!(matches!(err, Err(SocError::InvalidOppTable { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_frequency() {
+        let err = OppTable::new(vec![Opp::new(600_000_000, 1.0), Opp::new(600_000_000, 1.1)]);
+        assert!(matches!(err, Err(SocError::InvalidOppTable { .. })));
+    }
+
+    #[test]
+    fn rejects_decreasing_voltage() {
+        let err = OppTable::new(vec![Opp::new(200_000_000, 1.1), Opp::new(600_000_000, 1.0)]);
+        assert!(matches!(err, Err(SocError::InvalidOppTable { .. })));
+    }
+
+    #[test]
+    fn rejects_non_physical_values() {
+        assert!(OppTable::new(vec![Opp::new(0, 1.0)]).is_err());
+        assert!(OppTable::new(vec![Opp::new(1_000, -1.0)]).is_err());
+        assert!(OppTable::new(vec![Opp::new(1_000, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn min_max_and_levels() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.max_level(), 3);
+        assert_eq!(t.min_freq_hz(), 200_000_000);
+        assert_eq!(t.max_freq_hz(), 1_400_000_000);
+        assert_eq!(t.opp(1).freq_hz, 600_000_000);
+        assert_eq!(t.get(4), None);
+    }
+
+    #[test]
+    fn ceiling_lookup() {
+        let t = table();
+        assert_eq!(t.level_for_min_freq(0), 0);
+        assert_eq!(t.level_for_min_freq(200_000_000), 0);
+        assert_eq!(t.level_for_min_freq(200_000_001), 1);
+        assert_eq!(t.level_for_min_freq(999_999_999), 2);
+        assert_eq!(t.level_for_min_freq(2_000_000_000), 3, "saturates at top");
+    }
+
+    #[test]
+    fn floor_lookup() {
+        let t = table();
+        assert_eq!(t.level_for_max_freq(100_000_000), 0, "saturates at bottom");
+        assert_eq!(t.level_for_max_freq(200_000_000), 0);
+        assert_eq!(t.level_for_max_freq(700_000_000), 1);
+        assert_eq!(t.level_for_max_freq(5_000_000_000), 3);
+    }
+
+    #[test]
+    fn clamp_level_saturates() {
+        let t = table();
+        assert_eq!(t.clamp_level(-3), 0);
+        assert_eq!(t.clamp_level(2), 2);
+        assert_eq!(t.clamp_level(99), 3);
+    }
+
+    #[test]
+    fn linear_table_endpoints() {
+        let t = OppTable::linear(100_000_000, 1_000_000_000, 10, 0.8, 1.2).unwrap();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.min_freq_hz(), 100_000_000);
+        assert_eq!(t.max_freq_hz(), 1_000_000_000);
+        assert_eq!(t.opp(0).voltage_v, 0.8);
+        assert_eq!(t.opp(9).voltage_v, 1.2);
+    }
+
+    #[test]
+    fn linear_rejects_degenerate() {
+        assert!(OppTable::linear(100, 100, 4, 0.8, 1.2).is_err());
+        assert!(OppTable::linear(100, 200, 1, 0.8, 1.2).is_err());
+        assert!(OppTable::linear(100, 200, 4, 1.2, 0.8).is_err());
+    }
+
+    #[test]
+    fn freq_mhz_display_helper() {
+        assert_eq!(Opp::new(1_400_000_000, 1.2).freq_mhz(), 1400.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_tables_are_always_valid(
+            f_min in 1_000_000u64..500_000_000,
+            span in 1_000_000u64..3_000_000_000,
+            n in 2usize..32,
+            v_min in 0.5f64..1.0,
+            dv in 0.0f64..0.5,
+        ) {
+            let t = OppTable::linear(f_min, f_min + span, n, v_min, v_min + dv);
+            prop_assert!(t.is_ok());
+        }
+
+        #[test]
+        fn prop_ceiling_lookup_is_correct(freq in 0u64..2_000_000_000) {
+            let t = table();
+            let level = t.level_for_min_freq(freq);
+            // The chosen point satisfies the request when possible…
+            if freq <= t.max_freq_hz() {
+                prop_assert!(t.opp(level).freq_hz >= freq);
+            }
+            // …and no slower point would.
+            if level > 0 {
+                prop_assert!(t.opp(level - 1).freq_hz < freq || level == t.max_level());
+            }
+        }
+
+        #[test]
+        fn prop_floor_lookup_is_correct(freq in 0u64..2_000_000_000) {
+            let t = table();
+            let level = t.level_for_max_freq(freq);
+            if freq >= t.min_freq_hz() {
+                prop_assert!(t.opp(level).freq_hz <= freq);
+                if level < t.max_level() {
+                    prop_assert!(t.opp(level + 1).freq_hz > freq);
+                }
+            } else {
+                prop_assert_eq!(level, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Power model for one cluster.
+//!
+//! Per-core power at an OPP `(f, V)` with busy fraction `u ∈ [0, 1]` and
+//! temperature `T`:
+//!
+//! ```text
+//! P_core = C_eff · V² · f · u          (switching)
+//!        + idle_frac · C_eff · V² · f · (1 − u)   (clock/idle overhead)
+//!        + P_leak(V, T)                (static)
+//! P_leak(V, T) = k_leak · V · (1 + α_T · (T − T_ref))
+//! ```
+//!
+//! plus a per-cluster uncore term `P_unc = unc_base + unc_ceff · V² · f`.
+//! This is the standard first-order CMOS model used throughout the DVFS
+//! literature; its key property — energy per cycle grows ~V² with
+//! frequency — is what makes "race-to-idle vs just-enough" a real
+//! trade-off, which is the dynamic the paper's policy learns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Opp;
+
+/// Cluster power model parameters. All powers are watts, capacitances in
+/// farads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Effective switched capacitance per core (F).
+    pub ceff_f: f64,
+    /// Fraction of dynamic power still burned while clocked but idle
+    /// (clock tree + stalls), typically 0.1–0.3.
+    pub idle_frac: f64,
+    /// Leakage coefficient (W per volt at the reference temperature).
+    pub leak_w_per_v: f64,
+    /// Relative leakage increase per degree above the reference
+    /// temperature (1/°C).
+    pub leak_temp_coeff: f64,
+    /// Reference temperature for the leakage model (°C).
+    pub leak_t_ref_c: f64,
+    /// Constant uncore power for the cluster (W).
+    pub uncore_base_w: f64,
+    /// Frequency-dependent uncore capacitance (F).
+    pub uncore_ceff_f: f64,
+    /// Energy dissipated by one DVFS transition (J) — regulator ramp plus
+    /// PLL relock.
+    pub transition_energy_j: f64,
+}
+
+impl PowerModel {
+    /// A model with parameters in the range published for a big
+    /// (Cortex-A15-class) mobile cluster.
+    pub fn big_cluster() -> Self {
+        PowerModel {
+            ceff_f: 4.0e-10,
+            idle_frac: 0.15,
+            leak_w_per_v: 0.04,
+            leak_temp_coeff: 0.012,
+            leak_t_ref_c: 40.0,
+            uncore_base_w: 0.12,
+            uncore_ceff_f: 1.2e-10,
+            transition_energy_j: 8e-6,
+        }
+    }
+
+    /// A model for a LITTLE (Cortex-A7-class) cluster.
+    pub fn little_cluster() -> Self {
+        PowerModel {
+            ceff_f: 1.3e-10,
+            idle_frac: 0.12,
+            leak_w_per_v: 0.02,
+            leak_temp_coeff: 0.010,
+            leak_t_ref_c: 40.0,
+            uncore_base_w: 0.04,
+            uncore_ceff_f: 0.3e-10,
+            transition_energy_j: 4e-6,
+        }
+    }
+
+    /// A model for a mid-class symmetric mobile core.
+    pub fn symmetric_cluster() -> Self {
+        PowerModel {
+            ceff_f: 2.5e-10,
+            idle_frac: 0.13,
+            leak_w_per_v: 0.05,
+            leak_temp_coeff: 0.011,
+            leak_t_ref_c: 40.0,
+            uncore_base_w: 0.08,
+            uncore_ceff_f: 0.7e-10,
+            transition_energy_j: 6e-6,
+        }
+    }
+
+    /// Dynamic (switching) power of one fully busy core at `opp`, in watts.
+    pub fn dynamic_w(&self, opp: Opp) -> f64 {
+        self.ceff_f * opp.voltage_v * opp.voltage_v * opp.freq_hz as f64
+    }
+
+    /// Leakage power of one core at `opp` and temperature `temp_c`, in
+    /// watts. Clamped at zero so extreme sub-reference temperatures cannot
+    /// produce negative power.
+    pub fn leakage_w(&self, opp: Opp, temp_c: f64) -> f64 {
+        let scale = 1.0 + self.leak_temp_coeff * (temp_c - self.leak_t_ref_c);
+        (self.leak_w_per_v * opp.voltage_v * scale).max(0.0)
+    }
+
+    /// Total power of one core with busy fraction `busy` at `opp` and
+    /// `temp_c`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `busy` is outside `[0, 1]`.
+    pub fn core_w(&self, opp: Opp, busy: f64, temp_c: f64) -> f64 {
+        self.core_w_scaled(opp, busy, temp_c, 1.0, 1.0)
+    }
+
+    /// Core power with cpuidle scale factors applied: `idle_dyn_scale`
+    /// multiplies the idle (clock-tree) dynamic term, `leak_scale` the
+    /// leakage term. `(1.0, 1.0)` is the active state; see
+    /// [`crate::IdleStates::power_scales`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `busy` is outside `[0, 1]`.
+    pub fn core_w_scaled(
+        &self,
+        opp: Opp,
+        busy: f64,
+        temp_c: f64,
+        idle_dyn_scale: f64,
+        leak_scale: f64,
+    ) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} out of range");
+        let dyn_w = self.dynamic_w(opp);
+        dyn_w * busy
+            + dyn_w * self.idle_frac * (1.0 - busy) * idle_dyn_scale
+            + self.leakage_w(opp, temp_c) * leak_scale
+    }
+
+    /// Cluster uncore power at `opp`, in watts.
+    pub fn uncore_w(&self, opp: Opp) -> f64 {
+        self.uncore_base_w + self.uncore_ceff_f * opp.voltage_v * opp.voltage_v * opp.freq_hz as f64
+    }
+
+    /// Total cluster power given per-core busy fractions.
+    pub fn cluster_w(&self, opp: Opp, busy: &[f64], temp_c: f64) -> f64 {
+        busy.iter().map(|&u| self.core_w(opp, u, temp_c)).sum::<f64>() + self.uncore_w(opp)
+    }
+
+    /// Energy in joules for a cluster over an interval of `dt_s` seconds.
+    pub fn cluster_energy_j(&self, opp: Opp, busy: &[f64], temp_c: f64, dt_s: f64) -> f64 {
+        self.cluster_w(opp, busy, temp_c) * dt_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn opp_low() -> Opp {
+        Opp::new(200_000_000, 0.9)
+    }
+
+    fn opp_high() -> Opp {
+        Opp::new(2_000_000_000, 1.25)
+    }
+
+    #[test]
+    fn dynamic_power_scales_superlinearly_with_opp() {
+        let m = PowerModel::big_cluster();
+        let low = m.dynamic_w(opp_low());
+        let high = m.dynamic_w(opp_high());
+        // f ratio is 10x, V² ratio ~1.93x → ~19x total.
+        assert!(high / low > 15.0, "ratio {}", high / low);
+        assert!(high / low < 25.0, "ratio {}", high / low);
+    }
+
+    #[test]
+    fn busy_core_burns_more_than_idle_core() {
+        let m = PowerModel::big_cluster();
+        let busy = m.core_w(opp_high(), 1.0, 50.0);
+        let idle = m.core_w(opp_high(), 0.0, 50.0);
+        assert!(busy > idle);
+        assert!(idle > 0.0, "idle core still leaks and clocks");
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = PowerModel::big_cluster();
+        let cold = m.leakage_w(opp_high(), 40.0);
+        let hot = m.leakage_w(opp_high(), 85.0);
+        assert!(hot > cold);
+        // 45 degrees * 1.2%/degree = 54% more leakage.
+        assert!((hot / cold - 1.54).abs() < 0.01, "ratio {}", hot / cold);
+    }
+
+    #[test]
+    fn leakage_never_negative() {
+        let m = PowerModel::big_cluster();
+        assert_eq!(m.leakage_w(opp_low(), -200.0), 0.0);
+    }
+
+    #[test]
+    fn big_cluster_peak_power_is_mobile_scale() {
+        // A fully-loaded 4-core big cluster at 2 GHz should land in the
+        // published 3–8 W envelope for this class of silicon.
+        let m = PowerModel::big_cluster();
+        let p = m.cluster_w(opp_high(), &[1.0; 4], 70.0);
+        assert!(p > 3.0 && p < 8.0, "peak big-cluster power {p} W");
+    }
+
+    #[test]
+    fn little_cluster_is_much_cheaper_than_big() {
+        let big = PowerModel::big_cluster();
+        let little = PowerModel::little_cluster();
+        let opp_l = Opp::new(1_400_000_000, 1.1);
+        let p_big = big.cluster_w(opp_high(), &[1.0; 4], 60.0);
+        let p_little = little.cluster_w(opp_l, &[1.0; 4], 60.0);
+        assert!(p_big / p_little > 4.0, "big/little = {}", p_big / p_little);
+    }
+
+    #[test]
+    fn cluster_power_is_sum_of_cores_plus_uncore() {
+        let m = PowerModel::big_cluster();
+        let opp = opp_high();
+        let busy = [0.5, 1.0, 0.0];
+        let direct: f64 = busy.iter().map(|&u| m.core_w(opp, u, 55.0)).sum::<f64>() + m.uncore_w(opp);
+        assert!((m.cluster_w(opp, &busy, 55.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = PowerModel::little_cluster();
+        let opp = opp_low();
+        let p = m.cluster_w(opp, &[1.0], 45.0);
+        let e = m.cluster_energy_j(opp, &[1.0], 45.0, 0.02);
+        assert!((e - p * 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn just_enough_beats_race_to_idle_over_a_period() {
+        // A governor's core trade-off: executing W cycles within a period
+        // T costs less at a just-enough OPP than racing at the top OPP and
+        // idling, because V² switching dominates and the idle tail still
+        // burns clock and leakage power at the high OPP.
+        let m = PowerModel::big_cluster();
+        let period_s = 0.1;
+        let work_cycles = 1e7; // fits at either OPP within the period
+        let energy_at = |opp: Opp| -> f64 {
+            let busy_s = work_cycles / opp.freq_hz as f64;
+            assert!(busy_s <= period_s);
+            let busy_frac = busy_s / period_s;
+            m.core_w(opp, busy_frac, 50.0) * period_s
+        };
+        let e_low = energy_at(opp_low());
+        let e_high = energy_at(opp_high());
+        assert!(
+            e_low < 0.7 * e_high,
+            "just-enough energy {e_low} should clearly beat race-to-idle {e_high}"
+        );
+    }
+
+    #[test]
+    fn per_work_busy_energy_is_cheaper_at_low_voltage() {
+        // Even ignoring idle overhead, energy *per unit of work* while
+        // busy is lower at the low-voltage OPP (V² scaling beats the
+        // longer leakage exposure with calibrated constants).
+        let m = PowerModel::big_cluster();
+        let per_work = |opp: Opp| m.core_w(opp, 1.0, 50.0) / opp.freq_hz as f64;
+        assert!(per_work(opp_low()) < per_work(opp_high()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_is_monotone_in_busy(
+            u1 in 0.0f64..=1.0,
+            u2 in 0.0f64..=1.0,
+            t in 0.0f64..100.0,
+        ) {
+            let m = PowerModel::big_cluster();
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            prop_assert!(m.core_w(opp_high(), lo, t) <= m.core_w(opp_high(), hi, t) + 1e-12);
+        }
+
+        #[test]
+        fn prop_power_always_positive(u in 0.0f64..=1.0, t in -20.0f64..120.0) {
+            for m in [PowerModel::big_cluster(), PowerModel::little_cluster(), PowerModel::symmetric_cluster()] {
+                prop_assert!(m.core_w(opp_low(), u, t) > 0.0);
+                prop_assert!(m.core_w(opp_high(), u, t) > 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_higher_opp_burns_more_at_same_busy(u in 0.0f64..=1.0, t in 0.0f64..100.0) {
+            let m = PowerModel::symmetric_cluster();
+            prop_assert!(m.core_w(opp_low(), u, t) < m.core_w(opp_high(), u, t));
+        }
+    }
+}

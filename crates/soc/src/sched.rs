@@ -1,0 +1,260 @@
+//! Job placement across clusters and cores.
+//!
+//! The dispatcher mirrors the behaviour of a mobile big.LITTLE scheduler at
+//! the granularity this simulation needs:
+//!
+//! * class affinity — `Heavy` prefers the fastest cluster, `Light` /
+//!   `Background` the most efficient one, `Normal` goes wherever the
+//!   *relative* backlog (drain time at current capacity) is smallest;
+//! * spillover — if the preferred cluster's drain time exceeds a
+//!   threshold, the job overflows to the other side;
+//! * within a cluster, least-backlog core placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cluster, ClusterId, Job, JobClass};
+
+/// Placement policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    /// Drain-time threshold (seconds at current capacity) above which a
+    /// job spills to the non-preferred cluster.
+    pub spill_threshold_s: f64,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            // Two epochs of backlog before spilling.
+            spill_threshold_s: 0.040,
+        }
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the default spill threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the cluster with the highest peak capacity ("big").
+    fn fastest(clusters: &[Cluster]) -> ClusterId {
+        Self::argmax(clusters, |c| {
+            c.config().ipc * c.config().opps.max_freq_hz() as f64
+        })
+    }
+
+    /// Index of the cluster with the lowest peak capacity ("LITTLE").
+    fn slowest(clusters: &[Cluster]) -> ClusterId {
+        Self::argmin(clusters, |c| {
+            c.config().ipc * c.config().opps.max_freq_hz() as f64
+        })
+    }
+
+    fn argmax(clusters: &[Cluster], key: impl Fn(&Cluster) -> f64) -> ClusterId {
+        clusters
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("key is never NaN"))
+            .map(|(i, _)| i)
+            .expect("at least one cluster")
+    }
+
+    fn argmin(clusters: &[Cluster], key: impl Fn(&Cluster) -> f64) -> ClusterId {
+        clusters
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("key is never NaN"))
+            .map(|(i, _)| i)
+            .expect("at least one cluster")
+    }
+
+    /// Seconds to drain cluster `c`'s backlog at its *current* OPP.
+    fn drain_time_s(c: &Cluster) -> f64 {
+        c.backlog() / c.capacity_ips()
+    }
+
+    /// Picks `(cluster, core)` for a job.
+    pub fn place(&self, clusters: &[Cluster], job: &Job) -> (ClusterId, usize) {
+        let cluster = self.pick_cluster(clusters, job.class);
+        let core = clusters[cluster].least_loaded_core();
+        (cluster, core)
+    }
+
+    /// Picks the target cluster for a job class.
+    pub fn pick_cluster(&self, clusters: &[Cluster], class: JobClass) -> ClusterId {
+        if clusters.len() == 1 {
+            return 0;
+        }
+        let preferred = match class {
+            JobClass::Heavy => Self::fastest(clusters),
+            JobClass::Light | JobClass::Background => Self::slowest(clusters),
+            JobClass::Normal => Self::argmin(clusters, Self::drain_time_s),
+        };
+        if Self::drain_time_s(&clusters[preferred]) <= self.spill_threshold_s {
+            return preferred;
+        }
+        // Preferred side is backlogged: overflow to the globally least
+        // backlogged cluster instead.
+        Self::argmin(clusters, Self::drain_time_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SocConfig;
+    use proptest::prelude::*;
+    use simkit::SimTime;
+
+    fn clusters() -> Vec<Cluster> {
+        SocConfig::odroid_xu3_like()
+            .unwrap()
+            .clusters
+            .into_iter()
+            .map(Cluster::new)
+            .collect()
+    }
+
+    fn job(class: JobClass) -> Job {
+        Job::new(0, 1_000_000, SimTime::from_millis(16), class)
+    }
+
+    #[test]
+    fn heavy_jobs_prefer_big() {
+        let cs = clusters();
+        let sched = Scheduler::new();
+        let (cluster, _) = sched.place(&cs, &job(JobClass::Heavy));
+        assert_eq!(cs[cluster].config().name, "big");
+    }
+
+    #[test]
+    fn light_and_background_prefer_little() {
+        let cs = clusters();
+        let sched = Scheduler::new();
+        for class in [JobClass::Light, JobClass::Background] {
+            let (cluster, _) = sched.place(&cs, &job(class));
+            assert_eq!(cs[cluster].config().name, "LITTLE");
+        }
+    }
+
+    #[test]
+    fn normal_jobs_balance_by_drain_time() {
+        let mut cs = clusters();
+        let sched = Scheduler::new();
+        // Both empty: either is fine (drain times are 0, argmin picks 0 =
+        // LITTLE).
+        let (c0, _) = sched.place(&cs, &job(JobClass::Normal));
+        assert_eq!(c0, 0);
+        // Load LITTLE heavily; Normal should now go big.
+        cs[0].enqueue_on(0, Job::new(9, 4_000_000_000, SimTime::from_secs(1), JobClass::Normal));
+        let (c1, _) = sched.place(&cs, &job(JobClass::Normal));
+        assert_eq!(cs[c1].config().name, "big");
+    }
+
+    #[test]
+    fn heavy_spills_to_little_when_big_is_backlogged() {
+        let mut cs = clusters();
+        let sched = Scheduler::new();
+        let big = 1;
+        // Pile > spill_threshold of work on every big core at its current
+        // (lowest) OPP: 200 MHz × ipc 2 = 400 MIPS → 40 ms ≙ 16M instr.
+        for core in 0..cs[big].num_cores() {
+            cs[big].enqueue_on(core, Job::new(core as u64, 100_000_000, SimTime::from_secs(1), JobClass::Heavy));
+        }
+        let (cluster, _) = sched.place(&cs, &job(JobClass::Heavy));
+        assert_eq!(cs[cluster].config().name, "LITTLE", "overflow to LITTLE");
+    }
+
+    #[test]
+    fn within_cluster_least_loaded_core_wins() {
+        let mut cs = clusters();
+        let sched = Scheduler::new();
+        let (cluster, core) = sched.place(&cs, &job(JobClass::Heavy));
+        cs[cluster].enqueue_on(core, job(JobClass::Heavy));
+        let (cluster2, core2) = sched.place(&cs, &job(JobClass::Heavy));
+        assert_eq!(cluster, cluster2);
+        assert_ne!(core, core2, "second job lands on a different core");
+    }
+
+    #[test]
+    fn spill_threshold_is_configurable() {
+        let mut cs = clusters();
+        // A scheduler that never spills keeps Heavy on big no matter the
+        // backlog.
+        let sticky = Scheduler {
+            spill_threshold_s: f64::INFINITY,
+        };
+        for core in 0..cs[1].num_cores() {
+            cs[1].enqueue_on(core, Job::new(core as u64, 1_000_000_000, SimTime::from_secs(5), JobClass::Heavy));
+        }
+        assert_eq!(sticky.pick_cluster(&cs, JobClass::Heavy), 1);
+        // A hair-trigger scheduler spills immediately.
+        let jumpy = Scheduler {
+            spill_threshold_s: 0.0,
+        };
+        assert_eq!(jumpy.pick_cluster(&cs, JobClass::Heavy), 0);
+    }
+
+    #[test]
+    fn default_scheduler_matches_two_epochs() {
+        assert_eq!(Scheduler::new().spill_threshold_s, 0.040);
+        assert_eq!(Scheduler::default(), Scheduler::new());
+    }
+
+    #[test]
+    fn single_cluster_always_picks_it() {
+        let cs: Vec<Cluster> = SocConfig::symmetric_quad()
+            .unwrap()
+            .clusters
+            .into_iter()
+            .map(Cluster::new)
+            .collect();
+        let sched = Scheduler::new();
+        for class in JobClass::ALL {
+            assert_eq!(sched.pick_cluster(&cs, class), 0);
+        }
+    }
+
+    proptest! {
+        /// Placement always returns a valid (cluster, core) pair, for any
+        /// backlog distribution and job class.
+        #[test]
+        fn prop_placement_is_always_valid(
+            backlog in proptest::collection::vec(0u64..200_000_000, 8),
+            class_idx in 0usize..4,
+        ) {
+            let mut cs = clusters();
+            for (i, &work) in backlog.iter().enumerate() {
+                if work > 0 {
+                    let cluster = i / 4;
+                    let core = i % 4;
+                    cs[cluster].enqueue_on(core, Job::new(i as u64, work, SimTime::from_secs(5), JobClass::Normal));
+                }
+            }
+            let class = JobClass::ALL[class_idx];
+            let sched = Scheduler::new();
+            let (cluster, core) = sched.place(&cs, &job(class));
+            prop_assert!(cluster < cs.len());
+            prop_assert!(core < cs[cluster].num_cores());
+        }
+
+        /// Within the chosen cluster, the picked core has the minimum
+        /// backlog.
+        #[test]
+        fn prop_picks_least_loaded_core(
+            backlog in proptest::collection::vec(0u64..100_000_000, 8),
+        ) {
+            let mut cs = clusters();
+            for (i, &work) in backlog.iter().enumerate() {
+                if work > 0 {
+                    cs[i / 4].enqueue_on(i % 4, Job::new(i as u64, work, SimTime::from_secs(5), JobClass::Normal));
+                }
+            }
+            let sched = Scheduler::new();
+            let (cluster, core) = sched.place(&cs, &job(JobClass::Heavy));
+            let chosen = cs[cluster].least_loaded_core();
+            prop_assert_eq!(core, chosen);
+        }
+    }
+}

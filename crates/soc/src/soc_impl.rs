@@ -1,0 +1,449 @@
+//! The top-level SoC: clusters + scheduler + arrival queue, advanced one
+//! DVFS epoch at a time.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::{EventQueue, SimTime};
+
+use crate::{
+    Cluster, ClusterObservation, ClusterReport, CompletedJob, Job, OppLevel, Scheduler,
+    SocConfig, SocError,
+};
+
+/// Per-cluster frequency levels requested by a governor for the next epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelRequest {
+    /// One OPP level per cluster, indexed by [`crate::ClusterId`].
+    pub levels: Vec<OppLevel>,
+}
+
+impl LevelRequest {
+    /// A request with explicit levels.
+    pub fn new(levels: Vec<OppLevel>) -> Self {
+        LevelRequest { levels }
+    }
+
+    /// Every cluster at its highest OPP.
+    pub fn max(config: &SocConfig) -> Self {
+        LevelRequest {
+            levels: config.clusters.iter().map(|c| c.opps.max_level()).collect(),
+        }
+    }
+
+    /// Every cluster at its lowest OPP.
+    pub fn min(config: &SocConfig) -> Self {
+        LevelRequest {
+            levels: vec![0; config.clusters.len()],
+        }
+    }
+}
+
+/// What happened during one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch start time.
+    pub started_at: SimTime,
+    /// Epoch end time (= start + epoch length).
+    pub ended_at: SimTime,
+    /// Per-cluster reports.
+    pub clusters: Vec<ClusterReport>,
+    /// Total energy including the board-base term (J).
+    pub energy_j: f64,
+}
+
+impl EpochReport {
+    /// Iterates over all jobs completed this epoch, across clusters.
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedJob> {
+        self.clusters.iter().flat_map(|c| c.completed.iter())
+    }
+
+    /// Total jobs still queued at the end of the epoch.
+    pub fn queued(&self) -> usize {
+        self.clusters.iter().map(|c| c.queued).sum()
+    }
+}
+
+/// Observation of the whole SoC at an epoch boundary, consumed by
+/// governors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochObservation {
+    /// The instant of the boundary.
+    pub at: SimTime,
+    /// Per-cluster observations.
+    pub clusters: Vec<ClusterObservation>,
+    /// Energy consumed during the epoch just finished (J).
+    pub energy_j: f64,
+}
+
+/// A simulated MPSoC.
+///
+/// See the [crate-level documentation](crate) for the execution model and
+/// a usage example.
+#[derive(Debug, Clone)]
+pub struct Soc {
+    config: SocConfig,
+    clusters: Vec<Cluster>,
+    scheduler: Scheduler,
+    arrivals: EventQueue<Job>,
+    now: SimTime,
+    total_energy_j: f64,
+    epochs_run: u64,
+    jobs_submitted: u64,
+}
+
+impl Soc {
+    /// Builds a SoC from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SocError`] if the configuration is invalid.
+    pub fn new(config: SocConfig) -> Result<Self, SocError> {
+        config.validate()?;
+        let clusters = config.clusters.iter().cloned().map(Cluster::new).collect();
+        Ok(Soc {
+            config,
+            clusters,
+            scheduler: Scheduler::new(),
+            arrivals: EventQueue::new(),
+            now: SimTime::ZERO,
+            total_energy_j: 0.0,
+            epochs_run: 0,
+            jobs_submitted: 0,
+        })
+    }
+
+    /// The configuration the SoC was built from.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Current simulation time (always an epoch boundary).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The clusters, for inspection.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Total energy consumed since construction (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Number of epochs executed.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Number of jobs submitted.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted
+    }
+
+    /// Submits a job arriving now.
+    pub fn push_job(&mut self, job: Job) {
+        self.schedule_job(self.now, job);
+    }
+
+    /// Submits a job arriving at `at` (must not be in the past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at < self.now()`.
+    pub fn schedule_job(&mut self, at: SimTime, job: Job) {
+        assert!(at >= self.now, "job scheduled in the past: {at} < {}", self.now);
+        self.jobs_submitted += 1;
+        self.arrivals.schedule(at, job);
+    }
+
+    /// Jobs currently queued on cores (excluding future arrivals).
+    pub fn queued_jobs(&self) -> usize {
+        self.clusters.iter().map(Cluster::queued_jobs).sum()
+    }
+
+    /// Future arrivals not yet dispatched.
+    pub fn pending_arrivals(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Runs one DVFS epoch with the requested per-cluster levels.
+    ///
+    /// Levels are applied at the epoch start (incurring transition stalls
+    /// and energy where they change), arrivals due within the epoch are
+    /// dispatched at sub-step granularity, and the report aggregates
+    /// execution, energy and completions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidSocConfig`] if the request has the wrong
+    /// arity or [`SocError::LevelOutOfRange`] for a level beyond a
+    /// cluster's table.
+    pub fn run_epoch(&mut self, request: &LevelRequest) -> Result<EpochReport, SocError> {
+        if request.levels.len() != self.clusters.len() {
+            return Err(SocError::InvalidSocConfig {
+                reason: format!(
+                    "level request has {} entries for {} clusters",
+                    request.levels.len(),
+                    self.clusters.len()
+                ),
+            });
+        }
+        for (id, (&level, cluster)) in request.levels.iter().zip(&mut self.clusters).enumerate() {
+            cluster.set_level(level, id)?;
+        }
+
+        let started_at = self.now;
+        let substep = self.config.substep;
+        let steps = self.config.substeps_per_epoch();
+
+        for _ in 0..steps {
+            // Dispatch arrivals due by the start of this sub-step.
+            while let Some((_, job)) = self.arrivals.pop_until(self.now) {
+                let (cluster, core) = self.scheduler.place(&self.clusters, &job);
+                self.clusters[cluster].enqueue_on(core, job);
+            }
+            for cluster in &mut self.clusters {
+                cluster.advance_substep(self.now, substep);
+            }
+            self.now += substep;
+        }
+
+        let clusters: Vec<ClusterReport> =
+            self.clusters.iter_mut().map(Cluster::end_epoch).collect();
+        let energy_j = clusters.iter().map(|c| c.energy_j).sum::<f64>()
+            + self.config.board_base_w * self.config.epoch.as_secs_f64();
+        self.total_energy_j += energy_j;
+        self.epochs_run += 1;
+
+        Ok(EpochReport {
+            started_at,
+            ended_at: self.now,
+            clusters,
+            energy_j,
+        })
+    }
+
+    /// Builds the governor-facing observation from an epoch report.
+    pub fn observe(&self, report: &EpochReport) -> EpochObservation {
+        EpochObservation {
+            at: report.ended_at,
+            clusters: self
+                .clusters
+                .iter()
+                .zip(&report.clusters)
+                .map(|(cluster, r)| cluster.observe(r.util_avg, r.util_max))
+                .collect(),
+            energy_j: report.energy_j,
+        }
+    }
+
+    /// Resets to a cold, idle SoC at time zero (between training episodes).
+    pub fn reset(&mut self) {
+        for cluster in &mut self.clusters {
+            cluster.reset();
+        }
+        self.arrivals = EventQueue::new();
+        self.now = SimTime::ZERO;
+        self.total_energy_j = 0.0;
+        self.epochs_run = 0;
+        self.jobs_submitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobClass;
+
+    fn soc() -> Soc {
+        Soc::new(SocConfig::tiny_test().unwrap()).unwrap()
+    }
+
+    fn xu3() -> Soc {
+        Soc::new(SocConfig::odroid_xu3_like().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn idle_epoch_consumes_base_energy_and_advances_time() {
+        let mut s = soc();
+        let report = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        assert_eq!(report.started_at, SimTime::ZERO);
+        assert_eq!(report.ended_at, SimTime::from_millis(20));
+        assert_eq!(s.now(), SimTime::from_millis(20));
+        assert!(report.energy_j > 0.0, "leakage + board base");
+        assert_eq!(report.completed().count(), 0);
+    }
+
+    #[test]
+    fn job_completes_within_deadline_at_max_level() {
+        let mut s = soc();
+        // 10M ref-instr at 1 GHz ≈ 10 ms < 16 ms deadline.
+        s.push_job(Job::new(1, 10_000_000, SimTime::from_millis(16), JobClass::Heavy));
+        let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        let done: Vec<_> = report.completed().collect();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].met_deadline(), "completed at {}", done[0].completed_at);
+    }
+
+    #[test]
+    fn same_job_misses_deadline_at_min_level() {
+        let mut s = soc();
+        // 10M ref-instr at 200 MHz = 50 ms > 16 ms deadline.
+        s.push_job(Job::new(1, 10_000_000, SimTime::from_millis(16), JobClass::Heavy));
+        let mut all = Vec::new();
+        for _ in 0..5 {
+            let report = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+            all.extend(report.completed().cloned().collect::<Vec<_>>());
+        }
+        assert_eq!(all.len(), 1);
+        assert!(!all[0].met_deadline());
+    }
+
+    #[test]
+    fn future_arrivals_dispatch_at_their_time() {
+        let mut s = soc();
+        s.schedule_job(
+            SimTime::from_millis(10),
+            Job::new(1, 1_000_000, SimTime::from_millis(30), JobClass::Normal),
+        );
+        assert_eq!(s.pending_arrivals(), 1);
+        let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        let done: Vec<_> = report.completed().collect();
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].completed_at >= SimTime::from_millis(10),
+            "must not start before arrival"
+        );
+        assert_eq!(s.pending_arrivals(), 0);
+    }
+
+    #[test]
+    fn arrivals_beyond_epoch_stay_pending() {
+        let mut s = soc();
+        s.schedule_job(
+            SimTime::from_millis(25),
+            Job::new(1, 1_000, SimTime::from_millis(50), JobClass::Normal),
+        );
+        let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        assert_eq!(report.completed().count(), 0);
+        assert_eq!(s.pending_arrivals(), 1);
+        let report2 = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        assert_eq!(report2.completed().count(), 1);
+    }
+
+    #[test]
+    fn wrong_arity_request_is_rejected() {
+        let mut s = xu3();
+        let err = s.run_epoch(&LevelRequest::new(vec![0]));
+        assert!(matches!(err, Err(SocError::InvalidSocConfig { .. })));
+    }
+
+    #[test]
+    fn out_of_range_level_is_rejected() {
+        let mut s = soc();
+        let err = s.run_epoch(&LevelRequest::new(vec![99]));
+        assert!(matches!(err, Err(SocError::LevelOutOfRange { .. })));
+    }
+
+    #[test]
+    fn higher_level_finishes_work_sooner_but_costs_more_energy() {
+        let run = |level: usize| {
+            let mut s = soc();
+            // Settle: one idle epoch at the target level so the transition
+            // cost does not skew the comparison.
+            s.run_epoch(&LevelRequest::new(vec![level])).unwrap();
+            s.push_job(Job::new(1, 20_000_000, SimTime::from_millis(120), JobClass::Heavy));
+            let mut energy = 0.0;
+            let mut finished = None;
+            for _ in 0..10 {
+                let r = s.run_epoch(&LevelRequest::new(vec![level])).unwrap();
+                energy += r.energy_j;
+                let first_done = r.completed().next().map(|c| c.completed_at);
+                if first_done.is_some() {
+                    finished = first_done;
+                }
+            }
+            (energy, finished.expect("job finishes within 200 ms at any level"))
+        };
+        let (e_low, t_low) = run(0);
+        let (e_high, t_high) = run(2);
+        assert!(t_high < t_low, "faster at high level");
+        assert!(e_high > e_low, "more energy at high level");
+    }
+
+    #[test]
+    fn observation_matches_report() {
+        let mut s = xu3();
+        s.push_job(Job::new(1, 50_000_000, SimTime::from_millis(50), JobClass::Heavy));
+        let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        let obs = s.observe(&report);
+        assert_eq!(obs.clusters.len(), 2);
+        assert_eq!(obs.at, report.ended_at);
+        for (c_obs, c_rep) in obs.clusters.iter().zip(&report.clusters) {
+            assert_eq!(c_obs.util_avg, c_rep.util_avg);
+            assert_eq!(c_obs.util_max, c_rep.util_max);
+            assert_eq!(c_obs.level, c_rep.level);
+        }
+        // Heavy job went to the big cluster.
+        assert!(obs.clusters[1].util_max > 0.0);
+        assert_eq!(obs.clusters[0].util_max, 0.0);
+    }
+
+    #[test]
+    fn energy_accumulates_across_epochs() {
+        let mut s = soc();
+        let r1 = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        let r2 = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        assert!((s.total_energy_j() - r1.energy_j - r2.energy_j).abs() < 1e-12);
+        assert_eq!(s.epochs_run(), 2);
+    }
+
+    #[test]
+    fn reset_restores_time_zero() {
+        let mut s = soc();
+        s.push_job(Job::new(1, 1_000_000_000, SimTime::from_secs(1), JobClass::Normal));
+        s.run_epoch(&LevelRequest::max(s.config())).unwrap();
+        s.reset();
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.total_energy_j(), 0.0);
+        assert_eq!(s.queued_jobs(), 0);
+        assert_eq!(s.pending_arrivals(), 0);
+        // Fully functional after reset.
+        s.push_job(Job::new(2, 1_000, SimTime::from_millis(20), JobClass::Normal));
+        assert!(s.run_epoch(&LevelRequest::min(s.config())).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_arrival_panics() {
+        let mut s = soc();
+        s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        s.schedule_job(
+            SimTime::from_millis(1),
+            Job::new(1, 1, SimTime::from_millis(2), JobClass::Light),
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut s = xu3();
+            for i in 0..50u64 {
+                s.schedule_job(
+                    SimTime::from_millis(i * 7),
+                    Job::new(i, 3_000_000 + i * 10_000, SimTime::from_millis(i * 7 + 16), JobClass::Heavy),
+                );
+            }
+            let mut energy = 0.0;
+            for e in 0..25 {
+                let level = (e % 19) as usize;
+                let r = s.run_epoch(&LevelRequest::new(vec![level.min(12), level])).unwrap();
+                energy += r.energy_j;
+            }
+            energy
+        };
+        assert_eq!(run(), run());
+    }
+}

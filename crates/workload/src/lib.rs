@@ -1,0 +1,43 @@
+//! # workload — mobile application scenarios and QoS accounting
+//!
+//! The paper evaluates its policy on "diverse scenarios" running on a
+//! mobile device. Since the original device traces are not available, this
+//! crate generates synthetic scenarios that reproduce the *load shapes*
+//! governors react to:
+//!
+//! | Scenario | Shape |
+//! |---|---|
+//! | [`scenarios::VideoPlayback`] | periodic 30 fps decode with I-frame spikes |
+//! | [`scenarios::WebBrowsing`] | heavy-tailed page-load bursts separated by think time |
+//! | [`scenarios::Gaming`] | sustained 60 fps render + physics load |
+//! | [`scenarios::AudioPlayback`] | light strictly periodic buffer fills |
+//! | [`scenarios::CameraPreview`] | steady 30 fps capture + encode |
+//! | [`scenarios::AppLaunch`] | intense burst / quiet cycles |
+//! | [`scenarios::Idle`] | sparse background activity |
+//! | [`scenarios::MarkovMix`] | phase-switching mixture of the above |
+//!
+//! Every scenario implements [`Scenario`]: the simulation loop asks it for
+//! the job arrivals of the next epoch window, pushes them into the
+//! [`soc`] simulator, and feeds completions into a [`QosTracker`], which
+//! produces the *energy per unit QoS* metric the paper reports.
+//!
+//! ```
+//! use simkit::SimTime;
+//! use workload::{Scenario, ScenarioKind};
+//!
+//! let mut video = ScenarioKind::Video.build(42);
+//! let jobs = video.arrivals(SimTime::ZERO, SimTime::from_millis(100));
+//! assert!(!jobs.is_empty()); // three 30fps frames in 100 ms
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod qos;
+mod recorded;
+mod scenario;
+pub mod scenarios;
+
+pub use qos::{QosReport, QosSpec, QosTracker};
+pub use recorded::{ParseTraceError, RecordedTrace};
+pub use scenario::{Scenario, ScenarioKind};

@@ -1,0 +1,371 @@
+//! Quality-of-service accounting.
+//!
+//! The paper's headline metric is **energy per unit QoS**. A QoS unit is a
+//! deadline-bearing job delivered to the user: an on-time job earns its
+//! full weight, a slightly late job earns exponentially decayed credit
+//! (`exp(-tardiness / tolerance)`), and a job later than
+//! `violation_factor · tolerance` counts as a *violation* — the
+//! "compromising user satisfaction" condition the paper's policy must
+//! avoid.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::SimDuration;
+
+use soc::{CompletedJob, JobClass};
+
+/// Per-scenario QoS accounting parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Tardiness at which credit has decayed to `1/e`.
+    pub tolerance: SimDuration,
+    /// Tardiness beyond `violation_factor × tolerance` is a violation.
+    pub violation_factor: f64,
+}
+
+impl QosSpec {
+    /// A spec with the given tolerance and the default violation factor
+    /// of 2.
+    pub fn with_tolerance(tolerance: SimDuration) -> Self {
+        QosSpec {
+            tolerance,
+            violation_factor: 2.0,
+        }
+    }
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::with_tolerance(SimDuration::from_millis(20))
+    }
+}
+
+/// QoS weight of a job class: how much one delivered job of this class is
+/// worth to the user. Background work carries no QoS value.
+pub(crate) fn class_weight(class: JobClass) -> f64 {
+    match class {
+        JobClass::Heavy => 1.0,
+        JobClass::Normal => 1.0,
+        JobClass::Light => 1.0,
+        JobClass::Background => 0.0,
+    }
+}
+
+/// Streaming QoS accumulator over job completions.
+///
+/// ```
+/// use simkit::{SimDuration, SimTime};
+/// use soc::{CompletedJob, JobClass, JobId};
+/// use workload::{QosSpec, QosTracker};
+///
+/// let mut tracker = QosTracker::new(QosSpec::with_tolerance(SimDuration::from_millis(10)));
+/// tracker.observe(&CompletedJob {
+///     id: JobId(1),
+///     deadline: SimTime::from_millis(16),
+///     completed_at: SimTime::from_millis(12),
+///     class: JobClass::Heavy,
+///     work: 1_000,
+/// });
+/// let report = tracker.finalize(0);
+/// assert_eq!(report.on_time, 1);
+/// assert_eq!(report.violations, 0);
+/// assert!((report.units - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosTracker {
+    spec: QosSpec,
+    units: f64,
+    strict_units: f64,
+    max_units: f64,
+    completed: u64,
+    on_time: u64,
+    late: u64,
+    violations: u64,
+}
+
+/// Final QoS figures for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosReport {
+    /// Delivered QoS units (weighted, decay-discounted). Used as the
+    /// learning signal: late work earns partial credit, so the gradient
+    /// toward on-time delivery is smooth.
+    pub units: f64,
+    /// Strictly on-time QoS units (late work earns nothing). Used for the
+    /// reported energy-per-QoS metric: a frame the user never saw in time
+    /// delivered no QoS.
+    pub strict_units: f64,
+    /// The units that would have been delivered had every job been on
+    /// time (including jobs that never completed).
+    pub max_units: f64,
+    /// Completed jobs.
+    pub completed: u64,
+    /// Jobs that met their deadline.
+    pub on_time: u64,
+    /// Jobs that finished after their deadline.
+    pub late: u64,
+    /// Jobs later than the violation threshold, plus jobs that never
+    /// finished.
+    pub violations: u64,
+}
+
+impl QosReport {
+    /// Delivered fraction of the achievable QoS, in `[0, 1]`.
+    pub fn qos_ratio(&self) -> f64 {
+        if self.max_units == 0.0 {
+            1.0
+        } else {
+            (self.units / self.max_units).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Violation rate over deadline-bearing jobs.
+    pub fn violation_rate(&self) -> f64 {
+        let total = self.completed + self.violations.saturating_sub(self.violation_overlap());
+        if total == 0 {
+            0.0
+        } else {
+            self.violations as f64 / total.max(1) as f64
+        }
+    }
+
+    /// Violations that are also counted in `completed` (late completions
+    /// past the threshold); the remainder are never-finished jobs.
+    fn violation_overlap(&self) -> u64 {
+        self.violations.min(self.late)
+    }
+
+    /// Energy per delivered QoS unit, the paper's headline metric,
+    /// counting only strictly on-time units.
+    ///
+    /// Returns `f64::INFINITY` when no QoS was delivered — a policy that
+    /// delivers nothing is infinitely bad, not free.
+    pub fn energy_per_qos(&self, energy_j: f64) -> f64 {
+        if self.strict_units <= 0.0 {
+            f64::INFINITY
+        } else {
+            energy_j / self.strict_units
+        }
+    }
+}
+
+impl QosTracker {
+    /// Creates a tracker with the given spec.
+    pub fn new(spec: QosSpec) -> Self {
+        QosTracker {
+            spec,
+            units: 0.0,
+            strict_units: 0.0,
+            max_units: 0.0,
+            completed: 0,
+            on_time: 0,
+            late: 0,
+            violations: 0,
+        }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> QosSpec {
+        self.spec
+    }
+
+    /// Consumes one completion.
+    pub fn observe(&mut self, job: &CompletedJob) {
+        let weight = class_weight(job.class);
+        self.completed += 1;
+        self.max_units += weight;
+        if job.met_deadline() {
+            self.on_time += 1;
+            self.units += weight;
+            self.strict_units += weight;
+        } else {
+            self.late += 1;
+            let tardiness = job.tardiness().as_secs_f64();
+            let tol = self.spec.tolerance.as_secs_f64();
+            self.units += weight * (-tardiness / tol).exp();
+            if tardiness > self.spec.violation_factor * tol && weight > 0.0 {
+                self.violations += 1;
+            }
+        }
+    }
+
+    /// Consumes every completion in an iterator.
+    pub fn observe_all<'a, I: IntoIterator<Item = &'a CompletedJob>>(&mut self, jobs: I) {
+        for job in jobs {
+            self.observe(job);
+        }
+    }
+
+    /// Delivered units so far (for per-epoch rewards).
+    pub fn units(&self) -> f64 {
+        self.units
+    }
+
+    /// Closes accounting: jobs still queued or pending at the end of the
+    /// run are violations that delivered nothing.
+    pub fn finalize(mut self, unfinished: usize) -> QosReport {
+        self.violations += unfinished as u64;
+        self.max_units += unfinished as f64;
+        QosReport {
+            units: self.units,
+            strict_units: self.strict_units,
+            max_units: self.max_units,
+            completed: self.completed,
+            on_time: self.on_time,
+            late: self.late,
+            violations: self.violations,
+        }
+    }
+
+    /// A snapshot report without consuming the tracker (no unfinished-job
+    /// accounting).
+    pub fn snapshot(&self) -> QosReport {
+        QosReport {
+            units: self.units,
+            strict_units: self.strict_units,
+            max_units: self.max_units,
+            completed: self.completed,
+            on_time: self.on_time,
+            late: self.late,
+            violations: self.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simkit::SimTime;
+    use soc::JobId;
+
+    fn done(deadline_ms: u64, completed_ms: u64, class: JobClass) -> CompletedJob {
+        CompletedJob {
+            id: JobId(0),
+            deadline: SimTime::from_millis(deadline_ms),
+            completed_at: SimTime::from_millis(completed_ms),
+            class,
+            work: 1,
+        }
+    }
+
+    fn spec() -> QosSpec {
+        QosSpec::with_tolerance(SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn on_time_jobs_earn_full_credit() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 16, JobClass::Heavy));
+        t.observe(&done(16, 3, JobClass::Normal));
+        let r = t.finalize(0);
+        assert_eq!(r.units, 2.0);
+        assert_eq!(r.on_time, 2);
+        assert_eq!(r.qos_ratio(), 1.0);
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn late_jobs_earn_decayed_credit() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 26, JobClass::Heavy)); // 10 ms late = 1 tolerance
+        let r = t.finalize(0);
+        assert!((r.units - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(r.late, 1);
+        assert_eq!(r.violations, 0, "within 2x tolerance");
+    }
+
+    #[test]
+    fn very_late_jobs_are_violations() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 57, JobClass::Heavy)); // 41 ms late > 2 × 10 ms
+        let r = t.finalize(0);
+        assert_eq!(r.violations, 1);
+        assert!(r.units < 0.02, "credit nearly gone: {}", r.units);
+    }
+
+    #[test]
+    fn background_jobs_carry_no_qos_weight() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 500, JobClass::Background));
+        let r = t.finalize(0);
+        assert_eq!(r.units, 0.0);
+        assert_eq!(r.max_units, 0.0);
+        assert_eq!(r.violations, 0, "late background work is not a violation");
+        assert_eq!(r.qos_ratio(), 1.0, "no deadline-bearing work = perfect QoS");
+    }
+
+    #[test]
+    fn unfinished_jobs_count_as_violations() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 10, JobClass::Heavy));
+        let r = t.finalize(3);
+        assert_eq!(r.violations, 3);
+        assert_eq!(r.max_units, 4.0);
+        assert!((r.qos_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_qos_basic_and_degenerate() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 10, JobClass::Heavy));
+        let r = t.finalize(0);
+        assert_eq!(r.energy_per_qos(2.0), 2.0);
+
+        let empty = QosTracker::new(spec()).finalize(0);
+        assert_eq!(empty.energy_per_qos(2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn late_work_earns_soft_credit_but_no_strict_units() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 20, JobClass::Heavy)); // 4 ms late
+        let r = t.finalize(0);
+        assert!(r.units > 0.5, "soft credit for the learning signal");
+        assert_eq!(r.strict_units, 0.0, "no reported QoS for late frames");
+        assert_eq!(r.energy_per_qos(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let mut t = QosTracker::new(spec());
+        t.observe(&done(16, 10, JobClass::Heavy));
+        let s1 = t.snapshot();
+        t.observe(&done(33, 30, JobClass::Heavy));
+        let s2 = t.snapshot();
+        assert_eq!(s1.completed, 1);
+        assert_eq!(s2.completed, 2);
+    }
+
+    #[test]
+    fn default_spec_is_sane() {
+        let s = QosSpec::default();
+        assert_eq!(s.tolerance, SimDuration::from_millis(20));
+        assert_eq!(s.violation_factor, 2.0);
+    }
+
+    proptest! {
+        /// Credit is monotone non-increasing in tardiness.
+        #[test]
+        fn prop_credit_monotone_in_tardiness(a in 0u64..200, b in 0u64..200) {
+            let (early, late) = if a <= b { (a, b) } else { (b, a) };
+            let mut t_early = QosTracker::new(spec());
+            let mut t_late = QosTracker::new(spec());
+            t_early.observe(&done(100, 100 + early, JobClass::Heavy));
+            t_late.observe(&done(100, 100 + late, JobClass::Heavy));
+            prop_assert!(t_early.units() >= t_late.units() - 1e-12);
+        }
+
+        /// Units never exceed max_units and the ratio stays in [0, 1].
+        #[test]
+        fn prop_units_bounded(lates in proptest::collection::vec(0u64..500, 0..50), unfinished in 0usize..10) {
+            let mut t = QosTracker::new(spec());
+            for &l in &lates {
+                t.observe(&done(100, 100 + l, JobClass::Normal));
+            }
+            let r = t.finalize(unfinished);
+            prop_assert!(r.units <= r.max_units + 1e-9);
+            let ratio = r.qos_ratio();
+            prop_assert!((0.0..=1.0).contains(&ratio));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Background audio playback: light, strictly periodic buffer fills with
+//! occasional UI pokes. The lightest deadline-bearing scenario — the
+//! `performance` governor wastes the most energy here.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Audio buffer period.
+const BUFFER_PERIOD: SimDuration = SimDuration::from_millis(20);
+/// Decode + mix work per buffer.
+const BUFFER_WORK: f64 = 600_000.0;
+/// Mean interval between UI pokes (lock-screen art, progress bar).
+const UI_MEAN_S: f64 = 5.0;
+/// UI poke work.
+const UI_WORK: f64 = 4.0e6;
+
+/// Background audio playback.
+#[derive(Debug, Clone)]
+pub struct AudioPlayback {
+    factory: JobFactory,
+    next_buffer: SimTime,
+    next_ui: SimTime,
+}
+
+impl AudioPlayback {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        let mut factory = JobFactory::new(seed, "audio");
+        let first_ui =
+            SimTime::ZERO + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / UI_MEAN_S));
+        AudioPlayback {
+            factory,
+            next_buffer: SimTime::ZERO,
+            next_ui: first_ui,
+        }
+    }
+}
+
+impl Scenario for AudioPlayback {
+    fn name(&self) -> &str {
+        "audio"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        // An audio buffer half a period late underruns.
+        QosSpec::with_tolerance(SimDuration::from_millis(10))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        fast_forward(&mut self.next_buffer, from, BUFFER_PERIOD);
+        if self.next_ui < from {
+            self.next_ui =
+                from + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / UI_MEAN_S));
+        }
+        while self.next_buffer < to {
+            let work = self.factory.work(BUFFER_WORK, 0.1, 1.5);
+            out.push(self.factory.job(self.next_buffer, work, BUFFER_PERIOD, JobClass::Light));
+            self.next_buffer += BUFFER_PERIOD;
+        }
+        while self.next_ui < to {
+            let work = self.factory.work(UI_WORK, 0.3, 2.0);
+            out.push(self.factory.job(
+                self.next_ui,
+                work,
+                SimDuration::from_millis(100),
+                JobClass::Normal,
+            ));
+            self.next_ui +=
+                SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / UI_MEAN_S));
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.next_buffer = SimTime::ZERO;
+        self.next_ui =
+            SimTime::ZERO + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / UI_MEAN_S));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_buffers_per_second() {
+        let mut a = AudioPlayback::new(1);
+        let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let buffers = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        assert_eq!(buffers, 50);
+    }
+
+    #[test]
+    fn ui_pokes_are_sparse() {
+        let mut a = AudioPlayback::new(2);
+        let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(60));
+        let pokes = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        assert!((3..60).contains(&pokes), "got {pokes} pokes in a minute");
+    }
+
+    #[test]
+    fn buffers_are_strictly_periodic() {
+        let mut a = AudioPlayback::new(3);
+        let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(2));
+        let times: Vec<SimTime> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .map(|(at, _)| *at)
+            .collect();
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], BUFFER_PERIOD);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Camera preview: steady 30 fps capture + encode pipeline. Sits between
+//! video and gaming in load, with very regular demand.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Frame period for 30 fps preview.
+const FRAME_PERIOD: SimDuration = SimDuration::from_micros(33_333);
+/// Capture/ISP post-processing work per frame (light, fixed-function
+/// assisted).
+const CAPTURE_WORK: f64 = 2.5e6;
+/// Encode work per frame.
+const ENCODE_WORK: f64 = 18.0e6;
+/// Every `AF_PERIOD_FRAMES` frames an autofocus/exposure pass adds work.
+const AF_PERIOD_FRAMES: u64 = 15;
+const AF_WORK: f64 = 9.0e6;
+
+/// Camera preview with encoding.
+#[derive(Debug, Clone)]
+pub struct CameraPreview {
+    factory: JobFactory,
+    next_frame: SimTime,
+    frame_index: u64,
+}
+
+impl CameraPreview {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        CameraPreview {
+            factory: JobFactory::new(seed, "camera"),
+            next_frame: SimTime::ZERO,
+            frame_index: 0,
+        }
+    }
+}
+
+impl Scenario for CameraPreview {
+    fn name(&self) -> &str {
+        "camera"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        QosSpec::with_tolerance(SimDuration::from_millis(11))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        fast_forward(&mut self.next_frame, from, FRAME_PERIOD);
+        while self.next_frame < to {
+            let capture = self.factory.work(CAPTURE_WORK, 0.1, 1.5);
+            let encode = self.factory.work(ENCODE_WORK, 0.15, 2.0);
+            out.push(self.factory.job(self.next_frame, capture, FRAME_PERIOD, JobClass::Light));
+            out.push(self.factory.job(self.next_frame, encode, FRAME_PERIOD, JobClass::Heavy));
+            if self.frame_index % AF_PERIOD_FRAMES == 0 {
+                let af = self.factory.work(AF_WORK, 0.2, 2.0);
+                out.push(self.factory.job(
+                    self.next_frame,
+                    af,
+                    FRAME_PERIOD * 2,
+                    JobClass::Normal,
+                ));
+            }
+            self.frame_index += 1;
+            self.next_frame += FRAME_PERIOD;
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.next_frame = SimTime::ZERO;
+        self.frame_index = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_capture_encode_pairs_per_second() {
+        let mut c = CameraPreview::new(1);
+        let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count(), 31);
+        assert_eq!(jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count(), 31);
+    }
+
+    #[test]
+    fn autofocus_passes_every_fifteen_frames() {
+        let mut c = CameraPreview::new(2);
+        let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(5));
+        let af = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        assert_eq!(af, 11, "151 frames, AF at 0,15,...,150");
+    }
+
+    #[test]
+    fn encode_dominates_capture() {
+        let mut c = CameraPreview::new(3);
+        let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let cap: u64 = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).map(|(_, j)| j.work).sum();
+        let enc: u64 = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).map(|(_, j)| j.work).sum();
+        assert!(enc > 4 * cap);
+    }
+}

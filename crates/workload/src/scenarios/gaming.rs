@@ -1,0 +1,159 @@
+//! 60 fps gaming: sustained render + physics load with an audio track.
+//!
+//! The heaviest steady scenario in the catalog — it keeps the big cluster
+//! busy and is where the `powersave` baseline collapses on QoS.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Frame period for 60 fps.
+const FRAME_PERIOD: SimDuration = SimDuration::from_micros(16_667);
+/// Median render work per frame (~9 ms on one big core at 1.2 GHz).
+const RENDER_WORK_MEDIAN: f64 = 22.0e6;
+/// Physics/game-logic work per frame.
+const PHYSICS_WORK_MEDIAN: f64 = 7.0e6;
+/// Audio buffer period and work.
+const AUDIO_PERIOD: SimDuration = SimDuration::from_millis(20);
+const AUDIO_WORK: u64 = 400_000;
+/// Period of load spikes (combat bursts, particle storms).
+const SPIKE_MEAN_S: f64 = 6.0;
+/// Spike multiplier applied to render work while a spike is active.
+const SPIKE_FACTOR: f64 = 1.6;
+/// Spike duration.
+const SPIKE_LEN: SimDuration = SimDuration::from_millis(900);
+
+/// 60 fps gaming.
+#[derive(Debug, Clone)]
+pub struct Gaming {
+    factory: JobFactory,
+    next_frame: SimTime,
+    next_audio: SimTime,
+    spike_until: SimTime,
+    next_spike: SimTime,
+}
+
+impl Gaming {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        let mut factory = JobFactory::new(seed, "gaming");
+        let first_spike =
+            SimTime::ZERO + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / SPIKE_MEAN_S));
+        Gaming {
+            factory,
+            next_frame: SimTime::ZERO,
+            next_audio: SimTime::ZERO,
+            spike_until: SimTime::ZERO,
+            next_spike: first_spike,
+        }
+    }
+
+    fn in_spike(&self, at: SimTime) -> bool {
+        at < self.spike_until
+    }
+}
+
+impl Scenario for Gaming {
+    fn name(&self) -> &str {
+        "gaming"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        // Frame pacing is tight: 6 ms of jank is noticeable.
+        QosSpec::with_tolerance(SimDuration::from_millis(6))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        fast_forward(&mut self.next_frame, from, FRAME_PERIOD);
+        fast_forward(&mut self.next_audio, from, AUDIO_PERIOD);
+        if self.next_spike < from {
+            self.next_spike = from
+                + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / SPIKE_MEAN_S));
+        }
+
+        while self.next_frame < to {
+            if self.next_frame >= self.next_spike {
+                self.spike_until = self.next_spike + SPIKE_LEN;
+                self.next_spike = self.next_spike
+                    + SPIKE_LEN
+                    + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / SPIKE_MEAN_S));
+            }
+            let spike = self.in_spike(self.next_frame);
+            let mut render = self.factory.work(RENDER_WORK_MEDIAN, 0.3, 3.0);
+            if spike {
+                render = (render as f64 * SPIKE_FACTOR) as u64;
+            }
+            let physics = self.factory.work(PHYSICS_WORK_MEDIAN, 0.2, 2.5);
+            out.push(self.factory.job(self.next_frame, render, FRAME_PERIOD, JobClass::Heavy));
+            out.push(self.factory.job(self.next_frame, physics, FRAME_PERIOD, JobClass::Normal));
+            self.next_frame += FRAME_PERIOD;
+        }
+        while self.next_audio < to {
+            out.push(self.factory.job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light));
+            self.next_audio += AUDIO_PERIOD;
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.next_frame = SimTime::ZERO;
+        self.next_audio = SimTime::ZERO;
+        self.spike_until = SimTime::ZERO;
+        self.next_spike = SimTime::ZERO
+            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / SPIKE_MEAN_S));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_render_frames_per_second() {
+        let mut g = Gaming::new(1);
+        let jobs = g.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let renders = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        assert_eq!(renders, 60);
+        let physics = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        assert_eq!(physics, 60);
+    }
+
+    #[test]
+    fn spikes_raise_render_work() {
+        let mut g = Gaming::new(2);
+        // Collect 2 minutes of frames; spiked frames should push the max
+        // well above the clamped non-spike maximum.
+        let jobs = g.arrivals(SimTime::ZERO, SimTime::from_secs(120));
+        let renders: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(_, j)| j.work)
+            .collect();
+        let max = *renders.iter().max().unwrap() as f64;
+        assert!(
+            max > RENDER_WORK_MEDIAN * 3.0,
+            "expected spiked frames above the 3x clamp, max {max}"
+        );
+    }
+
+    #[test]
+    fn render_and_physics_arrive_together() {
+        let mut g = Gaming::new(3);
+        let jobs = g.arrivals(SimTime::ZERO, SimTime::from_millis(50));
+        let render_times: Vec<SimTime> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(at, _)| *at)
+            .collect();
+        let physics_times: Vec<SimTime> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .map(|(at, _)| *at)
+            .collect();
+        assert_eq!(render_times, physics_times);
+    }
+}

@@ -1,0 +1,147 @@
+//! Application launch cycles: an intense burst (process start, JIT,
+//! layout, first render) followed by quiet interaction, repeated. The
+//! canonical ramp-response benchmark for reactive governors.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Launch episode cadence.
+const CYCLE: SimDuration = SimDuration::from_secs(5);
+/// The burst phase length.
+const BURST_LEN: SimDuration = SimDuration::from_millis(1_200);
+/// Burst jobs arrive this often during the burst.
+const BURST_JOB_PERIOD: SimDuration = SimDuration::from_millis(30);
+/// Median work per burst job (~15 ms on one big core at 1.2 GHz).
+const BURST_WORK: f64 = 36.0e6;
+/// Per-burst-job completion budget.
+const BURST_BUDGET: SimDuration = SimDuration::from_millis(120);
+/// Quiet-phase touch events.
+const QUIET_JOB_PERIOD: SimDuration = SimDuration::from_millis(250);
+const QUIET_WORK: f64 = 2.0e6;
+
+/// Repeated application launches.
+#[derive(Debug, Clone)]
+pub struct AppLaunch {
+    factory: JobFactory,
+    cycle_start: SimTime,
+    next_emit: SimTime,
+}
+
+impl AppLaunch {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        AppLaunch {
+            factory: JobFactory::new(seed, "app-launch"),
+            cycle_start: SimTime::ZERO,
+            next_emit: SimTime::ZERO,
+        }
+    }
+
+    fn in_burst(&self, at: SimTime) -> bool {
+        at.saturating_duration_since(self.cycle_start) < BURST_LEN
+    }
+}
+
+impl Scenario for AppLaunch {
+    fn name(&self) -> &str {
+        "app-launch"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        QosSpec::with_tolerance(SimDuration::from_millis(60))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        // Re-anchor the cycle if we were paused.
+        if self.next_emit < from {
+            let behind = from - self.cycle_start;
+            let cycles = behind.as_nanos() / CYCLE.as_nanos();
+            self.cycle_start += CYCLE * cycles;
+            self.next_emit = from;
+            fast_forward(&mut self.next_emit, from, BURST_JOB_PERIOD);
+        }
+        while self.next_emit < to {
+            // Roll the cycle forward when we pass its end.
+            while self.next_emit.saturating_duration_since(self.cycle_start) >= CYCLE {
+                self.cycle_start += CYCLE;
+            }
+            if self.in_burst(self.next_emit) {
+                let work = self.factory.work(BURST_WORK, 0.3, 2.5);
+                out.push(self.factory.job(self.next_emit, work, BURST_BUDGET, JobClass::Heavy));
+                self.next_emit += BURST_JOB_PERIOD;
+            } else {
+                let work = self.factory.work(QUIET_WORK, 0.2, 2.0);
+                out.push(self.factory.job(
+                    self.next_emit,
+                    work,
+                    SimDuration::from_millis(50),
+                    JobClass::Light,
+                ));
+                self.next_emit += QUIET_JOB_PERIOD;
+                // Snap to the next burst if the quiet step crosses into it.
+                let next_cycle = self.cycle_start + CYCLE;
+                if self.next_emit > next_cycle {
+                    self.next_emit = next_cycle;
+                }
+            }
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.cycle_start = SimTime::ZERO;
+        self.next_emit = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_alternate_with_quiet() {
+        let mut a = AppLaunch::new(1);
+        let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(10));
+        // Two 5 s cycles: 2 bursts of 40 heavy jobs each.
+        let heavy = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        assert_eq!(heavy, 80);
+        let light = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        assert!(light > 20, "quiet-phase touches present: {light}");
+    }
+
+    #[test]
+    fn burst_jobs_cluster_at_cycle_starts() {
+        let mut a = AppLaunch::new(2);
+        let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(5));
+        for (at, j) in &jobs {
+            let phase = at.as_nanos() % CYCLE.as_nanos();
+            if j.class == JobClass::Heavy {
+                assert!(phase < BURST_LEN.as_nanos(), "heavy at phase {phase}");
+            } else {
+                assert!(phase >= BURST_LEN.as_nanos(), "light at phase {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_generation_matches_cycle_count() {
+        let mut a = AppLaunch::new(3);
+        let mut heavy = 0;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(20) {
+            let to = t + SimDuration::from_millis(20);
+            heavy += a
+                .arrivals(t, to)
+                .iter()
+                .filter(|(_, j)| j.class == JobClass::Heavy)
+                .count();
+            t = to;
+        }
+        assert_eq!(heavy, 160, "4 cycles x 40 burst jobs");
+    }
+}

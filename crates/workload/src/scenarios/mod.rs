@@ -1,0 +1,113 @@
+//! Built-in scenario generators.
+//!
+//! Each scenario lives in its own module; all share a private
+//! `JobFactory` helper for deterministic id allocation and randomness.
+//! See the [crate-level docs](crate) for the load shape each one models.
+
+mod audio;
+mod camera;
+mod gaming;
+mod idle;
+mod launch;
+mod markov;
+mod navigation;
+mod video;
+mod videocall;
+mod web;
+
+pub use audio::AudioPlayback;
+pub use camera::CameraPreview;
+pub use gaming::Gaming;
+pub use idle::Idle;
+pub use launch::AppLaunch;
+pub use markov::MarkovMix;
+pub use navigation::Navigation;
+pub use video::VideoPlayback;
+pub use videocall::VideoCall;
+pub use web::WebBrowsing;
+
+use simkit::{SimDuration, SimRng, SimTime};
+use soc::{Job, JobClass};
+
+/// Allocates jobs with unique ids and owns the scenario's random stream.
+#[derive(Debug, Clone)]
+pub(crate) struct JobFactory {
+    next_id: u64,
+    pub(crate) rng: SimRng,
+}
+
+impl JobFactory {
+    pub(crate) fn new(seed: u64, stream: &str) -> Self {
+        JobFactory {
+            next_id: 0,
+            rng: SimRng::seed_from(seed).split(stream),
+        }
+    }
+
+    /// Creates a job arriving at `at` with a deadline `budget` later.
+    pub(crate) fn job(
+        &mut self,
+        at: SimTime,
+        work: u64,
+        budget: SimDuration,
+        class: JobClass,
+    ) -> (SimTime, Job) {
+        let id = self.next_id;
+        self.next_id += 1;
+        (at, Job::new(id, work.max(1), at + budget, class))
+    }
+
+    /// Log-normal work sample around `median` with shape `sigma`, clamped
+    /// to `[median / cap, median * cap]` to keep tails physical.
+    pub(crate) fn work(&mut self, median: f64, sigma: f64, cap: f64) -> u64 {
+        let x = self.rng.log_normal(median.ln(), sigma);
+        x.clamp(median / cap, median * cap) as u64
+    }
+}
+
+/// Fast-forwards a periodic phase anchor so that `next >= from`, without
+/// emitting the skipped periods. This is what lets a scenario resume
+/// correctly after being paused inside a [`MarkovMix`] phase machine.
+pub(crate) fn fast_forward(next: &mut SimTime, from: SimTime, period: SimDuration) {
+    if *next < from {
+        let behind = from - *next;
+        let periods = behind.as_nanos().div_ceil(period.as_nanos());
+        *next += period * periods;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_ids_are_sequential() {
+        let mut f = JobFactory::new(1, "t");
+        let (_, a) = f.job(SimTime::ZERO, 10, SimDuration::from_millis(1), JobClass::Light);
+        let (_, b) = f.job(SimTime::ZERO, 10, SimDuration::from_millis(1), JobClass::Light);
+        assert_eq!(a.id.0 + 1, b.id.0);
+    }
+
+    #[test]
+    fn work_sample_is_clamped() {
+        let mut f = JobFactory::new(2, "t");
+        for _ in 0..10_000 {
+            let w = f.work(1_000_000.0, 2.0, 3.0) as f64;
+            assert!((f64::floor(1_000_000.0 / 3.0)..=3_000_000.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn fast_forward_aligns_to_grid() {
+        let period = SimDuration::from_millis(10);
+        let mut next = SimTime::from_millis(5);
+        fast_forward(&mut next, SimTime::from_millis(42), period);
+        assert_eq!(next, SimTime::from_millis(45));
+        // Already ahead: untouched.
+        fast_forward(&mut next, SimTime::from_millis(42), period);
+        assert_eq!(next, SimTime::from_millis(45));
+        // Exactly at from: untouched.
+        fast_forward(&mut next, SimTime::from_millis(45), period);
+        assert_eq!(next, SimTime::from_millis(45));
+    }
+}

@@ -1,0 +1,149 @@
+//! 30 fps video playback: periodic decode frames with I-frame spikes and a
+//! light audio track.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Frame period for 30 fps.
+const FRAME_PERIOD: SimDuration = SimDuration::from_micros(33_333);
+/// Audio buffer period.
+const AUDIO_PERIOD: SimDuration = SimDuration::from_millis(20);
+/// Median decode work per P-frame, in reference instructions (~13 ms on
+/// one big core at 1.2 GHz).
+const FRAME_WORK_MEDIAN: f64 = 32.0e6;
+/// I-frame period in frames (one GOP).
+const GOP: u64 = 12;
+/// I-frame work multiplier.
+const IFRAME_FACTOR: f64 = 2.2;
+/// Audio buffer work.
+const AUDIO_WORK: u64 = 400_000;
+
+/// 30 fps video playback.
+#[derive(Debug, Clone)]
+pub struct VideoPlayback {
+    factory: JobFactory,
+    next_frame: SimTime,
+    next_audio: SimTime,
+    frame_index: u64,
+}
+
+impl VideoPlayback {
+    /// Creates the scenario with its own random stream derived from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        VideoPlayback {
+            factory: JobFactory::new(seed, "video"),
+            next_frame: SimTime::ZERO,
+            next_audio: SimTime::ZERO,
+            frame_index: 0,
+        }
+    }
+}
+
+impl Scenario for VideoPlayback {
+    fn name(&self) -> &str {
+        "video"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        // A frame a third of a period late is visibly dropped.
+        QosSpec::with_tolerance(SimDuration::from_millis(11))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        fast_forward(&mut self.next_frame, from, FRAME_PERIOD);
+        fast_forward(&mut self.next_audio, from, AUDIO_PERIOD);
+
+        while self.next_frame < to {
+            let is_iframe = self.frame_index % GOP == 0;
+            let mut work = self.factory.work(FRAME_WORK_MEDIAN, 0.25, 3.0);
+            if is_iframe {
+                work = (work as f64 * IFRAME_FACTOR) as u64;
+            }
+            out.push(self.factory.job(self.next_frame, work, FRAME_PERIOD, JobClass::Heavy));
+            self.frame_index += 1;
+            self.next_frame += FRAME_PERIOD;
+        }
+        while self.next_audio < to {
+            out.push(self.factory.job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light));
+            self.next_audio += AUDIO_PERIOD;
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.next_frame = SimTime::ZERO;
+        self.next_audio = SimTime::ZERO;
+        self.frame_index = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_frames_per_second() {
+        let mut v = VideoPlayback::new(1);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let frames = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        assert_eq!(frames, 31); // frames at k*33.333ms, k=0..=30 fit in [0, 1s)
+        let audio = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        assert_eq!(audio, 50);
+    }
+
+    #[test]
+    fn iframes_are_bigger() {
+        let mut v = VideoPlayback::new(2);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(4));
+        let frames: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(_, j)| j.work)
+            .collect();
+        let iframes: Vec<u64> = frames.iter().copied().step_by(GOP as usize).collect();
+        let pframes: Vec<u64> = frames
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % GOP as usize != 0)
+            .map(|(_, &w)| w)
+            .collect();
+        let i_mean = iframes.iter().sum::<u64>() as f64 / iframes.len() as f64;
+        let p_mean = pframes.iter().sum::<u64>() as f64 / pframes.len() as f64;
+        assert!(i_mean > 1.5 * p_mean, "I {i_mean} vs P {p_mean}");
+    }
+
+    #[test]
+    fn frame_deadline_is_one_period() {
+        let mut v = VideoPlayback::new(3);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_millis(100));
+        let (at, frame) = jobs
+            .iter()
+            .find(|(_, j)| j.class == JobClass::Heavy)
+            .expect("at least one frame");
+        assert_eq!(frame.deadline, *at + FRAME_PERIOD);
+    }
+
+    #[test]
+    fn phase_survives_window_boundaries() {
+        let mut v = VideoPlayback::new(4);
+        let mut count = 0;
+        let mut t = SimTime::ZERO;
+        // 1 s in 20 ms windows must produce the same 30 frames.
+        for _ in 0..50 {
+            let to = t + SimDuration::from_millis(20);
+            count += v
+                .arrivals(t, to)
+                .iter()
+                .filter(|(_, j)| j.class == JobClass::Heavy)
+                .count();
+            t = to;
+        }
+        assert_eq!(count, 31);
+    }
+}

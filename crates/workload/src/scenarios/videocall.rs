@@ -1,0 +1,161 @@
+//! Video call: simultaneous encode (camera out) and decode (remote in)
+//! pipelines at 24 fps, plus audio duplex and periodic network jitter
+//! that batches remote frames. Heavier than video playback, lighter than
+//! gaming, with a distinctive two-sided load.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::{fast_forward, JobFactory};
+use crate::{QosSpec, Scenario};
+
+/// Frame period for 24 fps call video.
+const FRAME_PERIOD: SimDuration = SimDuration::from_micros(41_667);
+/// Encode work per outgoing frame (camera + encoder).
+const ENCODE_WORK: f64 = 24.0e6;
+/// Decode work per incoming frame.
+const DECODE_WORK: f64 = 14.0e6;
+/// Audio duplex period and work (capture + mix + encode).
+const AUDIO_PERIOD: SimDuration = SimDuration::from_millis(20);
+const AUDIO_WORK: f64 = 900_000.0;
+/// Mean interval between network-jitter events.
+const JITTER_MEAN_S: f64 = 7.0;
+/// A jitter event delays this many incoming frames, which then arrive as
+/// one batch.
+const JITTER_BATCH: u64 = 3;
+
+/// Two-way video call.
+#[derive(Debug, Clone)]
+pub struct VideoCall {
+    factory: JobFactory,
+    next_frame: SimTime,
+    next_audio: SimTime,
+    next_jitter: SimTime,
+    /// Incoming frames withheld by the current jitter event.
+    held_decodes: u64,
+}
+
+impl VideoCall {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        let mut factory = JobFactory::new(seed, "video-call");
+        let first_jitter =
+            SimTime::ZERO + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / JITTER_MEAN_S));
+        VideoCall {
+            factory,
+            next_frame: SimTime::ZERO,
+            next_audio: SimTime::ZERO,
+            next_jitter: first_jitter,
+            held_decodes: 0,
+        }
+    }
+}
+
+impl Scenario for VideoCall {
+    fn name(&self) -> &str {
+        "video-call"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        // Call latency budgets are tight but frames are small.
+        QosSpec::with_tolerance(SimDuration::from_millis(15))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        let mut out = Vec::new();
+        fast_forward(&mut self.next_frame, from, FRAME_PERIOD);
+        fast_forward(&mut self.next_audio, from, AUDIO_PERIOD);
+        if self.next_jitter < from {
+            self.next_jitter = from
+                + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / JITTER_MEAN_S));
+            self.held_decodes = 0;
+        }
+
+        while self.next_frame < to {
+            let at = self.next_frame;
+            // Outgoing encode: always on schedule.
+            let encode = self.factory.work(ENCODE_WORK, 0.2, 2.0);
+            out.push(self.factory.job(at, encode, FRAME_PERIOD, JobClass::Heavy));
+
+            // Incoming decode: withheld while a jitter event is pending.
+            if at >= self.next_jitter && self.held_decodes < JITTER_BATCH {
+                self.held_decodes += 1;
+            } else {
+                let batch = if self.held_decodes > 0 {
+                    // The network burst flushes: held frames arrive now.
+                    let n = self.held_decodes + 1;
+                    self.held_decodes = 0;
+                    self.next_jitter = at
+                        + SimDuration::from_secs_f64(
+                            self.factory.rng.exponential(1.0 / JITTER_MEAN_S),
+                        );
+                    n
+                } else {
+                    1
+                };
+                for _ in 0..batch {
+                    let decode = self.factory.work(DECODE_WORK, 0.2, 2.0);
+                    out.push(self.factory.job(at, decode, FRAME_PERIOD, JobClass::Normal));
+                }
+            }
+            self.next_frame += FRAME_PERIOD;
+        }
+        while self.next_audio < to {
+            let work = self.factory.work(AUDIO_WORK, 0.1, 1.5);
+            out.push(self.factory.job(self.next_audio, work, AUDIO_PERIOD, JobClass::Light));
+            self.next_audio += AUDIO_PERIOD;
+        }
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.next_frame = SimTime::ZERO;
+        self.next_audio = SimTime::ZERO;
+        self.held_decodes = 0;
+        self.next_jitter = SimTime::ZERO
+            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / JITTER_MEAN_S));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_runs_at_24fps() {
+        let mut v = VideoCall::new(1);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let encodes = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        assert_eq!(encodes, 24);
+    }
+
+    #[test]
+    fn decodes_arrive_in_jitter_batches() {
+        let mut v = VideoCall::new(2);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(60));
+        // Count decodes per frame instant; jitter must produce some
+        // multi-decode instants and some zero-decode instants.
+        let mut per_instant = std::collections::BTreeMap::new();
+        for (at, j) in &jobs {
+            if j.class == JobClass::Normal {
+                *per_instant.entry(at.as_nanos()).or_insert(0u64) += 1;
+            }
+        }
+        let max_batch = per_instant.values().copied().max().unwrap_or(0);
+        assert!(max_batch >= JITTER_BATCH, "largest batch {max_batch}");
+        // Total decode count over a minute stays close to the frame count
+        // (jitter delays, it does not drop).
+        let decodes: u64 = per_instant.values().sum();
+        let encodes = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count() as u64;
+        assert!(decodes >= encodes - 2 * JITTER_BATCH && decodes <= encodes);
+    }
+
+    #[test]
+    fn duplex_audio_is_present() {
+        let mut v = VideoCall::new(3);
+        let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        let audio = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        assert_eq!(audio, 50);
+    }
+}

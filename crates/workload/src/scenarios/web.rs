@@ -1,0 +1,236 @@
+//! Web browsing: heavy-tailed page-load bursts separated by think time,
+//! followed by a short scroll interaction.
+//!
+//! This is the scenario with the widest dynamic range — near idle during
+//! think time, saturating for hundreds of milliseconds during a load —
+//! and the one where reactive governors (`ondemand`, `conservative`) pay
+//! their ramp-up latency.
+
+use simkit::{SimDuration, SimTime};
+use soc::{Job, JobClass};
+
+use super::JobFactory;
+use crate::{QosSpec, Scenario};
+
+/// Mean think time between page loads (s).
+const THINK_MEAN_S: f64 = 3.5;
+/// Pareto scale (minimum total page work) and shape.
+const PAGE_WORK_MIN: f64 = 60.0e6;
+const PAGE_WORK_ALPHA: f64 = 1.3;
+/// Cap on total page work.
+const PAGE_WORK_CAP: f64 = 500.0e6;
+/// Work per parse/layout chunk.
+const CHUNK_WORK: f64 = 35.0e6;
+/// Chunks of one page arrive spread over this long.
+const PAGE_SPREAD: SimDuration = SimDuration::from_millis(300);
+/// Per-chunk deadline budget (render-pipeline latency target).
+const CHUNK_BUDGET: SimDuration = SimDuration::from_millis(400);
+/// Scroll burst after a page settles: frame period and count range.
+const SCROLL_PERIOD: SimDuration = SimDuration::from_micros(16_667);
+const SCROLL_WORK: f64 = 3.0e6;
+
+/// Bursty web browsing.
+#[derive(Debug, Clone)]
+pub struct WebBrowsing {
+    factory: JobFactory,
+    /// Pending already-generated arrivals beyond the last window.
+    backlog: Vec<(SimTime, Job)>,
+    /// When the next page load starts.
+    next_page: SimTime,
+}
+
+impl WebBrowsing {
+    /// Creates the scenario.
+    pub fn new(seed: u64) -> Self {
+        let mut factory = JobFactory::new(seed, "web");
+        let first = SimTime::ZERO
+            + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0));
+        WebBrowsing {
+            factory,
+            backlog: Vec::new(),
+            next_page: first,
+        }
+    }
+
+    /// Generates one full page-load episode starting at `start`, pushing
+    /// all of its arrivals into the backlog, and returns when the episode
+    /// settles.
+    fn generate_page(&mut self, start: SimTime) -> SimTime {
+        let total = self
+            .factory
+            .rng
+            .pareto(PAGE_WORK_MIN, PAGE_WORK_ALPHA)
+            .min(PAGE_WORK_CAP);
+        let chunks = (total / CHUNK_WORK).ceil().max(1.0) as u64;
+        for i in 0..chunks {
+            let frac = i as f64 / chunks as f64;
+            let at = start + PAGE_SPREAD.mul_f64(frac);
+            let work = self.factory.work(CHUNK_WORK, 0.3, 3.0);
+            let (at, job) = self.factory.job(at, work, CHUNK_BUDGET, JobClass::Heavy);
+            self.backlog.push((at, job));
+        }
+        // Scroll interaction after the page settles.
+        let scroll_start = start + PAGE_SPREAD + SimDuration::from_millis(200);
+        let scroll_frames = 20 + self.factory.rng.uniform_usize(40) as u64;
+        for i in 0..scroll_frames {
+            let at = scroll_start + SCROLL_PERIOD * i;
+            let work = self.factory.work(SCROLL_WORK, 0.2, 2.0);
+            let (at, job) = self.factory.job(at, work, SCROLL_PERIOD, JobClass::Normal);
+            self.backlog.push((at, job));
+        }
+        scroll_start + SCROLL_PERIOD * scroll_frames
+    }
+}
+
+impl Scenario for WebBrowsing {
+    fn name(&self) -> &str {
+        "web"
+    }
+
+    fn qos_spec(&self) -> QosSpec {
+        // Page chunks have soft deadlines; 150 ms of extra latency is the
+        // tolerance scale.
+        QosSpec::with_tolerance(SimDuration::from_millis(150))
+    }
+
+    fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
+        // Re-anchor if we were paused (inside a phase mixer).
+        if self.next_page < from && self.backlog.iter().all(|(at, _)| *at < from) {
+            self.next_page = from
+                + SimDuration::from_secs_f64(
+                    self.factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0),
+                );
+        }
+        // Generate page episodes up to the window end.
+        while self.next_page < to {
+            let settled = self.generate_page(self.next_page);
+            self.next_page = settled
+                + SimDuration::from_secs_f64(
+                    self.factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0),
+                );
+        }
+        // Drain backlog entries due in this window; drop stale ones (from
+        // paused phases).
+        let mut out = Vec::new();
+        self.backlog.retain(|&(at, job)| {
+            if at < from {
+                false
+            } else if at < to {
+                out.push((at, job));
+                false
+            } else {
+                true
+            }
+        });
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.backlog.clear();
+        self.next_page = SimTime::ZERO
+            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(seed: u64, secs: u64) -> Vec<(SimTime, Job)> {
+        let mut w = WebBrowsing::new(seed);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(secs) {
+            let to = t + SimDuration::from_millis(20);
+            out.extend(w.arrivals(t, to));
+            t = to;
+        }
+        out
+    }
+
+    #[test]
+    fn pages_arrive_as_bursts() {
+        let jobs = collect(1, 60);
+        let heavy: Vec<SimTime> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(at, _)| *at)
+            .collect();
+        assert!(heavy.len() >= 10, "a minute of browsing loads several pages");
+        // Bursts: consecutive heavy chunks are either < 400 ms apart
+        // (same page) or > 500 ms apart (think time).
+        let mut same_page = 0;
+        let mut think = 0;
+        for w in heavy.windows(2) {
+            let gap = w[1] - w[0];
+            if gap < SimDuration::from_millis(400) {
+                same_page += 1;
+            } else if gap > SimDuration::from_millis(500) {
+                think += 1;
+            }
+        }
+        assert!(same_page > think, "most gaps are within a burst");
+        assert!(think >= 3, "several distinct pages");
+    }
+
+    #[test]
+    fn page_sizes_are_heavy_tailed() {
+        let jobs = collect(2, 300);
+        let total_heavy: u64 = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(_, j)| j.work)
+            .sum();
+        assert!(total_heavy > 0);
+        // Chunk count per think-gap-separated burst varies by > 2x.
+        let mut bursts = vec![0u32];
+        let heavy: Vec<SimTime> = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(at, _)| *at)
+            .collect();
+        for w in heavy.windows(2) {
+            if w[1] - w[0] > SimDuration::from_millis(500) {
+                bursts.push(0);
+            }
+            *bursts.last_mut().unwrap() += 1;
+        }
+        let min = *bursts.iter().min().unwrap();
+        let max = *bursts.iter().max().unwrap();
+        assert!(max >= min * 2, "burst sizes {min}..{max} should vary");
+    }
+
+    #[test]
+    fn scroll_follows_page() {
+        let jobs = collect(3, 120);
+        let normals = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        assert!(normals >= 20, "scroll frames present: {normals}");
+    }
+
+    #[test]
+    fn no_arrivals_outside_window() {
+        // Exercised heavily by the scenario-level tests; here we check a
+        // single boundary straddle: generate with tiny windows and ensure
+        // nothing is lost or duplicated versus one big window.
+        let total_small: usize = {
+            let mut w = WebBrowsing::new(4);
+            let mut n = 0;
+            let mut t = SimTime::ZERO;
+            while t < SimTime::from_secs(30) {
+                let to = t + SimDuration::from_millis(20);
+                n += w.arrivals(t, to).len();
+                t = to;
+            }
+            n
+        };
+        let total_big = {
+            let mut w = WebBrowsing::new(4);
+            w.arrivals(SimTime::ZERO, SimTime::from_secs(30)).len()
+        };
+        // The big window generates pages slightly past the end too, so
+        // allow the small-window run to see a page boundary effect.
+        let diff = (total_small as i64 - total_big as i64).abs();
+        assert!(diff <= 60, "small {total_small} vs big {total_big}");
+    }
+}

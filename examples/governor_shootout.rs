@@ -1,0 +1,53 @@
+//! Governor shoot-out: run every policy (the six Linux baselines plus the
+//! trained RL policy) on one scenario and print the comparison — a
+//! single-scenario slice of the paper's headline table.
+//!
+//! ```text
+//! cargo run --release --example governor_shootout -- gaming
+//! cargo run --release --example governor_shootout -- mixed 60
+//! ```
+
+use experiments::table::{fmt_f64, Table};
+use experiments::{run, PolicyKind, RunConfig, TrainingProtocol};
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario_kind = ScenarioKind::ALL
+        .into_iter()
+        .find(|k| Some(k.name()) == args.first().map(String::as_str))
+        .unwrap_or(ScenarioKind::Video);
+    let secs: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let soc_config = SocConfig::odroid_xu3_like()?;
+    let mut table = Table::new(
+        &format!("{scenario_kind} for {secs}s: all policies"),
+        ["policy", "energy (J)", "avg power (W)", "energy/QoS", "QoS %", "violations"],
+    );
+
+    for policy_kind in PolicyKind::evaluation_set() {
+        eprint!("{policy_kind} ... ");
+        let mut governor = policy_kind.build_trained(
+            &soc_config,
+            scenario_kind,
+            TrainingProtocol::default(),
+            42,
+        );
+        let mut soc = Soc::new(soc_config.clone())?;
+        let mut scenario = scenario_kind.build(777);
+        let metrics = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs));
+        eprintln!("done");
+        table.push([
+            policy_kind.name().to_owned(),
+            fmt_f64(metrics.energy_j),
+            fmt_f64(metrics.avg_power_w),
+            fmt_f64(metrics.energy_per_qos),
+            format!("{:.2}", metrics.qos.qos_ratio() * 100.0),
+            metrics.qos.violations.to_string(),
+        ]);
+    }
+
+    println!("\n{}", table.to_markdown());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Inspect what a policy does over time: train the RL governor on a
+//! scenario, evaluate it frozen with tracing, and print a per-second
+//! summary of frequency levels, utilisation, power and QoS — the data
+//! behind the paper's behaviour figures.
+//!
+//! ```text
+//! cargo run --release --example policy_trace -- gaming rlpm
+//! cargo run --release --example policy_trace -- video schedutil
+//! ```
+
+use experiments::{run, PolicyKind, RunConfig, TrainingProtocol};
+use governors::GovernorKind;
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+fn parse_scenario(name: &str) -> ScenarioKind {
+    ScenarioKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown scenario {name:?}; using gaming");
+            ScenarioKind::Gaming
+        })
+}
+
+fn parse_policy(name: &str) -> PolicyKind {
+    match name {
+        "rlpm" => PolicyKind::Rl,
+        "rlpm-hw" => PolicyKind::RlHw,
+        other => GovernorKind::SIX_BASELINES
+            .into_iter()
+            .find(|k| k.name() == other)
+            .map(PolicyKind::Baseline)
+            .unwrap_or_else(|| {
+                eprintln!("unknown policy {other:?}; using rlpm");
+                PolicyKind::Rl
+            }),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario_kind = parse_scenario(args.first().map(String::as_str).unwrap_or("gaming"));
+    let policy_kind = parse_policy(args.get(1).map(String::as_str).unwrap_or("rlpm"));
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let soc_config = SocConfig::odroid_xu3_like()?;
+    eprintln!("building {policy_kind} (training RL variants on {scenario_kind}) ...");
+    let mut governor = policy_kind.build_trained(
+        &soc_config,
+        scenario_kind,
+        TrainingProtocol::default(),
+        42,
+    );
+
+    let mut soc = Soc::new(soc_config.clone())?;
+    let mut scenario = scenario_kind.build(4242);
+    let metrics = run(
+        &mut soc,
+        scenario.as_mut(),
+        governor.as_mut(),
+        RunConfig::seconds(secs).with_trace(),
+    );
+    let trace = metrics.trace.as_ref().expect("trace requested");
+
+    println!("sec  lvl_L lvl_b  util_L util_b  power_W  qos_units");
+    let l0 = trace.series("level_0");
+    let l1 = trace.series("level_1");
+    let u0 = trace.series("util_0");
+    let u1 = trace.series("util_1");
+    let pw = trace.series("power_w");
+    let qu = trace.series("qos_units");
+    let epochs_per_sec = 50;
+    for sec in 0..(secs as usize) {
+        let range = sec * epochs_per_sec..((sec + 1) * epochs_per_sec).min(l0.len());
+        if range.is_empty() {
+            break;
+        }
+        let mean = |s: &[(f64, f64)]| {
+            s[range.clone()].iter().map(|(_, v)| v).sum::<f64>() / range.len() as f64
+        };
+        println!(
+            "{sec:>3}  {:>5.1} {:>5.1}  {:>6.2} {:>6.2}  {:>7.3}  {:>9.2}",
+            mean(&l0),
+            mean(&l1),
+            mean(&u0),
+            mean(&u1),
+            mean(&pw),
+            qu[range.clone()].iter().map(|(_, v)| v).sum::<f64>(),
+        );
+    }
+
+    println!("\n=== {scenario_kind} / {policy_kind} over {secs}s ===");
+    println!("energy          : {:.3} J", metrics.energy_j);
+    println!("avg power       : {:.3} W", metrics.avg_power_w);
+    println!("energy per QoS  : {:.5} J/unit", metrics.energy_per_qos);
+    println!(
+        "QoS             : {:.2}% delivered, {} violations, {} on-time / {} jobs",
+        metrics.qos.qos_ratio() * 100.0,
+        metrics.qos.violations,
+        metrics.qos.on_time,
+        metrics.qos.completed
+    );
+    println!("DVFS transitions: {}", metrics.transitions);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: simulate 30 seconds of video playback on a big.LITTLE
+//! MPSoC under the RL power-management policy and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use experiments::{run, RunConfig};
+use governors::Governor;
+use rlpm::{RlConfig, RlGovernor};
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated SoC shaped like the Exynos 5422 (4 big + 4 LITTLE).
+    let soc_config = SocConfig::odroid_xu3_like()?;
+    let mut soc = Soc::new(soc_config.clone())?;
+
+    // 2. The paper's policy: tabular double-Q learning over DVFS epochs.
+    let mut policy = RlGovernor::new(RlConfig::for_soc(&soc_config), 42);
+    println!(
+        "policy: {} states x {} actions = {} Q-entries",
+        policy.config().num_states(),
+        policy.config().num_actions(),
+        policy.config().table_entries()
+    );
+
+    // 3. A workload: 30 fps video playback with I-frame spikes.
+    let mut scenario = ScenarioKind::Video.build(7);
+
+    // 4. Close the loop for 30 simulated seconds (the policy learns
+    //    online as it goes).
+    let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(30));
+
+    println!("\n=== 30 s of video under the learning policy ===");
+    println!("energy            : {:.2} J ({:.3} W average)", metrics.energy_j, metrics.avg_power_w);
+    println!("energy per QoS    : {:.5} J/unit", metrics.energy_per_qos);
+    println!(
+        "QoS               : {:.1}% delivered, {} violations",
+        metrics.qos.qos_ratio() * 100.0,
+        metrics.qos.violations
+    );
+    println!("jobs              : {} submitted, {} on time", metrics.jobs_submitted, metrics.qos.on_time);
+    println!("DVFS transitions  : {}", metrics.transitions);
+    println!("TD updates        : {}", policy.agent().updates());
+    println!("exploration ε     : {:.3}", policy.agent().epsilon());
+
+    // 5. Compare against the performance governor on the same workload.
+    let mut soc = Soc::new(soc_config.clone())?;
+    let mut perf = governors::GovernorKind::Performance.build(&soc_config);
+    let mut scenario = ScenarioKind::Video.build(7);
+    let reference = run(&mut soc, scenario.as_mut(), perf.as_mut(), RunConfig::seconds(30));
+    println!(
+        "\nperformance governor on the same 30 s: {:.2} J -> the learning policy used {:.0}% of its energy",
+        reference.energy_j,
+        100.0 * metrics.energy_j / reference.energy_j
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: every scenario under every baseline governor
+//! runs the full closed loop (workload → SoC → QoS → governor) with sane
+//! invariants.
+
+use experiments::{run, RunConfig};
+use governors::GovernorKind;
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+fn run_cell(scenario: ScenarioKind, governor: GovernorKind, secs: u64, seed: u64) -> experiments::RunMetrics {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut soc = Soc::new(soc_config.clone()).expect("valid config");
+    let mut scenario = scenario.build(seed);
+    let mut governor = governor.build(&soc_config);
+    run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs))
+}
+
+#[test]
+fn every_scenario_runs_under_every_baseline() {
+    for scenario in ScenarioKind::ALL {
+        for governor in GovernorKind::SIX_BASELINES {
+            let m = run_cell(scenario, governor, 5, 1);
+            assert!(m.energy_j > 0.0, "{scenario}/{governor}: zero energy");
+            assert!(m.energy_j.is_finite());
+            assert!(m.avg_power_w > 0.05 && m.avg_power_w < 15.0,
+                "{scenario}/{governor}: implausible power {}", m.avg_power_w);
+            assert!((0.0..=1.0).contains(&m.qos.qos_ratio()));
+            assert_eq!(m.epochs, 250);
+        }
+    }
+}
+
+#[test]
+fn energy_ordering_performance_vs_powersave_holds_everywhere() {
+    for scenario in ScenarioKind::ALL {
+        let perf = run_cell(scenario, GovernorKind::Performance, 10, 2);
+        let save = run_cell(scenario, GovernorKind::Powersave, 10, 2);
+        assert!(
+            perf.energy_j > save.energy_j,
+            "{scenario}: performance {} J <= powersave {} J",
+            perf.energy_j,
+            save.energy_j
+        );
+        assert!(
+            perf.qos.qos_ratio() >= save.qos.qos_ratio() - 1e-9,
+            "{scenario}: performance QoS below powersave"
+        );
+    }
+}
+
+#[test]
+fn reactive_governors_track_demand_on_mixed() {
+    // On the phase-switching trace, a reactive governor must land between
+    // the two static extremes on energy.
+    let perf = run_cell(ScenarioKind::Mixed, GovernorKind::Performance, 30, 3);
+    let save = run_cell(ScenarioKind::Mixed, GovernorKind::Powersave, 30, 3);
+    for reactive in [
+        GovernorKind::Ondemand,
+        GovernorKind::Conservative,
+        GovernorKind::Interactive,
+        GovernorKind::Schedutil,
+    ] {
+        let m = run_cell(ScenarioKind::Mixed, reactive, 30, 3);
+        assert!(
+            m.energy_j < perf.energy_j && m.energy_j > save.energy_j * 0.95,
+            "{reactive}: {} J outside ({}, {})",
+            m.energy_j,
+            save.energy_j,
+            perf.energy_j
+        );
+        assert!(
+            m.qos.qos_ratio() > save.qos.qos_ratio(),
+            "{reactive}: no QoS benefit over powersave"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_are_bit_identical_across_the_stack() {
+    let a = run_cell(ScenarioKind::Web, GovernorKind::Interactive, 20, 9);
+    let b = run_cell(ScenarioKind::Web, GovernorKind::Interactive, 20, 9);
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.qos, b.qos);
+    assert_eq!(a.transitions, b.transitions);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_cell(ScenarioKind::Web, GovernorKind::Interactive, 20, 9);
+    let b = run_cell(ScenarioKind::Web, GovernorKind::Interactive, 20, 10);
+    assert_ne!(a.energy_j.to_bits(), b.energy_j.to_bits());
+}
+
+#[test]
+fn symmetric_soc_also_closes_the_loop() {
+    let soc_config = SocConfig::symmetric_quad().expect("preset valid");
+    for governor in GovernorKind::SIX_BASELINES {
+        let mut soc = Soc::new(soc_config.clone()).expect("valid config");
+        let mut scenario = ScenarioKind::Video.build(4);
+        let mut governor = governor.build(&soc_config);
+        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(5));
+        assert!(m.energy_j > 0.0);
+        assert_eq!(m.mean_level_frac.len(), 1);
+    }
+}
+
+#[test]
+fn thermal_throttling_engages_under_all_core_saturation() {
+    // Gaming at the top OPP races to idle and stays cool — that is
+    // correct. But a benchmark-style load that saturates all four big
+    // cores at the top OPP must cross the 85 C trip point and clamp the
+    // level, like the real silicon does.
+    use simkit::SimDuration;
+    use soc::{Job, JobClass, LevelRequest};
+
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut soc = Soc::new(soc_config.clone()).expect("valid config");
+    let request = LevelRequest::max(&soc_config);
+    let mut id = 0;
+    let mut throttled_at = None;
+    for epoch in 0..3_000u64 {
+        // Keep every core saturated with Heavy work (spills cover LITTLE).
+        for _ in 0..8 {
+            id += 1;
+            soc.push_job(Job::new(
+                id,
+                400_000_000,
+                soc.now() + SimDuration::from_secs(10),
+                JobClass::Heavy,
+            ));
+        }
+        soc.run_epoch(&request).expect("valid request");
+        if soc.clusters()[1].is_throttled() {
+            throttled_at = Some(epoch);
+            break;
+        }
+    }
+    let epoch = throttled_at.expect("big cluster never throttled under full saturation");
+    let seconds = epoch as f64 * 0.02;
+    assert!(
+        (2.0..60.0).contains(&seconds),
+        "throttle time {seconds:.1}s outside the plausible window"
+    );
+    // While throttled, requesting the top level is clamped.
+    assert!(soc.clusters()[1].level() < soc_config.clusters[1].opps.max_level());
+}

@@ -1,0 +1,92 @@
+//! Integration of the experiment harness: each experiment module runs
+//! end-to-end at quick settings and reproduces the qualitative shape the
+//! paper reports.
+
+use experiments::ablations::{a1_state_features, ablation_table, AblationConfig};
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use experiments::e2_learning_curve::{run_e2, E2Config};
+use experiments::e3_adaptivity::{phase_table, run_e3, E3Config};
+use experiments::e4_decision_latency::{distribution, ladder};
+use experiments::e6_fixed_point::{run_parity, run_sweep};
+use experiments::PolicyKind;
+use governors::GovernorKind;
+use soc::SocConfig;
+use workload::ScenarioKind;
+
+fn soc_config() -> SocConfig {
+    SocConfig::odroid_xu3_like().expect("preset valid")
+}
+
+#[test]
+fn e1_quick_matrix_has_the_paper_shape() {
+    let result = run_e1(&soc_config(), &E1Config::quick());
+    // performance is the most expensive policy per QoS unit on both quick
+    // scenarios.
+    for scenario in [ScenarioKind::Video, ScenarioKind::Idle] {
+        let perf = result
+            .cell(scenario, PolicyKind::Baseline(GovernorKind::Performance))
+            .energy_per_qos;
+        for policy in PolicyKind::evaluation_set() {
+            let v = result.cell(scenario, policy).energy_per_qos;
+            assert!(v <= perf * 1.001, "{scenario}/{policy}: {v} above performance {perf}");
+        }
+    }
+    // The summary machinery renders.
+    let summary = result.summary_table();
+    assert_eq!(summary.len(), 7, "six baselines + the mean row");
+    assert!(result.reduction_vs(PolicyKind::Baseline(GovernorKind::Performance)) > 0.2);
+}
+
+#[test]
+fn e2_quick_curve_is_finite_and_long_enough() {
+    let result = run_e2(&soc_config(), &E2Config::quick());
+    assert_eq!(result.curve.len(), 12);
+    assert!(result.curve.iter().all(|v| v.is_finite()));
+    assert!(result.epsilon.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+}
+
+#[test]
+fn e3_quick_attributes_every_second_to_a_phase() {
+    let config = E3Config::quick();
+    let results = run_e3(&soc_config(), &config);
+    for r in &results {
+        let total: f64 = r.per_phase.values().map(|f| f.seconds).sum();
+        assert!((total - config.duration_secs as f64).abs() < 1.0);
+    }
+    assert!(phase_table(&results).to_markdown().contains("(overall)"));
+}
+
+#[test]
+fn e4_reproduces_the_latency_claims_shape() {
+    let l = ladder(&soc_config());
+    assert!(
+        l.max_speedup > 25.0 && l.max_speedup < 60.0,
+        "compute-only max speedup {} outside the 'up to ~40x' band",
+        l.max_speedup
+    );
+    assert!(
+        l.avg_speedup > 2.0 && l.avg_speedup < 8.0,
+        "end-to-end average speedup {} outside the '~3.92x' band",
+        l.avg_speedup
+    );
+    let d = distribution(&soc_config(), 10, 1);
+    assert!(d.speedup > 1.5, "closed-loop speedup {}", d.speedup);
+}
+
+#[test]
+fn e6_parity_holds_and_sweep_is_monotone() {
+    let report = run_parity(&soc_config(), 10_000, 2);
+    assert!(report.greedy_agreement > 0.99);
+    let points = run_sweep(&soc_config(), 5_000, 2);
+    for w in points.windows(2) {
+        assert!(w[1].max_q_error <= w[0].max_q_error + 1e-12);
+    }
+}
+
+#[test]
+fn ablations_quick_run_produces_full_tables() {
+    let rows = a1_state_features(&soc_config(), &AblationConfig::quick());
+    assert_eq!(rows.len(), 5);
+    let table = ablation_table("A1", &rows);
+    assert!(table.to_markdown().contains("full state (proposed)"));
+}

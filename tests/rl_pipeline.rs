@@ -1,0 +1,158 @@
+//! Integration of the learning pipeline: training improves the policy,
+//! freezing pins it, and the trained table deploys onto the hardware
+//! engine with matching behaviour.
+
+use experiments::{run, train_rl_governor, RunConfig, TrainingProtocol};
+use governors::Governor;
+use rlpm::{RlConfig, RlGovernor};
+use rlpm_hw::{HwConfig, HwPolicyDriver};
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+fn eval(governor: &mut dyn Governor, scenario: ScenarioKind, secs: u64, seed: u64) -> experiments::RunMetrics {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut soc = Soc::new(soc_config).expect("valid config");
+    let mut scenario = scenario.build(seed);
+    run(&mut soc, scenario.as_mut(), governor, RunConfig::seconds(secs))
+}
+
+#[test]
+fn training_beats_the_untrained_policy_on_video() {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+
+    let mut untrained = RlGovernor::new(RlConfig::for_soc(&soc_config), 3);
+    untrained.set_frozen(true);
+    let before = eval(&mut untrained, ScenarioKind::Video, 30, 99);
+
+    let mut trained = train_rl_governor(
+        &soc_config,
+        ScenarioKind::Video,
+        TrainingProtocol { episodes: 25, episode_secs: 20 },
+        3,
+    );
+    trained.set_frozen(true);
+    trained.reset();
+    let after = eval(&mut trained, ScenarioKind::Video, 30, 99);
+
+    assert!(
+        after.energy_per_qos < before.energy_per_qos,
+        "training must improve energy/QoS: {} -> {}",
+        before.energy_per_qos,
+        after.energy_per_qos
+    );
+    assert!(after.qos.qos_ratio() > 0.85, "trained QoS {:?}", after.qos);
+}
+
+#[test]
+fn trained_policy_beats_performance_governor_on_energy() {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut trained = train_rl_governor(
+        &soc_config,
+        ScenarioKind::Camera,
+        TrainingProtocol { episodes: 25, episode_secs: 20 },
+        5,
+    );
+    trained.set_frozen(true);
+    trained.reset();
+    let rl = eval(&mut trained, ScenarioKind::Camera, 30, 123);
+
+    let mut perf = governors::GovernorKind::Performance.build(&SocConfig::odroid_xu3_like().unwrap());
+    let reference = eval(perf.as_mut(), ScenarioKind::Camera, 30, 123);
+
+    assert!(
+        rl.energy_j < 0.6 * reference.energy_j,
+        "RL {} J vs performance {} J",
+        rl.energy_j,
+        reference.energy_j
+    );
+}
+
+#[test]
+fn frozen_policy_is_reproducible_and_does_not_learn() {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut policy = train_rl_governor(&soc_config, ScenarioKind::Audio, TrainingProtocol::quick(), 7);
+    policy.set_frozen(true);
+    policy.reset();
+    let updates = policy.agent().updates();
+
+    let mut clone = policy.clone();
+    let a = eval(&mut policy, ScenarioKind::Audio, 10, 5);
+    let b = eval(&mut clone, ScenarioKind::Audio, 10, 5);
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(policy.agent().updates(), updates, "frozen agent must not learn");
+}
+
+#[test]
+fn software_trained_table_deploys_onto_the_hardware_driver() {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let rl_config = RlConfig::for_soc(&soc_config);
+    let mut sw = train_rl_governor(&soc_config, ScenarioKind::Video, TrainingProtocol::quick(), 11);
+    sw.set_frozen(true);
+    sw.reset();
+
+    let mut hw = HwPolicyDriver::new(HwConfig::default(), &rl_config);
+    hw.load_table(&sw.agent().merged_table());
+    hw.set_training(false);
+
+    // Behavioural agreement on the same evaluation trace: fixed-point
+    // quantisation may flip near-ties, so demand strong but not perfect
+    // agreement on the chosen levels.
+    let sw_m = eval(&mut sw, ScenarioKind::Video, 20, 77);
+    let hw_m = eval(&mut hw, ScenarioKind::Video, 20, 77);
+    let rel = (sw_m.energy_j - hw_m.energy_j).abs() / sw_m.energy_j;
+    assert!(
+        rel < 0.05,
+        "deployed policy diverges: sw {} J vs hw {} J",
+        sw_m.energy_j,
+        hw_m.energy_j
+    );
+    assert!(hw_m.qos.qos_ratio() > sw_m.qos.qos_ratio() - 0.05);
+
+    // And the driver accounted a realistic per-epoch latency.
+    let stats = hw.latency_stats();
+    assert_eq!(stats.count(), 1_000);
+    assert!(stats.mean() < 5e-6, "per-epoch HW latency {}", stats.mean());
+}
+
+#[test]
+fn double_q_is_the_default_and_every_algorithm_closes_the_loop() {
+    let soc_config = SocConfig::symmetric_quad().expect("preset valid");
+    let cfg = RlConfig::for_soc(&soc_config);
+    assert_eq!(cfg.algorithm, rlpm::Algorithm::DoubleQLearning);
+    let double = RlGovernor::new(cfg.clone(), 1);
+    assert!(double.agent().is_double());
+
+    for algorithm in rlpm::Algorithm::ALL {
+        let variant_cfg = RlConfig { algorithm, ..cfg.clone() };
+        let mut policy = RlGovernor::new(variant_cfg, 1);
+        assert_eq!(policy.agent().algorithm(), algorithm);
+        let soc_cfg = SocConfig::symmetric_quad().unwrap();
+        let mut soc = Soc::new(soc_cfg).unwrap();
+        let mut scenario = ScenarioKind::Audio.build(2);
+        let m = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(5));
+        assert!(m.energy_j > 0.0, "{algorithm}: zero energy");
+        assert!(policy.agent().updates() > 0, "{algorithm}: no learning");
+    }
+}
+
+#[test]
+fn learning_curve_trends_downward_on_a_stationary_scenario() {
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
+    let mut policy = RlGovernor::new(RlConfig::for_soc(&soc_config), 21);
+    let mut soc = Soc::new(soc_config).expect("valid config");
+    let mut scenario = ScenarioKind::Camera.build(21);
+    let mut curve = Vec::new();
+    for _ in 0..20 {
+        let m = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(15));
+        curve.push(m.energy_per_qos);
+        soc.reset();
+        scenario.reset();
+        policy.reset();
+    }
+    let head: f64 = curve[..5].iter().sum::<f64>() / 5.0;
+    let tail: f64 = curve[15..].iter().sum::<f64>() / 5.0;
+    assert!(
+        tail < head * 1.05,
+        "no learning visible: head {head} vs tail {tail} ({curve:?})"
+    );
+}

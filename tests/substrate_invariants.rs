@@ -1,0 +1,172 @@
+//! Cross-crate physical and accounting invariants: properties that must
+//! hold for *any* policy/scenario combination, checked over randomised
+//! configurations.
+
+use experiments::{run, RunConfig};
+use governors::{GovernorKind, Userspace};
+use proptest::prelude::*;
+use simkit::SimDuration;
+use soc::{Job, JobClass, LevelRequest, Soc, SocConfig};
+use workload::{RecordedTrace, ScenarioKind};
+
+#[test]
+fn epoch_energy_is_sum_of_clusters_plus_board() {
+    let soc_config = SocConfig::odroid_xu3_like().unwrap();
+    let mut soc = Soc::new(soc_config.clone()).unwrap();
+    soc.push_job(Job::new(1, 40_000_000, simkit::SimTime::from_millis(40), JobClass::Heavy));
+    let report = soc.run_epoch(&LevelRequest::max(&soc_config)).unwrap();
+    let cluster_sum: f64 = report.clusters.iter().map(|c| c.energy_j).sum();
+    let board = soc_config.board_base_w * soc_config.epoch.as_secs_f64();
+    assert!((report.energy_j - cluster_sum - board).abs() < 1e-12);
+}
+
+#[test]
+fn static_level_sweep_gives_monotone_idle_energy() {
+    // With no work, energy strictly increases with the pinned level on
+    // both clusters.
+    let soc_config = SocConfig::odroid_xu3_like().unwrap();
+    let mut last = 0.0;
+    for level in 0..13 {
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let mut scenario = ScenarioKind::Idle.build(1);
+        let mut governor = Userspace::new(vec![level, level]);
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut governor,
+            RunConfig::seconds(5),
+        );
+        assert!(
+            m.energy_j > last,
+            "level {level}: energy {} not above previous {last}",
+            m.energy_j
+        );
+        last = m.energy_j;
+    }
+}
+
+#[test]
+fn higher_static_levels_never_reduce_qos() {
+    // On a deadline-bound scenario, pinning faster never hurts delivered
+    // QoS (it can only waste energy).
+    let soc_config = SocConfig::odroid_xu3_like().unwrap();
+    let mut last_qos = 0.0;
+    for level in [0usize, 3, 6, 9, 12] {
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let mut scenario = ScenarioKind::Video.build(7);
+        let mut governor = Userspace::new(vec![level, level.min(12)]);
+        let m = run(&mut soc, scenario.as_mut(), &mut governor, RunConfig::seconds(10));
+        let qos = m.qos.qos_ratio();
+        assert!(
+            qos >= last_qos - 0.02,
+            "level {level}: QoS {qos} fell below previous {last_qos}"
+        );
+        last_qos = qos.max(last_qos);
+    }
+}
+
+#[test]
+fn recorded_replay_reproduces_the_generated_run_exactly() {
+    // Record a stochastic scenario, then drive the identical governor
+    // over (a) the live generator and (b) the recording: every metric
+    // must match bit-for-bit.
+    let soc_config = SocConfig::odroid_xu3_like().unwrap();
+    let secs = 20;
+
+    let mut live = ScenarioKind::Camera.build(9);
+    let mut trace = {
+        let mut recorder = ScenarioKind::Camera.build(9);
+        RecordedTrace::record(recorder.as_mut(), SimDuration::from_secs(secs))
+    };
+
+    let run_with = |scenario: &mut dyn workload::Scenario| {
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let mut governor = GovernorKind::Ondemand.build(&soc_config);
+        run(&mut soc, scenario, governor.as_mut(), RunConfig::seconds(secs))
+    };
+    let a = run_with(live.as_mut());
+    let b = run_with(&mut trace);
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.qos, b.qos);
+    assert_eq!(a.transitions, b.transitions);
+}
+
+#[test]
+fn all_submitted_work_completes_given_capacity_and_time() {
+    // Every scenario drains completely when given the full SoC at max
+    // frequency plus generous drain time.
+    let soc_config = SocConfig::odroid_xu3_like().unwrap();
+    for kind in ScenarioKind::ALL {
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let mut scenario = kind.build(3);
+        let request = LevelRequest::max(&soc_config);
+        // 10 s of arrivals…
+        for _ in 0..500 {
+            let from = soc.now();
+            let to = from + soc_config.epoch;
+            for (at, job) in scenario.arrivals(from, to) {
+                soc.schedule_job(at, job);
+            }
+            soc.run_epoch(&request).unwrap();
+        }
+        // …then 4 s of drain.
+        for _ in 0..200 {
+            soc.run_epoch(&request).unwrap();
+        }
+        assert_eq!(
+            soc.queued_jobs() + soc.pending_arrivals(),
+            0,
+            "{kind}: work left behind at full capacity"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any static level pair yields a physically sane run on any
+    /// scenario: finite positive energy, power within the SoC envelope,
+    /// QoS ratio in range.
+    #[test]
+    fn prop_static_runs_are_physical(
+        little in 0usize..13,
+        big in 0usize..19,
+        scenario_idx in 0usize..10,
+        seed in 1u64..500,
+    ) {
+        let soc_config = SocConfig::odroid_xu3_like().unwrap();
+        let kind = ScenarioKind::ALL[scenario_idx];
+        let mut soc = Soc::new(soc_config.clone()).unwrap();
+        let mut scenario = kind.build(seed);
+        let mut governor = Userspace::new(vec![little, big]);
+        let m = run(&mut soc, scenario.as_mut(), &mut governor, RunConfig::seconds(3));
+        prop_assert!(m.energy_j.is_finite() && m.energy_j > 0.0);
+        prop_assert!(m.avg_power_w > 0.05 && m.avg_power_w < 15.0, "power {}", m.avg_power_w);
+        let qos = m.qos.qos_ratio();
+        prop_assert!((0.0..=1.0).contains(&qos));
+        prop_assert!(m.qos.strict_units <= m.qos.units + 1e-9);
+        prop_assert!(m.qos.units <= m.qos.max_units + 1e-9);
+    }
+
+    /// The C-state SoC never consumes more energy than the plain SoC for
+    /// the same static configuration and workload.
+    #[test]
+    fn prop_cstates_never_cost_energy(
+        level in 0usize..13,
+        scenario_idx in 0usize..10,
+    ) {
+        let kind = ScenarioKind::ALL[scenario_idx];
+        let run_on = |cfg: SocConfig| {
+            let mut soc = Soc::new(cfg).unwrap();
+            let mut scenario = kind.build(11);
+            let mut governor = Userspace::new(vec![level, level]);
+            run(&mut soc, scenario.as_mut(), &mut governor, RunConfig::seconds(3)).energy_j
+        };
+        let plain = run_on(SocConfig::odroid_xu3_like().unwrap());
+        let cstates = run_on(SocConfig::odroid_xu3_like_cstates().unwrap());
+        prop_assert!(
+            cstates <= plain * 1.001,
+            "{kind} at level {level}: C-states {cstates} J vs plain {plain} J"
+        );
+    }
+}
