@@ -27,7 +27,12 @@ fn bench_e1(c: &mut Criterion) {
             let mut soc = Soc::new(soc_config.clone()).unwrap();
             let mut scenario = ScenarioKind::Video.build(1);
             let mut governor = GovernorKind::Ondemand.build(&soc_config);
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(20),
+            )
         })
     });
 
@@ -41,7 +46,12 @@ fn bench_e1(c: &mut Criterion) {
                 1,
             );
             let mut scenario = ScenarioKind::Video.build(2);
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(20),
+            )
         })
     });
 

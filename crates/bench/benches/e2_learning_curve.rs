@@ -29,7 +29,12 @@ fn bench_e2(c: &mut Criterion) {
         let mut scenario = ScenarioKind::Mixed.build(5);
         b.iter(|| {
             let mut soc = Soc::new(soc_config.clone()).unwrap();
-            let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(30));
+            let metrics = run(
+                &mut soc,
+                scenario.as_mut(),
+                &mut policy,
+                RunConfig::seconds(30),
+            );
             scenario.reset();
             policy.reset();
             metrics

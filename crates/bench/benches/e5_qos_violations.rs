@@ -26,7 +26,12 @@ fn bench_e5(c: &mut Criterion) {
             let mut soc = Soc::new(soc_config.clone()).unwrap();
             let mut scenario = ScenarioKind::Gaming.build(9);
             let mut governor = GovernorKind::Powersave.build(&soc_config);
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(10),
+            )
         })
     });
     group.finish();

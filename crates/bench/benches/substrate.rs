@@ -70,7 +70,12 @@ fn bench_substrate(c: &mut Criterion) {
             let mut soc = Soc::new(soc_config.clone()).unwrap();
             let mut scenario = ScenarioKind::Video.build(1);
             let mut governor = GovernorKind::Ondemand.build(&soc_config);
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(1))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(1),
+            )
         })
     });
 

@@ -11,9 +11,7 @@ use experiments::ablations::{
 use experiments::e1_energy_per_qos::{run_e1, E1Config};
 use experiments::e2_learning_curve::{run_e2, E2Config};
 use experiments::e3_adaptivity::{phase_table, run_e3, E3Config};
-use experiments::e4_decision_latency::{
-    distribution, distribution_table, ladder, ladder_table,
-};
+use experiments::e4_decision_latency::{distribution, distribution_table, ladder, ladder_table};
 use experiments::e5_qos_violations::{qos_ratio_table, satisfaction_summary, violations_table};
 use experiments::e6_fixed_point::{parity_table, run_parity, run_sweep, sweep_table};
 use experiments::e7_hw_cost::{cost_table, latency_optimal, run_e7};
@@ -33,7 +31,11 @@ fn emit(table: &Table, results_dir: &Path, file: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     let soc_config = bench::soc_under_test();
@@ -41,7 +43,11 @@ fn main() {
     let _ = std::fs::create_dir_all(results_dir);
 
     if want("e1") || want("e5") {
-        let config = if quick { E1Config::quick() } else { E1Config::default() };
+        let config = if quick {
+            E1Config::quick()
+        } else {
+            E1Config::default()
+        };
         eprintln!(
             "running E1 matrix: {} scenarios x {} policies x {} seeds ...",
             config.scenarios.len(),
@@ -50,8 +56,16 @@ fn main() {
         );
         let result = run_e1(&soc_config, &config);
         if want("e1") {
-            emit(&result.energy_per_qos_table(), results_dir, "e1_energy_per_qos.csv");
-            emit(&result.stddev_table(), results_dir, "e1_energy_per_qos_std.csv");
+            emit(
+                &result.energy_per_qos_table(),
+                results_dir,
+                "e1_energy_per_qos.csv",
+            );
+            emit(
+                &result.stddev_table(),
+                results_dir,
+                "e1_energy_per_qos_std.csv",
+            );
             emit(&result.summary_table(), results_dir, "e1_summary.csv");
             println!(
                 "E1 headline: proposed policy's energy-per-QoS is {} lower than the six-governor mean (paper: 31.66%)\n",
@@ -71,8 +85,15 @@ fn main() {
     }
 
     if want("e2") {
-        let config = if quick { E2Config::quick() } else { E2Config::default() };
-        eprintln!("running E2 learning curve: {} episodes ...", config.episodes);
+        let config = if quick {
+            E2Config::quick()
+        } else {
+            E2Config::default()
+        };
+        eprintln!(
+            "running E2 learning curve: {} episodes ...",
+            config.episodes
+        );
         let result = run_e2(&soc_config, &config);
         emit(&result.table(), results_dir, "e2_learning_curve.csv");
         println!(
@@ -83,8 +104,15 @@ fn main() {
     }
 
     if want("e3") {
-        let config = if quick { E3Config::quick() } else { E3Config::default() };
-        eprintln!("running E3 adaptivity trace ({} s) ...", config.duration_secs);
+        let config = if quick {
+            E3Config::quick()
+        } else {
+            E3Config::default()
+        };
+        eprintln!(
+            "running E3 adaptivity trace ({} s) ...",
+            config.duration_secs
+        );
         let results = run_e3(&soc_config, &config);
         emit(&phase_table(&results), results_dir, "e3_adaptivity.csv");
     }
@@ -124,12 +152,24 @@ fn main() {
     if want("e9") {
         // E9: the same headline comparison on the symmetric quad-core SoC
         // (the journal evaluates both CPU types).
-        let config = if quick { E1Config::quick() } else { E1Config::default() };
+        let config = if quick {
+            E1Config::quick()
+        } else {
+            E1Config::default()
+        };
         eprintln!("running E9 (E1 on the symmetric SoC) ...");
         let symmetric = soc::SocConfig::symmetric_quad().expect("preset valid");
         let result = run_e1(&symmetric, &config);
-        emit(&result.energy_per_qos_table(), results_dir, "e9_symmetric_energy_per_qos.csv");
-        emit(&result.summary_table(), results_dir, "e9_symmetric_summary.csv");
+        emit(
+            &result.energy_per_qos_table(),
+            results_dir,
+            "e9_symmetric_energy_per_qos.csv",
+        );
+        emit(
+            &result.summary_table(),
+            results_dir,
+            "e9_symmetric_summary.csv",
+        );
         println!(
             "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
             fmt_pct(result.reduction_vs_six())
@@ -137,31 +177,55 @@ fn main() {
     }
 
     if want("e8") {
-        let config = if quick { E8Config::quick() } else { E8Config::default() };
+        let config = if quick {
+            E8Config::quick()
+        } else {
+            E8Config::default()
+        };
         eprintln!("running E8 cpuidle comparison ...");
         let cells = run_e8(&config);
         emit(&idle_table(&cells), results_dir, "e8_idle_states.csv");
     }
 
-    let ablation_config = if quick { AblationConfig::quick() } else { AblationConfig::default() };
+    let ablation_config = if quick {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::default()
+    };
     if want("a1") {
         eprintln!("running A1 state-feature ablation ...");
         let rows = a1_state_features(&soc_config, &ablation_config);
-        emit(&ablation_table("A1: state-feature ablation", &rows), results_dir, "a1_state_features.csv");
+        emit(
+            &ablation_table("A1: state-feature ablation", &rows),
+            results_dir,
+            "a1_state_features.csv",
+        );
     }
     if want("a2") {
         eprintln!("running A2 reward-shaping ablation ...");
         let rows = a2_reward_shaping(&soc_config, &ablation_config);
-        emit(&ablation_table("A2: violation-penalty sweep", &rows), results_dir, "a2_reward_shaping.csv");
+        emit(
+            &ablation_table("A2: violation-penalty sweep", &rows),
+            results_dir,
+            "a2_reward_shaping.csv",
+        );
     }
     if want("a3") {
         eprintln!("running A3 exploration-schedule ablation ...");
         let rows = a3_exploration(&soc_config, &ablation_config);
-        emit(&ablation_table("A3: exploration schedules", &rows), results_dir, "a3_exploration.csv");
+        emit(
+            &ablation_table("A3: exploration schedules", &rows),
+            results_dir,
+            "a3_exploration.csv",
+        );
     }
     if want("a4") {
         eprintln!("running A4 algorithm ablation ...");
         let rows = a4_algorithm(&soc_config, &ablation_config);
-        emit(&ablation_table("A4: TD algorithms", &rows), results_dir, "a4_algorithm.csv");
+        emit(
+            &ablation_table("A4: TD algorithms", &rows),
+            results_dir,
+            "a4_algorithm.csv",
+        );
     }
 }

@@ -100,7 +100,11 @@ impl Invocation {
     /// # Errors
     ///
     /// Returns [`ParseArgsError`] when the flag is present but unparsable.
-    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseArgsError> {
+    pub fn flag_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(raw) => raw

@@ -66,7 +66,10 @@ fn policy_kind(name: &str) -> Result<PolicyKind, Box<dyn Error>> {
 
 fn print_metrics(label: &str, m: &RunMetrics) {
     println!("=== {label} ===");
-    println!("energy            : {:.3} J ({:.3} W average)", m.energy_j, m.avg_power_w);
+    println!(
+        "energy            : {:.3} J ({:.3} W average)",
+        m.energy_j, m.avg_power_w
+    );
     println!("energy per QoS    : {}", fmt_f64(m.energy_per_qos));
     println!(
         "QoS               : {:.2}% delivered, {} violations, {}/{} on time",
@@ -87,7 +90,11 @@ fn print_metrics(label: &str, m: &RunMetrics) {
 /// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]`
 pub fn cmd_run(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["secs", "seed", "soc", "trace"])?;
-    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("video");
+    let scenario_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("video");
     let policy_name = inv.positional.get(1).map(String::as_str).unwrap_or("rlpm");
     let secs: u64 = inv.flag_or("secs", 30)?;
     let seed: u64 = inv.flag_or("seed", 42)?;
@@ -108,14 +115,21 @@ pub fn cmd_run(inv: &Invocation) -> CmdResult {
     if let Some(trace) = &metrics.trace {
         print!("{}", trace.to_csv());
     }
-    print_metrics(&format!("{scenario_name} / {policy_name} for {secs}s"), &metrics);
+    print_metrics(
+        &format!("{scenario_name} / {policy_name} for {secs}s"),
+        &metrics,
+    );
     Ok(())
 }
 
 /// `train <scenario> [--episodes N] [--episode-secs N] [--seed N] [--soc P] --out FILE`
 pub fn cmd_train(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["episodes", "episode-secs", "seed", "soc", "out"])?;
-    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let scenario_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("mixed");
     let episodes: u32 = inv.flag_or("episodes", 100)?;
     let episode_secs: u64 = inv.flag_or("episode-secs", 30)?;
     let seed: u64 = inv.flag_or("seed", 42)?;
@@ -148,7 +162,11 @@ pub fn cmd_train(inv: &Invocation) -> CmdResult {
 /// `eval <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]`
 pub fn cmd_eval(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["policy-file", "secs", "seed", "soc"])?;
-    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let scenario_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("mixed");
     let file = inv.required_flag("policy-file")?;
     let secs: u64 = inv.flag_or("secs", 60)?;
     let seed: u64 = inv.flag_or("seed", 43)?;
@@ -163,15 +181,27 @@ pub fn cmd_eval(inv: &Invocation) -> CmdResult {
 
     let mut soc = Soc::new(soc_cfg)?;
     let mut scenario = kind.build(seed);
-    let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(secs));
-    print_metrics(&format!("{scenario_name} / saved policy for {secs}s"), &metrics);
+    let metrics = run(
+        &mut soc,
+        scenario.as_mut(),
+        &mut policy,
+        RunConfig::seconds(secs),
+    );
+    print_metrics(
+        &format!("{scenario_name} / saved policy for {secs}s"),
+        &metrics,
+    );
     Ok(())
 }
 
 /// `compare <scenario> [--secs N] [--seed N] [--soc P]`
 pub fn cmd_compare(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["secs", "seed", "soc"])?;
-    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("video");
+    let scenario_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("video");
     let secs: u64 = inv.flag_or("secs", 60)?;
     let seed: u64 = inv.flag_or("seed", 42)?;
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
@@ -187,7 +217,12 @@ pub fn cmd_compare(inv: &Invocation) -> CmdResult {
         let mut governor = policy.build_trained(&soc_cfg, kind, TrainingProtocol::default(), seed);
         let mut soc = Soc::new(soc_cfg.clone())?;
         let mut scenario = kind.build(seed.wrapping_add(1));
-        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig::seconds(secs),
+        );
         eprintln!("done");
         table.push([
             policy.name().to_owned(),
@@ -204,7 +239,11 @@ pub fn cmd_compare(inv: &Invocation) -> CmdResult {
 /// `record <scenario> [--secs N] [--seed N] --out FILE`
 pub fn cmd_record(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["secs", "seed", "out"])?;
-    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("mixed");
+    let scenario_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("mixed");
     let secs: u64 = inv.flag_or("secs", 60)?;
     let seed: u64 = inv.flag_or("seed", 42)?;
     let out = inv.required_flag("out")?;
@@ -220,7 +259,11 @@ pub fn cmd_record(inv: &Invocation) -> CmdResult {
 /// `replay <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]`
 pub fn cmd_replay(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["trace-file", "scenario", "secs", "seed", "soc"])?;
-    let policy_name = inv.positional.first().map(String::as_str).unwrap_or("schedutil");
+    let policy_name = inv
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("schedutil");
     let file = inv.required_flag("trace-file")?;
     let seed: u64 = inv.flag_or("seed", 42)?;
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
@@ -243,8 +286,16 @@ pub fn cmd_replay(inv: &Invocation) -> CmdResult {
         seed,
     );
     let mut soc = Soc::new(soc_cfg)?;
-    let metrics = run(&mut soc, &mut trace, governor.as_mut(), RunConfig::seconds(secs));
-    print_metrics(&format!("replay({file}) / {policy_name} for {secs}s"), &metrics);
+    let metrics = run(
+        &mut soc,
+        &mut trace,
+        governor.as_mut(),
+        RunConfig::seconds(secs),
+    );
+    print_metrics(
+        &format!("replay({file}) / {policy_name} for {secs}s"),
+        &metrics,
+    );
     Ok(())
 }
 
@@ -254,7 +305,10 @@ pub fn cmd_latency(inv: &Invocation) -> CmdResult {
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
     let soc_cfg = soc_config(&soc_name)?;
     let ladder = experiments::e4_decision_latency::ladder(&soc_cfg);
-    println!("{}", experiments::e4_decision_latency::ladder_table(&ladder).to_markdown());
+    println!(
+        "{}",
+        experiments::e4_decision_latency::ladder_table(&ladder).to_markdown()
+    );
     println!(
         "up to {:.1}x compute-only, {:.2}x average end-to-end",
         ladder.max_speedup, ladder.avg_speedup
@@ -295,10 +349,9 @@ pub fn dispatch(inv: &Invocation) -> CmdResult {
         "replay" => cmd_replay(inv),
         "latency" => cmd_latency(inv),
         "help" => cmd_help(),
-        other => Err(ParseArgsError(format!(
-            "unknown command {other:?}; try `rlpm-sim help`"
-        ))
-        .into()),
+        other => {
+            Err(ParseArgsError(format!("unknown command {other:?}; try `rlpm-sim help`")).into())
+        }
     }
 }
 

@@ -1,0 +1,147 @@
+//! Vendored, dependency-free benchmarking shim.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the real `criterion` crate cannot be fetched. This
+//! crate implements the subset of its API that the workspace's benches use
+//! (`Criterion::benchmark_group`, `bench_function`, `sample_size`,
+//! `finish`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros) with a simple median-of-samples timer so `cargo bench` still
+//! produces useful relative numbers offline.
+//!
+//! Statistical machinery (outlier analysis, HTML reports, regression
+//! detection) is intentionally absent; each benchmark prints
+//! `name  median  (min .. max)` per sample set.
+
+use std::time::{Duration, Instant};
+
+/// Opaque timing handle passed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured wall-clock per iteration for each sample.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_count` samples of
+    /// `iters_per_sample` iterations each.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: one untimed sample.
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / u32::try_from(self.iters_per_sample).unwrap_or(1));
+        }
+    }
+}
+
+/// Benchmark group: a named collection sharing sample-count configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each `bench_function` records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: self.criterion.iters_per_sample,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.samples.sort_unstable();
+        let (median, lo, hi) = match bencher.samples.as_slice() {
+            [] => (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            s => (s[s.len() / 2], s[0], s[s.len() - 1]),
+        };
+        println!(
+            "{}/{:<40} median {:>12?}   ({:?} .. {:?})",
+            self.name, name, median, lo, hi
+        );
+        self
+    }
+
+    /// Ends the group (upstream prints summaries here; the shim prints per
+    /// benchmark, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (vendored stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            iters_per_sample: 1,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Identity function that defeats constant-propagation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

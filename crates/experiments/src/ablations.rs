@@ -3,8 +3,6 @@
 //! schedule (A3). Each variant trains and evaluates on the mixed
 //! scenario so adaptation pressure is present.
 
-use serde::{Deserialize, Serialize};
-
 use governors::Governor;
 use rlpm::{RlConfig, RlGovernor};
 use soc::{Soc, SocConfig};
@@ -15,7 +13,7 @@ use crate::table::{fmt_f64, Table};
 use crate::{run, RunConfig, TrainingProtocol};
 
 /// Result of one ablation variant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// Variant label.
     pub label: String,
@@ -117,10 +115,34 @@ pub fn a1_state_features(soc_config: &SocConfig, config: &AblationConfig) -> Vec
     let base = RlConfig::for_soc(soc_config);
     let variants = vec![
         ("full state (proposed)".to_owned(), base.clone()),
-        ("no trend feature".to_owned(), RlConfig { trend_bins: 1, ..base.clone() }),
-        ("no QoS feature".to_owned(), RlConfig { qos_bins: 1, ..base.clone() }),
-        ("coarse utilisation (2 bins)".to_owned(), RlConfig { util_bins: 2, ..base.clone() }),
-        ("coarse level feature (4 bins)".to_owned(), RlConfig { level_bins: 4, ..base }),
+        (
+            "no trend feature".to_owned(),
+            RlConfig {
+                trend_bins: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "no QoS feature".to_owned(),
+            RlConfig {
+                qos_bins: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "coarse utilisation (2 bins)".to_owned(),
+            RlConfig {
+                util_bins: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "coarse level feature (4 bins)".to_owned(),
+            RlConfig {
+                level_bins: 4,
+                ..base
+            },
+        ),
     ];
     run_variants(soc_config, config, variants)
 }
@@ -133,7 +155,10 @@ pub fn a2_reward_shaping(soc_config: &SocConfig, config: &AblationConfig) -> Vec
         .map(|lambda| {
             (
                 format!("violation penalty λ = {lambda}"),
-                RlConfig { w_violation: lambda, ..base.clone() },
+                RlConfig {
+                    w_violation: lambda,
+                    ..base.clone()
+                },
             )
         })
         .collect();
@@ -147,15 +172,30 @@ pub fn a3_exploration(soc_config: &SocConfig, config: &AblationConfig) -> Vec<Ab
         ("decaying ε (proposed)".to_owned(), base.clone()),
         (
             "constant ε = 0.1".to_owned(),
-            RlConfig { epsilon0: 0.1, epsilon_min: 0.1, epsilon_decay: 1.0, ..base.clone() },
+            RlConfig {
+                epsilon0: 0.1,
+                epsilon_min: 0.1,
+                epsilon_decay: 1.0,
+                ..base.clone()
+            },
         ),
         (
             "near-greedy ε = 0.02".to_owned(),
-            RlConfig { epsilon0: 0.02, epsilon_min: 0.02, epsilon_decay: 1.0, ..base.clone() },
+            RlConfig {
+                epsilon0: 0.02,
+                epsilon_min: 0.02,
+                epsilon_decay: 1.0,
+                ..base.clone()
+            },
         ),
         (
             "high constant ε = 0.4".to_owned(),
-            RlConfig { epsilon0: 0.4, epsilon_min: 0.4, epsilon_decay: 1.0, ..base },
+            RlConfig {
+                epsilon0: 0.4,
+                epsilon_min: 0.4,
+                epsilon_decay: 1.0,
+                ..base
+            },
         ),
     ];
     run_variants(soc_config, config, variants)
@@ -170,7 +210,10 @@ pub fn a4_algorithm(soc_config: &SocConfig, config: &AblationConfig) -> Vec<Abla
         .map(|algorithm| {
             (
                 algorithm.name().to_owned(),
-                RlConfig { algorithm, ..base.clone() },
+                RlConfig {
+                    algorithm,
+                    ..base.clone()
+                },
             )
         })
         .collect();

@@ -9,8 +9,6 @@
 //! QoS unit; the summary reports the proposed policy's relative
 //! reduction against each baseline and against the six-governor mean.
 
-use serde::{Deserialize, Serialize};
-
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
 
@@ -72,7 +70,7 @@ pub struct CellRun {
 }
 
 /// Seed-averaged figures for one `(scenario, policy)` cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellSummary {
     /// Mean energy per QoS unit (J/unit).
     pub energy_per_qos: f64,
@@ -149,10 +147,18 @@ impl E1Result {
             / n;
         CellSummary {
             energy_per_qos: mean,
-            energy_per_qos_std: if mean.is_finite() { var.sqrt() } else { f64::INFINITY },
+            energy_per_qos_std: if mean.is_finite() {
+                var.sqrt()
+            } else {
+                f64::INFINITY
+            },
             energy_j: runs.iter().map(|r| r.metrics.energy_j).sum::<f64>() / n,
             qos_ratio: runs.iter().map(|r| r.metrics.qos.qos_ratio()).sum::<f64>() / n,
-            violations: runs.iter().map(|r| r.metrics.qos.violations as f64).sum::<f64>() / n,
+            violations: runs
+                .iter()
+                .map(|r| r.metrics.qos.violations as f64)
+                .sum::<f64>()
+                / n,
         }
     }
 
@@ -160,10 +166,7 @@ impl E1Result {
     pub fn energy_per_qos_table(&self) -> Table {
         let mut header: Vec<String> = vec!["scenario".into()];
         header.extend(self.config.policies.iter().map(|p| p.name().to_owned()));
-        let mut table = Table::new(
-            "E1: energy per unit QoS (J/unit), lower is better",
-            header,
-        );
+        let mut table = Table::new("E1: energy per unit QoS (J/unit), lower is better", header);
         for &scenario in &self.config.scenarios {
             let mut row = vec![scenario.name().to_owned()];
             for &policy in &self.config.policies {
@@ -252,7 +255,10 @@ impl E1Result {
                 table.push([policy.name().to_owned(), fmt_pct(self.reduction_vs(policy))]);
             }
         }
-        table.push(["six-governor mean".to_owned(), fmt_pct(self.reduction_vs_six())]);
+        table.push([
+            "six-governor mean".to_owned(),
+            fmt_pct(self.reduction_vs_six()),
+        ]);
         table
     }
 }
@@ -280,8 +286,14 @@ mod tests {
         let result = run_e1(&soc_config, &config);
         assert_eq!(result.runs.len(), 3);
 
-        let perf = result.cell(ScenarioKind::Audio, PolicyKind::Baseline(governors::GovernorKind::Performance));
-        let save = result.cell(ScenarioKind::Audio, PolicyKind::Baseline(governors::GovernorKind::Powersave));
+        let perf = result.cell(
+            ScenarioKind::Audio,
+            PolicyKind::Baseline(governors::GovernorKind::Performance),
+        );
+        let save = result.cell(
+            ScenarioKind::Audio,
+            PolicyKind::Baseline(governors::GovernorKind::Powersave),
+        );
         // Audio is light: powersave meets QoS cheaply; performance wastes
         // energy for the same QoS.
         assert!(perf.energy_per_qos > save.energy_per_qos);
@@ -294,6 +306,9 @@ mod tests {
 
         // Reduction vs performance must be meaningful on audio.
         let red = result.reduction_vs(PolicyKind::Baseline(governors::GovernorKind::Performance));
-        assert!(red > 0.2, "RL should easily beat performance on audio: {red}");
+        assert!(
+            red > 0.2,
+            "RL should easily beat performance on audio: {red}"
+        );
     }
 }

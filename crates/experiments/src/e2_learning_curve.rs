@@ -2,8 +2,6 @@
 //! episode, the figure behind "learns power management controls to adapt
 //! to the system's variations".
 
-use serde::{Deserialize, Serialize};
-
 use governors::{Governor, GovernorKind};
 use rlpm::{RlConfig, RlGovernor};
 use soc::{Soc, SocConfig};
@@ -50,7 +48,7 @@ impl E2Config {
 }
 
 /// The averaged curve plus reference lines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E2Result {
     /// Mean energy-per-QoS per episode (index = episode).
     pub curve: Vec<f64>,
@@ -62,39 +60,38 @@ pub struct E2Result {
 
 /// Runs the learning-curve experiment.
 pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
-    let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> =
-        parallel_map(config.seeds.clone(), |seed| {
-            let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
-            let mut soc = Soc::new(soc_config.clone()).expect("validated config");
-            let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
-            let mut curve = Vec::with_capacity(config.episodes as usize);
-            let mut epsilon = Vec::with_capacity(config.episodes as usize);
-            for _ in 0..config.episodes {
-                let metrics = run(
-                    &mut soc,
-                    scenario.as_mut(),
-                    &mut policy,
-                    RunConfig::seconds(config.episode_secs),
-                );
-                curve.push(metrics.energy_per_qos);
-                epsilon.push(policy.agent().epsilon());
-                soc.reset();
-                scenario.reset();
-                policy.reset();
-            }
-            // Reference baseline under the same seed stream.
-            let mut soc = Soc::new(soc_config.clone()).expect("validated config");
-            let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
-            let mut ondemand = GovernorKind::Ondemand.build(soc_config);
-            let reference = run(
+    let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> = parallel_map(config.seeds.clone(), |seed| {
+        let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
+        let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+        let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
+        let mut curve = Vec::with_capacity(config.episodes as usize);
+        let mut epsilon = Vec::with_capacity(config.episodes as usize);
+        for _ in 0..config.episodes {
+            let metrics = run(
                 &mut soc,
                 scenario.as_mut(),
-                ondemand.as_mut(),
+                &mut policy,
                 RunConfig::seconds(config.episode_secs),
-            )
-            .energy_per_qos;
-            (curve, epsilon, reference)
-        });
+            );
+            curve.push(metrics.energy_per_qos);
+            epsilon.push(policy.agent().epsilon());
+            soc.reset();
+            scenario.reset();
+            policy.reset();
+        }
+        // Reference baseline under the same seed stream.
+        let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+        let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
+        let mut ondemand = GovernorKind::Ondemand.build(soc_config);
+        let reference = run(
+            &mut soc,
+            scenario.as_mut(),
+            ondemand.as_mut(),
+            RunConfig::seconds(config.episode_secs),
+        )
+        .energy_per_qos;
+        (curve, epsilon, reference)
+    });
 
     let episodes = config.episodes as usize;
     let n = per_seed.len() as f64;
@@ -149,10 +146,7 @@ mod tests {
         assert_eq!(result.curve.len(), 12);
         assert!(result.curve.iter().all(|v| v.is_finite() && *v > 0.0));
         // Exploration decays monotonically.
-        assert!(result
-            .epsilon
-            .windows(2)
-            .all(|w| w[1] <= w[0] + 1e-12));
+        assert!(result.epsilon.windows(2).all(|w| w[1] <= w[0] + 1e-12));
         // Early learning on a periodic scenario should show improvement.
         let improvement = result.improvement(3);
         assert!(

@@ -6,8 +6,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use governors::Governor;
 use simkit::SimTime;
 use soc::{Soc, SocConfig};
@@ -62,7 +60,7 @@ impl E3Config {
 }
 
 /// Energy and QoS units accumulated inside one phase kind.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseFigures {
     /// Seconds spent in the phase kind.
     pub seconds: f64,
@@ -84,7 +82,7 @@ impl PhaseFigures {
 }
 
 /// Per-policy result: phase-kind → figures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E3PolicyResult {
     /// The policy's display name.
     pub policy: String,
@@ -198,7 +196,11 @@ mod tests {
         let results = run_e3(&soc_config, &config);
         assert_eq!(results.len(), 2);
         for r in &results {
-            assert!(!r.per_phase.is_empty(), "{}: no phases attributed", r.policy);
+            assert!(
+                !r.per_phase.is_empty(),
+                "{}: no phases attributed",
+                r.policy
+            );
             let total_s: f64 = r.per_phase.values().map(|f| f.seconds).sum();
             assert!(
                 (total_s - config.duration_secs as f64).abs() < 1.0,

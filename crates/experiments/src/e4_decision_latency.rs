@@ -12,8 +12,6 @@
 //!   versus the measured end-to-end latency of the [`HwPolicyDriver`] on
 //!   the same trace — the average figure.
 
-use serde::{Deserialize, Serialize};
-
 use rlpm::RlConfig;
 use rlpm_hw::{
     AxiLiteBus, DriverMode, HwConfig, HwLatencyModel, HwPolicyDriver, PolicyEngine, PolicyMmio,
@@ -27,7 +25,7 @@ use crate::table::{fmt_f64, Table};
 use crate::{run, RunConfig};
 
 /// One row of the OPP ladder comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LadderRow {
     /// LITTLE-core frequency the software policy runs at (Hz).
     pub sw_freq_hz: u64,
@@ -44,7 +42,7 @@ pub struct LadderRow {
 }
 
 /// The ladder + headline speedups.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E4Ladder {
     /// Per-OPP rows, ascending frequency.
     pub rows: Vec<LadderRow>,
@@ -126,7 +124,7 @@ pub fn ladder_table(l: &E4Ladder) -> Table {
 }
 
 /// Closed-loop latency distribution comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E4Distribution {
     /// Software mean latency (µs) at the frequencies the run visited.
     pub sw_mean_us: f64,
@@ -203,7 +201,11 @@ pub fn distribution_table(d: &E4Distribution) -> Table {
         "E4: closed-loop decision latency distribution (mixed scenario)",
         ["metric", "software", "hardware (e2e)"],
     );
-    table.push(["mean (us)".to_owned(), fmt_f64(d.sw_mean_us), fmt_f64(d.hw_mean_us)]);
+    table.push([
+        "mean (us)".to_owned(),
+        fmt_f64(d.sw_mean_us),
+        fmt_f64(d.hw_mean_us),
+    ]);
     table.push([
         "mean, irq mode (us)".to_owned(),
         "-".into(),
@@ -215,7 +217,11 @@ pub fn distribution_table(d: &E4Distribution) -> Table {
         "-".into(),
         format!("{:.2}x", d.speedup),
     ]);
-    table.push(["decisions".to_owned(), d.decisions.to_string(), d.decisions.to_string()]);
+    table.push([
+        "decisions".to_owned(),
+        d.decisions.to_string(),
+        d.decisions.to_string(),
+    ]);
     table
 }
 
@@ -233,8 +239,16 @@ mod tests {
         assert!(l.rows.windows(2).all(|w| w[0].hw_e2e_us == w[1].hw_e2e_us));
         // Headline shapes: "up to ~40x" compute-only, single-digit e2e
         // average.
-        assert!(l.max_speedup > 25.0 && l.max_speedup < 60.0, "max {}", l.max_speedup);
-        assert!(l.avg_speedup > 2.0 && l.avg_speedup < 8.0, "avg {}", l.avg_speedup);
+        assert!(
+            l.max_speedup > 25.0 && l.max_speedup < 60.0,
+            "max {}",
+            l.max_speedup
+        );
+        assert!(
+            l.avg_speedup > 2.0 && l.avg_speedup < 8.0,
+            "avg {}",
+            l.avg_speedup
+        );
         assert_eq!(ladder_table(&l).len(), 14);
     }
 
@@ -243,7 +257,12 @@ mod tests {
         let soc_config = SocConfig::odroid_xu3_like().unwrap();
         let d = distribution(&soc_config, 20, 3);
         assert_eq!(d.decisions, 1_000, "one decision per 20 ms epoch for 20 s");
-        assert!(d.sw_mean_us > d.hw_mean_us, "sw {} vs hw {}", d.sw_mean_us, d.hw_mean_us);
+        assert!(
+            d.sw_mean_us > d.hw_mean_us,
+            "sw {} vs hw {}",
+            d.sw_mean_us,
+            d.hw_mean_us
+        );
         assert!(d.sw_p99_us >= d.sw_mean_us);
         assert!(d.speedup > 1.5, "speedup {}", d.speedup);
         assert!(d.hw_irq_mean_us > 0.0);

@@ -89,9 +89,18 @@ mod tests {
             training: TrainingProtocol::quick(),
         };
         let result = run_e1(&soc_config, &config);
-        let save = result.cell(ScenarioKind::Gaming, PolicyKind::Baseline(GovernorKind::Powersave));
-        let perf = result.cell(ScenarioKind::Gaming, PolicyKind::Baseline(GovernorKind::Performance));
-        assert!(save.violations > 50.0, "powersave must violate hard on gaming: {save:?}");
+        let save = result.cell(
+            ScenarioKind::Gaming,
+            PolicyKind::Baseline(GovernorKind::Powersave),
+        );
+        let perf = result.cell(
+            ScenarioKind::Gaming,
+            PolicyKind::Baseline(GovernorKind::Performance),
+        );
+        assert!(
+            save.violations > 50.0,
+            "powersave must violate hard on gaming: {save:?}"
+        );
         assert_eq!(perf.violations, 0.0, "performance never violates: {perf:?}");
 
         let table = violations_table(&result);

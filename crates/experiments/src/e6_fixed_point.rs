@@ -26,8 +26,14 @@ pub fn parity_table(report: &ParityReport) -> Table {
         "E6: software (f64) vs hardware (Q16.16) functional parity",
         ["metric", "value"],
     );
-    table.push(["transitions replayed".to_owned(), report.transitions.to_string()]);
-    table.push(["greedy-action agreement".to_owned(), fmt_pct(report.greedy_agreement)]);
+    table.push([
+        "transitions replayed".to_owned(),
+        report.transitions.to_string(),
+    ]);
+    table.push([
+        "greedy-action agreement".to_owned(),
+        fmt_pct(report.greedy_agreement),
+    ]);
     table.push(["max |Q| error".to_owned(), fmt_f64(report.max_q_error)]);
     table.push(["mean |Q| error".to_owned(), fmt_f64(report.mean_q_error)]);
     table

@@ -8,8 +8,6 @@
 //! edge. This experiment runs the same scenarios on the calibrated SoC
 //! and on its C-state variant and reports the energy deltas.
 
-use serde::{Deserialize, Serialize};
-
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
 
@@ -71,7 +69,7 @@ impl E8Config {
 }
 
 /// One comparison cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E8Cell {
     /// Scenario name.
     pub scenario: String,

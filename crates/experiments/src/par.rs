@@ -1,9 +1,8 @@
-//! Tiny order-preserving parallel map over OS threads (crossbeam scope);
+//! Tiny order-preserving parallel map over OS threads (`std::thread::scope`);
 //! experiment matrices are embarrassingly parallel.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item on up to `available_parallelism` threads,
 /// returning results in input order.
@@ -29,23 +28,42 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().take().expect("each index is claimed once");
-                *results[i].lock() = Some(f(item));
+                // A poisoned slot means another worker panicked while holding
+                // the lock, which the hold-free critical sections below make
+                // impossible; propagate rather than mask if it ever happens.
+                let item = match work[i].lock() {
+                    Ok(mut slot) => slot.take(),
+                    Err(poisoned) => poisoned.into_inner().take(),
+                };
+                let Some(item) = item else { continue };
+                let out = f(item);
+                if let Ok(mut slot) = results[i].lock() {
+                    *slot = Some(out);
+                }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .enumerate()
+        .map(|(i, slot)| {
+            let inner = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match inner {
+                Some(v) => v,
+                None => unreachable!("parallel_map slot {i} left unprocessed"),
+            }
+        })
         .collect()
 }
 

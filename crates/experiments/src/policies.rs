@@ -160,14 +160,16 @@ mod tests {
     #[test]
     fn build_trained_returns_frozen_rl() {
         let cfg = SocConfig::symmetric_quad().unwrap();
-        let g = PolicyKind::Rl.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 2);
+        let g =
+            PolicyKind::Rl.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 2);
         assert_eq!(g.name(), "rlpm");
     }
 
     #[test]
     fn build_trained_hw_loads_engine_table() {
         let cfg = SocConfig::symmetric_quad().unwrap();
-        let g = PolicyKind::RlHw.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 3);
+        let g =
+            PolicyKind::RlHw.build_trained(&cfg, ScenarioKind::Audio, TrainingProtocol::quick(), 3);
         assert_eq!(g.name(), "rlpm-hw");
     }
 }

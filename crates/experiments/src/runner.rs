@@ -1,7 +1,5 @@
 //! The closed control loop: scenario → SoC → QoS accounting → governor.
 
-use serde::{Deserialize, Serialize};
-
 use governors::{Governor, QosFeedback, SystemState};
 use simkit::trace::Trace;
 use simkit::SimDuration;
@@ -9,7 +7,7 @@ use soc::{LevelRequest, Soc};
 use workload::{QosReport, QosTracker, Scenario};
 
 /// Parameters of one closed-loop run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Simulated duration.
     pub duration: SimDuration,
@@ -35,7 +33,7 @@ impl RunConfig {
 }
 
 /// Everything measured during one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Total energy (J).
     pub energy_j: f64,
@@ -201,12 +199,25 @@ mod tests {
             let mut soc = soc();
             let mut scenario = ScenarioKind::Gaming.build(1);
             let mut governor = kind.build(soc.config());
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(10),
+            )
         };
         let perf = run_with(GovernorKind::Performance);
         let save = run_with(GovernorKind::Powersave);
-        assert!(perf.qos.qos_ratio() > 0.95, "performance delivers: {:?}", perf.qos);
-        assert!(save.qos.qos_ratio() < 0.5, "powersave collapses: {:?}", save.qos);
+        assert!(
+            perf.qos.qos_ratio() > 0.95,
+            "performance delivers: {:?}",
+            perf.qos
+        );
+        assert!(
+            save.qos.qos_ratio() < 0.5,
+            "powersave collapses: {:?}",
+            save.qos
+        );
         assert!(perf.energy_j > 2.0 * save.energy_j);
     }
 
@@ -216,7 +227,12 @@ mod tests {
             let mut soc = soc();
             let mut scenario = ScenarioKind::Idle.build(2);
             let mut governor = kind.build(soc.config());
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(10))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(10),
+            )
         };
         let perf = run_with(GovernorKind::Performance);
         let save = run_with(GovernorKind::Powersave);
@@ -230,12 +246,24 @@ mod tests {
             let mut soc = soc();
             let mut scenario = ScenarioKind::Video.build(3);
             let mut governor = kind.build(soc.config());
-            run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(20))
+            run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(20),
+            )
         };
         let perf = run_with(GovernorKind::Performance);
         let od = run_with(GovernorKind::Ondemand);
-        assert!(od.energy_j < perf.energy_j, "ondemand saves energy vs performance");
-        assert!(od.qos.qos_ratio() > 0.85, "without giving up QoS: {:?}", od.qos);
+        assert!(
+            od.energy_j < perf.energy_j,
+            "ondemand saves energy vs performance"
+        );
+        assert!(
+            od.qos.qos_ratio() > 0.85,
+            "without giving up QoS: {:?}",
+            od.qos
+        );
     }
 
     #[test]
@@ -243,7 +271,12 @@ mod tests {
         let mut soc = soc();
         let mut scenario = ScenarioKind::Camera.build(4);
         let mut governor = GovernorKind::Schedutil.build(soc.config());
-        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(5));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig::seconds(5),
+        );
         assert_eq!(m.epochs, 250);
         assert!(m.energy_j > 0.0);
         assert!((m.avg_power_w - m.energy_j / 5.0).abs() < 1e-9);
@@ -275,7 +308,12 @@ mod tests {
             let mut soc = soc();
             let mut scenario = ScenarioKind::Mixed.build(7);
             let mut governor = GovernorKind::Interactive.build(soc.config());
-            let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(15));
+            let m = run(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                RunConfig::seconds(15),
+            );
             (m.energy_j, m.qos, m.transitions)
         };
         assert_eq!(go(), go());

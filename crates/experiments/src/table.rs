@@ -110,7 +110,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -194,7 +198,7 @@ mod tests {
     fn float_formatting_ranges() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(1234.56), "1234.6");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(1.23456), "1.235");
         assert_eq!(fmt_f64(0.012345), "0.01235");
         assert_eq!(fmt_f64(1.5e-6), "1.500e-6");
         assert_eq!(fmt_f64(f64::INFINITY), "inf");

@@ -11,14 +11,12 @@
 //! The graceful ramp is battery-friendly but slow to react — the paper's
 //! bursty scenarios (web, app-launch) are exactly where it hurts QoS.
 
-use serde::{Deserialize, Serialize};
-
 use soc::LevelRequest;
 
 use crate::{Governor, SystemState};
 
 /// `conservative` tunables (kernel defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConservativeTunables {
     /// Load above which to step up.
     pub up_threshold: f64,

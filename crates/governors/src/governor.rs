@@ -3,8 +3,7 @@
 use soc::{LevelRequest, SocConfig};
 
 use crate::{
-    Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil, SystemState,
-    Userspace,
+    Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil, SystemState, Userspace,
 };
 
 /// A DVFS policy: observes the system at each epoch boundary and picks the

@@ -12,15 +12,13 @@
 //! * further raises above `hispeed_freq` wait `above_hispeed_delay`
 //!   (default 20 ms = 1 epoch).
 
-use serde::{Deserialize, Serialize};
-
 use soc::LevelRequest;
 
 use crate::ondemand::level_for_freq_ceiling;
 use crate::{Governor, SystemState};
 
 /// `interactive` tunables (epoch-granular defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InteractiveTunables {
     /// Load that triggers the hispeed burst.
     pub go_hispeed_load: f64,

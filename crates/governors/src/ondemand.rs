@@ -13,14 +13,12 @@
 //! frequency; the frequency-invariant form rescales it by
 //! `f_cur / f_max`.
 
-use serde::{Deserialize, Serialize};
-
 use soc::LevelRequest;
 
 use crate::{Governor, SystemState};
 
 /// `ondemand` tunables (kernel defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OndemandTunables {
     /// Load above which the governor jumps to max, in `[0, 1]`.
     pub up_threshold: f64,
@@ -62,25 +60,29 @@ impl Governor for Ondemand {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
-        let levels = state
-            .soc
-            .clusters
+        let clusters = &state.soc.clusters;
+        if self.hold.len() < clusters.len() {
+            self.hold.resize(clusters.len(), 0);
+        }
+        let up_threshold = self.tunables.up_threshold;
+        let sampling_down_factor = self.tunables.sampling_down_factor;
+        let levels = clusters
             .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let max_level = c.num_levels - 1;
-                if c.util_max > self.tunables.up_threshold {
-                    self.hold[i] = self.tunables.sampling_down_factor;
+            .zip(self.hold.iter_mut())
+            .map(|(c, hold)| {
+                let max_level = c.num_levels.saturating_sub(1);
+                if c.util_max > up_threshold {
+                    *hold = sampling_down_factor;
                     return max_level;
                 }
-                if self.hold[i] > 0 {
-                    self.hold[i] -= 1;
+                if *hold > 0 {
+                    *hold -= 1;
                     return c.level.max(1).min(max_level);
                 }
                 // Frequency-invariant load → target frequency.
                 let (_, f_max) = c.freq_range_hz;
                 let inv_load = c.util_max * c.freq_hz as f64 / f_max as f64;
-                let f_target = (inv_load * f_max as f64 / self.tunables.up_threshold) as u64;
+                let f_target = (inv_load * f_max as f64 / up_threshold) as u64;
                 // Recreate the ceiling lookup against the advertised range:
                 // the observation does not carry the full table, so
                 // interpolate a level linearly and round up, then clamp.

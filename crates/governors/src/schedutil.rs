@@ -11,15 +11,13 @@
 //! rounded up to an OPP. Frequency *reductions* are rate-limited
 //! (`rate_limit_down_epochs`); increases apply immediately.
 
-use serde::{Deserialize, Serialize};
-
 use soc::LevelRequest;
 
 use crate::ondemand::level_for_freq_ceiling;
 use crate::{Governor, SystemState};
 
 /// `schedutil` tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedutilTunables {
     /// Headroom multiplier applied to the utilisation (kernel: 1.25).
     pub headroom: f64,
@@ -60,24 +58,28 @@ impl Governor for Schedutil {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
-        let levels = state
-            .soc
-            .clusters
+        let clusters = &state.soc.clusters;
+        if self.down_wait.len() < clusters.len() {
+            self.down_wait.resize(clusters.len(), 0);
+        }
+        let headroom = self.tunables.headroom;
+        let rate_limit = self.tunables.rate_limit_down_epochs;
+        let levels = clusters
             .iter()
-            .enumerate()
-            .map(|(i, c)| {
+            .zip(self.down_wait.iter_mut())
+            .map(|(c, wait)| {
                 let (_, f_max) = c.freq_range_hz;
                 let util_cap = c.util_max * c.freq_hz as f64 / f_max as f64;
-                let f_next = (self.tunables.headroom * f_max as f64 * util_cap) as u64;
+                let f_next = (headroom * f_max as f64 * util_cap) as u64;
                 let target = level_for_freq_ceiling(c, f_next);
                 if target >= c.level {
-                    self.down_wait[i] = 0;
+                    *wait = 0;
                     target
-                } else if self.down_wait[i] < self.tunables.rate_limit_down_epochs {
-                    self.down_wait[i] += 1;
+                } else if *wait < rate_limit {
+                    *wait += 1;
                     c.level
                 } else {
-                    self.down_wait[i] = 0;
+                    *wait = 0;
                     target
                 }
             })

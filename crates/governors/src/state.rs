@@ -1,13 +1,11 @@
 //! The observation a governor decides on.
 
-use serde::{Deserialize, Serialize};
-
 use soc::EpochObservation;
 
 /// QoS feedback for the epoch just finished. The Linux baselines ignore
 /// it (they are QoS-blind, as on a real device); the RL policy consumes
 /// it as part of its state and reward.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosFeedback {
     /// Delivered / achievable QoS over the recent window, in `[0, 1]`.
     pub qos_ratio: f64,
@@ -32,7 +30,7 @@ impl Default for QosFeedback {
 }
 
 /// Everything a governor sees at an epoch boundary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemState {
     /// The SoC-side observation (per-cluster utilisation, levels,
     /// temperature, energy).
@@ -53,28 +51,34 @@ impl SystemState {
     }
 }
 
+/// One cluster's synthetic observation inputs:
+/// `(util, level, num_levels, freq_hz, (f_min_hz, f_max_hz))`.
+pub type SyntheticCluster = (f64, usize, usize, u64, (u64, u64));
+
 /// Test/bench helper: builds a synthetic single-purpose state.
 ///
 /// Exposed because downstream crates (`rlpm`, `experiments`, benches) need
 /// to drive governors open-loop with controlled utilisation patterns.
-pub fn synthetic_state(per_cluster: &[(f64, usize, usize, u64, (u64, u64))]) -> SystemState {
+pub fn synthetic_state(per_cluster: &[SyntheticCluster]) -> SystemState {
     use soc::ClusterObservation;
     SystemState {
         soc: EpochObservation {
             at: simkit::SimTime::ZERO,
             clusters: per_cluster
                 .iter()
-                .map(|&(util, level, num_levels, freq_hz, freq_range_hz)| ClusterObservation {
-                    util_avg: util,
-                    util_max: util,
-                    level,
-                    num_levels,
-                    freq_hz,
-                    freq_range_hz,
-                    temp_c: 40.0,
-                    throttled: false,
-                    queued: 0,
-                })
+                .map(
+                    |&(util, level, num_levels, freq_hz, freq_range_hz)| ClusterObservation {
+                        util_avg: util,
+                        util_max: util,
+                        level,
+                        num_levels,
+                        freq_hz,
+                        freq_range_hz,
+                        temp_c: 40.0,
+                        throttled: false,
+                        queued: 0,
+                    },
+                )
                 .collect(),
             energy_j: 0.0,
         },

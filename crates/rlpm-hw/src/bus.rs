@@ -8,8 +8,6 @@
 //! ~0.1 µs in the fabric, but getting the state in and the action out
 //! costs several bus round trips.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 /// A memory-mapped device: the target side of the bus.
@@ -21,7 +19,7 @@ pub trait MmioDevice {
 }
 
 /// Per-bus transaction counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BusStats {
     /// Completed read transactions.
     pub reads: u64,
@@ -85,12 +83,12 @@ impl<D: MmioDevice> AxiLiteBus<D> {
 
     /// Latency of one read transaction.
     pub fn read_latency(&self) -> SimDuration {
-        SimDuration::from_secs_f64(self.read_cycles as f64 / self.clock_hz as f64)
+        SimDuration::from_cycles(self.read_cycles, self.clock_hz)
     }
 
     /// Latency of one write transaction.
     pub fn write_latency(&self) -> SimDuration {
-        SimDuration::from_secs_f64(self.write_cycles as f64 / self.clock_hz as f64)
+        SimDuration::from_cycles(self.write_cycles, self.clock_hz)
     }
 
     /// Performs a read, returning the value and the time it took.
@@ -152,7 +150,13 @@ mod tests {
         b.write(0, 1);
         b.write(4, 2);
         b.read(0);
-        assert_eq!(b.stats(), BusStats { reads: 1, writes: 2 });
+        assert_eq!(
+            b.stats(),
+            BusStats {
+                reads: 1,
+                writes: 2
+            }
+        );
         assert_eq!(b.stats().total(), 3);
     }
 

@@ -3,12 +3,10 @@
 //! closed-loop form of the paper's hardware-implemented policy.
 
 use governors::{Governor, SystemState};
-use serde::{Deserialize, Serialize};
 use simkit::stats::Running;
 use simkit::SimDuration;
 use soc::LevelRequest;
 
-use rlpm::fixed::Fx;
 use rlpm::reward::{EpochOutcome, RewardFn};
 use rlpm::{Action, ActionSpace, Predictor, RlConfig, StateIndex, StateSpace};
 
@@ -23,9 +21,10 @@ use crate::{AxiLiteBus, HwConfig, PolicyEngine, PolicyMmio};
 /// the cost of the SoC's IRQ delivery latency — cheaper for this engine
 /// only when the interrupt path is faster than one status read, which is
 /// exactly the trade-off E4's distribution table shows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DriverMode {
     /// Busy-poll `STATUS` over the bus.
+    #[default]
     Polling,
     /// Wait for the completion interrupt (fixed delivery latency), then
     /// read the result.
@@ -33,12 +32,6 @@ pub enum DriverMode {
         /// IRQ delivery + handler entry latency.
         irq_latency: SimDuration,
     },
-}
-
-impl Default for DriverMode {
-    fn default() -> Self {
-        DriverMode::Polling
-    }
 }
 
 /// A governor whose brain is the hardware engine.
@@ -111,8 +104,8 @@ impl HwPolicyDriver {
     pub fn load_table(&mut self, table: &rlpm::QTable) -> SimDuration {
         let mut spent = SimDuration::ZERO;
         spent += self.bus.write(regs::QADDR, 0);
-        for &v in table.values() {
-            spent += self.bus.write(regs::QDATA, Fx::from_f64(v).to_bits() as u32);
+        for v in table.quantized() {
+            spent += self.bus.write(regs::QDATA, v.to_bits() as u32);
         }
         spent
     }
@@ -136,7 +129,7 @@ impl HwPolicyDriver {
         // The CTRL write returns after the model ran the FSM; charge its
         // cycle count at the fabric clock explicitly.
         let cycles = self.bus.device().engine().cycles_of_last_op();
-        SimDuration::from_secs_f64(cycles as f64 / self.engine_clock_hz as f64)
+        SimDuration::from_cycles(cycles, self.engine_clock_hz)
     }
 }
 
@@ -152,7 +145,9 @@ impl Governor for HwPolicyDriver {
 
         if self.training {
             if let Some((ps, pa)) = self.prev {
-                let r = self.reward_fn.reward(&EpochOutcome {
+                // reward_fx quantises on the software side of the register
+                // interface; this driver never touches f64 (fx-purity lint).
+                let r = self.reward_fn.reward_fx(&EpochOutcome {
                     qos_units: state.qos.units,
                     energy_j: state.soc.energy_j,
                     violations: state.qos.violations,
@@ -161,7 +156,7 @@ impl Governor for HwPolicyDriver {
                 spent += self.bus.write(regs::STATE, ps as u32);
                 spent += self.bus.write(regs::PREV_ACTION, pa as u32);
                 spent += self.bus.write(regs::NEXT_STATE, s as u32);
-                spent += self.bus.write(regs::REWARD, Fx::from_f64(r).to_bits() as u32);
+                spent += self.bus.write(regs::REWARD, r.to_bits() as u32);
                 spent += self.bus.write(regs::CTRL, CTRL_START_UPDATE);
                 let compute = self.engine_op_latency();
                 spent += self.completion_wait(compute);
@@ -175,7 +170,7 @@ impl Governor for HwPolicyDriver {
         let (action, t) = self.bus.read(regs::ACTION);
         spent += t;
 
-        self.latency.add(spent.as_secs_f64());
+        self.latency.add_duration(spent);
         let action = action as Action;
         self.prev = Some((s, action));
         let current: Vec<usize> = state.soc.clusters.iter().map(|c| c.level).collect();
@@ -309,7 +304,11 @@ mod tests {
         let updates = d.engine().op_counts().1;
         d.reset();
         d.decide(&obs(0.7, 0));
-        assert_eq!(d.engine().op_counts().1, updates, "no update across episodes");
+        assert_eq!(
+            d.engine().op_counts().1,
+            updates,
+            "no update across episodes"
+        );
         let table_after: Vec<i32> = (0..10)
             .map(|i| d.engine().agent().table().get(i, 0).to_bits())
             .collect();

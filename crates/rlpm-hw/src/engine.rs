@@ -15,15 +15,13 @@
 //! The FSM is ticked one clock cycle at a time; functional results are
 //! bit-exact against [`FxAgent`].
 
-use serde::{Deserialize, Serialize};
-
 use rlpm::fixed::Fx;
 use rlpm::{Action, RlConfig, StateIndex};
 
 use crate::{FxAgent, FxQTable};
 
 /// Hardware build parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwConfig {
     /// Engine clock (Hz). 100 MHz is a conservative FPGA fabric clock.
     pub clock_hz: u64,
@@ -43,14 +41,17 @@ impl Default for HwConfig {
             clock_hz: 100_000_000,
             bram_banks: 8,
             bram_read_latency: 2,
-            alpha: Fx::from_f64(0.25),
-            gamma: Fx::from_f64(0.85),
+            // Datapath constants are built in pure integer arithmetic
+            // (bit-identical to Fx::from_f64(0.25) / from_f64(0.85)); the
+            // fx-purity lint keeps floats out of this module.
+            alpha: Fx::from_ratio(1, 4),
+            gamma: Fx::from_ratio(85, 100),
         }
     }
 }
 
 /// The engine's FSM phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnginePhase {
     /// Waiting for a command.
     Idle,
@@ -102,7 +103,7 @@ impl PolicyEngine {
     pub fn new(config: HwConfig, rl: &RlConfig) -> Self {
         assert!(config.bram_banks > 0, "need at least one BRAM bank");
         assert!(config.clock_hz > 0, "clock must be positive");
-        let table = FxQTable::new(rl.num_states(), rl.num_actions(), Fx::from_f64(rl.q_init));
+        let table = FxQTable::new(rl.num_states(), rl.num_actions(), rl.q_init_fx());
         PolicyEngine {
             agent: FxAgent::new(table, config.alpha, config.gamma),
             config,
@@ -187,7 +188,7 @@ impl PolicyEngine {
 
     /// Latency of one decision at the configured clock.
     pub fn decision_latency(&self) -> simkit::SimDuration {
-        simkit::SimDuration::from_secs_f64(self.decision_cycles() as f64 / self.config.clock_hz as f64)
+        simkit::SimDuration::from_cycles(self.decision_cycles(), self.config.clock_hz)
     }
 
     /// Starts a decision for `state`.
@@ -199,7 +200,10 @@ impl PolicyEngine {
     /// condition is a driver bug.
     pub fn start_decision(&mut self, state: StateIndex) {
         assert!(!self.is_busy(), "start_decision while busy");
-        assert!(state < self.agent.table().num_states(), "state out of range");
+        assert!(
+            state < self.agent.table().num_states(),
+            "state out of range"
+        );
         self.op = Some(Op::Decide { state });
         self.phase = EnginePhase::Latch;
         self.phase_left = 1;
@@ -220,7 +224,10 @@ impl PolicyEngine {
     ) {
         assert!(!self.is_busy(), "start_update while busy");
         let t = self.agent.table();
-        assert!(state < t.num_states() && next_state < t.num_states(), "state out of range");
+        assert!(
+            state < t.num_states() && next_state < t.num_states(),
+            "state out of range"
+        );
         assert!(action < t.num_actions(), "action out of range");
         self.op = Some(Op::Update {
             state,
@@ -277,7 +284,15 @@ impl PolicyEngine {
                 self.phase_left = 1;
                 false
             }
-            (EnginePhase::WriteBack, Op::Update { state, action, reward, next_state }) => {
+            (
+                EnginePhase::WriteBack,
+                Op::Update {
+                    state,
+                    action,
+                    reward,
+                    next_state,
+                },
+            ) => {
                 self.agent.update(state, action, reward, next_state);
                 self.updates += 1;
                 self.finish()
@@ -363,9 +378,11 @@ mod tests {
         // Perturb the table so argmax is non-trivial.
         for s in 0..50 {
             for a in 0..25 {
-                e.agent_mut()
-                    .table_mut()
-                    .set(s, a, Fx::from_f64(((s * 7 + a * 13) % 17) as f64 / 7.0));
+                e.agent_mut().table_mut().set(
+                    s,
+                    a,
+                    Fx::from_f64(((s * 7 + a * 13) % 17) as f64 / 7.0),
+                );
             }
         }
         let reference = e.agent().clone();
@@ -469,8 +486,20 @@ mod tests {
     #[test]
     fn fewer_banks_cost_more_fetch_cycles() {
         let rl = rl_config();
-        let wide = PolicyEngine::new(HwConfig { bram_banks: 32, ..Default::default() }, &rl);
-        let narrow = PolicyEngine::new(HwConfig { bram_banks: 1, ..Default::default() }, &rl);
+        let wide = PolicyEngine::new(
+            HwConfig {
+                bram_banks: 32,
+                ..Default::default()
+            },
+            &rl,
+        );
+        let narrow = PolicyEngine::new(
+            HwConfig {
+                bram_banks: 1,
+                ..Default::default()
+            },
+            &rl,
+        );
         assert!(narrow.decision_cycles() > wide.decision_cycles());
         // 1 bank: fetch = 2 + 25 - 1 = 26; total = 1 + 26 + 5 + 1 = 33.
         assert_eq!(narrow.decision_cycles(), 33);

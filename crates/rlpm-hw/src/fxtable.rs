@@ -1,14 +1,12 @@
 //! Fixed-point Q-table and agent: the functional specification the RTL
 //! model must match bit-for-bit.
 
-use serde::{Deserialize, Serialize};
-
 use rlpm::fixed::Fx;
 use rlpm::{Action, QTable, StateIndex};
 
 /// A dense `states × actions` table of Q16.16 values, mirroring
 /// [`rlpm::QTable`] in the representation the hardware BRAMs hold.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FxQTable {
     num_states: usize,
     num_actions: usize,
@@ -22,7 +20,10 @@ impl FxQTable {
     ///
     /// Panics if either dimension is zero.
     pub fn new(num_states: usize, num_actions: usize, init: Fx) -> Self {
-        assert!(num_states > 0 && num_actions > 0, "table dimensions must be positive");
+        assert!(
+            num_states > 0 && num_actions > 0,
+            "table dimensions must be positive"
+        );
         FxQTable {
             num_states,
             num_actions,
@@ -30,13 +31,15 @@ impl FxQTable {
         }
     }
 
-    /// Quantises a float Q-table into fixed point (the "table load" the
-    /// CPU performs over the register interface after offline training).
-    pub fn from_f64_table(table: &QTable) -> Self {
+    /// Imports a software-trained Q-table (the "table load" the CPU
+    /// performs over the register interface after offline training). The
+    /// float→fixed quantisation happens on the software side, in
+    /// [`QTable::quantized`]; this module stays float-free.
+    pub fn from_software(table: &QTable) -> Self {
         FxQTable {
             num_states: table.num_states(),
             num_actions: table.num_actions(),
-            values: table.values().iter().map(|&v| Fx::from_f64(v)).collect(),
+            values: table.quantized(),
         }
     }
 
@@ -112,7 +115,7 @@ impl FxQTable {
 /// Fixed-point Q-learning agent: the bit-exact software twin of the
 /// hardware update pipeline (used for parity checks and for driving the
 /// engine's expected outputs in tests).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FxAgent {
     table: FxQTable,
     /// Learning rate in fixed point.
@@ -124,7 +127,11 @@ pub struct FxAgent {
 impl FxAgent {
     /// Creates an agent over a fixed-point table.
     pub fn new(table: FxQTable, alpha: Fx, gamma: Fx) -> Self {
-        FxAgent { table, alpha, gamma }
+        FxAgent {
+            table,
+            alpha,
+            gamma,
+        }
     }
 
     /// The underlying table.
@@ -167,7 +174,7 @@ mod tests {
         let mut q = QTable::new(3, 2, 0.0);
         q.set(1, 1, 1.25);
         q.set(2, 0, -3.5);
-        let fx = FxQTable::from_f64_table(&q);
+        let fx = FxQTable::from_software(&q);
         assert_eq!(fx.get(1, 1).to_f64(), 1.25);
         assert_eq!(fx.get(2, 0).to_f64(), -3.5);
         assert_eq!(fx.get(0, 0).to_f64(), 0.0);

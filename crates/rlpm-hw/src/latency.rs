@@ -11,14 +11,12 @@
 //! * **Hardware** — the engine's deterministic cycle count at the fabric
 //!   clock, plus the memory-mapped bus transactions of the driver flow.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 use crate::{AxiLiteBus, MmioDevice, PolicyEngine};
 
 /// Instruction-level latency model of the software policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwLatencyModel {
     /// Instructions for one decision (state encoding + Q-row scan +
     /// argmax + bookkeeping).
@@ -74,7 +72,7 @@ impl SwLatencyModel {
 }
 
 /// Latency model of the hardware policy behind its bus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwLatencyModel {
     /// One engine decision, fabric cycles × clock.
     pub decide_compute: SimDuration,
@@ -186,8 +184,8 @@ mod tests {
         // speedup averaged over the OPP ladder a small single-digit
         // factor (journal: 3.92x).
         let (sw, hw) = models();
-        let max_speedup = sw.decision_latency(200_000_000).as_secs_f64()
-            / hw.decision_compute().as_secs_f64();
+        let max_speedup =
+            sw.decision_latency(200_000_000).as_secs_f64() / hw.decision_compute().as_secs_f64();
         assert!(
             max_speedup > 25.0 && max_speedup < 60.0,
             "compute-only max speedup {max_speedup}"

@@ -11,8 +11,6 @@
 //! banking trade-off: more BRAM banks fetch the Q-row in fewer beats but
 //! cost ports, muxing and routing pressure.
 
-use serde::{Deserialize, Serialize};
-
 use rlpm::RlConfig;
 
 use crate::{HwConfig, PolicyEngine};
@@ -39,7 +37,7 @@ const STAGE_DELAY_NS: f64 = 2.6;
 const FANIN_DELAY_NS: f64 = 0.35;
 
 /// Estimated fabric cost of one engine build.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceReport {
     /// BRAM banks configured.
     pub banks: usize,
@@ -151,8 +149,14 @@ mod tests {
         let rl = rl();
         let sweep = banking_sweep(&rl, &[1, 2, 4, 8, 16, 32]);
         for w in sweep.windows(2) {
-            assert!(w[1].bram18_blocks >= w[0].bram18_blocks, "banking never frees BRAM");
-            assert!(w[1].est_fmax_mhz <= w[0].est_fmax_mhz, "fan-in slows the clock");
+            assert!(
+                w[1].bram18_blocks >= w[0].bram18_blocks,
+                "banking never frees BRAM"
+            );
+            assert!(
+                w[1].est_fmax_mhz <= w[0].est_fmax_mhz,
+                "fan-in slows the clock"
+            );
             assert!(w[1].luts >= w[0].luts, "mux grows");
         }
         // The latency-optimal point is interior: 1 bank is slow because
@@ -174,7 +178,10 @@ mod tests {
         let r = estimate(&rl(), &HwConfig::default());
         assert!(r.luts < 5_000, "{} LUTs", r.luts);
         assert!(r.dsps <= 8);
-        assert!(r.est_fmax_mhz > 100.0, "must close timing at the 100 MHz default");
+        assert!(
+            r.est_fmax_mhz > 100.0,
+            "must close timing at the 100 MHz default"
+        );
     }
 
     #[test]

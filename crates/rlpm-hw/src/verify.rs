@@ -8,8 +8,6 @@
 //! Q-value error; [`quantization_sweep`] repeats the comparison at
 //! several fractional bit widths to justify the Q16.16 choice.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimRng;
 
 use rlpm::fixed::{quantize, Fx};
@@ -18,7 +16,7 @@ use rlpm::{QTable, RlConfig};
 use crate::{FxAgent, FxQTable, HwConfig, PolicyEngine};
 
 /// Result of a parity run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParityReport {
     /// Transitions replayed into both implementations.
     pub transitions: u64,
@@ -31,7 +29,7 @@ pub struct ParityReport {
 }
 
 /// One point of the bit-width sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantizationPoint {
     /// Fractional bits of the simulated datapath.
     pub frac_bits: u32,
@@ -114,11 +112,8 @@ pub fn quantization_sweep(
         .iter()
         .map(|&bits| {
             let mut float_table = QTable::new(rl.num_states(), rl.num_actions(), rl.q_init);
-            let mut q_table = QTable::new(
-                rl.num_states(),
-                rl.num_actions(),
-                quantize(rl.q_init, bits),
-            );
+            let mut q_table =
+                QTable::new(rl.num_states(), rl.num_actions(), quantize(rl.q_init, bits));
             for (s, a, r, s2) in transition_stream(rl, transitions, seed) {
                 let target = r + gamma * float_table.max_value(s2);
                 let old = float_table.get(s, a);
@@ -188,14 +183,27 @@ mod tests {
     #[test]
     fn q16_16_parity_is_high() {
         let report = parity_check(&rl(), HwConfig::default(), 20_000, 1);
-        assert!(report.greedy_agreement > 0.99, "agreement {}", report.greedy_agreement);
-        assert!(report.max_q_error < 0.01, "max error {}", report.max_q_error);
+        assert!(
+            report.greedy_agreement > 0.99,
+            "agreement {}",
+            report.greedy_agreement
+        );
+        assert!(
+            report.max_q_error < 0.01,
+            "max error {}",
+            report.max_q_error
+        );
         assert!(report.mean_q_error <= report.max_q_error);
     }
 
     #[test]
     fn engine_is_bit_exact_with_fx_agent() {
-        assert!(engine_matches_fx_agent(&rl(), HwConfig::default(), 5_000, 7));
+        assert!(engine_matches_fx_agent(
+            &rl(),
+            HwConfig::default(),
+            5_000,
+            7
+        ));
     }
 
     #[test]

@@ -9,8 +9,6 @@
 //! toward descending until the QoS signal pushes back, which is the safe
 //! default for a power governor.
 
-use serde::{Deserialize, Serialize};
-
 use soc::{LevelRequest, OppLevel};
 
 use crate::RlConfig;
@@ -19,7 +17,7 @@ use crate::RlConfig;
 pub type Action = usize;
 
 /// Enumerates per-cluster level deltas.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActionSpace {
     max_delta: isize,
     num_clusters: usize,

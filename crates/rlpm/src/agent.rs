@@ -23,14 +23,12 @@
 //! ε-greedy exploration; the greedy path uses the deterministic
 //! lowest-index argmax, matching the hardware comparator tree.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimRng;
 
 use crate::{Action, Algorithm, QTable, RlConfig, StateIndex};
 
 /// Tabular (Double) Q-learning with ε-greedy exploration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QLearningAgent {
     algorithm: Algorithm,
     table_a: QTable,
@@ -445,7 +443,7 @@ mod tests {
         a.load_merged(&values);
         a.set_frozen(true);
         // Acting value = 2x the loaded value everywhere.
-        assert!((a.acting_value(1, 1) - 2.0 * values[1 * a.table().num_actions() + 1]).abs() < 1e-12);
+        assert!((a.acting_value(1, 1) - 2.0 * values[a.table().num_actions() + 1]).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Hyperparameters and space sizing for the RL policy.
 
-use serde::{Deserialize, Serialize};
-
 use soc::SocConfig;
 
 /// The temporal-difference algorithm driving the policy.
@@ -10,7 +8,7 @@ use soc::SocConfig;
 /// default here because the single estimator measurably over-provisions
 /// under stochastic workloads (see `agent.rs`). The on-policy variants
 /// are provided for the algorithm ablation (A4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Watkins Q-learning (single estimator), as in the paper.
     QLearning,
@@ -49,7 +47,7 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Full configuration of the RL power-management policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RlConfig {
     /// Number of clusters being managed.
     pub num_clusters: usize,
@@ -163,6 +161,13 @@ impl RlConfig {
     /// Q-table entries (`num_states × num_actions`).
     pub fn table_entries(&self) -> usize {
         self.num_states() * self.num_actions()
+    }
+
+    /// The optimistic init value quantised to Q16.16. Conversion happens
+    /// here on the software side so the float-free hardware model can size
+    /// its BRAM table without touching `f64`.
+    pub fn q_init_fx(&self) -> crate::fixed::Fx {
+        crate::fixed::Fx::from_f64(self.q_init)
     }
 
     /// Checks internal consistency.

@@ -6,8 +6,6 @@
 //! bit-identically against the hardware and the bit-width study (E6) can
 //! quantify the precision/area trade-off.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of fractional bits in [`Fx`].
 pub const FRAC_BITS: u32 = 16;
 const ONE: i64 = 1 << FRAC_BITS;
@@ -22,7 +20,7 @@ const ONE: i64 = 1 << FRAC_BITS;
 /// assert_eq!((a + b).to_f64(), 1.25);
 /// assert_eq!((a * b).to_f64(), -0.375);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fx(i32);
 
 impl Fx {
@@ -50,6 +48,40 @@ impl Fx {
     /// Converts to a float (exact).
     pub fn to_f64(self) -> f64 {
         self.0 as f64 / ONE as f64
+    }
+
+    /// Constructs `num / den` exactly in integer arithmetic, rounding to
+    /// nearest and saturating. This is the constructor the hardware model
+    /// uses for datapath constants (α, γ) so that `rlpm-hw` never touches
+    /// floating point (`cargo xtask check` enforces this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub const fn from_ratio(num: i64, den: i64) -> Fx {
+        assert!(den != 0, "from_ratio denominator must be non-zero");
+        // (num << 16) / den, rounded half away from zero. i64 holds
+        // any i32-range numerator shifted by 16 with room to spare.
+        let scaled = num << FRAC_BITS;
+        let half = den / 2;
+        let adjusted = if (scaled >= 0) == (den > 0) {
+            scaled + if half >= 0 { half } else { -half }
+        } else {
+            scaled - if half >= 0 { half } else { -half }
+        };
+        let q = adjusted / den;
+        if q > i32::MAX as i64 {
+            Fx::MAX
+        } else if q < i32::MIN as i64 {
+            Fx::MIN
+        } else {
+            Fx(q as i32)
+        }
+    }
+
+    /// Constructs a whole number, saturating at the representable range.
+    pub const fn from_int(v: i32) -> Fx {
+        Fx::from_ratio(v as i64, 1)
     }
 
     /// The raw underlying bits.
@@ -242,6 +274,55 @@ mod tests {
         fn prop_quantize_idempotent(x in -1000.0f64..1000.0, bits in 4u32..17) {
             let q = quantize(x, bits);
             prop_assert_eq!(quantize(q, bits), q);
+        }
+
+        /// Over the FULL raw-bit range (every `i32` is a valid `Fx`):
+        /// addition never panics and saturates exactly where the
+        /// infinitely-wide sum leaves `i32`.
+        #[test]
+        fn prop_full_range_add_never_panics_and_saturates(
+            a in i32::MIN..=i32::MAX,
+            b in i32::MIN..=i32::MAX,
+        ) {
+            let sum = Fx::from_bits(a) + Fx::from_bits(b);
+            let exact = (a as i64 + b as i64).clamp(i32::MIN as i64, i32::MAX as i64);
+            prop_assert_eq!(sum.to_bits() as i64, exact);
+        }
+
+        /// Full-range subtraction: no panic, exact clamp semantics.
+        #[test]
+        fn prop_full_range_sub_never_panics_and_saturates(
+            a in i32::MIN..=i32::MAX,
+            b in i32::MIN..=i32::MAX,
+        ) {
+            let diff = Fx::from_bits(a) - Fx::from_bits(b);
+            let exact = (a as i64 - b as i64).clamp(i32::MIN as i64, i32::MAX as i64);
+            prop_assert_eq!(diff.to_bits() as i64, exact);
+        }
+
+        /// Full-range multiplication: the widened `i64` product (two
+        /// `i32` factors cannot overflow it) shifted by `FRAC_BITS` and
+        /// clamped is exactly what the hardware-mirroring datapath
+        /// produces — never a panic, never a wrap.
+        #[test]
+        fn prop_full_range_mul_never_panics_and_saturates(
+            a in i32::MIN..=i32::MAX,
+            b in i32::MIN..=i32::MAX,
+        ) {
+            let prod = Fx::from_bits(a) * Fx::from_bits(b);
+            let exact = ((a as i64 * b as i64) >> 16).clamp(i32::MIN as i64, i32::MAX as i64);
+            prop_assert_eq!(prod.to_bits() as i64, exact);
+        }
+
+        /// Saturation is sticky at the rails: adding a non-negative value
+        /// to MAX stays MAX, subtracting one from MIN stays MIN.
+        #[test]
+        fn prop_rails_are_sticky(bits in 0i32..=i32::MAX) {
+            let max = Fx::from_bits(i32::MAX);
+            let min = Fx::from_bits(i32::MIN);
+            let v = Fx::from_bits(bits);
+            prop_assert_eq!(max + v, max);
+            prop_assert_eq!(min - v, min);
         }
     }
 }

@@ -49,8 +49,8 @@ mod action;
 mod agent;
 mod config;
 pub mod fixed;
-mod policy;
 pub mod persist;
+mod policy;
 mod predictor;
 mod qtable;
 pub mod reward;

@@ -63,9 +63,14 @@ impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::BadMagic => write!(f, "not a saved policy (bad magic)"),
-            PersistError::UnsupportedVersion(v) => write!(f, "unsupported policy format version {v}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported policy format version {v}")
+            }
             PersistError::Truncated { expected, actual } => {
-                write!(f, "saved policy truncated: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "saved policy truncated: expected {expected} bytes, got {actual}"
+                )
             }
             PersistError::Corrupt => write!(f, "saved policy failed its checksum"),
             PersistError::DimensionMismatch { saved, expected } => write!(
@@ -114,48 +119,49 @@ pub fn save_policy(policy: &RlGovernor) -> Vec<u8> {
 ///
 /// Any [`PersistError`] except `DimensionMismatch`.
 pub fn parse_table(bytes: &[u8]) -> Result<QTable, PersistError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(if bytes.get(..8).map(|m| m == MAGIC) == Some(true) {
-            PersistError::Truncated {
-                expected: HEADER_LEN,
-                actual: bytes.len(),
-            }
-        } else {
-            PersistError::BadMagic
-        });
-    }
-    if &bytes[..8] != MAGIC {
+    if bytes.get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
         return Err(PersistError::BadMagic);
     }
-    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    let truncated = |expected| PersistError::Truncated {
+        expected,
+        actual: bytes.len(),
+    };
+    let version = u16::from_le_bytes(read_array(bytes, 8).ok_or(truncated(HEADER_LEN))?);
     if version != VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    let states = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes")) as usize;
-    let actions = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
-    let checksum = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
+    let states = u32::from_le_bytes(read_array(bytes, 10).ok_or(truncated(HEADER_LEN))?) as usize;
+    let actions = u32::from_le_bytes(read_array(bytes, 14).ok_or(truncated(HEADER_LEN))?) as usize;
+    let checksum = u64::from_le_bytes(read_array(bytes, 18).ok_or(truncated(HEADER_LEN))?);
     let expected = HEADER_LEN + states * actions * 8;
     if bytes.len() != expected {
-        return Err(PersistError::Truncated {
-            expected,
-            actual: bytes.len(),
-        });
+        return Err(truncated(expected));
     }
-    let payload = &bytes[HEADER_LEN..];
+    let payload = bytes.get(HEADER_LEN..).unwrap_or(&[]);
     if fnv1a64(payload) != checksum {
         return Err(PersistError::Corrupt);
     }
-    let mut values = Vec::with_capacity(states * actions);
-    for chunk in payload.chunks_exact(8) {
-        let v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+    let mut values = Vec::with_capacity(states.saturating_mul(actions));
+    let mut offset = 0;
+    while let Some(word) = read_array::<8>(payload, offset) {
+        let v = f64::from_le_bytes(word);
         if !v.is_finite() {
             return Err(PersistError::NonFinite);
         }
         values.push(v);
+        offset += 8;
     }
     let mut table = QTable::new(states, actions, 0.0);
     table.load(&values);
     Ok(table)
+}
+
+/// Reads a fixed-size little-endian field at `offset`, or `None` if the
+/// buffer ends first. Keeps header parsing free of panicking slices.
+fn read_array<const N: usize>(bytes: &[u8], offset: usize) -> Option<[u8; N]> {
+    bytes
+        .get(offset..offset.checked_add(N)?)
+        .and_then(|s| s.try_into().ok())
 }
 
 /// Restores a saved table into `policy` (both estimators in double mode).
@@ -226,7 +232,10 @@ mod tests {
         let mut single = RlGovernor::new(single_cfg, 1);
         load_policy(&mut single, &bytes).expect("double -> single restore");
         for s in (0..policy.config().num_states()).step_by(7) {
-            assert_eq!(policy.agent().greedy_action(s), single.agent().greedy_action(s));
+            assert_eq!(
+                policy.agent().greedy_action(s),
+                single.agent().greedy_action(s)
+            );
         }
     }
 
@@ -235,7 +244,10 @@ mod tests {
         let policy = trained_policy();
         let good = save_policy(&policy);
 
-        assert_eq!(parse_table(b"nonsense").unwrap_err(), PersistError::BadMagic);
+        assert_eq!(
+            parse_table(b"nonsense").unwrap_err(),
+            PersistError::BadMagic
+        );
 
         let mut wrong_version = good.clone();
         wrong_version[8] = 99;

@@ -194,7 +194,11 @@ mod tests {
         let mut g = governor();
         assert_eq!(g.agent().updates(), 0);
         g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
-        assert_eq!(g.agent().updates(), 0, "first decision has no prior transition");
+        assert_eq!(
+            g.agent().updates(),
+            0,
+            "first decision has no prior transition"
+        );
         g.decide(&obs(0.5, (3, 3), QosFeedback::default()));
         assert_eq!(g.agent().updates(), 1);
         assert!(g.last_reward().is_some());

@@ -7,15 +7,13 @@
 //! policy raise frequency *before* deadlines slip; falling demand lets it
 //! cut early.
 
-use serde::{Deserialize, Serialize};
-
 use governors::SystemState;
 use simkit::stats::Ewma;
 
 use crate::RlConfig;
 
 /// EWMA-based load predictor with a trend classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predictor {
     ewma: Ewma,
     last: f64,
@@ -120,7 +118,11 @@ mod tests {
             p.observe(&obs(0.1 + 0.08 * i as f64));
         }
         assert_eq!(p.trend_bin(3), 2);
-        assert!(p.predicted_demand() > 0.8, "momentum extrapolates: {}", p.predicted_demand());
+        assert!(
+            p.predicted_demand() > 0.8,
+            "momentum extrapolates: {}",
+            p.predicted_demand()
+        );
     }
 
     #[test]

@@ -5,12 +5,10 @@
 //! lowest-index argmax tie-break matches the hardware comparator tree,
 //! which is what makes software/hardware parity checks exact.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Action, StateIndex};
 
 /// A dense `states × actions` table of action values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QTable {
     num_states: usize,
     num_actions: usize,
@@ -24,7 +22,10 @@ impl QTable {
     ///
     /// Panics if either dimension is zero or `init` is not finite.
     pub fn new(num_states: usize, num_actions: usize, init: f64) -> Self {
-        assert!(num_states > 0 && num_actions > 0, "table dimensions must be positive");
+        assert!(
+            num_states > 0 && num_actions > 0,
+            "table dimensions must be positive"
+        );
         assert!(init.is_finite(), "initial Q value must be finite");
         QTable {
             num_states,
@@ -76,10 +77,9 @@ impl QTable {
     /// break toward the hold action, then lower-power moves, by the
     /// action ordering).
     pub fn argmax(&self, s: StateIndex) -> Action {
-        let row = self.row(s);
         let mut best = 0;
-        let mut best_v = row[0];
-        for (a, &v) in row.iter().enumerate().skip(1) {
+        let mut best_v = f64::NEG_INFINITY;
+        for (a, &v) in self.row(s).iter().enumerate() {
             if v > best_v {
                 best = a;
                 best_v = v;
@@ -108,7 +108,10 @@ impl QTable {
     /// Panics if `values` has the wrong length or non-finite entries.
     pub fn load(&mut self, values: &[f64]) {
         assert_eq!(values.len(), self.values.len(), "table size mismatch");
-        assert!(values.iter().all(|v| v.is_finite()), "Q values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "Q values must be finite"
+        );
         self.values.copy_from_slice(values);
     }
 
@@ -116,6 +119,17 @@ impl QTable {
     /// diagnostic for training).
     pub fn visited_entries(&self, init: f64) -> usize {
         self.values.iter().filter(|&&v| v != init).count()
+    }
+
+    /// The full table quantised to Q16.16 (row-major). The float→fixed
+    /// rounding happens here, on the software side, so the hardware model
+    /// (`rlpm-hw`) can load tables without touching `f64` — its datapath
+    /// is kept float-free by `cargo xtask check`.
+    pub fn quantized(&self) -> Vec<crate::fixed::Fx> {
+        self.values
+            .iter()
+            .map(|&v| crate::fixed::Fx::from_f64(v))
+            .collect()
     }
 }
 

@@ -13,12 +13,10 @@
 //! backlog are penalised directly because they are the leading edge of
 //! "compromised user satisfaction".
 
-use serde::{Deserialize, Serialize};
-
 use crate::RlConfig;
 
 /// Inputs to the reward for one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochOutcome {
     /// QoS units delivered during the epoch (weighted, decay-discounted).
     pub qos_units: f64,
@@ -31,7 +29,7 @@ pub struct EpochOutcome {
 }
 
 /// Reward weights (copied out of [`RlConfig`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RewardFn {
     /// Weight of delivered QoS units.
     pub w_qos: f64,
@@ -63,6 +61,14 @@ impl RewardFn {
             - self.w_energy * outcome.energy_j
             - self.w_violation * outcome.violations.min(self.violation_cap) as f64
             - self.w_backlog * outcome.pending_jobs as f64
+    }
+
+    /// The reward for one epoch, quantised to the Q16.16 grid the hardware
+    /// engine computes in. The float→fixed rounding happens here, on the
+    /// software side of the register interface, so the hardware driver
+    /// (`rlpm-hw`) stays float-free.
+    pub fn reward_fx(&self, outcome: &EpochOutcome) -> crate::fixed::Fx {
+        crate::fixed::Fx::from_f64(self.reward(outcome))
     }
 }
 

@@ -13,8 +13,6 @@
 //! it, exits the bin, violates, jumps back up, and oscillates. Exact
 //! levels remove the aliasing.
 
-use serde::{Deserialize, Serialize};
-
 use governors::SystemState;
 
 use crate::{Predictor, RlConfig};
@@ -23,7 +21,7 @@ use crate::{Predictor, RlConfig};
 pub type StateIndex = usize;
 
 /// Encodes observations into Q-table state indices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateSpace {
     util_bins: usize,
     /// Effective level bins per cluster: `min(config.level_bins, levels)`.
@@ -36,7 +34,7 @@ pub struct StateSpace {
 
 /// The decoded feature vector, exposed for debugging and the hardware
 /// model's register interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateFeatures {
     /// Per-cluster busy-fraction bin.
     pub util: Vec<usize>,
@@ -202,7 +200,7 @@ mod tests {
         cfg.level_bins = 32;
         let space = StateSpace::new(&cfg);
         let pred = Predictor::new(&cfg);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for lvl_b in 0..19 {
             let idx = space.encode(&obs(0.5, 0.5, 5, lvl_b), &pred);
             assert!(seen.insert(idx), "big level {lvl_b} aliases another level");
@@ -226,7 +224,7 @@ mod tests {
     #[test]
     fn index_of_is_injective_over_feature_grid() {
         let (space, _, cfg) = space();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for u0 in 0..cfg.util_bins {
             for l0 in 0..cfg.level_bins.min(13) {
                 for u1 in 0..cfg.util_bins {

@@ -198,7 +198,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(10), "a");
         q.schedule(SimTime::from_millis(30), "b");
-        assert_eq!(q.pop_until(SimTime::from_millis(20)), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(
+            q.pop_until(SimTime::from_millis(20)),
+            Some((SimTime::from_millis(10), "a"))
+        );
         assert_eq!(q.pop_until(SimTime::from_millis(20)), None);
         assert_eq!(q.len(), 1);
         // Clock stayed at the last popped event, not the deadline.

@@ -1,20 +1,17 @@
 //! Deterministic random source for simulations.
 //!
 //! [`SimRng`] wraps a small, fast, seedable generator (xoshiro256**-style,
-//! implemented locally so the stream is stable across `rand` upgrades) and
-//! provides exactly the distributions the workload generators need:
-//! uniform, Bernoulli, normal (Box–Muller), log-normal, exponential and
-//! Pareto. Child generators can be split off for independent subsystems so
-//! that adding a consumer does not perturb the streams of existing ones.
-
-use rand::{Error, RngCore, SeedableRng};
-use serde::{Deserialize, Serialize};
+//! implemented locally so the stream is stable across toolchain upgrades and
+//! needs no external crates) and provides exactly the distributions the
+//! workload generators need: uniform, Bernoulli, normal (Box–Muller),
+//! log-normal, exponential and Pareto. Child generators can be split off for
+//! independent subsystems so that adding a consumer does not perturb the
+//! streams of existing ones.
 
 /// A seedable, splittable simulation RNG.
 ///
 /// ```
 /// use simkit::SimRng;
-/// use rand::RngCore;
 ///
 /// let mut a = SimRng::seed_from(42);
 /// let mut b = SimRng::seed_from(42);
@@ -23,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let mut child = a.split("video-scenario");
 /// let _frame_jitter = child.normal(0.0, 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     state: [u64; 4],
 }
@@ -69,10 +66,7 @@ impl SimRng {
 
     fn next_raw(&mut self) -> u64 {
         // xoshiro256** scrambler.
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -95,7 +89,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -157,7 +154,10 @@ impl SimRng {
     ///
     /// Panics if `x_min` or `alpha` is not strictly positive.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = loop {
             let u = self.uniform();
             if u > 0.0 {
@@ -174,11 +174,17 @@ impl SimRng {
     /// Panics if `weights` is empty, contains a negative/non-finite value,
     /// or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index requires at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weights must be finite and non-negative"
+                );
                 w
             })
             .sum();
@@ -192,35 +198,23 @@ impl SimRng {
         }
         weights.len() - 1 // floating-point edge: last bucket
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
+    /// The next 32 random bits (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_raw() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.next_raw()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_raw().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        SimRng::seed_from(u64::from_le_bytes(seed))
     }
 }
 
@@ -228,7 +222,6 @@ impl SeedableRng for SimRng {
 mod tests {
     use super::SimRng;
     use proptest::prelude::*;
-    use rand::RngCore;
 
     #[test]
     fn same_seed_same_stream() {
@@ -338,7 +331,10 @@ mod tests {
         let mut rng = SimRng::seed_from(9);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is astronomically unlikely");
+        assert!(
+            buf.iter().any(|&b| b != 0),
+            "13 zero bytes is astronomically unlikely"
+        );
     }
 
     proptest! {

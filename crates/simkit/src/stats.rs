@@ -5,8 +5,6 @@
 //! decision latency) over long simulations; these accumulators keep memory
 //! constant regardless of run length.
 
-use serde::{Deserialize, Serialize};
-
 /// Running mean / variance / min / max via Welford's algorithm.
 ///
 /// ```
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(acc.count(), 4);
 /// assert_eq!(acc.min(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Running {
     count: u64,
     mean: f64,
@@ -58,6 +56,15 @@ impl Running {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+    }
+
+    /// Adds one sample expressed as a duration, recorded in seconds.
+    ///
+    /// Keeps float conversion inside `simkit` so callers in the fixed-point
+    /// hardware datapath (`rlpm-hw`) can record latencies without touching
+    /// `f64` themselves.
+    pub fn add_duration(&mut self, d: crate::SimDuration) {
+        self.add(d.as_secs_f64());
     }
 
     /// Merges another accumulator into this one (parallel sweeps).
@@ -171,7 +178,7 @@ impl FromIterator<f64> for Running {
 /// let p50 = h.percentile(50.0);
 /// assert!((p50 - 50.0).abs() <= 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -188,7 +195,10 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi`, either bound is non-finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
             lo,
@@ -245,7 +255,10 @@ impl Histogram {
     /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(self.count > 0, "percentile of empty histogram");
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0, 100], got {p}"
+        );
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         let width = (self.hi - self.lo) / self.bins.len() as f64;
@@ -290,7 +303,7 @@ impl Histogram {
 /// e.update(20.0);
 /// assert_eq!(e.value(), 15.0); // 0.5*20 + 0.5*10
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -304,7 +317,10 @@ impl Ewma {
     ///
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
         Ewma { alpha, value: None }
     }
 
@@ -347,7 +363,9 @@ mod tests {
 
     #[test]
     fn running_basic_moments() {
-        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(acc.mean(), 5.0);
         assert_eq!(acc.variance(), 4.0);
         assert_eq!(acc.std_dev(), 2.0);

@@ -8,8 +8,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant on the simulation clock, in nanoseconds since the
 /// start of the simulation.
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 20_000);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -34,7 +32,7 @@ pub struct SimTime(u64);
 /// assert_eq!(epoch / 4, SimDuration::from_millis(5));
 /// assert_eq!(epoch.as_secs_f64(), 0.02);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -214,6 +212,23 @@ impl SimDuration {
         );
         let ns = (secs * 1e9).round();
         assert!(ns <= u64::MAX as f64, "duration overflows: {secs} s");
+        SimDuration(ns as u64)
+    }
+
+    /// The wall-clock time of `cycles` clock cycles at `hz`, rounded to
+    /// the nearest nanosecond in pure integer arithmetic (so hardware
+    /// latency models stay float-free and bit-reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero or the result overflows `u64` nanoseconds.
+    pub const fn from_cycles(cycles: u64, hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be positive");
+        let ns = (cycles as u128 * 1_000_000_000 + (hz as u128) / 2) / hz as u128;
+        assert!(
+            ns <= u64::MAX as u128,
+            "SimDuration::from_cycles overflowed"
+        );
         SimDuration(ns as u64)
     }
 
@@ -420,7 +435,10 @@ mod tests {
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(2_000_000)
+        );
         assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
     }
 
@@ -457,10 +475,22 @@ mod tests {
     #[test]
     fn align_down_and_up() {
         let step = SimDuration::from_millis(20);
-        assert_eq!(SimTime::from_millis(45).align_down(step), SimTime::from_millis(40));
-        assert_eq!(SimTime::from_millis(45).align_up(step), SimTime::from_millis(60));
-        assert_eq!(SimTime::from_millis(40).align_down(step), SimTime::from_millis(40));
-        assert_eq!(SimTime::from_millis(40).align_up(step), SimTime::from_millis(40));
+        assert_eq!(
+            SimTime::from_millis(45).align_down(step),
+            SimTime::from_millis(40)
+        );
+        assert_eq!(
+            SimTime::from_millis(45).align_up(step),
+            SimTime::from_millis(60)
+        );
+        assert_eq!(
+            SimTime::from_millis(40).align_down(step),
+            SimTime::from_millis(40)
+        );
+        assert_eq!(
+            SimTime::from_millis(40).align_up(step),
+            SimTime::from_millis(40)
+        );
     }
 
     #[test]
@@ -490,7 +520,10 @@ mod tests {
         let total = SimDuration::from_secs(1);
         assert_eq!(total / epoch, 50);
         assert_eq!(total % epoch, SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(25) % epoch, SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(25) % epoch,
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

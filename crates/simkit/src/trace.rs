@@ -7,12 +7,10 @@
 use std::fmt::Write as _;
 use std::io;
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimTime;
 
 /// One multi-column sample at an instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// When the sample was taken.
     pub at: SimTime,
@@ -32,7 +30,7 @@ pub struct Sample {
 /// let csv = trace.to_csv();
 /// assert!(csv.starts_with("time_s,big_w,little_w\n"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     name: String,
     columns: Vec<String>,

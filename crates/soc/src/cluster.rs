@@ -1,14 +1,12 @@
 //! A DVFS cluster: a group of identical cores sharing one frequency /
 //! voltage domain, a power model and a thermal node.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::{SimDuration, SimTime};
 
 use crate::{ClusterConfig, CompletedJob, CoreModel, IdleDepth, Job, OppLevel, SocError};
 
 /// Per-epoch aggregate report for one cluster.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClusterReport {
     /// Mean busy fraction across cores and sub-steps.
     pub util_avg: f64,
@@ -34,7 +32,7 @@ pub struct ClusterReport {
 }
 
 /// Observation of one cluster handed to governors at an epoch boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterObservation {
     /// Mean busy fraction across cores and sub-steps.
     pub util_avg: f64,
@@ -57,7 +55,7 @@ pub struct ClusterObservation {
 }
 
 /// A group of cores sharing a DVFS domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     config: ClusterConfig,
     cores: Vec<CoreModel>,
@@ -69,7 +67,7 @@ pub struct Cluster {
     acc: EpochAcc,
 }
 
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 struct EpochAcc {
     substeps: u32,
     util_avg_sum: f64,
@@ -85,7 +83,9 @@ impl Cluster {
     /// Builds a cluster from its configuration, starting at the lowest OPP
     /// with all cores idle.
     pub fn new(config: ClusterConfig) -> Self {
-        let cores = (0..config.cores).map(|_| CoreModel::new(config.ipc)).collect();
+        let cores = (0..config.cores)
+            .map(|_| CoreModel::new(config.ipc))
+            .collect();
         Cluster {
             config,
             cores,
@@ -146,29 +146,34 @@ impl Cluster {
         self.cores
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.backlog()
-                    .partial_cmp(&b.backlog())
-                    .expect("backlog is never NaN")
-            })
-            .map(|(i, _)| i)
-            .expect("cluster has at least one core")
+            .min_by(|(_, a), (_, b)| a.backlog().total_cmp(&b.backlog()))
+            .map_or(0, |(i, _)| i)
     }
 
     /// Enqueues a job on a specific core, charging the cpuidle wake-up
-    /// stall if the core was in a deep idle state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `core` is out of range.
+    /// stall if the core was in a deep idle state. An out-of-range `core`
+    /// falls back to the least-loaded core rather than panicking.
     pub fn enqueue_on(&mut self, core: usize, job: Job) {
+        let core = if core < self.cores.len() {
+            core
+        } else {
+            self.least_loaded_core()
+        };
         if let Some(idle) = &self.config.idle {
-            let depth = idle.depth(self.cores[core].idle_for());
+            let depth = idle.depth(
+                self.cores
+                    .get(core)
+                    .map_or(SimDuration::ZERO, CoreModel::idle_for),
+            );
             if depth != IdleDepth::Active {
-                self.cores[core].wake(idle.wake_latency(depth));
+                if let Some(c) = self.cores.get_mut(core) {
+                    c.wake(idle.wake_latency(depth));
+                }
             }
         }
-        self.cores[core].enqueue(job);
+        if let Some(c) = self.cores.get_mut(core) {
+            c.enqueue(job);
+        }
     }
 
     /// Requests a new OPP level, applying the thermal clamp. Returns the
@@ -188,7 +193,11 @@ impl Cluster {
                 available: self.config.opps.len(),
             });
         }
-        let clamped = level.min(self.config.thermal.clamp_max_level(self.config.opps.max_level()));
+        let clamped = level.min(
+            self.config
+                .thermal
+                .clamp_max_level(self.config.opps.max_level()),
+        );
         if clamped != self.level {
             self.level = clamped;
             self.pending_stall = self.config.transition_latency;
@@ -226,10 +235,10 @@ impl Cluster {
                 .as_ref()
                 .map(|idle| idle.power_scales(depth))
                 .unwrap_or((1.0, 1.0));
-            power_w += self
-                .config
-                .power
-                .core_w_scaled(opp, report.busy, temp, dyn_scale, leak_scale);
+            power_w +=
+                self.config
+                    .power
+                    .core_w_scaled(opp, report.busy, temp, dyn_scale, leak_scale);
             match depth {
                 IdleDepth::ClockGated => self.acc.idle_gated_s += dt_s,
                 IdleDepth::Collapsed => self.acc.idle_collapsed_s += dt_s,
@@ -244,7 +253,10 @@ impl Cluster {
 
         // Re-apply the thermal clamp in case the trip point was crossed
         // mid-epoch while running at a now-forbidden level.
-        let clamp = self.config.thermal.clamp_max_level(self.config.opps.max_level());
+        let clamp = self
+            .config
+            .thermal
+            .clamp_max_level(self.config.opps.max_level());
         if self.level > clamp {
             self.level = clamp;
             self.pending_stall = self.config.transition_latency;
@@ -285,7 +297,10 @@ impl Cluster {
             level: self.level,
             num_levels: self.config.opps.len(),
             freq_hz: self.freq_hz(),
-            freq_range_hz: (self.config.opps.min_freq_hz(), self.config.opps.max_freq_hz()),
+            freq_range_hz: (
+                self.config.opps.min_freq_hz(),
+                self.config.opps.max_freq_hz(),
+            ),
             temp_c: self.temp_c(),
             throttled: self.is_throttled(),
             queued: self.queued_jobs(),
@@ -351,7 +366,11 @@ mod tests {
         let mut c = test_cluster();
         assert!(matches!(
             c.set_level(3, 7),
-            Err(SocError::LevelOutOfRange { cluster: 7, requested: 3, available: 3 })
+            Err(SocError::LevelOutOfRange {
+                cluster: 7,
+                requested: 3,
+                available: 3
+            })
         ));
     }
 
@@ -359,7 +378,7 @@ mod tests {
     fn executes_work_and_reports_utilization() {
         let mut c = test_cluster();
         c.set_level(2, 0).unwrap(); // 1 GHz
-        // 0.5 ms of work on core 0 only.
+                                    // 0.5 ms of work on core 0 only.
         c.enqueue_on(0, job(1, 500_000));
         let mut t = SimTime::ZERO;
         for _ in 0..20 {
@@ -369,8 +388,16 @@ mod tests {
         let report = c.end_epoch();
         assert_eq!(report.completed.len(), 1);
         // Busy 0.5ms of 20ms on one of two cores.
-        assert!((report.util_avg - 0.0125).abs() < 1e-3, "util_avg {}", report.util_avg);
-        assert!((report.util_max - 0.025).abs() < 2e-3, "util_max {}", report.util_max);
+        assert!(
+            (report.util_avg - 0.0125).abs() < 1e-3,
+            "util_avg {}",
+            report.util_avg
+        );
+        assert!(
+            (report.util_max - 0.025).abs() < 2e-3,
+            "util_max {}",
+            report.util_max
+        );
         assert!(report.energy_j > 0.0);
     }
 
@@ -398,9 +425,15 @@ mod tests {
         let idle_high = run(2, false);
         let busy_low = run(0, true);
         let busy_high = run(2, true);
-        assert!(idle_low < idle_high, "higher OPP leaks/clocks more even idle");
+        assert!(
+            idle_low < idle_high,
+            "higher OPP leaks/clocks more even idle"
+        );
         assert!(busy_low > idle_low);
-        assert!(busy_high > busy_low, "busy at high OPP is the most expensive");
+        assert!(
+            busy_high > busy_low,
+            "busy at high OPP is the most expensive"
+        );
     }
 
     #[test]
@@ -506,7 +539,10 @@ mod tests {
         }
         let report = c.end_epoch();
         assert!(report.idle_gated_s > 0.0, "gated residency recorded");
-        assert!(report.idle_collapsed_s > 0.0, "collapsed residency recorded");
+        assert!(
+            report.idle_collapsed_s > 0.0,
+            "collapsed residency recorded"
+        );
 
         // Wake with a short job: the 150 us collapse wake-up delays its
         // completion relative to a cluster without C-states.
@@ -542,6 +578,10 @@ mod tests {
         let mut c = test_cluster();
         let low = c.capacity_ips();
         c.set_level(2, 0).unwrap();
-        assert_eq!(c.capacity_ips(), low * 5.0, "1 GHz vs 200 MHz, 2 cores, ipc 1");
+        assert_eq!(
+            c.capacity_ips(),
+            low * 5.0,
+            "1 GHz vs 200 MHz, 2 cores, ipc 1"
+        );
     }
 }

@@ -1,13 +1,11 @@
 //! SoC configuration and board-like presets.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 use crate::{IdleStates, Opp, OppTable, PowerModel, SocError, ThermalModel};
 
 /// Configuration of one DVFS cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Human-readable name ("big", "LITTLE", …).
     pub name: String,
@@ -33,7 +31,7 @@ pub struct ClusterConfig {
 /// Construct via the presets ([`SocConfig::odroid_xu3_like`],
 /// [`SocConfig::symmetric_quad`]) or assemble the fields manually and call
 /// [`SocConfig::validate`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
     /// Per-cluster configurations; index = [`crate::ClusterId`].
     pub clusters: Vec<ClusterConfig>,
@@ -219,10 +217,7 @@ impl SocConfig {
         }
         if !(self.epoch % self.substep).is_zero() {
             return Err(SocError::InvalidSocConfig {
-                reason: format!(
-                    "substep {} must divide epoch {}",
-                    self.substep, self.epoch
-                ),
+                reason: format!("substep {} must divide epoch {}", self.substep, self.epoch),
             });
         }
         if !self.board_base_w.is_finite() || self.board_base_w < 0.0 {
@@ -340,14 +335,20 @@ mod tests {
             epoch: SimDuration::from_millis(20),
             substep: SimDuration::from_millis(1),
         };
-        assert!(matches!(cfg.validate(), Err(SocError::InvalidSocConfig { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(SocError::InvalidSocConfig { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_non_dividing_substep() {
         let mut cfg = SocConfig::tiny_test().unwrap();
         cfg.substep = SimDuration::from_millis(3);
-        assert!(matches!(cfg.validate(), Err(SocError::InvalidSocConfig { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(SocError::InvalidSocConfig { .. })
+        ));
     }
 
     #[test]

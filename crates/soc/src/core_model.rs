@@ -8,21 +8,19 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use simkit::{SimDuration, SimTime};
 
 use crate::{CompletedJob, Job};
 
 /// Queued job with its remaining work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct QueuedJob {
     job: Job,
     remaining: f64,
 }
 
 /// One CPU core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreModel {
     /// Instructions retired per cycle relative to the reference core.
     ipc: f64,
@@ -36,7 +34,7 @@ pub struct CoreModel {
 }
 
 /// Per-sub-step execution report for one core.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CoreReport {
     /// Fraction of the sub-step the core was busy, in `[0, 1]`.
     pub busy: f64,
@@ -51,7 +49,10 @@ impl CoreModel {
     ///
     /// Panics if `ipc` is not strictly positive and finite.
     pub fn new(ipc: f64) -> Self {
-        assert!(ipc.is_finite() && ipc > 0.0, "IPC must be positive, got {ipc}");
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "IPC must be positive, got {ipc}"
+        );
         CoreModel {
             ipc,
             queue: VecDeque::new(),
@@ -192,7 +193,12 @@ mod tests {
     #[test]
     fn idle_core_reports_zero_busy() {
         let mut core = CoreModel::new(1.0);
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, SimDuration::ZERO);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+        );
         assert_eq!(r.busy, 0.0);
         assert!(r.completed.is_empty());
     }
@@ -201,7 +207,12 @@ mod tests {
     fn saturated_core_reports_full_busy() {
         let mut core = CoreModel::new(1.0);
         core.enqueue(job(1, u64::MAX / 2));
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, SimDuration::ZERO);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+        );
         assert!((r.busy - 1.0).abs() < 1e-9);
         assert!(r.completed.is_empty());
     }
@@ -211,7 +222,12 @@ mod tests {
         let mut core = CoreModel::new(1.0);
         // 500k instructions at 1 GHz = 0.5 ms.
         core.enqueue(job(1, 500_000));
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, SimDuration::ZERO);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+        );
         assert_eq!(r.completed.len(), 1);
         assert_eq!(r.completed[0].completed_at, SimTime::from_micros(500));
         assert!((r.busy - 0.5).abs() < 1e-9);
@@ -222,7 +238,12 @@ mod tests {
         let mut core = CoreModel::new(1.0);
         core.enqueue(job(1, 200_000));
         core.enqueue(job(2, 300_000));
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, SimDuration::ZERO);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+        );
         assert_eq!(r.completed.len(), 2);
         assert_eq!(r.completed[0].id.0, 1);
         assert_eq!(r.completed[1].id.0, 2);
@@ -234,7 +255,12 @@ mod tests {
     fn job_spans_substeps() {
         let mut core = CoreModel::new(1.0);
         core.enqueue(job(1, 1_500_000)); // 1.5 ms at 1 GHz
-        let r1 = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, SimDuration::ZERO);
+        let r1 = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+        );
         assert!(r1.completed.is_empty());
         assert_eq!(core.queue_len(), 1);
         let r2 = core.advance(
@@ -256,7 +282,11 @@ mod tests {
         let dt = SimDuration::from_millis(1);
         let rf = fast.advance(SimTime::ZERO, dt, 1_000_000_000, SimDuration::ZERO);
         let rs = slow.advance(SimTime::ZERO, dt, 1_000_000_000, SimDuration::ZERO);
-        assert_eq!(rf.completed.len(), 1, "2 GIPS core finishes 1M instr in 0.5ms");
+        assert_eq!(
+            rf.completed.len(),
+            1,
+            "2 GIPS core finishes 1M instr in 0.5ms"
+        );
         assert!(rs.completed.is_empty(), "0.5 GIPS core needs 2ms");
         assert!((rs.busy - 1.0).abs() < 1e-9);
     }
@@ -266,7 +296,12 @@ mod tests {
         let mut core = CoreModel::new(1.0);
         core.enqueue(job(1, 1_000_000));
         // At 500 MHz, 1M instructions take 2 ms.
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 500_000_000, SimDuration::ZERO);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            500_000_000,
+            SimDuration::ZERO,
+        );
         assert!(r.completed.is_empty());
         assert!((core.backlog() - 500_000.0).abs() < 1e-6);
     }
@@ -276,7 +311,12 @@ mod tests {
         let mut core = CoreModel::new(1.0);
         core.enqueue(job(1, 250_000)); // 0.25 ms at 1 GHz
         let stall = SimDuration::from_micros(500);
-        let r = core.advance(SimTime::ZERO, SimDuration::from_millis(1), 1_000_000_000, stall);
+        let r = core.advance(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            1_000_000_000,
+            stall,
+        );
         assert_eq!(r.completed.len(), 1);
         // Completion shifted by the stall prefix.
         assert_eq!(r.completed[0].completed_at, SimTime::from_micros(750));

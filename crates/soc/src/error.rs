@@ -91,8 +91,6 @@ mod tests {
     #[test]
     fn error_trait_is_implemented() {
         fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
-        takes_error(SocError::InvalidSocConfig {
-            reason: "x".into(),
-        });
+        takes_error(SocError::InvalidSocConfig { reason: "x".into() });
     }
 }

@@ -17,12 +17,10 @@
 //! explicit, measurable experiment (E8) rather than a silent change to
 //! every result.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 /// Two-level cpuidle configuration for one cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IdleStates {
     /// Idle residency after which the core clock-gates.
     pub gate_after: SimDuration,
@@ -40,7 +38,7 @@ pub struct IdleStates {
 }
 
 /// The idle state a core is in, given its idle residency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IdleDepth {
     /// Running or recently idle: full idle power.
     Active,

@@ -7,12 +7,10 @@
 //! takes longer on a LITTLE core than on a big one, matching how
 //! big.LITTLE schedulers reason about capacity.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimTime;
 
 /// Unique identifier of a job within one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
@@ -22,7 +20,7 @@ impl std::fmt::Display for JobId {
 }
 
 /// Scheduling class of a job, used as the placement affinity hint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobClass {
     /// Latency-critical heavy work (frame rendering, decode) — prefers the
     /// big cluster.
@@ -46,7 +44,7 @@ impl JobClass {
 }
 
 /// A burst of computation with a deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Unique id.
     pub id: JobId,
@@ -77,7 +75,7 @@ impl Job {
 }
 
 /// A finished job with its completion timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompletedJob {
     /// The job's id.
     pub id: JobId,

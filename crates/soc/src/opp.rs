@@ -6,15 +6,13 @@
 //! published Exynos 5422 (ODROID-XU3) tables: LITTLE 200 MHz–1.4 GHz,
 //! big 200 MHz–2.0 GHz, with voltage rising superlinearly toward the top.
 
-use serde::{Deserialize, Serialize};
-
 use crate::SocError;
 
 /// Index of an OPP within a cluster's table; level 0 is the slowest point.
 pub type OppLevel = usize;
 
 /// A single operating performance point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Opp {
     /// Core clock frequency in hertz.
     pub freq_hz: u64,
@@ -55,7 +53,7 @@ impl Opp {
 /// assert_eq!(table.level_for_min_freq(700_000_000), 2);
 /// # Ok::<(), soc::SocError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OppTable {
     points: Vec<Opp>,
 }
@@ -86,8 +84,8 @@ impl OppTable {
                 });
             }
         }
-        for (i, w) in points.windows(2).enumerate() {
-            if w[1].freq_hz <= w[0].freq_hz {
+        for (i, (lo, hi)) in points.iter().zip(points.iter().skip(1)).enumerate() {
+            if hi.freq_hz <= lo.freq_hz {
                 return Err(SocError::InvalidOppTable {
                     reason: format!(
                         "frequencies must be strictly increasing (points {i} and {})",
@@ -95,12 +93,9 @@ impl OppTable {
                     ),
                 });
             }
-            if w[1].voltage_v < w[0].voltage_v {
+            if hi.voltage_v < lo.voltage_v {
                 return Err(SocError::InvalidOppTable {
-                    reason: format!(
-                        "voltages must be non-decreasing (points {i} and {})",
-                        i + 1
-                    ),
+                    reason: format!("voltages must be non-decreasing (points {i} and {})", i + 1),
                 });
             }
         }
@@ -175,12 +170,12 @@ impl OppTable {
 
     /// The lowest frequency in the table.
     pub fn min_freq_hz(&self) -> u64 {
-        self.points[0].freq_hz
+        self.points.first().map_or(0, |p| p.freq_hz)
     }
 
     /// The highest frequency in the table.
     pub fn max_freq_hz(&self) -> u64 {
-        self.points[self.points.len() - 1].freq_hz
+        self.points.last().map_or(0, |p| p.freq_hz)
     }
 
     /// The lowest level whose frequency is at least `freq_hz` (the

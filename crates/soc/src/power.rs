@@ -16,13 +16,11 @@
 //! frequency — is what makes "race-to-idle vs just-enough" a real
 //! trade-off, which is the dynamic the paper's policy learns.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Opp;
 
 /// Cluster power model parameters. All powers are watts, capacitances in
 /// farads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Effective switched capacitance per core (F).
     pub ceff_f: f64,
@@ -128,7 +126,10 @@ impl PowerModel {
         idle_dyn_scale: f64,
         leak_scale: f64,
     ) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} out of range");
+        debug_assert!(
+            (0.0..=1.0).contains(&busy),
+            "busy fraction {busy} out of range"
+        );
         let dyn_w = self.dynamic_w(opp);
         dyn_w * busy
             + dyn_w * self.idle_frac * (1.0 - busy) * idle_dyn_scale
@@ -142,7 +143,10 @@ impl PowerModel {
 
     /// Total cluster power given per-core busy fractions.
     pub fn cluster_w(&self, opp: Opp, busy: &[f64], temp_c: f64) -> f64 {
-        busy.iter().map(|&u| self.core_w(opp, u, temp_c)).sum::<f64>() + self.uncore_w(opp)
+        busy.iter()
+            .map(|&u| self.core_w(opp, u, temp_c))
+            .sum::<f64>()
+            + self.uncore_w(opp)
     }
 
     /// Energy in joules for a cluster over an interval of `dt_s` seconds.
@@ -223,7 +227,8 @@ mod tests {
         let m = PowerModel::big_cluster();
         let opp = opp_high();
         let busy = [0.5, 1.0, 0.0];
-        let direct: f64 = busy.iter().map(|&u| m.core_w(opp, u, 55.0)).sum::<f64>() + m.uncore_w(opp);
+        let direct: f64 =
+            busy.iter().map(|&u| m.core_w(opp, u, 55.0)).sum::<f64>() + m.uncore_w(opp);
         assert!((m.cluster_w(opp, &busy, 55.0) - direct).abs() < 1e-12);
     }
 

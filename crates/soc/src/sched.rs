@@ -10,12 +10,10 @@
 //!   threshold, the job overflows to the other side;
 //! * within a cluster, least-backlog core placement.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Cluster, ClusterId, Job, JobClass};
 
 /// Placement policy parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scheduler {
     /// Drain-time threshold (seconds at current capacity) above which a
     /// job spills to the non-preferred cluster.
@@ -55,18 +53,16 @@ impl Scheduler {
         clusters
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("key is never NaN"))
-            .map(|(i, _)| i)
-            .expect("at least one cluster")
+            .max_by(|(_, a), (_, b)| key(a).total_cmp(&key(b)))
+            .map_or(0, |(i, _)| i)
     }
 
     fn argmin(clusters: &[Cluster], key: impl Fn(&Cluster) -> f64) -> ClusterId {
         clusters
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("key is never NaN"))
-            .map(|(i, _)| i)
-            .expect("at least one cluster")
+            .min_by(|(_, a), (_, b)| key(a).total_cmp(&key(b)))
+            .map_or(0, |(i, _)| i)
     }
 
     /// Seconds to drain cluster `c`'s backlog at its *current* OPP.
@@ -77,7 +73,7 @@ impl Scheduler {
     /// Picks `(cluster, core)` for a job.
     pub fn place(&self, clusters: &[Cluster], job: &Job) -> (ClusterId, usize) {
         let cluster = self.pick_cluster(clusters, job.class);
-        let core = clusters[cluster].least_loaded_core();
+        let core = clusters.get(cluster).map_or(0, Cluster::least_loaded_core);
         (cluster, core)
     }
 
@@ -91,7 +87,10 @@ impl Scheduler {
             JobClass::Light | JobClass::Background => Self::slowest(clusters),
             JobClass::Normal => Self::argmin(clusters, Self::drain_time_s),
         };
-        if Self::drain_time_s(&clusters[preferred]) <= self.spill_threshold_s {
+        let preferred_drain = clusters
+            .get(preferred)
+            .map_or(f64::INFINITY, Self::drain_time_s);
+        if preferred_drain <= self.spill_threshold_s {
             return preferred;
         }
         // Preferred side is backlogged: overflow to the globally least
@@ -147,7 +146,10 @@ mod tests {
         let (c0, _) = sched.place(&cs, &job(JobClass::Normal));
         assert_eq!(c0, 0);
         // Load LITTLE heavily; Normal should now go big.
-        cs[0].enqueue_on(0, Job::new(9, 4_000_000_000, SimTime::from_secs(1), JobClass::Normal));
+        cs[0].enqueue_on(
+            0,
+            Job::new(9, 4_000_000_000, SimTime::from_secs(1), JobClass::Normal),
+        );
         let (c1, _) = sched.place(&cs, &job(JobClass::Normal));
         assert_eq!(cs[c1].config().name, "big");
     }
@@ -160,7 +162,15 @@ mod tests {
         // Pile > spill_threshold of work on every big core at its current
         // (lowest) OPP: 200 MHz × ipc 2 = 400 MIPS → 40 ms ≙ 16M instr.
         for core in 0..cs[big].num_cores() {
-            cs[big].enqueue_on(core, Job::new(core as u64, 100_000_000, SimTime::from_secs(1), JobClass::Heavy));
+            cs[big].enqueue_on(
+                core,
+                Job::new(
+                    core as u64,
+                    100_000_000,
+                    SimTime::from_secs(1),
+                    JobClass::Heavy,
+                ),
+            );
         }
         let (cluster, _) = sched.place(&cs, &job(JobClass::Heavy));
         assert_eq!(cs[cluster].config().name, "LITTLE", "overflow to LITTLE");
@@ -186,7 +196,15 @@ mod tests {
             spill_threshold_s: f64::INFINITY,
         };
         for core in 0..cs[1].num_cores() {
-            cs[1].enqueue_on(core, Job::new(core as u64, 1_000_000_000, SimTime::from_secs(5), JobClass::Heavy));
+            cs[1].enqueue_on(
+                core,
+                Job::new(
+                    core as u64,
+                    1_000_000_000,
+                    SimTime::from_secs(5),
+                    JobClass::Heavy,
+                ),
+            );
         }
         assert_eq!(sticky.pick_cluster(&cs, JobClass::Heavy), 1);
         // A hair-trigger scheduler spills immediately.

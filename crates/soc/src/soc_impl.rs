@@ -1,17 +1,15 @@
 //! The top-level SoC: clusters + scheduler + arrival queue, advanced one
 //! DVFS epoch at a time.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::{EventQueue, SimTime};
 
 use crate::{
-    Cluster, ClusterObservation, ClusterReport, CompletedJob, Job, OppLevel, Scheduler,
-    SocConfig, SocError,
+    Cluster, ClusterObservation, ClusterReport, CompletedJob, Job, OppLevel, Scheduler, SocConfig,
+    SocError,
 };
 
 /// Per-cluster frequency levels requested by a governor for the next epoch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LevelRequest {
     /// One OPP level per cluster, indexed by [`crate::ClusterId`].
     pub levels: Vec<OppLevel>,
@@ -39,7 +37,7 @@ impl LevelRequest {
 }
 
 /// What happened during one epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
     /// Epoch start time.
     pub started_at: SimTime,
@@ -65,7 +63,7 @@ impl EpochReport {
 
 /// Observation of the whole SoC at an epoch boundary, consumed by
 /// governors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochObservation {
     /// The instant of the boundary.
     pub at: SimTime,
@@ -153,7 +151,11 @@ impl Soc {
     ///
     /// Panics if `at < self.now()`.
     pub fn schedule_job(&mut self, at: SimTime, job: Job) {
-        assert!(at >= self.now, "job scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "job scheduled in the past: {at} < {}",
+            self.now
+        );
         self.jobs_submitted += 1;
         self.arrivals.schedule(at, job);
     }
@@ -202,7 +204,9 @@ impl Soc {
             // Dispatch arrivals due by the start of this sub-step.
             while let Some((_, job)) = self.arrivals.pop_until(self.now) {
                 let (cluster, core) = self.scheduler.place(&self.clusters, &job);
-                self.clusters[cluster].enqueue_on(core, job);
+                if let Some(target) = self.clusters.get_mut(cluster) {
+                    target.enqueue_on(core, job);
+                }
             }
             for cluster in &mut self.clusters {
                 cluster.advance_substep(self.now, substep);
@@ -280,18 +284,32 @@ mod tests {
     fn job_completes_within_deadline_at_max_level() {
         let mut s = soc();
         // 10M ref-instr at 1 GHz ≈ 10 ms < 16 ms deadline.
-        s.push_job(Job::new(1, 10_000_000, SimTime::from_millis(16), JobClass::Heavy));
+        s.push_job(Job::new(
+            1,
+            10_000_000,
+            SimTime::from_millis(16),
+            JobClass::Heavy,
+        ));
         let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
         let done: Vec<_> = report.completed().collect();
         assert_eq!(done.len(), 1);
-        assert!(done[0].met_deadline(), "completed at {}", done[0].completed_at);
+        assert!(
+            done[0].met_deadline(),
+            "completed at {}",
+            done[0].completed_at
+        );
     }
 
     #[test]
     fn same_job_misses_deadline_at_min_level() {
         let mut s = soc();
         // 10M ref-instr at 200 MHz = 50 ms > 16 ms deadline.
-        s.push_job(Job::new(1, 10_000_000, SimTime::from_millis(16), JobClass::Heavy));
+        s.push_job(Job::new(
+            1,
+            10_000_000,
+            SimTime::from_millis(16),
+            JobClass::Heavy,
+        ));
         let mut all = Vec::new();
         for _ in 0..5 {
             let report = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
@@ -354,7 +372,12 @@ mod tests {
             // Settle: one idle epoch at the target level so the transition
             // cost does not skew the comparison.
             s.run_epoch(&LevelRequest::new(vec![level])).unwrap();
-            s.push_job(Job::new(1, 20_000_000, SimTime::from_millis(120), JobClass::Heavy));
+            s.push_job(Job::new(
+                1,
+                20_000_000,
+                SimTime::from_millis(120),
+                JobClass::Heavy,
+            ));
             let mut energy = 0.0;
             let mut finished = None;
             for _ in 0..10 {
@@ -365,7 +388,10 @@ mod tests {
                     finished = first_done;
                 }
             }
-            (energy, finished.expect("job finishes within 200 ms at any level"))
+            (
+                energy,
+                finished.expect("job finishes within 200 ms at any level"),
+            )
         };
         let (e_low, t_low) = run(0);
         let (e_high, t_high) = run(2);
@@ -376,7 +402,12 @@ mod tests {
     #[test]
     fn observation_matches_report() {
         let mut s = xu3();
-        s.push_job(Job::new(1, 50_000_000, SimTime::from_millis(50), JobClass::Heavy));
+        s.push_job(Job::new(
+            1,
+            50_000_000,
+            SimTime::from_millis(50),
+            JobClass::Heavy,
+        ));
         let report = s.run_epoch(&LevelRequest::max(s.config())).unwrap();
         let obs = s.observe(&report);
         assert_eq!(obs.clusters.len(), 2);
@@ -403,7 +434,12 @@ mod tests {
     #[test]
     fn reset_restores_time_zero() {
         let mut s = soc();
-        s.push_job(Job::new(1, 1_000_000_000, SimTime::from_secs(1), JobClass::Normal));
+        s.push_job(Job::new(
+            1,
+            1_000_000_000,
+            SimTime::from_secs(1),
+            JobClass::Normal,
+        ));
         s.run_epoch(&LevelRequest::max(s.config())).unwrap();
         s.reset();
         assert_eq!(s.now(), SimTime::ZERO);
@@ -411,7 +447,12 @@ mod tests {
         assert_eq!(s.queued_jobs(), 0);
         assert_eq!(s.pending_arrivals(), 0);
         // Fully functional after reset.
-        s.push_job(Job::new(2, 1_000, SimTime::from_millis(20), JobClass::Normal));
+        s.push_job(Job::new(
+            2,
+            1_000,
+            SimTime::from_millis(20),
+            JobClass::Normal,
+        ));
         assert!(s.run_epoch(&LevelRequest::min(s.config())).is_ok());
     }
 
@@ -433,13 +474,20 @@ mod tests {
             for i in 0..50u64 {
                 s.schedule_job(
                     SimTime::from_millis(i * 7),
-                    Job::new(i, 3_000_000 + i * 10_000, SimTime::from_millis(i * 7 + 16), JobClass::Heavy),
+                    Job::new(
+                        i,
+                        3_000_000 + i * 10_000,
+                        SimTime::from_millis(i * 7 + 16),
+                        JobClass::Heavy,
+                    ),
                 );
             }
             let mut energy = 0.0;
             for e in 0..25 {
                 let level = (e % 19) as usize;
-                let r = s.run_epoch(&LevelRequest::new(vec![level.min(12), level])).unwrap();
+                let r = s
+                    .run_epoch(&LevelRequest::new(vec![level.min(12), level]))
+                    .unwrap();
                 energy += r.energy_j;
             }
             energy

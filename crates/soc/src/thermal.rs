@@ -12,12 +12,10 @@
 //! threshold — the same trip-point behaviour as a mobile thermal governor,
 //! and a dynamic the `performance` baseline runs into on sustained loads.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 /// Thermal parameters and state for one cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Thermal resistance junction→ambient (°C/W).
     pub r_th_c_per_w: f64,
@@ -102,7 +100,10 @@ impl ThermalModel {
     ///
     /// Panics if `p_w` is negative or non-finite.
     pub fn step(&mut self, p_w: f64, dt: SimDuration) -> f64 {
-        assert!(p_w.is_finite() && p_w >= 0.0, "power must be finite and non-negative");
+        assert!(
+            p_w.is_finite() && p_w >= 0.0,
+            "power must be finite and non-negative"
+        );
         let t_inf = self.steady_state_c(p_w);
         let tau = self.r_th_c_per_w * self.c_th_j_per_c;
         let decay = (-dt.as_secs_f64() / tau).exp();
@@ -153,7 +154,12 @@ mod tests {
         for _ in 0..10_000 {
             t.step(p, SimDuration::from_millis(10));
         }
-        assert!((t.temp_c() - t_inf).abs() < 0.01, "temp {} vs steady {}", t.temp_c(), t_inf);
+        assert!(
+            (t.temp_c() - t_inf).abs() < 0.01,
+            "temp {} vs steady {}",
+            t.temp_c(),
+            t_inf
+        );
     }
 
     #[test]

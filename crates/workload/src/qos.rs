@@ -8,14 +8,12 @@
 //! "compromising user satisfaction" condition the paper's policy must
 //! avoid.
 
-use serde::{Deserialize, Serialize};
-
 use simkit::SimDuration;
 
 use soc::{CompletedJob, JobClass};
 
 /// Per-scenario QoS accounting parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosSpec {
     /// Tardiness at which credit has decayed to `1/e`.
     pub tolerance: SimDuration,
@@ -71,7 +69,7 @@ pub(crate) fn class_weight(class: JobClass) -> f64 {
 /// assert_eq!(report.violations, 0);
 /// assert!((report.units - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QosTracker {
     spec: QosSpec,
     units: f64,
@@ -84,7 +82,7 @@ pub struct QosTracker {
 }
 
 /// Final QoS figures for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosReport {
     /// Delivered QoS units (weighted, decay-discounted). Used as the
     /// learning signal: late work earns partial credit, so the gradient

@@ -257,7 +257,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..100 {
             original.extend(video.arrivals(t, t + window));
-            t = t + window;
+            t += window;
         }
 
         let mut trace = recorded_video();
@@ -265,7 +265,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..100 {
             replayed.extend(trace.arrivals(t, t + window));
-            t = t + window;
+            t += window;
         }
         assert_eq!(original, replayed);
     }
@@ -292,12 +292,18 @@ mod tests {
     fn parser_rejects_malformed_input() {
         let spec = QosSpec::default();
         let cases = [
-            ("at_ns,id,work,deadline_ns,class\n1,2,3\n", "expected 5 fields"),
+            (
+                "at_ns,id,work,deadline_ns,class\n1,2,3\n",
+                "expected 5 fields",
+            ),
             ("h\nx,1,1,1,heavy\n", "bad arrival time"),
             ("h\n1,1,0,2,heavy\n", "work must be positive"),
             ("h\n5,1,1,2,heavy\n", "deadline before arrival"),
             ("h\n1,1,1,2,weird\n", "unknown class"),
-            ("h\n9,1,1,10,heavy\n1,2,1,10,heavy\n", "entries out of order"),
+            (
+                "h\n9,1,1,10,heavy\n1,2,1,10,heavy\n",
+                "entries out of order",
+            ),
         ];
         for (csv, expected) in cases {
             let err = RecordedTrace::from_csv("t", spec, csv).expect_err(expected);

@@ -139,7 +139,10 @@ mod tests {
                 let arrivals = s.arrivals(t, to);
                 let mut last = t;
                 for (at, job) in &arrivals {
-                    assert!(*at >= t && *at < to, "{kind}: arrival {at} outside [{t}, {to})");
+                    assert!(
+                        *at >= t && *at < to,
+                        "{kind}: arrival {at} outside [{t}, {to})"
+                    );
                     assert!(*at >= last, "{kind}: arrivals must be sorted");
                     assert!(job.deadline >= *at, "{kind}: deadline before arrival");
                     last = *at;
@@ -153,14 +156,14 @@ mod tests {
     fn job_ids_are_unique_per_scenario() {
         for kind in ScenarioKind::ALL {
             let mut s = kind.build(3);
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             let mut t = SimTime::ZERO;
             let epoch = SimDuration::from_millis(20);
             for _ in 0..1_000 {
                 for (_, job) in s.arrivals(t, t + epoch) {
                     assert!(seen.insert(job.id), "{kind}: duplicate id {}", job.id);
                 }
-                t = t + epoch;
+                t += epoch;
             }
         }
     }

@@ -58,7 +58,10 @@ impl Scenario for AudioPlayback {
         }
         while self.next_buffer < to {
             let work = self.factory.work(BUFFER_WORK, 0.1, 1.5);
-            out.push(self.factory.job(self.next_buffer, work, BUFFER_PERIOD, JobClass::Light));
+            out.push(
+                self.factory
+                    .job(self.next_buffer, work, BUFFER_PERIOD, JobClass::Light),
+            );
             self.next_buffer += BUFFER_PERIOD;
         }
         while self.next_ui < to {
@@ -78,8 +81,8 @@ impl Scenario for AudioPlayback {
 
     fn reset(&mut self) {
         self.next_buffer = SimTime::ZERO;
-        self.next_ui =
-            SimTime::ZERO + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / UI_MEAN_S));
+        self.next_ui = SimTime::ZERO
+            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / UI_MEAN_S));
     }
 }
 
@@ -91,7 +94,10 @@ mod tests {
     fn fifty_buffers_per_second() {
         let mut a = AudioPlayback::new(1);
         let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let buffers = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        let buffers = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .count();
         assert_eq!(buffers, 50);
     }
 
@@ -99,7 +105,10 @@ mod tests {
     fn ui_pokes_are_sparse() {
         let mut a = AudioPlayback::new(2);
         let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(60));
-        let pokes = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        let pokes = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .count();
         assert!((3..60).contains(&pokes), "got {pokes} pokes in a minute");
     }
 

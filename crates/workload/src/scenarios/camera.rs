@@ -52,16 +52,20 @@ impl Scenario for CameraPreview {
         while self.next_frame < to {
             let capture = self.factory.work(CAPTURE_WORK, 0.1, 1.5);
             let encode = self.factory.work(ENCODE_WORK, 0.15, 2.0);
-            out.push(self.factory.job(self.next_frame, capture, FRAME_PERIOD, JobClass::Light));
-            out.push(self.factory.job(self.next_frame, encode, FRAME_PERIOD, JobClass::Heavy));
-            if self.frame_index % AF_PERIOD_FRAMES == 0 {
+            out.push(
+                self.factory
+                    .job(self.next_frame, capture, FRAME_PERIOD, JobClass::Light),
+            );
+            out.push(
+                self.factory
+                    .job(self.next_frame, encode, FRAME_PERIOD, JobClass::Heavy),
+            );
+            if self.frame_index.is_multiple_of(AF_PERIOD_FRAMES) {
                 let af = self.factory.work(AF_WORK, 0.2, 2.0);
-                out.push(self.factory.job(
-                    self.next_frame,
-                    af,
-                    FRAME_PERIOD * 2,
-                    JobClass::Normal,
-                ));
+                out.push(
+                    self.factory
+                        .job(self.next_frame, af, FRAME_PERIOD * 2, JobClass::Normal),
+                );
             }
             self.frame_index += 1;
             self.next_frame += FRAME_PERIOD;
@@ -84,15 +88,28 @@ mod tests {
     fn thirty_capture_encode_pairs_per_second() {
         let mut c = CameraPreview::new(1);
         let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        assert_eq!(jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count(), 31);
-        assert_eq!(jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count(), 31);
+        assert_eq!(
+            jobs.iter()
+                .filter(|(_, j)| j.class == JobClass::Light)
+                .count(),
+            31
+        );
+        assert_eq!(
+            jobs.iter()
+                .filter(|(_, j)| j.class == JobClass::Heavy)
+                .count(),
+            31
+        );
     }
 
     #[test]
     fn autofocus_passes_every_fifteen_frames() {
         let mut c = CameraPreview::new(2);
         let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(5));
-        let af = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        let af = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .count();
         assert_eq!(af, 11, "151 frames, AF at 0,15,...,150");
     }
 
@@ -100,8 +117,16 @@ mod tests {
     fn encode_dominates_capture() {
         let mut c = CameraPreview::new(3);
         let jobs = c.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let cap: u64 = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).map(|(_, j)| j.work).sum();
-        let enc: u64 = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).map(|(_, j)| j.work).sum();
+        let cap: u64 = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .map(|(_, j)| j.work)
+            .sum();
+        let enc: u64 = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .map(|(_, j)| j.work)
+            .sum();
         assert!(enc > 4 * cap);
     }
 }

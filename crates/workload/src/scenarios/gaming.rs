@@ -70,8 +70,8 @@ impl Scenario for Gaming {
         fast_forward(&mut self.next_frame, from, FRAME_PERIOD);
         fast_forward(&mut self.next_audio, from, AUDIO_PERIOD);
         if self.next_spike < from {
-            self.next_spike = from
-                + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / SPIKE_MEAN_S));
+            self.next_spike =
+                from + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / SPIKE_MEAN_S));
         }
 
         while self.next_frame < to {
@@ -87,12 +87,21 @@ impl Scenario for Gaming {
                 render = (render as f64 * SPIKE_FACTOR) as u64;
             }
             let physics = self.factory.work(PHYSICS_WORK_MEDIAN, 0.2, 2.5);
-            out.push(self.factory.job(self.next_frame, render, FRAME_PERIOD, JobClass::Heavy));
-            out.push(self.factory.job(self.next_frame, physics, FRAME_PERIOD, JobClass::Normal));
+            out.push(
+                self.factory
+                    .job(self.next_frame, render, FRAME_PERIOD, JobClass::Heavy),
+            );
+            out.push(
+                self.factory
+                    .job(self.next_frame, physics, FRAME_PERIOD, JobClass::Normal),
+            );
             self.next_frame += FRAME_PERIOD;
         }
         while self.next_audio < to {
-            out.push(self.factory.job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light));
+            out.push(
+                self.factory
+                    .job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light),
+            );
             self.next_audio += AUDIO_PERIOD;
         }
         out.sort_by_key(|(at, _)| *at);
@@ -116,9 +125,15 @@ mod tests {
     fn sixty_render_frames_per_second() {
         let mut g = Gaming::new(1);
         let jobs = g.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let renders = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        let renders = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .count();
         assert_eq!(renders, 60);
-        let physics = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        let physics = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .count();
         assert_eq!(physics, 60);
     }
 

@@ -95,7 +95,10 @@ mod tests {
     fn mostly_background_work() {
         let mut i = Idle::new(1);
         let jobs = i.arrivals(SimTime::ZERO, SimTime::from_secs(30));
-        let bg = jobs.iter().filter(|(_, j)| j.class == JobClass::Background).count();
+        let bg = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Background)
+            .count();
         let fg = jobs.len() - bg;
         assert!(bg > fg, "bg {bg} vs fg {fg}");
     }

@@ -71,7 +71,10 @@ impl Scenario for AppLaunch {
             }
             if self.in_burst(self.next_emit) {
                 let work = self.factory.work(BURST_WORK, 0.3, 2.5);
-                out.push(self.factory.job(self.next_emit, work, BURST_BUDGET, JobClass::Heavy));
+                out.push(
+                    self.factory
+                        .job(self.next_emit, work, BURST_BUDGET, JobClass::Heavy),
+                );
                 self.next_emit += BURST_JOB_PERIOD;
             } else {
                 let work = self.factory.work(QUIET_WORK, 0.2, 2.0);
@@ -108,9 +111,15 @@ mod tests {
         let mut a = AppLaunch::new(1);
         let jobs = a.arrivals(SimTime::ZERO, SimTime::from_secs(10));
         // Two 5 s cycles: 2 bursts of 40 heavy jobs each.
-        let heavy = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        let heavy = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .count();
         assert_eq!(heavy, 80);
-        let light = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        let light = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .count();
         assert!(light > 20, "quiet-phase touches present: {light}");
     }
 

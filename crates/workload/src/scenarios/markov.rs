@@ -82,7 +82,9 @@ impl MarkovMix {
     }
 
     fn sample_dwell(rng: &mut SimRng) -> SimDuration {
-        let s = rng.exponential(1.0 / DWELL_MEAN_S).clamp(DWELL_MIN_S, DWELL_MAX_S);
+        let s = rng
+            .exponential(1.0 / DWELL_MEAN_S)
+            .clamp(DWELL_MIN_S, DWELL_MAX_S);
         SimDuration::from_secs_f64(s)
     }
 
@@ -173,7 +175,11 @@ mod tests {
     fn phases_actually_switch() {
         let (m, _) = run(1, 120);
         let history = m.phase_history();
-        assert!(history.len() >= 5, "2 minutes should span several phases: {}", history.len());
+        assert!(
+            history.len() >= 5,
+            "2 minutes should span several phases: {}",
+            history.len()
+        );
         for w in history.windows(2) {
             assert_ne!(w[0].1, w[1].1, "consecutive phases differ");
         }
@@ -200,7 +206,10 @@ mod tests {
         }
         let max = *per_sec.iter().max().unwrap() as f64;
         let min = *per_sec.iter().min().unwrap() as f64;
-        assert!(max > 10.0 * (min + 1.0), "demand spread max={max} min={min}");
+        assert!(
+            max > 10.0 * (min + 1.0),
+            "demand spread max={max} min={min}"
+        );
         drop(m);
     }
 

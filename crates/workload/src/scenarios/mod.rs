@@ -83,8 +83,18 @@ mod tests {
     #[test]
     fn factory_ids_are_sequential() {
         let mut f = JobFactory::new(1, "t");
-        let (_, a) = f.job(SimTime::ZERO, 10, SimDuration::from_millis(1), JobClass::Light);
-        let (_, b) = f.job(SimTime::ZERO, 10, SimDuration::from_millis(1), JobClass::Light);
+        let (_, a) = f.job(
+            SimTime::ZERO,
+            10,
+            SimDuration::from_millis(1),
+            JobClass::Light,
+        );
+        let (_, b) = f.job(
+            SimTime::ZERO,
+            10,
+            SimDuration::from_millis(1),
+            JobClass::Light,
+        );
         assert_eq!(a.id.0 + 1, b.id.0);
     }
 

@@ -76,12 +76,18 @@ impl Scenario for Navigation {
 
         while self.next_render < to {
             let work = self.factory.work(RENDER_WORK, 0.2, 2.0);
-            out.push(self.factory.job(self.next_render, work, RENDER_PERIOD, JobClass::Normal));
+            out.push(
+                self.factory
+                    .job(self.next_render, work, RENDER_PERIOD, JobClass::Normal),
+            );
             self.next_render += RENDER_PERIOD;
         }
         while self.next_fusion < to {
             let work = self.factory.work(FUSION_WORK, 0.15, 1.5);
-            out.push(self.factory.job(self.next_fusion, work, FUSION_PERIOD, JobClass::Light));
+            out.push(
+                self.factory
+                    .job(self.next_fusion, work, FUSION_PERIOD, JobClass::Light),
+            );
             self.next_fusion += FUSION_PERIOD;
         }
         while self.next_guidance < to {
@@ -100,9 +106,16 @@ impl Scenario for Navigation {
             let start = self.next_reroute;
             for i in 0..REROUTE_CHUNKS {
                 let at = start + SimDuration::from_millis(33) * i;
-                let work = self.factory.work(REROUTE_WORK / REROUTE_CHUNKS as f64, 0.25, 2.0);
+                let work = self
+                    .factory
+                    .work(REROUTE_WORK / REROUTE_CHUNKS as f64, 0.25, 2.0);
                 if at < to {
-                    out.push(self.factory.job(at, work, SimDuration::from_secs(1), JobClass::Heavy));
+                    out.push(self.factory.job(
+                        at,
+                        work,
+                        SimDuration::from_secs(1),
+                        JobClass::Heavy,
+                    ));
                 } else {
                     // Chunks past the window are regenerated cheaply next
                     // call by shifting the reroute anchor; dropping the
@@ -124,7 +137,9 @@ impl Scenario for Navigation {
         self.next_fusion = SimTime::ZERO;
         self.next_guidance = SimTime::ZERO + GUIDANCE_PERIOD;
         self.next_reroute = SimTime::ZERO
-            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / REROUTE_MEAN_S).min(90.0));
+            + SimDuration::from_secs_f64(
+                self.factory.rng.exponential(1.0 / REROUTE_MEAN_S).min(90.0),
+            );
     }
 }
 
@@ -136,9 +151,15 @@ mod tests {
     fn fifteen_renders_per_second() {
         let mut n = Navigation::new(1);
         let jobs = n.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let renders = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        let renders = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .count();
         assert_eq!(renders, 15);
-        let fusions = jobs.iter().filter(|(_, j)| j.class == JobClass::Light && j.work < 5_000_000).count();
+        let fusions = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light && j.work < 5_000_000)
+            .count();
         assert!(fusions >= 10, "sensor fusion present: {fusions}");
     }
 
@@ -151,7 +172,11 @@ mod tests {
             .filter(|(_, j)| j.class == JobClass::Heavy)
             .map(|(at, _)| *at)
             .collect();
-        assert!(heavy.len() >= REROUTE_CHUNKS as usize * 5, "5 minutes should reroute several times: {}", heavy.len());
+        assert!(
+            heavy.len() >= REROUTE_CHUNKS as usize * 5,
+            "5 minutes should reroute several times: {}",
+            heavy.len()
+        );
         // Bursts cluster within ~200 ms.
         let mut bursts = 1;
         for w in heavy.windows(2) {
@@ -159,7 +184,7 @@ mod tests {
                 bursts += 1;
             }
         }
-        assert!(bursts >= 5 && bursts <= 40, "bursts {bursts}");
+        assert!((5..=40).contains(&bursts), "bursts {bursts}");
     }
 
     #[test]

@@ -59,17 +59,23 @@ impl Scenario for VideoPlayback {
         fast_forward(&mut self.next_audio, from, AUDIO_PERIOD);
 
         while self.next_frame < to {
-            let is_iframe = self.frame_index % GOP == 0;
+            let is_iframe = self.frame_index.is_multiple_of(GOP);
             let mut work = self.factory.work(FRAME_WORK_MEDIAN, 0.25, 3.0);
             if is_iframe {
                 work = (work as f64 * IFRAME_FACTOR) as u64;
             }
-            out.push(self.factory.job(self.next_frame, work, FRAME_PERIOD, JobClass::Heavy));
+            out.push(
+                self.factory
+                    .job(self.next_frame, work, FRAME_PERIOD, JobClass::Heavy),
+            );
             self.frame_index += 1;
             self.next_frame += FRAME_PERIOD;
         }
         while self.next_audio < to {
-            out.push(self.factory.job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light));
+            out.push(
+                self.factory
+                    .job(self.next_audio, AUDIO_WORK, AUDIO_PERIOD, JobClass::Light),
+            );
             self.next_audio += AUDIO_PERIOD;
         }
         out.sort_by_key(|(at, _)| *at);
@@ -91,9 +97,15 @@ mod tests {
     fn thirty_frames_per_second() {
         let mut v = VideoPlayback::new(1);
         let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let frames = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        let frames = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .count();
         assert_eq!(frames, 31); // frames at k*33.333ms, k=0..=30 fit in [0, 1s)
-        let audio = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        let audio = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .count();
         assert_eq!(audio, 50);
     }
 

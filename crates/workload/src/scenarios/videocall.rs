@@ -39,8 +39,8 @@ impl VideoCall {
     /// Creates the scenario.
     pub fn new(seed: u64) -> Self {
         let mut factory = JobFactory::new(seed, "video-call");
-        let first_jitter =
-            SimTime::ZERO + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / JITTER_MEAN_S));
+        let first_jitter = SimTime::ZERO
+            + SimDuration::from_secs_f64(factory.rng.exponential(1.0 / JITTER_MEAN_S));
         VideoCall {
             factory,
             next_frame: SimTime::ZERO,
@@ -102,7 +102,10 @@ impl Scenario for VideoCall {
         }
         while self.next_audio < to {
             let work = self.factory.work(AUDIO_WORK, 0.1, 1.5);
-            out.push(self.factory.job(self.next_audio, work, AUDIO_PERIOD, JobClass::Light));
+            out.push(
+                self.factory
+                    .job(self.next_audio, work, AUDIO_PERIOD, JobClass::Light),
+            );
             self.next_audio += AUDIO_PERIOD;
         }
         out.sort_by_key(|(at, _)| *at);
@@ -126,7 +129,10 @@ mod tests {
     fn encode_runs_at_24fps() {
         let mut v = VideoCall::new(1);
         let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let encodes = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count();
+        let encodes = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .count();
         assert_eq!(encodes, 24);
     }
 
@@ -147,7 +153,10 @@ mod tests {
         // Total decode count over a minute stays close to the frame count
         // (jitter delays, it does not drop).
         let decodes: u64 = per_instant.values().sum();
-        let encodes = jobs.iter().filter(|(_, j)| j.class == JobClass::Heavy).count() as u64;
+        let encodes = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Heavy)
+            .count() as u64;
         assert!(decodes >= encodes - 2 * JITTER_BATCH && decodes <= encodes);
     }
 
@@ -155,7 +164,10 @@ mod tests {
     fn duplex_audio_is_present() {
         let mut v = VideoCall::new(3);
         let jobs = v.arrivals(SimTime::ZERO, SimTime::from_secs(1));
-        let audio = jobs.iter().filter(|(_, j)| j.class == JobClass::Light).count();
+        let audio = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Light)
+            .count();
         assert_eq!(audio, 50);
     }
 }

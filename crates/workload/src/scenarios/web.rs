@@ -129,7 +129,9 @@ impl Scenario for WebBrowsing {
     fn reset(&mut self) {
         self.backlog.clear();
         self.next_page = SimTime::ZERO
-            + SimDuration::from_secs_f64(self.factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0));
+            + SimDuration::from_secs_f64(
+                self.factory.rng.exponential(1.0 / THINK_MEAN_S).min(30.0),
+            );
     }
 }
 
@@ -157,7 +159,10 @@ mod tests {
             .filter(|(_, j)| j.class == JobClass::Heavy)
             .map(|(at, _)| *at)
             .collect();
-        assert!(heavy.len() >= 10, "a minute of browsing loads several pages");
+        assert!(
+            heavy.len() >= 10,
+            "a minute of browsing loads several pages"
+        );
         // Bursts: consecutive heavy chunks are either < 400 ms apart
         // (same page) or > 500 ms apart (think time).
         let mut same_page = 0;
@@ -204,7 +209,10 @@ mod tests {
     #[test]
     fn scroll_follows_page() {
         let jobs = collect(3, 120);
-        let normals = jobs.iter().filter(|(_, j)| j.class == JobClass::Normal).count();
+        let normals = jobs
+            .iter()
+            .filter(|(_, j)| j.class == JobClass::Normal)
+            .count();
         assert!(normals >= 20, "scroll frames present: {normals}");
     }
 

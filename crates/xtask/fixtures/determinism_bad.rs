@@ -1,0 +1,27 @@
+//! Fixture: every kind of determinism violation the lint must catch.
+//! This file is test data for the lint engine; it is never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn profile(epochs: u64) -> Duration {
+    // Seeded violation: wall-clock timing in simulation code.
+    let start = Instant::now();
+    run(epochs);
+    start.elapsed()
+}
+
+pub fn tally(events: &[Event]) -> HashMap<String, u64> {
+    // Seeded violation: results assembled in hash-iteration order.
+    let mut counts = HashMap::new();
+    for e in events {
+        *counts.entry(e.name().to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn jitter() -> u64 {
+    // Seeded violation: non-seeded RNG construction.
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

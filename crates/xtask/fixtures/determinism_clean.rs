@@ -1,0 +1,31 @@
+//! Fixture: simulation-style code the determinism lint must accept.
+//! Comments may mention Instant or HashMap without firing.
+
+use std::collections::BTreeMap;
+
+pub fn tally(events: &[Event]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.name().to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}
+
+pub fn seeded(seed: u64) -> SimRng {
+    SimRng::seed_from(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

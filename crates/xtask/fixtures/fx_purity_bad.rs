@@ -1,0 +1,23 @@
+//! Fixture: every kind of fx-purity violation the lint must catch.
+//! This file is test data for the lint engine; it is never compiled.
+
+/// Seeded violation: `f64` parameter type.
+pub fn latency_seconds(cycles: f64) -> f64 {
+    // Seeded violation: float literal arithmetic.
+    cycles / 100_000_000.0
+}
+
+pub fn convert(q: Fx) -> f64 {
+    // Seeded violation: fixed→float conversion helper.
+    q.to_f64()
+}
+
+pub fn measure(d: SimDuration) {
+    // Seeded violation: float time conversion.
+    record(d.as_secs_f64());
+}
+
+pub fn scaled() -> f64 {
+    // Seeded violation: exponent-form float literal.
+    1e9
+}

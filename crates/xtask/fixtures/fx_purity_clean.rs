@@ -1,0 +1,28 @@
+//! Fixture: datapath-style code the fx-purity lint must accept.
+//! Mentions of f64 or 1.5 in comments and "strings with 2.5" are fine.
+
+pub fn cycles_to_duration(cycles: u64, hz: u64) -> SimDuration {
+    SimDuration::from_cycles(cycles, hz)
+}
+
+pub fn update(q: Fx, alpha: Fx, target: Fx) -> Fx {
+    q.saturating_add(alpha.saturating_mul(target.saturating_sub(q)))
+}
+
+pub const GAMMA: Fx = Fx::from_ratio(85, 100);
+pub const BANKS: usize = 8;
+pub const MASK: u32 = 0x1e3; // hex literal, not a float exponent
+
+pub fn row_beats(actions: u64, banks: u64) -> u64 {
+    // Integer ranges are not float literals.
+    (0..actions).step_by(banks as usize).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_are_allowed_in_test_code() {
+        let x: f64 = 1.5;
+        assert!(x.to_f64() > 0.25e-1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every kind of no-panic-lib violation the lint must catch.
+//! This file is test data for the lint engine; it is never compiled.
+
+pub fn config(path: &str) -> Config {
+    // Seeded violation: unwrap in library code.
+    let text = std::fs::read_to_string(path).unwrap();
+    // Seeded violation: expect in library code.
+    parse(&text).expect("config must parse")
+}
+
+pub fn pick(levels: &[u64], i: usize) -> u64 {
+    // Seeded violation: indexing expression can panic.
+    levels[i]
+}
+
+pub fn guard(state: State) {
+    if state.is_poisoned() {
+        // Seeded violation: explicit panic in library code.
+        panic!("poisoned state");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: library-style code the no-panic-lib lint must accept.
+
+pub fn config(path: &str) -> Result<Config, ConfigError> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text).ok_or(ConfigError::Unparseable)
+}
+
+pub fn pick(levels: &[u64], i: usize) -> Option<u64> {
+    levels.get(i).copied()
+}
+
+pub fn fallback(levels: &[u64]) -> u64 {
+    levels.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

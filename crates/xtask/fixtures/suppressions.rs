@@ -1,0 +1,12 @@
+//! Fixture: inline suppression semantics for the lint engine.
+//! One justified suppression (silenced) and one bare suppression
+//! (reported as an error in its own right).
+
+// xtask-allow: fx-purity -- verification shim converts once at the boundary
+pub fn verify_boundary(x: f64) -> Fx {
+    to_fixed(x)
+}
+
+pub fn bad_suppression(y: f64) -> Fx { // xtask-allow: fx-purity
+    to_fixed(y)
+}

@@ -1,0 +1,912 @@
+//! Static-analysis engine behind `cargo xtask check`.
+//!
+//! Three custom lint families guard properties the paper's evaluation
+//! depends on and that rustc/clippy cannot express:
+//!
+//! * **fx-purity** — the `rlpm-hw` datapath modules (`engine`, `fxtable`,
+//!   `bus`, `mmio`, `driver`) must be lexically float-free: no `f32`/`f64`
+//!   types, no float literals, no float-conversion helper calls. E6's
+//!   bit-exactness claim (hardware ≡ software agent) is machine-checked
+//!   instead of reviewer-checked.
+//! * **determinism** — simulation crates must not read wall clocks
+//!   (`Instant`, `SystemTime`), iterate hash containers (`HashMap`,
+//!   `HashSet`), or construct non-seeded RNGs (`thread_rng`,
+//!   `from_entropy`, `OsRng`): the E1–E8 experiments rely on bit-exact
+//!   replay from a seed.
+//! * **no-panic-lib** — `unwrap()`/`expect()`/panicking macros/indexing in
+//!   library code are counted against a checked-in baseline that can only
+//!   ratchet down.
+//!
+//! The scanner is deliberately lexical (comments and string literals are
+//! stripped, `#[cfg(test)]` regions are tracked by brace counting) rather
+//! than a full parse: the properties enforced are lexical properties, the
+//! build environment has no registry access for `syn`, and a lexical pass
+//! is trivially fast over the whole workspace.
+//!
+//! Violations can be suppressed inline with
+//! `// xtask-allow: <lint> -- <justification>` on the offending line or
+//! the line above; the justification text is mandatory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The three custom lint families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// No floating point in the hardware datapath modules.
+    FxPurity,
+    /// No wall clocks, hash-iteration order, or non-seeded RNGs in
+    /// simulation crates.
+    Determinism,
+    /// Panicking constructs in library code, ratcheted via baseline.
+    NoPanicLib,
+}
+
+impl Lint {
+    /// The kebab-case name used in diagnostics and `xtask-allow` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::FxPurity => "fx-purity",
+            Lint::Determinism => "determinism",
+            Lint::NoPanicLib => "no-panic-lib",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint family fired.
+    pub lint: Lint,
+    /// Repo-relative path label of the scanned file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[xtask::{}]: {}", self.lint, self.message)?;
+        write!(f, "  --> {}:{}", self.file, self.line)
+    }
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Violations that were not suppressed.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of violations silenced by a justified `xtask-allow`.
+    pub suppressed: usize,
+}
+
+/// A source line split into scan-relevant layers.
+#[derive(Debug)]
+struct Line {
+    /// Code with comments and string/char-literal *contents* blanked out.
+    code: String,
+    /// Concatenated comment text on this line (for `xtask-allow`).
+    comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` region.
+    in_test: bool,
+}
+
+/// Lexer state carried across lines while stripping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StripState {
+    Normal,
+    BlockComment(u32),
+}
+
+/// `#[cfg(test)]` region tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TestRegion {
+    None,
+    /// Saw the attribute; waiting for the opening brace of the item.
+    Pending,
+    /// Inside the braced item; tracks brace depth.
+    Active(i32),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Splits `source` into per-line code/comment layers with test regions
+/// marked. Purely lexical; resilient to strings, raw strings, chars,
+/// lifetimes and nested block comments.
+fn preprocess(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = StripState::Normal;
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                StripState::BlockComment(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth <= 1 {
+                            StripState::Normal
+                        } else {
+                            StripState::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = StripState::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                StripState::Normal => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.extend(&chars[i..]);
+                        break;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = StripState::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' || (c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#'))) {
+                        if let Some(next) = skip_string(&chars, i) {
+                            code.push('"');
+                            code.push('"');
+                            i = next;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        if let Some(next) = skip_char_literal(&chars, i) {
+                            code.push('\'');
+                            code.push('\'');
+                            i = next;
+                            continue;
+                        }
+                        // Lifetime: keep the tick, fall through.
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Consumes a string literal starting at `start` (`"`, `r"`, `r#"`…),
+/// returning the index just past its closing quote, or `None` if this is
+/// not actually a string start. Multi-line strings are rare in this
+/// workspace; the scan is line-local, so an unterminated string simply
+/// blanks the rest of the line.
+fn skip_string(chars: &[char], start: usize) -> Option<usize> {
+    let mut i = start;
+    let raw = chars[i] == 'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while raw && chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    while i < chars.len() {
+        if !raw && chars[i] == '\\' {
+            i += 2;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(chars.len())
+}
+
+/// Consumes a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) starting at the
+/// tick, returning the index past the closing tick, or `None` for a
+/// lifetime.
+fn skip_char_literal(chars: &[char], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    if chars.get(i) == Some(&'\\') {
+        i += 2;
+        // \u{...}
+        while i < chars.len() && chars[i] != '\'' {
+            i += 1;
+        }
+        return if chars.get(i) == Some(&'\'') {
+            Some(i + 1)
+        } else {
+            None
+        };
+    }
+    // 'a' is a char only if the very next char closes it; otherwise it is
+    // a lifetime ('a>, 'static, …).
+    if chars.get(i).is_some() && chars.get(i + 1) == Some(&'\'') {
+        Some(i + 2)
+    } else {
+        None
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] { … }` regions via brace counting.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut region = TestRegion::None;
+    for line in lines.iter_mut() {
+        if region == TestRegion::None && line.code.contains("cfg(test") {
+            region = TestRegion::Pending;
+        }
+        match region {
+            TestRegion::None => {}
+            TestRegion::Pending => {
+                line.in_test = true;
+                let mut depth = 0i32;
+                let mut opened = false;
+                for c in line.code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        // An item ending before any brace (`#[cfg(test)]
+                        // use foo;`) cancels the pending region.
+                        ';' if !opened => {
+                            region = TestRegion::None;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if region == TestRegion::Pending && opened {
+                    region = if depth > 0 {
+                        TestRegion::Active(depth)
+                    } else {
+                        TestRegion::None
+                    };
+                }
+            }
+            TestRegion::Active(mut depth) => {
+                line.in_test = true;
+                for c in line.code.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                region = if depth > 0 {
+                    TestRegion::Active(depth)
+                } else {
+                    TestRegion::None
+                };
+            }
+        }
+    }
+}
+
+/// Finds a standalone identifier occurrence of `word` in `code`.
+fn find_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+/// Finds a standalone `word` immediately followed by `next` (ignoring
+/// whitespace), e.g. `unwrap` + `(` or `panic` + `!`.
+fn find_word_then(code: &str, word: &str, next: char) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        if before_ok {
+            let trailing = code[end..].trim_start();
+            if trailing.starts_with(next) {
+                return true;
+            }
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+/// Detects a float literal in stripped code: `1.5`, `2.5e-3`, `1e9`,
+/// `3f64`, `0.5f32`. Hex/octal/binary literals, integer ranges (`0..10`)
+/// and tuple field access (`x.0`) are not floats.
+fn has_float_literal(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let prev = if i == 0 { None } else { Some(chars[i - 1]) };
+        if !c.is_ascii_digit() || prev.is_some_and(|p| is_ident(p) || p == '.') {
+            i += 1;
+            continue;
+        }
+        // Radix-prefixed integers cannot be floats; skip the whole token.
+        if c == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+            i += 2;
+            while i < chars.len() && (is_ident(chars[i])) {
+                i += 1;
+            }
+            continue;
+        }
+        let mut j = i;
+        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            j += 1;
+        }
+        let mut is_float = false;
+        // Fractional part: `.` followed by a digit (not `..`, not `.ident`).
+        if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+            is_float = true;
+            j += 1;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+        // Exponent: `e`/`E` [+/-] digit.
+        if matches!(chars.get(j), Some('e' | 'E')) {
+            let mut k = j + 1;
+            if matches!(chars.get(k), Some('+' | '-')) {
+                k += 1;
+            }
+            if chars.get(k).is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                j = k;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+        // Suffix: `1f64`, `0.5f32`.
+        let rest: String = chars[j..].iter().take(3).collect();
+        if rest == "f64" || rest == "f32" {
+            is_float = true;
+        }
+        if is_float {
+            return true;
+        }
+        i = j.max(i + 1);
+    }
+    false
+}
+
+/// Detects a potentially panicking index expression: `[` whose preceding
+/// non-space char is an identifier char, `)` or `]` (so array/slice types,
+/// attributes `#[...]` and macros `vec![...]` do not match).
+fn has_index_expr(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            let p = chars[k];
+            if p == ' ' || p == '\t' {
+                continue;
+            }
+            if is_ident(p) || p == ')' || p == ']' {
+                return true;
+            }
+            break;
+        }
+    }
+    false
+}
+
+/// Identifier patterns each lint family searches for, with messages.
+struct WordRule {
+    word: &'static str,
+    /// `Some(c)`: the word must be followed by `c` to fire.
+    then: Option<char>,
+    message: &'static str,
+}
+
+const FX_WORDS: &[WordRule] = &[
+    WordRule {
+        word: "f64",
+        then: None,
+        message: "`f64` type in hardware datapath module",
+    },
+    WordRule {
+        word: "f32",
+        then: None,
+        message: "`f32` type in hardware datapath module",
+    },
+    WordRule {
+        word: "from_f64",
+        then: None,
+        message: "float→fixed conversion in hardware datapath (move to the software side)",
+    },
+    WordRule {
+        word: "to_f64",
+        then: None,
+        message: "fixed→float conversion in hardware datapath (move to the software side)",
+    },
+    WordRule {
+        word: "from_f32",
+        then: None,
+        message: "float→fixed conversion in hardware datapath (move to the software side)",
+    },
+    WordRule {
+        word: "to_f32",
+        then: None,
+        message: "fixed→float conversion in hardware datapath (move to the software side)",
+    },
+    WordRule {
+        word: "as_secs_f64",
+        then: None,
+        message: "float time conversion in hardware datapath (use integer cycle arithmetic)",
+    },
+    WordRule {
+        word: "from_secs_f64",
+        then: None,
+        message: "float time construction in hardware datapath (use SimDuration::from_cycles)",
+    },
+    WordRule {
+        word: "mul_f64",
+        then: None,
+        message: "float duration scaling in hardware datapath",
+    },
+    WordRule {
+        word: "powf",
+        then: None,
+        message: "float power function in hardware datapath",
+    },
+    WordRule {
+        word: "powi",
+        then: None,
+        message: "float power function in hardware datapath",
+    },
+];
+
+const DETERMINISM_WORDS: &[WordRule] = &[
+    WordRule {
+        word: "Instant",
+        then: None,
+        message: "wall-clock `Instant` in simulation code breaks deterministic replay",
+    },
+    WordRule {
+        word: "SystemTime",
+        then: None,
+        message: "wall-clock `SystemTime` in simulation code breaks deterministic replay",
+    },
+    WordRule {
+        word: "HashMap",
+        then: None,
+        message: "`HashMap` iteration order is nondeterministic; use BTreeMap or a Vec",
+    },
+    WordRule {
+        word: "HashSet",
+        then: None,
+        message: "`HashSet` iteration order is nondeterministic; use BTreeSet or a Vec",
+    },
+    WordRule {
+        word: "thread_rng",
+        then: None,
+        message: "non-seeded RNG construction; use simkit::SimRng::seed_from",
+    },
+    WordRule {
+        word: "from_entropy",
+        then: None,
+        message: "non-seeded RNG construction; use simkit::SimRng::seed_from",
+    },
+    WordRule {
+        word: "OsRng",
+        then: None,
+        message: "OS entropy source in simulation code breaks deterministic replay",
+    },
+    WordRule {
+        word: "RandomState",
+        then: None,
+        message: "randomised hasher state is nondeterministic across runs",
+    },
+];
+
+const NO_PANIC_WORDS: &[WordRule] = &[
+    WordRule {
+        word: "unwrap",
+        then: Some('('),
+        message: "`unwrap()` in library code",
+    },
+    WordRule {
+        word: "expect",
+        then: Some('('),
+        message: "`expect()` in library code",
+    },
+    WordRule {
+        word: "panic",
+        then: Some('!'),
+        message: "`panic!` in library code",
+    },
+    WordRule {
+        word: "unreachable",
+        then: Some('!'),
+        message: "`unreachable!` in library code",
+    },
+];
+
+/// How a potential violation interacts with `xtask-allow` comments.
+enum Allow {
+    No,
+    Justified,
+    Unjustified,
+}
+
+/// Looks for `xtask-allow: <lint>` in the line's own comment or the
+/// previous line's comment. The justification after ` -- ` is mandatory.
+fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
+    let needle = format!("xtask-allow: {}", lint.name());
+    for candidate in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+        let comment = &lines[candidate].comment;
+        if let Some(pos) = comment.find(&needle) {
+            let rest = &comment[pos + needle.len()..];
+            let justified = rest
+                .split_once("--")
+                .map(|(_, j)| !j.trim().is_empty())
+                .unwrap_or(false);
+            return if justified {
+                Allow::Justified
+            } else {
+                Allow::Unjustified
+            };
+        }
+    }
+    Allow::No
+}
+
+/// Scans one file's source for the given lint families.
+///
+/// `file` is the label used in diagnostics (repo-relative path). Test
+/// regions (`#[cfg(test)]`) are exempt from every family.
+pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
+    let lines = preprocess(source);
+    let mut out = ScanOutcome::default();
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &lint in lints {
+            let mut hits: Vec<&'static str> = Vec::new();
+            let rules = match lint {
+                Lint::FxPurity => FX_WORDS,
+                Lint::Determinism => DETERMINISM_WORDS,
+                Lint::NoPanicLib => NO_PANIC_WORDS,
+            };
+            for rule in rules {
+                let matched = match rule.then {
+                    Some(c) => find_word_then(&line.code, rule.word, c),
+                    None => find_word(&line.code, rule.word),
+                };
+                if matched {
+                    hits.push(rule.message);
+                }
+            }
+            if lint == Lint::FxPurity && has_float_literal(&line.code) {
+                hits.push("float literal in hardware datapath module");
+            }
+            if lint == Lint::NoPanicLib && has_index_expr(&line.code) {
+                hits.push("indexing expression in library code can panic; prefer get()");
+            }
+
+            for message in hits {
+                match allow_state(&lines, idx, lint) {
+                    Allow::Justified => out.suppressed += 1,
+                    Allow::Unjustified => out.diagnostics.push(Diagnostic {
+                        lint,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "suppression without justification (write `xtask-allow: {} -- <reason>`); original: {}",
+                            lint.name(),
+                            message
+                        ),
+                    }),
+                    Allow::No => out.diagnostics.push(Diagnostic {
+                        lint,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: message.to_string(),
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a ratchet baseline file: `<count> <path>` per line, `#` comments.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, path)) = line.split_once(char::is_whitespace) {
+            if let Ok(n) = count.trim().parse::<usize>() {
+                map.insert(path.trim().to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// Renders a baseline map back to the checked-in file format.
+pub fn format_baseline(map: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# no-panic-lib ratchet baseline: per-file counts of panicking\n\
+         # constructs in library code. `cargo xtask check` fails when a file\n\
+         # exceeds its entry and suggests `--update-baseline` when it drops\n\
+         # below. Regenerate with: cargo xtask check --update-baseline\n",
+    );
+    for (path, count) in map {
+        if *count > 0 {
+            out.push_str(&format!("{count:5} {path}\n"));
+        }
+    }
+    out
+}
+
+/// A `(file, current count, baseline count)` ratchet delta.
+pub type RatchetDelta = (String, usize, usize);
+
+/// Compares per-file no-panic counts against the baseline.
+///
+/// Returns `(regressions, improvements)`: files above their baseline
+/// entry (errors) and files below it (stale baseline, informational).
+pub fn ratchet(
+    counts: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> (Vec<RatchetDelta>, Vec<RatchetDelta>) {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut files: Vec<&String> = counts.keys().chain(baseline.keys()).collect();
+    files.sort();
+    files.dedup();
+    for file in files {
+        let now = counts.get(file).copied().unwrap_or(0);
+        let base = baseline.get(file).copied().unwrap_or(0);
+        if now > base {
+            regressions.push((file.clone(), now, base));
+        } else if now < base {
+            improvements.push((file.clone(), now, base));
+        }
+    }
+    (regressions, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> &'static str {
+        match name {
+            "fx_purity_bad" => include_str!("../fixtures/fx_purity_bad.rs"),
+            "fx_purity_clean" => include_str!("../fixtures/fx_purity_clean.rs"),
+            "determinism_bad" => include_str!("../fixtures/determinism_bad.rs"),
+            "determinism_clean" => include_str!("../fixtures/determinism_clean.rs"),
+            "no_panic_bad" => include_str!("../fixtures/no_panic_bad.rs"),
+            "no_panic_clean" => include_str!("../fixtures/no_panic_clean.rs"),
+            "suppressions" => include_str!("../fixtures/suppressions.rs"),
+            other => panic!("unknown fixture {other}"),
+        }
+    }
+
+    fn scan(name: &str, lint: Lint) -> ScanOutcome {
+        scan_source(name, fixture(name), &[lint])
+    }
+
+    #[test]
+    fn fx_purity_catches_seeded_violations() {
+        let out = scan("fx_purity_bad", Lint::FxPurity);
+        let lines: Vec<usize> = out.diagnostics.iter().map(|d| d.line).collect();
+        // The fixture seeds: an f64 parameter, a float literal, a
+        // conversion call and an as_secs_f64 call (see fixture comments).
+        assert!(out.diagnostics.len() >= 4, "got {:?}", out.diagnostics);
+        assert!(lines.windows(2).all(|w| w[0] <= w[1]), "line-ordered");
+        assert!(out
+            .diagnostics
+            .iter()
+            .all(|d| d.lint == Lint::FxPurity && d.file == "fx_purity_bad"));
+    }
+
+    #[test]
+    fn fx_purity_passes_clean_datapath_code() {
+        let out = scan("fx_purity_clean", Lint::FxPurity);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn fx_purity_ignores_test_modules_comments_and_strings() {
+        let src = r#"
+/// Doc comment mentioning f64 and 1.5 is fine.
+pub fn good(x: i32) -> i32 { x }
+// plain comment: f32, 2.5e-3, to_f64()
+pub const LABEL: &str = "contains f64 and 0.5";
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_is_fine_here() {
+        let x: f64 = 1.5;
+        assert!(x.to_f64() > 0.0);
+    }
+}
+"#;
+        let out = scan_source("inline", src, &[Lint::FxPurity]);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn float_literal_detection_is_precise() {
+        assert!(has_float_literal("let x = 1.5;"));
+        assert!(has_float_literal("let x = 2.5e-3;"));
+        assert!(has_float_literal("let x = 1e9;"));
+        assert!(has_float_literal("let x = 3f64;"));
+        assert!(has_float_literal("let x = 0.5f32;"));
+        assert!(!has_float_literal("let x = 15;"));
+        assert!(!has_float_literal("for i in 0..10 {"));
+        assert!(!has_float_literal("let y = pair.0;"));
+        assert!(!has_float_literal("let h = 0x1e3;"));
+        assert!(!has_float_literal("let b = 0b101;"));
+        assert!(!has_float_literal("let big = 1_000_000;"));
+    }
+
+    #[test]
+    fn determinism_catches_seeded_violations() {
+        let out = scan("determinism_bad", Lint::Determinism);
+        let msgs: Vec<&str> = out.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("Instant")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("HashMap")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("non-seeded RNG")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_passes_clean_simulation_code() {
+        let out = scan("determinism_clean", Lint::Determinism);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn no_panic_catches_seeded_violations() {
+        let out = scan("no_panic_bad", Lint::NoPanicLib);
+        let msgs: Vec<&str> = out.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("unwrap")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("expect")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("panic!")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("indexing")), "{msgs:?}");
+    }
+
+    #[test]
+    fn no_panic_passes_clean_library_code() {
+        let out = scan("no_panic_clean", Lint::NoPanicLib);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn indexing_heuristic_spares_types_attrs_and_macros() {
+        assert!(has_index_expr("let x = values[i];"));
+        assert!(has_index_expr("row(s)[0]"));
+        assert!(has_index_expr("grid[a][b]"));
+        assert!(!has_index_expr("let x: [u8; 4] = y;"));
+        assert!(!has_index_expr("#[derive(Debug)]"));
+        assert!(!has_index_expr("let v = vec![1, 2];"));
+        assert!(!has_index_expr("fn f(xs: &[u64]) {}"));
+    }
+
+    #[test]
+    fn justified_suppression_silences_and_counts() {
+        let out = scan_source("suppressions", fixture("suppressions"), &[Lint::FxPurity]);
+        // The fixture has one justified suppression (silenced) and one
+        // bare `xtask-allow` without justification (kept as an error).
+        assert_eq!(out.suppressed, 1, "got {:?}", out.diagnostics);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        assert!(out.diagnostics[0].message.contains("without justification"));
+    }
+
+    #[test]
+    fn suppression_on_previous_line_applies() {
+        let src = "// xtask-allow: determinism -- host profiling only\nuse std::time::Instant;\n";
+        let out = scan_source("inline", src, &[Lint::Determinism]);
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_for_wrong_lint_does_not_apply() {
+        let src = "use std::time::Instant; // xtask-allow: fx-purity -- wrong family\n";
+        let out = scan_source("inline", src, &[Lint::Determinism]);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn baseline_round_trip_and_ratchet() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 3usize);
+        counts.insert("b.rs".to_string(), 1usize);
+        let text = format_baseline(&counts);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed, counts);
+
+        let mut now = counts.clone();
+        now.insert("a.rs".to_string(), 5); // regression
+        now.insert("b.rs".to_string(), 0); // improvement
+        now.insert("c.rs".to_string(), 2); // new file, no baseline
+        let (reg, imp) = ratchet(&now, &parsed);
+        assert_eq!(reg, vec![("a.rs".into(), 5, 3), ("c.rs".into(), 2, 0)]);
+        assert_eq!(imp, vec![("b.rs".into(), 0, 1)]);
+    }
+
+    #[test]
+    fn diagnostics_render_rustc_style() {
+        let d = Diagnostic {
+            lint: Lint::FxPurity,
+            file: "crates/rlpm-hw/src/engine.rs".into(),
+            line: 42,
+            message: "`f64` type in hardware datapath module".into(),
+        };
+        let rendered = d.to_string();
+        assert!(rendered.starts_with("error[xtask::fx-purity]:"));
+        assert!(rendered.contains("--> crates/rlpm-hw/src/engine.rs:42"));
+    }
+
+    #[test]
+    fn test_region_tracking_handles_attribute_on_use_item() {
+        let src = "#[cfg(test)]\nuse helper::Thing;\nlet x: f64 = 1.0;\n";
+        let out = scan_source("inline", src, &[Lint::FxPurity]);
+        // The cfg(test) on the `use` must not swallow the real violation.
+        assert!(!out.diagnostics.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! `cargo xtask check` — workspace static-analysis driver.
+//!
+//! Wires the three lint families from the `xtask` library to the actual
+//! workspace layout:
+//!
+//! * `fx-purity` over the `rlpm-hw` datapath modules,
+//! * `determinism` over the simulation crates,
+//! * `no-panic-lib` over every library crate, ratcheted against
+//!   `crates/xtask/no_panic_baseline.txt`.
+//!
+//! Exit status is non-zero on any unsuppressed violation or baseline
+//! regression, so CI can gate on it. `--update-baseline` rewrites the
+//! ratchet file from the current counts (only meaningful after a clean-up
+//! that lowered them).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::{format_baseline, parse_baseline, ratchet, scan_source, Diagnostic, Lint};
+
+/// Modules of `rlpm-hw` that model the silicon datapath and must stay
+/// float-free (the paper's E6 bit-exactness claim).
+const FX_PURITY_FILES: &[&str] = &[
+    "crates/rlpm-hw/src/engine.rs",
+    "crates/rlpm-hw/src/fxtable.rs",
+    "crates/rlpm-hw/src/bus.rs",
+    "crates/rlpm-hw/src/mmio.rs",
+    "crates/rlpm-hw/src/driver.rs",
+];
+
+/// Crates whose code feeds experiment results and must replay bit-exactly
+/// from a seed.
+const DETERMINISM_CRATES: &[&str] = &[
+    "crates/simkit",
+    "crates/soc",
+    "crates/workload",
+    "crates/rlpm",
+    "crates/experiments",
+];
+
+/// Library crates covered by the no-panic ratchet (binaries, benches and
+/// the vendored shims are exempt).
+const NO_PANIC_CRATES: &[&str] = &[
+    "crates/simkit",
+    "crates/soc",
+    "crates/workload",
+    "crates/governors",
+    "crates/rlpm",
+    "crates/rlpm-hw",
+    "crates/experiments",
+];
+
+/// File-scoped allowlist: (path, lint, identifier, reason). Entries here
+/// are policy decisions reviewed in this file rather than inline.
+const ALLOWLIST: &[(&str, Lint, &str, &str)] = &[(
+    "crates/experiments/src/e4_decision_latency.rs",
+    Lint::Determinism,
+    "Instant",
+    "E4 may time the *software* agent on the host wall clock; the reported \
+     distribution is explicitly a measurement, not simulated state",
+)];
+
+const BASELINE_PATH: &str = "crates/xtask/no_panic_baseline.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update_baseline = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "check" => command = Some("check"),
+            "--help" | "-h" | "help" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if command.is_none() && !update_baseline {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "error: could not locate the workspace root (no Cargo.toml with [workspace])"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match run_check(&root, update_baseline) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask check [--update-baseline]\n\
+         \n\
+         Runs the workspace static-analysis pass:\n\
+         \u{20}  fx-purity     float-free rlpm-hw datapath modules\n\
+         \u{20}  determinism   no wall clocks / hash order / unseeded RNGs\n\
+         \u{20}  no-panic-lib  panicking constructs ratcheted via baseline\n\
+         \n\
+         Suppress a finding inline with:\n\
+         \u{20}  // xtask-allow: <lint> -- <justification>"
+    );
+}
+
+/// Locates the workspace root: the manifest dir's grandparent when run via
+/// cargo, else a `Cargo.toml` + `[workspace]` walk-up from the current dir.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let path = Path::new(&manifest);
+        if let Some(root) = path.parent().and_then(Path::parent) {
+            if is_workspace_root(root) {
+                return Some(root.to_path_buf());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|text| text.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&current) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn allowlisted(file: &str, lint: Lint, message: &str) -> bool {
+    ALLOWLIST.iter().any(|(path, allowed_lint, word, _)| {
+        *allowed_lint == lint && file == *path && message.contains(word)
+    })
+}
+
+fn run_check(root: &Path, update_baseline: bool) -> Result<bool, String> {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut scanned = 0usize;
+
+    // fx-purity: exact file list.
+    for rel in FX_PURITY_FILES {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scanned += 1;
+        let out = scan_source(rel, &source, &[Lint::FxPurity]);
+        suppressed += out.suppressed;
+        diagnostics.extend(out.diagnostics);
+    }
+
+    // determinism: every source file of the simulation crates.
+    for krate in DETERMINISM_CRATES {
+        for path in rust_files(&root.join(krate).join("src")) {
+            let label = rel_label(root, &path);
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            scanned += 1;
+            let out = scan_source(&label, &source, &[Lint::Determinism]);
+            suppressed += out.suppressed;
+            diagnostics.extend(
+                out.diagnostics
+                    .into_iter()
+                    .filter(|d| !allowlisted(&d.file, d.lint, &d.message)),
+            );
+        }
+    }
+
+    // no-panic-lib: counted per file, ratcheted against the baseline.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut no_panic_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for krate in NO_PANIC_CRATES {
+        for path in rust_files(&root.join(krate).join("src")) {
+            let label = rel_label(root, &path);
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            scanned += 1;
+            let out = scan_source(&label, &source, &[Lint::NoPanicLib]);
+            suppressed += out.suppressed;
+            // Unjustified-suppression diagnostics are hard errors even for
+            // the ratcheted family.
+            let (bare_allows, occurrences): (Vec<_>, Vec<_>) = out
+                .diagnostics
+                .into_iter()
+                .partition(|d| d.message.contains("without justification"));
+            diagnostics.extend(bare_allows);
+            counts.insert(label.clone(), occurrences.len());
+            no_panic_diags.insert(label, occurrences);
+        }
+    }
+
+    let baseline_file = root.join(BASELINE_PATH);
+    if update_baseline {
+        std::fs::write(&baseline_file, format_baseline(&counts))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_file.display()))?;
+        println!(
+            "wrote {} ({} files tracked)",
+            BASELINE_PATH,
+            counts.values().filter(|&&c| c > 0).count()
+        );
+    }
+    let baseline = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => {
+            return Err(format!(
+            "missing {BASELINE_PATH}; run `cargo xtask check --update-baseline` once to create it"
+        ))
+        }
+    };
+    let (regressions, improvements) = ratchet(&counts, &baseline);
+
+    // Report.
+    for d in &diagnostics {
+        eprintln!("{d}");
+    }
+    for (file, now, base) in &regressions {
+        eprintln!(
+            "error[xtask::no-panic-lib]: {file} has {now} panicking constructs (baseline {base}); \
+             fix them or justify with `xtask-allow: no-panic-lib -- <reason>`"
+        );
+        if let Some(diags) = no_panic_diags.get(file) {
+            for d in diags {
+                eprintln!("  --> {}:{} {}", d.file, d.line, d.message);
+            }
+        }
+    }
+    for (file, now, base) in &improvements {
+        eprintln!(
+            "note[xtask::no-panic-lib]: {file} improved to {now} (baseline {base}); \
+             run `cargo xtask check --update-baseline` to ratchet down"
+        );
+    }
+
+    let total_no_panic: usize = counts.values().sum();
+    let fx = diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::FxPurity)
+        .count();
+    let det = diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::Determinism)
+        .count();
+    let bare = diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::NoPanicLib)
+        .count();
+    println!(
+        "xtask check: {scanned} files scanned — fx-purity {fx} violations, determinism {det} \
+         violations, no-panic-lib {total_no_panic} occurrences (baseline {}), {} regression(s), \
+         {suppressed} suppressed",
+        baseline.values().sum::<usize>(),
+        regressions.len(),
+    );
+    if bare > 0 {
+        println!("  plus {bare} unjustified suppression(s) in ratcheted files");
+    }
+
+    Ok(diagnostics.is_empty() && regressions.is_empty())
+}

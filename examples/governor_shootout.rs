@@ -23,20 +23,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc_config = SocConfig::odroid_xu3_like()?;
     let mut table = Table::new(
         &format!("{scenario_kind} for {secs}s: all policies"),
-        ["policy", "energy (J)", "avg power (W)", "energy/QoS", "QoS %", "violations"],
+        [
+            "policy",
+            "energy (J)",
+            "avg power (W)",
+            "energy/QoS",
+            "QoS %",
+            "violations",
+        ],
     );
 
     for policy_kind in PolicyKind::evaluation_set() {
         eprint!("{policy_kind} ... ");
-        let mut governor = policy_kind.build_trained(
-            &soc_config,
-            scenario_kind,
-            TrainingProtocol::default(),
-            42,
-        );
+        let mut governor =
+            policy_kind.build_trained(&soc_config, scenario_kind, TrainingProtocol::default(), 42);
         let mut soc = Soc::new(soc_config.clone())?;
         let mut scenario = scenario_kind.build(777);
-        let metrics = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs));
+        let metrics = run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig::seconds(secs),
+        );
         eprintln!("done");
         table.push([
             policy_kind.name().to_owned(),

@@ -46,12 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let soc_config = SocConfig::odroid_xu3_like()?;
     eprintln!("building {policy_kind} (training RL variants on {scenario_kind}) ...");
-    let mut governor = policy_kind.build_trained(
-        &soc_config,
-        scenario_kind,
-        TrainingProtocol::default(),
-        42,
-    );
+    let mut governor =
+        policy_kind.build_trained(&soc_config, scenario_kind, TrainingProtocol::default(), 42);
 
     let mut soc = Soc::new(soc_config.clone())?;
     let mut scenario = scenario_kind.build(4242);

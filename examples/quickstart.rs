@@ -6,7 +6,6 @@
 //! ```
 
 use experiments::{run, RunConfig};
-use governors::Governor;
 use rlpm::{RlConfig, RlGovernor};
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
@@ -30,17 +29,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Close the loop for 30 simulated seconds (the policy learns
     //    online as it goes).
-    let metrics = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(30));
+    let metrics = run(
+        &mut soc,
+        scenario.as_mut(),
+        &mut policy,
+        RunConfig::seconds(30),
+    );
 
     println!("\n=== 30 s of video under the learning policy ===");
-    println!("energy            : {:.2} J ({:.3} W average)", metrics.energy_j, metrics.avg_power_w);
+    println!(
+        "energy            : {:.2} J ({:.3} W average)",
+        metrics.energy_j, metrics.avg_power_w
+    );
     println!("energy per QoS    : {:.5} J/unit", metrics.energy_per_qos);
     println!(
         "QoS               : {:.1}% delivered, {} violations",
         metrics.qos.qos_ratio() * 100.0,
         metrics.qos.violations
     );
-    println!("jobs              : {} submitted, {} on time", metrics.jobs_submitted, metrics.qos.on_time);
+    println!(
+        "jobs              : {} submitted, {} on time",
+        metrics.jobs_submitted, metrics.qos.on_time
+    );
     println!("DVFS transitions  : {}", metrics.transitions);
     println!("TD updates        : {}", policy.agent().updates());
     println!("exploration ε     : {:.3}", policy.agent().epsilon());
@@ -49,7 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut soc = Soc::new(soc_config.clone())?;
     let mut perf = governors::GovernorKind::Performance.build(&soc_config);
     let mut scenario = ScenarioKind::Video.build(7);
-    let reference = run(&mut soc, scenario.as_mut(), perf.as_mut(), RunConfig::seconds(30));
+    let reference = run(
+        &mut soc,
+        scenario.as_mut(),
+        perf.as_mut(),
+        RunConfig::seconds(30),
+    );
     println!(
         "\nperformance governor on the same 30 s: {:.2} J -> the learning policy used {:.0}% of its energy",
         reference.energy_j,

@@ -7,12 +7,22 @@ use governors::GovernorKind;
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
 
-fn run_cell(scenario: ScenarioKind, governor: GovernorKind, secs: u64, seed: u64) -> experiments::RunMetrics {
+fn run_cell(
+    scenario: ScenarioKind,
+    governor: GovernorKind,
+    secs: u64,
+    seed: u64,
+) -> experiments::RunMetrics {
     let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
     let mut soc = Soc::new(soc_config.clone()).expect("valid config");
     let mut scenario = scenario.build(seed);
     let mut governor = governor.build(&soc_config);
-    run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(secs))
+    run(
+        &mut soc,
+        scenario.as_mut(),
+        governor.as_mut(),
+        RunConfig::seconds(secs),
+    )
 }
 
 #[test]
@@ -22,8 +32,11 @@ fn every_scenario_runs_under_every_baseline() {
             let m = run_cell(scenario, governor, 5, 1);
             assert!(m.energy_j > 0.0, "{scenario}/{governor}: zero energy");
             assert!(m.energy_j.is_finite());
-            assert!(m.avg_power_w > 0.05 && m.avg_power_w < 15.0,
-                "{scenario}/{governor}: implausible power {}", m.avg_power_w);
+            assert!(
+                m.avg_power_w > 0.05 && m.avg_power_w < 15.0,
+                "{scenario}/{governor}: implausible power {}",
+                m.avg_power_w
+            );
             assert!((0.0..=1.0).contains(&m.qos.qos_ratio()));
             assert_eq!(m.epochs, 250);
         }
@@ -98,7 +111,12 @@ fn symmetric_soc_also_closes_the_loop() {
         let mut soc = Soc::new(soc_config.clone()).expect("valid config");
         let mut scenario = ScenarioKind::Video.build(4);
         let mut governor = governor.build(&soc_config);
-        let m = run(&mut soc, scenario.as_mut(), governor.as_mut(), RunConfig::seconds(5));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            governor.as_mut(),
+            RunConfig::seconds(5),
+        );
         assert!(m.energy_j > 0.0);
         assert_eq!(m.mean_level_frac.len(), 1);
     }

@@ -28,7 +28,10 @@ fn e1_quick_matrix_has_the_paper_shape() {
             .energy_per_qos;
         for policy in PolicyKind::evaluation_set() {
             let v = result.cell(scenario, policy).energy_per_qos;
-            assert!(v <= perf * 1.001, "{scenario}/{policy}: {v} above performance {perf}");
+            assert!(
+                v <= perf * 1.001,
+                "{scenario}/{policy}: {v} above performance {perf}"
+            );
         }
     }
     // The summary machinery renders.

@@ -15,7 +15,10 @@ fn rl_config() -> RlConfig {
 }
 
 fn bus() -> AxiLiteBus<PolicyMmio> {
-    AxiLiteBus::new(PolicyMmio::new(PolicyEngine::new(HwConfig::default(), &rl_config())))
+    AxiLiteBus::new(PolicyMmio::new(PolicyEngine::new(
+        HwConfig::default(),
+        &rl_config(),
+    )))
 }
 
 #[test]
@@ -45,7 +48,10 @@ fn full_table_upload_and_readback_over_the_bus() {
         let expected = Fx::from_f64(((i * 7919) % 1000) as f64 / 250.0 - 2.0);
         assert_eq!(bits as i32, expected.to_bits(), "mismatch at entry {i}");
     }
-    assert_eq!(bus.stats().writes as usize, entries + 1 + entries.div_ceil(997));
+    assert_eq!(
+        bus.stats().writes as usize,
+        entries + 1 + entries.div_ceil(997)
+    );
 }
 
 #[test]
@@ -99,8 +105,16 @@ fn engine_is_bit_exact_with_the_fixed_point_reference() {
 fn q16_16_parity_with_the_float_agent_is_high() {
     let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().expect("preset valid"));
     let report = parity_check(&rl, HwConfig::default(), 30_000, 5);
-    assert!(report.greedy_agreement > 0.99, "agreement {}", report.greedy_agreement);
-    assert!(report.max_q_error < 0.01, "max error {}", report.max_q_error);
+    assert!(
+        report.greedy_agreement > 0.99,
+        "agreement {}",
+        report.greedy_agreement
+    );
+    assert!(
+        report.max_q_error < 0.01,
+        "max error {}",
+        report.max_q_error
+    );
 }
 
 #[test]
@@ -113,7 +127,10 @@ fn loading_a_float_table_preserves_greedy_actions() {
     }
     let mut engine = PolicyEngine::new(HwConfig::default(), &rl);
     for (i, &v) in float_table.values().iter().enumerate() {
-        engine.agent_mut().table_mut().set_linear(i, Fx::from_f64(v));
+        engine
+            .agent_mut()
+            .table_mut()
+            .set_linear(i, Fx::from_f64(v));
     }
     for s in (0..rl.num_states()).step_by(13) {
         let (action, _) = engine.run_decision(s);
@@ -124,8 +141,22 @@ fn loading_a_float_table_preserves_greedy_actions() {
 #[test]
 fn cycle_counts_scale_with_bank_parallelism() {
     let rl = rl_config();
-    let mk = |banks| PolicyEngine::new(HwConfig { bram_banks: banks, ..Default::default() }, &rl);
-    let cycles: Vec<u64> = [1, 2, 4, 8, 32].iter().map(|&b| mk(b).decision_cycles()).collect();
-    assert!(cycles.windows(2).all(|w| w[1] <= w[0]), "more banks never slower: {cycles:?}");
+    let mk = |banks| {
+        PolicyEngine::new(
+            HwConfig {
+                bram_banks: banks,
+                ..Default::default()
+            },
+            &rl,
+        )
+    };
+    let cycles: Vec<u64> = [1, 2, 4, 8, 32]
+        .iter()
+        .map(|&b| mk(b).decision_cycles())
+        .collect();
+    assert!(
+        cycles.windows(2).all(|w| w[1] <= w[0]),
+        "more banks never slower: {cycles:?}"
+    );
     assert!(cycles[0] > cycles[4], "1 bank must be measurably slower");
 }

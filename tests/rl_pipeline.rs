@@ -9,11 +9,21 @@ use rlpm_hw::{HwConfig, HwPolicyDriver};
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
 
-fn eval(governor: &mut dyn Governor, scenario: ScenarioKind, secs: u64, seed: u64) -> experiments::RunMetrics {
+fn eval(
+    governor: &mut dyn Governor,
+    scenario: ScenarioKind,
+    secs: u64,
+    seed: u64,
+) -> experiments::RunMetrics {
     let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
     let mut soc = Soc::new(soc_config).expect("valid config");
     let mut scenario = scenario.build(seed);
-    run(&mut soc, scenario.as_mut(), governor, RunConfig::seconds(secs))
+    run(
+        &mut soc,
+        scenario.as_mut(),
+        governor,
+        RunConfig::seconds(secs),
+    )
 }
 
 #[test]
@@ -27,7 +37,10 @@ fn training_beats_the_untrained_policy_on_video() {
     let mut trained = train_rl_governor(
         &soc_config,
         ScenarioKind::Video,
-        TrainingProtocol { episodes: 25, episode_secs: 20 },
+        TrainingProtocol {
+            episodes: 25,
+            episode_secs: 20,
+        },
         3,
     );
     trained.set_frozen(true);
@@ -49,14 +62,18 @@ fn trained_policy_beats_performance_governor_on_energy() {
     let mut trained = train_rl_governor(
         &soc_config,
         ScenarioKind::Camera,
-        TrainingProtocol { episodes: 25, episode_secs: 20 },
+        TrainingProtocol {
+            episodes: 25,
+            episode_secs: 20,
+        },
         5,
     );
     trained.set_frozen(true);
     trained.reset();
     let rl = eval(&mut trained, ScenarioKind::Camera, 30, 123);
 
-    let mut perf = governors::GovernorKind::Performance.build(&SocConfig::odroid_xu3_like().unwrap());
+    let mut perf =
+        governors::GovernorKind::Performance.build(&SocConfig::odroid_xu3_like().unwrap());
     let reference = eval(perf.as_mut(), ScenarioKind::Camera, 30, 123);
 
     assert!(
@@ -70,7 +87,12 @@ fn trained_policy_beats_performance_governor_on_energy() {
 #[test]
 fn frozen_policy_is_reproducible_and_does_not_learn() {
     let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
-    let mut policy = train_rl_governor(&soc_config, ScenarioKind::Audio, TrainingProtocol::quick(), 7);
+    let mut policy = train_rl_governor(
+        &soc_config,
+        ScenarioKind::Audio,
+        TrainingProtocol::quick(),
+        7,
+    );
     policy.set_frozen(true);
     policy.reset();
     let updates = policy.agent().updates();
@@ -79,14 +101,23 @@ fn frozen_policy_is_reproducible_and_does_not_learn() {
     let a = eval(&mut policy, ScenarioKind::Audio, 10, 5);
     let b = eval(&mut clone, ScenarioKind::Audio, 10, 5);
     assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
-    assert_eq!(policy.agent().updates(), updates, "frozen agent must not learn");
+    assert_eq!(
+        policy.agent().updates(),
+        updates,
+        "frozen agent must not learn"
+    );
 }
 
 #[test]
 fn software_trained_table_deploys_onto_the_hardware_driver() {
     let soc_config = SocConfig::odroid_xu3_like().expect("preset valid");
     let rl_config = RlConfig::for_soc(&soc_config);
-    let mut sw = train_rl_governor(&soc_config, ScenarioKind::Video, TrainingProtocol::quick(), 11);
+    let mut sw = train_rl_governor(
+        &soc_config,
+        ScenarioKind::Video,
+        TrainingProtocol::quick(),
+        11,
+    );
     sw.set_frozen(true);
     sw.reset();
 
@@ -123,13 +154,21 @@ fn double_q_is_the_default_and_every_algorithm_closes_the_loop() {
     assert!(double.agent().is_double());
 
     for algorithm in rlpm::Algorithm::ALL {
-        let variant_cfg = RlConfig { algorithm, ..cfg.clone() };
+        let variant_cfg = RlConfig {
+            algorithm,
+            ..cfg.clone()
+        };
         let mut policy = RlGovernor::new(variant_cfg, 1);
         assert_eq!(policy.agent().algorithm(), algorithm);
         let soc_cfg = SocConfig::symmetric_quad().unwrap();
         let mut soc = Soc::new(soc_cfg).unwrap();
         let mut scenario = ScenarioKind::Audio.build(2);
-        let m = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(5));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut policy,
+            RunConfig::seconds(5),
+        );
         assert!(m.energy_j > 0.0, "{algorithm}: zero energy");
         assert!(policy.agent().updates() > 0, "{algorithm}: no learning");
     }
@@ -143,7 +182,12 @@ fn learning_curve_trends_downward_on_a_stationary_scenario() {
     let mut scenario = ScenarioKind::Camera.build(21);
     let mut curve = Vec::new();
     for _ in 0..20 {
-        let m = run(&mut soc, scenario.as_mut(), &mut policy, RunConfig::seconds(15));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut policy,
+            RunConfig::seconds(15),
+        );
         curve.push(m.energy_per_qos);
         soc.reset();
         scenario.reset();

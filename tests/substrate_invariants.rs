@@ -13,7 +13,12 @@ use workload::{RecordedTrace, ScenarioKind};
 fn epoch_energy_is_sum_of_clusters_plus_board() {
     let soc_config = SocConfig::odroid_xu3_like().unwrap();
     let mut soc = Soc::new(soc_config.clone()).unwrap();
-    soc.push_job(Job::new(1, 40_000_000, simkit::SimTime::from_millis(40), JobClass::Heavy));
+    soc.push_job(Job::new(
+        1,
+        40_000_000,
+        simkit::SimTime::from_millis(40),
+        JobClass::Heavy,
+    ));
     let report = soc.run_epoch(&LevelRequest::max(&soc_config)).unwrap();
     let cluster_sum: f64 = report.clusters.iter().map(|c| c.energy_j).sum();
     let board = soc_config.board_base_w * soc_config.epoch.as_secs_f64();
@@ -55,7 +60,12 @@ fn higher_static_levels_never_reduce_qos() {
         let mut soc = Soc::new(soc_config.clone()).unwrap();
         let mut scenario = ScenarioKind::Video.build(7);
         let mut governor = Userspace::new(vec![level, level.min(12)]);
-        let m = run(&mut soc, scenario.as_mut(), &mut governor, RunConfig::seconds(10));
+        let m = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut governor,
+            RunConfig::seconds(10),
+        );
         let qos = m.qos.qos_ratio();
         assert!(
             qos >= last_qos - 0.02,
@@ -82,7 +92,12 @@ fn recorded_replay_reproduces_the_generated_run_exactly() {
     let run_with = |scenario: &mut dyn workload::Scenario| {
         let mut soc = Soc::new(soc_config.clone()).unwrap();
         let mut governor = GovernorKind::Ondemand.build(&soc_config);
-        run(&mut soc, scenario, governor.as_mut(), RunConfig::seconds(secs))
+        run(
+            &mut soc,
+            scenario,
+            governor.as_mut(),
+            RunConfig::seconds(secs),
+        )
     };
     let a = run_with(live.as_mut());
     let b = run_with(&mut trace);
