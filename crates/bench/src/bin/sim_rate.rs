@@ -1,0 +1,84 @@
+//! `sim-rate` — measures simulated-seconds per wall-second over the E1
+//! matrix shape and maintains `BENCH_simrate.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sim-rate -- --baseline   # pin the pre-optimisation numbers
+//! cargo run --release -p bench --bin sim-rate                 # update "current" + "speedup"
+//! cargo run --release -p bench --bin sim-rate -- --quick --out /tmp/simrate.json
+//! ```
+//!
+//! The `baseline` section of an existing report is preserved verbatim
+//! unless `--baseline` is given; `speedup` is recomputed whenever both
+//! sections exist. See DESIGN.md § Performance for how to read the file.
+
+use std::path::PathBuf;
+
+use bench::simrate::{measure, Report, SimRateConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut record_baseline = false;
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_simrate.json");
+    let mut label: Option<String> = None;
+    let mut repeat = 1u32;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => record_baseline = true,
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(iter.next().expect("--out needs a path")),
+            "--label" => label = Some(iter.next().expect("--label needs text").clone()),
+            "--repeat" => {
+                repeat = iter
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat needs a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: sim-rate [--baseline] [--quick] [--repeat N] [--out PATH] [--label TEXT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = if quick {
+        SimRateConfig::quick()
+    } else {
+        SimRateConfig::default()
+    };
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| Report::from_json(&text))
+        .filter(|r| r.config == config)
+        .unwrap_or_else(|| Report::new(config));
+
+    let label = label.unwrap_or_else(|| {
+        if record_baseline {
+            "allocating hot path, no idle fast-forward".to_owned()
+        } else {
+            "allocation-free hot path + idle fast-forward + memoized power".to_owned()
+        }
+    });
+    eprintln!(
+        "measuring sim-rate: 10 scenarios x 7 policies, {} s eval per cell, best of {repeat} ...",
+        config.eval_secs
+    );
+    let measurement = measure(&bench::soc_under_test(), &config, &label, repeat);
+    if record_baseline {
+        report.baseline = Some(measurement.clone());
+    }
+    report.current = Some(measurement);
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("(written to {})", out.display());
+}

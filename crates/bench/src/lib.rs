@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod simrate;
+
 /// Re-exported so benches and the binary share one definition of the
 /// standard SoC under test.
 pub fn soc_under_test() -> soc::SocConfig {

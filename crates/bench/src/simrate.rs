@@ -1,0 +1,403 @@
+//! Sim-rate measurement: simulated-seconds per wall-second for the
+//! closed-loop simulator, cell by cell over the E1 matrix shape
+//! (scenario × policy), plus per-scenario and whole-matrix aggregates.
+//!
+//! Results are persisted to `BENCH_simrate.json` so the performance
+//! trajectory of the substrate is tracked across PRs: the `baseline`
+//! section is recorded once (with `--baseline`) and preserved verbatim by
+//! later runs, which only rewrite the `current` and `speedup` sections.
+//! The JSON is emitted and parsed by this module (the workspace builds
+//! offline, without serde), so the format is deliberately rigid: two
+//! levels of objects, string or number values, no escapes.
+
+use std::time::Instant;
+
+use experiments::e1_energy_per_qos::E1Config;
+use experiments::{run, PolicyKind, RunConfig, TrainingProtocol};
+use soc::{Soc, SocConfig};
+
+/// Shape of one sim-rate measurement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimRateConfig {
+    /// Simulated seconds of frozen evaluation per cell.
+    pub eval_secs: u64,
+    /// Training protocol for the RL policies (training wall-time and
+    /// simulated time are part of the cell, exactly as in the E1 matrix).
+    pub training: TrainingProtocol,
+    /// Seed for the single measured run per cell.
+    pub seed: u64,
+}
+
+impl Default for SimRateConfig {
+    fn default() -> Self {
+        SimRateConfig {
+            eval_secs: 120,
+            training: TrainingProtocol::quick(),
+            seed: 11,
+        }
+    }
+}
+
+impl SimRateConfig {
+    /// A reduced pass for CI smoke runs.
+    pub fn quick() -> Self {
+        SimRateConfig {
+            eval_secs: 10,
+            ..SimRateConfig::default()
+        }
+    }
+}
+
+/// One measured section (baseline or current): sim-rate per cell, per
+/// scenario and for the whole matrix, in simulated-seconds per
+/// wall-second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Free-form description of the code state that produced the numbers.
+    pub label: String,
+    /// Whole-matrix rate: total simulated seconds / total wall seconds.
+    pub e1_matrix: f64,
+    /// Per-scenario rates, in scenario catalog order.
+    pub per_scenario: Vec<(String, f64)>,
+    /// Per-cell rates (`scenario/policy`), scenario-major.
+    pub per_cell: Vec<(String, f64)>,
+}
+
+/// Runs the measurement matrix sequentially (stable wall-clock numbers;
+/// parallelism would measure scheduler contention instead of the
+/// simulator).
+///
+/// `repeat` re-runs every cell that many times and keeps the **fastest**
+/// wall time — the standard least-interference estimator for wall-clock
+/// micro-benchmarks (every run does identical deterministic work, so any
+/// excess over the minimum is scheduler/host noise, not simulator cost).
+/// Use `1` for a single-shot pass on a quiet machine.
+pub fn measure(
+    soc_config: &SocConfig,
+    config: &SimRateConfig,
+    label: &str,
+    repeat: u32,
+) -> Measurement {
+    let repeat = repeat.max(1);
+    let scenarios = E1Config::default().scenarios;
+    let policies = PolicyKind::evaluation_set();
+    let mut per_cell = Vec::new();
+    let mut per_scenario = Vec::new();
+    let mut total_sim = 0.0;
+    let mut total_wall = 0.0;
+    for &scenario in &scenarios {
+        let mut scenario_sim = 0.0;
+        let mut scenario_wall = 0.0;
+        for &policy in &policies {
+            // Simulated seconds covered by the cell: online training (RL
+            // variants only) plus the frozen evaluation, as in E1.
+            let train_sim = match policy {
+                PolicyKind::Baseline(_) => 0,
+                _ => u64::from(config.training.episodes) * config.training.episode_secs,
+            };
+            let sim_s = (train_sim + config.eval_secs) as f64;
+
+            let mut wall_s = f64::INFINITY;
+            for _ in 0..repeat {
+                let start = Instant::now();
+                let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+                let mut governor =
+                    policy.build_trained(soc_config, scenario, config.training, config.seed);
+                let mut scenario_inst =
+                    scenario.build(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+                let metrics = run(
+                    &mut soc,
+                    scenario_inst.as_mut(),
+                    governor.as_mut(),
+                    RunConfig::seconds(config.eval_secs),
+                );
+                assert!(metrics.epochs > 0, "measured run must simulate something");
+                wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
+            }
+
+            per_cell.push((
+                format!("{}/{}", scenario.name(), policy.name()),
+                sim_s / wall_s,
+            ));
+            scenario_sim += sim_s;
+            scenario_wall += wall_s;
+        }
+        per_scenario.push((scenario.name().to_owned(), scenario_sim / scenario_wall));
+        total_sim += scenario_sim;
+        total_wall += scenario_wall;
+    }
+    Measurement {
+        label: label.to_owned(),
+        e1_matrix: total_sim / total_wall,
+        per_scenario,
+        per_cell,
+    }
+}
+
+/// The persisted report: a baseline section (recorded once, kept across
+/// runs) and the current section, plus derived speedups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Configuration of the measurement pass.
+    pub config: SimRateConfig,
+    /// The pinned pre-optimisation numbers.
+    pub baseline: Option<Measurement>,
+    /// The most recent numbers.
+    pub current: Option<Measurement>,
+}
+
+impl Report {
+    /// An empty report for `config`.
+    pub fn new(config: SimRateConfig) -> Self {
+        Report {
+            config,
+            baseline: None,
+            current: None,
+        }
+    }
+
+    /// Speedup of `current` over `baseline` for the whole matrix and per
+    /// scenario; `None` until both sections exist.
+    pub fn speedups(&self) -> Option<Vec<(String, f64)>> {
+        let (base, cur) = (self.baseline.as_ref()?, self.current.as_ref()?);
+        let mut out = vec![("e1_matrix".to_owned(), cur.e1_matrix / base.e1_matrix)];
+        for (name, cur_rate) in &cur.per_scenario {
+            if let Some((_, base_rate)) = base.per_scenario.iter().find(|(n, _)| n == name) {
+                out.push((name.clone(), cur_rate / base_rate));
+            }
+        }
+        Some(out)
+    }
+
+    /// Serialises the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"unit\": \"simulated-seconds per wall-second\",\n");
+        s.push_str("  \"config\": {\n");
+        s.push_str(&format!("    \"eval_secs\": {},\n", self.config.eval_secs));
+        s.push_str(&format!(
+            "    \"train_episodes\": {},\n",
+            self.config.training.episodes
+        ));
+        s.push_str(&format!(
+            "    \"train_episode_secs\": {},\n",
+            self.config.training.episode_secs
+        ));
+        s.push_str(&format!("    \"seed\": {}\n", self.config.seed));
+        s.push_str("  }");
+        for (name, section) in [("baseline", &self.baseline), ("current", &self.current)] {
+            if let Some(m) = section {
+                s.push_str(",\n");
+                s.push_str(&format!("  \"{name}\": {}", json_measurement(m)));
+            }
+        }
+        if let Some(speedups) = self.speedups() {
+            s.push_str(",\n  \"speedup\": {\n");
+            let lines: Vec<String> = speedups
+                .iter()
+                .map(|(k, v)| format!("    \"{k}\": {}", json_num(*v)))
+                .collect();
+            s.push_str(&lines.join(",\n"));
+            s.push_str("\n  }");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses a report previously written by [`Report::to_json`].
+    /// Returns `None` when the text does not look like such a report
+    /// (corrupt file, different schema): callers then start fresh.
+    pub fn from_json(text: &str) -> Option<Report> {
+        if extract_number(text, "schema")? != 1.0 {
+            return None;
+        }
+        let config_block = extract_object(text, "config")?;
+        let config = SimRateConfig {
+            eval_secs: extract_number(&config_block, "eval_secs")? as u64,
+            training: TrainingProtocol {
+                episodes: extract_number(&config_block, "train_episodes")? as u32,
+                episode_secs: extract_number(&config_block, "train_episode_secs")? as u64,
+            },
+            seed: extract_number(&config_block, "seed")? as u64,
+        };
+        let parse_section = |name: &str| -> Option<Measurement> {
+            let block = extract_object(text, name)?;
+            Some(Measurement {
+                label: extract_string(&block, "label")?,
+                e1_matrix: extract_number(&block, "e1_matrix")?,
+                per_scenario: extract_pairs(&extract_object(&block, "per_scenario")?),
+                per_cell: extract_pairs(&extract_object(&block, "per_cell")?),
+            })
+        };
+        Some(Report {
+            config,
+            baseline: parse_section("baseline"),
+            current: parse_section("current"),
+        })
+    }
+}
+
+fn json_num(v: f64) -> String {
+    // Three decimals are plenty for rates; fixed formatting keeps diffs
+    // readable.
+    format!("{v:.3}")
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("    \"label\": \"{}\",\n", m.label));
+    s.push_str(&format!("    \"e1_matrix\": {},\n", json_num(m.e1_matrix)));
+    for (name, pairs) in [("per_scenario", &m.per_scenario), ("per_cell", &m.per_cell)] {
+        s.push_str(&format!("    \"{name}\": {{\n"));
+        let lines: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("      \"{k}\": {}", json_num(*v)))
+            .collect();
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n    }");
+        s.push_str(if name == "per_scenario" { ",\n" } else { "\n" });
+    }
+    s.push_str("  }");
+    s
+}
+
+/// The text of the `{...}` object bound to `"key"`, braces excluded.
+/// Searches the outermost occurrence only (keys are unique per level in
+/// the format we emit, and nested objects never repeat top-level keys).
+fn extract_object(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": {{");
+    let start = text.find(&pat)? + pat.len();
+    let mut depth = 1usize;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..start + i].to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The numeric value bound to `"key"` (first occurrence).
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The string value bound to `"key"` (no escape handling; labels we emit
+/// contain none).
+fn extract_string(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// All `"key": number` pairs of a flat object body, in order.
+fn extract_pairs(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_owned(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            config: SimRateConfig::default(),
+            baseline: Some(Measurement {
+                label: "pre-optimisation".into(),
+                e1_matrix: 100.5,
+                per_scenario: vec![("idle".into(), 400.25), ("video".into(), 80.125)],
+                per_cell: vec![
+                    ("idle/powersave".into(), 500.0),
+                    ("video/rlpm".into(), 60.0),
+                ],
+            }),
+            current: Some(Measurement {
+                label: "optimised".into(),
+                e1_matrix: 350.0,
+                per_scenario: vec![("idle".into(), 2100.0), ("video".into(), 250.0)],
+                per_cell: vec![
+                    ("idle/powersave".into(), 2800.0),
+                    ("video/rlpm".into(), 200.0),
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).expect("own output parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn baseline_survives_a_current_rewrite() {
+        let mut report = Report::from_json(&sample().to_json()).unwrap();
+        let baseline = report.baseline.clone();
+        report.current = Some(Measurement {
+            label: "newer".into(),
+            e1_matrix: 500.0,
+            per_scenario: vec![("idle".into(), 3000.0)],
+            per_cell: vec![("idle/powersave".into(), 4000.0)],
+        });
+        let reparsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(reparsed.baseline, baseline);
+        assert_eq!(reparsed.current.unwrap().label, "newer");
+    }
+
+    #[test]
+    fn speedups_compare_current_to_baseline() {
+        let report = sample();
+        let speedups = report.speedups().unwrap();
+        assert_eq!(speedups[0].0, "e1_matrix");
+        assert!((speedups[0].1 - 350.0 / 100.5).abs() < 1e-9);
+        let idle = speedups.iter().find(|(n, _)| n == "idle").unwrap();
+        assert!((idle.1 - 2100.0 / 400.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_report_has_no_speedups() {
+        let mut report = sample();
+        report.baseline = None;
+        assert!(report.speedups().is_none());
+        // And still serialises/parses.
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert!(parsed.baseline.is_none());
+        assert_eq!(parsed.current, report.current);
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected() {
+        assert!(Report::from_json("not json").is_none());
+        assert!(Report::from_json("{\"schema\": 2}").is_none());
+    }
+}

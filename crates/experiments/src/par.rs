@@ -1,11 +1,42 @@
 //! Tiny order-preserving parallel map over OS threads (`std::thread::scope`);
 //! experiment matrices are embarrassingly parallel.
+//!
+//! Workers pull index-tagged items from a shared queue and accumulate
+//! results in a private batch — two shared locks total (queue and batch
+//! drop-off) instead of two locks *per item* — then the batches are merged
+//! back into input order. `RLPM_THREADS` overrides the worker count
+//! (useful for determinism tests and for pinning CI parallelism).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
-/// Applies `f` to every item on up to `available_parallelism` threads,
-/// returning results in input order.
+/// Locks a mutex, recovering the guard if another worker panicked while
+/// holding it. The critical sections in this module never panic, so a
+/// poisoned lock still protects coherent data; the panic itself is
+/// re-raised by `std::thread::scope` when the panicking worker joins.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The worker count: `RLPM_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+fn thread_count() -> usize {
+    let configured = std::env::var("RLPM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    match configured {
+        Some(t) => t,
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    }
+}
+
+/// Applies `f` to every item on up to [`thread_count`] threads, returning
+/// results in input order.
 pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -16,55 +47,42 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
+    let threads = thread_count().min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let batches: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(threads));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Hold the queue lock only to take the next item; the
+                    // (expensive) `f` runs lock-free.
+                    let next = lock(&queue).next();
+                    let Some((i, item)) = next else { break };
+                    local.push((i, f(item)));
                 }
-                // A poisoned slot means another worker panicked while holding
-                // the lock, which the hold-free critical sections below make
-                // impossible; propagate rather than mask if it ever happens.
-                let item = match work[i].lock() {
-                    Ok(mut slot) => slot.take(),
-                    Err(poisoned) => poisoned.into_inner().take(),
-                };
-                let Some(item) = item else { continue };
-                let out = f(item);
-                if let Ok(mut slot) = results[i].lock() {
-                    *slot = Some(out);
-                }
+                lock(&batches).push(local);
             });
         }
     });
 
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            let inner = match slot.into_inner() {
-                Ok(v) => v,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            match inner {
-                Some(v) => v,
-                None => unreachable!("parallel_map slot {i} left unprocessed"),
-            }
-        })
-        .collect()
+    let mut tagged: Vec<(usize, R)> = match batches.into_inner() {
+        Ok(b) => b,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+    .into_iter()
+    .flatten()
+    .collect();
+    // The queue hands out each index exactly once, so the tags are a
+    // permutation of 0..n and sorting restores input order.
+    debug_assert_eq!(tagged.len(), n, "every item produces exactly one result");
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -86,5 +104,15 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn order_preserved_under_skewed_work() {
+        // Later items finish first; merging must still restore order.
+        let out = parallel_map((0..64).collect(), |x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - x));
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
     }
 }

@@ -76,8 +76,10 @@ pub fn run(
     config: RunConfig,
 ) -> RunMetrics {
     let epoch = soc.config().epoch;
-    let epochs = config.duration / epoch;
-    assert!(epochs > 0, "run must span at least one epoch");
+    // A duration shorter than one epoch saturates to a single epoch: the
+    // control loop's unit of progress is the epoch, so the shortest
+    // meaningful run is one of them.
+    let epochs = (config.duration / epoch).max(1);
     let num_clusters = soc.config().clusters.len();
 
     let mut tracker = QosTracker::new(scenario.qos_spec());
@@ -107,6 +109,23 @@ pub fn run(
     });
 
     let mut prev_snapshot = tracker.snapshot();
+    // Reused across epochs: the report's per-cluster slots (and their
+    // completed-job pools) and the observation's cluster buffer keep
+    // their capacity, so the steady-state loop does not allocate.
+    let mut report = soc::EpochReport {
+        started_at: soc.now(),
+        ended_at: soc.now(),
+        clusters: Vec::new(),
+        energy_j: 0.0,
+    };
+    let mut state = SystemState::new(
+        soc::EpochObservation {
+            at: soc.now(),
+            clusters: Vec::new(),
+            energy_j: 0.0,
+        },
+        QosFeedback::default(),
+    );
     for _ in 0..epochs {
         // Feed the next epoch's arrivals before running it.
         let from = soc.now();
@@ -115,7 +134,8 @@ pub fn run(
             soc.schedule_job(at, job);
         }
 
-        let report = soc.run_epoch(&request).expect("validated level request");
+        soc.run_epoch_into(&request, &mut report)
+            .expect("validated level request");
         tracker.observe_all(report.completed());
         let snapshot = tracker.snapshot();
         let epoch_units = snapshot.units - prev_snapshot.units;
@@ -138,15 +158,13 @@ pub fn run(
             idle_collapsed_core_s += r.idle_collapsed_s;
         }
 
-        let state = SystemState::new(
-            soc.observe(&report),
-            QosFeedback {
-                qos_ratio: epoch_qos_ratio,
-                units: epoch_units,
-                violations: epoch_violations,
-                pending_jobs: soc.queued_jobs(),
-            },
-        );
+        soc.observe_into(&report, &mut state.soc);
+        state.qos = QosFeedback {
+            qos_ratio: epoch_qos_ratio,
+            units: epoch_units,
+            violations: epoch_violations,
+            pending_jobs: soc.queued_jobs(),
+        };
         if let Some(trace) = trace.as_mut() {
             let mut row: Vec<f64> = Vec::with_capacity(2 * num_clusters + 2);
             for r in &report.clusters {
@@ -159,7 +177,7 @@ pub fn run(
             row.push(epoch_units);
             trace.record(report.ended_at, row);
         }
-        request = governor.decide(&state);
+        governor.decide_into(&state, &mut request);
     }
 
     let energy_j = soc.total_energy_j() - start_energy;
@@ -320,12 +338,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one epoch")]
-    fn zero_duration_rejected() {
+    fn sub_epoch_duration_saturates_to_one_epoch() {
         let mut soc = soc();
         let mut scenario = ScenarioKind::Idle.build(1);
         let mut governor = GovernorKind::Powersave.build(soc.config());
-        run(
+        let m = run(
             &mut soc,
             scenario.as_mut(),
             governor.as_mut(),
@@ -334,5 +351,8 @@ mod tests {
                 record_trace: false,
             },
         );
+        assert_eq!(m.epochs, 1, "shorter-than-epoch runs round up to one");
+        assert_eq!(soc.now(), simkit::SimTime::ZERO + soc.config().epoch);
+        assert!(m.energy_j > 0.0);
     }
 }

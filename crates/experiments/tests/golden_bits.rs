@@ -1,0 +1,148 @@
+//! Golden-output pin: raw IEEE-754 bit patterns of a mini evaluation
+//! matrix, locked against `tests/golden_bits.txt`.
+//!
+//! The hot-path optimisations (allocation-free substep loop, idle
+//! fast-forward, memoised power evaluation) claim **bit-identical**
+//! simulator output. The published tables round to a few decimals, so
+//! they could hide a tiny float drift; this test cannot. It runs a small
+//! deterministic matrix — both SoC presets, busy and idle-heavy
+//! scenarios, every evaluation policy — and compares every metric's exact
+//! bit pattern against the checked-in golden file, which was generated
+//! with the straightforward pre-optimisation simulator.
+//!
+//! Regenerate (only when simulator *semantics* intentionally change):
+//!
+//! ```text
+//! RLPM_UPDATE_GOLDEN=1 cargo test -p experiments --test golden_bits
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use experiments::{run, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
+use governors::GovernorKind;
+use soc::{Soc, SocConfig};
+use workload::ScenarioKind;
+
+/// One golden line per run: every float as `to_bits()` hex, integers raw.
+fn render_line(
+    soc_name: &str,
+    scenario: ScenarioKind,
+    policy: PolicyKind,
+    m: &RunMetrics,
+) -> String {
+    let mut line = format!("{soc_name}/{}/{}", scenario.name(), policy.name());
+    let floats: &[(&str, f64)] = &[
+        ("energy_j", m.energy_j),
+        ("energy_per_qos", m.energy_per_qos),
+        ("avg_power_w", m.avg_power_w),
+        ("qos_units", m.qos.units),
+        ("qos_strict", m.qos.strict_units),
+        ("qos_max", m.qos.max_units),
+        ("idle_gated", m.idle_gated_core_s),
+        ("idle_collapsed", m.idle_collapsed_core_s),
+    ];
+    for (name, v) in floats {
+        write!(line, " {name}={:016x}", v.to_bits()).expect("write to String");
+    }
+    for (c, frac) in m.mean_level_frac.iter().enumerate() {
+        write!(line, " lvl{c}={:016x}", frac.to_bits()).expect("write to String");
+    }
+    write!(
+        line,
+        " completed={} on_time={} late={} violations={} transitions={} epochs={} jobs={}",
+        m.qos.completed,
+        m.qos.on_time,
+        m.qos.late,
+        m.qos.violations,
+        m.transitions,
+        m.epochs,
+        m.jobs_submitted,
+    )
+    .expect("write to String");
+    line
+}
+
+fn render_matrix() -> String {
+    let plain = SocConfig::odroid_xu3_like().expect("preset is valid");
+    let cstates = SocConfig::odroid_xu3_like_cstates().expect("preset is valid");
+    let training = TrainingProtocol::quick();
+    let seed = 11u64;
+
+    // Plain SoC: full policy set over a busy, a periodic-gap and an
+    // idle-heavy scenario (the latter two are exactly where the idle
+    // fast-forward engages). C-state SoC: a reduced set that still covers
+    // baseline + RL with the cpuidle depth machinery active.
+    let cells: Vec<(&str, &SocConfig, Vec<ScenarioKind>, Vec<PolicyKind>)> = vec![
+        (
+            "plain",
+            &plain,
+            vec![ScenarioKind::Video, ScenarioKind::Audio, ScenarioKind::Idle],
+            PolicyKind::evaluation_set(),
+        ),
+        (
+            "cstates",
+            &cstates,
+            vec![ScenarioKind::Audio, ScenarioKind::Idle],
+            vec![
+                PolicyKind::Baseline(GovernorKind::Performance),
+                PolicyKind::Baseline(GovernorKind::Powersave),
+                PolicyKind::Baseline(GovernorKind::Schedutil),
+                PolicyKind::Rl,
+            ],
+        ),
+    ];
+
+    let mut out =
+        String::from("# golden bit patterns: mini matrix, seed 11, eval 10 s, quick training\n");
+    for (soc_name, soc_config, scenarios, policies) in cells {
+        for &scenario in &scenarios {
+            for &policy in &policies {
+                let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+                let mut governor = policy.build_trained(soc_config, scenario, training, seed);
+                let mut scenario_inst =
+                    scenario.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+                let metrics = run(
+                    &mut soc,
+                    scenario_inst.as_mut(),
+                    governor.as_mut(),
+                    RunConfig::seconds(10),
+                );
+                out.push_str(&render_line(soc_name, scenario, policy, &metrics));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_bits.txt")
+}
+
+#[test]
+fn mini_matrix_is_bit_identical_to_golden() {
+    let rendered = render_matrix();
+    let path = golden_path();
+    if std::env::var_os("RLPM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("missing tests/golden_bits.txt; generate with RLPM_UPDATE_GOLDEN=1");
+    if rendered != golden {
+        let mut diff = String::new();
+        for (ours, theirs) in rendered.lines().zip(golden.lines()) {
+            if ours != theirs {
+                let _ = writeln!(diff, "-{theirs}\n+{ours}");
+            }
+        }
+        panic!(
+            "simulator output drifted from golden bit patterns (this means an \
+             optimisation changed results — it must be bit-exact):\n{diff}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment matrix must produce byte-identical results regardless
+//! of how many worker threads `parallel_map` fans out over: parallelism
+//! distributes *whole* runs, and the in-order merge of the per-worker
+//! batches reassembles them exactly.
+
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use soc::SocConfig;
+
+/// Runs the quick E1 matrix under a fixed `RLPM_THREADS` setting and
+/// renders everything comparable about it to a string.
+fn matrix_fingerprint(threads: &str) -> String {
+    // Single test binary, sequential calls: no other thread reads the
+    // variable concurrently.
+    std::env::set_var("RLPM_THREADS", threads);
+    let soc = SocConfig::odroid_xu3_like().expect("preset is valid");
+    let result = run_e1(&soc, &E1Config::quick());
+    let mut out = String::new();
+    out.push_str(&result.energy_per_qos_table().to_csv());
+    out.push_str(&result.summary_table().to_csv());
+    for run in &result.runs {
+        out.push_str(&format!(
+            "{}/{}/{} energy={:016x} qos_units={:016x} epochs={} transitions={}\n",
+            run.scenario,
+            run.policy,
+            run.seed,
+            run.metrics.energy_j.to_bits(),
+            run.metrics.qos.units.to_bits(),
+            run.metrics.epochs,
+            run.metrics.transitions,
+        ));
+    }
+    out
+}
+
+#[test]
+fn e1_matrix_is_byte_identical_across_thread_counts() {
+    let single = matrix_fingerprint("1");
+    let quad = matrix_fingerprint("4");
+    std::env::remove_var("RLPM_THREADS");
+    assert!(
+        single == quad,
+        "E1 results differ between RLPM_THREADS=1 and =4:\n{single}\nvs\n{quad}"
+    );
+    assert!(single.contains("video"), "sanity: matrix actually ran");
+}

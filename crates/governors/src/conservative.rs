@@ -68,24 +68,25 @@ impl Governor for Conservative {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
-        let levels = state
-            .soc
-            .clusters
-            .iter()
-            .map(|c| {
-                let max_level = c.num_levels - 1;
-                // Step of at least one level.
-                let step = ((self.tunables.freq_step * max_level as f64).round() as usize).max(1);
-                if c.util_max > self.tunables.up_threshold {
-                    (c.level + step).min(max_level)
-                } else if c.util_max < self.tunables.down_threshold {
-                    c.level.saturating_sub(step)
-                } else {
-                    c.level
-                }
-            })
-            .collect();
-        LevelRequest::new(levels)
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        request.levels.clear();
+        request.levels.extend(state.soc.clusters.iter().map(|c| {
+            let max_level = c.num_levels - 1;
+            // Step of at least one level.
+            let step = ((self.tunables.freq_step * max_level as f64).round() as usize).max(1);
+            if c.util_max > self.tunables.up_threshold {
+                (c.level + step).min(max_level)
+            } else if c.util_max < self.tunables.down_threshold {
+                c.level.saturating_sub(step)
+            } else {
+                c.level
+            }
+        }));
     }
 
     fn reset(&mut self) {}

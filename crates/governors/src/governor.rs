@@ -15,6 +15,14 @@ pub trait Governor: Send {
     /// Picks levels for the next epoch.
     fn decide(&mut self, state: &SystemState) -> LevelRequest;
 
+    /// Picks levels for the next epoch into a caller-owned request,
+    /// reusing its level buffer. The default delegates to
+    /// [`Governor::decide`]; governors on the closed-loop hot path
+    /// override it to avoid the per-epoch allocation.
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        *request = self.decide(state);
+    }
+
     /// Clears internal state between runs/episodes (hold timers, history);
     /// learned parameters, if any, are *kept* — resetting them is a
     /// policy-specific operation.

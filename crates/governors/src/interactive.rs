@@ -75,13 +75,17 @@ impl Governor for Interactive {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         let t = self.tunables;
-        let levels = state
-            .soc
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
+        request.levels.clear();
+        request
+            .levels
+            .extend(state.soc.clusters.iter().enumerate().map(|(i, c)| {
                 let cs = &mut self.per_cluster[i];
                 let max_level = c.num_levels - 1;
                 let (_, f_max) = c.freq_range_hz;
@@ -121,9 +125,7 @@ impl Governor for Interactive {
                     cs.held = 0;
                 }
                 next
-            })
-            .collect();
-        LevelRequest::new(levels)
+            }));
     }
 
     fn reset(&mut self) {

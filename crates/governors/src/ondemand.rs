@@ -60,16 +60,22 @@ impl Governor for Ondemand {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         let clusters = &state.soc.clusters;
         if self.hold.len() < clusters.len() {
             self.hold.resize(clusters.len(), 0);
         }
         let up_threshold = self.tunables.up_threshold;
         let sampling_down_factor = self.tunables.sampling_down_factor;
-        let levels = clusters
-            .iter()
-            .zip(self.hold.iter_mut())
-            .map(|(c, hold)| {
+        request.levels.clear();
+        request
+            .levels
+            .extend(clusters.iter().zip(self.hold.iter_mut()).map(|(c, hold)| {
                 let max_level = c.num_levels.saturating_sub(1);
                 if c.util_max > up_threshold {
                     *hold = sampling_down_factor;
@@ -83,13 +89,12 @@ impl Governor for Ondemand {
                 let (_, f_max) = c.freq_range_hz;
                 let inv_load = c.util_max * c.freq_hz as f64 / f_max as f64;
                 let f_target = (inv_load * f_max as f64 / up_threshold) as u64;
-                // Recreate the ceiling lookup against the advertised range:
-                // the observation does not carry the full table, so
-                // interpolate a level linearly and round up, then clamp.
+                // Recreate the ceiling lookup against the advertised
+                // range: the observation does not carry the full table,
+                // so interpolate a level linearly and round up, then
+                // clamp.
                 level_for_freq_ceiling(c, f_target)
-            })
-            .collect();
-        LevelRequest::new(levels)
+            }));
     }
 
     fn reset(&mut self) {

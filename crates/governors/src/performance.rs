@@ -23,14 +23,16 @@ impl Governor for Performance {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
-        LevelRequest::new(
-            state
-                .soc
-                .clusters
-                .iter()
-                .map(|c| c.num_levels - 1)
-                .collect(),
-        )
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        request.levels.clear();
+        request
+            .levels
+            .extend(state.soc.clusters.iter().map(|c| c.num_levels - 1));
     }
 
     fn reset(&mut self) {}

@@ -23,7 +23,14 @@ impl Governor for Powersave {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
-        LevelRequest::new(vec![0; state.num_clusters()])
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        request.levels.clear();
+        request.levels.resize(state.num_clusters(), 0);
     }
 
     fn reset(&mut self) {}

@@ -58,33 +58,40 @@ impl Governor for Schedutil {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         let clusters = &state.soc.clusters;
         if self.down_wait.len() < clusters.len() {
             self.down_wait.resize(clusters.len(), 0);
         }
         let headroom = self.tunables.headroom;
         let rate_limit = self.tunables.rate_limit_down_epochs;
-        let levels = clusters
-            .iter()
-            .zip(self.down_wait.iter_mut())
-            .map(|(c, wait)| {
-                let (_, f_max) = c.freq_range_hz;
-                let util_cap = c.util_max * c.freq_hz as f64 / f_max as f64;
-                let f_next = (headroom * f_max as f64 * util_cap) as u64;
-                let target = level_for_freq_ceiling(c, f_next);
-                if target >= c.level {
-                    *wait = 0;
-                    target
-                } else if *wait < rate_limit {
-                    *wait += 1;
-                    c.level
-                } else {
-                    *wait = 0;
-                    target
-                }
-            })
-            .collect();
-        LevelRequest::new(levels)
+        request.levels.clear();
+        request.levels.extend(
+            clusters
+                .iter()
+                .zip(self.down_wait.iter_mut())
+                .map(|(c, wait)| {
+                    let (_, f_max) = c.freq_range_hz;
+                    let util_cap = c.util_max * c.freq_hz as f64 / f_max as f64;
+                    let f_next = (headroom * f_max as f64 * util_cap) as u64;
+                    let target = level_for_freq_ceiling(c, f_next);
+                    if target >= c.level {
+                        *wait = 0;
+                        target
+                    } else if *wait < rate_limit {
+                        *wait += 1;
+                        c.level
+                    } else {
+                        *wait = 0;
+                        target
+                    }
+                }),
+        );
     }
 
     fn reset(&mut self) {

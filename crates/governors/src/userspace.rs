@@ -30,19 +30,25 @@ impl Governor for Userspace {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         debug_assert_eq!(
             state.num_clusters(),
             self.levels.len(),
             "userspace governor configured for a different SoC"
         );
         // Clamp defensively so a sweep over-shooting a table is harmless.
-        LevelRequest::new(
+        request.levels.clear();
+        request.levels.extend(
             self.levels
                 .iter()
                 .zip(&state.soc.clusters)
-                .map(|(&l, c)| l.min(c.num_levels - 1))
-                .collect(),
-        )
+                .map(|(&l, c)| l.min(c.num_levels - 1)),
+        );
     }
 
     fn reset(&mut self) {}

@@ -139,6 +139,12 @@ impl Governor for HwPolicyDriver {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         self.predictor.observe(state);
         let s = self.states.encode(state, &self.predictor);
         let mut spent = SimDuration::ZERO;
@@ -173,8 +179,8 @@ impl Governor for HwPolicyDriver {
         self.latency.add_duration(spent);
         let action = action as Action;
         self.prev = Some((s, action));
-        let current: Vec<usize> = state.soc.clusters.iter().map(|c| c.level).collect();
-        self.actions.apply(&current, action)
+        self.actions
+            .apply_into(state.soc.clusters.iter().map(|c| c.level), action, request);
     }
 
     fn reset(&mut self) {

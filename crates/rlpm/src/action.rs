@@ -94,17 +94,40 @@ impl ActionSpace {
     /// Applies an action to the current levels, clamping into each
     /// cluster's table.
     pub fn apply(&self, current: &[OppLevel], action: Action) -> LevelRequest {
-        let deltas = self.deltas(action);
-        LevelRequest::new(
-            current
-                .iter()
-                .zip(&deltas)
-                .zip(&self.levels_per_cluster)
-                .map(|((&level, &delta), &n)| {
-                    (level as isize + delta).clamp(0, n as isize - 1) as OppLevel
-                })
-                .collect(),
-        )
+        let mut request = LevelRequest::new(Vec::new());
+        self.apply_into(current.iter().copied(), action, &mut request);
+        request
+    }
+
+    /// [`ActionSpace::apply`] into a caller-owned request, decoding the
+    /// deltas positionally so neither the deltas nor the levels are
+    /// heap-allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn apply_into<I>(&self, current: I, action: Action, request: &mut LevelRequest)
+    where
+        I: IntoIterator<Item = OppLevel>,
+    {
+        assert!(action < self.len(), "action {action} out of range");
+        let base = self.deltas_per_cluster();
+        // Most-significant digit first: cluster i's delta is digit
+        // base^(num_clusters−1−i), matching `deltas()`.
+        let mut div = base.pow(self.num_clusters.saturating_sub(1) as u32);
+        request.levels.clear();
+        request
+            .levels
+            .extend(
+                current
+                    .into_iter()
+                    .zip(&self.levels_per_cluster)
+                    .map(|(level, &n)| {
+                        let delta = ((action / div) % base) as isize - self.max_delta;
+                        div = (div / base).max(1);
+                        (level as isize + delta).clamp(0, n as isize - 1) as OppLevel
+                    }),
+            );
     }
 }
 

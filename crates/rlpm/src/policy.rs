@@ -103,6 +103,12 @@ impl Governor for RlGovernor {
     }
 
     fn decide(&mut self, state: &SystemState) -> LevelRequest {
+        let mut request = LevelRequest::new(Vec::new());
+        self.decide_into(state, &mut request);
+        request
+    }
+
+    fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         self.predictor.observe(state);
         let s = self.states.encode(state, &self.predictor);
 
@@ -128,8 +134,8 @@ impl Governor for RlGovernor {
         };
         self.prev = Some((s, a));
 
-        let current: Vec<usize> = state.soc.clusters.iter().map(|c| c.level).collect();
-        self.actions.apply(&current, a)
+        self.actions
+            .apply_into(state.soc.clusters.iter().map(|c| c.level), a, request);
     }
 
     fn reset(&mut self) {

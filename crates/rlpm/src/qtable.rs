@@ -88,6 +88,28 @@ impl QTable {
         best
     }
 
+    /// The greedy action for `s` over the *element-wise sum* of this
+    /// table and `other` (the double-estimator acting value `A + B`),
+    /// computed over the two row slices directly — no merged table is
+    /// materialised. Lowest-index tie-break, as [`QTable::argmax`].
+    ///
+    /// The tables must have identical dimensions; rows are zipped, so a
+    /// shorter `other` row would silently truncate — the agent constructs
+    /// both tables from one configuration, which guarantees the match.
+    pub fn argmax_sum(&self, other: &QTable, s: StateIndex) -> Action {
+        debug_assert_eq!(self.num_actions, other.num_actions, "table arity mismatch");
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (a, (&x, &y)) in self.row(s).iter().zip(other.row(s)).enumerate() {
+            let v = x + y;
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        best
+    }
+
     /// The maximum action value for `s`.
     pub fn max_value(&self, s: StateIndex) -> f64 {
         let row = self.row(s);

@@ -146,6 +146,16 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Rewinds the queue to a fresh time-zero state — no pending events,
+    /// clock at [`SimTime::ZERO`], sequence counter restarted — while
+    /// keeping the heap's allocation for reuse. Equivalent to replacing
+    /// the queue with [`EventQueue::new`], without the reallocation.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+    }
 }
 
 #[cfg(test)]

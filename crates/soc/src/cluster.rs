@@ -3,7 +3,9 @@
 
 use simkit::{SimDuration, SimTime};
 
-use crate::{ClusterConfig, CompletedJob, CoreModel, IdleDepth, Job, OppLevel, SocError};
+use crate::{
+    ClusterConfig, CompletedJob, CoreModel, IdleDepth, Job, OppLevel, PowerModel, SocError,
+};
 
 /// Per-epoch aggregate report for one cluster.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -55,7 +57,7 @@ pub struct ClusterObservation {
 }
 
 /// A group of cores sharing a DVFS domain.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
     config: ClusterConfig,
     cores: Vec<CoreModel>,
@@ -65,6 +67,44 @@ pub struct Cluster {
     pending_stall: SimDuration,
     /// Accumulators for the epoch in progress.
     acc: EpochAcc,
+    /// Per-OPP power constants hoisted out of the sub-step loop, indexed
+    /// by level. Pure function of `config`; built once in
+    /// [`Cluster::new`].
+    power_lut: Vec<OppPowerLut>,
+    /// One-entry leakage memo keyed on `(level, temp bits)`. Within a
+    /// sub-step every core shares the pair, and across idle sub-steps the
+    /// temperature often converges exactly; a hit returns the very bits
+    /// the cold path would compute. Pure cache — excluded from
+    /// `PartialEq`.
+    leak_cache: (OppLevel, u64, f64),
+}
+
+/// Equality over semantic state only; the memo fields are transparent.
+impl PartialEq for Cluster {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.cores == other.cores
+            && self.level == other.level
+            && self.pending_stall == other.pending_stall
+            && self.acc == other.acc
+    }
+}
+
+/// Power-model constants for one OPP, precomputed with exactly the
+/// expressions [`PowerModel`] uses so reading them back is bit-identical
+/// to evaluating per sub-step.
+#[derive(Debug, Clone, Copy)]
+struct OppPowerLut {
+    /// Frequency of the OPP (Hz).
+    freq_hz: u64,
+    /// `PowerModel::dynamic_w(opp)`.
+    dyn_w: f64,
+    /// `dyn_w · idle_frac` — the idle clock-tree coefficient.
+    idle_coeff: f64,
+    /// `PowerModel::uncore_w(opp)`.
+    uncore_w: f64,
+    /// `leak_w_per_v · V`, the voltage half of the leakage expression.
+    leak_base: f64,
 }
 
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -86,13 +126,48 @@ impl Cluster {
         let cores = (0..config.cores)
             .map(|_| CoreModel::new(config.ipc))
             .collect();
+        let power_lut = (0..=config.opps.max_level())
+            .map(|level| {
+                let opp = config.opps.opp(level);
+                OppPowerLut {
+                    freq_hz: opp.freq_hz,
+                    dyn_w: config.power.dynamic_w(opp),
+                    idle_coeff: config.power.dynamic_w(opp) * config.power.idle_frac,
+                    uncore_w: config.power.uncore_w(opp),
+                    leak_base: config.power.leak_w_per_v * opp.voltage_v,
+                }
+            })
+            .collect();
         Cluster {
             config,
             cores,
             level: 0,
             pending_stall: SimDuration::ZERO,
             acc: EpochAcc::default(),
+            power_lut,
+            leak_cache: (usize::MAX, 0, 0.0),
         }
+    }
+
+    /// The precomputed power constants for the current level.
+    fn lut(&self) -> OppPowerLut {
+        // xtask-allow: no-panic-lib -- `level` is range-checked by `set_level` and only ever lowered by the thermal clamp
+        self.power_lut[self.level]
+    }
+
+    /// Leakage power at the current level and `temp_c`, through the
+    /// one-entry memo.
+    fn leakage_memo(&mut self, temp_c: f64) -> f64 {
+        let bits = temp_c.to_bits();
+        if self.leak_cache.0 == self.level && self.leak_cache.1 == bits {
+            return self.leak_cache.2;
+        }
+        let leak_w = self
+            .config
+            .power
+            .leakage_w_from_base(self.lut().leak_base, temp_c);
+        self.leak_cache = (self.level, bits, leak_w);
+        leak_w
     }
 
     /// The cluster's configuration.
@@ -209,44 +284,59 @@ impl Cluster {
 
     /// Advances all cores by one sub-step and integrates power and
     /// temperature.
+    ///
+    /// This is the simulator's innermost loop: it runs once per cluster
+    /// per sub-step (50 000 times per simulated second) and must not
+    /// allocate — completions drain into the pooled epoch buffer, busy
+    /// fractions fold into scalars, and the per-OPP power constants come
+    /// from the lookup table built at construction. Bit-identical to the
+    /// pre-optimisation loop (pinned by the golden-output tests).
     pub fn advance_substep(&mut self, start: SimTime, dt: SimDuration) {
         let stall = self.pending_stall.min(dt);
         self.pending_stall = SimDuration::ZERO;
-        let opp = self.config.opps.opp(self.level);
+        let lut = self.lut();
         let temp = self.config.thermal.temp_c();
         let dt_s = dt.as_secs_f64();
+        // Every core shares (level, temp) this sub-step: evaluate leakage
+        // once instead of once per core.
+        let leak_w = self.leakage_memo(temp);
 
-        let mut busy = Vec::with_capacity(self.cores.len());
-        let mut power_w = self.config.power.uncore_w(opp);
-        for core in &mut self.cores {
+        let mut busy_sum = 0.0;
+        let mut busy_max = 0.0;
+        let mut power_w = lut.uncore_w;
+        // xtask-hotpath: begin
+        let cores = &mut self.cores;
+        let acc = &mut self.acc;
+        let idle_cfg = self.config.idle.as_ref();
+        for core in cores.iter_mut() {
             // The cpuidle depth in effect during this sub-step is decided
             // by the residency at its start (waking resets it via
             // `enqueue_on`).
-            let depth = self
-                .config
-                .idle
-                .as_ref()
+            let depth = idle_cfg
                 .map(|idle| idle.depth(core.idle_for()))
                 .unwrap_or(IdleDepth::Active);
-            let report = core.advance(start, dt, opp.freq_hz, stall);
-            let (dyn_scale, leak_scale) = self
-                .config
-                .idle
-                .as_ref()
+            let busy = core.advance_into(start, dt, lut.freq_hz, stall, &mut acc.completed);
+            let (dyn_scale, leak_scale) = idle_cfg
                 .map(|idle| idle.power_scales(depth))
                 .unwrap_or((1.0, 1.0));
-            power_w +=
-                self.config
-                    .power
-                    .core_w_scaled(opp, report.busy, temp, dyn_scale, leak_scale);
+            power_w += PowerModel::core_w_from_parts(
+                lut.dyn_w,
+                lut.idle_coeff,
+                leak_w,
+                busy,
+                dyn_scale,
+                leak_scale,
+            );
             match depth {
-                IdleDepth::ClockGated => self.acc.idle_gated_s += dt_s,
-                IdleDepth::Collapsed => self.acc.idle_collapsed_s += dt_s,
+                IdleDepth::ClockGated => acc.idle_gated_s += dt_s,
+                IdleDepth::Collapsed => acc.idle_collapsed_s += dt_s,
                 IdleDepth::Active => {}
             }
-            busy.push(report.busy);
-            self.acc.completed.extend(report.completed);
+            // Same fold order as summing a per-core buffer afterwards.
+            busy_sum += busy;
+            busy_max = f64::max(busy_max, busy);
         }
+        // xtask-hotpath: end
 
         self.acc.energy_j += power_w * dt_s;
         self.config.thermal.step(power_w, dt);
@@ -264,29 +354,161 @@ impl Cluster {
             self.acc.transitions += 1;
         }
 
-        let n = busy.len() as f64;
-        self.acc.util_avg_sum += busy.iter().sum::<f64>() / n;
-        self.acc.util_max_sum += busy.iter().copied().fold(0.0, f64::max);
+        let n = self.cores.len() as f64;
+        self.acc.util_avg_sum += busy_sum / n;
+        self.acc.util_max_sum += busy_max;
         self.acc.substeps += 1;
+    }
+
+    /// Whether every core is quiescent: nothing queued anywhere and no
+    /// pending wake-up stall, so a sub-step would execute no work. The
+    /// SoC's idle fast-forward gates on this.
+    pub fn is_quiescent(&self) -> bool {
+        self.cores.iter().all(CoreModel::is_quiescent)
+    }
+
+    /// Advances `steps` sub-steps of length `dt` through the idle fast
+    /// path.
+    ///
+    /// Callers guarantee [`Cluster::is_quiescent`] holds and that no job
+    /// arrives before the skipped sub-step boundaries; under those
+    /// conditions this is **bit-identical** to calling
+    /// [`Cluster::advance_substep`] `steps` times (a property test pins
+    /// the equivalence). With an empty queue the busy fraction is exactly
+    /// `+0.0`, so per sub-step only power, temperature, idle residency
+    /// and the throttle clamp evolve — the execution loop, arrival
+    /// dispatch and utilisation folds (`x += 0.0` on non-negative sums
+    /// is a bitwise no-op) all drop out.
+    pub fn advance_idle_substeps(&mut self, dt: SimDuration, steps: u64) {
+        debug_assert!(self.is_quiescent(), "idle fast-forward on a busy cluster");
+        let dt_s = dt.as_secs_f64();
+        let max_level = self.config.opps.max_level();
+        // The stepped loop zeroes the stall at the top of every sub-step
+        // (`stall = pending_stall.min(dt)` only shrinks an execution
+        // window no quiescent core uses). Only the thermal clamp re-arms
+        // it, so zeroing once up front and re-arming on a last-sub-step
+        // clamp (below) leaves the identical exit state.
+        self.pending_stall = SimDuration::ZERO;
+        // The OPP only changes via the clamp inside this loop: keep the
+        // power constants in a register and refresh on clamp instead of
+        // re-indexing the table every sub-step.
+        let mut lut = self.lut();
+        // Run the thermal node and the energy accumulator in locals and
+        // write them back once: the sequence of updates is unchanged
+        // (`ThermalModel` is `Copy`, including its decay memo), so the
+        // results are bit-identical while the loop keeps both out of
+        // memory.
+        let mut thermal = self.config.thermal;
+        let mut energy_j = self.acc.energy_j;
+        let idle_cfg = self.config.idle.as_ref();
+        let batch_residency = idle_cfg.is_none();
+        // xtask-hotpath: begin
+        for i in 0..steps {
+            let temp = thermal.temp_c();
+            // Straight-line leakage (no memo): the temperature moves
+            // every sub-step while idling towards steady state, so the
+            // one-entry cache would miss anyway.
+            let leak_w = self.config.power.leakage_w_from_base(lut.leak_base, temp);
+            let mut power_w = lut.uncore_w;
+            match idle_cfg {
+                None => {
+                    // Every core is Active with scales (1.0, 1.0): the
+                    // original loop adds the same per-core term once per
+                    // core, in order. Residency is batched after the loop.
+                    let term = PowerModel::idle_core_w_from_parts(lut.idle_coeff, leak_w, 1.0, 1.0);
+                    for _ in 0..self.cores.len() {
+                        power_w += term;
+                    }
+                }
+                Some(idle) => {
+                    let acc = &mut self.acc;
+                    for core in &mut self.cores {
+                        let depth = idle.depth(core.idle_for());
+                        let (dyn_scale, leak_scale) = idle.power_scales(depth);
+                        power_w += PowerModel::idle_core_w_from_parts(
+                            lut.idle_coeff,
+                            leak_w,
+                            dyn_scale,
+                            leak_scale,
+                        );
+                        match depth {
+                            IdleDepth::ClockGated => acc.idle_gated_s += dt_s,
+                            IdleDepth::Collapsed => acc.idle_collapsed_s += dt_s,
+                            IdleDepth::Active => {}
+                        }
+                        core.note_idle(dt);
+                    }
+                }
+            }
+
+            energy_j += power_w * dt_s;
+            thermal.step(power_w, dt);
+
+            // The clamp can engage (or release) mid-fast-forward exactly
+            // as it does mid-epoch; a lowered level changes the constants
+            // read at the top of the next iteration.
+            let clamp = thermal.clamp_max_level(max_level);
+            if self.level > clamp {
+                self.level = clamp;
+                energy_j += self.config.power.transition_energy_j;
+                self.acc.transitions += 1;
+                lut = self.lut();
+                // Mid-batch, the stepped loop would zero the stall again
+                // at the next sub-step; only a clamp on the final
+                // sub-step leaves it armed for the epoch that follows.
+                if i + 1 == steps {
+                    self.pending_stall = self.config.transition_latency;
+                }
+            }
+        }
+        self.config.thermal = thermal;
+        self.acc.energy_j = energy_j;
+        if batch_residency {
+            // Idle residency is integer nanoseconds, so one batched add
+            // equals `steps` per-sub-step adds exactly; without cpuidle
+            // states nothing reads it mid-batch.
+            let span = dt * steps;
+            for core in &mut self.cores {
+                core.note_idle(span);
+            }
+        }
+        // xtask-hotpath: end
+        self.acc.substeps += steps as u32;
     }
 
     /// Closes the epoch: returns the aggregate report and clears the
     /// accumulators.
     pub fn end_epoch(&mut self) -> ClusterReport {
-        let acc = std::mem::take(&mut self.acc);
-        let n = acc.substeps.max(1) as f64;
-        ClusterReport {
-            util_avg: acc.util_avg_sum / n,
-            util_max: acc.util_max_sum / n,
-            energy_j: acc.energy_j,
-            temp_c: self.config.thermal.temp_c(),
-            level: self.level,
-            transitions: acc.transitions,
-            completed: acc.completed,
-            queued: self.queued_jobs(),
-            idle_gated_s: acc.idle_gated_s,
-            idle_collapsed_s: acc.idle_collapsed_s,
-        }
+        let mut report = ClusterReport::default();
+        self.end_epoch_into(&mut report);
+        report
+    }
+
+    /// [`Cluster::end_epoch`] into a caller-owned report. The
+    /// completed-jobs buffer is swapped rather than reallocated, so in a
+    /// steady-state epoch loop its capacity shuttles between the
+    /// accumulator and the report and the epoch boundary allocates
+    /// nothing.
+    pub fn end_epoch_into(&mut self, report: &mut ClusterReport) {
+        let n = self.acc.substeps.max(1) as f64;
+        report.util_avg = self.acc.util_avg_sum / n;
+        report.util_max = self.acc.util_max_sum / n;
+        report.energy_j = self.acc.energy_j;
+        report.temp_c = self.config.thermal.temp_c();
+        report.level = self.level;
+        report.transitions = self.acc.transitions;
+        report.queued = self.queued_jobs();
+        report.idle_gated_s = self.acc.idle_gated_s;
+        report.idle_collapsed_s = self.acc.idle_collapsed_s;
+        report.completed.clear();
+        std::mem::swap(&mut report.completed, &mut self.acc.completed);
+        self.acc.substeps = 0;
+        self.acc.util_avg_sum = 0.0;
+        self.acc.util_max_sum = 0.0;
+        self.acc.energy_j = 0.0;
+        self.acc.transitions = 0;
+        self.acc.idle_gated_s = 0.0;
+        self.acc.idle_collapsed_s = 0.0;
     }
 
     /// A snapshot observation for governors.

@@ -124,11 +124,31 @@ impl CoreModel {
         freq_hz: u64,
         stall: SimDuration,
     ) -> CoreReport {
+        let mut completed = Vec::new();
+        let busy = self.advance_into(start, dt, freq_hz, stall, &mut completed);
+        CoreReport { busy, completed }
+    }
+
+    /// [`CoreModel::advance`] without the per-call report allocation:
+    /// completions are appended to `completed` and the busy fraction is
+    /// returned. The hot sub-step loop drains every core straight into
+    /// the cluster's pooled epoch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or `stall > dt`.
+    pub fn advance_into(
+        &mut self,
+        start: SimTime,
+        dt: SimDuration,
+        freq_hz: u64,
+        stall: SimDuration,
+        completed: &mut Vec<CompletedJob>,
+    ) -> f64 {
         assert!(!dt.is_zero(), "sub-step must have positive duration");
         assert!(stall <= dt, "stall {stall} exceeds sub-step {dt}");
         let stall = (stall + std::mem::take(&mut self.wake_stall)).min(dt);
 
-        let mut report = CoreReport::default();
         let exec_window = dt - stall;
         let speed = freq_hz as f64 * self.ipc; // ref-instructions per second
         let mut budget = speed * exec_window.as_secs_f64();
@@ -148,7 +168,7 @@ impl CoreModel {
                 let completed_at = exec_start + SimDuration::from_secs_f64(busy_s);
                 let job = front.job;
                 self.queue.pop_front();
-                report.completed.push(CompletedJob {
+                completed.push(CompletedJob {
                     id: job.id,
                     deadline: job.deadline,
                     completed_at,
@@ -163,13 +183,28 @@ impl CoreModel {
             }
         }
 
-        report.busy = (busy_s / dt.as_secs_f64()).clamp(0.0, 1.0);
-        if report.busy == 0.0 {
+        let busy = (busy_s / dt.as_secs_f64()).clamp(0.0, 1.0);
+        if busy == 0.0 {
             self.idle_for += dt;
         } else {
             self.idle_for = SimDuration::ZERO;
         }
-        report
+        busy
+    }
+
+    /// Whether the core would be a no-op this sub-step: nothing queued and
+    /// no pending wake-up stall. The idle fast-forward gates on this.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.wake_stall.is_zero()
+    }
+
+    /// Advances a quiescent core by `dt` without running the execution
+    /// loop. Bit-identical to [`CoreModel::advance`] for an empty queue:
+    /// the busy fraction is exactly `0.0`, so the only state change is the
+    /// idle-residency bump.
+    pub(crate) fn note_idle(&mut self, dt: SimDuration) {
+        debug_assert!(self.is_quiescent(), "fast idle path on a busy core");
+        self.idle_for += dt;
     }
 
     /// Drops all queued work (used when resetting between episodes).

@@ -96,8 +96,16 @@ impl PowerModel {
     /// watts. Clamped at zero so extreme sub-reference temperatures cannot
     /// produce negative power.
     pub fn leakage_w(&self, opp: Opp, temp_c: f64) -> f64 {
+        self.leakage_w_from_base(self.leak_w_per_v * opp.voltage_v, temp_c)
+    }
+
+    /// Leakage from a precomputed voltage term `leak_base =
+    /// leak_w_per_v · V`. The hot path hoists `leak_base` out of the
+    /// sub-step loop; routing [`PowerModel::leakage_w`] through here keeps
+    /// the two paths bit-identical by construction.
+    pub fn leakage_w_from_base(&self, leak_base: f64, temp_c: f64) -> f64 {
         let scale = 1.0 + self.leak_temp_coeff * (temp_c - self.leak_t_ref_c);
-        (self.leak_w_per_v * opp.voltage_v * scale).max(0.0)
+        (leak_base * scale).max(0.0)
     }
 
     /// Total power of one core with busy fraction `busy` at `opp` and
@@ -131,9 +139,51 @@ impl PowerModel {
             "busy fraction {busy} out of range"
         );
         let dyn_w = self.dynamic_w(opp);
-        dyn_w * busy
-            + dyn_w * self.idle_frac * (1.0 - busy) * idle_dyn_scale
-            + self.leakage_w(opp, temp_c) * leak_scale
+        Self::core_w_from_parts(
+            dyn_w,
+            dyn_w * self.idle_frac,
+            self.leakage_w(opp, temp_c),
+            busy,
+            idle_dyn_scale,
+            leak_scale,
+        )
+    }
+
+    /// Core power from precomputed per-OPP constants: `dyn_w` is the
+    /// fully-busy switching power, `idle_coeff = dyn_w · idle_frac`, and
+    /// `leak_w` is the already-evaluated leakage at the current
+    /// temperature. This is the single source of truth for the per-core
+    /// power expression — both the straightforward
+    /// [`PowerModel::core_w_scaled`] path and the cluster's memoised
+    /// sub-step loop call it, so they cannot drift apart bitwise. The
+    /// association order matches the original inline expression exactly.
+    #[inline]
+    pub fn core_w_from_parts(
+        dyn_w: f64,
+        idle_coeff: f64,
+        leak_w: f64,
+        busy: f64,
+        idle_dyn_scale: f64,
+        leak_scale: f64,
+    ) -> f64 {
+        dyn_w * busy + idle_coeff * (1.0 - busy) * idle_dyn_scale + leak_w * leak_scale
+    }
+
+    /// [`PowerModel::core_w_from_parts`] specialised to a quiescent core
+    /// (`busy == 0.0`): `dyn_w · 0.0` is `+0.0` for the finite
+    /// non-negative `dyn_w` the model produces, `(1.0 − 0.0)` is `1.0`,
+    /// and adding `+0.0` to the non-negative idle term is a bitwise
+    /// no-op — so this fold is **bit-identical** to the general
+    /// expression (asserted by a unit test) while skipping three
+    /// multiplications in the idle fast-forward loop.
+    #[inline]
+    pub fn idle_core_w_from_parts(
+        idle_coeff: f64,
+        leak_w: f64,
+        idle_dyn_scale: f64,
+        leak_scale: f64,
+    ) -> f64 {
+        idle_coeff * idle_dyn_scale + leak_w * leak_scale
     }
 
     /// Cluster uncore power at `opp`, in watts.
@@ -201,6 +251,29 @@ mod tests {
     fn leakage_never_negative() {
         let m = PowerModel::big_cluster();
         assert_eq!(m.leakage_w(opp_low(), -200.0), 0.0);
+    }
+
+    #[test]
+    fn idle_fold_is_bit_identical_to_general_expression() {
+        // The idle fast-forward uses the folded busy=0 form; it must
+        // match the general expression bit for bit across the model's
+        // whole operating envelope, including zero coefficients and the
+        // clamped (zero) leakage regime.
+        for m in [PowerModel::big_cluster(), PowerModel::little_cluster()] {
+            for opp in [opp_low(), opp_high()] {
+                for temp in [-200.0, 20.0, 55.5, 84.999, 120.0] {
+                    for (ds, ls) in [(1.0, 1.0), (0.3, 1.0), (0.0, 0.05), (0.0, 0.0)] {
+                        let dyn_w = m.dynamic_w(opp);
+                        let idle_coeff = dyn_w * m.idle_frac;
+                        let leak_w = m.leakage_w(opp, temp);
+                        let general =
+                            PowerModel::core_w_from_parts(dyn_w, idle_coeff, leak_w, 0.0, ds, ls);
+                        let folded = PowerModel::idle_core_w_from_parts(idle_coeff, leak_w, ds, ls);
+                        assert_eq!(general.to_bits(), folded.to_bits(), "temp {temp}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The top-level SoC: clusters + scheduler + arrival queue, advanced one
 //! DVFS epoch at a time.
 
-use simkit::{EventQueue, SimTime};
+use simkit::{EventQueue, SimDuration, SimTime};
 
 use crate::{
     Cluster, ClusterObservation, ClusterReport, CompletedJob, Job, OppLevel, Scheduler, SocConfig,
@@ -87,6 +87,7 @@ pub struct Soc {
     total_energy_j: f64,
     epochs_run: u64,
     jobs_submitted: u64,
+    idle_fast_forward: bool,
 }
 
 impl Soc {
@@ -107,7 +108,15 @@ impl Soc {
             total_energy_j: 0.0,
             epochs_run: 0,
             jobs_submitted: 0,
+            idle_fast_forward: true,
         })
+    }
+
+    /// Enables or disables the idle fast-forward (on by default). The
+    /// fast path is bit-identical to stepped execution — this knob exists
+    /// so tests can prove that claim by running both ways.
+    pub fn set_idle_fast_forward(&mut self, enabled: bool) {
+        self.idle_fast_forward = enabled;
     }
 
     /// The configuration the SoC was built from.
@@ -183,6 +192,31 @@ impl Soc {
     /// arity or [`SocError::LevelOutOfRange`] for a level beyond a
     /// cluster's table.
     pub fn run_epoch(&mut self, request: &LevelRequest) -> Result<EpochReport, SocError> {
+        let mut report = EpochReport {
+            started_at: SimTime::ZERO,
+            ended_at: SimTime::ZERO,
+            clusters: Vec::new(),
+            energy_j: 0.0,
+        };
+        self.run_epoch_into(request, &mut report)?;
+        Ok(report)
+    }
+
+    /// [`Soc::run_epoch`] into a caller-owned report, reusing its buffers.
+    ///
+    /// In a steady-state epoch loop the per-cluster report slots and their
+    /// completed-job pools retain their capacity across calls, so the hot
+    /// path performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Soc::run_epoch`]; on error the report contents are
+    /// unspecified.
+    pub fn run_epoch_into(
+        &mut self,
+        request: &LevelRequest,
+        report: &mut EpochReport,
+    ) -> Result<(), SocError> {
         if request.levels.len() != self.clusters.len() {
             return Err(SocError::InvalidSocConfig {
                 reason: format!(
@@ -200,7 +234,9 @@ impl Soc {
         let substep = self.config.substep;
         let steps = self.config.substeps_per_epoch();
 
-        for _ in 0..steps {
+        // xtask-hotpath: begin
+        let mut step = 0u64;
+        while step < steps {
             // Dispatch arrivals due by the start of this sub-step.
             while let Some((_, job)) = self.arrivals.pop_until(self.now) {
                 let (cluster, core) = self.scheduler.place(&self.clusters, &job);
@@ -208,39 +244,96 @@ impl Soc {
                     target.enqueue_on(core, job);
                 }
             }
+
+            // Idle fast-forward: with every core quiescent and the next
+            // arrival strictly beyond the next `ff − 1` sub-step
+            // boundaries, those boundaries would dispatch nothing and
+            // execute nothing — batch them per cluster (clusters do not
+            // interact between dispatches, so the reorder is exact).
+            if self.idle_fast_forward
+                && steps - step >= 2
+                && self.clusters.iter().all(Cluster::is_quiescent)
+            {
+                let remaining = steps - step;
+                let ff = match self.arrivals.peek_time() {
+                    None => remaining,
+                    Some(t) => {
+                        // `t > self.now` because the dispatch loop above
+                        // drained everything due by now. Sub-step `j`
+                        // (0-based from here) dispatches arrivals at
+                        // `now + j·substep`, so we may skip the checks for
+                        // j = 1..ff−1 iff t > now + (ff−1)·substep; the
+                        // largest such ff is ⌊(gap−1ns)/substep⌋ + 1.
+                        let gap = t - self.now;
+                        ((gap - SimDuration::from_nanos(1)) / substep + 1).min(remaining)
+                    }
+                };
+                if ff >= 2 {
+                    for cluster in &mut self.clusters {
+                        cluster.advance_idle_substeps(substep, ff);
+                    }
+                    self.now += substep * ff;
+                    step += ff;
+                    continue;
+                }
+            }
+
             for cluster in &mut self.clusters {
-                cluster.advance_substep(self.now, substep);
+                // A quiescent cluster next to a busy one (the common case
+                // in light scenarios: one cluster runs the job, the other
+                // idles) takes the cheap idle path for this single
+                // sub-step — same bits, no per-core execution loop.
+                if self.idle_fast_forward && cluster.is_quiescent() {
+                    cluster.advance_idle_substeps(substep, 1);
+                } else {
+                    cluster.advance_substep(self.now, substep);
+                }
             }
             self.now += substep;
+            step += 1;
         }
+        // xtask-hotpath: end
 
-        let clusters: Vec<ClusterReport> =
-            self.clusters.iter_mut().map(Cluster::end_epoch).collect();
-        let energy_j = clusters.iter().map(|c| c.energy_j).sum::<f64>()
-            + self.config.board_base_w * self.config.epoch.as_secs_f64();
+        report.started_at = started_at;
+        report.ended_at = self.now;
+        report
+            .clusters
+            .resize_with(self.clusters.len(), ClusterReport::default);
+        let mut energy_j = 0.0;
+        for (cluster, slot) in self.clusters.iter_mut().zip(report.clusters.iter_mut()) {
+            cluster.end_epoch_into(slot);
+            energy_j += slot.energy_j;
+        }
+        let energy_j = energy_j + self.config.board_base_w * self.config.epoch.as_secs_f64();
         self.total_energy_j += energy_j;
         self.epochs_run += 1;
-
-        Ok(EpochReport {
-            started_at,
-            ended_at: self.now,
-            clusters,
-            energy_j,
-        })
+        report.energy_j = energy_j;
+        Ok(())
     }
 
     /// Builds the governor-facing observation from an epoch report.
     pub fn observe(&self, report: &EpochReport) -> EpochObservation {
-        EpochObservation {
+        let mut obs = EpochObservation {
             at: report.ended_at,
-            clusters: self
-                .clusters
+            clusters: Vec::new(),
+            energy_j: report.energy_j,
+        };
+        self.observe_into(report, &mut obs);
+        obs
+    }
+
+    /// [`Soc::observe`] into a caller-owned observation, reusing its
+    /// per-cluster buffer.
+    pub fn observe_into(&self, report: &EpochReport, obs: &mut EpochObservation) {
+        obs.at = report.ended_at;
+        obs.energy_j = report.energy_j;
+        obs.clusters.clear();
+        obs.clusters.extend(
+            self.clusters
                 .iter()
                 .zip(&report.clusters)
-                .map(|(cluster, r)| cluster.observe(r.util_avg, r.util_max))
-                .collect(),
-            energy_j: report.energy_j,
-        }
+                .map(|(cluster, r)| cluster.observe(r.util_avg, r.util_max)),
+        );
     }
 
     /// Resets to a cold, idle SoC at time zero (between training episodes).
@@ -248,7 +341,7 @@ impl Soc {
         for cluster in &mut self.clusters {
             cluster.reset();
         }
-        self.arrivals = EventQueue::new();
+        self.arrivals.reset();
         self.now = SimTime::ZERO;
         self.total_energy_j = 0.0;
         self.epochs_run = 0;

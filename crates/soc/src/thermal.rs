@@ -15,7 +15,7 @@
 use simkit::SimDuration;
 
 /// Thermal parameters and state for one cluster.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThermalModel {
     /// Thermal resistance junction→ambient (°C/W).
     pub r_th_c_per_w: f64,
@@ -31,6 +31,26 @@ pub struct ThermalModel {
     pub throttle_levels: usize,
     temp_c: f64,
     throttled: bool,
+    /// Memo for the exponential decay factor of [`ThermalModel::step`].
+    /// `dt` and `tau` are constant across the simulation's sub-steps, so
+    /// the `exp()` result is too; the key carries both so a changed `dt`
+    /// or mutated R/C parameters recompute exactly. Pure cache — excluded
+    /// from `PartialEq`.
+    decay_cache: (SimDuration, u64, f64),
+}
+
+/// Equality over the semantic fields only; the decay memo is transparent.
+impl PartialEq for ThermalModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.r_th_c_per_w == other.r_th_c_per_w
+            && self.c_th_j_per_c == other.c_th_j_per_c
+            && self.ambient_c == other.ambient_c
+            && self.throttle_temp_c == other.throttle_temp_c
+            && self.release_temp_c == other.release_temp_c
+            && self.throttle_levels == other.throttle_levels
+            && self.temp_c == other.temp_c
+            && self.throttled == other.throttled
+    }
 }
 
 impl ThermalModel {
@@ -63,6 +83,13 @@ impl ThermalModel {
             throttle_levels,
             temp_c: ambient_c,
             throttled: false,
+            // exp(-0.0 / tau) is exactly 1.0, so the zero-duration seed
+            // entry is already correct.
+            decay_cache: (
+                SimDuration::ZERO,
+                (r_th_c_per_w * c_th_j_per_c).to_bits(),
+                1.0,
+            ),
         }
     }
 
@@ -106,7 +133,16 @@ impl ThermalModel {
         );
         let t_inf = self.steady_state_c(p_w);
         let tau = self.r_th_c_per_w * self.c_th_j_per_c;
-        let decay = (-dt.as_secs_f64() / tau).exp();
+        // The decay factor depends only on (dt, tau), both constant in
+        // steady state; memoise the exp(). Keyed on the exact inputs, so a
+        // hit returns the bit the cold path would have computed.
+        let decay = if self.decay_cache.0 == dt && self.decay_cache.1 == tau.to_bits() {
+            self.decay_cache.2
+        } else {
+            let fresh = (-dt.as_secs_f64() / tau).exp();
+            self.decay_cache = (dt, tau.to_bits(), fresh);
+            fresh
+        };
         self.temp_c = t_inf + (self.temp_c - t_inf) * decay;
 
         if self.temp_c >= self.throttle_temp_c {

@@ -1,0 +1,143 @@
+//! The idle fast-forward must be invisible: a SoC advanced with the fast
+//! path enabled must be **bit-identical** — every report field, every
+//! cluster's internal state — to one stepped sub-step by sub-step.
+//!
+//! The property test drives both SoCs through the same randomized
+//! schedule of sparse arrivals (gaps from sub-epoch to many epochs,
+//! which is what makes the fast path fire), random per-epoch levels
+//! (exercising the transition stall and the thermal clamp at high OPPs)
+//! and both cpuidle configurations.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use soc::{Job, JobClass, LevelRequest, Soc, SocConfig};
+
+/// One randomized closed-loop schedule.
+#[derive(Debug, Clone)]
+struct Plan {
+    cstates: bool,
+    /// (arrival ms, work in ref-instructions, class selector).
+    jobs: Vec<(u64, u64, u8)>,
+    /// Per-epoch (little, big) levels.
+    levels: Vec<(usize, usize)>,
+}
+
+fn make_plan(
+    cstates: bool,
+    arrivals_ms: Vec<u64>,
+    works: Vec<u64>,
+    classes: Vec<u8>,
+    little: Vec<usize>,
+    big: Vec<usize>,
+) -> Plan {
+    Plan {
+        cstates,
+        jobs: arrivals_ms
+            .into_iter()
+            .zip(works)
+            .zip(classes)
+            .map(|((at, work), class)| (at, work, class))
+            .collect(),
+        levels: little.into_iter().zip(big).collect(),
+    }
+}
+
+fn build_soc(cstates: bool) -> Soc {
+    let config = if cstates {
+        SocConfig::odroid_xu3_like_cstates()
+    } else {
+        SocConfig::odroid_xu3_like()
+    };
+    Soc::new(config.expect("preset is valid")).expect("preset builds")
+}
+
+fn run_plan(plan: &Plan, fast_forward: bool) -> Soc {
+    let mut soc = build_soc(plan.cstates);
+    soc.set_idle_fast_forward(fast_forward);
+    for (i, &(at_ms, work, class)) in plan.jobs.iter().enumerate() {
+        let class = match class {
+            0 => JobClass::Light,
+            1 => JobClass::Normal,
+            _ => JobClass::Heavy,
+        };
+        let at = SimTime::from_millis(at_ms);
+        soc.schedule_job(at, Job::new(i as u64, work, at + soc.config().epoch, class));
+    }
+    for &(little, big) in &plan.levels {
+        soc.run_epoch(&LevelRequest::new(vec![little, big]))
+            .expect("levels drawn in range");
+    }
+    soc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast-forwarded and stepped runs agree on every observable *and*
+    /// every internal field (`Cluster`'s `PartialEq` spans cores, queues,
+    /// thermal state and accumulators; its memo caches are excluded by
+    /// design — they are the only allowed divergence).
+    #[test]
+    fn prop_fast_forward_is_bit_identical(
+        cstates in proptest::arbitrary::any::<bool>(),
+        arrivals_ms in proptest::collection::vec(0u64..1200, 0..10),
+        works in proptest::collection::vec(10_000u64..30_000_000, 10),
+        classes in proptest::collection::vec(0u8..3, 10),
+        little in proptest::collection::vec(0usize..13, 1..40),
+        big in proptest::collection::vec(0usize..19, 40),
+    ) {
+        let plan = make_plan(cstates, arrivals_ms, works, classes, little, big);
+        let fast = run_plan(&plan, true);
+        let slow = run_plan(&plan, false);
+        prop_assert_eq!(fast.now(), slow.now());
+        prop_assert_eq!(fast.total_energy_j().to_bits(), slow.total_energy_j().to_bits());
+        prop_assert_eq!(fast.clusters(), slow.clusters());
+        prop_assert_eq!(fast.pending_arrivals(), slow.pending_arrivals());
+    }
+
+    /// Same property through the report surface: per-epoch reports (and
+    /// therefore everything governors and metrics are built from) match
+    /// exactly, epoch by epoch.
+    #[test]
+    fn prop_per_epoch_reports_match(
+        cstates in proptest::arbitrary::any::<bool>(),
+        arrivals_ms in proptest::collection::vec(0u64..1200, 0..10),
+        works in proptest::collection::vec(10_000u64..30_000_000, 10),
+        classes in proptest::collection::vec(0u8..3, 10),
+        little in proptest::collection::vec(0usize..13, 1..40),
+        big in proptest::collection::vec(0usize..19, 40),
+    ) {
+        let plan = make_plan(cstates, arrivals_ms, works, classes, little, big);
+        let empty = Plan { levels: Vec::new(), ..plan.clone() };
+        let mut fast = run_plan(&empty, true);
+        let mut slow = run_plan(&empty, false);
+        for &(little, big) in &plan.levels {
+            let request = LevelRequest::new(vec![little, big]);
+            let rf = fast.run_epoch(&request).expect("valid request");
+            let rs = slow.run_epoch(&request).expect("valid request");
+            prop_assert_eq!(&rf, &rs);
+        }
+    }
+}
+
+/// The pure-idle scenario must actually take the fast path and still
+/// agree — a deterministic smoke check that runs even if the random
+/// schedules happen to avoid long gaps.
+#[test]
+fn long_idle_stretch_agrees_exactly() {
+    for cstates in [false, true] {
+        let plan = Plan {
+            cstates,
+            jobs: vec![(0, 5_000_000, 2), (700, 1_000_000, 0)],
+            levels: (0..50).map(|i| (i % 13, (2 * i) % 19)).collect(),
+        };
+        let fast = run_plan(&plan, true);
+        let slow = run_plan(&plan, false);
+        assert_eq!(fast.clusters(), slow.clusters(), "cstates={cstates}");
+        assert_eq!(
+            fast.total_energy_j().to_bits(),
+            slow.total_energy_j().to_bits(),
+            "cstates={cstates}"
+        );
+    }
+}

@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The three custom lint families.
+/// The four custom lint families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// No floating point in the hardware datapath modules.
@@ -40,6 +40,12 @@ pub enum Lint {
     Determinism,
     /// Panicking constructs in library code, ratcheted via baseline.
     NoPanicLib,
+    /// No heap-allocating constructs inside regions fenced by
+    /// `// xtask-hotpath: begin` / `// xtask-hotpath: end` comments (the
+    /// simulator's per-sub-step loops). Lexical, like the other families:
+    /// it catches the allocation *call sites* regressing into the loops,
+    /// not allocations hidden behind function calls.
+    NoAllocHotpath,
 }
 
 impl Lint {
@@ -49,6 +55,7 @@ impl Lint {
             Lint::FxPurity => "fx-purity",
             Lint::Determinism => "determinism",
             Lint::NoPanicLib => "no-panic-lib",
+            Lint::NoAllocHotpath => "no-alloc-hotpath",
         }
     }
 }
@@ -573,6 +580,59 @@ const NO_PANIC_WORDS: &[WordRule] = &[
     },
 ];
 
+const HOTPATH_ALLOC_WORDS: &[WordRule] = &[
+    WordRule {
+        word: "Vec::new",
+        then: None,
+        message: "`Vec::new` in a hot-path region; reuse a pooled buffer",
+    },
+    WordRule {
+        word: "vec",
+        then: Some('!'),
+        message: "`vec![…]` in a hot-path region; reuse a pooled buffer",
+    },
+    WordRule {
+        word: "collect",
+        then: Some('('),
+        message: "`.collect()` in a hot-path region; fold into reused storage",
+    },
+    WordRule {
+        word: "to_vec",
+        then: Some('('),
+        message: "`to_vec()` in a hot-path region; borrow or reuse a buffer",
+    },
+    WordRule {
+        word: "with_capacity",
+        then: Some('('),
+        message: "allocation in a hot-path region; hoist the buffer out of the loop",
+    },
+    WordRule {
+        word: "Box::new",
+        then: None,
+        message: "`Box::new` in a hot-path region; hoist the allocation",
+    },
+    WordRule {
+        word: "String::new",
+        then: None,
+        message: "`String::new` in a hot-path region; reuse a buffer",
+    },
+    WordRule {
+        word: "to_string",
+        then: Some('('),
+        message: "`to_string()` in a hot-path region; format outside the loop",
+    },
+    WordRule {
+        word: "to_owned",
+        then: Some('('),
+        message: "`to_owned()` in a hot-path region; borrow instead",
+    },
+    WordRule {
+        word: "format",
+        then: Some('!'),
+        message: "`format!` in a hot-path region; format outside the loop",
+    },
+];
+
 /// How a potential violation interacts with `xtask-allow` comments.
 enum Allow {
     No,
@@ -605,21 +665,34 @@ fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
 /// Scans one file's source for the given lint families.
 ///
 /// `file` is the label used in diagnostics (repo-relative path). Test
-/// regions (`#[cfg(test)]`) are exempt from every family.
+/// regions (`#[cfg(test)]`) are exempt from every family. The
+/// [`Lint::NoAllocHotpath`] family additionally fires only between
+/// `// xtask-hotpath: begin` and `// xtask-hotpath: end` marker comments.
 pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
     let lines = preprocess(source);
     let mut out = ScanOutcome::default();
 
+    let mut in_hotpath = false;
     for (idx, line) in lines.iter().enumerate() {
+        if line.comment.contains("xtask-hotpath: begin") {
+            in_hotpath = true;
+        }
+        if line.comment.contains("xtask-hotpath: end") {
+            in_hotpath = false;
+        }
         if line.in_test {
             continue;
         }
         for &lint in lints {
+            if lint == Lint::NoAllocHotpath && !in_hotpath {
+                continue;
+            }
             let mut hits: Vec<&'static str> = Vec::new();
             let rules = match lint {
                 Lint::FxPurity => FX_WORDS,
                 Lint::Determinism => DETERMINISM_WORDS,
                 Lint::NoPanicLib => NO_PANIC_WORDS,
+                Lint::NoAllocHotpath => HOTPATH_ALLOC_WORDS,
             };
             for rule in rules {
                 let matched = match rule.then {
@@ -908,5 +981,70 @@ mod tests {
         let out = scan_source("inline", src, &[Lint::FxPurity]);
         // The cfg(test) on the `use` must not swallow the real violation.
         assert!(!out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hotpath_lint_fires_only_between_markers() {
+        let src = "\
+let before = Vec::new();
+// xtask-hotpath: begin
+let a = Vec::new();
+let b = vec![1, 2];
+let c: Vec<u64> = xs.iter().copied().collect();
+let d = xs.to_vec();
+let e = Vec::with_capacity(8);
+let f = format!(\"{x}\");
+// xtask-hotpath: end
+let after = Vec::new();
+";
+        let out = scan_source("inline", src, &[Lint::NoAllocHotpath]);
+        let lines: Vec<usize> = out.diagnostics.iter().map(|d| d.line).collect();
+        // One hit per seeded allocation inside the region, none outside.
+        assert_eq!(lines, vec![3, 4, 5, 6, 7, 8], "got {:?}", out.diagnostics);
+        assert!(out
+            .diagnostics
+            .iter()
+            .all(|d| d.lint == Lint::NoAllocHotpath));
+    }
+
+    #[test]
+    fn hotpath_lint_is_silent_without_markers() {
+        let src = "let a = Vec::new();\nlet b = vec![1];\nlet c = xs.to_vec();\n";
+        let out = scan_source("inline", src, &[Lint::NoAllocHotpath]);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn hotpath_lint_honours_suppressions() {
+        let src = "\
+// xtask-hotpath: begin
+// xtask-allow: no-alloc-hotpath -- one-time warm-up allocation
+let a = Vec::new();
+let b = Vec::new(); // xtask-allow: no-alloc-hotpath
+// xtask-hotpath: end
+";
+        let out = scan_source("inline", src, &[Lint::NoAllocHotpath]);
+        assert_eq!(out.suppressed, 1, "got {:?}", out.diagnostics);
+        // The bare allow (no ` -- reason`) stays an error.
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        assert!(out.diagnostics[0].message.contains("without justification"));
+    }
+
+    #[test]
+    fn hotpath_lint_exempts_test_regions_and_spares_lookalikes() {
+        let src = "\
+// xtask-hotpath: begin
+let ok = self.unwrap_or_collection; // `collect` inside a longer ident
+let sum: u64 = xs.iter().sum();
+// xtask-hotpath: end
+#[cfg(test)]
+mod tests {
+    // xtask-hotpath: begin
+    fn t() { let v = Vec::new(); }
+    // xtask-hotpath: end
+}
+";
+        let out = scan_source("inline", src, &[Lint::NoAllocHotpath]);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
     }
 }

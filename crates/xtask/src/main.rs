@@ -6,7 +6,9 @@
 //! * `fx-purity` over the `rlpm-hw` datapath modules,
 //! * `determinism` over the simulation crates,
 //! * `no-panic-lib` over every library crate, ratcheted against
-//!   `crates/xtask/no_panic_baseline.txt`.
+//!   `crates/xtask/no_panic_baseline.txt`,
+//! * `no-alloc-hotpath` over the marked sub-step loops of the `soc`
+//!   crate (the simulator's allocation-free hot path).
 //!
 //! Exit status is non-zero on any unsuppressed violation or baseline
 //! regression, so CI can gate on it. `--update-baseline` rewrites the
@@ -38,6 +40,10 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/rlpm",
     "crates/experiments",
 ];
+
+/// Files containing `xtask-hotpath: begin`/`end` marked regions — the
+/// per-sub-step simulation loops that must stay allocation-free.
+const HOTPATH_FILES: &[&str] = &["crates/soc/src/cluster.rs", "crates/soc/src/soc_impl.rs"];
 
 /// Library crates covered by the no-panic ratchet (binaries, benches and
 /// the vendored shims are exempt).
@@ -117,9 +123,10 @@ fn print_usage() {
         "usage: cargo xtask check [--update-baseline]\n\
          \n\
          Runs the workspace static-analysis pass:\n\
-         \u{20}  fx-purity     float-free rlpm-hw datapath modules\n\
-         \u{20}  determinism   no wall clocks / hash order / unseeded RNGs\n\
-         \u{20}  no-panic-lib  panicking constructs ratcheted via baseline\n\
+         \u{20}  fx-purity         float-free rlpm-hw datapath modules\n\
+         \u{20}  determinism       no wall clocks / hash order / unseeded RNGs\n\
+         \u{20}  no-panic-lib      panicking constructs ratcheted via baseline\n\
+         \u{20}  no-alloc-hotpath  no allocations in marked soc sub-step loops\n\
          \n\
          Suppress a finding inline with:\n\
          \u{20}  // xtask-allow: <lint> -- <justification>"
@@ -200,6 +207,17 @@ fn run_check(root: &Path, update_baseline: bool) -> Result<bool, String> {
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         scanned += 1;
         let out = scan_source(rel, &source, &[Lint::FxPurity]);
+        suppressed += out.suppressed;
+        diagnostics.extend(out.diagnostics);
+    }
+
+    // no-alloc-hotpath: exact file list; only marked regions can fire.
+    for rel in HOTPATH_FILES {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scanned += 1;
+        let out = scan_source(rel, &source, &[Lint::NoAllocHotpath]);
         suppressed += out.suppressed;
         diagnostics.extend(out.diagnostics);
     }
@@ -295,14 +313,18 @@ fn run_check(root: &Path, update_baseline: bool) -> Result<bool, String> {
         .iter()
         .filter(|d| d.lint == Lint::Determinism)
         .count();
+    let hot = diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::NoAllocHotpath)
+        .count();
     let bare = diagnostics
         .iter()
         .filter(|d| d.lint == Lint::NoPanicLib)
         .count();
     println!(
         "xtask check: {scanned} files scanned — fx-purity {fx} violations, determinism {det} \
-         violations, no-panic-lib {total_no_panic} occurrences (baseline {}), {} regression(s), \
-         {suppressed} suppressed",
+         violations, no-alloc-hotpath {hot} violations, no-panic-lib {total_no_panic} occurrences \
+         (baseline {}), {} regression(s), {suppressed} suppressed",
         baseline.values().sum::<usize>(),
         regressions.len(),
     );
