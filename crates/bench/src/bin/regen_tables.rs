@@ -16,6 +16,7 @@ use experiments::e5_qos_violations::{qos_ratio_table, satisfaction_summary, viol
 use experiments::e6_fixed_point::{parity_table, run_parity, run_sweep, sweep_table};
 use experiments::e7_hw_cost::{cost_table, latency_optimal, run_e7};
 use experiments::e8_idle_states::{idle_table, run_e8, E8Config};
+use experiments::e9_fault_resilience::{run_e9, E9Arm, E9Config};
 use experiments::table::{fmt_pct, Table};
 
 fn emit(table: &Table, results_dir: &Path, file: &str) {
@@ -173,6 +174,38 @@ fn main() {
         println!(
             "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
             fmt_pct(result.reduction_vs_six())
+        );
+    }
+
+    if want("e9-fault") {
+        let config = if quick {
+            E9Config::quick()
+        } else {
+            E9Config::default()
+        };
+        eprintln!(
+            "running E9 fault-resilience sweep: {} arms x {} multipliers x {} seeds ...",
+            config.arms.len(),
+            config.multipliers.len(),
+            config.seeds.len()
+        );
+        let result = run_e9(&soc_config, &config);
+        emit(
+            &result.violations_table(),
+            results_dir,
+            "e9_fault_violations.csv",
+        );
+        emit(
+            &result.energy_per_qos_table(),
+            results_dir,
+            "e9_fault_energy_per_qos.csv",
+        );
+        emit(&result.summary_table(), results_dir, "e9_fault_summary.csv");
+        println!(
+            "E9-fault headline: QoS-violation growth at the highest fault rate is {:.1} with the \
+             watchdog vs {:.1} without (lower growth = more graceful degradation)\n",
+            result.violation_growth(E9Arm::RlWatchdog),
+            result.violation_growth(E9Arm::RlNoFallback)
         );
     }
 

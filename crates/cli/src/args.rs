@@ -34,7 +34,7 @@ impl fmt::Display for ParseArgsError {
 impl Error for ParseArgsError {}
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["trace", "quiet", "help"];
+const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick"];
 
 /// Parses a raw argument list (without the program name).
 ///
@@ -164,6 +164,13 @@ mod tests {
         assert_eq!(inv.positional, vec!["video", "rlpm"]);
         assert_eq!(inv.flag_or("secs", 0u64).unwrap(), 30);
         assert!(inv.has("trace"));
+    }
+
+    #[test]
+    fn quick_is_a_bare_flag() {
+        let inv = parse(["e9", "--quick", "--fault-seed", "7"]).unwrap();
+        assert!(inv.has("quick"));
+        assert_eq!(inv.flag_or("fault-seed", 0u64).unwrap(), 7);
     }
 
     #[test]

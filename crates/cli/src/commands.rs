@@ -316,6 +316,53 @@ pub fn cmd_latency(inv: &Invocation) -> CmdResult {
     Ok(())
 }
 
+/// `e9 [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick]`
+/// — the resilience sweep under injected faults.
+pub fn cmd_e9(inv: &Invocation) -> CmdResult {
+    use experiments::e9_fault_resilience::{run_e9, E9Config};
+
+    inv.allow_flags(&["scenario", "fault-seed", "soc", "out-dir", "quick"])?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+    let soc_cfg = soc_config(&soc_name)?;
+    let mut config = if inv.has("quick") {
+        E9Config::quick()
+    } else {
+        E9Config::default()
+    };
+    let scenario_name: String = inv.flag_or("scenario", config.scenario.name().to_owned())?;
+    config.scenario = scenario_kind(&scenario_name)?;
+    config.fault_seed = inv.flag_or("fault-seed", config.fault_seed)?;
+
+    eprintln!(
+        "E9 resilience sweep on {scenario_name}: {} arms x {} fault multipliers x {} seeds \
+         (fault seed {}) ...",
+        config.arms.len(),
+        config.multipliers.len(),
+        config.seeds.len(),
+        config.fault_seed
+    );
+    let result = run_e9(&soc_cfg, &config);
+    println!("{}", result.violations_table().to_markdown());
+    println!("{}", result.energy_per_qos_table().to_markdown());
+    println!("{}", result.summary_table().to_markdown());
+
+    if let Some(dir) = inv.flags.get("out-dir") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)?;
+        result
+            .violations_table()
+            .write_csv(&dir.join("e9_fault_violations.csv"))?;
+        result
+            .energy_per_qos_table()
+            .write_csv(&dir.join("e9_fault_energy_per_qos.csv"))?;
+        result
+            .summary_table()
+            .write_csv(&dir.join("e9_fault_summary.csv"))?;
+        println!("wrote e9_fault_*.csv to {}", dir.display());
+    }
+    Ok(())
+}
+
 /// `help`
 pub fn cmd_help() -> CmdResult {
     println!(
@@ -329,6 +376,7 @@ USAGE:
   rlpm-sim record   <scenario> --out FILE [--secs N] [--seed N]
   rlpm-sim replay   <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]
   rlpm-sim latency  [--soc P]
+  rlpm-sim e9       [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick]
   rlpm-sim help
 
 SCENARIOS: video web gaming audio camera video-call navigation app-launch idle mixed
@@ -348,6 +396,7 @@ pub fn dispatch(inv: &Invocation) -> CmdResult {
         "record" => cmd_record(inv),
         "replay" => cmd_replay(inv),
         "latency" => cmd_latency(inv),
+        "e9" => cmd_e9(inv),
         "help" => cmd_help(),
         other => {
             Err(ParseArgsError(format!("unknown command {other:?}; try `rlpm-sim help`")).into())
@@ -392,6 +441,30 @@ mod tests {
     fn latency_command_runs() {
         let inv = parse(["latency"]).unwrap();
         dispatch(&inv).expect("latency prints the ladder");
+    }
+
+    #[test]
+    fn e9_quick_sweep_writes_fault_csvs() {
+        let dir = std::env::temp_dir().join("rlpm-sim-test-e9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_owned();
+        let inv = parse([
+            "e9".to_owned(),
+            "--quick".to_owned(),
+            "--out-dir".to_owned(),
+            dir_str,
+        ])
+        .unwrap();
+        dispatch(&inv).expect("e9 quick sweep");
+        for name in [
+            "e9_fault_violations.csv",
+            "e9_fault_energy_per_qos.csv",
+            "e9_fault_summary.csv",
+        ] {
+            let csv = std::fs::read_to_string(dir.join(name)).expect(name);
+            assert!(csv.contains("rlpm + watchdog"), "{name}: {csv}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -105,8 +105,10 @@ pub fn run_e1(soc_config: &SocConfig, config: &E1Config) -> E1Result {
     }
     let eval_secs = config.eval_secs;
     let training = config.training;
+    // An invalid SoC config cannot produce measurements; its cells are
+    // dropped (callers always pass configs that already built a SoC).
     let runs = parallel_map(jobs, |(scenario, policy, seed)| {
-        let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+        let mut soc = Soc::new(soc_config.clone()).ok()?;
         let mut governor = policy.build_trained(soc_config, scenario, training, seed);
         // Evaluation uses a different seed stream than training.
         let mut scenario_inst = scenario.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
@@ -116,16 +118,16 @@ pub fn run_e1(soc_config: &SocConfig, config: &E1Config) -> E1Result {
             governor.as_mut(),
             RunConfig::seconds(eval_secs),
         );
-        CellRun {
+        Some(CellRun {
             scenario,
             policy,
             seed,
             metrics,
-        }
+        })
     });
     E1Result {
         config: config.clone(),
-        runs,
+        runs: runs.into_iter().flatten().collect(),
     }
 }
 

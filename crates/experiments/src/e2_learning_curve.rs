@@ -60,9 +60,11 @@ pub struct E2Result {
 
 /// Runs the learning-curve experiment.
 pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
-    let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> = parallel_map(config.seeds.clone(), |seed| {
+    // An invalid SoC config cannot produce measurements; its seeds are
+    // dropped (callers always pass configs that already built a SoC).
+    let per_seed = parallel_map(config.seeds.clone(), |seed| {
         let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
-        let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+        let mut soc = Soc::new(soc_config.clone()).ok()?;
         let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
         let mut curve = Vec::with_capacity(config.episodes as usize);
         let mut epsilon = Vec::with_capacity(config.episodes as usize);
@@ -80,7 +82,7 @@ pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
             policy.reset();
         }
         // Reference baseline under the same seed stream.
-        let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+        let mut soc = Soc::new(soc_config.clone()).ok()?;
         let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
         let mut ondemand = GovernorKind::Ondemand.build(soc_config);
         let reference = run(
@@ -90,8 +92,9 @@ pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
             RunConfig::seconds(config.episode_secs),
         )
         .energy_per_qos;
-        (curve, epsilon, reference)
+        Some((curve, epsilon, reference))
     });
+    let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> = per_seed.into_iter().flatten().collect();
 
     let episodes = config.episodes as usize;
     let n = per_seed.len() as f64;
@@ -99,9 +102,11 @@ pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
     let mut epsilon = vec![0.0; episodes];
     let mut reference = 0.0;
     for (c, e, r) in &per_seed {
-        for i in 0..episodes {
-            curve[i] += c[i] / n;
-            epsilon[i] += e[i] / n;
+        for (acc, v) in curve.iter_mut().zip(c) {
+            *acc += v / n;
+        }
+        for (acc, v) in epsilon.iter_mut().zip(e) {
+            *acc += v / n;
         }
         reference += r / n;
     }
@@ -117,8 +122,8 @@ impl E2Result {
     /// `k` episodes' mean (positive = learning reduced energy-per-QoS).
     pub fn improvement(&self, k: usize) -> f64 {
         let k = k.clamp(1, self.curve.len() / 2);
-        let head: f64 = self.curve[..k].iter().sum::<f64>() / k as f64;
-        let tail: f64 = self.curve[self.curve.len() - k..].iter().sum::<f64>() / k as f64;
+        let head: f64 = self.curve.iter().take(k).sum::<f64>() / k as f64;
+        let tail: f64 = self.curve.iter().rev().take(k).sum::<f64>() / k as f64;
         1.0 - tail / head
     }
 

@@ -15,12 +15,14 @@
 //! | [`e6_fixed_point`] | E6 — HW/SW parity and fixed-point bit-width study |
 //! | [`e7_hw_cost`] | E7 — engine fabric cost pathfinding (extension) |
 //! | [`e8_idle_states`] | E8 — cpuidle (C-state) interaction (extension) |
+//! | [`e9_fault_resilience`] | E9 — resilience under injected faults (extension) |
 //! | [`ablations`] | A1–A4 — state features, reward shaping, exploration, TD algorithm |
 //!
 //! The building blocks are [`run`] (one closed-loop simulation),
-//! [`PolicyKind`] (every policy under test, including the pre-trained RL
-//! policy), and [`table::Table`] (markdown/CSV rendering used by the
-//! `regen-tables` binary and the benches).
+//! [`run_with_faults`] (the same loop under a seeded fault schedule, see
+//! [`resilience`]), [`PolicyKind`] (every policy under test, including
+//! the pre-trained RL policy), and [`table::Table`] (markdown/CSV
+//! rendering used by the `regen-tables` binary and the benches).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +36,8 @@ pub mod e5_qos_violations;
 pub mod e6_fixed_point;
 pub mod e7_hw_cost;
 pub mod e8_idle_states;
+pub mod e9_fault_resilience;
+pub mod resilience;
 pub mod table;
 
 mod par;
@@ -41,4 +45,5 @@ mod policies;
 mod runner;
 
 pub use policies::{train_rl_governor, PolicyKind, TrainingProtocol};
-pub use runner::{run, RunConfig, RunMetrics};
+pub use resilience::{FaultHarness, Watchdog};
+pub use runner::{run, run_with_faults, RunConfig, RunMetrics};

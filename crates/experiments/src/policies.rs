@@ -93,7 +93,11 @@ impl PolicyKind {
                 sw.set_frozen(true);
                 let rl_config = sw.config().clone();
                 let mut driver = HwPolicyDriver::new(HwConfig::default(), &rl_config);
-                driver.load_table(&sw.agent().merged_table());
+                let loaded = driver.load_table(&sw.agent().merged_table());
+                debug_assert!(
+                    loaded.is_ok(),
+                    "engine geometry is derived from the same RlConfig: {loaded:?}"
+                );
                 driver.set_training(false);
                 Box::new(driver)
             }
@@ -117,7 +121,11 @@ pub fn train_rl_governor(
     seed: u64,
 ) -> RlGovernor {
     let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
-    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    // Callers hand in configs that already built a SoC; a config that
+    // fails validation here trains nothing and the policy stays fresh.
+    let Ok(mut soc) = Soc::new(soc_config.clone()) else {
+        return policy;
+    };
     let mut scenario = scenario.build(seed.wrapping_add(0x5eed));
     for _ in 0..protocol.episodes {
         run(

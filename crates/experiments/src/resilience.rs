@@ -1,0 +1,471 @@
+//! Fault application and graceful degradation for closed-loop runs.
+//!
+//! [`FaultHarness`] turns a [`FaultPlan`]'s sampled flags into physics:
+//! it corrupts the telemetry the governor sees, clamps OPP requests
+//! during thermal-throttle events, hotplugs cores out during transient
+//! offline events, and injects Q-table SEUs into governors that model
+//! corruptible storage. An optional [`Watchdog`] supplies the graceful
+//! degradation path: whenever the primary policy misses its decision
+//! deadline or the telemetry is flagged unreliable, a safe fallback
+//! governor decides instead.
+//!
+//! The harness only *applies* faults; the schedule itself lives in
+//! [`FaultPlan`], so the same seed replays the identical fault trace no
+//! matter which policy is being evaluated.
+
+use governors::{Governor, GovernorKind, SystemState};
+use simkit::{ClusterFaults, FaultCounts, FaultPlan, FaultRates};
+use soc::{ClusterObservation, LevelRequest, Soc, SocConfig, SocError};
+
+/// The degradation path: a cheap fallback governor that takes over when
+/// the primary policy cannot be trusted this epoch (deadline overrun or
+/// unreliable telemetry).
+pub struct Watchdog {
+    fallback: Box<dyn Governor>,
+    engagements: u64,
+}
+
+impl Watchdog {
+    /// Guards with an arbitrary fallback governor.
+    pub fn new(fallback: Box<dyn Governor>) -> Self {
+        Watchdog {
+            fallback,
+            engagements: 0,
+        }
+    }
+
+    /// The default fail-operational fallback: a performance-like governor
+    /// that pins every cluster at its highest OPP. It consumes no
+    /// telemetry, so it cannot be misled by the very sensor faults that
+    /// trigger it, and it preserves QoS while engaged — degradation shows
+    /// up as extra energy, not as missed deadlines.
+    pub fn fail_operational(config: &SocConfig) -> Self {
+        Watchdog::new(GovernorKind::Performance.build(config))
+    }
+
+    /// A thermally conservative alternative: a powersave-like governor
+    /// that pins every cluster at its lowest OPP — safest when thermal
+    /// headroom matters more than QoS, at the price of deadline misses
+    /// while engaged.
+    pub fn safe_floor(config: &SocConfig) -> Self {
+        Watchdog::new(GovernorKind::Powersave.build(config))
+    }
+
+    /// Display name of the fallback governor.
+    pub fn name(&self) -> &str {
+        self.fallback.name()
+    }
+
+    /// Number of epochs the fallback decided instead of the primary.
+    pub fn engagements(&self) -> u64 {
+        self.engagements
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("fallback", &self.fallback.name())
+            .field("engagements", &self.engagements)
+            .finish()
+    }
+}
+
+/// Applies a [`FaultPlan`]'s sampled faults to a closed-loop run.
+///
+/// Drive it from the runner, twice per epoch:
+///
+/// 1. [`FaultHarness::begin_epoch`] before the epoch executes — advances
+///    the plan and applies the *physical* faults (hotplug, throttle
+///    clamp) to the SoC and the pending level request.
+/// 2. [`FaultHarness::decide`] at the epoch boundary, in place of
+///    `governor.decide_into` — applies the *telemetry* faults to the
+///    observation, routes the decision through the watchdog when one is
+///    configured, and delivers any scheduled SEU to the governor.
+#[derive(Debug)]
+pub struct FaultHarness {
+    plan: FaultPlan,
+    watchdog: Option<Watchdog>,
+    /// Physical core count per cluster (hotplug restore target).
+    cores: Vec<usize>,
+    /// OPP ceiling per cluster while thermally throttled.
+    throttle_cap: Vec<usize>,
+    /// Online-core count currently applied, to skip no-op hotplug calls.
+    online: Vec<usize>,
+    /// Last epoch's clean observation, served during stale-telemetry
+    /// faults.
+    prev_clean: Vec<ClusterObservation>,
+    scratch: Vec<ClusterObservation>,
+    have_clean: bool,
+}
+
+impl FaultHarness {
+    /// Builds a harness for `config`'s cluster layout with a dedicated
+    /// fault plan seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InvalidFaultPlan`] when `rates` contains a probability
+    /// outside `[0, 1]` or a non-finite/negative sigma.
+    pub fn new(config: &SocConfig, seed: u64, rates: FaultRates) -> Result<Self, SocError> {
+        if !rates.is_valid() {
+            return Err(SocError::InvalidFaultPlan {
+                reason: format!(
+                    "probabilities must be in [0, 1] and sigmas finite and non-negative: {rates:?}"
+                ),
+            });
+        }
+        let cores: Vec<usize> = config.clusters.iter().map(|c| c.cores).collect();
+        let throttle_cap = config
+            .clusters
+            .iter()
+            .map(|c| c.opps.max_level() / 2)
+            .collect();
+        let online = cores.clone();
+        Ok(FaultHarness {
+            plan: FaultPlan::new(seed, config.clusters.len(), rates),
+            watchdog: None,
+            cores,
+            throttle_cap,
+            online,
+            prev_clean: Vec::new(),
+            scratch: Vec::new(),
+            have_clean: false,
+        })
+    }
+
+    /// Adds a watchdog: on a decision-deadline overrun or flagged
+    /// telemetry the fallback governor decides instead of the primary.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Advances the fault plan one epoch and applies the physical faults:
+    /// transient core-offline events hotplug one core out (down to a
+    /// one-core floor), and thermal-throttle events clamp the pending
+    /// request to the lower half of each cluster's OPP table.
+    pub fn begin_epoch(&mut self, soc: &mut Soc, request: &mut LevelRequest) {
+        self.plan.advance();
+        for (c, ((fault, &cores), online)) in self
+            .plan
+            .clusters()
+            .iter()
+            .zip(&self.cores)
+            .zip(self.online.iter_mut())
+            .enumerate()
+        {
+            let target = if fault.core_offline {
+                cores.saturating_sub(1).max(1)
+            } else {
+                cores
+            };
+            if target != *online && soc.set_cores_online(c, target).is_ok() {
+                *online = target;
+            }
+        }
+        for ((level, fault), &cap) in request
+            .levels
+            .iter_mut()
+            .zip(self.plan.clusters())
+            .zip(&self.throttle_cap)
+        {
+            if fault.forced_throttle {
+                *level = (*level).min(cap);
+            }
+        }
+    }
+
+    /// Runs the epoch-boundary decision under this epoch's faults.
+    ///
+    /// Telemetry faults corrupt `state` in place (noise, dropout, stale
+    /// substitution from the previous clean reading). With a watchdog, an
+    /// overrun or flagged telemetry engages the fallback; without one, an
+    /// overrun leaves the previous request in force and flagged telemetry
+    /// is fed to the primary as-is. A scheduled SEU is delivered to the
+    /// governor last. Returns whether the watchdog engaged.
+    pub fn decide(
+        &mut self,
+        governor: &mut dyn Governor,
+        state: &mut SystemState,
+        request: &mut LevelRequest,
+    ) -> bool {
+        // Keep this epoch's clean reading before corrupting it: stale
+        // faults next epoch serve it in place of the live observation.
+        self.scratch.clone_from(&state.soc.clusters);
+        let mut unreliable = false;
+        if self.have_clean {
+            for ((obs, fault), prev) in state
+                .soc
+                .clusters
+                .iter_mut()
+                .zip(self.plan.clusters())
+                .zip(&self.prev_clean)
+            {
+                unreliable |= corrupt_observation(obs, fault, Some(prev));
+            }
+        } else {
+            for (obs, fault) in state.soc.clusters.iter_mut().zip(self.plan.clusters()) {
+                unreliable |= corrupt_observation(obs, fault, None);
+            }
+        }
+        std::mem::swap(&mut self.prev_clean, &mut self.scratch);
+        self.have_clean = true;
+
+        let overrun = self.plan.decision_overrun();
+        let engaged = match self.watchdog.as_mut() {
+            Some(watchdog) if overrun || unreliable => {
+                watchdog.engagements += 1;
+                watchdog.fallback.decide_into(state, request);
+                true
+            }
+            _ if overrun => {
+                // No watchdog: the missed decision never lands, so the
+                // previous request stays in force for the next epoch.
+                false
+            }
+            _ => {
+                governor.decide_into(state, request);
+                false
+            }
+        };
+        if let Some(entropy) = self.plan.take_seu() {
+            governor.inject_table_seu(entropy);
+        }
+        engaged
+    }
+
+    /// The fault schedule being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cumulative injected-fault counts.
+    pub fn counts(&self) -> &FaultCounts {
+        self.plan.counts()
+    }
+
+    /// Epochs the watchdog decided instead of the primary (zero without
+    /// a watchdog).
+    pub fn watchdog_engagements(&self) -> u64 {
+        self.watchdog.as_ref().map_or(0, Watchdog::engagements)
+    }
+}
+
+/// Applies one cluster's telemetry faults to its observation. Returns
+/// whether the reading is flagged unreliable (stale or dropped) — the
+/// watchdog's trigger condition.
+fn corrupt_observation(
+    obs: &mut ClusterObservation,
+    fault: &ClusterFaults,
+    prev: Option<&ClusterObservation>,
+) -> bool {
+    if fault.stale {
+        if let Some(prev) = prev {
+            *obs = *prev;
+        }
+    }
+    if fault.dropout {
+        obs.util_avg = 0.0;
+        obs.util_max = 0.0;
+        obs.queued = 0;
+    }
+    if fault.util_noise != 0.0 {
+        obs.util_avg = (obs.util_avg + fault.util_noise).clamp(0.0, 1.0);
+        obs.util_max = (obs.util_max + fault.util_noise).clamp(0.0, 1.0);
+    }
+    if fault.temp_noise_c != 0.0 {
+        obs.temp_c += fault.temp_noise_c;
+    }
+    fault.stale || fault.dropout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::QosFeedback;
+    use soc::EpochObservation;
+
+    fn config() -> SocConfig {
+        SocConfig::odroid_xu3_like().unwrap()
+    }
+
+    fn state_for(soc: &Soc) -> SystemState {
+        let clusters = soc
+            .clusters()
+            .iter()
+            .map(|_| ClusterObservation {
+                util_avg: 0.6,
+                util_max: 0.8,
+                level: 3,
+                num_levels: 13,
+                freq_hz: 800_000_000,
+                freq_range_hz: (200_000_000, 1_400_000_000),
+                temp_c: 45.0,
+                throttled: false,
+                queued: 2,
+            })
+            .collect();
+        SystemState::new(
+            EpochObservation {
+                at: soc.now(),
+                clusters,
+                energy_j: 0.1,
+            },
+            QosFeedback::default(),
+        )
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let rates = FaultRates {
+            telemetry_noise: 2.0,
+            ..FaultRates::zero()
+        };
+        let err = FaultHarness::new(&config(), 1, rates).unwrap_err();
+        assert!(matches!(err, SocError::InvalidFaultPlan { .. }));
+    }
+
+    #[test]
+    fn zero_rate_harness_changes_nothing() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let mut harness = FaultHarness::new(&cfg, 9, FaultRates::zero()).unwrap();
+        let mut governor = GovernorKind::Schedutil.build(&cfg);
+        let mut request = LevelRequest::max(&cfg);
+        let pristine_request = request.clone();
+        harness.begin_epoch(&mut soc, &mut request);
+        assert_eq!(request, pristine_request, "no throttle clamp");
+
+        let mut state = state_for(&soc);
+        let clean = state.clone();
+        let mut shadow = pristine_request.clone();
+        governor.decide_into(&clean, &mut shadow);
+        let engaged = harness.decide(governor.as_mut(), &mut state, &mut request);
+        assert!(!engaged);
+        assert_eq!(state, clean, "telemetry untouched");
+        assert_eq!(request, shadow, "same decision as the bare governor");
+        assert_eq!(harness.counts().total(), 0);
+    }
+
+    #[test]
+    fn watchdog_engages_on_flagged_telemetry() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let rates = FaultRates {
+            telemetry_dropout: 1.0,
+            ..FaultRates::zero()
+        };
+        let mut harness = FaultHarness::new(&cfg, 3, rates)
+            .unwrap()
+            .with_watchdog(Watchdog::safe_floor(&cfg));
+        let mut governor = GovernorKind::Performance.build(&cfg);
+        let mut request = LevelRequest::max(&cfg);
+        harness.begin_epoch(&mut soc, &mut request);
+        let mut state = state_for(&soc);
+        let engaged = harness.decide(governor.as_mut(), &mut state, &mut request);
+        assert!(engaged, "dropout flags telemetry, watchdog takes over");
+        assert_eq!(harness.watchdog_engagements(), 1);
+        assert!(
+            request.levels.iter().all(|&l| l == 0),
+            "safe floor pins the minimum OPP: {:?}",
+            request.levels
+        );
+        assert!(state.soc.clusters.iter().all(|c| c.util_avg == 0.0));
+    }
+
+    #[test]
+    fn overrun_without_watchdog_keeps_previous_request() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let rates = FaultRates {
+            decision_overrun: 1.0,
+            ..FaultRates::zero()
+        };
+        let mut harness = FaultHarness::new(&cfg, 4, rates).unwrap();
+        let mut governor = GovernorKind::Powersave.build(&cfg);
+        let mut request = LevelRequest::max(&cfg);
+        harness.begin_epoch(&mut soc, &mut request);
+        let mut state = state_for(&soc);
+        harness.decide(governor.as_mut(), &mut state, &mut request);
+        assert_eq!(
+            request,
+            LevelRequest::max(&cfg),
+            "powersave never got to lower the levels"
+        );
+        assert!(harness.counts().decision_overrun > 0);
+    }
+
+    #[test]
+    fn stale_telemetry_serves_previous_epoch_reading() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let rates = FaultRates {
+            telemetry_stale: 1.0,
+            ..FaultRates::zero()
+        };
+        let mut harness = FaultHarness::new(&cfg, 5, rates).unwrap();
+        let mut governor = GovernorKind::Schedutil.build(&cfg);
+        let mut request = LevelRequest::min(&cfg);
+
+        harness.begin_epoch(&mut soc, &mut request);
+        let mut first = state_for(&soc);
+        harness.decide(governor.as_mut(), &mut first, &mut request);
+        // First epoch has no previous clean reading: observation kept.
+        assert_eq!(first.soc.clusters.first().unwrap().util_avg, 0.6);
+
+        harness.begin_epoch(&mut soc, &mut request);
+        let mut second = state_for(&soc);
+        for c in second.soc.clusters.iter_mut() {
+            c.util_avg = 0.99;
+        }
+        harness.decide(governor.as_mut(), &mut second, &mut request);
+        assert_eq!(
+            second.soc.clusters.first().unwrap().util_avg,
+            0.6,
+            "stale fault replays the previous epoch's clean value"
+        );
+    }
+
+    #[test]
+    fn core_offline_hotplugs_and_restores() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let full = soc.clusters().iter().map(|c| c.capacity_ips()).sum::<f64>();
+        let rates = FaultRates {
+            core_offline: 1.0,
+            offline_epochs: 1,
+            ..FaultRates::zero()
+        };
+        let mut harness = FaultHarness::new(&cfg, 6, rates).unwrap();
+        let mut request = LevelRequest::max(&cfg);
+        harness.begin_epoch(&mut soc, &mut request);
+        let reduced = soc.clusters().iter().map(|c| c.capacity_ips()).sum::<f64>();
+        assert!(reduced < full, "a core went offline on each cluster");
+        // Let the countdown expire (1 forced epoch + 1 gap epoch).
+        harness.begin_epoch(&mut soc, &mut request);
+        let restored = soc.clusters().iter().map(|c| c.capacity_ips()).sum::<f64>();
+        assert_eq!(restored, full, "cores come back after the event");
+    }
+
+    #[test]
+    fn throttle_clamps_request_to_lower_half() {
+        let cfg = config();
+        let mut soc = Soc::new(cfg.clone()).unwrap();
+        let rates = FaultRates {
+            thermal_throttle: 1.0,
+            throttle_epochs: 2,
+            ..FaultRates::zero()
+        };
+        let mut harness = FaultHarness::new(&cfg, 7, rates).unwrap();
+        let mut request = LevelRequest::max(&cfg);
+        harness.begin_epoch(&mut soc, &mut request);
+        for (level, cluster) in request.levels.iter().zip(&cfg.clusters) {
+            assert!(
+                *level <= cluster.opps.max_level() / 2,
+                "throttle caps the request"
+            );
+        }
+    }
+}

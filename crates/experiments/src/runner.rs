@@ -2,9 +2,11 @@
 
 use governors::{Governor, QosFeedback, SystemState};
 use simkit::trace::Trace;
-use simkit::SimDuration;
+use simkit::{FaultCounts, SimDuration};
 use soc::{LevelRequest, Soc};
 use workload::{QosReport, QosTracker, Scenario};
+
+use crate::resilience::FaultHarness;
 
 /// Parameters of one closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +58,15 @@ pub struct RunMetrics {
     pub idle_gated_core_s: f64,
     /// Core-seconds spent power-collapsed.
     pub idle_collapsed_core_s: f64,
+    /// Epochs a watchdog fallback decided instead of the primary policy
+    /// (zero without a fault harness or watchdog).
+    pub watchdog_engagements: u64,
+    /// Fault events injected during the run (zero without a harness).
+    pub fault_counts: FaultCounts,
+    /// Q-table SEUs the governor's recovery machinery detected.
+    pub seus_detected: u64,
+    /// Q-table reloads performed to recover from detected SEUs.
+    pub table_reloads: u64,
     /// Optional per-epoch trace: columns `level_<cluster>`,
     /// `util_<cluster>`, `power_w`, `qos_units`.
     pub trace: Option<Trace>,
@@ -75,6 +86,23 @@ pub fn run(
     governor: &mut dyn Governor,
     config: RunConfig,
 ) -> RunMetrics {
+    run_with_faults(soc, scenario, governor, config, None)
+}
+
+/// [`run`], with an optional fault harness injecting the deterministic
+/// fault schedule described in `DESIGN.md` ("Robustness & fault model").
+///
+/// `None` is exactly [`run`]: the fault dispatch is skipped entirely, so
+/// the output is bit-identical to the fault-free path. A harness whose
+/// rates are all zero also reproduces the fault-free run bit-for-bit
+/// (its plan draws nothing — see [`simkit::FaultPlan`]).
+pub fn run_with_faults(
+    soc: &mut Soc,
+    scenario: &mut dyn Scenario,
+    governor: &mut dyn Governor,
+    config: RunConfig,
+    mut faults: Option<&mut FaultHarness>,
+) -> RunMetrics {
     let epoch = soc.config().epoch;
     // A duration shorter than one epoch saturates to a single epoch: the
     // control loop's unit of progress is the epoch, so the shortest
@@ -83,11 +111,7 @@ pub fn run(
     let num_clusters = soc.config().clusters.len();
 
     let mut tracker = QosTracker::new(scenario.qos_spec());
-    let mut request = LevelRequest::new(
-        (0..num_clusters)
-            .map(|c| soc.clusters()[c].level())
-            .collect(),
-    );
+    let mut request = LevelRequest::new(soc.clusters().iter().map(|c| c.level()).collect());
     let mut transitions = 0u64;
     let mut level_frac_sum = vec![0.0f64; num_clusters];
     let mut idle_gated_core_s = 0.0f64;
@@ -126,7 +150,14 @@ pub fn run(
         },
         QosFeedback::default(),
     );
+    let mut epochs_done = 0u64;
     for _ in 0..epochs {
+        // xtask-hotpath: begin (per-epoch fault application, no allocation)
+        if let Some(harness) = faults.as_deref_mut() {
+            harness.begin_epoch(soc, &mut request);
+        }
+        // xtask-hotpath: end
+
         // Feed the next epoch's arrivals before running it.
         let from = soc.now();
         let to = from + epoch;
@@ -134,8 +165,13 @@ pub fn run(
             soc.schedule_job(at, job);
         }
 
-        soc.run_epoch_into(&request, &mut report)
-            .expect("validated level request");
+        // The request is validated by construction (governors and the
+        // fault harness only produce in-range levels); a rejection ends
+        // the run with metrics covering the completed epochs.
+        let Ok(()) = soc.run_epoch_into(&request, &mut report) else {
+            break;
+        };
+        epochs_done += 1;
         tracker.observe_all(report.completed());
         let snapshot = tracker.snapshot();
         let epoch_units = snapshot.units - prev_snapshot.units;
@@ -150,10 +186,15 @@ pub fn run(
             1.0
         };
 
-        for (c, r) in report.clusters.iter().enumerate() {
+        for ((r, cluster), frac) in report
+            .clusters
+            .iter()
+            .zip(&soc.config().clusters)
+            .zip(level_frac_sum.iter_mut())
+        {
             transitions += u64::from(r.transitions);
-            let max_level = (soc.config().clusters[c].opps.len() - 1).max(1);
-            level_frac_sum[c] += r.level as f64 / max_level as f64;
+            let max_level = cluster.opps.max_level().max(1);
+            *frac += r.level as f64 / max_level as f64;
             idle_gated_core_s += r.idle_gated_s;
             idle_collapsed_core_s += r.idle_collapsed_s;
         }
@@ -177,25 +218,44 @@ pub fn run(
             row.push(epoch_units);
             trace.record(report.ended_at, row);
         }
-        governor.decide_into(&state, &mut request);
+        // xtask-hotpath: begin (per-epoch decision dispatch, no allocation)
+        match faults.as_deref_mut() {
+            Some(harness) => {
+                harness.decide(governor, &mut state, &mut request);
+            }
+            None => governor.decide_into(&state, &mut request),
+        }
+        // xtask-hotpath: end
     }
 
     let energy_j = soc.total_energy_j() - start_energy;
     let unfinished = soc.queued_jobs() + soc.pending_arrivals();
     let qos = tracker.finalize(unfinished);
     let wall = (soc.now() - started_at).as_secs_f64();
+    let (seus_detected, table_reloads) = governor.seu_recovery_counts();
+    let (watchdog_engagements, fault_counts) = match faults {
+        Some(harness) => (harness.watchdog_engagements(), *harness.counts()),
+        None => (0, FaultCounts::default()),
+    };
 
     RunMetrics {
         energy_j,
         energy_per_qos: qos.energy_per_qos(energy_j),
         qos,
-        avg_power_w: energy_j / wall,
+        avg_power_w: if wall > 0.0 { energy_j / wall } else { 0.0 },
         transitions,
-        epochs,
+        epochs: epochs_done,
         jobs_submitted: soc.jobs_submitted() - start_jobs,
-        mean_level_frac: level_frac_sum.iter().map(|s| s / epochs as f64).collect(),
+        mean_level_frac: level_frac_sum
+            .iter()
+            .map(|s| s / epochs_done.max(1) as f64)
+            .collect(),
         idle_gated_core_s,
         idle_collapsed_core_s,
+        watchdog_engagements,
+        fault_counts,
+        seus_detected,
+        table_reloads,
         trace,
     }
 }

@@ -27,6 +27,21 @@ pub trait Governor: Send {
     /// learned parameters, if any, are *kept* — resetting them is a
     /// policy-specific operation.
     fn reset(&mut self);
+
+    /// Injects a single-event upset into the governor's policy-table
+    /// storage, if it models any. `entropy` is 64 raw bits the governor
+    /// maps to a (word, bit) location. Returns `true` when a bit was
+    /// actually flipped; the default (no corruptible hardware storage —
+    /// e.g. a table in ECC-protected DRAM) is a no-op.
+    fn inject_table_seu(&mut self, _entropy: u64) -> bool {
+        false
+    }
+
+    /// `(detected SEUs, table reloads)` the governor's recovery machinery
+    /// has performed so far. Zero for governors without hardware storage.
+    fn seu_recovery_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Catalog of the baseline governors.

@@ -25,6 +25,10 @@ pub struct BusStats {
     pub reads: u64,
     /// Completed write transactions.
     pub writes: u64,
+    /// Bulk Q-table reloads performed over the bus (SEU recovery). The
+    /// bus itself never counts these — the driver that performs them
+    /// merges the count into the stats it reports.
+    pub table_reloads: u64,
 }
 
 impl BusStats {
@@ -154,7 +158,8 @@ mod tests {
             b.stats(),
             BusStats {
                 reads: 1,
-                writes: 2
+                writes: 2,
+                table_reloads: 0
             }
         );
         assert_eq!(b.stats().total(), 3);

@@ -10,8 +10,43 @@ use soc::LevelRequest;
 use rlpm::reward::{EpochOutcome, RewardFn};
 use rlpm::{Action, ActionSpace, Predictor, RlConfig, StateIndex, StateSpace};
 
-use crate::mmio::{regs, CTRL_START_DECIDE, CTRL_START_UPDATE};
+use crate::mmio::{regs, CTRL_CLEAR_SEU, CTRL_START_DECIDE, CTRL_START_UPDATE, STATUS_SEU};
 use crate::{AxiLiteBus, HwConfig, PolicyEngine, PolicyMmio};
+
+/// Why a bulk Q-table load was rejected or rolled back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TableLoadError {
+    /// The software table's geometry does not match the engine's BRAMs.
+    SizeMismatch {
+        /// Entries the engine's table holds.
+        expected: usize,
+        /// Entries the software table supplied.
+        got: usize,
+    },
+    /// The post-load parity scrub found a corrupted entry — the load
+    /// itself was hit by an upset and must not be trusted.
+    ParityMismatch {
+        /// Linear address of the first failing entry.
+        addr: usize,
+    },
+}
+
+impl std::fmt::Display for TableLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableLoadError::SizeMismatch { expected, got } => write!(
+                f,
+                "table load size mismatch: engine holds {expected} entries, software supplied {got}"
+            ),
+            TableLoadError::ParityMismatch { addr } => {
+                write!(f, "post-load parity scrub failed at entry {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableLoadError {}
 
 /// How the CPU learns that the engine finished.
 ///
@@ -48,6 +83,12 @@ pub struct HwPolicyDriver {
     /// Per-epoch end-to-end decision latency (bus + fabric).
     latency: Running,
     engine_clock_hz: u64,
+    /// Golden copy of the last successfully loaded table (raw Q16.16
+    /// bits), replayed over the bus on SEU recovery. Empty until
+    /// [`HwPolicyDriver::load_table`] succeeds.
+    golden: Vec<u32>,
+    seus_detected: u64,
+    table_reloads: u64,
 }
 
 impl HwPolicyDriver {
@@ -66,6 +107,9 @@ impl HwPolicyDriver {
             training: true,
             latency: Running::new(),
             engine_clock_hz,
+            golden: Vec::new(),
+            seus_detected: 0,
+            table_reloads: 0,
         }
     }
 
@@ -85,28 +129,83 @@ impl HwPolicyDriver {
     }
 
     /// Time from issuing `CTRL` to knowing the engine is done, charged
-    /// according to the driver mode. The engine's compute time overlaps
-    /// with the wait in either mode.
-    fn completion_wait(&mut self, compute: SimDuration) -> SimDuration {
+    /// according to the driver mode, together with the `STATUS` bits
+    /// observed at completion. The engine's compute time overlaps with
+    /// the wait in either mode.
+    ///
+    /// Polling gets the status from the read it already performs (no
+    /// extra traffic); interrupt mode models the SEU flag as the error
+    /// IRQ line the handler samples — a wire level, not a bus
+    /// transaction.
+    fn completion_wait(&mut self, compute: SimDuration) -> (u32, SimDuration) {
         match self.mode {
             DriverMode::Polling => {
                 // The status read cannot complete before the engine does.
-                let (_, t) = self.bus.read(regs::STATUS);
-                compute.max(t)
+                let (status, t) = self.bus.read(regs::STATUS);
+                (status, compute.max(t))
             }
-            DriverMode::Interrupt { irq_latency } => compute + irq_latency,
+            DriverMode::Interrupt { irq_latency } => {
+                let seu = u32::from(self.bus.device().engine().seu_detected());
+                (crate::STATUS_DONE | (seu << 2), compute + irq_latency)
+            }
         }
     }
 
     /// Loads a software-trained Q-table into the engine over the `QADDR`/
     /// `QDATA` port, exactly as the real driver would after offline
-    /// training. Returns the bus time the bulk load took.
-    pub fn load_table(&mut self, table: &rlpm::QTable) -> SimDuration {
+    /// training, then scrubs the device table against its parity bits.
+    /// On success the driver keeps a golden copy for SEU recovery and
+    /// returns the bus time the bulk load took.
+    ///
+    /// # Errors
+    ///
+    /// [`TableLoadError::SizeMismatch`] when the table's geometry differs
+    /// from the engine's; [`TableLoadError::ParityMismatch`] when the
+    /// post-load scrub finds a corrupted entry (the golden copy is left
+    /// untouched so a retry or recovery path stays possible).
+    pub fn load_table(&mut self, table: &rlpm::QTable) -> Result<SimDuration, TableLoadError> {
+        let expected = self.bus.device().engine().agent().table().num_entries();
+        let got = table.num_states() * table.num_actions();
+        if expected != got {
+            return Err(TableLoadError::SizeMismatch { expected, got });
+        }
         let mut spent = SimDuration::ZERO;
         spent += self.bus.write(regs::QADDR, 0);
+        let mut golden = Vec::with_capacity(got);
         for v in table.quantized() {
-            spent += self.bus.write(regs::QDATA, v.to_bits() as u32);
+            let bits = v.to_bits() as u32;
+            spent += self.bus.write(regs::QDATA, bits);
+            golden.push(bits);
         }
+        if let Some(addr) = self
+            .bus
+            .device()
+            .engine()
+            .agent()
+            .table()
+            .first_parity_error()
+        {
+            return Err(TableLoadError::ParityMismatch { addr });
+        }
+        self.golden = golden;
+        Ok(spent)
+    }
+
+    /// Recovers from a detected SEU: replays the golden table over the
+    /// bus (when one exists — an engine trained purely on-line has no
+    /// clean copy to restore), acknowledges the error, and returns the
+    /// bus time the whole recovery took.
+    fn recover_from_seu(&mut self) -> SimDuration {
+        self.seus_detected += 1;
+        let mut spent = SimDuration::ZERO;
+        if !self.golden.is_empty() {
+            self.table_reloads += 1;
+            spent += self.bus.write(regs::QADDR, 0);
+            for &bits in &self.golden {
+                spent += self.bus.write(regs::QDATA, bits);
+            }
+        }
+        spent += self.bus.write(regs::CTRL, CTRL_CLEAR_SEU);
         spent
     }
 
@@ -120,9 +219,12 @@ impl HwPolicyDriver {
         &self.latency
     }
 
-    /// Bus transaction counters.
+    /// Bus transaction counters, with the driver's reload count merged in.
     pub fn bus_stats(&self) -> crate::BusStats {
-        self.bus.stats()
+        crate::BusStats {
+            table_reloads: self.table_reloads,
+            ..self.bus.stats()
+        }
     }
 
     fn engine_op_latency(&self) -> SimDuration {
@@ -165,14 +267,26 @@ impl Governor for HwPolicyDriver {
                 spent += self.bus.write(regs::REWARD, r.to_bits() as u32);
                 spent += self.bus.write(regs::CTRL, CTRL_START_UPDATE);
                 let compute = self.engine_op_latency();
-                spent += self.completion_wait(compute);
+                // An SEU surfacing during the update is caught below by
+                // the decision's status check — the flag is sticky.
+                spent += self.completion_wait(compute).1;
             }
         }
 
         spent += self.bus.write(regs::STATE, s as u32);
         spent += self.bus.write(regs::CTRL, CTRL_START_DECIDE);
         let compute = self.engine_op_latency();
-        spent += self.completion_wait(compute);
+        let (status, wait) = self.completion_wait(compute);
+        spent += wait;
+        if status & STATUS_SEU != 0 {
+            // The action register holds a result computed from corrupted
+            // BRAM contents: restore the table, acknowledge, and decide
+            // again — all charged to this epoch's decision latency.
+            spent += self.recover_from_seu();
+            spent += self.bus.write(regs::CTRL, CTRL_START_DECIDE);
+            let compute = self.engine_op_latency();
+            spent += self.completion_wait(compute).1;
+        }
         let (action, t) = self.bus.read(regs::ACTION);
         spent += t;
 
@@ -186,6 +300,22 @@ impl Governor for HwPolicyDriver {
     fn reset(&mut self) {
         self.prev = None;
         self.predictor.reset();
+    }
+
+    fn inject_table_seu(&mut self, entropy: u64) -> bool {
+        let table = self.bus.device_mut().engine_mut().agent_mut().table_mut();
+        let entries = table.num_entries();
+        if entries == 0 {
+            return false;
+        }
+        // Low 32 bits pick the entry, high bits pick the bit lane.
+        let addr = ((entropy & 0xFFFF_FFFF) % entries as u64) as usize;
+        let bit = ((entropy >> 32) % 32) as u32;
+        table.corrupt_bit(addr, bit)
+    }
+
+    fn seu_recovery_counts(&self) -> (u64, u64) {
+        (self.seus_detected, self.table_reloads)
     }
 }
 
@@ -292,10 +422,83 @@ mod tests {
         let mut table = rlpm::QTable::new(rl.num_states(), rl.num_actions(), 0.0);
         table.set(3, 2, 1.5);
         table.set(7, 4, -2.25);
-        let spent = d.load_table(&table);
+        let spent = d.load_table(&table).unwrap();
         assert!(spent > SimDuration::ZERO);
         assert_eq!(d.engine().agent().table().get(3, 2).to_f64(), 1.5);
         assert_eq!(d.engine().agent().table().get(7, 4).to_f64(), -2.25);
+    }
+
+    #[test]
+    fn load_table_rejects_wrong_geometry() {
+        let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        let mut d = HwPolicyDriver::new(HwConfig::default(), &rl);
+        let wrong = rlpm::QTable::new(3, 2, 0.0);
+        let err = d.load_table(&wrong).unwrap_err();
+        assert!(matches!(
+            err,
+            TableLoadError::SizeMismatch { expected, got }
+                if expected == rl.num_states() * rl.num_actions() && got == 6
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("6"), "{msg}");
+        // ParityMismatch renders its address too.
+        let p = TableLoadError::ParityMismatch { addr: 42 }.to_string();
+        assert!(p.contains("42"), "{p}");
+    }
+
+    #[test]
+    fn seu_is_detected_recovered_and_counted() {
+        let rl = RlConfig::for_soc(&SocConfig::symmetric_quad().unwrap());
+        let mut d = HwPolicyDriver::new(HwConfig::default(), &rl);
+        let mut table = rlpm::QTable::new(rl.num_states(), rl.num_actions(), 0.0);
+        table.set(0, 1, 1.5);
+        d.load_table(&table).unwrap();
+        d.set_training(false);
+        // Settle the predictor so the encoded state is stable, then learn
+        // which row the next decision will fetch.
+        for _ in 0..4 {
+            d.decide(&obs(0.5, 3));
+        }
+        let (s, _) = d.prev.unwrap();
+        // Flip a bit in that row without touching parity.
+        let addr = s * rl.num_actions();
+        let entropy = addr as u64 | (16u64 << 32);
+        assert!(d.inject_table_seu(entropy));
+        assert!(!d.engine().agent().table().row_parity_ok(s));
+
+        d.decide(&obs(0.5, 3));
+        assert_eq!(d.seu_recovery_counts(), (1, 1));
+        assert_eq!(d.bus_stats().table_reloads, 1);
+        assert!(!d.engine().seu_detected(), "flag acknowledged");
+        assert!(
+            d.engine().agent().table().all_parity_ok(),
+            "golden reload restored the table"
+        );
+        assert_eq!(d.engine().agent().table().get(0, 1).to_f64(), 1.5);
+
+        d.decide(&obs(0.5, 3));
+        assert_eq!(d.seu_recovery_counts(), (1, 1), "no further recoveries");
+    }
+
+    #[test]
+    fn latent_seu_without_golden_copy_is_acknowledged_without_reload() {
+        let mut d = driver();
+        d.set_training(false);
+        for _ in 0..4 {
+            d.decide(&obs(0.5, 3));
+        }
+        let (s, _) = d.prev.unwrap();
+        let a_count = d.engine().agent().table().num_actions();
+        assert!(d.inject_table_seu((s * a_count) as u64 | (3u64 << 32)));
+        d.decide(&obs(0.5, 3));
+        let (detected, reloads) = d.seu_recovery_counts();
+        assert!(detected >= 1);
+        assert_eq!(reloads, 0, "nothing clean to reload");
+        assert_eq!(d.bus_stats().table_reloads, 0);
+        // The corruption is latent: the row still fails parity, so the
+        // next fetch re-detects it.
+        d.decide(&obs(0.5, 3));
+        assert!(d.seu_recovery_counts().0 > detected);
     }
 
     #[test]

@@ -95,6 +95,10 @@ pub struct PolicyEngine {
     action_out: Action,
     decisions: u64,
     updates: u64,
+    /// Sticky parity-error flag: set when the fetch stage streams a row
+    /// whose stored parity disagrees with its data (a single-event upset
+    /// in the BRAM). Cleared only by [`PolicyEngine::clear_seu`].
+    seu_detected: bool,
 }
 
 impl PolicyEngine {
@@ -115,6 +119,7 @@ impl PolicyEngine {
             action_out: 0,
             decisions: 0,
             updates: 0,
+            seu_detected: false,
         }
     }
 
@@ -161,6 +166,19 @@ impl PolicyEngine {
     /// Completed decision / update counts.
     pub fn op_counts(&self) -> (u64, u64) {
         (self.decisions, self.updates)
+    }
+
+    /// Whether a parity error has been detected since the last
+    /// [`PolicyEngine::clear_seu`]. The flag is sticky: the datapath keeps
+    /// running (its output is suspect), and the driver decides how to
+    /// recover.
+    pub fn seu_detected(&self) -> bool {
+        self.seu_detected
+    }
+
+    /// Acknowledges a detected parity error (the `CLEAR_SEU` command).
+    pub fn clear_seu(&mut self) {
+        self.seu_detected = false;
     }
 
     fn row_fetch_cycles(&self) -> u64 {
@@ -261,7 +279,21 @@ impl PolicyEngine {
                 self.phase_left = self.row_fetch_cycles();
                 false
             }
-            (EnginePhase::FetchRow, _) => {
+            (EnginePhase::FetchRow, op) => {
+                // The fetch stage recomputes parity on every word it
+                // streams out of the BRAMs; a mismatch raises the sticky
+                // error flag but does not stall the pipeline (the real
+                // fabric keeps going and flags the result as suspect).
+                let table = self.agent.table();
+                let clean = match op {
+                    Op::Decide { state } => table.row_parity_ok(state),
+                    Op::Update {
+                        state, next_state, ..
+                    } => table.row_parity_ok(next_state) && table.row_parity_ok(state),
+                };
+                if !clean {
+                    self.seu_detected = true;
+                }
                 self.phase = EnginePhase::Reduce;
                 self.phase_left = self.reduce_cycles();
                 false
@@ -503,6 +535,38 @@ mod tests {
         assert!(narrow.decision_cycles() > wide.decision_cycles());
         // 1 bank: fetch = 2 + 25 - 1 = 26; total = 1 + 26 + 5 + 1 = 33.
         assert_eq!(narrow.decision_cycles(), 33);
+    }
+
+    #[test]
+    fn fetch_stage_raises_sticky_seu_on_corrupted_row() {
+        let mut e = engine();
+        assert!(!e.seu_detected());
+        let a = e.agent().table().num_actions();
+        e.agent_mut().table_mut().corrupt_bit(3 * a + 1, 16);
+        // Deciding a clean state does not trip the flag.
+        e.run_decision(0);
+        assert!(!e.seu_detected());
+        // Fetching the corrupted row does, and the flag sticks.
+        e.run_decision(3);
+        assert!(e.seu_detected());
+        e.run_decision(0);
+        assert!(e.seu_detected(), "flag is sticky across clean ops");
+        e.clear_seu();
+        assert!(!e.seu_detected());
+    }
+
+    #[test]
+    fn update_checks_both_rows_it_touches() {
+        let mut e = engine();
+        let a = e.agent().table().num_actions();
+        e.agent_mut().table_mut().corrupt_bit(5 * a, 0);
+        e.run_update(5, 0, Fx::ZERO, 6);
+        assert!(e.seu_detected(), "corrupted (s, a) row detected");
+        e.clear_seu();
+        e.agent_mut().table_mut().set(5, 0, Fx::ZERO);
+        e.agent_mut().table_mut().corrupt_bit(7 * a + 2, 31);
+        e.run_update(5, 0, Fx::ZERO, 7);
+        assert!(e.seu_detected(), "corrupted next-state row detected");
     }
 
     #[test]

@@ -6,11 +6,19 @@ use rlpm::{Action, QTable, StateIndex};
 
 /// A dense `states × actions` table of Q16.16 values, mirroring
 /// [`rlpm::QTable`] in the representation the hardware BRAMs hold.
+///
+/// Each entry carries the odd-parity bit a BRAM with parity would store
+/// alongside the 32 data bits. Writes through the functional interface
+/// ([`FxQTable::set`] / [`FxQTable::set_linear`]) keep it consistent;
+/// [`FxQTable::corrupt_bit`] models a single-event upset by flipping a
+/// data bit *without* updating the parity, which is exactly what the
+/// parity checkers then detect.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FxQTable {
     num_states: usize,
     num_actions: usize,
     values: Vec<Fx>,
+    parity: Vec<u8>,
 }
 
 impl FxQTable {
@@ -28,6 +36,7 @@ impl FxQTable {
             num_states,
             num_actions,
             values: vec![init; num_states * num_actions],
+            parity: vec![Self::parity_of(init); num_states * num_actions],
         }
     }
 
@@ -36,10 +45,13 @@ impl FxQTable {
     /// float→fixed quantisation happens on the software side, in
     /// [`QTable::quantized`]; this module stays float-free.
     pub fn from_software(table: &QTable) -> Self {
+        let values = table.quantized();
+        let parity = values.iter().map(|&v| Self::parity_of(v)).collect();
         FxQTable {
             num_states: table.num_states(),
             num_actions: table.num_actions(),
-            values: table.quantized(),
+            values,
+            parity,
         }
     }
 
@@ -64,10 +76,14 @@ impl FxQTable {
         self.values[self.idx(s, a)]
     }
 
-    /// Sets the value at `(s, a)`.
+    /// Sets the value at `(s, a)`. Out-of-range writes (debug-asserted
+    /// in `idx`) are dropped, mirroring a write past the BRAM decoder.
     pub fn set(&mut self, s: StateIndex, a: Action, v: Fx) {
         let i = self.idx(s, a);
-        self.values[i] = v;
+        if let (Some(slot), Some(p)) = (self.values.get_mut(i), self.parity.get_mut(i)) {
+            *slot = v;
+            *p = Self::parity_of(v);
+        }
     }
 
     /// The action row for `s`.
@@ -103,12 +119,77 @@ impl FxQTable {
 
     /// Linear write; returns false if the address is out of range.
     pub fn set_linear(&mut self, addr: usize, v: Fx) -> bool {
+        match (self.values.get_mut(addr), self.parity.get_mut(addr)) {
+            (Some(slot), Some(p)) => {
+                *slot = v;
+                *p = Self::parity_of(v);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total number of linear entries (`states × actions`).
+    pub fn num_entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The odd-parity bit the BRAM stores next to a value's 32 data bits
+    /// (pure integer arithmetic — this module stays float-free).
+    fn parity_of(v: Fx) -> u8 {
+        ((v.to_bits() as u32).count_ones() % 2) as u8
+    }
+
+    /// Models a single-event upset: flips data bit `bit % 32` of the entry
+    /// at linear address `addr` *without* updating the stored parity.
+    /// Returns false (no flip) if `addr` is out of range.
+    pub fn corrupt_bit(&mut self, addr: usize, bit: u32) -> bool {
         if let Some(slot) = self.values.get_mut(addr) {
-            *slot = v;
+            let flipped = (slot.to_bits() as u32) ^ (1u32 << (bit % 32));
+            *slot = Fx::from_bits(flipped as i32);
             true
         } else {
             false
         }
+    }
+
+    /// Whether the entry at linear address `addr` passes its parity check
+    /// (out-of-range addresses vacuously pass).
+    pub fn entry_parity_ok(&self, addr: usize) -> bool {
+        match (self.values.get(addr), self.parity.get(addr)) {
+            (Some(&v), Some(&p)) => Self::parity_of(v) == p,
+            _ => true,
+        }
+    }
+
+    /// Whether every entry of state `s`'s action row passes parity — the
+    /// check the fetch stage performs while streaming the row.
+    pub fn row_parity_ok(&self, s: StateIndex) -> bool {
+        let start = s * self.num_actions;
+        match (
+            self.values.get(start..start + self.num_actions),
+            self.parity.get(start..start + self.num_actions),
+        ) {
+            (Some(vals), Some(pars)) => vals
+                .iter()
+                .zip(pars)
+                .all(|(&v, &p)| Self::parity_of(v) == p),
+            _ => true,
+        }
+    }
+
+    /// Linear address of the first entry failing its parity check, if any
+    /// (the full-table scrub a verify-after-load performs).
+    pub fn first_parity_error(&self) -> Option<usize> {
+        self.values
+            .iter()
+            .zip(&self.parity)
+            .position(|(&v, &p)| Self::parity_of(v) != p)
+    }
+
+    /// Whether the whole table passes parity.
+    pub fn all_parity_ok(&self) -> bool {
+        self.first_parity_error().is_none()
     }
 }
 
@@ -196,6 +277,45 @@ mod tests {
         assert_eq!(fx.get_linear(5 * 5 + 3).unwrap().to_f64(), 9.0);
         assert!(!fx.set_linear(8 * 5, Fx::ZERO), "out of range rejected");
         assert_eq!(fx.get_linear(8 * 5), None);
+    }
+
+    #[test]
+    fn parity_holds_through_functional_writes() {
+        let mut fx = table();
+        assert!(fx.all_parity_ok());
+        fx.set(3, 2, Fx::from_f64(-7.25));
+        assert!(fx.set_linear(11, Fx::from_f64(0.125)));
+        assert!(fx.all_parity_ok());
+        assert_eq!(fx.num_entries(), 8 * 5);
+    }
+
+    #[test]
+    fn corrupt_bit_is_caught_by_every_checker() {
+        let mut fx = table();
+        let addr = 3 * 5 + 2; // (s=3, a=2)
+        assert!(fx.corrupt_bit(addr, 7));
+        assert!(!fx.entry_parity_ok(addr));
+        assert!(!fx.row_parity_ok(3));
+        assert!(fx.row_parity_ok(2), "other rows unaffected");
+        assert_eq!(fx.first_parity_error(), Some(addr));
+        assert!(!fx.all_parity_ok());
+        // A functional rewrite of the entry restores consistency.
+        fx.set(3, 2, Fx::from_f64(0.5));
+        assert!(fx.all_parity_ok());
+    }
+
+    #[test]
+    fn corrupt_bit_rejects_out_of_range_and_wraps_bit_index() {
+        let mut fx = table();
+        assert!(!fx.corrupt_bit(8 * 5, 0), "out of range");
+        assert!(fx.all_parity_ok());
+        // bit 39 wraps to bit 7: double corruption at the same bit is a
+        // round trip.
+        let before = fx.get(0, 0);
+        assert!(fx.corrupt_bit(0, 39));
+        assert!(fx.corrupt_bit(0, 7));
+        assert_eq!(fx.get(0, 0), before);
+        assert!(fx.all_parity_ok(), "even number of flips is invisible");
     }
 
     #[test]

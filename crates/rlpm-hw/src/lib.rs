@@ -52,11 +52,14 @@ mod resources;
 mod verify;
 
 pub use bus::{AxiLiteBus, BusStats, MmioDevice};
-pub use driver::{DriverMode, HwPolicyDriver};
+pub use driver::{DriverMode, HwPolicyDriver, TableLoadError};
 pub use engine::{EnginePhase, HwConfig, PolicyEngine};
 pub use fxtable::{FxAgent, FxQTable};
 pub use latency::{HwLatencyModel, SwLatencyModel};
-pub use mmio::{regs, PolicyMmio, CTRL_START_DECIDE, CTRL_START_UPDATE, ID_VALUE, STATUS_DONE};
+pub use mmio::{
+    regs, PolicyMmio, CTRL_CLEAR_SEU, CTRL_START_DECIDE, CTRL_START_UPDATE, ID_VALUE, STATUS_DONE,
+    STATUS_SEU,
+};
 pub use resources::{banking_sweep, estimate as estimate_resources, ResourceReport};
 pub use verify::{
     engine_matches_fx_agent, parity_check, quantization_sweep, ParityReport, QuantizationPoint,

@@ -21,7 +21,7 @@ pub mod regs {
     /// Control: write [`CTRL_START_DECIDE`](super::CTRL_START_DECIDE) or
     /// [`CTRL_START_UPDATE`](super::CTRL_START_UPDATE).
     pub const CTRL: u32 = 0x00;
-    /// Status: bit 0 = busy, bit 1 = done.
+    /// Status: bit 0 = busy, bit 1 = done, bit 2 = parity error (SEU).
     pub const STATUS: u32 = 0x04;
     /// Current discrete state index.
     pub const STATE: u32 = 0x08;
@@ -47,8 +47,14 @@ pub mod regs {
 pub const CTRL_START_DECIDE: u32 = 0x1;
 /// `CTRL` command: run one TD update.
 pub const CTRL_START_UPDATE: u32 = 0x2;
+/// `CTRL` command: acknowledge a detected parity error (clears
+/// [`STATUS_SEU`]).
+pub const CTRL_CLEAR_SEU: u32 = 0x4;
 /// `STATUS` bit: operation completed since the last `CTRL` write.
 pub const STATUS_DONE: u32 = 0x2;
+/// `STATUS` bit: the fetch stage detected a Q-table parity error (a
+/// single-event upset); sticky until [`CTRL_CLEAR_SEU`].
+pub const STATUS_SEU: u32 = 0x4;
 /// Value of the `ID` register ("RLPM" in ASCII).
 pub const ID_VALUE: u32 = 0x524C_504D;
 
@@ -92,7 +98,9 @@ impl PolicyMmio {
 impl MmioDevice for PolicyMmio {
     fn read(&mut self, addr: u32) -> u32 {
         match addr {
-            regs::STATUS => u32::from(self.done) << 1,
+            regs::STATUS => {
+                (u32::from(self.done) << 1) | (u32::from(self.engine.seu_detected()) << 2)
+            }
             regs::STATE => self.state,
             regs::NEXT_STATE => self.next_state,
             regs::PREV_ACTION => self.prev_action,
@@ -136,6 +144,7 @@ impl MmioDevice for PolicyMmio {
                         while !self.engine.tick() {}
                         self.done = true;
                     }
+                    CTRL_CLEAR_SEU => self.engine.clear_seu(),
                     _ => {} // unknown commands are ignored, like real HW
                 }
             }
@@ -224,6 +233,18 @@ mod tests {
         assert_eq!(m.read(0xFC), 0);
         m.write(regs::CTRL, 0xFF); // unknown command
         assert_eq!(m.read(regs::STATUS), 0, "no done flag raised");
+    }
+
+    #[test]
+    fn seu_bit_reports_and_clears_over_registers() {
+        let mut m = mmio();
+        let a = m.engine().agent().table().num_actions();
+        m.engine_mut().agent_mut().table_mut().corrupt_bit(2 * a, 5);
+        m.write(regs::STATE, 2);
+        m.write(regs::CTRL, CTRL_START_DECIDE);
+        assert_eq!(m.read(regs::STATUS), STATUS_DONE | STATUS_SEU);
+        m.write(regs::CTRL, CTRL_CLEAR_SEU);
+        assert_eq!(m.read(regs::STATUS) & STATUS_SEU, 0);
     }
 
     #[test]

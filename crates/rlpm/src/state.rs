@@ -85,7 +85,12 @@ impl StateSpace {
     pub fn features(&self, state: &SystemState, predictor: &Predictor) -> StateFeatures {
         let mut util = Vec::with_capacity(self.level_bins.len());
         let mut level = Vec::with_capacity(self.level_bins.len());
-        for (i, c) in state.soc.clusters.iter().enumerate() {
+        let per_cluster = state
+            .soc
+            .clusters
+            .iter()
+            .zip(self.level_bins.iter().zip(&self.levels));
+        for (c, (&bins, &levels)) in per_cluster {
             // Raw busy fraction at the current OPP. Together with the
             // exact level this fully locates the demand: "90% busy at
             // level 0" (saturating, cheap to fix) and "90% busy at the
@@ -93,12 +98,18 @@ impl StateSpace {
             // capacity-normalised encoding would fold the whole busy
             // range at low frequencies into one bin and blind the policy
             // to low-OPP saturation.
-            util.push(Self::bin(c.util_max.clamp(0.0, 1.0), self.util_bins));
-            let bins = self.level_bins[i];
-            if bins >= self.levels[i] {
-                level.push(c.level);
+            //
+            // Telemetry may be fault-injected (noise, dropout garbage):
+            // every raw observation field is sanitised into a valid bin —
+            // non-finite utilisation reads as idle, an out-of-table level
+            // clamps to the top bin — so a corrupted sample can skew a
+            // decision but never index out of bounds.
+            util.push(Self::bin(Self::sanitize_unit(c.util_max), self.util_bins));
+            let lvl = c.level.min(levels.saturating_sub(1));
+            if bins >= levels {
+                level.push(lvl);
             } else {
-                let frac = c.level as f64 / (c.num_levels - 1) as f64;
+                let frac = lvl as f64 / (levels.max(2) - 1) as f64;
                 level.push(Self::bin(frac, bins));
             }
         }
@@ -107,7 +118,7 @@ impl StateSpace {
         let qos_signal = if state.qos.violations > 0 {
             0.0
         } else {
-            (state.qos.qos_ratio - 0.02 * state.qos.pending_jobs as f64).clamp(0.0, 1.0)
+            Self::sanitize_unit(state.qos.qos_ratio - 0.02 * state.qos.pending_jobs as f64)
         };
         let qos = Self::bin(qos_signal, self.qos_bins);
         let trend = predictor.trend_bin(self.trend_bins);
@@ -148,7 +159,18 @@ impl StateSpace {
     }
 
     fn bin(x: f64, bins: usize) -> usize {
-        ((x * bins as f64) as usize).min(bins - 1)
+        ((x * bins as f64) as usize).min(bins.saturating_sub(1))
+    }
+
+    /// Maps a possibly-corrupted observation field to `[0, 1]`:
+    /// non-finite values (NaN/inf from injected telemetry noise) read as
+    /// 0 rather than propagating through `clamp` (which keeps NaN).
+    fn sanitize_unit(x: f64) -> f64 {
+        if x.is_finite() {
+            x.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -279,6 +301,48 @@ mod tests {
         let idle = space.features(&obs(0.05, 0.0, 0, 0), &pred);
         let saturated = space.features(&obs(0.95, 0.0, 0, 0), &pred);
         assert!(saturated.util[0] > idle.util[0]);
+    }
+
+    #[test]
+    fn corrupted_telemetry_still_encodes_in_bounds() {
+        let (space, pred, _) = space();
+        // NaN / infinite utilisation and QoS ratio, level beyond the
+        // table: all must map to valid bins, never panic or overflow.
+        for bad_util in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 7.5] {
+            let mut s = obs(0.5, 0.5, 3, 3);
+            s.soc.clusters[0].util_max = bad_util;
+            s.qos.qos_ratio = bad_util;
+            let idx = space.encode(&s, &pred);
+            assert!(idx < space.len(), "util_max = {bad_util}");
+        }
+        let mut s = obs(0.5, 0.5, 3, 3);
+        s.soc.clusters[0].level = 999;
+        s.soc.clusters[1].level = usize::MAX;
+        let f = space.features(&s, &pred);
+        let top = space.features(&obs(0.5, 0.5, 12, 18), &pred);
+        assert_eq!(f.level, top.level, "out-of-table levels clamp to top");
+        assert!(space.index_of(&f) < space.len());
+    }
+
+    #[test]
+    fn nan_util_reads_as_idle_not_saturated() {
+        let (space, pred, _) = space();
+        let mut s = obs(0.9, 0.9, 3, 3);
+        s.soc.clusters[0].util_max = f64::NAN;
+        let f = space.features(&s, &pred);
+        assert_eq!(f.util[0], 0, "NaN utilisation maps to the idle bin");
+    }
+
+    #[test]
+    fn single_level_cluster_encodes_without_division_by_zero() {
+        let mut cfg = RlConfig::for_soc(&SocConfig::odroid_xu3_like().unwrap());
+        cfg.levels_per_cluster = vec![1, 1];
+        cfg.level_bins = 4;
+        let space = StateSpace::new(&cfg);
+        let pred = Predictor::new(&cfg);
+        let s = obs(0.5, 0.5, 0, 0);
+        let idx = space.encode(&s, &pred);
+        assert!(idx < space.len());
     }
 
     #[test]

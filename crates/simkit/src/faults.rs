@@ -1,0 +1,482 @@
+//! Deterministic fault injection: seeded schedules of sensor, thermal,
+//! hotplug, latency and memory faults.
+//!
+//! A [`FaultPlan`] owns five dedicated RNG streams (split once from a
+//! single seed, one per fault class) and advances one simulation epoch at
+//! a time, sampling which faults are active for that epoch. Consumers —
+//! the experiment runner, the watchdog, the HW-policy driver — read the
+//! sampled flags and apply the physics; the plan itself never touches
+//! simulator state, so the same seed always produces the same fault
+//! trace regardless of which policy is being evaluated.
+//!
+//! Two properties are load-bearing for the workspace's bit-identity
+//! guarantees:
+//!
+//! * **Zero rates draw nothing.** Every fault class checks its rate for
+//!   `> 0.0` before consuming a single random draw (`SimRng::chance`
+//!   always draws, even for `p = 0`), so an all-zero [`FaultRates`] makes
+//!   [`FaultPlan::advance`] a pure no-op and the run is byte-identical to
+//!   one without a plan.
+//! * **Replayable.** The per-class streams are split from the seed up
+//!   front; a plan constructed with the same `(seed, num_clusters,
+//!   rates)` triple replays the identical fault trace.
+
+use crate::SimRng;
+
+/// Per-epoch fault probabilities and shape parameters.
+///
+/// Probabilities are per cluster per epoch unless noted. All default to
+/// zero (no faults); [`FaultRates::scaled`] multiplies every probability
+/// by a sweep factor while keeping the shape parameters fixed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability of additive Gaussian noise on a cluster's telemetry.
+    pub telemetry_noise: f64,
+    /// Noise sigma applied to the utilisation signals (fraction units).
+    pub noise_util_sigma: f64,
+    /// Noise sigma applied to the temperature signal (degrees C).
+    pub noise_temp_sigma_c: f64,
+    /// Probability that a cluster's load telemetry reads zero this epoch.
+    pub telemetry_dropout: f64,
+    /// Probability that a cluster's telemetry is one epoch stale.
+    pub telemetry_stale: f64,
+    /// Probability a thermal-throttle event starts on a cluster.
+    pub thermal_throttle: f64,
+    /// Duration of a throttle event, in epochs.
+    pub throttle_epochs: u64,
+    /// Probability a transient core-offline event starts on a cluster.
+    pub core_offline: f64,
+    /// Duration of a core-offline event, in epochs.
+    pub offline_epochs: u64,
+    /// Probability the policy's decision misses its deadline (per epoch,
+    /// whole-system).
+    pub decision_overrun: f64,
+    /// Probability of a single-event upset in the HW engine's Q-table
+    /// SRAM (per epoch, whole-system).
+    pub table_seu: f64,
+}
+
+impl FaultRates {
+    /// All probabilities zero: injects nothing, draws nothing.
+    pub const fn zero() -> Self {
+        FaultRates {
+            telemetry_noise: 0.0,
+            noise_util_sigma: 0.3,
+            noise_temp_sigma_c: 5.0,
+            telemetry_dropout: 0.0,
+            telemetry_stale: 0.0,
+            thermal_throttle: 0.0,
+            throttle_epochs: 25,
+            core_offline: 0.0,
+            offline_epochs: 50,
+            decision_overrun: 0.0,
+            table_seu: 0.0,
+        }
+    }
+
+    /// Every probability multiplied by `factor` (clamped to `[0, 1]`);
+    /// shape parameters (sigmas, durations) unchanged. `factor = 0`
+    /// yields a plan that draws nothing.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        let s = |p: f64| (p * factor).clamp(0.0, 1.0);
+        FaultRates {
+            telemetry_noise: s(self.telemetry_noise),
+            telemetry_dropout: s(self.telemetry_dropout),
+            telemetry_stale: s(self.telemetry_stale),
+            thermal_throttle: s(self.thermal_throttle),
+            core_offline: s(self.core_offline),
+            decision_overrun: s(self.decision_overrun),
+            table_seu: s(self.table_seu),
+            ..self
+        }
+    }
+
+    /// Whether every probability is exactly zero (the plan is inert).
+    pub fn is_zero(&self) -> bool {
+        self.telemetry_noise == 0.0
+            && self.telemetry_dropout == 0.0
+            && self.telemetry_stale == 0.0
+            && self.thermal_throttle == 0.0
+            && self.core_offline == 0.0
+            && self.decision_overrun == 0.0
+            && self.table_seu == 0.0
+    }
+
+    /// Whether every probability is a valid probability (finite, in
+    /// `[0, 1]`) and every sigma is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        let prob = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        let sigma = |s: f64| s.is_finite() && s >= 0.0;
+        prob(self.telemetry_noise)
+            && prob(self.telemetry_dropout)
+            && prob(self.telemetry_stale)
+            && prob(self.thermal_throttle)
+            && prob(self.core_offline)
+            && prob(self.decision_overrun)
+            && prob(self.table_seu)
+            && sigma(self.noise_util_sigma)
+            && sigma(self.noise_temp_sigma_c)
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::zero()
+    }
+}
+
+/// Faults active on one cluster for the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterFaults {
+    /// Additive noise on the utilisation telemetry (0.0 = none).
+    pub util_noise: f64,
+    /// Additive noise on the temperature telemetry (0.0 = none).
+    pub temp_noise_c: f64,
+    /// Load telemetry reads zero this epoch.
+    pub dropout: bool,
+    /// Telemetry is stale (previous epoch's reading is served).
+    pub stale: bool,
+    /// A thermal-throttle event clamps this cluster's OPP ceiling.
+    pub forced_throttle: bool,
+    /// A transient hotplug event holds one core offline.
+    pub core_offline: bool,
+}
+
+/// Cumulative counts of injected fault events, by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Telemetry-noise epochs injected (cluster-epochs).
+    pub telemetry_noise: u64,
+    /// Telemetry-dropout epochs injected (cluster-epochs).
+    pub telemetry_dropout: u64,
+    /// Stale-telemetry epochs injected (cluster-epochs).
+    pub telemetry_stale: u64,
+    /// Thermal-throttle events started.
+    pub thermal_throttle: u64,
+    /// Core-offline events started.
+    pub core_offline: u64,
+    /// Decision-deadline overruns injected.
+    pub decision_overrun: u64,
+    /// Q-table single-event upsets injected.
+    pub table_seu: u64,
+}
+
+impl FaultCounts {
+    /// Total injected fault events across all classes.
+    pub fn total(&self) -> u64 {
+        self.telemetry_noise
+            + self.telemetry_dropout
+            + self.telemetry_stale
+            + self.thermal_throttle
+            + self.core_offline
+            + self.decision_overrun
+            + self.table_seu
+    }
+}
+
+/// A deterministic, seeded schedule of fault events.
+///
+/// Call [`FaultPlan::advance`] once per simulation epoch, then read the
+/// sampled faults via [`FaultPlan::clusters`],
+/// [`FaultPlan::decision_overrun`] and [`FaultPlan::take_seu`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    telemetry: SimRng,
+    thermal: SimRng,
+    hotplug: SimRng,
+    latency: SimRng,
+    seu: SimRng,
+    clusters: Vec<ClusterFaults>,
+    throttle_left: Vec<u64>,
+    offline_left: Vec<u64>,
+    decision_overrun: bool,
+    seu_entropy: Option<u64>,
+    counts: FaultCounts,
+    epochs: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan for `num_clusters` clusters. Each fault class gets
+    /// its own RNG stream split from `seed`, so classes never perturb
+    /// each other's draw sequences.
+    pub fn new(seed: u64, num_clusters: usize, rates: FaultRates) -> Self {
+        let mut root = SimRng::seed_from(seed);
+        FaultPlan {
+            rates,
+            telemetry: root.split("faults/telemetry"),
+            thermal: root.split("faults/thermal"),
+            hotplug: root.split("faults/hotplug"),
+            latency: root.split("faults/latency"),
+            seu: root.split("faults/seu"),
+            clusters: vec![ClusterFaults::default(); num_clusters],
+            throttle_left: vec![0; num_clusters],
+            offline_left: vec![0; num_clusters],
+            decision_overrun: false,
+            seu_entropy: None,
+            counts: FaultCounts::default(),
+            epochs: 0,
+        }
+    }
+
+    /// Samples the fault set for the next epoch.
+    ///
+    /// Classes with a zero rate consume no random draws at all, so an
+    /// all-zero plan is a pure no-op (bit-identity with the fault-free
+    /// path). Multi-epoch events (throttle, core offline) are modelled as
+    /// countdowns; a new event cannot start while one is in progress on
+    /// the same cluster.
+    pub fn advance(&mut self) {
+        self.epochs += 1;
+        let rates = self.rates;
+        // xtask-hotpath: begin (per-epoch fault sampling, no allocation)
+        for fault in self.clusters.iter_mut() {
+            fault.util_noise = 0.0;
+            fault.temp_noise_c = 0.0;
+            fault.dropout = false;
+            fault.stale = false;
+        }
+        self.decision_overrun = false;
+        self.seu_entropy = None;
+
+        if rates.telemetry_noise > 0.0 {
+            for fault in self.clusters.iter_mut() {
+                if self.telemetry.chance(rates.telemetry_noise) {
+                    fault.util_noise = self.telemetry.normal(0.0, rates.noise_util_sigma);
+                    fault.temp_noise_c = self.telemetry.normal(0.0, rates.noise_temp_sigma_c);
+                    self.counts.telemetry_noise += 1;
+                }
+            }
+        }
+        if rates.telemetry_dropout > 0.0 {
+            for fault in self.clusters.iter_mut() {
+                if self.telemetry.chance(rates.telemetry_dropout) {
+                    fault.dropout = true;
+                    self.counts.telemetry_dropout += 1;
+                }
+            }
+        }
+        if rates.telemetry_stale > 0.0 {
+            for fault in self.clusters.iter_mut() {
+                if self.telemetry.chance(rates.telemetry_stale) {
+                    fault.stale = true;
+                    self.counts.telemetry_stale += 1;
+                }
+            }
+        }
+        if rates.thermal_throttle > 0.0 {
+            for (fault, left) in self.clusters.iter_mut().zip(self.throttle_left.iter_mut()) {
+                if *left > 0 {
+                    *left -= 1;
+                } else if self.thermal.chance(rates.thermal_throttle) {
+                    *left = rates.throttle_epochs;
+                    self.counts.thermal_throttle += 1;
+                }
+                fault.forced_throttle = *left > 0;
+            }
+        }
+        if rates.core_offline > 0.0 {
+            for (fault, left) in self.clusters.iter_mut().zip(self.offline_left.iter_mut()) {
+                if *left > 0 {
+                    *left -= 1;
+                } else if self.hotplug.chance(rates.core_offline) {
+                    *left = rates.offline_epochs;
+                    self.counts.core_offline += 1;
+                }
+                fault.core_offline = *left > 0;
+            }
+        }
+        if rates.decision_overrun > 0.0 && self.latency.chance(rates.decision_overrun) {
+            self.decision_overrun = true;
+            self.counts.decision_overrun += 1;
+        }
+        if rates.table_seu > 0.0 && self.seu.chance(rates.table_seu) {
+            self.seu_entropy = Some(self.seu.next_u64());
+            self.counts.table_seu += 1;
+        }
+        // xtask-hotpath: end
+    }
+
+    /// Per-cluster faults active for the current epoch.
+    pub fn clusters(&self) -> &[ClusterFaults] {
+        &self.clusters
+    }
+
+    /// Whether the policy decision misses its deadline this epoch.
+    pub fn decision_overrun(&self) -> bool {
+        self.decision_overrun
+    }
+
+    /// Takes this epoch's SEU event, if any: 64 entropy bits that the
+    /// consumer maps to a (word, bit) location in its table storage.
+    pub fn take_seu(&mut self) -> Option<u64> {
+        self.seu_entropy.take()
+    }
+
+    /// Whether any telemetry on any cluster is flagged unreliable (stale
+    /// or dropped) this epoch — the watchdog's trigger condition.
+    pub fn telemetry_flagged(&self) -> bool {
+        self.clusters.iter().any(|f| f.stale || f.dropout)
+    }
+
+    /// The rates this plan samples from.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Cumulative injected-fault counts.
+    pub fn counts(&self) -> &FaultCounts {
+        &self.counts
+    }
+
+    /// Number of epochs sampled so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_rates() -> FaultRates {
+        FaultRates {
+            telemetry_noise: 0.2,
+            telemetry_dropout: 0.15,
+            telemetry_stale: 0.1,
+            thermal_throttle: 0.05,
+            throttle_epochs: 3,
+            core_offline: 0.05,
+            offline_epochs: 4,
+            decision_overrun: 0.1,
+            table_seu: 0.1,
+            ..FaultRates::zero()
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_draws_nothing_and_flags_nothing() {
+        let mut plan = FaultPlan::new(7, 2, FaultRates::zero());
+        let pristine = plan.clone();
+        for _ in 0..200 {
+            plan.advance();
+            assert!(!plan.decision_overrun());
+            assert!(plan.take_seu().is_none());
+            assert!(!plan.telemetry_flagged());
+            for fault in plan.clusters() {
+                assert_eq!(*fault, ClusterFaults::default());
+            }
+        }
+        assert_eq!(plan.counts().total(), 0);
+        // No RNG stream consumed a single draw.
+        let drained: Vec<SimRng> = vec![
+            plan.telemetry.clone(),
+            plan.thermal.clone(),
+            plan.hotplug.clone(),
+            plan.latency.clone(),
+            plan.seu.clone(),
+        ];
+        let fresh = [
+            pristine.telemetry,
+            pristine.thermal,
+            pristine.hotplug,
+            pristine.latency,
+            pristine.seu,
+        ];
+        for (mut a, mut b) in drained.into_iter().zip(fresh) {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_identical_fault_trace() {
+        let mut a = FaultPlan::new(42, 2, busy_rates());
+        let mut b = FaultPlan::new(42, 2, busy_rates());
+        for _ in 0..500 {
+            a.advance();
+            b.advance();
+            assert_eq!(a.clusters(), b.clusters());
+            assert_eq!(a.decision_overrun(), b.decision_overrun());
+            assert_eq!(a.take_seu(), b.take_seu());
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().total() > 0, "busy rates should inject faults");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(1, 2, busy_rates());
+        let mut b = FaultPlan::new(2, 2, busy_rates());
+        let mut diverged = false;
+        for _ in 0..200 {
+            a.advance();
+            b.advance();
+            if a.clusters() != b.clusters() {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "seeds 1 and 2 produced identical traces");
+    }
+
+    #[test]
+    fn multi_epoch_events_run_their_countdown() {
+        let rates = FaultRates {
+            thermal_throttle: 1.0,
+            throttle_epochs: 3,
+            ..FaultRates::zero()
+        };
+        let mut plan = FaultPlan::new(3, 1, rates);
+        plan.advance();
+        assert!(plan.clusters()[0].forced_throttle);
+        assert_eq!(plan.counts().thermal_throttle, 1);
+        // The countdown must elapse before a second event can start:
+        // throttle_epochs = 3 gives exactly 3 forced epochs.
+        plan.advance();
+        plan.advance();
+        assert!(plan.clusters()[0].forced_throttle);
+        assert_eq!(plan.counts().thermal_throttle, 1);
+        plan.advance();
+        assert!(!plan.clusters()[0].forced_throttle, "countdown expired");
+        assert_eq!(plan.counts().thermal_throttle, 1);
+        // With p = 1 a new event starts on the next epoch.
+        plan.advance();
+        assert_eq!(plan.counts().thermal_throttle, 2);
+    }
+
+    #[test]
+    fn scaled_rates_clamp_to_unit_interval() {
+        let rates = busy_rates().scaled(100.0);
+        assert!(rates.is_valid());
+        assert_eq!(rates.telemetry_noise, 1.0);
+        assert_eq!(rates.throttle_epochs, 3, "shape params are not scaled");
+        let none = busy_rates().scaled(0.0);
+        assert!(none.is_zero());
+    }
+
+    #[test]
+    fn validity_rejects_out_of_range_probabilities() {
+        let mut rates = FaultRates::zero();
+        assert!(rates.is_valid());
+        rates.telemetry_noise = 1.5;
+        assert!(!rates.is_valid());
+        rates.telemetry_noise = f64::NAN;
+        assert!(!rates.is_valid());
+        rates.telemetry_noise = 0.5;
+        rates.noise_util_sigma = -1.0;
+        assert!(!rates.is_valid());
+    }
+
+    #[test]
+    fn seu_entropy_is_taken_once() {
+        let rates = FaultRates {
+            table_seu: 1.0,
+            ..FaultRates::zero()
+        };
+        let mut plan = FaultPlan::new(5, 1, rates);
+        plan.advance();
+        assert!(plan.take_seu().is_some());
+        assert!(plan.take_seu().is_none(), "take consumes the event");
+    }
+}

@@ -9,6 +9,9 @@
 //!   FIFO ordering for simultaneous events;
 //! * [`SimRng`] — a seedable, splittable random source plus the handful of
 //!   distributions the workload generators need;
+//! * [`faults`] — deterministic, seeded fault-injection schedules
+//!   (telemetry noise/dropout/staleness, thermal throttle, core hotplug,
+//!   decision overruns, Q-table SEUs) consumed by the experiment runner;
 //! * [`stats`] — online statistics (Welford mean/variance, fixed-bin
 //!   histograms with percentile queries, exponentially weighted moving
 //!   averages);
@@ -36,9 +39,11 @@ mod event;
 mod rng;
 mod time;
 
+pub mod faults;
 pub mod stats;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use faults::{ClusterFaults, FaultCounts, FaultPlan, FaultRates};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -61,6 +61,10 @@ pub struct ClusterObservation {
 pub struct Cluster {
     config: ClusterConfig,
     cores: Vec<CoreModel>,
+    /// Number of online cores: cores `[0, online)` execute and draw
+    /// power; the tail `[online, len)` is hotplugged out (fully
+    /// power-collapsed, zero dynamic and leakage power, queues drained).
+    online: usize,
     level: OppLevel,
     /// Stall applied to the next sub-step because of an in-flight
     /// transition.
@@ -84,6 +88,7 @@ impl PartialEq for Cluster {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
             && self.cores == other.cores
+            && self.online == other.online
             && self.level == other.level
             && self.pending_stall == other.pending_stall
             && self.acc == other.acc
@@ -138,9 +143,11 @@ impl Cluster {
                 }
             })
             .collect();
+        let online = config.cores;
         Cluster {
             config,
             cores,
+            online,
             level: 0,
             pending_stall: SimDuration::ZERO,
             acc: EpochAcc::default(),
@@ -195,9 +202,54 @@ impl Cluster {
         self.config.thermal.is_throttled()
     }
 
-    /// Number of cores.
+    /// Number of cores (physically present, online or not).
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Number of cores currently online.
+    pub fn num_online(&self) -> usize {
+        self.online
+    }
+
+    /// Hotplugs the cluster to exactly `n` online cores. Queued work on a
+    /// core going offline migrates (with its partially-executed remaining
+    /// work) to the least-loaded surviving core, so hotplug conserves
+    /// work; offline cores are fully power-collapsed (zero dynamic and
+    /// leakage power) and their pending wake-up stalls are cancelled.
+    /// Returns the previous online count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidHotplug`] when `n` is zero or exceeds
+    /// the physical core count — at least one core must stay online.
+    pub fn set_online(&mut self, n: usize, cluster_id: usize) -> Result<usize, SocError> {
+        if n == 0 || n > self.cores.len() {
+            return Err(SocError::InvalidHotplug {
+                cluster: cluster_id,
+                requested: n,
+                cores: self.cores.len(),
+            });
+        }
+        if n < self.online {
+            let (survivors, parked) = self.cores.split_at_mut(n);
+            for core in parked.iter_mut() {
+                if core.queue_len() > 0 {
+                    // Re-pick the target per core: an earlier migration
+                    // may have changed who is least loaded.
+                    if let Some(target) = survivors
+                        .iter_mut()
+                        .min_by(|a, b| a.backlog().total_cmp(&b.backlog()))
+                    {
+                        core.drain_queue_into(target);
+                    }
+                }
+                core.park();
+            }
+        }
+        let prev = self.online;
+        self.online = n;
+        Ok(prev)
     }
 
     /// Total queued jobs across cores.
@@ -211,25 +263,27 @@ impl Cluster {
     }
 
     /// Effective capacity at the current OPP (reference instructions per
-    /// second across all cores).
+    /// second across the online cores).
     pub fn capacity_ips(&self) -> f64 {
-        self.cores.len() as f64 * self.config.ipc * self.freq_hz() as f64
+        self.online as f64 * self.config.ipc * self.freq_hz() as f64
     }
 
-    /// Index of the core with the smallest backlog.
+    /// Index of the online core with the smallest backlog.
     pub fn least_loaded_core(&self) -> usize {
         self.cores
             .iter()
+            .take(self.online)
             .enumerate()
             .min_by(|(_, a), (_, b)| a.backlog().total_cmp(&b.backlog()))
             .map_or(0, |(i, _)| i)
     }
 
     /// Enqueues a job on a specific core, charging the cpuidle wake-up
-    /// stall if the core was in a deep idle state. An out-of-range `core`
-    /// falls back to the least-loaded core rather than panicking.
+    /// stall if the core was in a deep idle state. An out-of-range or
+    /// offline `core` falls back to the least-loaded online core rather
+    /// than panicking.
     pub fn enqueue_on(&mut self, core: usize, job: Job) {
-        let core = if core < self.cores.len() {
+        let core = if core < self.online {
             core
         } else {
             self.least_loaded_core()
@@ -305,10 +359,14 @@ impl Cluster {
         let mut busy_max = 0.0;
         let mut power_w = lut.uncore_w;
         // xtask-hotpath: begin
-        let cores = &mut self.cores;
+        // Offline cores (the tail past `online`) are power-collapsed:
+        // they execute nothing, draw nothing, and only their idle
+        // residency advances. With every core online the split yields an
+        // empty tail and the loop is the pre-hotplug loop, bit for bit.
+        let (online_cores, offline_cores) = self.cores.split_at_mut(self.online);
         let acc = &mut self.acc;
         let idle_cfg = self.config.idle.as_ref();
-        for core in cores.iter_mut() {
+        for core in online_cores.iter_mut() {
             // The cpuidle depth in effect during this sub-step is decided
             // by the residency at its start (waking resets it via
             // `enqueue_on`).
@@ -336,6 +394,9 @@ impl Cluster {
             busy_sum += busy;
             busy_max = f64::max(busy_max, busy);
         }
+        for core in offline_cores.iter_mut() {
+            core.note_idle(dt);
+        }
         // xtask-hotpath: end
 
         self.acc.energy_j += power_w * dt_s;
@@ -354,7 +415,9 @@ impl Cluster {
             self.acc.transitions += 1;
         }
 
-        let n = self.cores.len() as f64;
+        // Average over *online* cores (offline cores are not schedulable,
+        // so they would dilute the load signal governors act on).
+        let n = self.online as f64;
         self.acc.util_avg_sum += busy_sum / n;
         self.acc.util_max_sum += busy_max;
         self.acc.substeps += 1;
@@ -402,6 +465,9 @@ impl Cluster {
         let mut energy_j = self.acc.energy_j;
         let idle_cfg = self.config.idle.as_ref();
         let batch_residency = idle_cfg.is_none();
+        // Offline cores draw no power; only online cores contribute the
+        // per-core idle term (identical to the stepped loop's split).
+        let online = self.online;
         // xtask-hotpath: begin
         for i in 0..steps {
             let temp = thermal.temp_c();
@@ -416,13 +482,14 @@ impl Cluster {
                     // original loop adds the same per-core term once per
                     // core, in order. Residency is batched after the loop.
                     let term = PowerModel::idle_core_w_from_parts(lut.idle_coeff, leak_w, 1.0, 1.0);
-                    for _ in 0..self.cores.len() {
+                    for _ in 0..online {
                         power_w += term;
                     }
                 }
                 Some(idle) => {
                     let acc = &mut self.acc;
-                    for core in &mut self.cores {
+                    let (online_cores, offline_cores) = self.cores.split_at_mut(online);
+                    for core in online_cores.iter_mut() {
                         let depth = idle.depth(core.idle_for());
                         let (dyn_scale, leak_scale) = idle.power_scales(depth);
                         power_w += PowerModel::idle_core_w_from_parts(
@@ -436,6 +503,9 @@ impl Cluster {
                             IdleDepth::Collapsed => acc.idle_collapsed_s += dt_s,
                             IdleDepth::Active => {}
                         }
+                        core.note_idle(dt);
+                    }
+                    for core in offline_cores.iter_mut() {
                         core.note_idle(dt);
                     }
                 }
@@ -529,12 +599,14 @@ impl Cluster {
         }
     }
 
-    /// Clears queues, resets thermal state and returns to level 0.
+    /// Clears queues, resets thermal state, brings every core back
+    /// online and returns to level 0.
     pub fn reset(&mut self) {
         for core in &mut self.cores {
             core.clear();
         }
         self.config.thermal.reset();
+        self.online = self.cores.len();
         self.level = 0;
         self.pending_stall = SimDuration::ZERO;
         self.acc = EpochAcc::default();
@@ -793,6 +865,65 @@ mod tests {
         let report = c.end_epoch();
         assert_eq!(report.completed[0].completed_at, SimTime::from_millis(1));
         assert_eq!(report.idle_gated_s, 0.0);
+    }
+
+    #[test]
+    fn hotplug_migrates_work_and_cuts_power() {
+        let mut c = test_cluster();
+        c.enqueue_on(1, job(1, 5_000_000));
+        let backlog = c.backlog();
+        c.set_online(1, 0).unwrap();
+        assert_eq!(c.num_online(), 1);
+        assert_eq!(c.backlog(), backlog, "hotplug conserves queued work");
+        assert_eq!(c.queued_jobs(), 1, "job migrated to the survivor");
+        // The offline core draws nothing: idle power halves (modulo
+        // uncore, which is shared).
+        let idle_power = |c: &mut Cluster| {
+            let mut t = SimTime::ZERO;
+            for _ in 0..20 {
+                c.advance_substep(t, SimDuration::from_millis(1));
+                t += SimDuration::from_millis(1);
+            }
+            c.end_epoch().energy_j
+        };
+        let mut full = test_cluster();
+        let e_full = idle_power(&mut full);
+        let mut half = test_cluster();
+        half.set_online(1, 0).unwrap();
+        let e_half = idle_power(&mut half);
+        assert!(
+            e_half < e_full,
+            "offline core must not draw power: {e_half} vs {e_full}"
+        );
+    }
+
+    #[test]
+    fn hotplug_rejects_zero_and_overflow() {
+        let mut c = test_cluster();
+        assert!(matches!(
+            c.set_online(0, 3),
+            Err(SocError::InvalidHotplug {
+                cluster: 3,
+                requested: 0,
+                cores: 2
+            })
+        ));
+        assert!(c.set_online(5, 0).is_err());
+        assert_eq!(c.num_online(), 2, "failed hotplug leaves state intact");
+    }
+
+    #[test]
+    fn hotplug_redirects_enqueue_and_reset_reonlines() {
+        let mut c = test_cluster();
+        c.set_online(1, 0).unwrap();
+        // Targeting the offline core lands on the online one.
+        c.enqueue_on(1, job(1, 1_000));
+        assert_eq!(c.least_loaded_core(), 0);
+        assert_eq!(c.queued_jobs(), 1);
+        let full_capacity = test_cluster().capacity_ips();
+        assert_eq!(c.capacity_ips(), full_capacity / 2.0);
+        c.reset();
+        assert_eq!(c.num_online(), 2);
     }
 
     #[test]

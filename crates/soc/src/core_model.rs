@@ -213,6 +213,23 @@ impl CoreModel {
         self.idle_for = SimDuration::ZERO;
         self.wake_stall = SimDuration::ZERO;
     }
+
+    /// Migrates every queued job — with its partially-executed remaining
+    /// work — to `target`, preserving FIFO order. Used when a core goes
+    /// offline so hotplug conserves work exactly.
+    pub(crate) fn drain_queue_into(&mut self, target: &mut CoreModel) {
+        while let Some(entry) = self.queue.pop_front() {
+            target.queue.push_back(entry);
+        }
+    }
+
+    /// Parks the core for hotplug: its queue must already be drained; any
+    /// pending wake-up stall is cancelled (the wake never happens — the
+    /// core is power-gated instead), leaving the core quiescent.
+    pub(crate) fn park(&mut self) {
+        debug_assert!(self.queue.is_empty(), "park with queued work");
+        self.wake_stall = SimDuration::ZERO;
+    }
 }
 
 #[cfg(test)]

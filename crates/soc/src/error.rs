@@ -40,6 +40,22 @@ pub enum SocError {
         /// Number of clusters available.
         available: usize,
     },
+    /// A hotplug request asked for an impossible online-core count
+    /// (zero, or more cores than the cluster has).
+    InvalidHotplug {
+        /// The cluster the request addressed.
+        cluster: usize,
+        /// The requested number of online cores.
+        requested: usize,
+        /// Number of cores the cluster physically has.
+        cores: usize,
+    },
+    /// A fault-injection plan had out-of-range parameters (probabilities
+    /// outside `[0, 1]`, negative or non-finite sigmas).
+    InvalidFaultPlan {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -64,6 +80,17 @@ impl fmt::Display for SocError {
             ),
             SocError::NoSuchCluster { cluster, available } => {
                 write!(f, "no such cluster {cluster} ({available} clusters)")
+            }
+            SocError::InvalidHotplug {
+                cluster,
+                requested,
+                cores,
+            } => write!(
+                f,
+                "cannot bring {requested} core(s) online on cluster {cluster} ({cores} cores, at least 1 must stay online)"
+            ),
+            SocError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }
@@ -92,5 +119,75 @@ mod tests {
     fn error_trait_is_implemented() {
         fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
         takes_error(SocError::InvalidSocConfig { reason: "x".into() });
+    }
+
+    /// Every variant must render its distinguishing fields: the `Display`
+    /// impl matches exhaustively (no `_ =>`), so adding a variant without
+    /// a message is a compile error, and this test catches a variant
+    /// accidentally rendering a generic/near-duplicate message.
+    #[test]
+    fn every_variant_formats_its_fields() {
+        let variants: Vec<(SocError, Vec<&str>)> = vec![
+            (
+                SocError::InvalidOppTable {
+                    reason: "unsorted".into(),
+                },
+                vec!["OPP table", "unsorted"],
+            ),
+            (
+                SocError::InvalidClusterConfig {
+                    cluster: 3,
+                    reason: "zero cores".into(),
+                },
+                vec!["cluster 3", "zero cores"],
+            ),
+            (
+                SocError::InvalidSocConfig {
+                    reason: "no clusters".into(),
+                },
+                vec!["SoC configuration", "no clusters"],
+            ),
+            (
+                SocError::LevelOutOfRange {
+                    cluster: 1,
+                    requested: 20,
+                    available: 13,
+                },
+                vec!["level 20", "cluster 1", "13 levels"],
+            ),
+            (
+                SocError::NoSuchCluster {
+                    cluster: 7,
+                    available: 2,
+                },
+                vec!["cluster 7", "2 clusters"],
+            ),
+            (
+                SocError::InvalidHotplug {
+                    cluster: 0,
+                    requested: 9,
+                    cores: 4,
+                },
+                vec!["9 core(s)", "cluster 0", "4 cores"],
+            ),
+            (
+                SocError::InvalidFaultPlan {
+                    reason: "probability 1.5".into(),
+                },
+                vec!["fault plan", "probability 1.5"],
+            ),
+        ];
+        let mut rendered: Vec<String> = Vec::new();
+        for (error, needles) in variants {
+            let msg = error.to_string();
+            for needle in needles {
+                assert!(msg.contains(needle), "{error:?} rendered as {msg:?}");
+            }
+            assert!(
+                !rendered.contains(&msg),
+                "two variants render identically: {msg:?}"
+            );
+            rendered.push(msg);
+        }
     }
 }

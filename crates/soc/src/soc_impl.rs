@@ -169,6 +169,24 @@ impl Soc {
         self.arrivals.schedule(at, job);
     }
 
+    /// Hotplugs cluster `cluster` to exactly `online` online cores
+    /// (the online prefix model: cores `0..online` stay active, the tail
+    /// is power-collapsed and its queued work migrates to the survivors).
+    /// Returns the previous online count.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::NoSuchCluster`] for an out-of-range cluster index, or
+    /// [`SocError::InvalidHotplug`] when `online` is zero or exceeds the
+    /// cluster's physical core count.
+    pub fn set_cores_online(&mut self, cluster: usize, online: usize) -> Result<usize, SocError> {
+        let available = self.clusters.len();
+        match self.clusters.get_mut(cluster) {
+            Some(c) => c.set_online(online, cluster),
+            None => Err(SocError::NoSuchCluster { cluster, available }),
+        }
+    }
+
     /// Jobs currently queued on cores (excluding future arrivals).
     pub fn queued_jobs(&self) -> usize {
         self.clusters.iter().map(Cluster::queued_jobs).sum()
@@ -557,6 +575,32 @@ mod tests {
         s.schedule_job(
             SimTime::from_millis(1),
             Job::new(1, 1, SimTime::from_millis(2), JobClass::Light),
+        );
+    }
+
+    #[test]
+    fn hotplug_routes_errors_and_reduces_energy() {
+        let mut s = xu3();
+        assert!(matches!(
+            s.set_cores_online(9, 1),
+            Err(SocError::NoSuchCluster {
+                cluster: 9,
+                available: 2
+            })
+        ));
+        assert!(matches!(
+            s.set_cores_online(0, 0),
+            Err(SocError::InvalidHotplug { .. })
+        ));
+        assert_eq!(s.set_cores_online(0, 1).unwrap(), 4);
+        let r_half = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        s.reset();
+        let r_full = s.run_epoch(&LevelRequest::min(s.config())).unwrap();
+        assert!(
+            r_half.energy_j < r_full.energy_j,
+            "parked cores must not leak: {} vs {}",
+            r_half.energy_j,
+            r_full.energy_j
         );
     }
 

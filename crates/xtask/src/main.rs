@@ -42,8 +42,14 @@ const DETERMINISM_CRATES: &[&str] = &[
 ];
 
 /// Files containing `xtask-hotpath: begin`/`end` marked regions — the
-/// per-sub-step simulation loops that must stay allocation-free.
-const HOTPATH_FILES: &[&str] = &["crates/soc/src/cluster.rs", "crates/soc/src/soc_impl.rs"];
+/// per-sub-step simulation loops, the per-epoch fault sampling, and the
+/// runner's per-epoch dispatch, all of which must stay allocation-free.
+const HOTPATH_FILES: &[&str] = &[
+    "crates/soc/src/cluster.rs",
+    "crates/soc/src/soc_impl.rs",
+    "crates/simkit/src/faults.rs",
+    "crates/experiments/src/runner.rs",
+];
 
 /// Library crates covered by the no-panic ratchet (binaries, benches and
 /// the vendored shims are exempt).

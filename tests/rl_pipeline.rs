@@ -122,7 +122,8 @@ fn software_trained_table_deploys_onto_the_hardware_driver() {
     sw.reset();
 
     let mut hw = HwPolicyDriver::new(HwConfig::default(), &rl_config);
-    hw.load_table(&sw.agent().merged_table());
+    hw.load_table(&sw.agent().merged_table())
+        .expect("matching geometry");
     hw.set_training(false);
 
     // Behavioural agreement on the same evaluation trace: fixed-point
