@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured notes.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use experiments::ablations::{
     a1_state_features, a2_reward_shaping, a3_exploration, a4_algorithm, ablation_table,
@@ -19,13 +20,44 @@ use experiments::e8_idle_states::{idle_table, run_e8, E8Config};
 use experiments::e9_fault_resilience::{run_e9, E9Arm, E9Config};
 use experiments::table::{fmt_pct, Table};
 
+/// Result files that failed to write; a non-zero count fails the run so
+/// a missing artifact can never masquerade as a regenerated one.
+static WRITE_FAILURES: AtomicU32 = AtomicU32::new(0);
+
 fn emit(table: &Table, results_dir: &Path, file: &str) {
     println!("{}", table.to_markdown());
     let path = results_dir.join(file);
     if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        eprintln!("error: {e}");
+        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
     } else {
         println!("(csv written to {})\n", path.display());
+    }
+}
+
+/// Opens a fresh metrics window so each experiment's summary covers only
+/// its own work. A no-op without the `obs` feature.
+fn metrics_begin() {
+    simkit::obs::reset();
+}
+
+/// Writes the metrics accumulated since [`metrics_begin`] alongside the
+/// experiment's CSVs. Nothing is written without the `obs` feature, so
+/// the default `results/` layout is identical to an uninstrumented run.
+fn metrics_end(results_dir: &Path, experiment: &str) {
+    if !simkit::obs::enabled() {
+        return;
+    }
+    let snap = simkit::obs::snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    let path = results_dir.join(format!("{experiment}_metrics.csv"));
+    if let Err(e) = std::fs::write(&path, snap.to_csv()) {
+        eprintln!("error: could not write {}: {e}", path.display());
+        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        println!("(metrics written to {})\n", path.display());
     }
 }
 
@@ -44,6 +76,7 @@ fn main() {
     let _ = std::fs::create_dir_all(results_dir);
 
     if want("e1") || want("e5") {
+        metrics_begin();
         let config = if quick {
             E1Config::quick()
         } else {
@@ -83,9 +116,11 @@ fn main() {
                 fmt_pct(shortfall)
             );
         }
+        metrics_end(results_dir, "e1");
     }
 
     if want("e2") {
+        metrics_begin();
         let config = if quick {
             E2Config::quick()
         } else {
@@ -102,9 +137,11 @@ fn main() {
             fmt_pct(result.improvement(10)),
             result.ondemand_reference
         );
+        metrics_end(results_dir, "e2");
     }
 
     if want("e3") {
+        metrics_begin();
         let config = if quick {
             E3Config::quick()
         } else {
@@ -116,9 +153,11 @@ fn main() {
         );
         let results = run_e3(&soc_config, &config);
         emit(&phase_table(&results), results_dir, "e3_adaptivity.csv");
+        metrics_end(results_dir, "e3");
     }
 
     if want("e4") {
+        metrics_begin();
         eprintln!("running E4 latency models ...");
         let l = ladder(&soc_config);
         emit(&ladder_table(&l), results_dir, "e4_ladder.csv");
@@ -128,18 +167,22 @@ fn main() {
             "E4 headline: decision latency reduced up to {:.1}x (compute-only; paper: up to 40x), {:.2}x on average end-to-end (journal: 3.92x)\n",
             l.max_speedup, d.speedup
         );
+        metrics_end(results_dir, "e4");
     }
 
     if want("e6") {
+        metrics_begin();
         eprintln!("running E6 parity and bit-width sweep ...");
         let transitions = if quick { 5_000 } else { 50_000 };
         let report = run_parity(&soc_config, transitions, 6);
         emit(&parity_table(&report), results_dir, "e6_parity.csv");
         let points = run_sweep(&soc_config, transitions, 6);
         emit(&sweep_table(&points), results_dir, "e6_bitwidth.csv");
+        metrics_end(results_dir, "e6");
     }
 
     if want("e7") {
+        metrics_begin();
         eprintln!("running E7 fabric-cost sweep ...");
         let reports = run_e7(&soc_config);
         emit(&cost_table(&reports), results_dir, "e7_hw_cost.csv");
@@ -148,9 +191,11 @@ fn main() {
             "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
             best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
         );
+        metrics_end(results_dir, "e7");
     }
 
     if want("e9") {
+        metrics_begin();
         // E9: the same headline comparison on the symmetric quad-core SoC
         // (the journal evaluates both CPU types).
         let config = if quick {
@@ -175,9 +220,11 @@ fn main() {
             "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
             fmt_pct(result.reduction_vs_six())
         );
+        metrics_end(results_dir, "e9");
     }
 
     if want("e9-fault") {
+        metrics_begin();
         let config = if quick {
             E9Config::quick()
         } else {
@@ -207,9 +254,11 @@ fn main() {
             result.violation_growth(E9Arm::RlWatchdog),
             result.violation_growth(E9Arm::RlNoFallback)
         );
+        metrics_end(results_dir, "e9_fault");
     }
 
     if want("e8") {
+        metrics_begin();
         let config = if quick {
             E8Config::quick()
         } else {
@@ -218,6 +267,7 @@ fn main() {
         eprintln!("running E8 cpuidle comparison ...");
         let cells = run_e8(&config);
         emit(&idle_table(&cells), results_dir, "e8_idle_states.csv");
+        metrics_end(results_dir, "e8");
     }
 
     let ablation_config = if quick {
@@ -226,6 +276,7 @@ fn main() {
         AblationConfig::default()
     };
     if want("a1") {
+        metrics_begin();
         eprintln!("running A1 state-feature ablation ...");
         let rows = a1_state_features(&soc_config, &ablation_config);
         emit(
@@ -233,8 +284,10 @@ fn main() {
             results_dir,
             "a1_state_features.csv",
         );
+        metrics_end(results_dir, "a1");
     }
     if want("a2") {
+        metrics_begin();
         eprintln!("running A2 reward-shaping ablation ...");
         let rows = a2_reward_shaping(&soc_config, &ablation_config);
         emit(
@@ -242,8 +295,10 @@ fn main() {
             results_dir,
             "a2_reward_shaping.csv",
         );
+        metrics_end(results_dir, "a2");
     }
     if want("a3") {
+        metrics_begin();
         eprintln!("running A3 exploration-schedule ablation ...");
         let rows = a3_exploration(&soc_config, &ablation_config);
         emit(
@@ -251,8 +306,10 @@ fn main() {
             results_dir,
             "a3_exploration.csv",
         );
+        metrics_end(results_dir, "a3");
     }
     if want("a4") {
+        metrics_begin();
         eprintln!("running A4 algorithm ablation ...");
         let rows = a4_algorithm(&soc_config, &ablation_config);
         emit(
@@ -260,5 +317,12 @@ fn main() {
             results_dir,
             "a4_algorithm.csv",
         );
+        metrics_end(results_dir, "a4");
+    }
+
+    let failures = WRITE_FAILURES.load(Ordering::Relaxed);
+    if failures > 0 {
+        eprintln!("{failures} result file(s) could not be written");
+        std::process::exit(1);
     }
 }

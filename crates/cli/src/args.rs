@@ -36,6 +36,15 @@ impl Error for ParseArgsError {}
 /// Flags that take no value.
 const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick"];
 
+/// Every `rlpm-sim` subcommand, in help order.
+///
+/// This list is the single source of truth for the docs lint in
+/// `cargo xtask check`, which parses it out of this file and fails when a
+/// command is mentioned in neither `README.md` nor `EXPERIMENTS.md`.
+pub const COMMANDS: &[&str] = &[
+    "run", "train", "eval", "compare", "record", "replay", "latency", "e9", "trace", "help",
+];
+
 /// Parses a raw argument list (without the program name).
 ///
 /// # Errors

@@ -64,6 +64,26 @@ fn policy_kind(name: &str) -> Result<PolicyKind, Box<dyn Error>> {
         })
 }
 
+/// Writes the process-wide metrics snapshot to `--metrics-out FILE` when
+/// the flag is present. Commands that simulate call this last, so the
+/// snapshot covers everything the invocation did.
+fn write_metrics_out(inv: &Invocation) -> CmdResult {
+    let Some(path) = inv.flags.get("metrics-out") else {
+        return Ok(());
+    };
+    if !simkit::obs::enabled() {
+        eprintln!(
+            "warning: this rlpm-sim was built without the `obs` feature; \
+             {path} will contain no metrics"
+        );
+    }
+    let snap = simkit::obs::snapshot();
+    std::fs::write(path, snap.to_csv())
+        .map_err(|e| simkit::trace::WriteError::new(path.as_str(), e))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
 fn print_metrics(label: &str, m: &RunMetrics) {
     println!("=== {label} ===");
     println!(
@@ -87,9 +107,9 @@ fn print_metrics(label: &str, m: &RunMetrics) {
     }
 }
 
-/// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]`
+/// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace] [--metrics-out FILE]`
 pub fn cmd_run(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["secs", "seed", "soc", "trace"])?;
+    inv.allow_flags(&["secs", "seed", "soc", "trace", "metrics-out"])?;
     let scenario_name = inv
         .positional
         .first()
@@ -119,7 +139,7 @@ pub fn cmd_run(inv: &Invocation) -> CmdResult {
         &format!("{scenario_name} / {policy_name} for {secs}s"),
         &metrics,
     );
-    Ok(())
+    write_metrics_out(inv)
 }
 
 /// `train <scenario> [--episodes N] [--episode-secs N] [--seed N] [--soc P] --out FILE`
@@ -159,9 +179,9 @@ pub fn cmd_train(inv: &Invocation) -> CmdResult {
     Ok(())
 }
 
-/// `eval <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]`
+/// `eval <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P] [--metrics-out FILE]`
 pub fn cmd_eval(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["policy-file", "secs", "seed", "soc"])?;
+    inv.allow_flags(&["policy-file", "secs", "seed", "soc", "metrics-out"])?;
     let scenario_name = inv
         .positional
         .first()
@@ -191,12 +211,12 @@ pub fn cmd_eval(inv: &Invocation) -> CmdResult {
         &format!("{scenario_name} / saved policy for {secs}s"),
         &metrics,
     );
-    Ok(())
+    write_metrics_out(inv)
 }
 
-/// `compare <scenario> [--secs N] [--seed N] [--soc P]`
+/// `compare <scenario> [--secs N] [--seed N] [--soc P] [--metrics-out FILE]`
 pub fn cmd_compare(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["secs", "seed", "soc"])?;
+    inv.allow_flags(&["secs", "seed", "soc", "metrics-out"])?;
     let scenario_name = inv
         .positional
         .first()
@@ -233,7 +253,7 @@ pub fn cmd_compare(inv: &Invocation) -> CmdResult {
         ]);
     }
     println!("\n{}", table.to_markdown());
-    Ok(())
+    write_metrics_out(inv)
 }
 
 /// `record <scenario> [--secs N] [--seed N] --out FILE`
@@ -256,9 +276,16 @@ pub fn cmd_record(inv: &Invocation) -> CmdResult {
     Ok(())
 }
 
-/// `replay <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]`
+/// `replay <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P] [--metrics-out FILE]`
 pub fn cmd_replay(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["trace-file", "scenario", "secs", "seed", "soc"])?;
+    inv.allow_flags(&[
+        "trace-file",
+        "scenario",
+        "secs",
+        "seed",
+        "soc",
+        "metrics-out",
+    ])?;
     let policy_name = inv
         .positional
         .first()
@@ -296,12 +323,12 @@ pub fn cmd_replay(inv: &Invocation) -> CmdResult {
         &format!("replay({file}) / {policy_name} for {secs}s"),
         &metrics,
     );
-    Ok(())
+    write_metrics_out(inv)
 }
 
-/// `latency [--soc P]` — the E4 ladder.
+/// `latency [--soc P] [--metrics-out FILE]` — the E4 ladder.
 pub fn cmd_latency(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["soc"])?;
+    inv.allow_flags(&["soc", "metrics-out"])?;
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
     let soc_cfg = soc_config(&soc_name)?;
     let ladder = experiments::e4_decision_latency::ladder(&soc_cfg);
@@ -313,15 +340,22 @@ pub fn cmd_latency(inv: &Invocation) -> CmdResult {
         "up to {:.1}x compute-only, {:.2}x average end-to-end",
         ladder.max_speedup, ladder.avg_speedup
     );
-    Ok(())
+    write_metrics_out(inv)
 }
 
-/// `e9 [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick]`
+/// `e9 [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick] [--metrics-out FILE]`
 /// — the resilience sweep under injected faults.
 pub fn cmd_e9(inv: &Invocation) -> CmdResult {
     use experiments::e9_fault_resilience::{run_e9, E9Config};
 
-    inv.allow_flags(&["scenario", "fault-seed", "soc", "out-dir", "quick"])?;
+    inv.allow_flags(&[
+        "scenario",
+        "fault-seed",
+        "soc",
+        "out-dir",
+        "quick",
+        "metrics-out",
+    ])?;
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
     let soc_cfg = soc_config(&soc_name)?;
     let mut config = if inv.has("quick") {
@@ -360,7 +394,80 @@ pub fn cmd_e9(inv: &Invocation) -> CmdResult {
             .write_csv(&dir.join("e9_fault_summary.csv"))?;
         println!("wrote e9_fault_*.csv to {}", dir.display());
     }
-    Ok(())
+    write_metrics_out(inv)
+}
+
+/// `trace <scenario> [--secs N] [--seed N] [--soc P] [--format csv|jsonl] [--out FILE] [--metrics-out FILE]`
+/// — per-epoch decision trace of the RL policy: state index, explore vs
+/// greedy, chosen action, reward and TD correction, one row per epoch.
+pub fn cmd_trace(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["secs", "seed", "soc", "format", "out", "metrics-out"])?;
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = inv.positional.first();
+        Err(ParseArgsError(
+            "this rlpm-sim was built without the `obs` feature; \
+             rebuild with default features to use `trace`"
+                .into(),
+        )
+        .into())
+    }
+    #[cfg(feature = "obs")]
+    {
+        use rlpm::{DecisionSink, TraceFormat};
+
+        let scenario_name = inv
+            .positional
+            .first()
+            .map(String::as_str)
+            .unwrap_or("video");
+        let secs: u64 = inv.flag_or("secs", 30)?;
+        let seed: u64 = inv.flag_or("seed", 42)?;
+        let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+        let format = match inv.flag_or("format", "csv".to_owned())?.as_str() {
+            "csv" => TraceFormat::Csv,
+            "jsonl" => TraceFormat::Jsonl,
+            other => {
+                return Err(
+                    ParseArgsError(format!("unknown --format {other:?} (csv | jsonl)")).into(),
+                )
+            }
+        };
+        let soc_cfg = soc_config(&soc_name)?;
+        let kind = scenario_kind(scenario_name)?;
+        eprintln!("training rlpm before the traced run ...");
+        let mut policy =
+            experiments::train_rl_governor(&soc_cfg, kind, TrainingProtocol::default(), seed);
+        let to_file = inv.flags.get("out");
+        let sink = match to_file {
+            Some(path) => DecisionSink::new(std::fs::File::create(path)?, format),
+            None => DecisionSink::new(std::io::stdout(), format),
+        };
+        policy.set_decision_sink(Some(sink.clone()));
+        let mut soc = Soc::new(soc_cfg)?;
+        let mut scenario = kind.build(seed.wrapping_add(1));
+        let metrics = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut policy,
+            RunConfig::seconds(secs),
+        );
+        policy.set_decision_sink(None);
+        let records = sink.finish()?;
+        eprintln!(
+            "traced {records} decisions over {} epochs of {scenario_name}",
+            metrics.epochs
+        );
+        // With the trace on stdout, the run summary would corrupt it, so
+        // the summary only prints when the trace went to a file.
+        if to_file.is_some() {
+            print_metrics(
+                &format!("{scenario_name} / rlpm traced for {secs}s"),
+                &metrics,
+            );
+        }
+        write_metrics_out(inv)
+    }
 }
 
 /// `help`
@@ -377,11 +484,15 @@ USAGE:
   rlpm-sim replay   <policy> --trace-file FILE [--scenario NAME] [--secs N] [--soc P]
   rlpm-sim latency  [--soc P]
   rlpm-sim e9       [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick]
+  rlpm-sim trace    <scenario> [--secs N] [--seed N] [--soc P] [--format csv|jsonl] [--out FILE]
   rlpm-sim help
 
 SCENARIOS: video web gaming audio camera video-call navigation app-launch idle mixed
 POLICIES:  performance powersave ondemand conservative interactive schedutil rlpm rlpm-hw
-SOC PRESETS (--soc): xu3 (default) | xu3-cstates | symmetric"
+SOC PRESETS (--soc): xu3 (default) | xu3-cstates | symmetric
+
+Simulating commands also accept --metrics-out FILE to dump the process-wide
+observability snapshot (counters, gauges, spans, histograms) as CSV."
     );
     Ok(())
 }
@@ -397,10 +508,13 @@ pub fn dispatch(inv: &Invocation) -> CmdResult {
         "replay" => cmd_replay(inv),
         "latency" => cmd_latency(inv),
         "e9" => cmd_e9(inv),
+        "trace" => cmd_trace(inv),
         "help" => cmd_help(),
-        other => {
-            Err(ParseArgsError(format!("unknown command {other:?}; try `rlpm-sim help`")).into())
-        }
+        other => Err(ParseArgsError(format!(
+            "unknown command {other:?} (one of: {}); try `rlpm-sim help`",
+            crate::args::COMMANDS.join(", ")
+        ))
+        .into()),
     }
 }
 
@@ -428,6 +542,43 @@ mod tests {
         let inv = parse(["frobnicate"]).unwrap();
         let err = dispatch(&inv).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
+        // The error lists the real catalog, which must include the
+        // observability subcommand.
+        assert!(err.to_string().contains("trace"));
+        assert!(crate::args::COMMANDS.contains(&"trace"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn trace_command_writes_decision_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("rlpm-sim-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("decisions.csv");
+        let metrics_path = dir.join("metrics.csv");
+        let inv = parse([
+            "trace".to_owned(),
+            "audio".to_owned(),
+            "--secs".to_owned(),
+            "5".to_owned(),
+            "--out".to_owned(),
+            trace_path.to_str().unwrap().to_owned(),
+            "--metrics-out".to_owned(),
+            metrics_path.to_str().unwrap().to_owned(),
+        ])
+        .unwrap();
+        dispatch(&inv).expect("trace");
+        let csv = std::fs::read_to_string(&trace_path).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("epoch,state,explored,action,reward,q_delta")
+        );
+        assert!(lines.count() >= 100, "5s of 20ms epochs is 250 decisions");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.starts_with("metric,kind,value"), "{metrics}");
+        assert!(metrics.contains("rlpm.decisions"), "{metrics}");
+        assert!(metrics.contains("soc.epochs"), "{metrics}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

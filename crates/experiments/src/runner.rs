@@ -2,11 +2,16 @@
 
 use governors::{Governor, QosFeedback, SystemState};
 use simkit::trace::Trace;
-use simkit::{FaultCounts, SimDuration};
+use simkit::{obs, FaultCounts, SimDuration};
 use soc::{LevelRequest, Soc};
 use workload::{QosReport, QosTracker, Scenario};
 
 use crate::resilience::FaultHarness;
+
+/// Closed-loop runs completed in this process.
+static RUNS: obs::Counter = obs::Counter::new("runner.runs");
+/// Headline metric of the most recent completed run (J per QoS unit).
+static LAST_ENERGY_PER_QOS: obs::Gauge = obs::Gauge::new("runner.last_energy_per_qos");
 
 /// Parameters of one closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +156,7 @@ pub fn run_with_faults(
         QosFeedback::default(),
     );
     let mut epochs_done = 0u64;
+    let _run_span = obs::span!("runner.run");
     for _ in 0..epochs {
         // xtask-hotpath: begin (per-epoch fault application, no allocation)
         if let Some(harness) = faults.as_deref_mut() {
@@ -218,6 +224,9 @@ pub fn run_with_faults(
             row.push(epoch_units);
             trace.record(report.ended_at, row);
         }
+        // The guard drops at the end of the loop body, so the span times
+        // exactly the governor dispatch below.
+        let _decide_span = obs::span!("runner.decide");
         // xtask-hotpath: begin (per-epoch decision dispatch, no allocation)
         match faults.as_deref_mut() {
             Some(harness) => {
@@ -237,6 +246,8 @@ pub fn run_with_faults(
         Some(harness) => (harness.watchdog_engagements(), *harness.counts()),
         None => (0, FaultCounts::default()),
     };
+    RUNS.inc();
+    LAST_ENERGY_PER_QOS.set(qos.energy_per_qos(energy_j));
 
     RunMetrics {
         energy_j,

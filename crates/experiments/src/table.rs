@@ -1,8 +1,9 @@
 //! Result tables: markdown rendering and CSV export.
 
 use std::fmt::Write as _;
-use std::io;
 use std::path::Path;
+
+use simkit::trace::WriteError;
 
 /// A simple column-aligned result table.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,9 +131,10 @@ impl Table {
     ///
     /// # Errors
     ///
-    /// Propagates any filesystem error.
-    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_csv())
+    /// Returns a [`WriteError`] naming the destination on any filesystem
+    /// failure, so result tables never truncate silently.
+    pub fn write_csv(&self, path: &Path) -> Result<(), WriteError> {
+        std::fs::write(path, self.to_csv()).map_err(|e| WriteError::new(path, e))
     }
 }
 
@@ -192,6 +194,14 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         table().push(["only-one"]);
+    }
+
+    #[test]
+    fn write_csv_failure_is_typed_and_names_the_path() {
+        let missing = Path::new("/nonexistent-dir-for-test/table.csv");
+        let err = table().write_csv(missing).expect_err("dir does not exist");
+        assert_eq!(err.path(), missing);
+        assert!(err.to_string().contains("table.csv"));
     }
 
     #[test]

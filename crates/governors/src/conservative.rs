@@ -74,6 +74,7 @@ impl Governor for Conservative {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         request.levels.clear();
         request.levels.extend(state.soc.clusters.iter().map(|c| {
             let max_level = c.num_levels - 1;

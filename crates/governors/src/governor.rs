@@ -1,10 +1,21 @@
 //! The [`Governor`] trait and catalog.
 
+use simkit::obs;
 use soc::{LevelRequest, SocConfig};
 
 use crate::{
     Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil, SystemState, Userspace,
 };
+
+/// Decisions taken by any baseline governor in this process. The RL
+/// policy counts separately under `rlpm.decisions`.
+static DECISIONS: obs::Counter = obs::Counter::new("governors.decisions");
+
+/// Notes one baseline-governor decision in the process-wide metrics
+/// registry; every `decide_into` in this crate calls it.
+pub(crate) fn note_decision() {
+    DECISIONS.inc();
+}
 
 /// A DVFS policy: observes the system at each epoch boundary and picks the
 /// per-cluster frequency levels for the next epoch.

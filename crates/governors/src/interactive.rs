@@ -81,6 +81,7 @@ impl Governor for Interactive {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         let t = self.tunables;
         request.levels.clear();
         request

@@ -66,6 +66,7 @@ impl Governor for Ondemand {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         let clusters = &state.soc.clusters;
         if self.hold.len() < clusters.len() {
             self.hold.resize(clusters.len(), 0);

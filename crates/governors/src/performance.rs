@@ -29,6 +29,7 @@ impl Governor for Performance {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         request.levels.clear();
         request
             .levels

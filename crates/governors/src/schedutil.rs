@@ -64,6 +64,7 @@ impl Governor for Schedutil {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         let clusters = &state.soc.clusters;
         if self.down_wait.len() < clusters.len() {
             self.down_wait.resize(clusters.len(), 0);

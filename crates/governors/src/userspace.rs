@@ -36,6 +36,7 @@ impl Governor for Userspace {
     }
 
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
+        crate::governor::note_decision();
         debug_assert_eq!(
             state.num_clusters(),
             self.levels.len(),

@@ -192,7 +192,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`fn@vec`]: an exact `usize` or a `Range`.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive

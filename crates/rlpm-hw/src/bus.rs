@@ -8,7 +8,12 @@
 //! ~0.1 µs in the fabric, but getting the state in and the action out
 //! costs several bus round trips.
 
-use simkit::SimDuration;
+use simkit::{obs, SimDuration};
+
+/// Read transactions completed on any accelerator bus in this process.
+static BUS_READS: obs::Counter = obs::Counter::new("hw.bus_reads");
+/// Write transactions completed on any accelerator bus in this process.
+static BUS_WRITES: obs::Counter = obs::Counter::new("hw.bus_writes");
 
 /// A memory-mapped device: the target side of the bus.
 pub trait MmioDevice {
@@ -98,12 +103,14 @@ impl<D: MmioDevice> AxiLiteBus<D> {
     /// Performs a read, returning the value and the time it took.
     pub fn read(&mut self, addr: u32) -> (u32, SimDuration) {
         self.stats.reads += 1;
+        BUS_READS.inc();
         (self.device.read(addr), self.read_latency())
     }
 
     /// Performs a write, returning the time it took.
     pub fn write(&mut self, addr: u32, value: u32) -> SimDuration {
         self.stats.writes += 1;
+        BUS_WRITES.inc();
         self.device.write(addr, value);
         self.write_latency()
     }

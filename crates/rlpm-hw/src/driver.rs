@@ -4,7 +4,7 @@
 
 use governors::{Governor, SystemState};
 use simkit::stats::Running;
-use simkit::SimDuration;
+use simkit::{obs, SimDuration};
 use soc::LevelRequest;
 
 use rlpm::reward::{EpochOutcome, RewardFn};
@@ -12,6 +12,13 @@ use rlpm::{Action, ActionSpace, Predictor, RlConfig, StateIndex, StateSpace};
 
 use crate::mmio::{regs, CTRL_CLEAR_SEU, CTRL_START_DECIDE, CTRL_START_UPDATE, STATUS_SEU};
 use crate::{AxiLiteBus, HwConfig, PolicyEngine, PolicyMmio};
+
+/// Decisions the hardware policy engine produced across all drivers.
+static HW_DECISIONS: obs::Counter = obs::Counter::new("hw.decisions");
+/// Q-table SEUs the recovery machinery detected.
+static HW_SEUS: obs::Counter = obs::Counter::new("hw.seus_detected");
+/// Golden-copy table reloads performed over the bus.
+static HW_RELOADS: obs::Counter = obs::Counter::new("hw.table_reloads");
 
 /// Why a bulk Q-table load was rejected or rolled back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,9 +204,11 @@ impl HwPolicyDriver {
     /// bus time the whole recovery took.
     fn recover_from_seu(&mut self) -> SimDuration {
         self.seus_detected += 1;
+        HW_SEUS.inc();
         let mut spent = SimDuration::ZERO;
         if !self.golden.is_empty() {
             self.table_reloads += 1;
+            HW_RELOADS.inc();
             spent += self.bus.write(regs::QADDR, 0);
             for &bits in &self.golden {
                 spent += self.bus.write(regs::QDATA, bits);
@@ -291,6 +300,7 @@ impl Governor for HwPolicyDriver {
         spent += t;
 
         self.latency.add_duration(spent);
+        HW_DECISIONS.inc();
         let action = action as Action;
         self.prev = Some((s, action));
         self.actions

@@ -44,6 +44,10 @@ pub struct QLearningAgent {
     /// When frozen, the agent acts greedily and performs no updates
     /// (evaluation mode).
     frozen: bool,
+    /// Whether the most recent [`Self::select_action`] explored.
+    last_explored: bool,
+    /// The signed TD correction applied by the most recent update.
+    last_delta: f64,
     rng: SimRng,
 }
 
@@ -65,6 +69,8 @@ impl QLearningAgent {
             epsilon_decay: config.epsilon_decay,
             updates: 0,
             frozen: false,
+            last_explored: false,
+            last_delta: 0.0,
             rng: SimRng::seed_from(seed).split("q-agent"),
         }
     }
@@ -86,6 +92,20 @@ impl QLearningAgent {
     /// Number of TD updates performed.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Whether the most recent [`Self::select_action`] took the uniform
+    /// exploration branch instead of acting greedily. Consumed by the
+    /// decision-trace sink; purely observational.
+    pub fn last_explored(&self) -> bool {
+        self.last_explored
+    }
+
+    /// The signed TD correction `α·(target − Q(s,a))` applied by the most
+    /// recent update (zero before the first update, unchanged while
+    /// frozen). Purely observational.
+    pub fn last_td_delta(&self) -> f64 {
+        self.last_delta
     }
 
     /// The algorithm in use.
@@ -175,8 +195,10 @@ impl QLearningAgent {
     /// uniform otherwise.
     pub fn select_action(&mut self, state: StateIndex) -> Action {
         if !self.frozen && self.rng.chance(self.epsilon) {
+            self.last_explored = true;
             self.rng.uniform_usize(self.table_a.num_actions())
         } else {
+            self.last_explored = false;
             self.greedy_action(state)
         }
     }
@@ -206,16 +228,19 @@ impl QLearningAgent {
             return;
         }
         let alpha = self.alpha();
+        let delta;
         match self.algorithm {
             Algorithm::QLearning => {
                 let target = reward + self.gamma * self.table_a.max_value(s_next);
                 let old = self.table_a.get(s, a);
-                self.table_a.set(s, a, old + alpha * (target - old));
+                delta = alpha * (target - old);
+                self.table_a.set(s, a, old + delta);
             }
             Algorithm::Sarsa => {
                 let target = reward + self.gamma * self.table_a.get(s_next, a_next);
                 let old = self.table_a.get(s, a);
-                self.table_a.set(s, a, old + alpha * (target - old));
+                delta = alpha * (target - old);
+                self.table_a.set(s, a, old + delta);
             }
             Algorithm::ExpectedSarsa => {
                 // Expectation under the current ε-greedy policy:
@@ -228,7 +253,8 @@ impl QLearningAgent {
                 let expected = (1.0 - eps) * max + eps * mean;
                 let target = reward + self.gamma * expected;
                 let old = self.table_a.get(s, a);
-                self.table_a.set(s, a, old + alpha * (target - old));
+                delta = alpha * (target - old);
+                self.table_a.set(s, a, old + delta);
             }
             Algorithm::DoubleQLearning => {
                 let b = self.table_b.as_mut().expect("double mode has table B");
@@ -238,15 +264,18 @@ impl QLearningAgent {
                     let a_star = self.table_a.argmax(s_next);
                     let target = reward + self.gamma * b.get(s_next, a_star);
                     let old = self.table_a.get(s, a);
-                    self.table_a.set(s, a, old + alpha * (target - old));
+                    delta = alpha * (target - old);
+                    self.table_a.set(s, a, old + delta);
                 } else {
                     let b_star = b.argmax(s_next);
                     let target = reward + self.gamma * self.table_a.get(s_next, b_star);
                     let old = b.get(s, a);
-                    b.set(s, a, old + alpha * (target - old));
+                    delta = alpha * (target - old);
+                    b.set(s, a, old + delta);
                 }
             }
         }
+        self.last_delta = delta;
         self.updates += 1;
         self.epsilon = (self.epsilon * self.epsilon_decay).max(self.epsilon_min);
     }

@@ -54,6 +54,8 @@ mod policy;
 mod predictor;
 mod qtable;
 pub mod reward;
+#[cfg(feature = "obs")]
+pub mod sink;
 mod state;
 
 pub use action::{Action, ActionSpace};
@@ -62,4 +64,6 @@ pub use config::{Algorithm, RlConfig};
 pub use policy::RlGovernor;
 pub use predictor::Predictor;
 pub use qtable::QTable;
+#[cfg(feature = "obs")]
+pub use sink::{DecisionRecord, DecisionSink, TraceFormat};
 pub use state::{StateIndex, StateSpace};

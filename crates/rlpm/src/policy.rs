@@ -9,10 +9,18 @@
 //! for the headline comparison.
 
 use governors::{Governor, SystemState};
+use simkit::obs;
 use soc::LevelRequest;
 
 use crate::reward::{EpochOutcome, RewardFn};
 use crate::{Action, ActionSpace, Predictor, QLearningAgent, RlConfig, StateIndex, StateSpace};
+
+/// Decisions taken by any [`RlGovernor`] instance in this process.
+static DECISIONS: obs::Counter = obs::Counter::new("rlpm.decisions");
+/// Decisions where the ε-greedy selector explored rather than exploited.
+static EXPLORATIONS: obs::Counter = obs::Counter::new("rlpm.explorations");
+/// TD updates applied to the Q-table.
+static TD_UPDATES: obs::Counter = obs::Counter::new("rlpm.td_updates");
 
 /// The Q-learning power-management governor.
 #[derive(Debug, Clone)]
@@ -25,6 +33,10 @@ pub struct RlGovernor {
     reward_fn: RewardFn,
     prev: Option<(StateIndex, Action)>,
     last_reward: Option<f64>,
+    #[cfg(feature = "obs")]
+    sink: Option<crate::sink::DecisionSink>,
+    #[cfg(feature = "obs")]
+    epoch_counter: u64,
 }
 
 impl RlGovernor {
@@ -46,7 +58,25 @@ impl RlGovernor {
             config,
             prev: None,
             last_reward: None,
+            #[cfg(feature = "obs")]
+            sink: None,
+            #[cfg(feature = "obs")]
+            epoch_counter: 0,
         }
+    }
+
+    /// Attaches a decision-trace sink; every subsequent `decide` appends
+    /// one [`crate::sink::DecisionRecord`]. The sink is purely
+    /// observational: attaching it never changes the decisions taken.
+    /// Epoch numbering in the trace restarts at 1 on each attachment, so
+    /// traces count from the moment observation began, not from policy
+    /// construction (which may include training epochs).
+    #[cfg(feature = "obs")]
+    pub fn set_decision_sink(&mut self, sink: Option<crate::sink::DecisionSink>) {
+        if sink.is_some() {
+            self.epoch_counter = 0;
+        }
+        self.sink = sink;
     }
 
     /// The configuration in use.
@@ -111,6 +141,8 @@ impl Governor for RlGovernor {
     fn decide_into(&mut self, state: &SystemState, request: &mut LevelRequest) {
         self.predictor.observe(state);
         let s = self.states.encode(state, &self.predictor);
+        let had_prev = self.prev.is_some();
+        let updates_before = self.agent.updates();
 
         // SARSA is on-policy: the bootstrap needs the action actually
         // taken in `s`, so the selection happens before the update. The
@@ -133,6 +165,31 @@ impl Governor for RlGovernor {
             self.agent.select_action(s)
         };
         self.prev = Some((s, a));
+
+        let updated = self.agent.updates() != updates_before;
+        DECISIONS.inc();
+        if self.agent.last_explored() {
+            EXPLORATIONS.inc();
+        }
+        if updated {
+            TD_UPDATES.inc();
+        }
+        #[cfg(feature = "obs")]
+        {
+            self.epoch_counter += 1;
+            if let Some(sink) = &self.sink {
+                sink.record(&crate::sink::DecisionRecord {
+                    epoch: self.epoch_counter,
+                    state: s,
+                    explored: self.agent.last_explored(),
+                    action: a,
+                    reward: if had_prev { self.last_reward } else { None },
+                    q_delta: updated.then(|| self.agent.last_td_delta()),
+                });
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = had_prev;
 
         self.actions
             .apply_into(state.soc.clusters.iter().map(|c| c.level), a, request);
@@ -277,6 +334,54 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(governor().name(), "rlpm");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn decision_sink_observes_without_perturbing() {
+        use crate::sink::{DecisionSink, TraceFormat};
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let drive = |g: &mut RlGovernor| {
+            (0..30)
+                .map(|i| {
+                    let util = (i % 6) as f64 / 6.0;
+                    g.decide(&obs(util, (5, 5), QosFeedback::default())).levels
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut bare = governor();
+        let mut traced = governor();
+        let buf = Buf::default();
+        let sink = DecisionSink::new(buf.clone(), TraceFormat::Csv);
+        traced.set_decision_sink(Some(sink.clone()));
+        assert_eq!(
+            drive(&mut bare),
+            drive(&mut traced),
+            "sink must not feed back"
+        );
+        assert_eq!(sink.finish().unwrap(), 30);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 31, "header + one row per decision");
+        assert!(lines[1].starts_with("1,"), "epochs are 1-based");
+        // The first decision has no transition to close: empty reward/delta.
+        assert!(lines[1].ends_with(",,"));
+        // Later rows carry a reward once learning is underway.
+        assert!(lines[5].split(',').nth(4).is_some_and(|r| !r.is_empty()));
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Decision-trace sink: per-epoch records of what the policy chose and
+//! why, streamed to CSV or JSONL.
+//!
+//! Attached to an [`crate::RlGovernor`] via
+//! [`crate::RlGovernor::set_decision_sink`], the sink observes each
+//! `decide` call — state index, explore/greedy flag, chosen action,
+//! epoch reward, TD correction — without feeding anything back, so an
+//! instrumented run stays bit-identical to a bare one. Only compiled
+//! with the `obs` feature.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::{Action, StateIndex};
+
+/// Output encoding for the decision trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One header line, then one comma-separated row per decision.
+    Csv,
+    /// One self-describing JSON object per line.
+    Jsonl,
+}
+
+/// One per-epoch decision, as observed at the governor boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// 1-based decision index within the governor's lifetime.
+    pub epoch: u64,
+    /// Encoded state the policy acted in.
+    pub state: StateIndex,
+    /// Whether the ε-greedy selector explored (`true`) or acted
+    /// greedily (`false`).
+    pub explored: bool,
+    /// The chosen action index.
+    pub action: Action,
+    /// Reward closing the previous transition (`None` on the first
+    /// decision of an episode, when there is no transition to close).
+    pub reward: Option<f64>,
+    /// TD correction applied this epoch (`None` when no update happened,
+    /// e.g. first decision or frozen evaluation).
+    pub q_delta: Option<f64>,
+}
+
+struct Inner {
+    writer: Box<dyn Write + Send>,
+    format: TraceFormat,
+    header_pending: bool,
+    records: u64,
+    error: Option<io::Error>,
+}
+
+/// A cloneable, thread-safe handle streaming [`DecisionRecord`]s to a
+/// writer.
+///
+/// Clones share one underlying writer. The first I/O failure is latched
+/// and subsequent records are dropped; [`DecisionSink::finish`] surfaces
+/// the latched error so callers never truncate a trace silently.
+#[derive(Clone)]
+pub struct DecisionSink {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for DecisionSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("DecisionSink");
+        if let Ok(inner) = self.inner.lock() {
+            d.field("format", &inner.format)
+                .field("records", &inner.records)
+                .field("errored", &inner.error.is_some());
+        }
+        d.finish_non_exhaustive()
+    }
+}
+
+/// Renders an optional float for a CSV cell (empty when absent).
+fn csv_opt(v: Option<f64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_default()
+}
+
+/// Renders an optional float for a JSON field (`null` when absent).
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
+}
+
+impl DecisionSink {
+    /// Wraps a writer. Nothing is written until the first record.
+    pub fn new<W: Write + Send + 'static>(writer: W, format: TraceFormat) -> Self {
+        DecisionSink {
+            inner: Arc::new(Mutex::new(Inner {
+                writer: Box::new(writer),
+                format,
+                header_pending: format == TraceFormat::Csv,
+                records: 0,
+                error: None,
+            })),
+        }
+    }
+
+    /// Appends one record. Drops the record (latching the error) if a
+    /// previous write failed; recording never panics or blocks the
+    /// simulation on I/O problems.
+    pub fn record(&self, rec: &DecisionRecord) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        if inner.error.is_some() {
+            return;
+        }
+        if inner.header_pending {
+            inner.header_pending = false;
+            if let Err(e) = inner
+                .writer
+                .write_all(b"epoch,state,explored,action,reward,q_delta\n")
+            {
+                inner.error = Some(e);
+                return;
+            }
+        }
+        let line = match inner.format {
+            TraceFormat::Csv => format!(
+                "{},{},{},{},{},{}\n",
+                rec.epoch,
+                rec.state,
+                rec.explored,
+                rec.action,
+                csv_opt(rec.reward),
+                csv_opt(rec.q_delta),
+            ),
+            TraceFormat::Jsonl => format!(
+                "{{\"epoch\":{},\"state\":{},\"explored\":{},\"action\":{},\"reward\":{},\"q_delta\":{}}}\n",
+                rec.epoch,
+                rec.state,
+                rec.explored,
+                rec.action,
+                json_opt(rec.reward),
+                json_opt(rec.q_delta),
+            ),
+        };
+        match inner.writer.write_all(line.as_bytes()) {
+            Ok(()) => inner.records += 1,
+            Err(e) => inner.error = Some(e),
+        }
+    }
+
+    /// Number of records successfully written so far.
+    pub fn records(&self) -> u64 {
+        self.inner.lock().map(|inner| inner.records).unwrap_or(0)
+    }
+
+    /// Flushes the writer and returns the record count, or the first
+    /// latched I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error that interrupted the trace (recording stops at
+    /// the first failure), or any error from the final flush.
+    pub fn finish(&self) -> io::Result<u64> {
+        let Ok(mut inner) = self.inner.lock() else {
+            return Ok(0);
+        };
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()?;
+        Ok(inner.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Vec-backed writer that can be inspected after the sink is done.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn rec(epoch: u64) -> DecisionRecord {
+        DecisionRecord {
+            epoch,
+            state: 17,
+            explored: epoch.is_multiple_of(2),
+            action: 3,
+            reward: (epoch > 1).then_some(-0.25),
+            q_delta: (epoch > 1).then_some(0.125),
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let buf = SharedBuf::default();
+        let sink = DecisionSink::new(buf.clone(), TraceFormat::Csv);
+        sink.record(&rec(1));
+        sink.record(&rec(2));
+        assert_eq!(sink.finish().unwrap(), 2);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "epoch,state,explored,action,reward,q_delta");
+        assert_eq!(lines[1], "1,17,false,3,,");
+        assert_eq!(lines[2], "2,17,true,3,-0.25,0.125");
+    }
+
+    #[test]
+    fn jsonl_rows_are_self_describing() {
+        let buf = SharedBuf::default();
+        let sink = DecisionSink::new(buf.clone(), TraceFormat::Jsonl);
+        sink.record(&rec(1));
+        sink.record(&rec(2));
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"epoch\":1,\"state\":17,\"explored\":false,\"action\":3,\"reward\":null,\"q_delta\":null}"
+        );
+        assert!(lines[1].contains("\"reward\":-0.25"));
+    }
+
+    #[test]
+    fn clones_share_the_writer_and_count() {
+        let buf = SharedBuf::default();
+        let sink = DecisionSink::new(buf.clone(), TraceFormat::Csv);
+        let clone = sink.clone();
+        sink.record(&rec(1));
+        clone.record(&rec(2));
+        assert_eq!(sink.records(), 2);
+        assert_eq!(buf.contents().lines().count(), 3);
+    }
+
+    #[test]
+    fn first_io_error_is_latched_and_reported() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = DecisionSink::new(FailingWriter, TraceFormat::Csv);
+        sink.record(&rec(1));
+        sink.record(&rec(2)); // dropped, does not panic
+        assert_eq!(sink.records(), 0);
+        let err = sink.finish().expect_err("error surfaces in finish");
+        assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn debug_does_not_leak_writer_internals() {
+        let sink = DecisionSink::new(Vec::new(), TraceFormat::Jsonl);
+        let dbg = format!("{sink:?}");
+        assert!(dbg.contains("DecisionSink"));
+        assert!(dbg.contains("Jsonl"));
+    }
+}

@@ -16,7 +16,10 @@
 //!   histograms with percentile queries, exponentially weighted moving
 //!   averages);
 //! * [`trace`] — time-series recording with CSV export for the experiment
-//!   harness.
+//!   harness;
+//! * [`obs`] — feature-gated observability: lock-free metric handles,
+//!   profiling spans, and process-wide snapshots (compiled to empty
+//!   no-ops unless the `obs` feature is on).
 //!
 //! Everything is deterministic given a seed: there is no wall-clock access
 //! anywhere in the workspace's simulation path.
@@ -32,7 +35,7 @@
 //! assert_eq!(t.as_micros(), 1_000);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod event;
@@ -40,6 +43,7 @@ mod rng;
 mod time;
 
 pub mod faults;
+pub mod obs;
 pub mod stats;
 pub mod trace;
 

@@ -232,6 +232,45 @@ impl Histogram {
         self.count += 1;
     }
 
+    /// Adds `n` copies of the sample `x` in one call.
+    ///
+    /// Used by the observability layer to export atomically collected bin
+    /// counts into a regular histogram without `n` round trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        assert!(!x.is_nan(), "NaN sample added to histogram");
+        let bins = self.bins.len();
+        let idx = if x < self.lo {
+            self.clamped_low += n;
+            0
+        } else if x >= self.hi {
+            self.clamped_high += n;
+            bins - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        // xtask-allow: no-panic-lib -- idx is min-clamped to bins-1 above
+        self.bins[idx] += n;
+        self.count += n;
+    }
+
+    /// Lower bound of the configured range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the configured range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -6,8 +6,53 @@
 
 use std::fmt::Write as _;
 use std::io;
+use std::path::{Path, PathBuf};
 
 use crate::SimTime;
+
+/// A failed attempt to persist results to a file.
+///
+/// Wraps the underlying [`io::Error`] together with the destination
+/// path, so callers can report *which* artifact was lost instead of
+/// silently truncating output. Modeled on `soc::SocError`: a typed,
+/// exhaustive error that renders a complete sentence.
+#[derive(Debug)]
+pub struct WriteError {
+    path: PathBuf,
+    source: io::Error,
+}
+
+impl WriteError {
+    /// Wraps an I/O failure with the path that was being written.
+    pub fn new(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        WriteError {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The destination that failed to write.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not write {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// One multi-column sample at an instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +200,16 @@ impl Trace {
     pub fn write_csv<W: io::Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(self.to_csv().as_bytes())
     }
+
+    /// Writes the CSV rendering to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WriteError`] naming the destination on any filesystem
+    /// failure — results must never truncate silently.
+    pub fn write_csv_file(&self, path: &Path) -> Result<(), WriteError> {
+        std::fs::write(path, self.to_csv()).map_err(|e| WriteError::new(path, e))
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +288,20 @@ mod tests {
         let mut buf = Vec::new();
         t.write_csv(&mut buf).expect("writing to Vec cannot fail");
         assert_eq!(String::from_utf8(buf).unwrap(), t.to_csv());
+    }
+
+    #[test]
+    fn write_csv_file_reports_path_on_failure() {
+        let t = demo_trace();
+        let missing = Path::new("/nonexistent-dir-for-test/trace.csv");
+        let err = t.write_csv_file(missing).expect_err("dir does not exist");
+        assert_eq!(err.path(), missing);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("/nonexistent-dir-for-test/trace.csv"),
+            "error names the destination: {msg}"
+        );
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

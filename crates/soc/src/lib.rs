@@ -34,7 +34,7 @@
 //! # Ok::<(), soc::SocError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod cluster;

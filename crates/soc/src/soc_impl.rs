@@ -1,12 +1,20 @@
 //! The top-level SoC: clusters + scheduler + arrival queue, advanced one
 //! DVFS epoch at a time.
 
-use simkit::{EventQueue, SimDuration, SimTime};
+use simkit::{obs, EventQueue, SimDuration, SimTime};
 
 use crate::{
     Cluster, ClusterObservation, ClusterReport, CompletedJob, Job, OppLevel, Scheduler, SocConfig,
     SocError,
 };
+
+/// Epochs simulated across all [`Soc`] instances in this process.
+static EPOCHS: obs::Counter = obs::Counter::new("soc.epochs");
+/// Sub-steps advanced (fast-forwarded idle sub-steps included).
+static SUBSTEPS: obs::Counter = obs::Counter::new("soc.substeps");
+/// Epoch wall energy (J), including the board-base term.
+static EPOCH_ENERGY: obs::HistogramMetric =
+    obs::HistogramMetric::new("soc.epoch_energy_j", 0.0, 0.5);
 
 /// Per-cluster frequency levels requested by a governor for the next epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,6 +259,7 @@ impl Soc {
         let started_at = self.now;
         let substep = self.config.substep;
         let steps = self.config.substeps_per_epoch();
+        let _span = obs::span!("soc.run_epoch");
 
         // xtask-hotpath: begin
         let mut step = 0u64;
@@ -326,6 +335,9 @@ impl Soc {
         self.total_energy_j += energy_j;
         self.epochs_run += 1;
         report.energy_j = energy_j;
+        EPOCHS.inc();
+        SUBSTEPS.add(steps);
+        EPOCH_ENERGY.record(energy_j);
         Ok(())
     }
 

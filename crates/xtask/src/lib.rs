@@ -16,6 +16,10 @@
 //! * **no-panic-lib** — `unwrap()`/`expect()`/panicking macros/indexing in
 //!   library code are counted against a checked-in baseline that can only
 //!   ratchet down.
+//! * **docs-cli** — every subcommand listed in the CLI's `COMMANDS` table
+//!   must be mentioned in at least one of the user-facing documents
+//!   (`README.md`, `EXPERIMENTS.md`), so a new subcommand cannot ship
+//!   undocumented.
 //!
 //! The scanner is deliberately lexical (comments and string literals are
 //! stripped, `#[cfg(test)]` regions are tracked by brace counting) rather
@@ -30,7 +34,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The four custom lint families.
+/// The custom lint families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// No floating point in the hardware datapath modules.
@@ -46,6 +50,9 @@ pub enum Lint {
     /// it catches the allocation *call sites* regressing into the loops,
     /// not allocations hidden behind function calls.
     NoAllocHotpath,
+    /// Every CLI subcommand must be mentioned in the user docs. Checked by
+    /// [`docs_lint`], not by [`scan_source`].
+    DocsCli,
 }
 
 impl Lint {
@@ -56,6 +63,7 @@ impl Lint {
             Lint::Determinism => "determinism",
             Lint::NoPanicLib => "no-panic-lib",
             Lint::NoAllocHotpath => "no-alloc-hotpath",
+            Lint::DocsCli => "docs-cli",
         }
     }
 }
@@ -693,6 +701,8 @@ pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
                 Lint::Determinism => DETERMINISM_WORDS,
                 Lint::NoPanicLib => NO_PANIC_WORDS,
                 Lint::NoAllocHotpath => HOTPATH_ALLOC_WORDS,
+                // docs-cli is a cross-file check, not a source scan.
+                Lint::DocsCli => &[],
             };
             for rule in rules {
                 let matched = match rule.then {
@@ -767,6 +777,99 @@ pub fn format_baseline(map: &BTreeMap<String, usize>) -> String {
         }
     }
     out
+}
+
+/// Extracts the subcommand names from the `const COMMANDS: &[&str]` block
+/// of the CLI's `args.rs`, with the 1-based line each literal sits on.
+///
+/// The parse is lexical, like the rest of the scanner: it starts at the
+/// line containing `const COMMANDS`, collects every double-quoted string
+/// until the closing `]`, and ignores the rest of the file. Returns an
+/// empty vector when no such block exists — [`docs_lint`] turns that into
+/// a diagnostic so a renamed table cannot silently disable the check.
+pub fn extract_cli_commands(source: &str) -> Vec<(String, usize)> {
+    // Start after the `=` so the `&[&str]` type annotation's brackets do
+    // not terminate the scan; stop at the `]` matching the initializer's
+    // opening bracket.
+    let Some(start) = source.find("const COMMANDS") else {
+        return Vec::new();
+    };
+    let Some(eq) = source[start..].find('=') else {
+        return Vec::new();
+    };
+    let mut commands = Vec::new();
+    let mut line = 1 + source[..start + eq].matches('\n').count();
+    let mut depth = 0i32;
+    let mut opened = false;
+    let mut in_str = false;
+    let mut current = String::new();
+    for c in source[start + eq..].chars() {
+        if c == '\n' {
+            line += 1;
+        }
+        if in_str {
+            if c == '"' {
+                commands.push((std::mem::take(&mut current), line));
+                in_str = false;
+            } else {
+                current.push(c);
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' => {
+                depth += 1;
+                opened = true;
+            }
+            ']' => {
+                depth -= 1;
+                if opened && depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    commands
+}
+
+/// Cross-checks the CLI command table against the user-facing docs.
+///
+/// `args_label`/`args_source` are the path label and contents of the CLI's
+/// `args.rs`; `docs` pairs each document's display name with its contents.
+/// One [`Lint::DocsCli`] diagnostic is produced per command that appears
+/// as a standalone word in none of the documents, plus one when the
+/// `COMMANDS` table itself cannot be found.
+pub fn docs_lint(args_label: &str, args_source: &str, docs: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let commands = extract_cli_commands(args_source);
+    if commands.is_empty() {
+        return vec![Diagnostic {
+            lint: Lint::DocsCli,
+            file: args_label.to_string(),
+            line: 1,
+            message: "no `const COMMANDS: &[&str]` table found; the docs lint needs it \
+                      to enumerate subcommands"
+                .to_string(),
+        }];
+    }
+    let doc_names = docs
+        .iter()
+        .map(|(name, _)| *name)
+        .collect::<Vec<_>>()
+        .join(" or ");
+    commands
+        .into_iter()
+        .filter(|(name, _)| !docs.iter().any(|(_, text)| find_word(text, name)))
+        .map(|(name, line)| Diagnostic {
+            lint: Lint::DocsCli,
+            file: args_label.to_string(),
+            line,
+            message: format!(
+                "subcommand `{name}` is not mentioned in {doc_names}; document it before shipping"
+            ),
+        })
+        .collect()
 }
 
 /// A `(file, current count, baseline count)` ratchet delta.
@@ -1028,6 +1131,64 @@ let b = Vec::new(); // xtask-allow: no-alloc-hotpath
         // The bare allow (no ` -- reason`) stays an error.
         assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
         assert!(out.diagnostics[0].message.contains("without justification"));
+    }
+
+    const ARGS_FIXTURE: &str = "\
+/// Every subcommand, in help order.
+pub const COMMANDS: &[&str] = &[
+    \"run\", \"train\",
+    \"latency\",
+];
+const OTHER: &[&str] = &[\"not-a-command\"];
+";
+
+    #[test]
+    fn cli_command_extraction_reads_only_the_commands_block() {
+        let cmds = extract_cli_commands(ARGS_FIXTURE);
+        assert_eq!(
+            cmds,
+            vec![
+                ("run".to_string(), 3),
+                ("train".to_string(), 3),
+                ("latency".to_string(), 4),
+            ]
+        );
+        assert!(extract_cli_commands("fn main() {}").is_empty());
+    }
+
+    #[test]
+    fn docs_lint_flags_only_undocumented_commands() {
+        let readme = "Use `rlpm-sim run <scenario>` to simulate.";
+        let experiments = "Training: rlpm-sim train gaming --episodes 40";
+        let diags = docs_lint(
+            "args.rs",
+            ARGS_FIXTURE,
+            &[("README.md", readme), ("EXPERIMENTS.md", experiments)],
+        );
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert_eq!(diags[0].lint, Lint::DocsCli);
+        assert_eq!(diags[0].line, 4);
+        assert!(diags[0].message.contains("`latency`"));
+        assert!(diags[0].message.contains("README.md or EXPERIMENTS.md"));
+    }
+
+    #[test]
+    fn docs_lint_requires_standalone_word_mentions() {
+        // "trainer" must not count as documenting `train`.
+        let readme = "The trainer runs latency-run checks.";
+        let diags = docs_lint("args.rs", ARGS_FIXTURE, &[("README.md", readme)]);
+        let missing: Vec<&str> = diags
+            .iter()
+            .map(|d| d.message.split('`').nth(1).unwrap())
+            .collect();
+        assert_eq!(missing, vec!["train"], "got {diags:?}");
+    }
+
+    #[test]
+    fn docs_lint_reports_a_missing_commands_table() {
+        let diags = docs_lint("args.rs", "fn main() {}", &[("README.md", "run")]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no `const COMMANDS"));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * `no-panic-lib` over every library crate, ratcheted against
 //!   `crates/xtask/no_panic_baseline.txt`,
 //! * `no-alloc-hotpath` over the marked sub-step loops of the `soc`
-//!   crate (the simulator's allocation-free hot path).
+//!   crate (the simulator's allocation-free hot path),
+//! * `docs-cli` cross-checking the `COMMANDS` table in the CLI's
+//!   `args.rs` against `README.md` and `EXPERIMENTS.md`.
 //!
 //! Exit status is non-zero on any unsuppressed violation or baseline
 //! regression, so CI can gate on it. `--update-baseline` rewrites the
@@ -19,7 +21,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::{format_baseline, parse_baseline, ratchet, scan_source, Diagnostic, Lint};
+use xtask::{docs_lint, format_baseline, parse_baseline, ratchet, scan_source, Diagnostic, Lint};
 
 /// Modules of `rlpm-hw` that model the silicon datapath and must stay
 /// float-free (the paper's E6 bit-exactness claim).
@@ -74,6 +76,11 @@ const ALLOWLIST: &[(&str, Lint, &str, &str)] = &[(
 )];
 
 const BASELINE_PATH: &str = "crates/xtask/no_panic_baseline.txt";
+
+/// The CLI argument parser holding the `COMMANDS` table, and the
+/// user-facing documents each subcommand must be mentioned in.
+const CLI_ARGS_PATH: &str = "crates/cli/src/args.rs";
+const DOC_FILES: &[&str] = &["README.md", "EXPERIMENTS.md"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +140,7 @@ fn print_usage() {
          \u{20}  determinism       no wall clocks / hash order / unseeded RNGs\n\
          \u{20}  no-panic-lib      panicking constructs ratcheted via baseline\n\
          \u{20}  no-alloc-hotpath  no allocations in marked soc sub-step loops\n\
+         \u{20}  docs-cli          every CLI subcommand mentioned in the docs\n\
          \n\
          Suppress a finding inline with:\n\
          \u{20}  // xtask-allow: <lint> -- <justification>"
@@ -245,6 +253,26 @@ fn run_check(root: &Path, update_baseline: bool) -> Result<bool, String> {
         }
     }
 
+    // docs-cli: every subcommand in args.rs must be mentioned in the docs.
+    {
+        let args_path = root.join(CLI_ARGS_PATH);
+        let args_source = std::fs::read_to_string(&args_path)
+            .map_err(|e| format!("cannot read {}: {e}", args_path.display()))?;
+        let mut docs = Vec::new();
+        for name in DOC_FILES {
+            let path = root.join(name);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            docs.push((*name, text));
+        }
+        let doc_refs: Vec<(&str, &str)> = docs
+            .iter()
+            .map(|(name, text)| (*name, text.as_str()))
+            .collect();
+        scanned += 1;
+        diagnostics.extend(docs_lint(CLI_ARGS_PATH, &args_source, &doc_refs));
+    }
+
     // no-panic-lib: counted per file, ratcheted against the baseline.
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut no_panic_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
@@ -323,14 +351,18 @@ fn run_check(root: &Path, update_baseline: bool) -> Result<bool, String> {
         .iter()
         .filter(|d| d.lint == Lint::NoAllocHotpath)
         .count();
+    let docs = diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::DocsCli)
+        .count();
     let bare = diagnostics
         .iter()
         .filter(|d| d.lint == Lint::NoPanicLib)
         .count();
     println!(
         "xtask check: {scanned} files scanned — fx-purity {fx} violations, determinism {det} \
-         violations, no-alloc-hotpath {hot} violations, no-panic-lib {total_no_panic} occurrences \
-         (baseline {}), {} regression(s), {suppressed} suppressed",
+         violations, no-alloc-hotpath {hot} violations, docs-cli {docs} violations, no-panic-lib \
+         {total_no_panic} occurrences (baseline {}), {} regression(s), {suppressed} suppressed",
         baseline.values().sum::<usize>(),
         regressions.len(),
     );
