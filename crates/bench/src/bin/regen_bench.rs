@@ -1,0 +1,81 @@
+//! `regen-bench` — measures cold-vs-warm regeneration wall time for the
+//! content-addressed simulation cache and maintains `BENCH_regen.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin regen-bench -- --baseline  # pin pre-cache numbers
+//! cargo run --release -p bench --bin regen-bench                # update "current"
+//! cargo run --release -p bench --bin regen-bench -- --repeat 5 --out /tmp/regen.json
+//! ```
+//!
+//! The `baseline` section of an existing report is preserved verbatim
+//! unless `--baseline` is given. See DESIGN.md § Scheduling & caching
+//! for how to read the file.
+
+use std::path::PathBuf;
+
+use bench::regen::{measure, Report, SECTIONS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut record_baseline = false;
+    let mut out = PathBuf::from("BENCH_regen.json");
+    let mut label: Option<String> = None;
+    let mut repeat = 3u32;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => record_baseline = true,
+            "--out" => out = PathBuf::from(iter.next().expect("--out needs a path")),
+            "--label" => label = Some(iter.next().expect("--label needs text").clone()),
+            "--repeat" => {
+                repeat = iter
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat needs a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: regen-bench [--baseline] [--repeat N] [--out PATH] [--label TEXT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| Report::from_json(&text))
+        .unwrap_or_default();
+
+    let label = label.unwrap_or_else(|| {
+        if record_baseline {
+            "cold rerun (cache ignored for timing reference)".to_owned()
+        } else {
+            "shared scheduler + content-addressed cache".to_owned()
+        }
+    });
+    eprintln!("measuring regen sections [{SECTIONS}] cold vs warm, best of {repeat} ...");
+    let measurement = measure(&bench::soc_under_test(), &label, repeat);
+    eprintln!(
+        "cold {:.3}s ({} misses) -> warm {:.3}s ({} hits): {:.1}x",
+        measurement.cold_s,
+        measurement.cold_misses,
+        measurement.warm_s,
+        measurement.warm_hits,
+        measurement.speedup()
+    );
+    if record_baseline {
+        report.baseline = Some(measurement.clone());
+    }
+    report.current = Some(measurement);
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("(written to {})", out.display());
+}

@@ -1,8 +1,24 @@
 //! Regenerates every table and figure series of the reproduced
 //! evaluation. See `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured notes.
+//!
+//! Flags:
+//!
+//! - `--quick`: reduced experiment sizes (test/CI scale).
+//! - `--no-cache`: disable the content-addressed result cache.
+//! - `--cache-dir DIR`: cache location (default `target/rlpm-cache`).
+//!
+//! The cache is on by default: a warm re-run looks every experiment
+//! cell up by content hash and skips straight to table/CSV emission.
+//! Cached results are byte-identical to recomputed ones (pinned by the
+//! `cache_identity` integration test), so the flag only changes speed.
+//!
+//! Without the `obs` feature the sections run concurrently on top of
+//! the shared experiment scheduler and their stdout is buffered and
+//! printed in a fixed order; with `obs` they run sequentially so each
+//! per-experiment metrics window stays attributable.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use experiments::ablations::{
@@ -24,14 +40,30 @@ use experiments::table::{fmt_pct, Table};
 /// a missing artifact can never masquerade as a regenerated one.
 static WRITE_FAILURES: AtomicU32 = AtomicU32::new(0);
 
-fn emit(table: &Table, results_dir: &Path, file: &str) {
-    println!("{}", table.to_markdown());
-    let path = results_dir.join(file);
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("error: {e}");
-        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
-    } else {
-        println!("(csv written to {})\n", path.display());
+/// Per-section stdout buffer. Sections may run concurrently, so each
+/// collects its report here and the buffers are printed in a fixed
+/// order afterwards; CSV writes go to per-section files and need no
+/// serialisation.
+#[derive(Default)]
+struct SectionOut {
+    stdout: String,
+}
+
+impl SectionOut {
+    fn line(&mut self, text: std::fmt::Arguments<'_>) {
+        use std::fmt::Write;
+        let _ = writeln!(self.stdout, "{text}");
+    }
+
+    fn emit(&mut self, table: &Table, results_dir: &Path, file: &str) {
+        self.line(format_args!("{}", table.to_markdown()));
+        let path = results_dir.join(file);
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("error: {e}");
+            WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.line(format_args!("(csv written to {})\n", path.display()));
+        }
     }
 }
 
@@ -61,213 +93,283 @@ fn metrics_end(results_dir: &Path, experiment: &str) {
     }
 }
 
+struct Args {
+    quick: bool,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
+    wanted: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        no_cache: false,
+        cache_dir: None,
+        wanted: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--quick" {
+            args.quick = true;
+        } else if arg == "--no-cache" {
+            args.no_cache = true;
+        } else if arg == "--cache-dir" {
+            args.cache_dir = it.next().map(PathBuf::from);
+        } else if let Some(dir) = arg.strip_prefix("--cache-dir=") {
+            args.cache_dir = Some(PathBuf::from(dir));
+        } else if !arg.starts_with("--") {
+            args.wanted.push(arg);
+        }
+    }
+    args
+}
+
+type Section<'a> = (&'static str, Box<dyn FnOnce(&mut SectionOut) + Send + 'a>);
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
+    let args = parse_args();
+    let quick = args.quick;
+    let want = |id: &str| args.wanted.is_empty() || args.wanted.iter().any(|w| w == id);
+
+    if args.no_cache {
+        experiments::cache::configure(None);
+    } else {
+        experiments::cache::configure(Some(
+            args.cache_dir
+                .clone()
+                .unwrap_or_else(experiments::cache::default_dir),
+        ));
+    }
 
     let soc_config = bench::soc_under_test();
     let results_dir = Path::new("results");
     let _ = std::fs::create_dir_all(results_dir);
 
+    let mut sections: Vec<Section> = Vec::new();
+    let soc = &soc_config;
+
     if want("e1") || want("e5") {
-        metrics_begin();
-        let config = if quick {
-            E1Config::quick()
-        } else {
-            E1Config::default()
-        };
-        eprintln!(
-            "running E1 matrix: {} scenarios x {} policies x {} seeds ...",
-            config.scenarios.len(),
-            config.policies.len(),
-            config.seeds.len()
-        );
-        let result = run_e1(&soc_config, &config);
-        if want("e1") {
-            emit(
-                &result.energy_per_qos_table(),
-                results_dir,
-                "e1_energy_per_qos.csv",
-            );
-            emit(
-                &result.stddev_table(),
-                results_dir,
-                "e1_energy_per_qos_std.csv",
-            );
-            emit(&result.summary_table(), results_dir, "e1_summary.csv");
-            println!(
-                "E1 headline: proposed policy's energy-per-QoS is {} lower than the six-governor mean (paper: 31.66%)\n",
-                fmt_pct(result.reduction_vs_six())
-            );
-        }
-        if want("e5") {
-            emit(&violations_table(&result), results_dir, "e5_violations.csv");
-            emit(&qos_ratio_table(&result), results_dir, "e5_qos_ratio.csv");
-            let (rl_qos, shortfall) = satisfaction_summary(&result);
-            println!(
-                "E5 headline: proposed policy delivers {} of achievable QoS ({} below the performance governor)\n",
-                fmt_pct(rl_qos),
-                fmt_pct(shortfall)
-            );
-        }
-        metrics_end(results_dir, "e1");
+        let want_e1 = want("e1");
+        let want_e5 = want("e5");
+        sections.push((
+            "e1",
+            Box::new(move |out| {
+                let config = if quick {
+                    E1Config::quick()
+                } else {
+                    E1Config::default()
+                };
+                eprintln!(
+                    "running E1 matrix: {} scenarios x {} policies x {} seeds ...",
+                    config.scenarios.len(),
+                    config.policies.len(),
+                    config.seeds.len()
+                );
+                let result = run_e1(soc, &config);
+                if want_e1 {
+                    out.emit(
+                        &result.energy_per_qos_table(),
+                        results_dir,
+                        "e1_energy_per_qos.csv",
+                    );
+                    out.emit(
+                        &result.stddev_table(),
+                        results_dir,
+                        "e1_energy_per_qos_std.csv",
+                    );
+                    out.emit(&result.summary_table(), results_dir, "e1_summary.csv");
+                    out.line(format_args!(
+                        "E1 headline: proposed policy's energy-per-QoS is {} lower than the six-governor mean (paper: 31.66%)\n",
+                        fmt_pct(result.reduction_vs_six())
+                    ));
+                }
+                if want_e5 {
+                    out.emit(&violations_table(&result), results_dir, "e5_violations.csv");
+                    out.emit(&qos_ratio_table(&result), results_dir, "e5_qos_ratio.csv");
+                    let (rl_qos, shortfall) = satisfaction_summary(&result);
+                    out.line(format_args!(
+                        "E5 headline: proposed policy delivers {} of achievable QoS ({} below the performance governor)\n",
+                        fmt_pct(rl_qos),
+                        fmt_pct(shortfall)
+                    ));
+                }
+            }),
+        ));
     }
 
     if want("e2") {
-        metrics_begin();
-        let config = if quick {
-            E2Config::quick()
-        } else {
-            E2Config::default()
-        };
-        eprintln!(
-            "running E2 learning curve: {} episodes ...",
-            config.episodes
-        );
-        let result = run_e2(&soc_config, &config);
-        emit(&result.table(), results_dir, "e2_learning_curve.csv");
-        println!(
-            "E2 headline: energy-per-QoS improved {} from the first to the last training episodes; ondemand reference = {:.4} J/unit\n",
-            fmt_pct(result.improvement(10)),
-            result.ondemand_reference
-        );
-        metrics_end(results_dir, "e2");
+        sections.push((
+            "e2",
+            Box::new(move |out| {
+                let config = if quick {
+                    E2Config::quick()
+                } else {
+                    E2Config::default()
+                };
+                eprintln!(
+                    "running E2 learning curve: {} episodes ...",
+                    config.episodes
+                );
+                let result = run_e2(soc, &config);
+                out.emit(&result.table(), results_dir, "e2_learning_curve.csv");
+                out.line(format_args!(
+                    "E2 headline: energy-per-QoS improved {} from the first to the last training episodes; ondemand reference = {:.4} J/unit\n",
+                    fmt_pct(result.improvement(10)),
+                    result.ondemand_reference
+                ));
+            }),
+        ));
     }
 
     if want("e3") {
-        metrics_begin();
-        let config = if quick {
-            E3Config::quick()
-        } else {
-            E3Config::default()
-        };
-        eprintln!(
-            "running E3 adaptivity trace ({} s) ...",
-            config.duration_secs
-        );
-        let results = run_e3(&soc_config, &config);
-        emit(&phase_table(&results), results_dir, "e3_adaptivity.csv");
-        metrics_end(results_dir, "e3");
+        sections.push((
+            "e3",
+            Box::new(move |out| {
+                let config = if quick {
+                    E3Config::quick()
+                } else {
+                    E3Config::default()
+                };
+                eprintln!(
+                    "running E3 adaptivity trace ({} s) ...",
+                    config.duration_secs
+                );
+                let results = run_e3(soc, &config);
+                out.emit(&phase_table(&results), results_dir, "e3_adaptivity.csv");
+            }),
+        ));
     }
 
     if want("e4") {
-        metrics_begin();
-        eprintln!("running E4 latency models ...");
-        let l = ladder(&soc_config);
-        emit(&ladder_table(&l), results_dir, "e4_ladder.csv");
-        let d = distribution(&soc_config, if quick { 10 } else { 60 }, 4);
-        emit(&distribution_table(&d), results_dir, "e4_distribution.csv");
-        println!(
-            "E4 headline: decision latency reduced up to {:.1}x (compute-only; paper: up to 40x), {:.2}x on average end-to-end (journal: 3.92x)\n",
-            l.max_speedup, d.speedup
-        );
-        metrics_end(results_dir, "e4");
+        sections.push((
+            "e4",
+            Box::new(move |out| {
+                eprintln!("running E4 latency models ...");
+                let l = ladder(soc);
+                out.emit(&ladder_table(&l), results_dir, "e4_ladder.csv");
+                let d = distribution(soc, if quick { 10 } else { 60 }, 4);
+                out.emit(&distribution_table(&d), results_dir, "e4_distribution.csv");
+                out.line(format_args!(
+                    "E4 headline: decision latency reduced up to {:.1}x (compute-only; paper: up to 40x), {:.2}x on average end-to-end (journal: 3.92x)\n",
+                    l.max_speedup, d.speedup
+                ));
+            }),
+        ));
     }
 
     if want("e6") {
-        metrics_begin();
-        eprintln!("running E6 parity and bit-width sweep ...");
-        let transitions = if quick { 5_000 } else { 50_000 };
-        let report = run_parity(&soc_config, transitions, 6);
-        emit(&parity_table(&report), results_dir, "e6_parity.csv");
-        let points = run_sweep(&soc_config, transitions, 6);
-        emit(&sweep_table(&points), results_dir, "e6_bitwidth.csv");
-        metrics_end(results_dir, "e6");
+        sections.push((
+            "e6",
+            Box::new(move |out| {
+                eprintln!("running E6 parity and bit-width sweep ...");
+                let transitions = if quick { 5_000 } else { 50_000 };
+                let report = run_parity(soc, transitions, 6);
+                out.emit(&parity_table(&report), results_dir, "e6_parity.csv");
+                let points = run_sweep(soc, transitions, 6);
+                out.emit(&sweep_table(&points), results_dir, "e6_bitwidth.csv");
+            }),
+        ));
     }
 
     if want("e7") {
-        metrics_begin();
-        eprintln!("running E7 fabric-cost sweep ...");
-        let reports = run_e7(&soc_config);
-        emit(&cost_table(&reports), results_dir, "e7_hw_cost.csv");
-        let best = latency_optimal(&reports);
-        println!(
-            "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
-            best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
-        );
-        metrics_end(results_dir, "e7");
+        sections.push((
+            "e7",
+            Box::new(move |out| {
+                eprintln!("running E7 fabric-cost sweep ...");
+                let reports = run_e7(soc);
+                out.emit(&cost_table(&reports), results_dir, "e7_hw_cost.csv");
+                let best = latency_optimal(&reports);
+                out.line(format_args!(
+                    "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
+                    best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
+                ));
+            }),
+        ));
     }
 
     if want("e9") {
-        metrics_begin();
-        // E9: the same headline comparison on the symmetric quad-core SoC
-        // (the journal evaluates both CPU types).
-        let config = if quick {
-            E1Config::quick()
-        } else {
-            E1Config::default()
-        };
-        eprintln!("running E9 (E1 on the symmetric SoC) ...");
-        let symmetric = soc::SocConfig::symmetric_quad().expect("preset valid");
-        let result = run_e1(&symmetric, &config);
-        emit(
-            &result.energy_per_qos_table(),
-            results_dir,
-            "e9_symmetric_energy_per_qos.csv",
-        );
-        emit(
-            &result.summary_table(),
-            results_dir,
-            "e9_symmetric_summary.csv",
-        );
-        println!(
-            "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
-            fmt_pct(result.reduction_vs_six())
-        );
-        metrics_end(results_dir, "e9");
+        sections.push((
+            "e9",
+            Box::new(move |out| {
+                // E9: the same headline comparison on the symmetric
+                // quad-core SoC (the journal evaluates both CPU types).
+                let config = if quick {
+                    E1Config::quick()
+                } else {
+                    E1Config::default()
+                };
+                eprintln!("running E9 (E1 on the symmetric SoC) ...");
+                let symmetric = soc::SocConfig::symmetric_quad().expect("preset valid");
+                let result = run_e1(&symmetric, &config);
+                out.emit(
+                    &result.energy_per_qos_table(),
+                    results_dir,
+                    "e9_symmetric_energy_per_qos.csv",
+                );
+                out.emit(
+                    &result.summary_table(),
+                    results_dir,
+                    "e9_symmetric_summary.csv",
+                );
+                out.line(format_args!(
+                    "E9 headline: on the symmetric SoC the proposed policy is {} below the six-governor mean\n",
+                    fmt_pct(result.reduction_vs_six())
+                ));
+            }),
+        ));
     }
 
     if want("e9-fault") {
-        metrics_begin();
-        let config = if quick {
-            E9Config::quick()
-        } else {
-            E9Config::default()
-        };
-        eprintln!(
-            "running E9 fault-resilience sweep: {} arms x {} multipliers x {} seeds ...",
-            config.arms.len(),
-            config.multipliers.len(),
-            config.seeds.len()
-        );
-        let result = run_e9(&soc_config, &config);
-        emit(
-            &result.violations_table(),
-            results_dir,
-            "e9_fault_violations.csv",
-        );
-        emit(
-            &result.energy_per_qos_table(),
-            results_dir,
-            "e9_fault_energy_per_qos.csv",
-        );
-        emit(&result.summary_table(), results_dir, "e9_fault_summary.csv");
-        println!(
-            "E9-fault headline: QoS-violation growth at the highest fault rate is {:.1} with the \
-             watchdog vs {:.1} without (lower growth = more graceful degradation)\n",
-            result.violation_growth(E9Arm::RlWatchdog),
-            result.violation_growth(E9Arm::RlNoFallback)
-        );
-        metrics_end(results_dir, "e9_fault");
+        sections.push((
+            "e9_fault",
+            Box::new(move |out| {
+                let config = if quick {
+                    E9Config::quick()
+                } else {
+                    E9Config::default()
+                };
+                eprintln!(
+                    "running E9 fault-resilience sweep: {} arms x {} multipliers x {} seeds ...",
+                    config.arms.len(),
+                    config.multipliers.len(),
+                    config.seeds.len()
+                );
+                let result = run_e9(soc, &config);
+                out.emit(
+                    &result.violations_table(),
+                    results_dir,
+                    "e9_fault_violations.csv",
+                );
+                out.emit(
+                    &result.energy_per_qos_table(),
+                    results_dir,
+                    "e9_fault_energy_per_qos.csv",
+                );
+                out.emit(&result.summary_table(), results_dir, "e9_fault_summary.csv");
+                out.line(format_args!(
+                    "E9-fault headline: QoS-violation growth at the highest fault rate is {:.1} with the \
+                     watchdog vs {:.1} without (lower growth = more graceful degradation)\n",
+                    result.violation_growth(E9Arm::RlWatchdog),
+                    result.violation_growth(E9Arm::RlNoFallback)
+                ));
+            }),
+        ));
     }
 
     if want("e8") {
-        metrics_begin();
-        let config = if quick {
-            E8Config::quick()
-        } else {
-            E8Config::default()
-        };
-        eprintln!("running E8 cpuidle comparison ...");
-        let cells = run_e8(&config);
-        emit(&idle_table(&cells), results_dir, "e8_idle_states.csv");
-        metrics_end(results_dir, "e8");
+        sections.push((
+            "e8",
+            Box::new(move |out| {
+                let config = if quick {
+                    E8Config::quick()
+                } else {
+                    E8Config::default()
+                };
+                eprintln!("running E8 cpuidle comparison ...");
+                let cells = run_e8(&config);
+                out.emit(&idle_table(&cells), results_dir, "e8_idle_states.csv");
+            }),
+        ));
     }
 
     let ablation_config = if quick {
@@ -275,54 +377,90 @@ fn main() {
     } else {
         AblationConfig::default()
     };
-    if want("a1") {
-        metrics_begin();
-        eprintln!("running A1 state-feature ablation ...");
-        let rows = a1_state_features(&soc_config, &ablation_config);
-        emit(
-            &ablation_table("A1: state-feature ablation", &rows),
-            results_dir,
+    type AblationFn =
+        fn(&soc::SocConfig, &AblationConfig) -> Vec<experiments::ablations::AblationRow>;
+    let ablations: [(&'static str, &'static str, &'static str, AblationFn); 4] = [
+        (
+            "a1",
+            "A1: state-feature ablation",
             "a1_state_features.csv",
-        );
-        metrics_end(results_dir, "a1");
-    }
-    if want("a2") {
-        metrics_begin();
-        eprintln!("running A2 reward-shaping ablation ...");
-        let rows = a2_reward_shaping(&soc_config, &ablation_config);
-        emit(
-            &ablation_table("A2: violation-penalty sweep", &rows),
-            results_dir,
+            a1_state_features,
+        ),
+        (
+            "a2",
+            "A2: violation-penalty sweep",
             "a2_reward_shaping.csv",
-        );
-        metrics_end(results_dir, "a2");
-    }
-    if want("a3") {
-        metrics_begin();
-        eprintln!("running A3 exploration-schedule ablation ...");
-        let rows = a3_exploration(&soc_config, &ablation_config);
-        emit(
-            &ablation_table("A3: exploration schedules", &rows),
-            results_dir,
+            a2_reward_shaping,
+        ),
+        (
+            "a3",
+            "A3: exploration schedules",
             "a3_exploration.csv",
-        );
-        metrics_end(results_dir, "a3");
+            a3_exploration,
+        ),
+        ("a4", "A4: TD algorithms", "a4_algorithm.csv", a4_algorithm),
+    ];
+    for (id, title, file, runner) in ablations {
+        if !want(id) {
+            continue;
+        }
+        sections.push((
+            id,
+            Box::new(move |out| {
+                eprintln!("running {title} ...");
+                let rows = runner(soc, &ablation_config);
+                out.emit(&ablation_table(title, &rows), results_dir, file);
+            }),
+        ));
     }
-    if want("a4") {
-        metrics_begin();
-        eprintln!("running A4 algorithm ablation ...");
-        let rows = a4_algorithm(&soc_config, &ablation_config);
-        emit(
-            &ablation_table("A4: TD algorithms", &rows),
-            results_dir,
-            "a4_algorithm.csv",
-        );
-        metrics_end(results_dir, "a4");
+
+    // With `obs` each section needs its own global metrics window, so
+    // the sections run one after another; without it they run
+    // concurrently and share the experiment scheduler's worker pool.
+    if simkit::obs::enabled() {
+        for (id, section) in sections {
+            metrics_begin();
+            let mut out = SectionOut::default();
+            section(&mut out);
+            print!("{}", out.stdout);
+            metrics_end(results_dir, id);
+        }
+    } else {
+        let outputs: Vec<SectionOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sections
+                .into_iter()
+                .map(|(_, section)| {
+                    scope.spawn(move || {
+                        let mut out = SectionOut::default();
+                        section(&mut out);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        SectionOut::default()
+                    })
+                })
+                .collect()
+        });
+        for out in outputs {
+            print!("{}", out.stdout);
+        }
     }
+
+    let stats = experiments::cache::stats();
+    println!(
+        "cache: hits={} misses={} evictions={} stores={}",
+        stats.hits, stats.misses, stats.evictions, stats.stores
+    );
 
     let failures = WRITE_FAILURES.load(Ordering::Relaxed);
     if failures > 0 {
-        eprintln!("{failures} result file(s) could not be written");
+        eprintln!("{failures} result file(s) could not be written or section(s) failed");
         std::process::exit(1);
     }
 }

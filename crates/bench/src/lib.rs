@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod regen;
 pub mod simrate;
 
 /// Re-exported so benches and the binary share one definition of the

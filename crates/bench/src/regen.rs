@@ -1,0 +1,268 @@
+//! Cold-vs-warm regeneration benchmark for the content-addressed
+//! simulation cache, persisted to `BENCH_regen.json`.
+//!
+//! One pass runs every *deterministic* quick-size experiment section of
+//! `regen-tables` twice against a scratch cache directory: once cold
+//! (empty cache — every cell trains and simulates) and once warm (same
+//! process, in-memory memo cleared, so every cell is served from disk).
+//! E4 is excluded: it measures host decision latency with the host
+//! clock and is not cacheable. The warm/cold wall-time ratio is the
+//! headline `speedup` number; the acceptance floor for the cache is 5x.
+//!
+//! The JSON follows the `BENCH_simrate.json` conventions: rigid
+//! two-level objects, a pinned `baseline` section preserved verbatim by
+//! later runs, and best-of-N fastest-run timing (identical
+//! deterministic work per run, so excess over the minimum is host
+//! noise).
+
+use std::time::Instant;
+
+use experiments::ablations::{
+    a1_state_features, a2_reward_shaping, a3_exploration, a4_algorithm, AblationConfig,
+};
+use experiments::e1_energy_per_qos::{run_e1, E1Config};
+use experiments::e2_learning_curve::{run_e2, E2Config};
+use experiments::e3_adaptivity::{run_e3, E3Config};
+use experiments::e6_fixed_point::{run_parity, run_sweep};
+use experiments::e7_hw_cost::run_e7;
+use experiments::e8_idle_states::{run_e8, E8Config};
+use experiments::e9_fault_resilience::{run_e9, E9Config};
+use soc::SocConfig;
+
+use crate::simrate::{extract_number, extract_object, extract_string, json_num};
+
+/// The deterministic regen sections the benchmark covers (E4 excluded —
+/// it measures the host clock and bypasses the cache).
+pub const SECTIONS: &str = "e1 e2 e3 e5 e6 e7 e8 e9 e9-fault a1 a2 a3 a4";
+
+/// One measured cold/warm pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Free-form description of the code state that produced the numbers.
+    pub label: String,
+    /// Fastest cold wall time (empty cache) in seconds.
+    pub cold_s: f64,
+    /// Fastest warm wall time (disk cache populated, memo cleared) in
+    /// seconds.
+    pub warm_s: f64,
+    /// Cache misses during a cold pass (deterministic).
+    pub cold_misses: u64,
+    /// Cache hits during a warm pass (deterministic).
+    pub warm_hits: u64,
+}
+
+impl Measurement {
+    /// Warm speedup over cold.
+    pub fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s.max(1e-9)
+    }
+}
+
+/// Runs every deterministic section once at quick sizes, discarding the
+/// tables (the benchmark times the simulation/cache work, not CSV IO).
+fn run_sections(soc_config: &SocConfig) {
+    let _ = run_e1(soc_config, &E1Config::quick()); // also feeds E5
+    let _ = run_e2(soc_config, &E2Config::quick());
+    let _ = run_e3(soc_config, &E3Config::quick());
+    let _ = run_parity(soc_config, 5_000, 6);
+    let _ = run_sweep(soc_config, 5_000, 6);
+    let _ = run_e7(soc_config);
+    let _ = run_e8(&E8Config::quick());
+    if let Ok(symmetric) = SocConfig::symmetric_quad() {
+        let _ = run_e1(&symmetric, &E1Config::quick());
+    }
+    let _ = run_e9(soc_config, &E9Config::quick());
+    let ablation_config = AblationConfig::quick();
+    let _ = a1_state_features(soc_config, &ablation_config);
+    let _ = a2_reward_shaping(soc_config, &ablation_config);
+    let _ = a3_exploration(soc_config, &ablation_config);
+    let _ = a4_algorithm(soc_config, &ablation_config);
+}
+
+/// Measures cold and warm regeneration, best of `repeat` passes each,
+/// against a scratch cache directory that is removed afterwards. The
+/// process-wide cache is left disabled on return.
+pub fn measure(soc_config: &SocConfig, label: &str, repeat: u32) -> Measurement {
+    let dir = std::env::temp_dir().join(format!("rlpm-regen-bench-{}", std::process::id()));
+    experiments::cache::configure(Some(dir.clone()));
+    let mut cold_s = f64::INFINITY;
+    let mut warm_s = f64::INFINITY;
+    let mut cold_misses = 0;
+    let mut warm_hits = 0;
+    for _ in 0..repeat.max(1) {
+        // Cold: empty directory, empty memo — every cell computes.
+        let _ = std::fs::remove_dir_all(&dir);
+        experiments::cache::clear_memo();
+        experiments::cache::reset_stats();
+        let start = Instant::now();
+        run_sections(soc_config);
+        cold_s = cold_s.min(start.elapsed().as_secs_f64().max(1e-9));
+        cold_misses = experiments::cache::stats().misses;
+
+        // Warm: the disk entries the cold pass just stored, memo
+        // cleared so every hit goes through the envelope decode path.
+        experiments::cache::clear_memo();
+        experiments::cache::reset_stats();
+        let start = Instant::now();
+        run_sections(soc_config);
+        warm_s = warm_s.min(start.elapsed().as_secs_f64().max(1e-9));
+        warm_hits = experiments::cache::stats().hits;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    experiments::cache::configure(None);
+    experiments::cache::clear_memo();
+    experiments::cache::reset_stats();
+    Measurement {
+        label: label.to_owned(),
+        cold_s,
+        warm_s,
+        cold_misses,
+        warm_hits,
+    }
+}
+
+/// The persisted report: a pinned baseline plus the current numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The pinned reference numbers (recorded with `--baseline`).
+    pub baseline: Option<Measurement>,
+    /// The most recent numbers.
+    pub current: Option<Measurement>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report {
+            baseline: None,
+            current: None,
+        }
+    }
+
+    /// Serialises the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(
+            "  \"unit\": \"wall-seconds per deterministic quick regen (cold vs warm cache)\",\n",
+        );
+        s.push_str(&format!("  \"sections\": \"{SECTIONS}\""));
+        for (name, section) in [("baseline", &self.baseline), ("current", &self.current)] {
+            if let Some(m) = section {
+                s.push_str(",\n");
+                s.push_str(&format!("  \"{name}\": {}", json_measurement(m)));
+            }
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses a report previously written by [`Report::to_json`];
+    /// `None` for corrupt text or a different schema (callers then
+    /// start fresh).
+    pub fn from_json(text: &str) -> Option<Report> {
+        if extract_number(text, "schema")? != 1.0 {
+            return None;
+        }
+        let parse_section = |name: &str| -> Option<Measurement> {
+            let block = extract_object(text, name)?;
+            Some(Measurement {
+                label: extract_string(&block, "label")?,
+                cold_s: extract_number(&block, "cold_s")?,
+                warm_s: extract_number(&block, "warm_s")?,
+                cold_misses: extract_number(&block, "cold_misses")? as u64,
+                warm_hits: extract_number(&block, "warm_hits")? as u64,
+            })
+        };
+        Some(Report {
+            baseline: parse_section("baseline"),
+            current: parse_section("current"),
+        })
+    }
+}
+
+impl Default for Report {
+    fn default() -> Self {
+        Report::new()
+    }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("    \"label\": \"{}\",\n", m.label));
+    s.push_str(&format!("    \"cold_s\": {},\n", json_num(m.cold_s)));
+    s.push_str(&format!("    \"warm_s\": {},\n", json_num(m.warm_s)));
+    s.push_str(&format!("    \"speedup\": {},\n", json_num(m.speedup())));
+    s.push_str(&format!("    \"cold_misses\": {},\n", m.cold_misses));
+    s.push_str(&format!("    \"warm_hits\": {}\n", m.warm_hits));
+    s.push_str("  }");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            baseline: Some(Measurement {
+                label: "per-experiment pools, no cache".into(),
+                cold_s: 0.56,
+                warm_s: 0.56,
+                cold_misses: 0,
+                warm_hits: 0,
+            }),
+            current: Some(Measurement {
+                label: "shared scheduler + content-addressed cache".into(),
+                cold_s: 0.4,
+                warm_s: 0.03,
+                cold_misses: 70,
+                warm_hits: 65,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).expect("own output parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn baseline_survives_a_current_rewrite() {
+        let mut report = Report::from_json(&sample().to_json()).unwrap();
+        let baseline = report.baseline.clone();
+        report.current = Some(Measurement {
+            label: "newer".into(),
+            cold_s: 0.3,
+            warm_s: 0.02,
+            cold_misses: 70,
+            warm_hits: 65,
+        });
+        let reparsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(reparsed.baseline, baseline);
+        assert_eq!(reparsed.current.unwrap().label, "newer");
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected() {
+        assert!(Report::from_json("not json").is_none());
+        assert!(Report::from_json("{\"schema\": 2}").is_none());
+    }
+
+    #[test]
+    fn measure_smoke_hits_the_cache_when_warm() {
+        let m = measure(&crate::soc_under_test(), "test", 1);
+        assert!(m.cold_s > 0.0 && m.warm_s > 0.0);
+        assert!(m.cold_misses > 0, "cold pass must compute cells");
+        // Warm requests are fewer than cold misses (a cached cell skips
+        // its inner policy-training lookups entirely), but every one of
+        // them must be served from disk.
+        assert!(m.warm_hits > 0, "warm pass must hit the cache");
+        // The process-wide cache is left disabled for other tests.
+        assert!(!experiments::cache::is_enabled());
+    }
+}

@@ -239,7 +239,7 @@ impl Report {
     }
 }
 
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     // Three decimals are plenty for rates; fixed formatting keeps diffs
     // readable.
     format!("{v:.3}")
@@ -267,7 +267,7 @@ fn json_measurement(m: &Measurement) -> String {
 /// The text of the `{...}` object bound to `"key"`, braces excluded.
 /// Searches the outermost occurrence only (keys are unique per level in
 /// the format we emit, and nested objects never repeat top-level keys).
-fn extract_object(text: &str, key: &str) -> Option<String> {
+pub(crate) fn extract_object(text: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\": {{");
     let start = text.find(&pat)? + pat.len();
     let mut depth = 1usize;
@@ -287,7 +287,7 @@ fn extract_object(text: &str, key: &str) -> Option<String> {
 }
 
 /// The numeric value bound to `"key"` (first occurrence).
-fn extract_number(text: &str, key: &str) -> Option<f64> {
+pub(crate) fn extract_number(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = text.find(&pat)? + pat.len();
     let rest = &text[start..];
@@ -299,7 +299,7 @@ fn extract_number(text: &str, key: &str) -> Option<f64> {
 
 /// The string value bound to `"key"` (no escape handling; labels we emit
 /// contain none).
-fn extract_string(text: &str, key: &str) -> Option<String> {
+pub(crate) fn extract_string(text: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\": \"");
     let start = text.find(&pat)? + pat.len();
     let rest = &text[start..];
@@ -307,7 +307,7 @@ fn extract_string(text: &str, key: &str) -> Option<String> {
 }
 
 /// All `"key": number` pairs of a flat object body, in order.
-fn extract_pairs(body: &str) -> Vec<(String, f64)> {
+pub(crate) fn extract_pairs(body: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for line in body.lines() {
         let line = line.trim().trim_end_matches(',');

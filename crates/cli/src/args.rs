@@ -34,7 +34,7 @@ impl fmt::Display for ParseArgsError {
 impl Error for ParseArgsError {}
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick"];
+const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick", "no-cache"];
 
 /// Every `rlpm-sim` subcommand, in help order.
 ///

@@ -64,6 +64,23 @@ fn policy_kind(name: &str) -> Result<PolicyKind, Box<dyn Error>> {
         })
 }
 
+/// Applies the `--cache-dir DIR` / `--no-cache` flags. Commands that
+/// train RL policies or run experiment cells reuse cached results from
+/// `target/rlpm-cache` by default; cached results are byte-identical to
+/// recomputed ones, so `--no-cache` only changes speed.
+fn configure_cache(inv: &Invocation) {
+    if inv.has("no-cache") {
+        experiments::cache::configure(None);
+        return;
+    }
+    let dir = inv
+        .flags
+        .get("cache-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(experiments::cache::default_dir);
+    experiments::cache::configure(Some(dir));
+}
+
 /// Writes the process-wide metrics snapshot to `--metrics-out FILE` when
 /// the flag is present. Commands that simulate call this last, so the
 /// snapshot covers everything the invocation did.
@@ -107,9 +124,18 @@ fn print_metrics(label: &str, m: &RunMetrics) {
     }
 }
 
-/// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace] [--metrics-out FILE]`
+/// `run <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace] [--cache-dir DIR] [--no-cache] [--metrics-out FILE]`
 pub fn cmd_run(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["secs", "seed", "soc", "trace", "metrics-out"])?;
+    inv.allow_flags(&[
+        "secs",
+        "seed",
+        "soc",
+        "trace",
+        "cache-dir",
+        "no-cache",
+        "metrics-out",
+    ])?;
+    configure_cache(inv);
     let scenario_name = inv
         .positional
         .first()
@@ -214,9 +240,17 @@ pub fn cmd_eval(inv: &Invocation) -> CmdResult {
     write_metrics_out(inv)
 }
 
-/// `compare <scenario> [--secs N] [--seed N] [--soc P] [--metrics-out FILE]`
+/// `compare <scenario> [--secs N] [--seed N] [--soc P] [--cache-dir DIR] [--no-cache] [--metrics-out FILE]`
 pub fn cmd_compare(inv: &Invocation) -> CmdResult {
-    inv.allow_flags(&["secs", "seed", "soc", "metrics-out"])?;
+    inv.allow_flags(&[
+        "secs",
+        "seed",
+        "soc",
+        "cache-dir",
+        "no-cache",
+        "metrics-out",
+    ])?;
+    configure_cache(inv);
     let scenario_name = inv
         .positional
         .first()
@@ -354,8 +388,11 @@ pub fn cmd_e9(inv: &Invocation) -> CmdResult {
         "soc",
         "out-dir",
         "quick",
+        "cache-dir",
+        "no-cache",
         "metrics-out",
     ])?;
+    configure_cache(inv);
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
     let soc_cfg = soc_config(&soc_name)?;
     let mut config = if inv.has("quick") {
@@ -478,6 +515,7 @@ pub fn cmd_help() -> CmdResult {
 USAGE:
   rlpm-sim run      <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]
   rlpm-sim compare  <scenario> [--secs N] [--seed N] [--soc P]
+                    (run/compare/e9 also take [--cache-dir DIR] [--no-cache])
   rlpm-sim train    <scenario> --out FILE [--episodes N] [--episode-secs N] [--seed N] [--soc P]
   rlpm-sim eval     <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]
   rlpm-sim record   <scenario> --out FILE [--secs N] [--seed N]
@@ -492,7 +530,12 @@ POLICIES:  performance powersave ondemand conservative interactive schedutil rlp
 SOC PRESETS (--soc): xu3 (default) | xu3-cstates | symmetric
 
 Simulating commands also accept --metrics-out FILE to dump the process-wide
-observability snapshot (counters, gauges, spans, histograms) as CSV."
+observability snapshot (counters, gauges, spans, histograms) as CSV.
+
+run/compare/e9 reuse trained policies and evaluated cells from a
+content-addressed cache (default target/rlpm-cache); cached results are
+byte-identical to recomputed ones. --no-cache disables it, --cache-dir
+moves it."
     );
     Ok(())
 }

@@ -10,7 +10,7 @@ use workload::ScenarioKind;
 
 use crate::par::parallel_map;
 use crate::table::{fmt_f64, Table};
-use crate::{run, RunConfig, TrainingProtocol};
+use crate::{cache, run, RunConfig, TrainingProtocol};
 
 /// Result of one ablation variant.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,16 +61,63 @@ impl AblationConfig {
     }
 }
 
-/// Trains and evaluates one labelled configuration variant.
+/// Trains and evaluates one labelled configuration variant; `None` for
+/// an invalid SoC config (the row is then dropped). When the cache is
+/// enabled the finished row is looked up / stored under a key covering
+/// the full variant `RlConfig`, so re-running a sweep with one changed
+/// variant only recomputes that variant.
 fn evaluate_variant(
     soc_config: &SocConfig,
     config: &AblationConfig,
     label: &str,
     rl: RlConfig,
-) -> AblationRow {
+) -> Option<AblationRow> {
+    if !cache::is_enabled() {
+        return evaluate_variant_uncached(soc_config, config, label, rl);
+    }
+    let key = cache::Key::new("abrow")
+        .debug(soc_config)
+        .debug(&rl)
+        .str(label)
+        .str(config.scenario.name())
+        .debug(&config.training)
+        .u64(config.eval_secs)
+        .u64(config.seed)
+        .finish();
+    let bytes = cache::get_or_compute("abrow", key, || {
+        let row = evaluate_variant_uncached(soc_config, config, label, rl.clone())?;
+        let mut enc = cache::Enc::new();
+        enc.str(&row.label);
+        enc.f64(row.energy_per_qos);
+        enc.u64(row.violations);
+        enc.f64(row.qos_ratio);
+        Some(enc.finish())
+    })?;
+    let mut dec = cache::Dec::new(&bytes);
+    let decoded = (|| {
+        let row = AblationRow {
+            label: dec.str()?,
+            energy_per_qos: dec.f64()?,
+            violations: dec.u64()?,
+            qos_ratio: dec.f64()?,
+        };
+        if !dec.finished() {
+            return None;
+        }
+        Some(row)
+    })();
+    decoded.or_else(|| evaluate_variant_uncached(soc_config, config, label, rl))
+}
+
+fn evaluate_variant_uncached(
+    soc_config: &SocConfig,
+    config: &AblationConfig,
+    label: &str,
+    rl: RlConfig,
+) -> Option<AblationRow> {
     rl.validate();
     let mut policy = RlGovernor::new(rl, config.seed);
-    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
     let mut scenario = config.scenario.build(config.seed.wrapping_add(0xab));
     for _ in 0..config.training.episodes {
         run(
@@ -91,12 +138,12 @@ fn evaluate_variant(
         &mut policy,
         RunConfig::seconds(config.eval_secs),
     );
-    AblationRow {
+    Some(AblationRow {
         label: label.to_owned(),
         energy_per_qos: metrics.energy_per_qos,
         violations: metrics.qos.violations,
         qos_ratio: metrics.qos.qos_ratio(),
-    }
+    })
 }
 
 fn run_variants(
@@ -104,9 +151,12 @@ fn run_variants(
     config: &AblationConfig,
     variants: Vec<(String, RlConfig)>,
 ) -> Vec<AblationRow> {
-    parallel_map(variants, |(label, rl)| {
-        evaluate_variant(soc_config, config, &label, rl)
-    })
+    let soc_config_owned = soc_config.clone();
+    let job_config = *config;
+    let rows = parallel_map(variants, move |(label, rl)| {
+        evaluate_variant(&soc_config_owned, &job_config, &label, rl)
+    });
+    rows.into_iter().flatten().collect()
 }
 
 /// A1 — state-feature ablation: remove the trend feature, the QoS

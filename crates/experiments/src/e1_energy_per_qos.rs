@@ -9,12 +9,13 @@
 //! QoS unit; the summary reports the proposed policy's relative
 //! reduction against each baseline and against the six-governor mean.
 
-use soc::{Soc, SocConfig};
+use soc::SocConfig;
 use workload::ScenarioKind;
 
 use crate::par::parallel_map;
+use crate::policies::eval_cell;
 use crate::table::{fmt_f64, fmt_pct, Table};
-use crate::{run, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
+use crate::{PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
 
 /// Matrix configuration.
 #[derive(Debug, Clone)]
@@ -105,19 +106,20 @@ pub fn run_e1(soc_config: &SocConfig, config: &E1Config) -> E1Result {
     }
     let eval_secs = config.eval_secs;
     let training = config.training;
+    let soc_config_owned = soc_config.clone();
     // An invalid SoC config cannot produce measurements; its cells are
     // dropped (callers always pass configs that already built a SoC).
-    let runs = parallel_map(jobs, |(scenario, policy, seed)| {
-        let mut soc = Soc::new(soc_config.clone()).ok()?;
-        let mut governor = policy.build_trained(soc_config, scenario, training, seed);
-        // Evaluation uses a different seed stream than training.
-        let mut scenario_inst = scenario.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
-        let metrics = run(
-            &mut soc,
-            scenario_inst.as_mut(),
-            governor.as_mut(),
+    // Each cell goes through the cell cache (a no-op unless a cache
+    // directory is configured).
+    let runs = parallel_map(jobs, move |(scenario, policy, seed)| {
+        let metrics = eval_cell(
+            &soc_config_owned,
+            scenario,
+            policy,
+            training,
+            seed,
             RunConfig::seconds(eval_secs),
-        );
+        )?;
         Some(CellRun {
             scenario,
             policy,

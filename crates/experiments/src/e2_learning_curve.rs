@@ -9,7 +9,7 @@ use workload::ScenarioKind;
 
 use crate::par::parallel_map;
 use crate::table::{fmt_f64, Table};
-use crate::{run, RunConfig};
+use crate::{cache, run, RunConfig};
 
 /// Learning-curve configuration.
 #[derive(Debug, Clone)]
@@ -62,37 +62,10 @@ pub struct E2Result {
 pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
     // An invalid SoC config cannot produce measurements; its seeds are
     // dropped (callers always pass configs that already built a SoC).
-    let per_seed = parallel_map(config.seeds.clone(), |seed| {
-        let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
-        let mut soc = Soc::new(soc_config.clone()).ok()?;
-        let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
-        let mut curve = Vec::with_capacity(config.episodes as usize);
-        let mut epsilon = Vec::with_capacity(config.episodes as usize);
-        for _ in 0..config.episodes {
-            let metrics = run(
-                &mut soc,
-                scenario.as_mut(),
-                &mut policy,
-                RunConfig::seconds(config.episode_secs),
-            );
-            curve.push(metrics.energy_per_qos);
-            epsilon.push(policy.agent().epsilon());
-            soc.reset();
-            scenario.reset();
-            policy.reset();
-        }
-        // Reference baseline under the same seed stream.
-        let mut soc = Soc::new(soc_config.clone()).ok()?;
-        let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
-        let mut ondemand = GovernorKind::Ondemand.build(soc_config);
-        let reference = run(
-            &mut soc,
-            scenario.as_mut(),
-            ondemand.as_mut(),
-            RunConfig::seconds(config.episode_secs),
-        )
-        .energy_per_qos;
-        Some((curve, epsilon, reference))
+    let soc_config_owned = soc_config.clone();
+    let job_config = config.clone();
+    let per_seed = parallel_map(config.seeds.clone(), move |seed| {
+        run_curve_seed(&soc_config_owned, &job_config, seed)
     });
     let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> = per_seed.into_iter().flatten().collect();
 
@@ -115,6 +88,82 @@ pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
         epsilon,
         ondemand_reference: reference,
     }
+}
+
+/// One seed's full learning curve (per-episode energy-per-QoS and
+/// epsilon, plus the ondemand reference), through the cache when it is
+/// enabled: the whole per-seed series is one cache entry.
+fn run_curve_seed(
+    soc_config: &SocConfig,
+    config: &E2Config,
+    seed: u64,
+) -> Option<(Vec<f64>, Vec<f64>, f64)> {
+    if !cache::is_enabled() {
+        return run_curve_seed_uncached(soc_config, config, seed);
+    }
+    let key = cache::Key::new("e2seed")
+        .debug(soc_config)
+        .str(config.scenario.name())
+        .u64(u64::from(config.episodes))
+        .u64(config.episode_secs)
+        .u64(seed)
+        .finish();
+    let bytes = cache::get_or_compute("e2seed", key, || {
+        let (curve, epsilon, reference) = run_curve_seed_uncached(soc_config, config, seed)?;
+        let mut enc = cache::Enc::new();
+        enc.f64s(&curve);
+        enc.f64s(&epsilon);
+        enc.f64(reference);
+        Some(enc.finish())
+    })?;
+    let mut dec = cache::Dec::new(&bytes);
+    let decoded = (|| {
+        let curve = dec.f64s()?;
+        let epsilon = dec.f64s()?;
+        let reference = dec.f64()?;
+        if !dec.finished() {
+            return None;
+        }
+        Some((curve, epsilon, reference))
+    })();
+    decoded.or_else(|| run_curve_seed_uncached(soc_config, config, seed))
+}
+
+fn run_curve_seed_uncached(
+    soc_config: &SocConfig,
+    config: &E2Config,
+    seed: u64,
+) -> Option<(Vec<f64>, Vec<f64>, f64)> {
+    let mut policy = RlGovernor::new(RlConfig::for_soc(soc_config), seed);
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
+    let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
+    let mut curve = Vec::with_capacity(config.episodes as usize);
+    let mut epsilon = Vec::with_capacity(config.episodes as usize);
+    for _ in 0..config.episodes {
+        let metrics = run(
+            &mut soc,
+            scenario.as_mut(),
+            &mut policy,
+            RunConfig::seconds(config.episode_secs),
+        );
+        curve.push(metrics.energy_per_qos);
+        epsilon.push(policy.agent().epsilon());
+        soc.reset();
+        scenario.reset();
+        policy.reset();
+    }
+    // Reference baseline under the same seed stream.
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
+    let mut scenario = config.scenario.build(seed.wrapping_add(0xE2));
+    let mut ondemand = GovernorKind::Ondemand.build(soc_config);
+    let reference = run(
+        &mut soc,
+        scenario.as_mut(),
+        ondemand.as_mut(),
+        RunConfig::seconds(config.episode_secs),
+    )
+    .energy_per_qos;
+    Some((curve, epsilon, reference))
 }
 
 impl E2Result {

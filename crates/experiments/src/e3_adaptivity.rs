@@ -12,7 +12,7 @@ use soc::{Soc, SocConfig};
 use workload::scenarios::MarkovMix;
 
 use crate::table::{fmt_f64, Table};
-use crate::{run, PolicyKind, RunConfig, TrainingProtocol};
+use crate::{cache, run, PolicyKind, RunConfig, TrainingProtocol};
 
 /// Adaptivity-run configuration.
 #[derive(Debug, Clone)]
@@ -99,13 +99,23 @@ pub fn run_policy_over_phases(
     config: &E3Config,
     policy: PolicyKind,
 ) -> E3PolicyResult {
+    // A policy that cannot run (invalid SoC config, or a trace the
+    // runner could not produce) degrades to an empty attribution rather
+    // than a panic; callers see the policy row with no phase figures.
+    let empty = |overall: f64| E3PolicyResult {
+        policy: policy.name().to_owned(),
+        per_phase: BTreeMap::new(),
+        overall_energy_per_qos: overall,
+    };
     let mut governor: Box<dyn Governor> = policy.build_trained(
         soc_config,
         workload::ScenarioKind::Mixed,
         config.training,
         config.seed,
     );
-    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+    let Ok(mut soc) = Soc::new(soc_config.clone()) else {
+        return empty(f64::INFINITY);
+    };
     let mut mix = MarkovMix::new(config.seed.wrapping_add(0xE3));
     let metrics = run(
         &mut soc,
@@ -113,7 +123,9 @@ pub fn run_policy_over_phases(
         governor.as_mut(),
         RunConfig::seconds(config.duration_secs).with_trace(),
     );
-    let trace = metrics.trace.as_ref().expect("trace requested");
+    let Some(trace) = metrics.trace.as_ref() else {
+        return empty(metrics.energy_per_qos);
+    };
 
     // Attribute each epoch to the phase active at its end.
     let history: Vec<(SimTime, &str)> = mix.phase_history();
@@ -144,8 +156,73 @@ pub fn run_policy_over_phases(
 
 /// Runs every configured policy over the same trace.
 pub fn run_e3(soc_config: &SocConfig, config: &E3Config) -> Vec<E3PolicyResult> {
-    crate::par::parallel_map(config.policies.clone(), |policy| {
-        run_policy_over_phases(soc_config, config, policy)
+    let soc_config_owned = soc_config.clone();
+    let job_config = config.clone();
+    crate::par::parallel_map(config.policies.clone(), move |policy| {
+        cached_policy_over_phases(&soc_config_owned, &job_config, policy)
+    })
+}
+
+/// [`run_policy_over_phases`] through the cache when it is enabled: the
+/// *reduced* per-phase attribution is the cache entry, so a warm run
+/// skips the traced simulation entirely (the raw trace itself is never
+/// cached).
+fn cached_policy_over_phases(
+    soc_config: &SocConfig,
+    config: &E3Config,
+    policy: PolicyKind,
+) -> E3PolicyResult {
+    if !cache::is_enabled() {
+        return run_policy_over_phases(soc_config, config, policy);
+    }
+    let key = cache::Key::new("e3policy")
+        .debug(soc_config)
+        .str(policy.name())
+        .u64(config.duration_secs)
+        .u64(config.seed)
+        .debug(&config.training)
+        .finish();
+    let bytes = cache::get_or_compute("e3policy", key, || {
+        let result = run_policy_over_phases(soc_config, config, policy);
+        let mut enc = cache::Enc::new();
+        enc.str(&result.policy);
+        enc.u64(result.per_phase.len() as u64);
+        for (phase, figures) in &result.per_phase {
+            enc.str(phase);
+            enc.f64(figures.seconds);
+            enc.f64(figures.energy_j);
+            enc.f64(figures.qos_units);
+        }
+        enc.f64(result.overall_energy_per_qos);
+        Some(enc.finish())
+    });
+    bytes
+        .and_then(|bytes| decode_policy_result(&bytes))
+        .unwrap_or_else(|| run_policy_over_phases(soc_config, config, policy))
+}
+
+fn decode_policy_result(bytes: &[u8]) -> Option<E3PolicyResult> {
+    let mut dec = cache::Dec::new(bytes);
+    let policy = dec.str()?;
+    let phases = dec.u64()?;
+    let mut per_phase = BTreeMap::new();
+    for _ in 0..phases {
+        let name = dec.str()?;
+        let figures = PhaseFigures {
+            seconds: dec.f64()?,
+            energy_j: dec.f64()?,
+            qos_units: dec.f64()?,
+        };
+        per_phase.insert(name, figures);
+    }
+    let overall_energy_per_qos = dec.f64()?;
+    if !dec.finished() {
+        return None;
+    }
+    Some(E3PolicyResult {
+        policy,
+        per_phase,
+        overall_energy_per_qos,
     })
 }
 

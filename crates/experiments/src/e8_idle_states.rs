@@ -13,7 +13,7 @@ use workload::ScenarioKind;
 
 use crate::par::parallel_map;
 use crate::table::{fmt_f64, fmt_pct, Table};
-use crate::{run, PolicyKind, RunConfig, TrainingProtocol};
+use crate::{cache, run, PolicyKind, RunConfig, TrainingProtocol};
 
 /// E8 configuration.
 #[derive(Debug, Clone)]
@@ -90,45 +90,83 @@ impl E8Cell {
     }
 }
 
+/// One run on one SoC variant; `None` for an invalid SoC config (the
+/// cell is then dropped). Goes through the metrics cache when enabled —
+/// the cached entry is the full run metrics, shared with any other
+/// experiment addressing the same (soc, scenario, policy, seed, length)
+/// cell under the E8 seed stream.
 fn run_one(
     soc_config: &SocConfig,
     scenario: ScenarioKind,
     policy: PolicyKind,
     config: &E8Config,
-) -> (f64, f64) {
-    let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+) -> Option<(f64, f64)> {
+    let metrics = if cache::is_enabled() {
+        let key = cache::Key::new("e8run")
+            .debug(soc_config)
+            .str(scenario.name())
+            .str(policy.name())
+            .debug(&config.training)
+            .u64(config.seed)
+            .u64(config.eval_secs)
+            .finish();
+        let bytes = cache::get_or_compute("e8run", key, || {
+            let metrics = run_one_uncached(soc_config, scenario, policy, config)?;
+            cache::encode_metrics(&metrics)
+        })?;
+        cache::decode_metrics(&bytes)
+            .or_else(|| run_one_uncached(soc_config, scenario, policy, config))?
+    } else {
+        run_one_uncached(soc_config, scenario, policy, config)?
+    };
+    Some((metrics.energy_j, metrics.idle_collapsed_core_s))
+}
+
+fn run_one_uncached(
+    soc_config: &SocConfig,
+    scenario: ScenarioKind,
+    policy: PolicyKind,
+    config: &E8Config,
+) -> Option<crate::RunMetrics> {
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
     let mut governor = policy.build_trained(soc_config, scenario, config.training, config.seed);
     let mut scenario = scenario.build(config.seed.wrapping_add(0xE8));
-    let metrics = run(
+    Some(run(
         &mut soc,
         scenario.as_mut(),
         governor.as_mut(),
         RunConfig::seconds(config.eval_secs),
-    );
-    (metrics.energy_j, metrics.idle_collapsed_core_s)
+    ))
 }
 
-/// Runs the comparison matrix.
+/// Runs the comparison matrix. An invalid preset produces no cells.
 pub fn run_e8(config: &E8Config) -> Vec<E8Cell> {
-    let plain = SocConfig::odroid_xu3_like().expect("preset valid");
-    let cstates = SocConfig::odroid_xu3_like_cstates().expect("preset valid");
+    let (Ok(plain), Ok(cstates)) = (
+        SocConfig::odroid_xu3_like(),
+        SocConfig::odroid_xu3_like_cstates(),
+    ) else {
+        return Vec::new();
+    };
     let mut jobs = Vec::new();
     for &scenario in &config.scenarios {
         for &policy in &config.policies {
             jobs.push((scenario, policy));
         }
     }
-    parallel_map(jobs, |(scenario, policy)| {
-        let (energy_plain_j, _) = run_one(&plain, scenario, policy, config);
-        let (energy_cstates_j, collapsed_core_s) = run_one(&cstates, scenario, policy, config);
-        E8Cell {
+    let job_config = config.clone();
+    let cells = parallel_map(jobs, move |(scenario, policy)| {
+        let (energy_plain_j, _) = run_one(&plain, scenario, policy, &job_config)?;
+        let (energy_cstates_j, collapsed_core_s) =
+            run_one(&cstates, scenario, policy, &job_config)?;
+        Some(E8Cell {
             scenario: scenario.name().to_owned(),
             policy: policy.name().to_owned(),
             energy_plain_j,
             energy_cstates_j,
             collapsed_core_s,
-        }
-    })
+        })
+    });
+    cells.into_iter().flatten().collect()
 }
 
 /// Renders the comparison.

@@ -24,7 +24,7 @@ use workload::ScenarioKind;
 use crate::par::parallel_map;
 use crate::resilience::{FaultHarness, Watchdog};
 use crate::table::{fmt_f64, Table};
-use crate::{run_with_faults, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
+use crate::{cache, run_with_faults, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
 
 /// One policy arm of the resilience sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,30 +207,10 @@ pub fn run_e9(soc_config: &SocConfig, config: &E9Config) -> E9Result {
     // Cells with out-of-range rates or an invalid SoC config cannot
     // produce measurements and are dropped (rates are validated below
     // against clamping in `scaled`, so in practice nothing is lost).
-    let runs = parallel_map(jobs, |(arm, index, multiplier, seed)| {
-        let mut soc = Soc::new(soc_config.clone()).ok()?;
-        let mut governor =
-            arm.policy()
-                .build_trained(soc_config, config.scenario, config.training, seed);
-        // Evaluation uses a different seed stream than training.
-        let mut scenario = config
-            .scenario
-            .build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
-        // One plan seed per (multiplier, seed) cell, shared across arms:
-        // every policy faces the identical fault trace.
-        let plan_seed = config.fault_seed ^ ((index as u64) << 8) ^ seed;
-        let rates = config.base_rates.scaled(multiplier);
-        let mut harness = FaultHarness::new(soc_config, plan_seed, rates).ok()?;
-        if arm.has_watchdog() {
-            harness = harness.with_watchdog(Watchdog::fail_operational(soc_config));
-        }
-        let metrics = run_with_faults(
-            &mut soc,
-            scenario.as_mut(),
-            governor.as_mut(),
-            RunConfig::seconds(config.eval_secs),
-            Some(&mut harness),
-        );
+    let soc_config_owned = soc_config.clone();
+    let job_config = config.clone();
+    let runs = parallel_map(jobs, move |(arm, index, multiplier, seed)| {
+        let metrics = run_e9_cell(&soc_config_owned, &job_config, arm, index, multiplier, seed)?;
         Some(E9CellRun {
             arm,
             multiplier,
@@ -242,6 +222,74 @@ pub fn run_e9(soc_config: &SocConfig, config: &E9Config) -> E9Result {
         config: config.clone(),
         runs: runs.into_iter().flatten().collect(),
     }
+}
+
+/// One `(arm, multiplier, seed)` cell through the metrics cache when it
+/// is enabled (the fault counters ride along inside the cached
+/// metrics). The key covers the full fault mix and plan seed, so any
+/// change to the fault schedule re-addresses the cell.
+fn run_e9_cell(
+    soc_config: &SocConfig,
+    config: &E9Config,
+    arm: E9Arm,
+    index: usize,
+    multiplier: f64,
+    seed: u64,
+) -> Option<RunMetrics> {
+    if !cache::is_enabled() {
+        return run_e9_cell_uncached(soc_config, config, arm, index, multiplier, seed);
+    }
+    let key = cache::Key::new("e9cell")
+        .debug(soc_config)
+        .str(arm.name())
+        .str(config.scenario.name())
+        .debug(&config.training)
+        .debug(&config.base_rates)
+        .u64(multiplier.to_bits())
+        .u64(index as u64)
+        .u64(config.fault_seed)
+        .u64(seed)
+        .u64(config.eval_secs)
+        .finish();
+    let bytes = cache::get_or_compute("e9cell", key, || {
+        let metrics = run_e9_cell_uncached(soc_config, config, arm, index, multiplier, seed)?;
+        cache::encode_metrics(&metrics)
+    })?;
+    cache::decode_metrics(&bytes)
+        .or_else(|| run_e9_cell_uncached(soc_config, config, arm, index, multiplier, seed))
+}
+
+fn run_e9_cell_uncached(
+    soc_config: &SocConfig,
+    config: &E9Config,
+    arm: E9Arm,
+    index: usize,
+    multiplier: f64,
+    seed: u64,
+) -> Option<RunMetrics> {
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
+    let mut governor =
+        arm.policy()
+            .build_trained(soc_config, config.scenario, config.training, seed);
+    // Evaluation uses a different seed stream than training.
+    let mut scenario = config
+        .scenario
+        .build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    // One plan seed per (multiplier, seed) cell, shared across arms:
+    // every policy faces the identical fault trace.
+    let plan_seed = config.fault_seed ^ ((index as u64) << 8) ^ seed;
+    let rates = config.base_rates.scaled(multiplier);
+    let mut harness = FaultHarness::new(soc_config, plan_seed, rates).ok()?;
+    if arm.has_watchdog() {
+        harness = harness.with_watchdog(Watchdog::fail_operational(soc_config));
+    }
+    Some(run_with_faults(
+        &mut soc,
+        scenario.as_mut(),
+        governor.as_mut(),
+        RunConfig::seconds(config.eval_secs),
+        Some(&mut harness),
+    ))
 }
 
 impl E9Result {

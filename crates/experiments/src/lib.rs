@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod cache;
 pub mod e1_energy_per_qos;
 pub mod e2_learning_curve;
 pub mod e3_adaptivity;
@@ -43,6 +44,7 @@ pub mod table;
 mod par;
 mod policies;
 mod runner;
+mod sched;
 
 pub use policies::{train_rl_governor, PolicyKind, TrainingProtocol};
 pub use resilience::{FaultHarness, Watchdog};

@@ -1,88 +1,27 @@
-//! Tiny order-preserving parallel map over OS threads (`std::thread::scope`);
-//! experiment matrices are embarrassingly parallel.
+//! Order-preserving parallel map; experiment matrices are embarrassingly
+//! parallel.
 //!
-//! Workers pull index-tagged items from a shared queue and accumulate
-//! results in a private batch — two shared locks total (queue and batch
-//! drop-off) instead of two locks *per item* — then the batches are merged
-//! back into input order. `RLPM_THREADS` overrides the worker count
-//! (useful for determinism tests and for pinning CI parallelism).
+//! Since the global scheduler landed this is a thin wrapper over
+//! [`crate::sched::scatter`]: jobs are claimed off a lock-free
+//! `AtomicUsize` cursor (one `fetch_add` per job — the old
+//! `Mutex<iterator>` pull queue is gone) and executed by the process-wide
+//! worker pool, so concurrent experiments share workers instead of each
+//! spinning up a scoped pool behind a barrier. `RLPM_THREADS` still
+//! overrides the worker count (useful for determinism tests and for
+//! pinning CI parallelism), and results still come back in input order,
+//! bit-identical across thread counts.
 
-use std::sync::{Mutex, MutexGuard};
+use crate::sched;
 
-/// Locks a mutex, recovering the guard if another worker panicked while
-/// holding it. The critical sections in this module never panic, so a
-/// poisoned lock still protects coherent data; the panic itself is
-/// re-raised by `std::thread::scope` when the panicking worker joins.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// The worker count: `RLPM_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism.
-fn thread_count() -> usize {
-    let configured = std::env::var("RLPM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0);
-    match configured {
-        Some(t) => t,
-        None => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4),
-    }
-}
-
-/// Applies `f` to every item on up to [`thread_count`] threads, returning
+/// Applies `f` to every item on the shared worker pool, returning
 /// results in input order.
 pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = thread_count().min(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let batches: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(threads));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    // Hold the queue lock only to take the next item; the
-                    // (expensive) `f` runs lock-free.
-                    let next = lock(&queue).next();
-                    let Some((i, item)) = next else { break };
-                    local.push((i, f(item)));
-                }
-                lock(&batches).push(local);
-            });
-        }
-    });
-
-    let mut tagged: Vec<(usize, R)> = match batches.into_inner() {
-        Ok(b) => b,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-    .into_iter()
-    .flatten()
-    .collect();
-    // The queue hands out each index exactly once, so the tags are a
-    // permutation of 0..n and sorting restores input order.
-    debug_assert_eq!(tagged.len(), n, "every item produces exactly one result");
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    sched::scatter(items, f)
 }
 
 #[cfg(test)]

@@ -1,12 +1,13 @@
 //! The policies under test, including the pre-trained RL policy.
 
 use governors::{Governor, GovernorKind};
-use rlpm::{RlConfig, RlGovernor};
+use rlpm::{persist, RlConfig, RlGovernor};
 use rlpm_hw::{HwConfig, HwPolicyDriver};
 use soc::{Soc, SocConfig};
 use workload::ScenarioKind;
 
-use crate::{run, RunConfig};
+use crate::runner::RunMetrics;
+use crate::{cache, run, RunConfig};
 
 /// How the RL policy is trained before a frozen evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,23 @@ impl PolicyKind {
         match self {
             PolicyKind::Baseline(kind) => kind.build(soc_config),
             PolicyKind::Rl => {
+                // `Rl` and `RlHw` share one cached table per
+                // (soc, config, scenario, protocol, seed): training is by
+                // far the most expensive cacheable unit, and a frozen
+                // policy's behavior depends only on its merged table bits.
+                if cache::is_enabled() {
+                    let rl_config = RlConfig::for_soc(soc_config);
+                    if let Some(policy) = cached_frozen_policy(
+                        soc_config,
+                        &rl_config,
+                        scenario,
+                        protocol,
+                        seed,
+                        || train_rl_governor(soc_config, scenario, protocol, seed),
+                    ) {
+                        return Box::new(policy);
+                    }
+                }
                 let mut policy = train_rl_governor(soc_config, scenario, protocol, seed);
                 policy.set_frozen(true);
                 policy.reset();
@@ -89,7 +107,19 @@ impl PolicyKind {
             PolicyKind::RlHw => {
                 // Train in software, then load the table into the engine —
                 // the deployment flow the paper describes.
-                let mut sw = train_rl_governor(soc_config, scenario, protocol, seed);
+                let sw = if cache::is_enabled() {
+                    let rl_config = RlConfig::for_soc(soc_config);
+                    cached_frozen_policy(soc_config, &rl_config, scenario, protocol, seed, || {
+                        train_rl_governor(soc_config, scenario, protocol, seed)
+                    })
+                } else {
+                    None
+                };
+                let mut sw = sw.unwrap_or_else(|| {
+                    let mut trained = train_rl_governor(soc_config, scenario, protocol, seed);
+                    trained.set_frozen(true);
+                    trained
+                });
                 sw.set_frozen(true);
                 let rl_config = sw.config().clone();
                 let mut driver = HwPolicyDriver::new(HwConfig::default(), &rl_config);
@@ -103,6 +133,104 @@ impl PolicyKind {
             }
         }
     }
+}
+
+/// Trains a frozen policy through the content-addressed cache: on a hit
+/// the persisted mean table is restored into a fresh governor, which
+/// reproduces the trained policy's frozen behavior bit-for-bit (frozen
+/// decisions are pure greedy over the merged table — no RNG, no
+/// learning state — and the persisted mean preserves the merged bits
+/// exactly; pinned by the `cache_identity` test). On a miss, `train`
+/// runs and its table is persisted via the [`rlpm::persist`] container.
+///
+/// Any defect — unreadable entry, container parse failure, geometry
+/// mismatch after a config change — yields `None` and the caller falls
+/// back to direct training: cache trouble can cost time, never
+/// correctness.
+pub(crate) fn cached_frozen_policy(
+    soc_config: &SocConfig,
+    rl_config: &RlConfig,
+    scenario: ScenarioKind,
+    protocol: TrainingProtocol,
+    seed: u64,
+    train: impl FnOnce() -> RlGovernor,
+) -> Option<RlGovernor> {
+    let key = cache::Key::new("qtbl")
+        .debug(soc_config)
+        .debug(rl_config)
+        .str(scenario.name())
+        .debug(&protocol)
+        .u64(seed)
+        .finish();
+    let bytes = cache::get_or_compute("qtbl", key, || {
+        let trained = train();
+        Some(persist::save_policy(&trained))
+    })?;
+    let table = persist::parse_table(&bytes).ok()?;
+    let mut policy = RlGovernor::new(rl_config.clone(), seed);
+    let expected = (
+        policy.agent().table().num_states(),
+        policy.agent().table().num_actions(),
+    );
+    if (table.num_states(), table.num_actions()) != expected {
+        return None;
+    }
+    policy.agent_mut().load_merged(table.values());
+    policy.set_frozen(true);
+    policy.reset();
+    Some(policy)
+}
+
+/// Runs one frozen evaluation cell — train (or restore) the policy,
+/// then measure `run_config` worth of the scenario on a fresh SoC —
+/// consulting the metrics cache when it is enabled. Traced runs bypass
+/// the cache (traces are bulky, figure-only output). An invalid SoC
+/// config yields `None`, cached or not.
+pub(crate) fn eval_cell(
+    soc_config: &SocConfig,
+    scenario: ScenarioKind,
+    policy: PolicyKind,
+    training: TrainingProtocol,
+    seed: u64,
+    run_config: RunConfig,
+) -> Option<RunMetrics> {
+    if !cache::is_enabled() || run_config.record_trace {
+        return eval_cell_uncached(soc_config, scenario, policy, training, seed, run_config);
+    }
+    let key = cache::Key::new("cell")
+        .debug(soc_config)
+        .str(scenario.name())
+        .str(policy.name())
+        .debug(&training)
+        .u64(seed)
+        .u64(run_config.duration.as_nanos())
+        .finish();
+    let bytes = cache::get_or_compute("cell", key, || {
+        let metrics = eval_cell_uncached(soc_config, scenario, policy, training, seed, run_config)?;
+        cache::encode_metrics(&metrics)
+    })?;
+    cache::decode_metrics(&bytes)
+        .or_else(|| eval_cell_uncached(soc_config, scenario, policy, training, seed, run_config))
+}
+
+fn eval_cell_uncached(
+    soc_config: &SocConfig,
+    scenario: ScenarioKind,
+    policy: PolicyKind,
+    training: TrainingProtocol,
+    seed: u64,
+    run_config: RunConfig,
+) -> Option<RunMetrics> {
+    let mut soc = Soc::new(soc_config.clone()).ok()?;
+    let mut governor = policy.build_trained(soc_config, scenario, training, seed);
+    // Evaluation uses a different seed stream than training.
+    let mut scenario_inst = scenario.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    Some(run(
+        &mut soc,
+        scenario_inst.as_mut(),
+        governor.as_mut(),
+        run_config,
+    ))
 }
 
 impl std::fmt::Display for PolicyKind {

@@ -1,0 +1,336 @@
+//! Global work-stealing scheduler: one persistent worker pool executes
+//! the cells of *every* concurrently submitted experiment.
+//!
+//! [`scatter`] flattens a batch of independent jobs onto a process-wide
+//! pool. Each batch is a shared slice with a lock-free [`AtomicUsize`]
+//! claim cursor (a worker pulls the next job with one `fetch_add`, no
+//! queue lock) and a batched result drop-off: a worker accumulates its
+//! results privately and merges them under the batch lock once, when its
+//! participation ends. Results are re-sorted by input index, so the
+//! output is byte-identical no matter how many workers ran or how the
+//! cursor interleaved — the same discipline the old per-call
+//! `parallel_map` pool proved with the `RLPM_THREADS=1` vs `4` test.
+//!
+//! Unlike the old scoped pool, workers are **daemon threads shared by
+//! the whole process**: several experiments (the `regen-tables` sections
+//! run concurrently) feed batches into one queue, and every idle worker
+//! steals from whichever batch still has unclaimed jobs — no
+//! inter-experiment barrier. The submitting thread participates in its
+//! own batch too, so `scatter` never deadlocks even if no worker thread
+//! could be spawned, and a nested simulation that blocks on the
+//! in-flight memoisation in [`crate::cache`] is always unblocked by the
+//! worker computing that entry (memoised computations never wait on a
+//! batch, so the wait graph stays acyclic).
+//!
+//! `RLPM_THREADS` caps the pool exactly as before: it is re-read on
+//! every call, and a value of `1` bypasses the pool entirely for a
+//! sequential in-place map.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the guard if another worker panicked while
+/// holding it. The critical sections in this module never panic, so a
+/// poisoned lock still protects coherent data; job panics are caught per
+/// job and re-raised on the submitting thread.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The worker count: `RLPM_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub(crate) fn thread_count() -> usize {
+    let configured = std::env::var("RLPM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    match configured {
+        Some(t) => t,
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    }
+}
+
+/// A type-erased batch the pool's workers can participate in.
+trait Task: Send + Sync {
+    /// Claims and runs jobs until the batch's cursor is exhausted.
+    fn participate(&self);
+    /// Whether unclaimed jobs remain (used to prune the queue).
+    fn has_pending(&self) -> bool;
+}
+
+/// Pending batches, oldest first. Workers steal from the front; a batch
+/// leaves the queue once its cursor is exhausted (its last jobs may
+/// still be running on the threads that claimed them).
+static QUEUE: Mutex<Vec<Arc<dyn Task>>> = Mutex::new(Vec::new());
+/// Wakes sleeping workers when a batch arrives.
+static QUEUE_CV: Condvar = Condvar::new();
+/// How many daemon workers have been spawned so far.
+static SPAWNED: Mutex<usize> = Mutex::new(0);
+
+/// Grows the daemon pool to at least `target` workers. Spawn failures
+/// are swallowed: the submitting thread always participates, so a
+/// smaller (even empty) pool only costs parallelism, never progress.
+fn ensure_workers(target: usize) {
+    let mut spawned = lock(&SPAWNED);
+    while *spawned < target {
+        let built = std::thread::Builder::new()
+            .name("rlpm-sched".into())
+            .spawn(worker_loop);
+        if built.is_err() {
+            break;
+        }
+        *spawned += 1;
+    }
+}
+
+/// Daemon worker body: sleep until a batch has unclaimed jobs, help
+/// drain it, prune exhausted batches, repeat forever.
+fn worker_loop() {
+    loop {
+        let task: Arc<dyn Task> = {
+            let mut queue = lock(&QUEUE);
+            loop {
+                queue.retain(|t| t.has_pending());
+                if let Some(t) = queue.first() {
+                    break Arc::clone(t);
+                }
+                queue = match QUEUE_CV.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        task.participate();
+    }
+}
+
+/// Shared mutable state of one batch, guarded by a single lock that
+/// doubles as the completion condvar's mutex.
+struct BatchState<R> {
+    /// Index-tagged results, in drop-off order.
+    results: Vec<(usize, R)>,
+    /// Jobs claimed *and* finished (counted per participation, after the
+    /// drop-off, so `completed == len` implies the results are merged).
+    completed: usize,
+    /// First caught job panic, re-raised by the submitting thread.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One `scatter` call: the job slice, its claim cursor and the shared
+/// result state.
+struct Batch<T, R, F> {
+    /// Job slots; each is taken exactly once by the claiming worker.
+    items: Vec<Mutex<Option<T>>>,
+    /// Lock-free claim cursor: `fetch_add` hands out each index once.
+    next: AtomicUsize,
+    state: Mutex<BatchState<R>>,
+    done: Condvar,
+    f: F,
+}
+
+impl<T, R, F> Batch<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn new(items: Vec<T>, f: F) -> Self {
+        Batch {
+            items: items.into_iter().map(|i| Mutex::new(Some(i))).collect(),
+            next: AtomicUsize::new(0),
+            state: Mutex::new(BatchState {
+                results: Vec::new(),
+                completed: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+            f,
+        }
+    }
+
+    /// Claims jobs off the cursor until it runs out, then merges this
+    /// thread's results in one drop-off and signals completion if this
+    /// participation finished the batch.
+    fn run_to_exhaustion(&self) {
+        let n = self.items.len();
+        let mut local: Vec<(usize, R)> = Vec::new();
+        let mut claimed = 0usize;
+        let mut caught: Option<Box<dyn Any + Send>> = None;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            claimed += 1;
+            let Some(slot) = self.items.get(i) else {
+                continue;
+            };
+            let Some(item) = lock(slot).take() else {
+                continue;
+            };
+            // A panicking job must not take the pool down (daemon workers
+            // are shared by unrelated experiments); it is recorded and
+            // re-raised on the thread that submitted the batch.
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+                Ok(result) => local.push((i, result)),
+                Err(payload) => caught = Some(payload),
+            }
+        }
+        if claimed == 0 {
+            return;
+        }
+        let mut state = lock(&self.state);
+        state.results.append(&mut local);
+        state.completed += claimed;
+        if state.panic.is_none() {
+            state.panic = caught;
+        }
+        if state.completed >= n {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job has completed and its result is merged.
+    fn wait(&self) -> BatchState<R> {
+        let mut state = lock(&self.state);
+        while state.completed < self.items.len() {
+            state = match self.done.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        BatchState {
+            results: std::mem::take(&mut state.results),
+            completed: state.completed,
+            panic: state.panic.take(),
+        }
+    }
+}
+
+impl<T, R, F> Task for Batch<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    fn participate(&self) {
+        self.run_to_exhaustion();
+    }
+
+    fn has_pending(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.items.len()
+    }
+}
+
+/// Applies `f` to every item on the global pool, returning results in
+/// input order. The calling thread participates, so this also works
+/// with zero pool workers; with `RLPM_THREADS=1` (or a single item) it
+/// degenerates to a plain sequential map with no pool involvement.
+///
+/// Results are bit-identical across worker counts: jobs are independent,
+/// index-tagged and re-sorted, exactly like the scoped pool this
+/// replaces.
+pub(crate) fn scatter<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    ensure_workers(threads.saturating_sub(1));
+    let batch = Arc::new(Batch::new(items, f));
+    {
+        let task: Arc<dyn Task> = Arc::clone(&batch) as Arc<dyn Task>;
+        lock(&QUEUE).push(task);
+    }
+    QUEUE_CV.notify_all();
+
+    batch.run_to_exhaustion();
+    let state = batch.wait();
+    if let Some(payload) = state.panic {
+        resume_unwind(payload);
+    }
+
+    let mut tagged = state.results;
+    // The cursor hands out each index exactly once, so the tags are a
+    // permutation of 0..n and sorting restores input order.
+    debug_assert_eq!(tagged.len(), n, "every job produces exactly one result");
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = scatter((0..1000).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = scatter(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(scatter(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn order_preserved_under_skewed_work() {
+        // Later items finish first; merging must still restore order.
+        let out = scatter((0..64).collect(), |x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - x));
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_pool() {
+        // Two submitting threads feed the one queue at once; each batch
+        // must still come back complete and ordered.
+        let handles: Vec<_> = (0..2)
+            .map(|offset: i64| {
+                std::thread::spawn(move || scatter((0..256).collect(), move |x: i64| x + offset))
+            })
+            .collect();
+        for (offset, handle) in handles.into_iter().enumerate() {
+            let out = handle.join().expect("batch thread");
+            assert_eq!(out, (0..256).map(|x| x + offset as i64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn job_panic_is_propagated_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            scatter((0..32).collect(), |x: u32| {
+                assert!(x != 17, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must reach the submitting thread");
+        // The pool survives a panicking batch.
+        let out = scatter((0..32).collect(), |x: u32| x + 1);
+        assert_eq!(out.len(), 32);
+    }
+}

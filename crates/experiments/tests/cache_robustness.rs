@@ -1,0 +1,88 @@
+//! A defective cache must never change results or crash: truncated,
+//! bit-flipped, or version-mismatched entries are silently evicted and
+//! recomputed, and the recomputed results are byte-identical to the
+//! originals.
+
+use std::sync::Mutex;
+
+use experiments::cache;
+use experiments::e8_idle_states::{run_e8, E8Config};
+
+/// The cache is process-global state; tests in this binary serialize on
+/// this lock.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn corrupt_entries_are_evicted_and_recomputed_identically() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("rlpm-cache-robust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::configure(Some(dir.clone()));
+
+    // Cold pass populates the cache.
+    cache::reset_stats();
+    let cold = run_e8(&E8Config::quick());
+    let stored = cache::stats().stores;
+    assert!(stored > 0, "cold pass must persist entries");
+
+    // Damage every stored entry a different way: truncation, a payload
+    // bit flip (checksum mismatch), and a bad format version.
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len() as u64, stored);
+    for (i, path) in entries.iter().enumerate() {
+        let mut bytes = std::fs::read(path).expect("entry readable");
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => {
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x40;
+            }
+            _ => bytes[8] = 0xEE, // format-version low byte
+        }
+        std::fs::write(path, &bytes).expect("entry writable");
+    }
+
+    // Warm pass: every load must fail closed — evict, recompute, and
+    // re-store — and the recomputed cells must match bitwise.
+    cache::clear_memo();
+    cache::reset_stats();
+    let warm = run_e8(&E8Config::quick());
+    let stats = cache::stats();
+    cache::configure(None);
+    cache::clear_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(stats.hits, 0, "no damaged entry may count as a hit");
+    assert_eq!(stats.evictions, stored, "every damaged entry is evicted");
+    assert_eq!(stats.misses, stored, "every cell recomputes");
+    assert_eq!(stats.stores, stored, "recomputed entries are re-stored");
+    assert_eq!(cold, warm, "recomputed results must be byte-identical");
+}
+
+#[test]
+fn absent_directory_and_disabled_cache_are_plain_misses() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Never-created directory: first run is all misses, no errors.
+    let dir = std::env::temp_dir().join(format!("rlpm-cache-absent-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::configure(Some(dir.clone()));
+    cache::reset_stats();
+    let got = cache::get_or_compute("test", 0x1234, || Some(vec![1, 2, 3]));
+    assert_eq!(got.as_deref().map(Vec::as_slice), Some(&[1u8, 2, 3][..]));
+    let stats = cache::stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 1, 0));
+    cache::configure(None);
+    cache::clear_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Disabled cache: pure pass-through, no counters move.
+    cache::reset_stats();
+    let got = cache::get_or_compute("test", 0x1234, || Some(vec![9]));
+    assert_eq!(got.as_deref().map(Vec::as_slice), Some(&[9u8][..]));
+    let stats = cache::stats();
+    assert_eq!((stats.hits, stats.misses, stats.stores), (0, 0, 0));
+}

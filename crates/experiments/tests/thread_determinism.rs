@@ -3,14 +3,21 @@
 //! distributes *whole* runs, and the in-order merge of the per-worker
 //! batches reassembles them exactly.
 
+use std::sync::Mutex;
+
+use experiments::cache;
 use experiments::e1_energy_per_qos::{run_e1, E1Config};
 use soc::SocConfig;
+
+/// `RLPM_THREADS` and the cache are process-global; the tests in this
+/// binary serialize on this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs the quick E1 matrix under a fixed `RLPM_THREADS` setting and
 /// renders everything comparable about it to a string.
 fn matrix_fingerprint(threads: &str) -> String {
-    // Single test binary, sequential calls: no other thread reads the
-    // variable concurrently.
+    // Callers hold ENV_LOCK: no other thread reads the variable
+    // concurrently.
     std::env::set_var("RLPM_THREADS", threads);
     let soc = SocConfig::odroid_xu3_like().expect("preset is valid");
     let result = run_e1(&soc, &E1Config::quick());
@@ -34,6 +41,7 @@ fn matrix_fingerprint(threads: &str) -> String {
 
 #[test]
 fn e1_matrix_is_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let single = matrix_fingerprint("1");
     let quad = matrix_fingerprint("4");
     std::env::remove_var("RLPM_THREADS");
@@ -42,4 +50,30 @@ fn e1_matrix_is_byte_identical_across_thread_counts() {
         "E1 results differ between RLPM_THREADS=1 and =4:\n{single}\nvs\n{quad}"
     );
     assert!(single.contains("video"), "sanity: matrix actually ran");
+}
+
+/// The same invariant with the cache on: a sequential cold run and a
+/// parallel warm run (served from disk through the shared scheduler)
+/// must render byte-identically.
+#[test]
+fn cached_e1_matrix_is_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("rlpm-thread-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::configure(Some(dir.clone()));
+    let single_cold = matrix_fingerprint("1");
+    cache::clear_memo();
+    cache::reset_stats();
+    let quad_warm = matrix_fingerprint("4");
+    let warm_hits = cache::stats().hits;
+    std::env::remove_var("RLPM_THREADS");
+    cache::configure(None);
+    cache::clear_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(warm_hits > 0, "warm pass must be served from the cache");
+    assert!(
+        single_cold == quad_warm,
+        "cached E1 differs between cold 1-thread and warm 4-thread runs:\n\
+         {single_cold}\nvs\n{quad_warm}"
+    );
 }

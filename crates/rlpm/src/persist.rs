@@ -85,7 +85,9 @@ impl fmt::Display for PersistError {
 
 impl Error for PersistError {}
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the checksum primitive of this container, also
+/// used by `experiments::cache` to derive content-addressed cache keys.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
