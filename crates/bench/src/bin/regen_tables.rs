@@ -60,7 +60,7 @@ impl SectionOut {
         let path = results_dir.join(file);
         if let Err(e) = table.write_csv(&path) {
             eprintln!("error: {e}");
-            WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+            WRITE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after thread join; the join is the synchronisation
         } else {
             self.line(format_args!("(csv written to {})\n", path.display()));
         }
@@ -87,7 +87,7 @@ fn metrics_end(results_dir: &Path, experiment: &str) {
     let path = results_dir.join(format!("{experiment}_metrics.csv"));
     if let Err(e) = std::fs::write(&path, snap.to_csv()) {
         eprintln!("error: could not write {}: {e}", path.display());
-        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after thread join; the join is the synchronisation
     } else {
         println!("(metrics written to {})\n", path.display());
     }
@@ -441,7 +441,7 @@ fn main() {
                 .into_iter()
                 .map(|handle| {
                     handle.join().unwrap_or_else(|_| {
-                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after thread join; the join is the synchronisation
                         SectionOut::default()
                     })
                 })
@@ -458,7 +458,7 @@ fn main() {
         stats.hits, stats.misses, stats.evictions, stats.stores
     );
 
-    let failures = WRITE_FAILURES.load(Ordering::Relaxed);
+    let failures = WRITE_FAILURES.load(Ordering::Relaxed); // xtask-atomics: read after join; every worker increment happened-before via the join
     if failures > 0 {
         eprintln!("{failures} result file(s) could not be written or section(s) failed");
         std::process::exit(1);

@@ -83,12 +83,11 @@ where
             }
             // `--flag value` form: the next token is the value unless it
             // is another flag.
-            match args.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = args.next().expect("peeked");
+            match args.next_if(|next| !next.starts_with("--")) {
+                Some(value) => {
                     flags.insert(name.to_owned(), value);
                 }
-                _ => {
+                None => {
                     return Err(ParseArgsError(format!("flag --{name} needs a value")));
                 }
             }

@@ -439,17 +439,14 @@ pub fn cmd_e9(inv: &Invocation) -> CmdResult {
 /// greedy, chosen action, reward and TD correction, one row per epoch.
 pub fn cmd_trace(inv: &Invocation) -> CmdResult {
     inv.allow_flags(&["secs", "seed", "soc", "format", "out", "metrics-out"])?;
-    #[cfg(not(feature = "obs"))]
-    {
-        let _ = inv.positional.first();
-        Err(ParseArgsError(
+    if !simkit::obs::enabled() {
+        return Err(ParseArgsError(
             "this rlpm-sim was built without the `obs` feature; \
              rebuild with default features to use `trace`"
                 .into(),
         )
-        .into())
+        .into());
     }
-    #[cfg(feature = "obs")]
     {
         use rlpm::{DecisionSink, TraceFormat};
 

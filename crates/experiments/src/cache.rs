@@ -114,21 +114,21 @@ pub struct CacheStats {
 /// Reads the current cache counters.
 pub fn stats() -> CacheStats {
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        evictions: EVICTIONS.load(Ordering::Relaxed),
-        stores: STORES.load(Ordering::Relaxed),
-        store_failures: STORE_FAILURES.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed), // xtask-atomics: independent stat counter; snapshot tolerates tearing across fields
+        misses: MISSES.load(Ordering::Relaxed), // xtask-atomics: independent stat counter; snapshot tolerates tearing across fields
+        evictions: EVICTIONS.load(Ordering::Relaxed), // xtask-atomics: independent stat counter; snapshot tolerates tearing across fields
+        stores: STORES.load(Ordering::Relaxed), // xtask-atomics: independent stat counter; snapshot tolerates tearing across fields
+        store_failures: STORE_FAILURES.load(Ordering::Relaxed), // xtask-atomics: independent stat counter; snapshot tolerates tearing across fields
     }
 }
 
 /// Zeroes the cache counters (benches measure passes independently).
 pub fn reset_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    EVICTIONS.store(0, Ordering::Relaxed);
-    STORES.store(0, Ordering::Relaxed);
-    STORE_FAILURES.store(0, Ordering::Relaxed);
+    HITS.store(0, Ordering::Relaxed); // xtask-atomics: test-support reset; callers serialise via the env-lock
+    MISSES.store(0, Ordering::Relaxed); // xtask-atomics: test-support reset; callers serialise via the env-lock
+    EVICTIONS.store(0, Ordering::Relaxed); // xtask-atomics: test-support reset; callers serialise via the env-lock
+    STORES.store(0, Ordering::Relaxed); // xtask-atomics: test-support reset; callers serialise via the env-lock
+    STORE_FAILURES.store(0, Ordering::Relaxed); // xtask-atomics: test-support reset; callers serialise via the env-lock
 }
 
 /// Drops every in-memory memo entry, forcing the next lookups back to
@@ -229,12 +229,12 @@ impl Drop for InFlightGuard {
 }
 
 fn record_hit() {
-    HITS.fetch_add(1, Ordering::Relaxed);
+    HITS.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
     OBS_HITS.inc();
 }
 
 fn record_miss() {
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    MISSES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
     OBS_MISSES.inc();
 }
 
@@ -361,7 +361,7 @@ fn load_from_disk(dir: &Path, kind: &str, key: u64) -> Option<Vec<u8>> {
         Some(payload) => Some(payload),
         None => {
             let _ = std::fs::remove_file(&path);
-            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            EVICTIONS.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
             OBS_EVICTIONS.inc();
             None
         }
@@ -387,9 +387,9 @@ fn store_to_disk(dir: &Path, kind: &str, key: u64, payload: &[u8]) {
         }
     };
     if written {
-        STORES.fetch_add(1, Ordering::Relaxed);
+        STORES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
     } else {
-        STORE_FAILURES.fetch_add(1, Ordering::Relaxed);
+        STORE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
     }
 }
 

@@ -164,7 +164,7 @@ where
         let mut claimed = 0usize;
         let mut caught: Option<Box<dyn Any + Send>> = None;
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let i = self.next.fetch_add(1, Ordering::Relaxed); // xtask-atomics: claim by atomic RMW; uniqueness comes from fetch_add itself, results merge under the batch mutex
             if i >= n {
                 break;
             }
@@ -225,7 +225,7 @@ where
     }
 
     fn has_pending(&self) -> bool {
-        self.next.load(Ordering::Relaxed) < self.items.len()
+        self.next.load(Ordering::Relaxed) < self.items.len() // xtask-atomics: advisory progress probe; a stale read only causes one extra claim attempt
     }
 }
 

@@ -107,6 +107,7 @@ impl PolicyEngine {
     pub fn new(config: HwConfig, rl: &RlConfig) -> Self {
         assert!(config.bram_banks > 0, "need at least one BRAM bank");
         assert!(config.clock_hz > 0, "clock must be positive");
+        // xtask-allow: fx-taint -- config-time init: q_init_fx() quantises on the software side; the datapath only stores the fixed-point result
         let table = FxQTable::new(rl.num_states(), rl.num_actions(), rl.q_init_fx());
         PolicyEngine {
             agent: FxAgent::new(table, config.alpha, config.gamma),

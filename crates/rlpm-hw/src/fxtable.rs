@@ -45,6 +45,7 @@ impl FxQTable {
     /// float→fixed quantisation happens on the software side, in
     /// [`QTable::quantized`]; this module stays float-free.
     pub fn from_software(table: &QTable) -> Self {
+        // xtask-allow: fx-taint -- table load: quantisation runs in software (QTable::quantized); this module receives fixed-point words only
         let values = table.quantized();
         let parity = values.iter().map(|&v| Self::parity_of(v)).collect();
         FxQTable {

@@ -54,7 +54,6 @@ mod policy;
 mod predictor;
 mod qtable;
 pub mod reward;
-#[cfg(feature = "obs")]
 pub mod sink;
 mod state;
 
@@ -64,6 +63,5 @@ pub use config::{Algorithm, RlConfig};
 pub use policy::RlGovernor;
 pub use predictor::Predictor;
 pub use qtable::QTable;
-#[cfg(feature = "obs")]
 pub use sink::{DecisionRecord, DecisionSink, TraceFormat};
 pub use state::{StateIndex, StateSpace};

@@ -33,9 +33,7 @@ pub struct RlGovernor {
     reward_fn: RewardFn,
     prev: Option<(StateIndex, Action)>,
     last_reward: Option<f64>,
-    #[cfg(feature = "obs")]
     sink: Option<crate::sink::DecisionSink>,
-    #[cfg(feature = "obs")]
     epoch_counter: u64,
 }
 
@@ -58,9 +56,7 @@ impl RlGovernor {
             config,
             prev: None,
             last_reward: None,
-            #[cfg(feature = "obs")]
             sink: None,
-            #[cfg(feature = "obs")]
             epoch_counter: 0,
         }
     }
@@ -71,7 +67,6 @@ impl RlGovernor {
     /// Epoch numbering in the trace restarts at 1 on each attachment, so
     /// traces count from the moment observation began, not from policy
     /// construction (which may include training epochs).
-    #[cfg(feature = "obs")]
     pub fn set_decision_sink(&mut self, sink: Option<crate::sink::DecisionSink>) {
         if sink.is_some() {
             self.epoch_counter = 0;
@@ -174,7 +169,6 @@ impl Governor for RlGovernor {
         if updated {
             TD_UPDATES.inc();
         }
-        #[cfg(feature = "obs")]
         {
             self.epoch_counter += 1;
             if let Some(sink) = &self.sink {
@@ -188,9 +182,6 @@ impl Governor for RlGovernor {
                 });
             }
         }
-        #[cfg(not(feature = "obs"))]
-        let _ = had_prev;
-
         self.actions
             .apply_into(state.soc.clusters.iter().map(|c| c.level), a, request);
     }
@@ -336,7 +327,6 @@ mod tests {
         assert_eq!(governor().name(), "rlpm");
     }
 
-    #[cfg(feature = "obs")]
     #[test]
     fn decision_sink_observes_without_perturbing() {
         use crate::sink::{DecisionSink, TraceFormat};

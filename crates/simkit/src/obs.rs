@@ -91,6 +91,7 @@ static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
 /// observability must never take the simulation down with it.
 #[cfg(feature = "obs")]
 fn register(registered: &AtomicBool, entry: MetricRef) {
+    // xtask-atomics: one-shot registration latch; the registry Mutex orders the push
     if !registered.swap(true, Ordering::Relaxed) {
         if let Ok(mut reg) = REGISTRY.lock() {
             reg.push(entry);
@@ -137,7 +138,7 @@ impl Counter {
         #[cfg(feature = "obs")]
         {
             register(&self.registered, MetricRef::Counter(self));
-            self.value.fetch_add(n, Ordering::Relaxed);
+            self.value.fetch_add(n, Ordering::Relaxed); // xtask-atomics: relaxed counter by design; obs never synchronises simulation state
         }
         #[cfg(not(feature = "obs"))]
         let _ = n;
@@ -147,7 +148,7 @@ impl Counter {
     pub fn get(&self) -> u64 {
         #[cfg(feature = "obs")]
         {
-            self.value.load(Ordering::Relaxed)
+            self.value.load(Ordering::Relaxed) // xtask-atomics: relaxed counter read; reporting tolerates in-flight increments
         }
         #[cfg(not(feature = "obs"))]
         {
@@ -190,7 +191,7 @@ impl Gauge {
         #[cfg(feature = "obs")]
         {
             register(&self.registered, MetricRef::Gauge(self));
-            self.bits.store(value.to_bits(), Ordering::Relaxed);
+            self.bits.store(value.to_bits(), Ordering::Relaxed); // xtask-atomics: gauge is last-writer-wins by design
         }
         #[cfg(not(feature = "obs"))]
         let _ = value;
@@ -200,7 +201,7 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         #[cfg(feature = "obs")]
         {
-            f64::from_bits(self.bits.load(Ordering::Relaxed))
+            f64::from_bits(self.bits.load(Ordering::Relaxed)) // xtask-atomics: gauge read; reporting tolerates a concurrent store
         }
         #[cfg(not(feature = "obs"))]
         {
@@ -279,7 +280,7 @@ impl HistogramMetric {
                 ((frac * n as f64) as usize).min(n - 1)
             };
             if let Some(bin) = self.bins.get(idx) {
-                bin.fetch_add(1, Ordering::Relaxed);
+                bin.fetch_add(1, Ordering::Relaxed); // xtask-atomics: per-bin histogram count; bins are independent relaxed counters
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -295,7 +296,7 @@ impl HistogramMetric {
             let width = (self.hi - self.lo) / HISTOGRAM_BINS as f64;
             for (i, bin) in self.bins.iter().enumerate() {
                 let mid = self.lo + width * (i as f64 + 0.5);
-                h.add_n(mid, bin.load(Ordering::Relaxed));
+                h.add_n(mid, bin.load(Ordering::Relaxed)); // xtask-atomics: drain after recording stopped; per-bin totals are independent
             }
             h
         }
@@ -385,8 +386,8 @@ impl SpanMetric {
         #[cfg(feature = "obs")]
         {
             SpanStats {
-                calls: self.calls.load(Ordering::Relaxed),
-                total_ns: self.total_ns.load(Ordering::Relaxed),
+                calls: self.calls.load(Ordering::Relaxed), // xtask-atomics: span metric read for reporting; tearing between fields is acceptable
+                total_ns: self.total_ns.load(Ordering::Relaxed), // xtask-atomics: span metric read for reporting; tearing between fields is acceptable
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -418,8 +419,8 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.metric.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.metric.calls.fetch_add(1, Ordering::Relaxed);
+        self.metric.total_ns.fetch_add(ns, Ordering::Relaxed); // xtask-atomics: span accumulators are independent relaxed counters
+        self.metric.calls.fetch_add(1, Ordering::Relaxed); // xtask-atomics: span accumulators are independent relaxed counters
     }
 }
 
@@ -555,16 +556,16 @@ pub fn reset() {
     if let Ok(reg) = REGISTRY.lock() {
         for metric in reg.iter() {
             match metric {
-                MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
-                MetricRef::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+                MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed), // xtask-atomics: reset store; callers quiesce recording before resetting
+                MetricRef::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed), // xtask-atomics: reset store; callers quiesce recording before resetting
                 MetricRef::Histogram(h) => {
                     for bin in &h.bins {
-                        bin.store(0, Ordering::Relaxed);
+                        bin.store(0, Ordering::Relaxed); // xtask-atomics: reset store; callers quiesce recording before resetting
                     }
                 }
                 MetricRef::Span(s) => {
-                    s.calls.store(0, Ordering::Relaxed);
-                    s.total_ns.store(0, Ordering::Relaxed);
+                    s.calls.store(0, Ordering::Relaxed); // xtask-atomics: reset store; callers quiesce recording before resetting
+                    s.total_ns.store(0, Ordering::Relaxed); // xtask-atomics: reset store; callers quiesce recording before resetting
                 }
             }
         }

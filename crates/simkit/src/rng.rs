@@ -45,7 +45,7 @@ impl SimRng {
         // All-zero state would lock xoshiro at zero; splitmix cannot produce
         // four zeros from any seed, but guard anyway.
         if state == [0; 4] {
-            state[0] = 0x1;
+            state = [1, 0, 0, 0];
         }
         SimRng { state }
     }
@@ -66,14 +66,15 @@ impl SimRng {
 
     fn next_raw(&mut self) -> u64 {
         // xoshiro256** scrambler.
-        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.state[1] << 17;
-        self.state[2] ^= self.state[0];
-        self.state[3] ^= self.state[1];
-        self.state[1] ^= self.state[2];
-        self.state[0] ^= self.state[3];
-        self.state[2] ^= t;
-        self.state[3] = self.state[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 
@@ -213,7 +214,9 @@ impl SimRng {
     pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_raw().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
+            for (d, b) in chunk.iter_mut().zip(bytes) {
+                *d = b;
+            }
         }
     }
 }

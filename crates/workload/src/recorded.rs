@@ -90,10 +90,10 @@ impl RecordedTrace {
     ///
     /// Panics if the entries are not sorted by arrival time.
     pub fn from_entries(name: &str, spec: QosSpec, entries: Vec<(SimTime, Job)>) -> Self {
-        assert!(
-            entries.windows(2).all(|w| w[0].0 <= w[1].0),
-            "trace entries must be sorted by arrival time"
-        );
+        let sorted = entries
+            .windows(2)
+            .all(|w| matches!(w, [(a, _), (b, _)] if a <= b));
+        assert!(sorted, "trace entries must be sorted by arrival time");
         RecordedTrace {
             name: name.to_owned(),
             spec,
@@ -160,14 +160,14 @@ impl RecordedTrace {
                 reason: reason.to_owned(),
             };
             let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 5 {
+            let [at, id, work, deadline, class] = fields.as_slice() else {
                 return Err(err("expected 5 fields"));
-            }
-            let at: u64 = fields[0].parse().map_err(|_| err("bad arrival time"))?;
-            let id: u64 = fields[1].parse().map_err(|_| err("bad id"))?;
-            let work: u64 = fields[2].parse().map_err(|_| err("bad work"))?;
-            let deadline: u64 = fields[3].parse().map_err(|_| err("bad deadline"))?;
-            let class = class_from(fields[4]).ok_or_else(|| err("unknown class"))?;
+            };
+            let at: u64 = at.parse().map_err(|_| err("bad arrival time"))?;
+            let id: u64 = id.parse().map_err(|_| err("bad id"))?;
+            let work: u64 = work.parse().map_err(|_| err("bad work"))?;
+            let deadline: u64 = deadline.parse().map_err(|_| err("bad deadline"))?;
+            let class = class_from(class).ok_or_else(|| err("unknown class"))?;
             if work == 0 {
                 return Err(err("work must be positive"));
             }
@@ -215,14 +215,23 @@ impl Scenario for RecordedTrace {
 
     fn arrivals(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, Job)> {
         // Skip entries that fell before the window (paused phases).
-        while self.cursor < self.entries.len() && self.entries[self.cursor].0 < from {
+        while let Some((at, _)) = self.entries.get(self.cursor) {
+            if *at >= from {
+                break;
+            }
             self.cursor += 1;
         }
         let start = self.cursor;
-        while self.cursor < self.entries.len() && self.entries[self.cursor].0 < to {
+        while let Some((at, _)) = self.entries.get(self.cursor) {
+            if *at >= to {
+                break;
+            }
             self.cursor += 1;
         }
-        self.entries[start..self.cursor].to_vec()
+        self.entries
+            .get(start..self.cursor)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default()
     }
 
     fn reset(&mut self) {

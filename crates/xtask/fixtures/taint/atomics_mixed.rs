@@ -1,0 +1,26 @@
+//! Atomics-audit fixture: one well-annotated single-ordering atomic and
+//! one atomic touched with three different orderings (plus a missing
+//! annotation). Not compiled into any crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static GOOD: AtomicU64 = AtomicU64::new(0);
+pub static MIXED: AtomicU64 = AtomicU64::new(0);
+
+/// Clean: consistent ordering, every site annotated.
+pub fn annotated_ok() -> u64 {
+    GOOD.fetch_add(1, Ordering::Relaxed); // xtask-atomics: independent event counter, no ordering needed
+    GOOD.load(Ordering::Relaxed) // xtask-atomics: monotone snapshot read
+}
+
+/// Finding 1: no `xtask-atomics` annotation on the store.
+pub fn missing_note() {
+    MIXED.store(1, Ordering::SeqCst);
+}
+
+/// Finding 2 (together with `missing_note`): `MIXED` is accessed with
+/// Relaxed, Acquire and SeqCst — flagged as mixed orderings.
+pub fn mixed_orderings() -> u64 {
+    MIXED.fetch_add(1, Ordering::Relaxed); // xtask-atomics: hot-path increment
+    MIXED.load(Ordering::Acquire) // xtask-atomics: intended to pair with a Release store
+}

@@ -1,0 +1,17 @@
+//! Feature-gate fixture: an obs-feature `cfg` seam outside `simkit`.
+//! A doc comment mentioning `feature = "obs"` is fine; the attribute on
+//! real code is the finding. Test code is exempt. Not compiled.
+
+/// Gated item — this is the finding.
+#[cfg(feature = "obs")]
+pub fn gated() {}
+
+/// Unconditional code is what the lint wants.
+pub fn ungated() {}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(feature = "obs")]
+    #[test]
+    fn gated_test_is_exempt() {}
+}

@@ -1,0 +1,32 @@
+//! Taint-engine fixture: mid-chain helpers in the same crate (`alpha`) as
+//! the surface. Not compiled into any crate.
+
+/// Float-tainted transitively: forwards into crate `beta`'s float LUT.
+pub fn mix(x: i64) -> i64 {
+    scale_lut(x) + 1
+}
+
+/// Clean arithmetic; must never pick up taint.
+pub fn clean_add(x: i64) -> i64 {
+    x.wrapping_add(7)
+}
+
+/// Alloc seed: allocates a staging vector.
+pub fn staging_buffer(x: i64) -> i64 {
+    let v = vec![x; 4];
+    v.iter().sum()
+}
+
+/// Panic seed: the modulo keeps the index in range, but lexically this is
+/// still a panicking construct — deliberately unsuppressed.
+pub fn checked_pick(n: u64) -> u64 {
+    let xs = [1u64, 2, 3];
+    xs[(n as usize) % 3]
+}
+
+/// Panic seed with a justified allow: must not propagate to callers.
+pub fn quiet_pick(n: u64) -> u64 {
+    let xs = [4u64, 5, 6];
+    // xtask-allow: no-panic-lib -- index is n % 3, always in bounds
+    xs[(n as usize) % 3]
+}

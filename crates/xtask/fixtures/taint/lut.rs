@@ -1,0 +1,14 @@
+//! Taint-engine fixture: seed sites in a downstream crate (`beta`). This
+//! file is deliberately dirty — floats and wall clocks — so the engine's
+//! cross-crate propagation has something to find. Not compiled.
+
+/// Float seed: literal and f64 arithmetic.
+pub fn scale_lut(x: i64) -> i64 {
+    ((x as f64) * 1.5) as i64
+}
+
+/// Nondeterminism seed: reads the host wall clock.
+pub fn jitter(n: u64) -> u64 {
+    let t = std::time::Instant::now();
+    n ^ (t.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,53 @@
+//! Taint-engine fixture: the enforcement surface. The engine tests point
+//! every surface at this file (fx datapath, hotpath fences, determinism
+//! crate `alpha`, panic ratchet), so each entry point below exercises one
+//! enforcement path. Not compiled into any crate.
+
+/// fx-taint positive: two-hop chain surface → mix → scale_lut (float).
+pub fn fx_step(x: i64) -> i64 {
+    mix(x)
+}
+
+/// fx-taint suppressed: same tainted callee, justified allow on the edge.
+pub fn fx_allowed(x: i64) -> i64 {
+    // xtask-allow: fx-taint -- table regenerated offline; datapath only sees integers
+    mix(x)
+}
+
+/// alloc-taint positive: the fenced loop calls an allocating helper.
+pub fn hot_loop(xs: &[i64]) -> i64 {
+    let mut acc = 0;
+    // xtask-hotpath: begin
+    for x in xs.iter() {
+        acc += clean_add(*x);
+        acc += staging_buffer(acc);
+    }
+    // xtask-hotpath: end
+    acc
+}
+
+/// alloc-taint negative: identical call, but outside any fence.
+pub fn cold_copy(x: i64) -> i64 {
+    staging_buffer(x)
+}
+
+/// determinism-taint positive: reaches a wall-clock read in crate `beta`.
+pub fn epoch_seed(n: u64) -> u64 {
+    jitter(n)
+}
+
+/// panic-taint positive: transitively reaches an indexing expression.
+pub fn lib_entry(n: u64) -> u64 {
+    checked_pick(n)
+}
+
+/// panic-taint negative: the callee's seed is suppressed with a justified
+/// lexical allow, so the taint never propagates here.
+pub fn quiet_entry(n: u64) -> u64 {
+    quiet_pick(n)
+}
+
+/// Fully clean entry point: no taint of any kind may attach.
+pub fn clean_entry(n: u64) -> u64 {
+    clean_add(n as i64) as u64
+}

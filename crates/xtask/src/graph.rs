@@ -1,0 +1,919 @@
+//! Token-level symbol extraction and call-graph construction.
+//!
+//! The taint engine needs to know, for every `fn` in the workspace, which
+//! other functions it calls — without `syn` (the build is offline) and
+//! without type information. This module builds that graph lexically from
+//! the same preprocessed line stream the per-line lints use:
+//!
+//! * **Definitions** — every `fn name` is recorded with its 1-based line
+//!   span and, when it sits inside an `impl` block, the base identifier of
+//!   the implementing type (`impl Governor for RlGovernor` → `RlGovernor`).
+//!   Brace depth is tracked across the whole file so nested items, trait
+//!   method declarations (`fn f(&self);`) and `where` clauses are handled.
+//! * **Call sites** — inside a function body, `ident(` is a bare call,
+//!   `.ident(` a method call and `Owner::ident(` a qualified call
+//!   (`Self::` resolves to the enclosing impl's type). Macros (`ident!`)
+//!   and the definition's own name are excluded.
+//! * **Resolution** — deliberately conservative. A call edge is only
+//!   created when the candidate set (restricted to crates the caller's
+//!   crate can actually depend on, per the workspace `Cargo.toml` path
+//!   dependencies) has exactly one member after preferring same-file, then
+//!   same-crate definitions. Ambiguous names (`new`, `len`, trait methods
+//!   with several impls) resolve to nothing: the engine favours false
+//!   negatives over false positives, because a false positive would fail a
+//!   clean build.
+//!
+//! Known lexical blind spots, accepted by design: turbofish calls
+//! (`f::<T>(…)`), calls through function pointers/closures, and operator
+//! overloads (`a + b` never creates an edge even when `Add::add` panics).
+//! The per-line lexical lints remain the backstop for seeds; the graph
+//! only adds *transitive* reach on top of them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{preprocess, Line};
+
+/// Method names so ubiquitous on std types (`u64::min`, `Iterator::max`,
+/// `Option::take`, …) that a `.name(…)` call is far more likely to target
+/// std than a workspace `fn` of the same name. Method-call resolution
+/// refuses these outright — a workspace method that shadows one of them
+/// still gets edges from `Qualified` call sites (`Owner::name(…)`), and a
+/// missed edge is only a false negative, which the lexical backstop
+/// tolerates by design.
+const COMMON_STD_METHODS: &[&str] = &[
+    "min",
+    "max",
+    "clamp",
+    "abs",
+    "pow",
+    "len",
+    "is_empty",
+    "get",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "clone",
+    "next",
+    "iter",
+    "into_iter",
+    "take",
+    "swap",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "to_owned",
+    "write",
+    "read",
+    "flush",
+];
+
+/// Rust keywords (and call-lookalike syntax words) that never name a
+/// workspace function.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `helper(…)` — a plain path-less call.
+    Bare(String),
+    /// `Owner::name(…)` — only the last two path segments are kept;
+    /// `Self::name` is rewritten to the enclosing impl's type.
+    Qualified(String, String),
+    /// `.name(…)` — receiver type unknown.
+    Method(String),
+}
+
+impl Callee {
+    /// The called function's bare name.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Bare(n) | Callee::Method(n) => n,
+            Callee::Qualified(_, n) => n,
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based line of the call.
+    pub line: usize,
+    /// What the call names.
+    pub callee: Callee,
+}
+
+/// One `fn` definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's identifier.
+    pub name: String,
+    /// Base type identifier of the enclosing `impl`, if any.
+    pub owner: Option<String>,
+    /// Index of the defining file in [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive body span, starting at the `fn` line (so seeds in
+    /// the signature — an `f64` parameter, say — belong to the function).
+    pub body: (usize, usize),
+    /// Whether the definition sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Call sites found in the body.
+    pub calls: Vec<CallSite>,
+}
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Repo-relative path label used in diagnostics.
+    pub label: String,
+    /// The owning crate's name (directory basename).
+    pub crate_name: String,
+    /// Preprocessed lines (comments stripped, strings blanked).
+    pub(crate) lines: Vec<Line>,
+    /// Per-line flag: inside an `xtask-hotpath: begin`/`end` region.
+    pub hotpath: Vec<bool>,
+    /// For each line, the innermost enclosing fn (index into
+    /// [`Workspace::fns`]), so seeds attach to the function that actually
+    /// contains them rather than every lexical ancestor.
+    pub line_owner: Vec<Option<usize>>,
+}
+
+/// The whole indexed workspace: files, functions and name indexes.
+#[derive(Default)]
+pub struct Workspace {
+    /// Scanned files, in insertion order.
+    pub files: Vec<SourceFile>,
+    /// Every extracted function.
+    pub fns: Vec<FnDef>,
+    /// crate → set of crates it may call into (transitive deps + itself).
+    /// Empty ⇒ no dependency filtering (fixture workspaces).
+    deps: BTreeMap<String, BTreeSet<String>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_owner_name: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a direct dependency edge between crates; call before
+    /// [`Workspace::build_index`], which closes the relation transitively.
+    pub fn add_dep(&mut self, krate: &str, dep: &str) {
+        self.deps
+            .entry(krate.to_string())
+            .or_default()
+            .insert(dep.to_string());
+    }
+
+    /// Parses and indexes one source file.
+    pub fn add_file(&mut self, label: &str, crate_name: &str, source: &str) {
+        let lines = preprocess(source);
+        let mut hotpath = Vec::with_capacity(lines.len());
+        let mut in_hot = false;
+        for line in &lines {
+            if line.comment.contains("xtask-hotpath: begin") {
+                in_hot = true;
+            }
+            if line.comment.contains("xtask-hotpath: end") {
+                in_hot = false;
+            }
+            hotpath.push(in_hot);
+        }
+        let file_idx = self.files.len();
+        let first_fn = self.fns.len();
+        let fns = extract_fns(file_idx, &lines);
+        // Innermost-wins line ownership: assign wider spans first so
+        // nested functions overwrite their ancestors.
+        let mut line_owner = vec![None; lines.len()];
+        let mut order: Vec<usize> = (0..fns.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(fns[i].body.1 - fns[i].body.0));
+        for i in order {
+            let (start, end) = fns[i].body;
+            for entry in line_owner
+                .iter_mut()
+                .take(end.min(lines.len()))
+                .skip(start.saturating_sub(1))
+            {
+                *entry = Some(first_fn + i);
+            }
+        }
+        self.fns.extend(fns);
+        self.files.push(SourceFile {
+            label: label.to_string(),
+            crate_name: crate_name.to_string(),
+            lines,
+            hotpath,
+            line_owner,
+        });
+    }
+
+    /// The preprocessed lines of a file (for the taint engine's seed scan
+    /// and suppression lookups).
+    pub(crate) fn lines(&self, file: usize) -> &[Line] {
+        &self.files[file].lines
+    }
+
+    /// Builds the name indexes and the transitive dependency closure.
+    /// Call once after all files and deps are added.
+    pub fn build_index(&mut self) {
+        self.by_name.clear();
+        self.by_owner_name.clear();
+        for (idx, f) in self.fns.iter().enumerate() {
+            self.by_name.entry(f.name.clone()).or_default().push(idx);
+            if let Some(owner) = &f.owner {
+                self.by_owner_name
+                    .entry((owner.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        // Transitive closure; every crate can always call itself.
+        let crates: Vec<String> = self.deps.keys().cloned().collect();
+        for name in &crates {
+            self.deps.get_mut(name).map(|s| s.insert(name.clone()));
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for name in &crates {
+                let direct: Vec<String> = self.deps[name].iter().cloned().collect();
+                let mut add = BTreeSet::new();
+                for d in &direct {
+                    if let Some(trans) = self.deps.get(d) {
+                        for t in trans {
+                            if !self.deps[name].contains(t) {
+                                add.insert(t.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    changed = true;
+                    if let Some(set) = self.deps.get_mut(name) {
+                        set.extend(add);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `caller_crate` is allowed to resolve into `callee_crate`
+    /// (no dependency data ⇒ everything is reachable).
+    fn reachable(&self, caller_crate: &str, callee_crate: &str) -> bool {
+        if self.deps.is_empty() {
+            return true;
+        }
+        caller_crate == callee_crate
+            || self
+                .deps
+                .get(caller_crate)
+                .is_some_and(|s| s.contains(callee_crate))
+    }
+
+    /// Resolves a call site to a function index, or `None` when the
+    /// target is outside the workspace or ambiguous.
+    pub fn resolve(&self, caller: usize, callee: &Callee) -> Option<usize> {
+        let caller_file = self.fns[caller].file;
+        let caller_crate = &self.files[caller_file].crate_name;
+        let live = |&idx: &usize| {
+            !self.fns[idx].in_test
+                && self.reachable(caller_crate, &self.files[self.fns[idx].file].crate_name)
+        };
+        match callee {
+            Callee::Qualified(owner, name) => {
+                let candidates: Vec<usize> = self
+                    .by_owner_name
+                    .get(&(owner.clone(), name.clone()))
+                    .map(|v| v.iter().copied().filter(|i| live(i)).collect())
+                    .unwrap_or_default();
+                if candidates.len() == 1 {
+                    return Some(candidates[0]);
+                }
+                // `module::free_fn(…)`: match free fns in a file whose stem
+                // is the module name.
+                if owner.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                    let candidates: Vec<usize> = self
+                        .by_name
+                        .get(name)
+                        .map(|v| {
+                            v.iter()
+                                .copied()
+                                .filter(|i| live(i))
+                                .filter(|&i| {
+                                    self.fns[i].owner.is_none()
+                                        && self.files[self.fns[i].file]
+                                            .label
+                                            .ends_with(&format!("/{owner}.rs"))
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if candidates.len() == 1 {
+                        return Some(candidates[0]);
+                    }
+                }
+                None
+            }
+            Callee::Bare(name) => {
+                let all: Vec<usize> = self
+                    .by_name
+                    .get(name)
+                    .map(|v| v.iter().copied().filter(|i| live(i)).collect())
+                    .unwrap_or_default();
+                unique_preferring(&all, &self.fns, caller_file, caller_crate, &self.files)
+            }
+            Callee::Method(name) => {
+                if COMMON_STD_METHODS.contains(&name.as_str()) {
+                    return None;
+                }
+                let all: Vec<usize> = self
+                    .by_name
+                    .get(name)
+                    .map(|v| {
+                        v.iter()
+                            .copied()
+                            .filter(|i| live(i))
+                            .filter(|&i| self.fns[i].owner.is_some())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                unique_preferring(&all, &self.fns, caller_file, caller_crate, &self.files)
+            }
+        }
+    }
+}
+
+/// Returns the unique candidate, preferring (in order) same-file, then
+/// same-crate, then workspace-wide uniqueness; `None` when still ambiguous.
+fn unique_preferring(
+    candidates: &[usize],
+    fns: &[FnDef],
+    caller_file: usize,
+    caller_crate: &str,
+    files: &[SourceFile],
+) -> Option<usize> {
+    let same_file: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].file == caller_file)
+        .collect();
+    if same_file.len() == 1 {
+        return Some(same_file[0]);
+    }
+    if same_file.len() > 1 {
+        return None;
+    }
+    let same_crate: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| files[fns[i].file].crate_name == caller_crate)
+        .collect();
+    if same_crate.len() == 1 {
+        return Some(same_crate[0]);
+    }
+    if same_crate.len() > 1 {
+        return None;
+    }
+    if candidates.len() == 1 {
+        return Some(candidates[0]);
+    }
+    None
+}
+
+/// A token: an identifier, or a punctuation fragment (`::` is one token).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tok {
+    /// 0-based source line.
+    line: usize,
+    text: String,
+    is_ident: bool,
+}
+
+fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (line_no, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: line_no,
+                    text: chars[start..i].iter().collect(),
+                    is_ident: true,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                // Numeric literal (possibly with suffix); a single token.
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: line_no,
+                    text: "0".to_string(),
+                    is_ident: false,
+                });
+                continue;
+            }
+            if c == ':' && chars.get(i + 1) == Some(&':') {
+                toks.push(Tok {
+                    line: line_no,
+                    text: "::".to_string(),
+                    is_ident: false,
+                });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok {
+                line: line_no,
+                text: c.to_string(),
+                is_ident: false,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// What an opened brace belongs to.
+enum Scope {
+    /// A function body; holds the index into the result vector.
+    Fn(usize),
+    /// An `impl` block with its (possibly unresolvable) type name.
+    Impl(Option<String>),
+    Other,
+}
+
+/// Item header being assembled (between a `fn`/`impl` keyword and the
+/// opening brace or a terminating `;`).
+enum Pending {
+    None,
+    /// Saw `fn`; the next identifier is the name.
+    FnKeyword,
+    /// Full fn header captured; waiting for `{` or `;`.
+    FnHeader {
+        name: String,
+        line: usize,
+    },
+    /// Inside an `impl` header; tracks angle-bracket depth and the current
+    /// candidate type name (the last angle-depth-0 identifier before any
+    /// `where` clause wins, which handles both `impl Foo` and
+    /// `impl Trait for Foo`).
+    ImplHeader {
+        angle: i32,
+        owner: Option<String>,
+        in_where: bool,
+    },
+}
+
+fn extract_fns(file_idx: usize, lines: &[Line]) -> Vec<FnDef> {
+    let toks = tokenize(lines);
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending = Pending::None;
+    // `;` only terminates a pending header outside parens/brackets
+    // (array types like `[u8; 4]` appear inside signatures).
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+
+    let innermost_fn = |scopes: &[Scope]| -> Option<usize> {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Fn(i) => Some(*i),
+            _ => None,
+        })
+    };
+    let impl_owner = |scopes: &[Scope]| -> Option<String> {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl(owner) => Some(owner.clone()),
+            _ => None,
+        })?
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        let tok = &toks[i];
+        match tok.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            _ => {}
+        }
+
+        // Header state machine.
+        match (&mut pending, tok.text.as_str(), tok.is_ident) {
+            (Pending::None, "fn", _) => {
+                pending = Pending::FnKeyword;
+                i += 1;
+                continue;
+            }
+            (Pending::None, "impl", _) => {
+                pending = Pending::ImplHeader {
+                    angle: 0,
+                    owner: None,
+                    in_where: false,
+                };
+                i += 1;
+                continue;
+            }
+            (Pending::FnKeyword, _, true) => {
+                pending = Pending::FnHeader {
+                    name: tok.text.clone(),
+                    line: tok.line,
+                };
+                i += 1;
+                continue;
+            }
+            (
+                Pending::ImplHeader {
+                    angle,
+                    owner,
+                    in_where,
+                },
+                text,
+                is_ident,
+            ) => {
+                match text {
+                    "<" => *angle += 1,
+                    ">" => *angle = (*angle - 1).max(0),
+                    "{" | ";" => {}
+                    "where" if *angle == 0 => *in_where = true,
+                    _ if is_ident && *angle == 0 && !*in_where && text != "for" => {
+                        *owner = Some(text.to_string());
+                    }
+                    _ => {}
+                }
+                if text != "{" && !(text == ";" && paren == 0 && bracket == 0) {
+                    i += 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+
+        match tok.text.as_str() {
+            "{" => {
+                let scope = match std::mem::replace(&mut pending, Pending::None) {
+                    Pending::FnHeader { name, line } => {
+                        let owner = impl_owner(&scopes);
+                        fns.push(FnDef {
+                            name,
+                            owner,
+                            file: file_idx,
+                            line: line + 1,
+                            body: (line + 1, line + 1),
+                            in_test: lines.get(line).is_some_and(|l| l.in_test),
+                            calls: Vec::new(),
+                        });
+                        Scope::Fn(fns.len() - 1)
+                    }
+                    Pending::ImplHeader { owner, .. } => Scope::Impl(owner),
+                    _ => Scope::Other,
+                };
+                scopes.push(scope);
+            }
+            "}" => {
+                if let Some(Scope::Fn(idx)) = scopes.pop() {
+                    fns[idx].body.1 = tok.line + 1;
+                }
+            }
+            ";" if paren == 0 && bracket == 0 => {
+                // Trait method declaration or other bodiless item.
+                pending = Pending::None;
+            }
+            _ => {}
+        }
+
+        // Call-site extraction: ident directly followed by `(`.
+        if tok.is_ident
+            && !KEYWORDS.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            if let Some(fn_idx) = innermost_fn(&scopes) {
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let callee = match prev.map(|p| p.text.as_str()) {
+                    Some(".") => Some(Callee::Method(tok.text.clone())),
+                    Some("::") => {
+                        let seg = i.checked_sub(2).map(|p| &toks[p]);
+                        match seg {
+                            Some(s) if s.is_ident => {
+                                let owner = if s.text == "Self" {
+                                    impl_owner(&scopes)
+                                } else if KEYWORDS.contains(&s.text.as_str()) {
+                                    None
+                                } else {
+                                    Some(s.text.clone())
+                                };
+                                owner.map(|o| Callee::Qualified(o, tok.text.clone()))
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => Some(Callee::Bare(tok.text.clone())),
+                };
+                if let Some(callee) = callee {
+                    fns[fn_idx].calls.push(CallSite {
+                        line: tok.line + 1,
+                        callee,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Unterminated scopes (should not happen on rustc-accepted code): close
+    // at EOF so spans stay well-formed.
+    let eof = lines.len();
+    for scope in scopes {
+        if let Scope::Fn(idx) = scope {
+            fns[idx].body.1 = eof;
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_one(source: &str) -> Workspace {
+        let mut ws = Workspace::new();
+        ws.add_file("test.rs", "alpha", source);
+        ws.build_index();
+        ws
+    }
+
+    #[test]
+    fn extracts_free_and_impl_fns_with_spans() {
+        let src = "\
+pub fn alpha(x: u64) -> u64 {
+    x + 1
+}
+
+struct Thing;
+
+impl Thing {
+    fn beta(&self) -> u64 {
+        alpha(2)
+    }
+}
+
+impl std::fmt::Display for Thing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, \"thing\")
+    }
+}
+";
+        let ws = ws_one(src);
+        let names: Vec<(&str, Option<&str>)> = ws
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", None),
+                ("beta", Some("Thing")),
+                ("fmt", Some("Thing"))
+            ]
+        );
+        assert_eq!(ws.fns[0].body, (1, 3));
+        assert_eq!(ws.fns[1].body, (8, 10));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "\
+trait Policy {
+    fn decide(&self, x: u64) -> u64;
+    fn name(&self) -> &'static str {
+        \"default\"
+    }
+}
+";
+        let ws = ws_one(src);
+        // Only the default method has a body and is extracted.
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["name"]);
+    }
+
+    #[test]
+    fn array_type_semicolon_does_not_cancel_a_signature() {
+        let src = "\
+fn digest(bytes: [u8; 4]) -> u64 {
+    helper(bytes)
+}
+fn helper(_b: [u8; 4]) -> u64 {
+    0
+}
+";
+        let ws = ws_one(src);
+        assert_eq!(ws.fns.len(), 2);
+        assert_eq!(ws.fns[0].calls.len(), 1);
+        assert_eq!(ws.fns[0].calls[0].callee, Callee::Bare("helper".into()));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let src = "\
+struct S;
+impl S {
+    fn run(&self) {
+        helper();
+        self.step();
+        S::assoc();
+        Self::assoc();
+        module::free_fn();
+        not_a_macro!();
+        let v = vec![1];
+        drop(v);
+    }
+    fn step(&self) {}
+    fn assoc() {}
+}
+fn helper() {}
+";
+        let ws = ws_one(src);
+        let run = &ws.fns[0];
+        assert_eq!(run.name, "run");
+        let callees: Vec<&Callee> = run.calls.iter().map(|c| &c.callee).collect();
+        assert!(callees.contains(&&Callee::Bare("helper".into())));
+        assert!(callees.contains(&&Callee::Method("step".into())));
+        assert!(callees.contains(&&Callee::Qualified("S".into(), "assoc".into())));
+        // Self:: resolves to the impl owner.
+        assert_eq!(
+            callees
+                .iter()
+                .filter(|c| ***c == Callee::Qualified("S".into(), "assoc".into()))
+                .count(),
+            2
+        );
+        assert!(callees.contains(&&Callee::Qualified("module".into(), "free_fn".into())));
+        // Macros are not calls.
+        assert!(!callees.iter().any(|c| c.name() == "not_a_macro"));
+        assert!(!callees.iter().any(|c| c.name() == "vec"));
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_same_crate_then_unique() {
+        let mut ws = Workspace::new();
+        ws.add_file(
+            "a/lib.rs",
+            "alpha",
+            "fn caller() { shared(); only_b(); ambiguous(); }\nfn shared() {}\nfn ambiguous() {}\n",
+        );
+        ws.add_file(
+            "b/lib.rs",
+            "beta",
+            "pub fn shared() {}\npub fn only_b() {}\npub fn ambiguous() {}\n",
+        );
+        ws.add_dep("alpha", "beta");
+        ws.build_index();
+        let caller = 0;
+        let resolve = |name: &str| ws.resolve(caller, &Callee::Bare(name.to_string()));
+        // Same-file wins over the beta definition.
+        assert_eq!(resolve("shared"), Some(1));
+        // Unique in the workspace.
+        let only_b = resolve("only_b").expect("resolves");
+        assert_eq!(ws.fns[only_b].file, 1);
+        // Two candidates in different crates with none preferred: but the
+        // same-crate rule picks alpha's.
+        assert_eq!(resolve("ambiguous"), Some(2));
+    }
+
+    #[test]
+    fn dependency_direction_gates_resolution() {
+        let mut ws = Workspace::new();
+        ws.add_file("a/lib.rs", "alpha", "fn go() { tool(); }\n");
+        ws.add_file("b/lib.rs", "bench", "pub fn tool() {}\n");
+        // bench depends on alpha, not the other way round: alpha must not
+        // resolve into bench.
+        ws.add_dep("bench", "alpha");
+        ws.build_index();
+        assert_eq!(ws.resolve(0, &Callee::Bare("tool".into())), None);
+    }
+
+    #[test]
+    fn method_resolution_requires_a_unique_owner_candidate() {
+        let src = "\
+struct A;
+struct B;
+impl A { fn tick(&self) {} }
+impl B { fn tick(&self) {} }
+impl A {
+    fn run(&self) {
+        self.tick();
+        self.unique_method();
+    }
+    fn unique_method(&self) {}
+}
+";
+        let ws = ws_one(src);
+        let run = ws.fns.iter().position(|f| f.name == "run").expect("run");
+        // `tick` is ambiguous even in one file: no edge.
+        assert_eq!(ws.resolve(run, &Callee::Method("tick".into())), None);
+        let target = ws
+            .resolve(run, &Callee::Method("unique_method".into()))
+            .expect("unique method resolves");
+        assert_eq!(ws.fns[target].name, "unique_method");
+    }
+
+    #[test]
+    fn common_std_method_names_never_resolve_as_methods() {
+        let src = "\
+struct Req;
+impl Req {
+    fn min(_c: u64) -> Self { Req }
+    fn run(&self) {
+        let _ = 3u64.min(4);
+        let _ = Req::min(0);
+    }
+}
+";
+        let ws = ws_one(src);
+        let run = ws.fns.iter().position(|f| f.name == "run").expect("run");
+        // `.min(…)` is std even though a unique workspace `min` exists…
+        assert_eq!(ws.resolve(run, &Callee::Method("min".into())), None);
+        // …but the qualified spelling still gets its edge.
+        let q = ws
+            .resolve(run, &Callee::Qualified("Req".into(), "min".into()))
+            .expect("qualified resolves");
+        assert_eq!(ws.fns[q].name, "min");
+    }
+
+    #[test]
+    fn test_region_fns_are_indexed_but_never_resolved_to() {
+        let src = "\
+fn caller() { fixture(); }
+#[cfg(test)]
+mod tests {
+    pub fn fixture() {}
+}
+";
+        let ws = ws_one(src);
+        assert!(ws.fns.iter().any(|f| f.name == "fixture" && f.in_test));
+        assert_eq!(ws.resolve(0, &Callee::Bare("fixture".into())), None);
+    }
+
+    #[test]
+    fn nested_fns_own_their_lines() {
+        let src = "\
+fn outer() -> u64 {
+    fn inner(x: u64) -> u64 {
+        x * 2
+    }
+    inner(21)
+}
+";
+        let ws = ws_one(src);
+        let file = &ws.files[0];
+        let outer = ws.fns.iter().position(|f| f.name == "outer").expect("o");
+        let inner = ws.fns.iter().position(|f| f.name == "inner").expect("i");
+        assert_eq!(file.line_owner[0], Some(outer)); // fn outer line
+        assert_eq!(file.line_owner[2], Some(inner)); // x * 2
+        assert_eq!(file.line_owner[4], Some(outer)); // inner(21)
+    }
+
+    #[test]
+    fn hotpath_regions_are_marked_per_line() {
+        let src = "\
+fn f() {
+    // xtask-hotpath: begin
+    let x = 1;
+    // xtask-hotpath: end
+    let y = 2;
+}
+";
+        let ws = ws_one(src);
+        let hot = &ws.files[0].hotpath;
+        assert!(hot[2], "inside region");
+        assert!(!hot[4], "after region");
+    }
+}

@@ -21,6 +21,20 @@
 //!   (`README.md`, `EXPERIMENTS.md`), so a new subcommand cannot ship
 //!   undocumented.
 //!
+//! On top of the per-line families, a **taint engine** ([`graph`],
+//! [`taint`]) indexes every `fn` definition and call edge in the workspace
+//! and propagates four taints — *float*, *panic*, *alloc*,
+//! *nondeterminism* — over the call graph, upgrading the lexical lints to
+//! transitive ones (`fx-taint`, `panic-taint`, `alloc-taint`,
+//! `determinism-taint`) with the full taint chain in each diagnostic. Two
+//! further graph-era families are lexical but new:
+//!
+//! * **atomics-audit** — every `Ordering::*` use in the audited lock-free
+//!   modules must carry a `// xtask-atomics: <justification>` comment, and
+//!   accessing one atomic with mixed orderings is flagged.
+//! * **feature-gate** — obs-feature `cfg` seams must stay confined to
+//!   `simkit`, so call sites in every other crate remain unconditional.
+//!
 //! The scanner is deliberately lexical (comments and string literals are
 //! stripped, `#[cfg(test)]` regions are tracked by brace counting) rather
 //! than a full parse: the properties enforced are lexical properties, the
@@ -31,8 +45,11 @@
 //! `// xtask-allow: <lint> -- <justification>` on the offending line or
 //! the line above; the justification text is mandatory.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+pub mod graph;
+pub mod taint;
 
 /// The custom lint families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -53,6 +70,25 @@ pub enum Lint {
     /// Every CLI subcommand must be mentioned in the user docs. Checked by
     /// [`docs_lint`], not by [`scan_source`].
     DocsCli,
+    /// Transitive fx-purity: a datapath call site reaches float-tainted
+    /// code through the call graph.
+    FxTaint,
+    /// Transitive determinism: a simulation-crate call site reaches
+    /// nondeterminism-tainted code.
+    DeterminismTaint,
+    /// Transitive no-alloc-hotpath: a fenced call site reaches allocating
+    /// code.
+    AllocTaint,
+    /// Transitive no-panic: library functions that can panic through a
+    /// call chain, ratcheted via baseline like [`Lint::NoPanicLib`].
+    PanicTaint,
+    /// Every `Ordering::*` use in the audited lock-free modules needs a
+    /// `// xtask-atomics: <justification>`; mixed orderings on one atomic
+    /// are flagged. Checked by [`atomics_audit`].
+    AtomicsAudit,
+    /// Obs-feature `cfg` seams confined to `simkit`. Checked by
+    /// [`feature_gate_lint`].
+    FeatureGate,
 }
 
 impl Lint {
@@ -64,6 +100,12 @@ impl Lint {
             Lint::NoPanicLib => "no-panic-lib",
             Lint::NoAllocHotpath => "no-alloc-hotpath",
             Lint::DocsCli => "docs-cli",
+            Lint::FxTaint => "fx-taint",
+            Lint::DeterminismTaint => "determinism-taint",
+            Lint::AllocTaint => "alloc-taint",
+            Lint::PanicTaint => "panic-taint",
+            Lint::AtomicsAudit => "atomics-audit",
+            Lint::FeatureGate => "feature-gate",
         }
     }
 }
@@ -85,13 +127,69 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For transitive lints: the taint chain, one rendered hop per entry,
+    /// ending with the seed line. Empty for per-line findings.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A chain-less diagnostic (the common, per-line case).
+    pub fn new(lint: Lint, file: &str, line: usize, message: String) -> Self {
+        Diagnostic {
+            lint,
+            file: file.to_string(),
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
+
+    /// Renders the diagnostic as a JSON object (the workspace is offline,
+    /// so serialization is by hand; [`json_escape`] covers the strings).
+    pub fn to_json(&self) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"chain\":[{}]}}",
+            self.lint,
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message),
+            chain
+        )
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "error[xtask::{}]: {}", self.lint, self.message)?;
-        write!(f, "  --> {}:{}", self.file, self.line)
+        write!(f, "  --> {}:{}", self.file, self.line)?;
+        for hop in &self.chain {
+            write!(f, "\n  = {hop}")?;
+        }
+        Ok(())
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The result of scanning one file.
@@ -105,13 +203,13 @@ pub struct ScanOutcome {
 
 /// A source line split into scan-relevant layers.
 #[derive(Debug)]
-struct Line {
+pub(crate) struct Line {
     /// Code with comments and string/char-literal *contents* blanked out.
-    code: String,
+    pub(crate) code: String,
     /// Concatenated comment text on this line (for `xtask-allow`).
-    comment: String,
+    pub(crate) comment: String,
     /// Whether the line sits inside a `#[cfg(test)]` region.
-    in_test: bool,
+    pub(crate) in_test: bool,
 }
 
 /// Lexer state carried across lines while stripping.
@@ -119,6 +217,12 @@ struct Line {
 enum StripState {
     Normal,
     BlockComment(u32),
+    /// Inside a multi-line string literal (`raw` strings close with
+    /// `"` + `hashes` × `#`); contents are blanked like any string.
+    Str {
+        raw: bool,
+        hashes: usize,
+    },
 }
 
 /// `#[cfg(test)]` region tracking.
@@ -138,7 +242,7 @@ fn is_ident(c: char) -> bool {
 /// Splits `source` into per-line code/comment layers with test regions
 /// marked. Purely lexical; resilient to strings, raw strings, chars,
 /// lifetimes and nested block comments.
-fn preprocess(source: &str) -> Vec<Line> {
+pub(crate) fn preprocess(source: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut state = StripState::Normal;
 
@@ -165,6 +269,19 @@ fn preprocess(source: &str) -> Vec<Line> {
                         i += 1;
                     }
                 }
+                StripState::Str { raw, hashes } => {
+                    if !raw && chars[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                        state = StripState::Normal;
+                        code.push('"');
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
                 StripState::Normal => {
                     let c = chars[i];
                     if c == '/' && chars.get(i + 1) == Some(&'/') {
@@ -177,11 +294,20 @@ fn preprocess(source: &str) -> Vec<Line> {
                         continue;
                     }
                     if c == '"' || (c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#'))) {
-                        if let Some(next) = skip_string(&chars, i) {
-                            code.push('"');
-                            code.push('"');
-                            i = next;
-                            continue;
+                        match skip_string(&chars, i) {
+                            StringScan::NotAString => {}
+                            StringScan::Closed(next) => {
+                                code.push('"');
+                                code.push('"');
+                                i = next;
+                                continue;
+                            }
+                            StringScan::Open { raw, hashes } => {
+                                code.push('"');
+                                state = StripState::Str { raw, hashes };
+                                i = chars.len();
+                                continue;
+                            }
                         }
                     }
                     if c == '\'' {
@@ -209,12 +335,19 @@ fn preprocess(source: &str) -> Vec<Line> {
     lines
 }
 
-/// Consumes a string literal starting at `start` (`"`, `r"`, `r#"`…),
-/// returning the index just past its closing quote, or `None` if this is
-/// not actually a string start. Multi-line strings are rare in this
-/// workspace; the scan is line-local, so an unterminated string simply
-/// blanks the rest of the line.
-fn skip_string(chars: &[char], start: usize) -> Option<usize> {
+/// Result of scanning a candidate string literal start.
+enum StringScan {
+    /// The `"`/`r` at the start position is not actually a string.
+    NotAString,
+    /// Closed on this line; the index is just past the closing quote.
+    Closed(usize),
+    /// Still open at end of line: a multi-line string whose continuation
+    /// [`preprocess`] must blank with [`StripState::Str`].
+    Open { raw: bool, hashes: usize },
+}
+
+/// Consumes a string literal starting at `start` (`"`, `r"`, `r#"`…).
+fn skip_string(chars: &[char], start: usize) -> StringScan {
     let mut i = start;
     let raw = chars[i] == 'r';
     if raw {
@@ -226,7 +359,7 @@ fn skip_string(chars: &[char], start: usize) -> Option<usize> {
         i += 1;
     }
     if chars.get(i) != Some(&'"') {
-        return None;
+        return StringScan::NotAString;
     }
     i += 1;
     while i < chars.len() {
@@ -243,12 +376,12 @@ fn skip_string(chars: &[char], start: usize) -> Option<usize> {
                 }
             }
             if ok {
-                return Some(i + 1 + hashes);
+                return StringScan::Closed(i + 1 + hashes);
             }
         }
         i += 1;
     }
-    Some(chars.len())
+    StringScan::Open { raw, hashes }
 }
 
 /// Consumes a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) starting at the
@@ -334,7 +467,7 @@ fn mark_test_regions(lines: &mut [Line]) {
 }
 
 /// Finds a standalone identifier occurrence of `word` in `code`.
-fn find_word(code: &str, word: &str) -> bool {
+pub(crate) fn find_word(code: &str, word: &str) -> bool {
     let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
@@ -352,7 +485,7 @@ fn find_word(code: &str, word: &str) -> bool {
 
 /// Finds a standalone `word` immediately followed by `next` (ignoring
 /// whitespace), e.g. `unwrap` + `(` or `panic` + `!`.
-fn find_word_then(code: &str, word: &str, next: char) -> bool {
+pub(crate) fn find_word_then(code: &str, word: &str, next: char) -> bool {
     let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
@@ -373,7 +506,7 @@ fn find_word_then(code: &str, word: &str, next: char) -> bool {
 /// Detects a float literal in stripped code: `1.5`, `2.5e-3`, `1e9`,
 /// `3f64`, `0.5f32`. Hex/octal/binary literals, integer ranges (`0..10`)
 /// and tuple field access (`x.0`) are not floats.
-fn has_float_literal(code: &str) -> bool {
+pub(crate) fn has_float_literal(code: &str) -> bool {
     let chars: Vec<char> = code.chars().collect();
     let mut i = 0;
     while i < chars.len() {
@@ -434,7 +567,13 @@ fn has_float_literal(code: &str) -> bool {
 /// Detects a potentially panicking index expression: `[` whose preceding
 /// non-space char is an identifier char, `)` or `]` (so array/slice types,
 /// attributes `#[...]` and macros `vec![...]` do not match).
-fn has_index_expr(code: &str) -> bool {
+pub(crate) fn has_index_expr(code: &str) -> bool {
+    // Keywords that can directly precede `[`: there the bracket opens a
+    // slice/array *pattern* or array-type, not an indexing expression
+    // (`let [a, b] = ..`, `for [x, y] in ..`, `as [T; 2]`).
+    const PATTERN_KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "in", "if", "else", "match", "return", "for", "while", "as", "move",
+    ];
     let chars: Vec<char> = code.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
         if c != '[' {
@@ -447,7 +586,18 @@ fn has_index_expr(code: &str) -> bool {
             if p == ' ' || p == '\t' {
                 continue;
             }
-            if is_ident(p) || p == ')' || p == ']' {
+            if p == ')' || p == ']' {
+                return true;
+            }
+            if is_ident(p) {
+                let mut start = k;
+                while start > 0 && is_ident(chars[start - 1]) {
+                    start -= 1;
+                }
+                let ident: String = chars[start..=k].iter().collect();
+                if PATTERN_KEYWORDS.contains(&ident.as_str()) {
+                    break;
+                }
                 return true;
             }
             break;
@@ -457,14 +607,14 @@ fn has_index_expr(code: &str) -> bool {
 }
 
 /// Identifier patterns each lint family searches for, with messages.
-struct WordRule {
-    word: &'static str,
+pub(crate) struct WordRule {
+    pub(crate) word: &'static str,
     /// `Some(c)`: the word must be followed by `c` to fire.
-    then: Option<char>,
-    message: &'static str,
+    pub(crate) then: Option<char>,
+    pub(crate) message: &'static str,
 }
 
-const FX_WORDS: &[WordRule] = &[
+pub(crate) const FX_WORDS: &[WordRule] = &[
     WordRule {
         word: "f64",
         then: None,
@@ -522,7 +672,7 @@ const FX_WORDS: &[WordRule] = &[
     },
 ];
 
-const DETERMINISM_WORDS: &[WordRule] = &[
+pub(crate) const DETERMINISM_WORDS: &[WordRule] = &[
     WordRule {
         word: "Instant",
         then: None,
@@ -565,7 +715,7 @@ const DETERMINISM_WORDS: &[WordRule] = &[
     },
 ];
 
-const NO_PANIC_WORDS: &[WordRule] = &[
+pub(crate) const NO_PANIC_WORDS: &[WordRule] = &[
     WordRule {
         word: "unwrap",
         then: Some('('),
@@ -588,7 +738,7 @@ const NO_PANIC_WORDS: &[WordRule] = &[
     },
 ];
 
-const HOTPATH_ALLOC_WORDS: &[WordRule] = &[
+pub(crate) const HOTPATH_ALLOC_WORDS: &[WordRule] = &[
     WordRule {
         word: "Vec::new",
         then: None,
@@ -642,7 +792,7 @@ const HOTPATH_ALLOC_WORDS: &[WordRule] = &[
 ];
 
 /// How a potential violation interacts with `xtask-allow` comments.
-enum Allow {
+pub(crate) enum Allow {
     No,
     Justified,
     Unjustified,
@@ -650,7 +800,7 @@ enum Allow {
 
 /// Looks for `xtask-allow: <lint>` in the line's own comment or the
 /// previous line's comment. The justification after ` -- ` is mandatory.
-fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
+pub(crate) fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
     let needle = format!("xtask-allow: {}", lint.name());
     for candidate in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
         let comment = &lines[candidate].comment;
@@ -701,8 +851,10 @@ pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
                 Lint::Determinism => DETERMINISM_WORDS,
                 Lint::NoPanicLib => NO_PANIC_WORDS,
                 Lint::NoAllocHotpath => HOTPATH_ALLOC_WORDS,
-                // docs-cli is a cross-file check, not a source scan.
-                Lint::DocsCli => &[],
+                // docs-cli is a cross-file check, the atomics/feature-gate
+                // families have their own scanners, and the taint lints are
+                // graph passes — none is a per-line word scan.
+                _ => &[],
             };
             for rule in rules {
                 let matched = match rule.then {
@@ -723,22 +875,22 @@ pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
             for message in hits {
                 match allow_state(&lines, idx, lint) {
                     Allow::Justified => out.suppressed += 1,
-                    Allow::Unjustified => out.diagnostics.push(Diagnostic {
+                    Allow::Unjustified => out.diagnostics.push(Diagnostic::new(
                         lint,
-                        file: file.to_string(),
-                        line: idx + 1,
-                        message: format!(
+                        file,
+                        idx + 1,
+                        format!(
                             "suppression without justification (write `xtask-allow: {} -- <reason>`); original: {}",
                             lint.name(),
                             message
                         ),
-                    }),
-                    Allow::No => out.diagnostics.push(Diagnostic {
+                    )),
+                    Allow::No => out.diagnostics.push(Diagnostic::new(
                         lint,
-                        file: file.to_string(),
-                        line: idx + 1,
-                        message: message.to_string(),
-                    }),
+                        file,
+                        idx + 1,
+                        message.to_string(),
+                    )),
                 }
             }
         }
@@ -763,13 +915,14 @@ pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     map
 }
 
-/// Renders a baseline map back to the checked-in file format.
-pub fn format_baseline(map: &BTreeMap<String, usize>) -> String {
-    let mut out = String::from(
-        "# no-panic-lib ratchet baseline: per-file counts of panicking\n\
-         # constructs in library code. `cargo xtask check` fails when a file\n\
-         # exceeds its entry and suggests `--update-baseline` when it drops\n\
-         # below. Regenerate with: cargo xtask check --update-baseline\n",
+/// Renders a baseline map back to the checked-in file format. `lint` is
+/// the ratcheted family's kebab-case name, used in the header comment.
+pub fn format_baseline(lint: &str, map: &BTreeMap<String, usize>) -> String {
+    let mut out = format!(
+        "# {lint} ratchet baseline: per-file counts. `cargo xtask check`\n\
+         # fails when a file exceeds its entry and suggests --update-baseline\n\
+         # when it drops below. Regenerate with:\n\
+         #   cargo xtask check --update-baseline\n",
     );
     for (path, count) in map {
         if *count > 0 {
@@ -844,14 +997,14 @@ pub fn extract_cli_commands(source: &str) -> Vec<(String, usize)> {
 pub fn docs_lint(args_label: &str, args_source: &str, docs: &[(&str, &str)]) -> Vec<Diagnostic> {
     let commands = extract_cli_commands(args_source);
     if commands.is_empty() {
-        return vec![Diagnostic {
-            lint: Lint::DocsCli,
-            file: args_label.to_string(),
-            line: 1,
-            message: "no `const COMMANDS: &[&str]` table found; the docs lint needs it \
-                      to enumerate subcommands"
+        return vec![Diagnostic::new(
+            Lint::DocsCli,
+            args_label,
+            1,
+            "no `const COMMANDS: &[&str]` table found; the docs lint needs it \
+             to enumerate subcommands"
                 .to_string(),
-        }];
+        )];
     }
     let doc_names = docs
         .iter()
@@ -861,13 +1014,15 @@ pub fn docs_lint(args_label: &str, args_source: &str, docs: &[(&str, &str)]) -> 
     commands
         .into_iter()
         .filter(|(name, _)| !docs.iter().any(|(_, text)| find_word(text, name)))
-        .map(|(name, line)| Diagnostic {
-            lint: Lint::DocsCli,
-            file: args_label.to_string(),
-            line,
-            message: format!(
-                "subcommand `{name}` is not mentioned in {doc_names}; document it before shipping"
-            ),
+        .map(|(name, line)| {
+            Diagnostic::new(
+                Lint::DocsCli,
+                args_label,
+                line,
+                format!(
+                    "subcommand `{name}` is not mentioned in {doc_names}; document it before shipping"
+                ),
+            )
         })
         .collect()
 }
@@ -898,6 +1053,274 @@ pub fn ratchet(
         }
     }
     (regressions, improvements)
+}
+
+/// Atomic methods that take a memory ordering; used to find the receiver
+/// of an `Ordering::*` argument for the mixed-ordering check.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+];
+
+/// Extracts the ordering names used on a line (`Ordering::Relaxed` →
+/// `Relaxed`), deduplicated in order of appearance.
+fn orderings_on(code: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let needle = "Ordering::";
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let rest = &code[at + needle.len()..];
+        let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+        if before_ok && !name.is_empty() && !found.contains(&name) {
+            found.push(name);
+        }
+        from = at + needle.len();
+    }
+    found
+}
+
+/// Whether line `idx` carries a non-empty `// xtask-atomics:
+/// <justification>` annotation — trailing on the line itself, or on a
+/// comment-only line directly above (a trailing note on the *previous
+/// statement* does not spill over).
+fn has_atomics_note(lines: &[Line], idx: usize) -> bool {
+    let needle = "xtask-atomics:";
+    let note_on = |candidate: usize| -> bool {
+        let comment = &lines[candidate].comment;
+        comment
+            .find(needle)
+            .is_some_and(|pos| !comment[pos + needle.len()..].trim().is_empty())
+    };
+    if note_on(idx) {
+        return true;
+    }
+    idx.checked_sub(1)
+        .is_some_and(|prev| lines[prev].code.trim().is_empty() && note_on(prev))
+}
+
+/// The receiver expression of the atomic operation on or just above line
+/// `idx` (`self.next.fetch_add(…)` → `self.next`), with index contents
+/// normalised away (`bins[i]` → `bins[]`) so different indices into one
+/// array group together. `None` when no atomic method call is found
+/// nearby (e.g. an `Ordering` passed through a helper function).
+fn atomic_receiver(lines: &[Line], idx: usize) -> Option<String> {
+    for candidate in (idx.saturating_sub(3)..=idx).rev() {
+        let code = &lines[candidate].code;
+        let mut best: Option<usize> = None;
+        for op in ATOMIC_OPS {
+            let pat = format!(".{op}");
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(&pat) {
+                let at = from + pos;
+                let end = at + pat.len();
+                let after = code[end..].trim_start();
+                if after.starts_with('(') && best.is_none_or(|b| at > b) {
+                    best = Some(at);
+                }
+                from = end;
+            }
+        }
+        if let Some(dot) = best {
+            let chars: Vec<char> = code[..dot].chars().collect();
+            let mut start = chars.len();
+            while start > 0 {
+                let c = chars[start - 1];
+                if is_ident(c) || c == '.' || c == '[' || c == ']' {
+                    start -= 1;
+                } else {
+                    break;
+                }
+            }
+            let raw: String = chars[start..].iter().collect();
+            if raw.is_empty() {
+                return None;
+            }
+            // Normalise index contents: `bins[i]` and `bins[j]` are the
+            // same atomic array for ordering purposes.
+            let mut recv = String::new();
+            let mut depth = 0u32;
+            for c in raw.chars() {
+                match c {
+                    '[' => {
+                        depth += 1;
+                        if depth == 1 {
+                            recv.push('[');
+                        }
+                    }
+                    ']' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            recv.push(']');
+                        }
+                    }
+                    _ if depth == 0 => recv.push(c),
+                    _ => {}
+                }
+            }
+            return Some(recv.trim_matches('.').to_string());
+        }
+    }
+    None
+}
+
+/// Audits atomic memory orderings in one file ([`Lint::AtomicsAudit`]).
+///
+/// Every non-test line using `Ordering::*` must carry (or follow) a
+/// `// xtask-atomics: <justification>` comment, and one atomic receiver
+/// accessed with more than one distinct ordering in the file is flagged
+/// at its first use. Mixed-ordering findings can be silenced with a
+/// justified `xtask-allow: atomics-audit` at that first use.
+pub fn atomics_audit(file: &str, source: &str) -> ScanOutcome {
+    let lines = preprocess(source);
+    let mut out = ScanOutcome::default();
+    let mut receivers: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let orderings = orderings_on(&line.code);
+        if orderings.is_empty() {
+            continue;
+        }
+        if !has_atomics_note(&lines, idx) {
+            match allow_state(&lines, idx, Lint::AtomicsAudit) {
+                Allow::Justified => out.suppressed += 1,
+                _ => out.diagnostics.push(Diagnostic::new(
+                    Lint::AtomicsAudit,
+                    file,
+                    idx + 1,
+                    format!(
+                        "atomic operation with `Ordering::{}` lacks a \
+                         `// xtask-atomics: <justification>` comment",
+                        orderings.join("`/`Ordering::"),
+                    ),
+                )),
+            }
+        }
+        if let Some(recv) = atomic_receiver(&lines, idx) {
+            let entry = receivers.entry(recv).or_default();
+            for o in orderings {
+                entry.push((idx, o));
+            }
+        }
+    }
+
+    for (recv, uses) in receivers {
+        let distinct: BTreeSet<&String> = uses.iter().map(|(_, o)| o).collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        let first = uses.iter().map(|(i, _)| *i).min().unwrap_or(0);
+        let mut sites: Vec<String> = distinct
+            .iter()
+            .map(|o| {
+                let lines_for: Vec<String> = uses
+                    .iter()
+                    .filter(|(_, u)| u == *o)
+                    .map(|(i, _)| (i + 1).to_string())
+                    .collect();
+                format!("{o} at line(s) {}", lines_for.join(", "))
+            })
+            .collect();
+        sites.sort();
+        match allow_state(&lines, first, Lint::AtomicsAudit) {
+            Allow::Justified => out.suppressed += 1,
+            _ => out.diagnostics.push(Diagnostic::new(
+                Lint::AtomicsAudit,
+                file,
+                first + 1,
+                format!(
+                    "atomic `{recv}` is accessed with mixed memory orderings ({}); \
+                     unify them or justify with `xtask-allow: atomics-audit -- <reason>` \
+                     at the first use",
+                    sites.join("; "),
+                ),
+            )),
+        }
+    }
+    out
+}
+
+/// Flags obs-feature `cfg` seams outside `simkit` ([`Lint::FeatureGate`]).
+///
+/// DESIGN.md promises that observability call sites stay unconditional in
+/// every crate except `simkit`, where the single feature seam lives. The
+/// scan matches `feature = "obs"` inside `cfg`-bearing code lines of the
+/// *raw* source (string contents are blanked in the preprocessed layer),
+/// exempting `#[cfg(test)]` regions and honouring justified
+/// `xtask-allow: feature-gate` suppressions.
+pub fn feature_gate_lint(file: &str, source: &str) -> ScanOutcome {
+    let lines = preprocess(source);
+    let mut out = ScanOutcome::default();
+    for ((idx, line), raw) in lines.iter().enumerate().zip(source.lines()) {
+        if line.in_test {
+            continue;
+        }
+        let raw_nospace: String = raw.chars().filter(|c| !c.is_whitespace()).collect();
+        let seam = line.code.contains("cfg") && raw_nospace.contains("feature=\"obs\"");
+        if !seam {
+            continue;
+        }
+        match allow_state(&lines, idx, Lint::FeatureGate) {
+            Allow::Justified => out.suppressed += 1,
+            Allow::Unjustified => out.diagnostics.push(Diagnostic::new(
+                Lint::FeatureGate,
+                file,
+                idx + 1,
+                format!(
+                    "suppression without justification (write `xtask-allow: {} -- <reason>`); \
+                     original: obs-feature `cfg` seam outside simkit",
+                    Lint::FeatureGate.name(),
+                ),
+            )),
+            Allow::No => out.diagnostics.push(Diagnostic::new(
+                Lint::FeatureGate,
+                file,
+                idx + 1,
+                "obs-feature `cfg` seam outside simkit: route the conditionality through \
+                 `simkit::obs` so call sites stay unconditional"
+                    .to_string(),
+            )),
+        }
+    }
+    out
+}
+
+/// Every flag `cargo xtask check` accepts; the docs lint cross-checks
+/// these against the README's flag table so a new flag cannot ship
+/// undocumented (the same guarantee [`docs_lint`] gives subcommands).
+pub const CHECK_FLAGS: &[&str] = &["--update-baseline", "--format", "--lexical-only"];
+
+/// Cross-checks [`CHECK_FLAGS`] against the user docs ([`Lint::DocsCli`]).
+pub fn flags_lint(doc_name: &str, doc_text: &str) -> Vec<Diagnostic> {
+    CHECK_FLAGS
+        .iter()
+        .filter(|flag| !doc_text.contains(*flag))
+        .map(|flag| {
+            Diagnostic::new(
+                Lint::DocsCli,
+                doc_name,
+                1,
+                format!("xtask check flag `{flag}` is not documented in {doc_name}"),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1019,6 +1442,9 @@ mod tests {
         assert!(!has_index_expr("#[derive(Debug)]"));
         assert!(!has_index_expr("let v = vec![1, 2];"));
         assert!(!has_index_expr("fn f(xs: &[u64]) {}"));
+        assert!(!has_index_expr("let [s0, s1, s2, s3] = &mut self.state;"));
+        assert!(!has_index_expr("for [a, b] in pairs {"));
+        assert!(has_index_expr("let y = state[0];"));
     }
 
     #[test]
@@ -1052,7 +1478,7 @@ mod tests {
         let mut counts = BTreeMap::new();
         counts.insert("a.rs".to_string(), 3usize);
         counts.insert("b.rs".to_string(), 1usize);
-        let text = format_baseline(&counts);
+        let text = format_baseline("no-panic-lib", &counts);
         let parsed = parse_baseline(&text);
         assert_eq!(parsed, counts);
 
@@ -1067,12 +1493,12 @@ mod tests {
 
     #[test]
     fn diagnostics_render_rustc_style() {
-        let d = Diagnostic {
-            lint: Lint::FxPurity,
-            file: "crates/rlpm-hw/src/engine.rs".into(),
-            line: 42,
-            message: "`f64` type in hardware datapath module".into(),
-        };
+        let d = Diagnostic::new(
+            Lint::FxPurity,
+            "crates/rlpm-hw/src/engine.rs",
+            42,
+            "`f64` type in hardware datapath module".into(),
+        );
         let rendered = d.to_string();
         assert!(rendered.starts_with("error[xtask::fx-purity]:"));
         assert!(rendered.contains("--> crates/rlpm-hw/src/engine.rs:42"));
@@ -1189,6 +1615,180 @@ const OTHER: &[&str] = &[\"not-a-command\"];
         let diags = docs_lint("args.rs", "fn main() {}", &[("README.md", "run")]);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("no `const COMMANDS"));
+    }
+
+    #[test]
+    fn multiline_string_contents_are_blanked() {
+        let src = "\
+fn help() {
+    println!(
+        \"usage: tool run [--secs N]
+  tool eval --policy-file FILE [--seed N]
+  tool unwrap( panic! \"
+    );
+    let x = [1u8];
+    x[0]
+}
+";
+        let lines = preprocess(src);
+        // The continuation lines are string content, not code.
+        assert!(!lines[3].code.contains("--policy"), "{:?}", lines[3].code);
+        assert!(!lines[4].code.contains("unwrap"), "{:?}", lines[4].code);
+        // Real code after the literal still scans.
+        assert!(lines[7].code.contains("x[0]"));
+        let out = scan_source("help.rs", src, &[Lint::NoPanicLib]);
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].line, 8);
+    }
+
+    #[test]
+    fn multiline_raw_string_closes_on_matching_hashes() {
+        let src =
+            "fn f() -> &'static str {\n    r#\"one \" two\nthree\"# \n}\nfn g() { var[0]; }\n";
+        let lines = preprocess(src);
+        assert!(!lines[2].code.contains("three"));
+        assert!(lines[4].code.contains("var[0]"));
+    }
+
+    #[test]
+    fn atomics_audit_requires_annotations_outside_tests() {
+        let src = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+static N: AtomicU64 = AtomicU64::new(0);
+fn bump() {
+    N.fetch_add(1, Ordering::Relaxed); // xtask-atomics: counter, no ordering needed
+    N.fetch_add(1, Ordering::Relaxed);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { super::N.load(Ordering::Relaxed); }
+}
+";
+        let out = atomics_audit("inline", src);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].line, 5);
+        assert!(out.diagnostics[0].message.contains("xtask-atomics"));
+    }
+
+    #[test]
+    fn atomics_audit_annotation_on_previous_line_applies() {
+        let src = "\
+// xtask-atomics: registration latch; the registry Mutex orders the push
+fn f(x: &std::sync::atomic::AtomicBool) -> bool {
+    x.swap(true, Ordering::Relaxed)
+}
+";
+        // The annotation sits above the fn, not the use: NOT accepted.
+        let out = atomics_audit("inline", src);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+
+        let src_ok = "\
+fn f(x: &std::sync::atomic::AtomicBool) -> bool {
+    // xtask-atomics: registration latch; the registry Mutex orders the push
+    x.swap(true, Ordering::Relaxed)
+}
+";
+        let out = atomics_audit("inline", src_ok);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn atomics_audit_groups_receivers_across_index_contents() {
+        let src = "\
+fn f(&self) {
+    self.bins[i].fetch_add(1, Ordering::Relaxed); // xtask-atomics: per-bin counter
+    self.bins[j].store(0, Ordering::SeqCst); // xtask-atomics: reset
+}
+";
+        let out = atomics_audit("inline", src);
+        let mixed: Vec<&Diagnostic> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.message.contains("mixed memory orderings"))
+            .collect();
+        assert_eq!(mixed.len(), 1, "got {:?}", out.diagnostics);
+        assert!(
+            mixed[0].message.contains("self.bins[]"),
+            "{}",
+            mixed[0].message
+        );
+    }
+
+    #[test]
+    fn atomics_audit_mixed_finding_is_suppressible() {
+        let src = "\
+fn f(x: &std::sync::atomic::AtomicU64) {
+    // xtask-allow: atomics-audit -- acquire pairs with the release below
+    x.load(Ordering::Acquire); // xtask-atomics: pairs with store
+    x.store(1, Ordering::Release); // xtask-atomics: publishes the value
+}
+";
+        let out = atomics_audit("inline", src);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn feature_gate_flags_cfg_seams_but_not_docs_or_tests() {
+        let src = "\
+//! Doc text may mention feature = \"obs\" freely.
+#[cfg(feature = \"obs\")]
+pub fn gated() {}
+#[cfg(test)]
+mod tests {
+    #[cfg(feature = \"obs\")]
+    fn t() {}
+}
+";
+        let out = feature_gate_lint("inline", src);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].line, 2);
+        assert_eq!(out.diagnostics[0].lint, Lint::FeatureGate);
+    }
+
+    #[test]
+    fn feature_gate_suppression_applies() {
+        let src = "\
+// xtask-allow: feature-gate -- sink module only exists under obs
+#[cfg(feature = \"obs\")]
+pub mod sink;
+";
+        let out = feature_gate_lint("inline", src);
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn flags_lint_reports_undocumented_flags() {
+        let documented = "Flags: `--update-baseline`, `--format`, `--lexical-only`.";
+        assert!(flags_lint("README.md", documented).is_empty());
+        let partial = "Flags: `--update-baseline` only.";
+        let diags = flags_lint("README.md", partial);
+        assert_eq!(diags.len(), 2, "got {diags:?}");
+        assert!(diags.iter().all(|d| d.lint == Lint::DocsCli));
+    }
+
+    #[test]
+    fn diagnostics_render_chains_and_json() {
+        let mut d = Diagnostic::new(
+            Lint::FxTaint,
+            "crates/rlpm-hw/src/engine.rs",
+            7,
+            "call to `mix` reaches float-tainted code".into(),
+        );
+        d.chain = vec![
+            "a.rs:7 calls `mix` (b.rs:3)".to_string(),
+            "seed at c.rs:9: float literal".to_string(),
+        ];
+        let rendered = d.to_string();
+        assert!(rendered.contains("error[xtask::fx-taint]"));
+        assert!(rendered.contains("\n  = a.rs:7 calls `mix`"));
+        assert!(rendered.contains("\n  = seed at c.rs:9"));
+        let json = d.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"lint\":\"fx-taint\""));
+        assert!(json.contains("\"chain\":[\"a.rs:7"));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]
