@@ -3,17 +3,22 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin sim-rate -- --baseline   # pin the pre-optimisation numbers
-//! cargo run --release -p bench --bin sim-rate                 # update "current" + "speedup"
-//! cargo run --release -p bench --bin sim-rate -- --quick --out /tmp/simrate.json
+//! cargo run --release -p bench --bin sim-rate                 # update "current", "speedup" + fleet rates
+//! cargo run --release -p bench --bin sim-rate -- --quick --lanes 64 --out /tmp/simrate.json
 //! ```
 //!
-//! The `baseline` section of an existing report is preserved verbatim
-//! unless `--baseline` is given; `speedup` is recomputed whenever both
-//! sections exist. See DESIGN.md § Performance for how to read the file.
+//! The `single_device.baseline` section of an existing report is
+//! preserved verbatim unless `--baseline` is given; `speedup` is
+//! recomputed whenever both sections exist. Every run also refreshes the
+//! `device_seconds_per_wall_second` section: batched fleet simulation
+//! (`--lanes` devices, default 256) against the looped single-device
+//! equivalent. `--min-batch-speedup X` exits non-zero when the standby
+//! fleet's batched-over-looped speedup lands below `X` — the CI smoke
+//! gate. See DESIGN.md § Performance for how to read the file.
 
 use std::path::PathBuf;
 
-use bench::simrate::{measure, Report, SimRateConfig};
+use bench::simrate::{measure, measure_fleet, Report, SimRateConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +27,9 @@ fn main() {
     let mut out = PathBuf::from("BENCH_simrate.json");
     let mut label: Option<String> = None;
     let mut repeat = 1u32;
+    let mut lanes = 256u32;
+    let mut fleet_secs: Option<u64> = None;
+    let mut min_batch_speedup: Option<f64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -36,10 +44,34 @@ fn main() {
                     .parse()
                     .expect("--repeat needs a positive integer");
             }
+            "--lanes" => {
+                lanes = iter
+                    .next()
+                    .expect("--lanes needs a count")
+                    .parse()
+                    .expect("--lanes needs a positive integer");
+            }
+            "--fleet-secs" => {
+                fleet_secs = Some(
+                    iter.next()
+                        .expect("--fleet-secs needs a count")
+                        .parse()
+                        .expect("--fleet-secs needs a positive integer"),
+                );
+            }
+            "--min-batch-speedup" => {
+                min_batch_speedup = Some(
+                    iter.next()
+                        .expect("--min-batch-speedup needs a ratio")
+                        .parse()
+                        .expect("--min-batch-speedup needs a number"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: sim-rate [--baseline] [--quick] [--repeat N] [--out PATH] [--label TEXT]"
+                    "usage: sim-rate [--baseline] [--quick] [--repeat N] [--lanes N] \
+                            [--fleet-secs N] [--min-batch-speedup X] [--out PATH] [--label TEXT]"
                 );
                 std::process::exit(2);
             }
@@ -74,6 +106,29 @@ fn main() {
     }
     report.current = Some(measurement);
 
+    let fleet_secs = fleet_secs.unwrap_or(if quick { 20 } else { 60 });
+    eprintln!(
+        "measuring fleet rates: {lanes} lanes x {fleet_secs} s, looped vs batched, best of {repeat} ..."
+    );
+    let batch = measure_fleet(
+        &bench::soc_under_test(),
+        lanes,
+        fleet_secs,
+        config.seed,
+        "resident-parked SoA idle kernel, ondemand per lane",
+        repeat,
+    );
+    for fleet in &batch.fleets {
+        eprintln!(
+            "  {}: looped {:.0} dev-s/s, batched {:.0} dev-s/s ({:.2}x)",
+            fleet.name,
+            fleet.looped,
+            fleet.batched,
+            fleet.speedup()
+        );
+    }
+    report.batch = Some(batch);
+
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("error: could not write {}: {e}", out.display());
@@ -81,4 +136,19 @@ fn main() {
     }
     println!("{json}");
     eprintln!("(written to {})", out.display());
+
+    if let Some(min) = min_batch_speedup {
+        let standby = report
+            .batch
+            .as_ref()
+            .and_then(|b| b.fleets.iter().find(|f| f.name == "standby"))
+            .expect("fleet measurement includes standby");
+        if standby.speedup() < min {
+            eprintln!(
+                "error: standby fleet speedup {:.2}x is below the required {min}x",
+                standby.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
 }

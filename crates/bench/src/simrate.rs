@@ -1,20 +1,27 @@
 //! Sim-rate measurement: simulated-seconds per wall-second for the
 //! closed-loop simulator, cell by cell over the E1 matrix shape
-//! (scenario × policy), plus per-scenario and whole-matrix aggregates.
+//! (scenario × policy), plus per-scenario and whole-matrix aggregates —
+//! and, since schema 2, device-seconds per wall-second for batched
+//! multi-device (fleet) simulation against the looped single-device
+//! equivalent.
 //!
 //! Results are persisted to `BENCH_simrate.json` so the performance
-//! trajectory of the substrate is tracked across PRs: the `baseline`
-//! section is recorded once (with `--baseline`) and preserved verbatim by
-//! later runs, which only rewrite the `current` and `speedup` sections.
-//! The JSON is emitted and parsed by this module (the workspace builds
-//! offline, without serde), so the format is deliberately rigid: two
-//! levels of objects, string or number values, no escapes.
+//! trajectory of the substrate is tracked across PRs: the
+//! `single_device.baseline` section is recorded once (with `--baseline`)
+//! and preserved verbatim by later runs, which only rewrite the
+//! `current`, `speedup` and fleet sections. The JSON is emitted and
+//! parsed by this module (the workspace builds offline, without serde),
+//! so the format is deliberately rigid: nested objects, string or number
+//! values, no escapes. Schema-1 files (flat single-device layout) are
+//! still parsed, so regeneration migrates them in place.
 
 use std::time::Instant;
 
 use experiments::e1_energy_per_qos::E1Config;
-use experiments::{run, PolicyKind, RunConfig, TrainingProtocol};
-use soc::{Soc, SocConfig};
+use experiments::{run, run_batch, BatchLane, PolicyKind, RunConfig, TrainingProtocol};
+use governors::GovernorKind;
+use soc::{DeviceBatch, Soc, SocConfig};
+use workload::ScenarioKind;
 
 /// Shape of one sim-rate measurement pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +141,133 @@ pub fn measure(
     }
 }
 
+/// One fleet workload's throughput pair: device-seconds per wall-second
+/// for N looped single-device runs and for the batched engine on the
+/// identical lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRate {
+    /// Fleet workload name (the scenario driving every lane).
+    pub name: String,
+    /// Looped rate: N sequential [`run`] calls, device-seconds per wall-second.
+    pub looped: f64,
+    /// Batched rate: one [`run_batch`] over the same lanes.
+    pub batched: f64,
+}
+
+impl FleetRate {
+    /// Batched-over-looped speedup.
+    pub fn speedup(&self) -> f64 {
+        self.batched / self.looped
+    }
+}
+
+/// The `device_seconds_per_wall_second` section: batched multi-device
+/// simulation measured against the looped single-device equivalent, per
+/// fleet workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeasurement {
+    /// Free-form description of the code state that produced the numbers.
+    pub label: String,
+    /// Devices stepped in lockstep (and looped, for the baseline side).
+    pub lanes: u32,
+    /// Simulated seconds per device.
+    pub fleet_secs: u64,
+    /// Per-workload rates, standby first (the headline row).
+    pub fleets: Vec<FleetRate>,
+}
+
+/// The fleet workloads the batch section measures: the deep-idle regime
+/// the batched engine exists for (`standby`), the near-idle catalog floor
+/// with periodic wake-ups (`idle`), and a mostly-busy mixture (`mixed`)
+/// as the honest worst case — batching cannot speed up lanes that are
+/// actually executing work.
+pub const FLEET_WORKLOADS: [ScenarioKind; 3] = [
+    ScenarioKind::Standby,
+    ScenarioKind::Idle,
+    ScenarioKind::Mixed,
+];
+
+/// Measures device-seconds per wall-second for looped vs batched fleet
+/// simulation over [`FLEET_WORKLOADS`], `lanes` devices per fleet, every
+/// lane driven by the `ondemand` governor with its own scenario seed.
+///
+/// Both sides run the identical lane set — same seeds, same epochs — and
+/// the per-lane total energies are asserted bit-identical, so the two
+/// wall-clock times price exactly the same simulated work. `repeat`
+/// keeps the fastest wall time per side (see [`measure`]).
+pub fn measure_fleet(
+    soc_config: &SocConfig,
+    lanes: u32,
+    fleet_secs: u64,
+    seed: u64,
+    label: &str,
+    repeat: u32,
+) -> BatchMeasurement {
+    let repeat = repeat.max(1);
+    let device_secs = f64::from(lanes) * fleet_secs as f64;
+    let lane_seed = |i: u32| seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(i));
+    let mut fleets = Vec::new();
+    for kind in FLEET_WORKLOADS {
+        let mut looped_wall = f64::INFINITY;
+        let mut looped_energy: Vec<u64> = Vec::new();
+        for _ in 0..repeat {
+            let mut energies = Vec::with_capacity(lanes as usize);
+            let start = Instant::now();
+            for i in 0..lanes {
+                let mut soc = Soc::new(soc_config.clone()).expect("validated config");
+                let mut scenario = kind.build(lane_seed(i));
+                let mut governor = GovernorKind::Ondemand.build(soc_config);
+                let metrics = run(
+                    &mut soc,
+                    scenario.as_mut(),
+                    governor.as_mut(),
+                    RunConfig::seconds(fleet_secs),
+                );
+                energies.push(metrics.energy_j.to_bits());
+            }
+            looped_wall = looped_wall.min(start.elapsed().as_secs_f64().max(1e-9));
+            looped_energy = energies;
+        }
+
+        let mut batched_wall = f64::INFINITY;
+        for _ in 0..repeat {
+            let start = Instant::now();
+            let socs: Vec<Soc> = (0..lanes)
+                .map(|_| Soc::new(soc_config.clone()).expect("validated config"))
+                .collect();
+            let mut batch_lanes: Vec<BatchLane> = (0..lanes)
+                .map(|i| BatchLane {
+                    scenario: kind.build(lane_seed(i)),
+                    governor: GovernorKind::Ondemand.build(soc_config),
+                    faults: None,
+                })
+                .collect();
+            let mut batch = DeviceBatch::new(socs).expect("shared lockstep grid");
+            let metrics = run_batch(&mut batch, &mut batch_lanes, RunConfig::seconds(fleet_secs));
+            batched_wall = batched_wall.min(start.elapsed().as_secs_f64().max(1e-9));
+            for (lane, m) in metrics.iter().enumerate() {
+                assert_eq!(
+                    m.energy_j.to_bits(),
+                    looped_energy[lane],
+                    "lane {lane} of {kind} diverged from its looped run"
+                );
+            }
+        }
+
+        fleets.push(FleetRate {
+            name: kind.name().to_owned(),
+            looped: device_secs / looped_wall,
+            batched: device_secs / batched_wall,
+        });
+    }
+    BatchMeasurement {
+        label: label.to_owned(),
+        lanes,
+        fleet_secs,
+        fleets,
+    }
+}
+
 /// The persisted report: a baseline section (recorded once, kept across
 /// runs) and the current section, plus derived speedups.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,7 +278,13 @@ pub struct Report {
     pub baseline: Option<Measurement>,
     /// The most recent numbers.
     pub current: Option<Measurement>,
+    /// The most recent batched-fleet numbers (schema 2).
+    pub batch: Option<BatchMeasurement>,
 }
+
+/// The speedup the batched engine is held to on the `standby` fleet at
+/// 256 lanes, recorded next to the measured numbers.
+pub const BATCH_TARGET_SPEEDUP: f64 = 5.0;
 
 impl Report {
     /// An empty report for `config`.
@@ -153,6 +293,7 @@ impl Report {
             config,
             baseline: None,
             current: None,
+            batch: None,
         }
     }
 
@@ -169,11 +310,13 @@ impl Report {
         Some(out)
     }
 
-    /// Serialises the report as JSON.
+    /// Serialises the report as JSON (schema 2: single-device numbers
+    /// under `single_device`, fleet numbers under
+    /// `device_seconds_per_wall_second`).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"schema\": 2,\n");
         s.push_str("  \"unit\": \"simulated-seconds per wall-second\",\n");
         s.push_str("  \"config\": {\n");
         s.push_str(&format!("    \"eval_secs\": {},\n", self.config.eval_secs));
@@ -186,31 +329,66 @@ impl Report {
             self.config.training.episode_secs
         ));
         s.push_str(&format!("    \"seed\": {}\n", self.config.seed));
-        s.push_str("  }");
+        s.push_str("  },\n");
+        s.push_str("  \"single_device\": {");
+        let mut first = true;
         for (name, section) in [("baseline", &self.baseline), ("current", &self.current)] {
             if let Some(m) = section {
-                s.push_str(",\n");
-                s.push_str(&format!("  \"{name}\": {}", json_measurement(m)));
+                s.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                s.push_str(&format!("    \"{name}\": {}", json_measurement(m)));
             }
         }
         if let Some(speedups) = self.speedups() {
-            s.push_str(",\n  \"speedup\": {\n");
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            s.push_str("    \"speedup\": {\n");
             let lines: Vec<String> = speedups
                 .iter()
-                .map(|(k, v)| format!("    \"{k}\": {}", json_num(*v)))
+                .map(|(k, v)| format!("      \"{k}\": {}", json_num(*v)))
                 .collect();
             s.push_str(&lines.join(",\n"));
-            s.push_str("\n  }");
+            s.push_str("\n    }");
+        }
+        s.push_str(if first { "}" } else { "\n  }" });
+        if let Some(b) = &self.batch {
+            s.push_str(",\n  \"device_seconds_per_wall_second\": {\n");
+            s.push_str(&format!("    \"label\": \"{}\",\n", b.label));
+            s.push_str(&format!("    \"lanes\": {},\n", b.lanes));
+            s.push_str(&format!("    \"fleet_secs\": {},\n", b.fleet_secs));
+            s.push_str(&format!(
+                "    \"target_speedup\": {},\n",
+                json_num(BATCH_TARGET_SPEEDUP)
+            ));
+            s.push_str("    \"fleets\": {\n");
+            let lines: Vec<String> = b
+                .fleets
+                .iter()
+                .map(|f| {
+                    format!(
+                        "      \"{}\": {{\n        \"looped\": {},\n        \"batched\": {},\n        \"speedup\": {}\n      }}",
+                        f.name,
+                        json_num(f.looped),
+                        json_num(f.batched),
+                        json_num(f.speedup())
+                    )
+                })
+                .collect();
+            s.push_str(&lines.join(",\n"));
+            s.push_str("\n    }\n  }");
         }
         s.push_str("\n}\n");
         s
     }
 
-    /// Parses a report previously written by [`Report::to_json`].
-    /// Returns `None` when the text does not look like such a report
-    /// (corrupt file, different schema): callers then start fresh.
+    /// Parses a report previously written by [`Report::to_json`] —
+    /// schema 2, or the flat schema-1 layout older files used (those
+    /// migrate to schema 2 on the next write). Returns `None` when the
+    /// text does not look like either (corrupt file, unknown schema):
+    /// callers then start fresh.
     pub fn from_json(text: &str) -> Option<Report> {
-        if extract_number(text, "schema")? != 1.0 {
+        let schema = extract_number(text, "schema")?;
+        if schema != 1.0 && schema != 2.0 {
             return None;
         }
         let config_block = extract_object(text, "config")?;
@@ -222,6 +400,9 @@ impl Report {
             },
             seed: extract_number(&config_block, "seed")? as u64,
         };
+        // `extract_object` searches the whole text, so the measurement
+        // sections parse identically whether they sit at the top level
+        // (schema 1) or inside `single_device` (schema 2).
         let parse_section = |name: &str| -> Option<Measurement> {
             let block = extract_object(text, name)?;
             Some(Measurement {
@@ -231,10 +412,31 @@ impl Report {
                 per_cell: extract_pairs(&extract_object(&block, "per_cell")?),
             })
         };
+        let batch = extract_object(text, "device_seconds_per_wall_second").and_then(|block| {
+            let fleets_block = extract_object(&block, "fleets")?;
+            let fleets = FLEET_WORKLOADS
+                .iter()
+                .filter_map(|kind| {
+                    let f = extract_object(&fleets_block, kind.name())?;
+                    Some(FleetRate {
+                        name: kind.name().to_owned(),
+                        looped: extract_number(&f, "looped")?,
+                        batched: extract_number(&f, "batched")?,
+                    })
+                })
+                .collect();
+            Some(BatchMeasurement {
+                label: extract_string(&block, "label")?,
+                lanes: extract_number(&block, "lanes")? as u32,
+                fleet_secs: extract_number(&block, "fleet_secs")? as u64,
+                fleets,
+            })
+        });
         Some(Report {
             config,
             baseline: parse_section("baseline"),
             current: parse_section("current"),
+            batch,
         })
     }
 }
@@ -349,6 +551,23 @@ mod tests {
                     ("video/rlpm".into(), 200.0),
                 ],
             }),
+            batch: Some(BatchMeasurement {
+                label: "batched idle kernel".into(),
+                lanes: 256,
+                fleet_secs: 60,
+                fleets: vec![
+                    FleetRate {
+                        name: "standby".into(),
+                        looped: 22000.0,
+                        batched: 132000.0,
+                    },
+                    FleetRate {
+                        name: "idle".into(),
+                        looped: 21000.0,
+                        batched: 73500.0,
+                    },
+                ],
+            }),
         }
     }
 
@@ -398,6 +617,37 @@ mod tests {
     #[test]
     fn corrupt_text_is_rejected() {
         assert!(Report::from_json("not json").is_none());
+        assert!(Report::from_json("{\"schema\": 3}").is_none());
+        // A recognised schema but no config block: still rejected.
         assert!(Report::from_json("{\"schema\": 2}").is_none());
+    }
+
+    #[test]
+    fn schema_1_files_migrate() {
+        // The flat pre-fleet layout: sections at the top level. Parsing
+        // must preserve the measurements so the next write nests them
+        // under `single_device` without losing the pinned baseline.
+        let mut report = sample();
+        report.batch = None;
+        let legacy = report
+            .to_json()
+            .replace("\"schema\": 2", "\"schema\": 1")
+            .replace("  \"single_device\": {", "  \"legacy_wrapper\": {");
+        let parsed = Report::from_json(&legacy).expect("schema 1 parses");
+        assert_eq!(parsed.baseline, report.baseline);
+        assert_eq!(parsed.current, report.current);
+        assert!(parsed.batch.is_none());
+        let migrated = Report::from_json(&parsed.to_json()).unwrap();
+        assert_eq!(migrated, parsed);
+    }
+
+    #[test]
+    fn fleet_speedup_is_batched_over_looped() {
+        let report = sample();
+        let batch = report.batch.as_ref().unwrap();
+        assert!((batch.fleets[0].speedup() - 6.0).abs() < 1e-9);
+        // The fleet section round-trips with the rest of the report.
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.batch, report.batch);
     }
 }

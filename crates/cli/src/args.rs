@@ -42,7 +42,8 @@ const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick", "no-cache"];
 /// `cargo xtask check`, which parses it out of this file and fails when a
 /// command is mentioned in neither `README.md` nor `EXPERIMENTS.md`.
 pub const COMMANDS: &[&str] = &[
-    "run", "train", "eval", "compare", "record", "replay", "latency", "e9", "trace", "help",
+    "run", "fleet", "train", "eval", "compare", "record", "replay", "latency", "e9", "trace",
+    "help",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -29,13 +29,18 @@ fn soc_config(name: &str) -> Result<SocConfig, Box<dyn Error>> {
     })
 }
 
-/// Resolves a scenario name.
+/// Resolves a scenario name: the catalog plus `standby` (which sits
+/// outside [`ScenarioKind::ALL`] because it delivers no QoS units).
 fn scenario_kind(name: &str) -> Result<ScenarioKind, Box<dyn Error>> {
+    if name == ScenarioKind::Standby.name() {
+        return Ok(ScenarioKind::Standby);
+    }
     ScenarioKind::ALL
         .into_iter()
         .find(|k| k.name() == name)
         .ok_or_else(|| {
-            let names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+            let mut names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+            names.push(ScenarioKind::Standby.name());
             ParseArgsError(format!(
                 "unknown scenario {name:?} (one of: {})",
                 names.join(", ")
@@ -165,6 +170,88 @@ pub fn cmd_run(inv: &Invocation) -> CmdResult {
         &format!("{scenario_name} / {policy_name} for {secs}s"),
         &metrics,
     );
+    write_metrics_out(inv)
+}
+
+/// `fleet <scenario> <policy> [--lanes N] [--secs N] [--seed N] [--soc P] [--cache-dir DIR] [--no-cache] [--metrics-out FILE]`
+///
+/// Simulates a whole population of identical devices in one batched
+/// engine ([`soc::DeviceBatch`]): every lane runs the same scenario
+/// kind and policy but its own arrival stream (per-lane seeds), and
+/// fully-idle lanes are parked and fast-forwarded together. RL variants
+/// train once (the fleet ships one policy); per-lane results are
+/// bit-identical to running each device alone.
+pub fn cmd_fleet(inv: &Invocation) -> CmdResult {
+    use experiments::{run_batch, BatchLane};
+    use soc::DeviceBatch;
+
+    inv.allow_flags(&[
+        "lanes",
+        "secs",
+        "seed",
+        "soc",
+        "cache-dir",
+        "no-cache",
+        "metrics-out",
+    ])?;
+    configure_cache(inv);
+    let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("idle");
+    let policy_name = inv
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("ondemand");
+    let lanes_n: usize = inv.flag_or("lanes", 256)?;
+    let secs: u64 = inv.flag_or("secs", 60)?;
+    let seed: u64 = inv.flag_or("seed", 42)?;
+    let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
+    if lanes_n == 0 {
+        return Err(ParseArgsError("--lanes must be at least 1".into()).into());
+    }
+
+    let soc_cfg = soc_config(&soc_name)?;
+    let kind = scenario_kind(scenario_name)?;
+    let policy = policy_kind(policy_name)?;
+    eprintln!("building {lanes_n} x {policy_name} (RL variants train first) ...");
+    let mut batch = DeviceBatch::new(
+        (0..lanes_n)
+            .map(|_| Soc::new(soc_cfg.clone()))
+            .collect::<Result<Vec<_>, _>>()?,
+    )?;
+    let mut lanes: Vec<BatchLane> = (0..lanes_n as u64)
+        .map(|i| BatchLane {
+            scenario: kind.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i)),
+            governor: policy.build_trained(&soc_cfg, kind, TrainingProtocol::default(), seed),
+            faults: None,
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let metrics = run_batch(&mut batch, &mut lanes, RunConfig::seconds(secs));
+    let wall = start.elapsed().as_secs_f64();
+
+    let total_energy: f64 = metrics.iter().map(|m| m.energy_j).sum();
+    let total_violations: u64 = metrics.iter().map(|m| m.qos.violations).sum();
+    let total_transitions: u64 = metrics.iter().map(|m| m.transitions).sum();
+    let mean_qos =
+        metrics.iter().map(|m| m.qos.qos_ratio()).sum::<f64>() / metrics.len().max(1) as f64;
+    let device_secs = (secs * lanes_n as u64) as f64;
+
+    println!("=== fleet: {lanes_n} x {scenario_name} / {policy_name} for {secs}s ===");
+    println!(
+        "simulated         : {device_secs:.0} device-seconds in {wall:.2} s wall ({:.0} dev-s/s)",
+        if wall > 0.0 { device_secs / wall } else { 0.0 }
+    );
+    println!(
+        "energy            : {:.3} J total, {:.3} J mean per device",
+        total_energy,
+        total_energy / metrics.len().max(1) as f64
+    );
+    println!(
+        "QoS               : {:.2}% mean delivered, {total_violations} violations fleet-wide",
+        mean_qos * 100.0
+    );
+    println!("DVFS transitions  : {total_transitions} fleet-wide");
     write_metrics_out(inv)
 }
 
@@ -511,8 +598,9 @@ pub fn cmd_help() -> CmdResult {
 
 USAGE:
   rlpm-sim run      <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]
+  rlpm-sim fleet    <scenario> <policy> [--lanes N] [--secs N] [--seed N] [--soc P]
   rlpm-sim compare  <scenario> [--secs N] [--seed N] [--soc P]
-                    (run/compare/e9 also take [--cache-dir DIR] [--no-cache])
+                    (run/fleet/compare/e9 also take [--cache-dir DIR] [--no-cache])
   rlpm-sim train    <scenario> --out FILE [--episodes N] [--episode-secs N] [--seed N] [--soc P]
   rlpm-sim eval     <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]
   rlpm-sim record   <scenario> --out FILE [--secs N] [--seed N]
@@ -523,8 +611,13 @@ USAGE:
   rlpm-sim help
 
 SCENARIOS: video web gaming audio camera video-call navigation app-launch idle mixed
+           (plus standby — no arrivals at all — for fleet sweeps)
 POLICIES:  performance powersave ondemand conservative interactive schedutil rlpm rlpm-hw
 SOC PRESETS (--soc): xu3 (default) | xu3-cstates | symmetric
+
+fleet steps every lane in one batched engine (sleeping devices are
+fast-forwarded together); per-lane results stay bit-identical to
+running each device alone.
 
 Simulating commands also accept --metrics-out FILE to dump the process-wide
 observability snapshot (counters, gauges, spans, histograms) as CSV.
@@ -541,6 +634,7 @@ moves it."
 pub fn dispatch(inv: &Invocation) -> CmdResult {
     match inv.command.as_str() {
         "run" => cmd_run(inv),
+        "fleet" => cmd_fleet(inv),
         "train" => cmd_train(inv),
         "eval" => cmd_eval(inv),
         "compare" => cmd_compare(inv),
@@ -619,6 +713,25 @@ mod tests {
         assert!(metrics.contains("rlpm.decisions"), "{metrics}");
         assert!(metrics.contains("soc.epochs"), "{metrics}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_command_runs_a_small_batch() {
+        let inv = parse([
+            "fleet",
+            "standby",
+            "powersave",
+            "--lanes",
+            "4",
+            "--secs",
+            "2",
+            "--no-cache",
+        ])
+        .unwrap();
+        dispatch(&inv).expect("fleet");
+        // Lane count must be validated before any simulation starts.
+        let inv = parse(["fleet", "idle", "ondemand", "--lanes", "0"]).unwrap();
+        assert!(dispatch(&inv).unwrap_err().to_string().contains("--lanes"));
     }
 
     #[test]

@@ -46,6 +46,6 @@ mod policies;
 mod runner;
 mod sched;
 
-pub use policies::{train_rl_governor, PolicyKind, TrainingProtocol};
+pub use policies::{eval_cells_batched, train_rl_governor, EvalCell, PolicyKind, TrainingProtocol};
 pub use resilience::{FaultHarness, Watchdog};
-pub use runner::{run, run_with_faults, RunConfig, RunMetrics};
+pub use runner::{run, run_batch, run_with_faults, BatchLane, RunConfig, RunMetrics};

@@ -2,8 +2,8 @@
 
 use governors::{Governor, QosFeedback, SystemState};
 use simkit::trace::Trace;
-use simkit::{obs, FaultCounts, SimDuration};
-use soc::{LevelRequest, Soc};
+use simkit::{obs, FaultCounts, SimDuration, SimTime};
+use soc::{DeviceBatch, LevelRequest, Soc};
 use workload::{QosReport, QosTracker, Scenario};
 
 use crate::resilience::FaultHarness;
@@ -271,6 +271,312 @@ pub fn run_with_faults(
     }
 }
 
+/// One device lane of a batched run: the workload feeding it, the policy
+/// driving it, and an optional per-lane fault harness.
+///
+/// Lanes are fully independent — each owns its scenario RNG stream,
+/// governor state and fault schedule, exactly as a standalone [`run`]
+/// would.
+pub struct BatchLane {
+    /// Produces this lane's job arrivals and QoS spec.
+    pub scenario: Box<dyn Scenario>,
+    /// Decides this lane's per-epoch frequency levels.
+    pub governor: Box<dyn Governor>,
+    /// Optional deterministic fault injection for this lane.
+    pub faults: Option<FaultHarness>,
+}
+
+impl std::fmt::Debug for BatchLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchLane")
+            .field("scenario", &self.scenario.name())
+            .field("governor", &self.governor.name())
+            .field("faults", &self.faults.is_some())
+            .finish()
+    }
+}
+
+/// Per-lane bookkeeping for [`run_batch`]: the locals of one [`run`]
+/// call, boxed up so N of them can advance in lockstep.
+struct LaneState {
+    tracker: QosTracker,
+    prev_snapshot: QosReport,
+    state: SystemState,
+    transitions: u64,
+    level_frac_sum: Vec<f64>,
+    /// Per-cluster `opps.max_level().max(1)`, cached so the per-epoch
+    /// fold does not walk the SoC config.
+    max_levels: Vec<usize>,
+    idle_gated_core_s: f64,
+    idle_collapsed_core_s: f64,
+    started_at: SimTime,
+    start_energy: f64,
+    start_jobs: u64,
+    epochs_done: u64,
+    trace: Option<Trace>,
+}
+
+/// Runs every lane of `batch` for `config.duration` in lockstep,
+/// returning one [`RunMetrics`] per lane.
+///
+/// Each lane executes exactly the control loop of
+/// [`run_with_faults`] — same arrival windows, same epoch sequence, same
+/// accounting — so lane `i`'s metrics are **bit-identical** to running
+/// `lanes[i]` alone against `batch.lane(i)`. The batch merely reorders
+/// work across independent lanes so that fully-idle epochs from many
+/// devices collapse into one interleaved kernel dispatch
+/// (see [`DeviceBatch`]); `golden_bits` pins the equivalence end-to-end.
+///
+/// A lane whose epoch is rejected (an out-of-range level request) stops
+/// early with metrics covering its completed epochs, exactly as [`run`]
+/// breaks; the other lanes keep going.
+///
+/// # Panics
+///
+/// Panics if `lanes` and `batch` disagree on lane count.
+pub fn run_batch(
+    batch: &mut DeviceBatch,
+    lanes: &mut [BatchLane],
+    config: RunConfig,
+) -> Vec<RunMetrics> {
+    let n = batch.len();
+    assert_eq!(
+        lanes.len(),
+        n,
+        "one BatchLane per device lane ({} lanes, {} BatchLanes)",
+        n,
+        lanes.len()
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let epoch = batch.lane(0).config().epoch;
+    let epochs = (config.duration / epoch).max(1);
+
+    let mut active = vec![true; n];
+    let mut requests: Vec<LevelRequest> = Vec::with_capacity(n);
+    let mut reports: Vec<soc::EpochReport> = Vec::with_capacity(n);
+    let mut states: Vec<LaneState> = Vec::with_capacity(n);
+    for (i, lane) in lanes.iter().enumerate() {
+        let soc = batch.lane(i);
+        let num_clusters = soc.config().clusters.len();
+        let tracker = QosTracker::new(lane.scenario.qos_spec());
+        requests.push(LevelRequest::new(
+            soc.clusters().iter().map(|c| c.level()).collect(),
+        ));
+        reports.push(soc::EpochReport {
+            started_at: soc.now(),
+            ended_at: soc.now(),
+            clusters: Vec::new(),
+            energy_j: 0.0,
+        });
+        states.push(LaneState {
+            prev_snapshot: tracker.snapshot(),
+            tracker,
+            state: SystemState::new(
+                soc::EpochObservation {
+                    at: soc.now(),
+                    clusters: Vec::new(),
+                    energy_j: 0.0,
+                },
+                QosFeedback::default(),
+            ),
+            transitions: 0,
+            level_frac_sum: vec![0.0; num_clusters],
+            max_levels: soc
+                .config()
+                .clusters
+                .iter()
+                .map(|c| c.opps.max_level().max(1))
+                .collect(),
+            idle_gated_core_s: 0.0,
+            idle_collapsed_core_s: 0.0,
+            started_at: soc.now(),
+            start_energy: soc.total_energy_j(),
+            start_jobs: soc.jobs_submitted(),
+            epochs_done: 0,
+            trace: config.record_trace.then(|| {
+                let mut columns: Vec<String> = Vec::new();
+                for c in 0..num_clusters {
+                    columns.push(format!("level_{c}"));
+                }
+                for c in 0..num_clusters {
+                    columns.push(format!("util_{c}"));
+                }
+                columns.push("power_w".into());
+                columns.push("qos_units".into());
+                Trace::new("run", columns)
+            }),
+        });
+    }
+
+    let _run_span = obs::span!("runner.run_batch");
+    for _ in 0..epochs {
+        // Pre-step pass: per-lane fault application and arrival feeding,
+        // in lane order. Each lane sees the identical call sequence a
+        // standalone run would make.
+        for (i, ((lane, request), &is_active)) in
+            lanes.iter_mut().zip(&mut requests).zip(&active).enumerate()
+        {
+            if !is_active {
+                continue;
+            }
+            if let Some(harness) = lane.faults.as_mut() {
+                // Fault injection needs the live simulator each epoch, so
+                // a faulted lane effectively runs unparked (and unbatched).
+                harness.begin_epoch(batch.lane_mut(i), request);
+            }
+            let from = batch.lane(i).now();
+            let to = from + epoch;
+            for (at, job) in lane.scenario.arrivals(from, to) {
+                // Feeds the arrival queue without unparking the lane; the
+                // batch re-checks parkability against it next step.
+                batch.schedule_job(i, at, job);
+            }
+        }
+
+        // Lockstep step: parked lanes share one idle-kernel dispatch,
+        // the rest run the scalar epoch path. Arity is correct by
+        // construction, so an error here is unreachable; treat it as
+        // "no lane stepped" and end the run with partial metrics.
+        if batch
+            .run_epoch_into(&active, &requests, &mut reports)
+            .is_err()
+        {
+            break;
+        }
+
+        // Post-step pass: QoS accounting, observation and the next
+        // decision, in lane order. All batch calls below are `&self`,
+        // so the error slice can stay borrowed across the loop.
+        let errors = batch.lane_errors();
+        for (i, ((((lane, request), is_active), ls), (report, error))) in lanes
+            .iter_mut()
+            .zip(&mut requests)
+            .zip(active.iter_mut())
+            .zip(states.iter_mut())
+            .zip(reports.iter().zip(errors))
+            .enumerate()
+        {
+            if !*is_active {
+                continue;
+            }
+            if error.is_some() {
+                *is_active = false;
+                continue;
+            }
+            ls.epochs_done += 1;
+            // A parked (kernel-path) epoch completes no jobs, so the
+            // tracker would not move: every snapshot delta is exactly
+            // zero (`x - x` is `+0.0` for finite totals) and the ratio
+            // takes its no-demand branch. Skipping the snapshot
+            // round-trip is therefore bit-identical to the live path.
+            let (epoch_units, epoch_violations, epoch_qos_ratio) = if batch.lane_parked(i) {
+                (0.0, 0, 1.0)
+            } else {
+                ls.tracker.observe_all(report.completed());
+                let snapshot = ls.tracker.snapshot();
+                let units = snapshot.units - ls.prev_snapshot.units;
+                let max_units = snapshot.max_units - ls.prev_snapshot.max_units;
+                let violations = snapshot.violations - ls.prev_snapshot.violations;
+                ls.prev_snapshot = snapshot;
+                let ratio = if max_units > 0.0 {
+                    (units / max_units).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                (units, violations, ratio)
+            };
+
+            for ((r, &max_level), frac) in report
+                .clusters
+                .iter()
+                .zip(&ls.max_levels)
+                .zip(ls.level_frac_sum.iter_mut())
+            {
+                ls.transitions += u64::from(r.transitions);
+                *frac += r.level as f64 / max_level as f64;
+                ls.idle_gated_core_s += r.idle_gated_s;
+                ls.idle_collapsed_core_s += r.idle_collapsed_s;
+            }
+
+            batch.observe_lane_into(i, report, &mut ls.state.soc);
+            ls.state.qos = QosFeedback {
+                qos_ratio: epoch_qos_ratio,
+                units: epoch_units,
+                violations: epoch_violations,
+                pending_jobs: batch.lane_queued_jobs(i),
+            };
+            if let Some(trace) = ls.trace.as_mut() {
+                let num_clusters = report.clusters.len();
+                let mut row: Vec<f64> = Vec::with_capacity(2 * num_clusters + 2);
+                for r in &report.clusters {
+                    row.push(r.level as f64);
+                }
+                for r in &report.clusters {
+                    row.push(r.util_max);
+                }
+                row.push(report.energy_j / epoch.as_secs_f64());
+                row.push(epoch_units);
+                trace.record(report.ended_at, row);
+            }
+            let _decide_span = obs::span!("runner.decide");
+            // xtask-hotpath: begin (per-epoch decision dispatch, no allocation)
+            match lane.faults.as_mut() {
+                Some(harness) => {
+                    harness.decide(lane.governor.as_mut(), &mut ls.state, request);
+                }
+                None => lane.governor.decide_into(&ls.state, request),
+            }
+            // xtask-hotpath: end
+        }
+    }
+
+    // Write resident domain state back so final energy/queue/time reads
+    // see live lanes.
+    batch.unpark_all();
+    states
+        .into_iter()
+        .zip(lanes.iter())
+        .enumerate()
+        .map(|(i, (ls, lane))| {
+            let soc = batch.lane(i);
+            let energy_j = soc.total_energy_j() - ls.start_energy;
+            let unfinished = soc.queued_jobs() + soc.pending_arrivals();
+            let qos = ls.tracker.finalize(unfinished);
+            let wall = (soc.now() - ls.started_at).as_secs_f64();
+            let (seus_detected, table_reloads) = lane.governor.seu_recovery_counts();
+            let (watchdog_engagements, fault_counts) = match &lane.faults {
+                Some(harness) => (harness.watchdog_engagements(), *harness.counts()),
+                None => (0, FaultCounts::default()),
+            };
+            RUNS.inc();
+            LAST_ENERGY_PER_QOS.set(qos.energy_per_qos(energy_j));
+            RunMetrics {
+                energy_j,
+                energy_per_qos: qos.energy_per_qos(energy_j),
+                qos,
+                avg_power_w: if wall > 0.0 { energy_j / wall } else { 0.0 },
+                transitions: ls.transitions,
+                epochs: ls.epochs_done,
+                jobs_submitted: soc.jobs_submitted() - ls.start_jobs,
+                mean_level_frac: ls
+                    .level_frac_sum
+                    .iter()
+                    .map(|s| s / ls.epochs_done.max(1) as f64)
+                    .collect(),
+                idle_gated_core_s: ls.idle_gated_core_s,
+                idle_collapsed_core_s: ls.idle_collapsed_core_s,
+                watchdog_engagements,
+                fault_counts,
+                seus_detected,
+                table_reloads,
+                trace: ls.trace,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +712,79 @@ mod tests {
             (m.energy_j, m.qos, m.transitions)
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn batched_runs_match_looped_runs_bit_for_bit() {
+        let combos = [
+            (ScenarioKind::Idle, GovernorKind::Ondemand, 11u64),
+            (ScenarioKind::Video, GovernorKind::Schedutil, 12),
+            (ScenarioKind::Idle, GovernorKind::Powersave, 13),
+            (ScenarioKind::Mixed, GovernorKind::Interactive, 14),
+        ];
+        let config = RunConfig::seconds(3);
+
+        let looped: Vec<RunMetrics> = combos
+            .iter()
+            .map(|&(scenario, governor, seed)| {
+                let mut soc = soc();
+                let mut scenario = scenario.build(seed);
+                let mut governor = governor.build(soc.config());
+                run(&mut soc, scenario.as_mut(), governor.as_mut(), config)
+            })
+            .collect();
+
+        let mut batch = DeviceBatch::new(combos.iter().map(|_| soc()).collect::<Vec<_>>()).unwrap();
+        let mut lanes: Vec<BatchLane> = combos
+            .iter()
+            .map(|&(scenario, governor, seed)| BatchLane {
+                scenario: scenario.build(seed),
+                governor: governor.build(batch.lane(0).config()),
+                faults: None,
+            })
+            .collect();
+        let batched = run_batch(&mut batch, &mut lanes, config);
+
+        for (lane, (b, l)) in batched.iter().zip(&looped).enumerate() {
+            assert_eq!(
+                b.energy_j.to_bits(),
+                l.energy_j.to_bits(),
+                "lane {lane} energy diverged"
+            );
+            assert_eq!(b, l, "lane {lane} metrics diverged");
+        }
+    }
+
+    #[test]
+    fn batched_runs_with_faults_match_looped() {
+        let config = RunConfig::seconds(2);
+        let cfg = SocConfig::odroid_xu3_like().unwrap();
+        let harness = || {
+            FaultHarness::new(&cfg, 99, crate::e9_fault_resilience::default_base_rates()).unwrap()
+        };
+
+        let looped = {
+            let mut soc = soc();
+            let mut scenario = ScenarioKind::Gaming.build(21);
+            let mut governor = GovernorKind::Ondemand.build(soc.config());
+            let mut h = harness();
+            run_with_faults(
+                &mut soc,
+                scenario.as_mut(),
+                governor.as_mut(),
+                config,
+                Some(&mut h),
+            )
+        };
+
+        let mut batch = DeviceBatch::new(vec![soc()]).unwrap();
+        let mut lanes = vec![BatchLane {
+            scenario: ScenarioKind::Gaming.build(21),
+            governor: GovernorKind::Ondemand.build(batch.lane(0).config()),
+            faults: Some(harness()),
+        }];
+        let batched = run_batch(&mut batch, &mut lanes, config);
+        assert_eq!(batched[0], looped);
     }
 
     #[test]

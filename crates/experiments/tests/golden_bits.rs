@@ -19,9 +19,10 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use experiments::{run, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
+use experiments::{run, run_batch, BatchLane, PolicyKind, RunConfig, RunMetrics, TrainingProtocol};
 use governors::GovernorKind;
-use soc::{Soc, SocConfig};
+use proptest::prelude::*;
+use soc::{DeviceBatch, Soc, SocConfig};
 use workload::ScenarioKind;
 
 /// One golden line per run: every float as `to_bits()` hex, integers raw.
@@ -120,6 +121,191 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden_bits.txt")
+}
+
+// --- Batched fleet: batch-vs-looped bit-identity --------------------------
+//
+// The batched engine (`DeviceBatch` + `run_batch`) claims the same
+// bit-identity property the single-device optimisations do: lane `i` of a
+// batched fleet must produce *exactly* the metrics of running that lane
+// alone. The tests below check the claim at several lane counts (including
+// the 256 lanes the sim-rate bench measures), over a mixed fleet that
+// exercises every interesting lane shape: deep standby (parks for the whole
+// run), idle with sync/notification wake-ups (parks and unparks), busy
+// scenarios (never parks), and trained RL policies.
+
+/// The scenario lane `i` of a fleet runs, cycling a mixed table.
+fn fleet_scenario(i: usize) -> ScenarioKind {
+    const CYCLE: [ScenarioKind; 8] = [
+        ScenarioKind::Standby,
+        ScenarioKind::Idle,
+        ScenarioKind::Video,
+        ScenarioKind::Audio,
+        ScenarioKind::Mixed,
+        ScenarioKind::Standby,
+        ScenarioKind::Web,
+        ScenarioKind::Idle,
+    ];
+    CYCLE[i % CYCLE.len()]
+}
+
+/// The policy lane `i` runs. Every 64th lane (offset 4, which
+/// [`fleet_scenario`] maps to `Mixed`) carries a trained RL policy; the
+/// rest cycle the baseline governors.
+fn fleet_policy(i: usize) -> PolicyKind {
+    if i % 64 == 4 {
+        return PolicyKind::Rl;
+    }
+    const CYCLE: [GovernorKind; 5] = [
+        GovernorKind::Ondemand,
+        GovernorKind::Powersave,
+        GovernorKind::Schedutil,
+        GovernorKind::Interactive,
+        GovernorKind::Performance,
+    ];
+    PolicyKind::Baseline(CYCLE[i % CYCLE.len()])
+}
+
+fn fleet_seed(i: usize) -> u64 {
+    600 + i as u64
+}
+
+/// Fresh scenario + governor instances for lane `i`, identical whether the
+/// lane runs alone or inside a batch.
+fn build_fleet_lane(i: usize, cfg: &SocConfig, training: TrainingProtocol) -> BatchLane {
+    let scenario = fleet_scenario(i);
+    let seed = fleet_seed(i);
+    BatchLane {
+        scenario: scenario.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+        governor: fleet_policy(i).build_trained(cfg, scenario, training, seed),
+        faults: None,
+    }
+}
+
+fn run_fleet_batched(n: usize, cfg: &SocConfig, config: RunConfig) -> Vec<RunMetrics> {
+    let socs: Vec<Soc> = (0..n)
+        .map(|_| Soc::new(cfg.clone()).expect("validated config"))
+        .collect();
+    let mut batch = DeviceBatch::new(socs).expect("uniform fleet");
+    let mut lanes: Vec<BatchLane> = (0..n)
+        .map(|i| build_fleet_lane(i, cfg, TrainingProtocol::quick()))
+        .collect();
+    run_batch(&mut batch, &mut lanes, config)
+}
+
+#[test]
+fn batched_fleets_match_looped_runs_at_every_lane_count() {
+    let cfg = SocConfig::odroid_xu3_like().expect("preset is valid");
+    for n in [1usize, 7, 64, 256] {
+        // Shorter window at 256 lanes to keep debug-mode test time sane;
+        // one second still spans the idle scenario's sync wake-ups, so
+        // lanes park *and* unpark inside the measured window.
+        let config = RunConfig::seconds(if n >= 256 { 1 } else { 2 });
+        let batched = run_fleet_batched(n, &cfg, config);
+        assert_eq!(batched.len(), n);
+        for (i, b) in batched.iter().enumerate() {
+            let mut lane = build_fleet_lane(i, &cfg, TrainingProtocol::quick());
+            let mut soc = Soc::new(cfg.clone()).expect("validated config");
+            let looped = run(
+                &mut soc,
+                lane.scenario.as_mut(),
+                lane.governor.as_mut(),
+                config,
+            );
+            assert_eq!(
+                b.energy_j.to_bits(),
+                looped.energy_j.to_bits(),
+                "fleet of {n}: lane {i} ({}/{}) energy diverged",
+                fleet_scenario(i).name(),
+                fleet_policy(i).name(),
+            );
+            assert_eq!(b, &looped, "fleet of {n}: lane {i} metrics diverged");
+        }
+    }
+}
+
+/// Pins the batched fleet's raw bit patterns against
+/// `tests/golden_fleet_bits.txt` — the equivalence test above cannot catch
+/// the looped and batched paths drifting *together*, this can. 64 lanes
+/// covers one full RL lane plus every scenario/baseline combination in the
+/// cycle tables.
+#[test]
+fn fleet_matrix_is_bit_identical_to_golden() {
+    let cfg = SocConfig::odroid_xu3_like().expect("preset is valid");
+    let metrics = run_fleet_batched(64, &cfg, RunConfig::seconds(2));
+    let mut rendered =
+        String::from("# golden fleet bit patterns: 64 batched lanes, 2 s, quick training\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let label = format!("lane{i:03}");
+        rendered.push_str(&render_line(&label, fleet_scenario(i), fleet_policy(i), m));
+        rendered.push('\n');
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_fleet_bits.txt");
+    if std::env::var_os("RLPM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("missing tests/golden_fleet_bits.txt; generate with RLPM_UPDATE_GOLDEN=1");
+    if rendered != golden {
+        let mut diff = String::new();
+        for (ours, theirs) in rendered.lines().zip(golden.lines()) {
+            if ours != theirs {
+                let _ = writeln!(diff, "-{theirs}\n+{ours}");
+            }
+        }
+        panic!(
+            "batched fleet output drifted from golden bit patterns (the batch \
+             engine must stay bit-exact):\n{diff}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Lane order is immaterial: permuting which slot of the batch a
+    /// device occupies permutes the metrics and changes nothing else.
+    /// This is the structural property the whole batch engine rests on
+    /// (lanes are independent, so parked-lane compaction is free to
+    /// reorder work), checked directly.
+    #[test]
+    fn prop_lane_permutation_only_permutes_metrics(perm_seed in 0u64..10_000) {
+        let cfg = SocConfig::odroid_xu3_like().expect("preset is valid");
+        let n = 10usize;
+        let config = RunConfig::seconds(1);
+
+        // Fisher-Yates from a seeded stream: deterministic per case.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = simkit::SimRng::seed_from(perm_seed);
+        for i in (1..n).rev() {
+            perm.swap(i, rng.uniform_usize(i + 1));
+        }
+
+        let base = run_fleet_batched(n, &cfg, config);
+
+        let socs: Vec<Soc> = (0..n).map(|_| Soc::new(cfg.clone()).expect("valid")).collect();
+        let mut batch = DeviceBatch::new(socs).expect("uniform fleet");
+        let mut lanes: Vec<BatchLane> = perm
+            .iter()
+            .map(|&src| build_fleet_lane(src, &cfg, TrainingProtocol::quick()))
+            .collect();
+        let permuted = run_batch(&mut batch, &mut lanes, config);
+
+        for (slot, &src) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                &permuted[slot],
+                &base[src],
+                "slot {} (fleet lane {}) diverged under permutation",
+                slot,
+                src
+            );
+        }
+    }
 }
 
 #[test]

@@ -546,6 +546,101 @@ impl Cluster {
         self.acc.substeps += steps as u32;
     }
 
+    /// Detaches the state the batched idle kernel needs into a flat
+    /// [`IdleDomain`] record, applying the same up-front stall zeroing as
+    /// [`Cluster::advance_idle_substeps`] and *draining* the epoch
+    /// accumulator's energy and transition counts into the record (the
+    /// domain carries them while the lane is parked — possibly across many
+    /// epochs — and the per-epoch synthesis reads and clears them exactly
+    /// where `end_epoch_into` would). Callers guarantee the cluster is
+    /// quiescent with no cpuidle table; [`Cluster::idle_batch_restore`]
+    /// writes the evolved state back when the lane unparks.
+    pub(crate) fn idle_batch_begin(&mut self, dt: SimDuration) -> IdleDomain {
+        debug_assert!(self.is_quiescent(), "idle batch on a busy cluster");
+        debug_assert!(self.config.idle.is_none(), "idle batch with cpuidle");
+        // Identical to the fast-forward loop: the stall only shrinks an
+        // execution window no quiescent core uses, and only a clamp on
+        // the final sub-step re-arms it (tracked via `stall_armed`).
+        self.pending_stall = SimDuration::ZERO;
+        let lut = self.lut();
+        let max_level = self.config.opps.max_level();
+        // The clamp target while throttled; `level > clamp` fires at most
+        // once per parked stay (the clamp never lowers further), so the
+        // constants at the clamped level can be staged up front.
+        let clamp_level = max_level.saturating_sub(self.config.thermal.throttle_levels);
+        // xtask-allow: no-panic-lib -- `clamp_level <= max_level` and the table has `max_level + 1` entries
+        let clamp_lut = self.power_lut[clamp_level];
+        let energy_j = self.acc.energy_j;
+        let transitions = self.acc.transitions;
+        self.acc.energy_j = 0.0;
+        self.acc.transitions = 0;
+        IdleDomain {
+            power: self.config.power,
+            temp_c: self.config.thermal.temp_c(),
+            throttled: self.config.thermal.is_throttled(),
+            energy_j,
+            uncore_w: lut.uncore_w,
+            idle_coeff: lut.idle_coeff,
+            leak_base: lut.leak_base,
+            ambient_c: self.config.thermal.ambient_c,
+            r_th_c_per_w: self.config.thermal.r_th_c_per_w,
+            decay: self.config.thermal.decay_for(dt),
+            trip_c: self.config.thermal.throttle_temp_c,
+            release_c: self.config.thermal.release_temp_c,
+            online: self.online as u32,
+            level: self.level,
+            max_level,
+            clamp_level,
+            clamp_uncore_w: clamp_lut.uncore_w,
+            clamp_idle_coeff: clamp_lut.idle_coeff,
+            clamp_leak_base: clamp_lut.leak_base,
+            transitions,
+            stall_armed: false,
+        }
+    }
+
+    /// Reattaches a domain when its lane unparks, at an epoch boundary:
+    /// thermal state, level, a stall armed by a final-sub-step clamp, and
+    /// the idle residency owed for the whole parked stay (`idle_span` =
+    /// epochs parked × epoch length; residency is integer nanoseconds, so
+    /// one batched add equals the per-epoch adds exactly). The domain's
+    /// energy and transition fields are whatever the last epoch synthesis
+    /// left un-committed — zero at every epoch boundary — so folding them
+    /// back into the (zeroed) accumulator restores the exact state a
+    /// looped run would hold at the same boundary.
+    pub(crate) fn idle_batch_restore(&mut self, d: &IdleDomain, idle_span: SimDuration) {
+        self.config.thermal.restore_batched(d.temp_c, d.throttled);
+        self.acc.energy_j += d.energy_j;
+        self.acc.transitions += d.transitions;
+        self.level = d.level;
+        if d.stall_armed {
+            self.pending_stall = self.config.transition_latency;
+        }
+        for core in &mut self.cores {
+            core.note_idle(idle_span);
+        }
+    }
+
+    /// Stages the constants needed to synthesise [`ClusterObservation`]s
+    /// for a parked cluster without touching it: everything
+    /// [`Cluster::observe`] reads that the [`IdleDomain`] does not carry.
+    /// The level while parked is either the entry level or the staged
+    /// clamp level, so two frequencies cover every reachable state.
+    pub(crate) fn parked_obs_consts(&self) -> ParkedObsConsts {
+        let max_level = self.config.opps.max_level();
+        let clamp_level = max_level.saturating_sub(self.config.thermal.throttle_levels);
+        ParkedObsConsts {
+            num_levels: self.config.opps.len(),
+            freq_range_hz: (
+                self.config.opps.min_freq_hz(),
+                self.config.opps.max_freq_hz(),
+            ),
+            entry_level: self.level,
+            entry_freq_hz: self.config.opps.opp(self.level).freq_hz,
+            clamp_freq_hz: self.config.opps.opp(clamp_level).freq_hz,
+        }
+    }
+
     /// Closes the epoch: returns the aggregate report and clears the
     /// accumulators.
     pub fn end_epoch(&mut self) -> ClusterReport {
@@ -611,6 +706,388 @@ impl Cluster {
         self.pending_stall = SimDuration::ZERO;
         self.acc = EpochAcc::default();
     }
+}
+
+/// One quiescent cluster's state flattened for the batched idle kernel:
+/// the hot scalars [`Cluster::advance_idle_substeps`] keeps in locals,
+/// plus the per-OPP constants it reads, detached from the `Cluster` so
+/// many domains can advance in one interleaved loop. Produced by
+/// [`Cluster::idle_batch_begin`], consumed by [`advance_idle_batch`],
+/// written back by [`Cluster::idle_batch_finish`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IdleDomain {
+    /// The cluster's power model — the kernel routes leakage through
+    /// [`PowerModel::leakage_w_from_base`] so the expression cannot drift
+    /// from the scalar path.
+    power: PowerModel,
+    /// Junction temperature (the serial dependency chain).
+    temp_c: f64,
+    /// Epoch energy accumulator, seeded from `acc.energy_j`.
+    energy_j: f64,
+    /// Throttle hysteresis flag.
+    throttled: bool,
+    // Constants of the current OPP (refreshed if the clamp fires).
+    uncore_w: f64,
+    idle_coeff: f64,
+    leak_base: f64,
+    // Thermal-node constants.
+    ambient_c: f64,
+    r_th_c_per_w: f64,
+    decay: f64,
+    trip_c: f64,
+    release_c: f64,
+    /// Online cores: the per-core idle term is added this many times.
+    online: u32,
+    level: OppLevel,
+    max_level: OppLevel,
+    // The staged clamp target and its OPP constants (see
+    // `idle_batch_begin`).
+    clamp_level: OppLevel,
+    clamp_uncore_w: f64,
+    clamp_idle_coeff: f64,
+    clamp_leak_base: f64,
+    /// DVFS transitions performed by the clamp during the batch.
+    transitions: u32,
+    /// Whether a final-sub-step clamp left the transition stall armed.
+    stall_armed: bool,
+}
+
+impl IdleDomain {
+    /// Whether `set_level(requested)` on the parked cluster would change
+    /// nothing — the same clamp-then-compare [`Cluster::set_level`]
+    /// performs, evaluated against the domain's thermal state. A request
+    /// beyond the table (an error in the scalar path) also reports
+    /// `false`, so the lane unparks and surfaces the identical error.
+    pub(crate) fn level_request_is_noop(&self, requested: OppLevel) -> bool {
+        let clamp_max = if self.throttled {
+            self.clamp_level
+        } else {
+            self.max_level
+        };
+        requested <= self.max_level && requested.min(clamp_max) == self.level
+    }
+}
+
+/// Everything [`Cluster::observe`] reads that an [`IdleDomain`] does not
+/// carry, staged once when a lane parks. See
+/// [`Cluster::parked_obs_consts`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParkedObsConsts {
+    num_levels: usize,
+    freq_range_hz: (u64, u64),
+    entry_level: OppLevel,
+    entry_freq_hz: u64,
+    clamp_freq_hz: u64,
+}
+
+impl ParkedObsConsts {
+    /// Synthesises the observation [`Cluster::observe`] would produce for
+    /// the parked cluster: level, temperature and throttle state come
+    /// from the domain, the table constants from the staged copy, and the
+    /// queue is empty by the parked invariant.
+    pub(crate) fn observe(
+        &self,
+        d: &IdleDomain,
+        util_avg: f64,
+        util_max: f64,
+    ) -> ClusterObservation {
+        ClusterObservation {
+            util_avg,
+            util_max,
+            level: d.level,
+            num_levels: self.num_levels,
+            freq_hz: if d.level == self.entry_level {
+                self.entry_freq_hz
+            } else {
+                self.clamp_freq_hz
+            },
+            freq_range_hz: self.freq_range_hz,
+            temp_c: d.temp_c,
+            throttled: d.throttled,
+            queued: 0,
+        }
+    }
+}
+
+/// Synthesises the report [`Cluster::end_epoch_into`] would produce for a
+/// cluster whose entire epoch ran through the idle kernel, and performs
+/// the same end-of-epoch accumulator reset on the domain's carried
+/// fields. Bit-identical to the scalar epilogue: the utilisation sums of
+/// an all-idle epoch are exactly `+0.0` (folding `+0.0` is a bitwise
+/// no-op), nothing is queued or completed on a quiescent cluster, and
+/// there is no cpuidle residency without a cpuidle table.
+pub(crate) fn synth_parked_report(d: &mut IdleDomain, steps: u32, report: &mut ClusterReport) {
+    let n = steps.max(1) as f64;
+    report.util_avg = 0.0 / n;
+    report.util_max = 0.0 / n;
+    report.energy_j = d.energy_j;
+    report.temp_c = d.temp_c;
+    report.level = d.level;
+    report.transitions = d.transitions;
+    report.queued = 0;
+    report.idle_gated_s = 0.0;
+    report.idle_collapsed_s = 0.0;
+    report.completed.clear();
+    // The next resident epoch starts with fresh accumulators, exactly as
+    // `end_epoch_into` leaves them. `stall_armed` is NOT cleared here: a
+    // final-sub-step clamp must stay visible until the next epoch's
+    // pre-pass (which either restores it on unpark or clears it via
+    // `IdleDomain::begin_epoch`).
+    d.energy_j = 0.0;
+    d.transitions = 0;
+}
+
+/// Advances `steps` idle sub-steps on every domain in lockstep, opening
+/// a fresh epoch on each (the previous epoch's stall flag is discarded at
+/// gather, mirroring the up-front `pending_stall` zeroing of
+/// [`Cluster::advance_idle_substeps`] — between kernel calls the flag is
+/// only consumed by the unpark restore). Per domain this is
+/// **bit-identical** to the scalar fast-forward (and therefore to stepped
+/// execution): each domain evaluates the same straight-line sequence —
+/// leakage from the hoisted base, the per-online-core idle term added in
+/// order, energy then the exact-exponential thermal update, then the
+/// throttle hysteresis and clamp — only the schedule across (independent)
+/// domains changes.
+///
+/// The schedule is blocked: [`IDLE_BLOCK`] domains at a time are gathered
+/// into structure-of-arrays lanes ([`IdleLanes`]), stepped through the
+/// whole epoch while the lanes sit in L1, and scattered back. The
+/// sub-step loops are fixed-width and branch-free — every conditional
+/// update is a lane-wise select that reproduces the branch outcome value
+/// exactly — so they vectorise, and the serial per-domain thermal
+/// recurrence amortises its latency across the whole block.
+pub(crate) fn advance_idle_batch(domains: &mut [IdleDomain], dt: SimDuration, steps: u64) {
+    let dt_s = dt.as_secs_f64();
+    for block in domains.chunks_mut(IDLE_BLOCK) {
+        advance_idle_block(block, dt_s, steps);
+    }
+}
+
+/// SoA lane width of the batched idle kernel: wide enough that the
+/// vectorised sub-step chain amortises its latency across many lanes,
+/// small enough that the hot lanes stay in L1.
+const IDLE_BLOCK: usize = 32;
+
+/// Structure-of-arrays lanes of one kernel block. Integer and boolean
+/// domain state rides in `f64` lanes — the values are small integers and
+/// 0.0/1.0 flags, all exactly representable — so every select in the
+/// sub-step loop is over one element type and the loops vectorise clean.
+struct IdleLanes {
+    // Mutable lane state.
+    temp_c: [f64; IDLE_BLOCK],
+    energy_j: [f64; IDLE_BLOCK],
+    throttled: [f64; IDLE_BLOCK],
+    uncore_w: [f64; IDLE_BLOCK],
+    idle_coeff: [f64; IDLE_BLOCK],
+    leak_base: [f64; IDLE_BLOCK],
+    level: [f64; IDLE_BLOCK],
+    transitions: [f64; IDLE_BLOCK],
+    stall_armed: [f64; IDLE_BLOCK],
+    // Per-lane constants.
+    leak_temp_coeff: [f64; IDLE_BLOCK],
+    leak_t_ref_c: [f64; IDLE_BLOCK],
+    transition_energy_j: [f64; IDLE_BLOCK],
+    ambient_c: [f64; IDLE_BLOCK],
+    r_th_c_per_w: [f64; IDLE_BLOCK],
+    decay: [f64; IDLE_BLOCK],
+    trip_c: [f64; IDLE_BLOCK],
+    release_c: [f64; IDLE_BLOCK],
+    online: [f64; IDLE_BLOCK],
+    max_level: [f64; IDLE_BLOCK],
+    clamp_level: [f64; IDLE_BLOCK],
+    clamp_uncore_w: [f64; IDLE_BLOCK],
+    clamp_idle_coeff: [f64; IDLE_BLOCK],
+    clamp_leak_base: [f64; IDLE_BLOCK],
+}
+
+/// One gather → step → scatter block of [`advance_idle_batch`]. `block`
+/// holds 1..=[`IDLE_BLOCK`] domains; tail lanes are padded with copies of
+/// the first domain, stepped like the rest and never written back.
+fn advance_idle_block(block: &mut [IdleDomain], dt_s: f64, steps: u64) {
+    use std::array::from_fn;
+    let n = block.len();
+    // xtask-allow: no-panic-lib -- padded gather index is `j < n` or 0, and `chunks_mut` blocks are non-empty
+    let at = |j: usize| &block[if j < n { j } else { 0 }];
+    let mut l = IdleLanes {
+        temp_c: from_fn(|j| at(j).temp_c),
+        energy_j: from_fn(|j| at(j).energy_j),
+        throttled: from_fn(|j| f64::from(u8::from(at(j).throttled))),
+        uncore_w: from_fn(|j| at(j).uncore_w),
+        idle_coeff: from_fn(|j| at(j).idle_coeff),
+        leak_base: from_fn(|j| at(j).leak_base),
+        level: from_fn(|j| at(j).level as f64),
+        transitions: from_fn(|j| f64::from(at(j).transitions)),
+        // Epoch open: the stall flag from the previous epoch's final
+        // sub-step has been consumed by now (see the kernel docs), so
+        // every lane starts clear.
+        stall_armed: [0.0; IDLE_BLOCK],
+        leak_temp_coeff: from_fn(|j| at(j).power.leak_temp_coeff),
+        leak_t_ref_c: from_fn(|j| at(j).power.leak_t_ref_c),
+        transition_energy_j: from_fn(|j| at(j).power.transition_energy_j),
+        ambient_c: from_fn(|j| at(j).ambient_c),
+        r_th_c_per_w: from_fn(|j| at(j).r_th_c_per_w),
+        decay: from_fn(|j| at(j).decay),
+        trip_c: from_fn(|j| at(j).trip_c),
+        release_c: from_fn(|j| at(j).release_c),
+        online: from_fn(|j| f64::from(at(j).online)),
+        max_level: from_fn(|j| at(j).max_level as f64),
+        clamp_level: from_fn(|j| at(j).clamp_level as f64),
+        clamp_uncore_w: from_fn(|j| at(j).clamp_uncore_w),
+        clamp_idle_coeff: from_fn(|j| at(j).clamp_idle_coeff),
+        clamp_leak_base: from_fn(|j| at(j).clamp_leak_base),
+    };
+    let max_online = block.iter().map(|d| d.online).max().unwrap_or(0);
+    // Common-case specialisations, both value-preserving: with one online
+    // count the add predicates are uniformly true, and with every lane's
+    // level at or below both clamp targets the fire block is select-only
+    // no-ops for the whole epoch (the clamp never raises a level), so
+    // skipping it changes nothing.
+    let uniform = block.iter().all(|d| d.online == max_online);
+    let no_fire = l
+        .level
+        .iter()
+        .zip(l.clamp_level.iter().zip(&l.max_level))
+        .all(|(&level, (&clamp, &max))| level <= clamp.min(max));
+    match (uniform, no_fire) {
+        (true, true) => idle_substeps::<true, true>(&mut l, dt_s, steps, max_online),
+        (true, false) => idle_substeps::<true, false>(&mut l, dt_s, steps, max_online),
+        (false, true) => idle_substeps::<false, true>(&mut l, dt_s, steps, max_online),
+        (false, false) => idle_substeps::<false, false>(&mut l, dt_s, steps, max_online),
+    }
+    // Scatter the mutable lane state back; `zip` stops at the real lanes,
+    // so the padded tail is never written back.
+    for (d, &v) in block.iter_mut().zip(&l.temp_c) {
+        d.temp_c = v;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.energy_j) {
+        d.energy_j = v;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.throttled) {
+        d.throttled = v != 0.0;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.uncore_w) {
+        d.uncore_w = v;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.idle_coeff) {
+        d.idle_coeff = v;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.leak_base) {
+        d.leak_base = v;
+    }
+    // Lossless round-trips: levels and transition counts are small
+    // integers, far below `f64`'s exact-integer range.
+    for (d, &v) in block.iter_mut().zip(&l.level) {
+        d.level = v as OppLevel;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.transitions) {
+        d.transitions = v as u32;
+    }
+    for (d, &v) in block.iter_mut().zip(&l.stall_armed) {
+        d.stall_armed = v != 0.0;
+    }
+}
+
+/// The vectorised sub-step loop over one [`IdleLanes`] block.
+///
+/// `UNIFORM` (every lane shares `max_online`) drops the per-core add
+/// predicates; `NO_FIRE` (no lane's level exceeds a clamp target) drops
+/// the clamp block. Both are pure specialisations — see
+/// [`advance_idle_block`].
+#[allow(clippy::needless_range_loop)] // fixed-width lane loops vectorise as written
+fn idle_substeps<const UNIFORM: bool, const NO_FIRE: bool>(
+    l: &mut IdleLanes,
+    dt_s: f64,
+    steps: u64,
+    max_online: u32,
+) {
+    const B: usize = IDLE_BLOCK;
+    // xtask-allow-region: no-panic-lib -- every index is `j < B` into `[f64; B]` lanes (or a fixed `[0.0; B]` scratch): statically in bounds
+    // xtask-hotpath: begin
+    for i in 0..steps {
+        let last = if i + 1 == steps { 1.0f64 } else { 0.0 };
+        let mut term = [0.0; B];
+        let mut power_w = [0.0; B];
+        for j in 0..B {
+            let leak_w = PowerModel::leakage_w_from_parts(
+                l.leak_base[j],
+                l.temp_c[j],
+                l.leak_temp_coeff[j],
+                l.leak_t_ref_c[j],
+            );
+            term[j] = PowerModel::idle_core_w_from_parts(l.idle_coeff[j], leak_w, 1.0, 1.0);
+            power_w[j] = l.uncore_w[j];
+        }
+        // The scalar path adds the idle term once per online core; the
+        // predicated add replays that exact chain lane-wise (a discarded
+        // `power + term` has no effect) with a uniform trip count.
+        for c in 0..max_online {
+            let c_f = f64::from(c);
+            for j in 0..B {
+                power_w[j] = if UNIFORM || c_f < l.online[j] {
+                    power_w[j] + term[j]
+                } else {
+                    power_w[j]
+                };
+            }
+        }
+        for j in 0..B {
+            l.energy_j[j] += power_w[j] * dt_s;
+            // `ThermalModel::step` with the decay factor hoisted: the
+            // steady-state temperature, the exact exponential relaxation,
+            // then the trip/release hysteresis.
+            let t_inf = l.ambient_c[j] + power_w[j] * l.r_th_c_per_w[j];
+            l.temp_c[j] = t_inf + (l.temp_c[j] - t_inf) * l.decay[j];
+            l.throttled[j] = if l.temp_c[j] >= l.trip_c[j] {
+                1.0
+            } else if l.temp_c[j] <= l.release_c[j] {
+                0.0
+            } else {
+                l.throttled[j]
+            };
+        }
+        if NO_FIRE {
+            continue;
+        }
+        for j in 0..B {
+            let clamp = if l.throttled[j] != 0.0 {
+                l.clamp_level[j]
+            } else {
+                l.max_level[j]
+            };
+            let fire = l.level[j] > clamp;
+            l.level[j] = if fire { clamp } else { l.level[j] };
+            // The energy accumulator is a sum of non-negative terms, so
+            // the discarded branch adds `+0.0` — exact — and the lane
+            // stays select-only.
+            l.energy_j[j] += if fire { l.transition_energy_j[j] } else { 0.0 };
+            l.transitions[j] += if fire { 1.0 } else { 0.0 };
+            l.uncore_w[j] = if fire {
+                l.clamp_uncore_w[j]
+            } else {
+                l.uncore_w[j]
+            };
+            l.idle_coeff[j] = if fire {
+                l.clamp_idle_coeff[j]
+            } else {
+                l.idle_coeff[j]
+            };
+            l.leak_base[j] = if fire {
+                l.clamp_leak_base[j]
+            } else {
+                l.leak_base[j]
+            };
+            // Mid-batch the stepped loop would zero the stall at the next
+            // sub-step; only a final-sub-step clamp leaves it armed for
+            // the epoch that follows.
+            l.stall_armed[j] = if fire {
+                last.max(l.stall_armed[j])
+            } else {
+                l.stall_armed[j]
+            };
+        }
+    }
+    // xtask-hotpath: end
+    // xtask-allow-region: end no-panic-lib
 }
 
 #[cfg(test)]

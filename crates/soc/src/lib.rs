@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod cluster;
 mod config;
 mod core_model;
@@ -49,6 +50,7 @@ mod sched;
 mod soc_impl;
 mod thermal;
 
+pub use batch::DeviceBatch;
 pub use cluster::{Cluster, ClusterObservation, ClusterReport};
 pub use config::{ClusterConfig, SocConfig};
 pub use core_model::{CoreModel, CoreReport};

@@ -155,6 +155,7 @@ impl OppTable {
     /// Panics if `level` is out of range; use [`OppTable::get`] for the
     /// checked variant.
     pub fn opp(&self, level: OppLevel) -> Opp {
+        // xtask-allow: no-panic-lib -- documented # Panics contract; `get` is the checked variant
         self.points[level]
     }
 

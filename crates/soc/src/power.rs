@@ -104,7 +104,21 @@ impl PowerModel {
     /// sub-step loop; routing [`PowerModel::leakage_w`] through here keeps
     /// the two paths bit-identical by construction.
     pub fn leakage_w_from_base(&self, leak_base: f64, temp_c: f64) -> f64 {
-        let scale = 1.0 + self.leak_temp_coeff * (temp_c - self.leak_t_ref_c);
+        Self::leakage_w_from_parts(leak_base, temp_c, self.leak_temp_coeff, self.leak_t_ref_c)
+    }
+
+    /// Leakage with every model parameter passed explicitly, for batched
+    /// kernels that hold the parameters in structure-of-arrays lanes.
+    /// [`PowerModel::leakage_w_from_base`] routes through here, so the
+    /// scalar and batched paths evaluate one shared expression and stay
+    /// bit-identical by construction.
+    pub fn leakage_w_from_parts(
+        leak_base: f64,
+        temp_c: f64,
+        leak_temp_coeff: f64,
+        leak_t_ref_c: f64,
+    ) -> f64 {
+        let scale = 1.0 + leak_temp_coeff * (temp_c - leak_t_ref_c);
         (leak_base * scale).max(0.0)
     }
 

@@ -243,18 +243,7 @@ impl Soc {
         request: &LevelRequest,
         report: &mut EpochReport,
     ) -> Result<(), SocError> {
-        if request.levels.len() != self.clusters.len() {
-            return Err(SocError::InvalidSocConfig {
-                reason: format!(
-                    "level request has {} entries for {} clusters",
-                    request.levels.len(),
-                    self.clusters.len()
-                ),
-            });
-        }
-        for (id, (&level, cluster)) in request.levels.iter().zip(&mut self.clusters).enumerate() {
-            cluster.set_level(level, id)?;
-        }
+        self.apply_levels(request)?;
 
         let started_at = self.now;
         let substep = self.config.substep;
@@ -321,6 +310,39 @@ impl Soc {
         }
         // xtask-hotpath: end
 
+        self.finish_epoch_into(started_at, steps, report);
+        Ok(())
+    }
+
+    /// The epoch prologue shared by [`Soc::run_epoch_into`] and the
+    /// batched fast path: validates the request arity and applies the
+    /// per-cluster levels (incurring transition stalls and energy where
+    /// they change).
+    pub(crate) fn apply_levels(&mut self, request: &LevelRequest) -> Result<(), SocError> {
+        if request.levels.len() != self.clusters.len() {
+            return Err(SocError::InvalidSocConfig {
+                reason: format!(
+                    "level request has {} entries for {} clusters",
+                    request.levels.len(),
+                    self.clusters.len()
+                ),
+            });
+        }
+        for (id, (&level, cluster)) in request.levels.iter().zip(&mut self.clusters).enumerate() {
+            cluster.set_level(level, id)?;
+        }
+        Ok(())
+    }
+
+    /// The epoch epilogue shared by [`Soc::run_epoch_into`] and the
+    /// batched fast path: closes every cluster's accumulators into the
+    /// report, adds the board-base energy term and bumps the counters.
+    pub(crate) fn finish_epoch_into(
+        &mut self,
+        started_at: SimTime,
+        steps: u64,
+        report: &mut EpochReport,
+    ) {
         report.started_at = started_at;
         report.ended_at = self.now;
         report
@@ -338,7 +360,114 @@ impl Soc {
         EPOCHS.inc();
         SUBSTEPS.add(steps);
         EPOCH_ENERGY.record(energy_j);
-        Ok(())
+    }
+
+    /// Whether the idle fast-forward is enabled (see
+    /// [`Soc::set_idle_fast_forward`]).
+    pub fn idle_fast_forward_enabled(&self) -> bool {
+        self.idle_fast_forward
+    }
+
+    /// Whether the next epoch can take the batched idle fast path: every
+    /// cluster quiescent with no cpuidle table, fast-forward enabled, and
+    /// no arrival due before the epoch's last sub-step boundary — exactly
+    /// the condition under which [`Soc::run_epoch_into`] would cover the
+    /// whole epoch with one `advance_idle_substeps` call per cluster.
+    pub(crate) fn idle_epoch_parkable(&self) -> bool {
+        self.idle_fast_forward
+            && self.config.substeps_per_epoch() >= 2
+            && self
+                .clusters
+                .iter()
+                .all(|c| c.is_quiescent() && c.config().idle.is_none())
+            && self.arrivals_clear_of_epoch()
+    }
+
+    /// Whether no arrival is due before the next epoch's last sub-step
+    /// boundary — the arrival half of the parkable condition, cheap
+    /// enough to re-check every epoch while a lane stays parked (the
+    /// quiescence half is invariant there: a parked lane dispatches
+    /// nothing).
+    pub(crate) fn arrivals_clear_of_epoch(&self) -> bool {
+        let steps = self.config.substeps_per_epoch();
+        match self.arrivals.peek_time() {
+            None => true,
+            Some(t) => {
+                // Mirrors the fast-forward horizon: sub-step `j`
+                // dispatches arrivals at `now + j·substep`, so the
+                // whole epoch is skippable iff the first arrival lies
+                // strictly beyond the last boundary.
+                t > self.now
+                    && (t - self.now - SimDuration::from_nanos(1)) / self.config.substep + 1
+                        >= steps
+            }
+        }
+    }
+
+    /// Parks the SoC: detaches every cluster into an
+    /// [`crate::cluster::IdleDomain`] for the batched idle kernel
+    /// (appending to `out` in cluster order) and stages the observation
+    /// constants. The domains stay resident across epochs until
+    /// [`Soc::parked_exit`]; while parked, only [`Soc::parked_commit_epoch`]
+    /// advances this SoC.
+    pub(crate) fn parked_enter(
+        &mut self,
+        out: &mut Vec<crate::cluster::IdleDomain>,
+        consts: &mut Vec<crate::cluster::ParkedObsConsts>,
+    ) {
+        let substep = self.config.substep;
+        for cluster in &mut self.clusters {
+            consts.push(cluster.parked_obs_consts());
+            out.push(cluster.idle_batch_begin(substep));
+        }
+    }
+
+    /// Closes one parked epoch from the kernel-evolved domains: the
+    /// resident equivalent of [`Soc::finish_epoch_into`] after the
+    /// whole-epoch fast-forward arm of [`Soc::run_epoch_into`], with the
+    /// per-cluster epilogue synthesised from the domains (see
+    /// [`crate::cluster::synth_parked_report`]) instead of read from the
+    /// untouched `Cluster` structs. The energy fold, board-base term and
+    /// counters are the same instruction sequence as the scalar path.
+    pub(crate) fn parked_commit_epoch(
+        &mut self,
+        domains: &mut [crate::cluster::IdleDomain],
+        report: &mut EpochReport,
+    ) {
+        let steps = self.config.substeps_per_epoch();
+        let started_at = self.now;
+        self.now += self.config.substep * steps;
+        report.started_at = started_at;
+        report.ended_at = self.now;
+        report
+            .clusters
+            .resize_with(self.clusters.len(), ClusterReport::default);
+        let mut energy_j = 0.0;
+        for (domain, slot) in domains.iter_mut().zip(report.clusters.iter_mut()) {
+            crate::cluster::synth_parked_report(domain, steps as u32, slot);
+            energy_j += slot.energy_j;
+        }
+        let energy_j = energy_j + self.config.board_base_w * self.config.epoch.as_secs_f64();
+        self.total_energy_j += energy_j;
+        self.epochs_run += 1;
+        report.energy_j = energy_j;
+        EPOCHS.inc();
+        SUBSTEPS.add(steps);
+        EPOCH_ENERGY.record(energy_j);
+    }
+
+    /// Unparks the SoC at an epoch boundary: writes the kernel-evolved
+    /// domain state back into the clusters, including the idle residency
+    /// owed for the whole stay (`epochs_parked` epochs).
+    pub(crate) fn parked_exit(
+        &mut self,
+        domains: &[crate::cluster::IdleDomain],
+        epochs_parked: u64,
+    ) {
+        let span = self.config.substep * self.config.substeps_per_epoch() * epochs_parked;
+        for (cluster, domain) in self.clusters.iter_mut().zip(domains) {
+            cluster.idle_batch_restore(domain, span);
+        }
     }
 
     /// Builds the governor-facing observation from an epoch report.

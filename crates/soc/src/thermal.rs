@@ -153,6 +153,29 @@ impl ThermalModel {
         self.temp_c
     }
 
+    /// The decay factor `exp(−dt/τ)` for one sub-step, through the same
+    /// memo [`ThermalModel::step`] uses — a hit returns the very bits the
+    /// cold path would compute, and the entry is refreshed on a miss so a
+    /// later `step` with the same `dt` hits. The batched idle kernel
+    /// hoists this out of its sub-step loop.
+    pub(crate) fn decay_for(&mut self, dt: SimDuration) -> f64 {
+        let tau = self.r_th_c_per_w * self.c_th_j_per_c;
+        if self.decay_cache.0 == dt && self.decay_cache.1 == tau.to_bits() {
+            return self.decay_cache.2;
+        }
+        let fresh = (-dt.as_secs_f64() / tau).exp();
+        self.decay_cache = (dt, tau.to_bits(), fresh);
+        fresh
+    }
+
+    /// Writes back the state the batched idle kernel evolved outside the
+    /// struct: the temperature and throttle flag after some number of
+    /// [`ThermalModel::step`]-equivalent updates.
+    pub(crate) fn restore_batched(&mut self, temp_c: f64, throttled: bool) {
+        self.temp_c = temp_c;
+        self.throttled = throttled;
+    }
+
     /// The maximum usable OPP level given `max_level` of the table,
     /// accounting for the throttle clamp.
     pub fn clamp_max_level(&self, max_level: usize) -> usize {

@@ -5,8 +5,8 @@ use simkit::SimTime;
 use soc::Job;
 
 use crate::scenarios::{
-    AppLaunch, AudioPlayback, CameraPreview, Gaming, Idle, MarkovMix, Navigation, VideoCall,
-    VideoPlayback, WebBrowsing,
+    AppLaunch, AudioPlayback, CameraPreview, Gaming, Idle, MarkovMix, Navigation, Standby,
+    VideoCall, VideoPlayback, WebBrowsing,
 };
 use crate::QosSpec;
 
@@ -57,6 +57,11 @@ pub enum ScenarioKind {
     AppLaunch,
     /// Near-idle with sparse background work.
     Idle,
+    /// Deep standby: no arrivals at all. Excluded from
+    /// [`ScenarioKind::ALL`] (and so from the evaluation matrix): it
+    /// delivers zero QoS units, making energy-per-QoS undefined. Used by
+    /// fleet sweeps and the batched-simulation benchmarks.
+    Standby,
     /// Markov phase-switching mixture ("a day of use").
     Mixed,
 }
@@ -88,6 +93,7 @@ impl ScenarioKind {
             ScenarioKind::Navigation => "navigation",
             ScenarioKind::AppLaunch => "app-launch",
             ScenarioKind::Idle => "idle",
+            ScenarioKind::Standby => "standby",
             ScenarioKind::Mixed => "mixed",
         }
     }
@@ -104,6 +110,7 @@ impl ScenarioKind {
             ScenarioKind::Navigation => Box::new(Navigation::new(seed)),
             ScenarioKind::AppLaunch => Box::new(AppLaunch::new(seed)),
             ScenarioKind::Idle => Box::new(Idle::new(seed)),
+            ScenarioKind::Standby => Box::new(Standby::new(seed)),
             ScenarioKind::Mixed => Box::new(MarkovMix::new(seed)),
         }
     }

@@ -49,7 +49,7 @@ pub struct MarkovMix {
 impl std::fmt::Debug for MarkovMix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MarkovMix")
-            .field("current", &self.components[self.current].name())
+            .field("current", &self.current_phase())
             .field("phase_ends", &self.phase_ends)
             .field("phases", &self.history.len())
             .finish()
@@ -91,19 +91,21 @@ impl MarkovMix {
     /// The name of the component active at the end of the last generated
     /// window.
     pub fn current_phase(&self) -> &str {
-        self.components[self.current].name()
+        self.components.get(self.current).map_or("?", |c| c.name())
     }
 
     /// `(phase start, component name)` pairs generated so far.
     pub fn phase_history(&self) -> Vec<(SimTime, &str)> {
         self.history
             .iter()
-            .map(|&(at, idx)| (at, self.components[idx].name()))
+            .map(|&(at, idx)| (at, self.components.get(idx).map_or("?", |c| c.name())))
             .collect()
     }
 
     fn switch_phase(&mut self, at: SimTime) {
-        let weights = TRANSITIONS[self.current];
+        // `current` is always a `weighted_index`/`uniform_usize` draw over
+        // the 7 components, so the row lookup cannot actually miss.
+        let weights = TRANSITIONS.get(self.current).copied().unwrap_or_default();
         self.current = self.rng.weighted_index(&weights);
         let dwell = Self::sample_dwell(&mut self.rng);
         self.phase_ends = at + dwell;
@@ -130,8 +132,9 @@ impl Scenario for MarkovMix {
                 self.switch_phase(cursor);
             }
             let slice_end = to.min(self.phase_ends);
-            let slice = self.components[self.current].arrivals(cursor, slice_end);
-            out.extend(slice);
+            if let Some(component) = self.components.get_mut(self.current) {
+                out.extend(component.arrivals(cursor, slice_end));
+            }
             cursor = slice_end;
         }
         // Components have independent id counters; remap to a single

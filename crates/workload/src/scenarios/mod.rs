@@ -11,6 +11,7 @@ mod idle;
 mod launch;
 mod markov;
 mod navigation;
+mod standby;
 mod video;
 mod videocall;
 mod web;
@@ -22,6 +23,7 @@ pub use idle::Idle;
 pub use launch::AppLaunch;
 pub use markov::MarkovMix;
 pub use navigation::Navigation;
+pub use standby::Standby;
 pub use video::VideoPlayback;
 pub use videocall::VideoCall;
 pub use web::WebBrowsing;

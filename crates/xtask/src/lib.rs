@@ -43,7 +43,14 @@
 //!
 //! Violations can be suppressed inline with
 //! `// xtask-allow: <lint> -- <justification>` on the offending line or
-//! the line above; the justification text is mandatory.
+//! the line above; the justification text is mandatory. Dense regions
+//! with one shared justification — a fixed-width kernel indexing
+//! `[f64; N]` lanes by `j < N`, say — can carry a single
+//! `// xtask-allow-region: <lint> -- <justification>` …
+//! `// xtask-allow-region: end <lint>` span instead of a comment per
+//! line. Region suppressions are counted like line suppressions, must be
+//! justified, must be closed, and compose with the taint families the
+//! same way (a seed inside a justified region does not taint callers).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -798,6 +805,111 @@ pub(crate) enum Allow {
     Unjustified,
 }
 
+/// Resolves a kebab-case lint name from an `xtask-allow-region` marker.
+fn lint_by_name(name: &str) -> Option<Lint> {
+    const ALL: &[Lint] = &[
+        Lint::FxPurity,
+        Lint::Determinism,
+        Lint::NoPanicLib,
+        Lint::NoAllocHotpath,
+        Lint::DocsCli,
+        Lint::FxTaint,
+        Lint::DeterminismTaint,
+        Lint::AllocTaint,
+        Lint::PanicTaint,
+        Lint::AtomicsAudit,
+        Lint::FeatureGate,
+    ];
+    ALL.iter().copied().find(|l| l.name() == name)
+}
+
+/// Justified `xtask-allow-region` spans of one file, plus any malformed
+/// markers found while collecting them.
+///
+/// A span covers every line from its begin marker through its end
+/// marker. Only *justified* begins open a span; an unjustified begin is
+/// recorded as an error and the lines it meant to cover keep firing.
+#[derive(Debug, Default)]
+pub(crate) struct RegionAllows {
+    /// `(lint name, first line idx, last line idx)`, inclusive.
+    spans: Vec<(String, usize, usize)>,
+    /// `(1-based line, lint name if parsed, message)` for malformed
+    /// markers: missing justification, unclosed region, end without
+    /// begin.
+    pub(crate) errors: Vec<(usize, Option<Lint>, String)>,
+}
+
+impl RegionAllows {
+    /// Whether `idx` sits inside a justified region for `lint`.
+    pub(crate) fn covers(&self, lint: Lint, idx: usize) -> bool {
+        let name = lint.name();
+        self.spans
+            .iter()
+            .any(|(n, begin, end)| n == name && (*begin..=*end).contains(&idx))
+    }
+}
+
+/// Collects the `xtask-allow-region` spans of a preprocessed file.
+pub(crate) fn region_allows(lines: &[Line]) -> RegionAllows {
+    const MARKER: &str = "xtask-allow-region:";
+    let mut out = RegionAllows::default();
+    let mut open: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        let rest = line.comment[pos + MARKER.len()..].trim_start();
+        if let Some(end_of) = rest.strip_prefix("end ") {
+            let name = end_of.split_whitespace().next().unwrap_or("");
+            match open.iter().rposition(|(n, _)| n == name) {
+                Some(i) => {
+                    let (n, begin) = open.remove(i);
+                    out.spans.push((n, begin, idx));
+                }
+                None => out.errors.push((
+                    idx + 1,
+                    lint_by_name(name),
+                    format!("`xtask-allow-region: end {name}` without a matching begin"),
+                )),
+            }
+        } else {
+            let (head, justified) = match rest.split_once("--") {
+                Some((h, j)) => (h.trim(), !j.trim().is_empty()),
+                None => (rest.trim(), false),
+            };
+            let name = head.split_whitespace().next().unwrap_or("");
+            if name.is_empty() {
+                out.errors.push((
+                    idx + 1,
+                    None,
+                    "malformed `xtask-allow-region:` marker (no lint name)".to_string(),
+                ));
+            } else if !justified {
+                out.errors.push((
+                    idx + 1,
+                    lint_by_name(name),
+                    format!(
+                        "region suppression without justification \
+                         (write `xtask-allow-region: {name} -- <reason>`)"
+                    ),
+                ));
+            } else {
+                open.push((name.to_string(), idx));
+            }
+        }
+    }
+    for (name, begin) in open {
+        out.errors.push((
+            begin + 1,
+            lint_by_name(&name),
+            format!(
+                "unclosed `xtask-allow-region: {name}` (add `// xtask-allow-region: end {name}`)"
+            ),
+        ));
+    }
+    out
+}
+
 /// Looks for `xtask-allow: <lint>` in the line's own comment or the
 /// previous line's comment. The justification after ` -- ` is mandatory.
 pub(crate) fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
@@ -829,6 +941,22 @@ pub(crate) fn allow_state(lines: &[Line], idx: usize, lint: Lint) -> Allow {
 pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
     let lines = preprocess(source);
     let mut out = ScanOutcome::default();
+
+    let regions = region_allows(&lines);
+    for (line, lint, message) in &regions.errors {
+        // A malformed marker for a family this file is not scanned under
+        // is inert; report it under the family it names (or the first
+        // scanned family when the name did not parse).
+        match lint {
+            Some(l) if !lints.contains(l) => continue,
+            _ => {}
+        }
+        let Some(&lint) = lint.as_ref().or(lints.first()) else {
+            continue;
+        };
+        out.diagnostics
+            .push(Diagnostic::new(lint, file, *line, message.clone()));
+    }
 
     let mut in_hotpath = false;
     for (idx, line) in lines.iter().enumerate() {
@@ -885,6 +1013,7 @@ pub fn scan_source(file: &str, source: &str, lints: &[Lint]) -> ScanOutcome {
                             message
                         ),
                     )),
+                    Allow::No if regions.covers(lint, idx) => out.suppressed += 1,
                     Allow::No => out.diagnostics.push(Diagnostic::new(
                         lint,
                         file,
@@ -1471,6 +1600,73 @@ mod tests {
         let out = scan_source("inline", src, &[Lint::Determinism]);
         assert_eq!(out.diagnostics.len(), 1);
         assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn region_suppression_covers_its_span_and_counts() {
+        let src = "\
+let before = xs[0];
+// xtask-allow-region: no-panic-lib -- j < N, fixed-width lanes
+let a = xs[1];
+let b = xs[2];
+// xtask-allow-region: end no-panic-lib
+let after = xs[3];
+";
+        let out = scan_source("inline", src, &[Lint::NoPanicLib]);
+        let lines: Vec<usize> = out.diagnostics.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![1, 6], "got {:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 2);
+    }
+
+    #[test]
+    fn region_suppression_is_per_lint() {
+        let src = "\
+// xtask-allow-region: no-panic-lib -- wrong family for this line
+use std::time::Instant;
+// xtask-allow-region: end no-panic-lib
+";
+        let out = scan_source("inline", src, &[Lint::Determinism]);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn unjustified_region_does_not_open_and_errors() {
+        let src = "\
+// xtask-allow-region: no-panic-lib
+let a = xs[1];
+// xtask-allow-region: end no-panic-lib
+";
+        let out = scan_source("inline", src, &[Lint::NoPanicLib]);
+        assert_eq!(out.suppressed, 0);
+        let msgs: Vec<&str> = out.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("without justification")),
+            "got {msgs:?}"
+        );
+        // The end marker now has no begin to match.
+        assert!(
+            msgs.iter().any(|m| m.contains("without a matching begin")),
+            "got {msgs:?}"
+        );
+        // The indexing inside still fires.
+        assert!(out.diagnostics.iter().any(|d| d.line == 2), "got {msgs:?}");
+    }
+
+    #[test]
+    fn unclosed_region_is_an_error() {
+        let src = "\
+// xtask-allow-region: no-panic-lib -- kernel lanes
+let a = xs[1];
+";
+        let out = scan_source("inline", src, &[Lint::NoPanicLib]);
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.line == 1 && d.message.contains("unclosed")),
+            "got {:?}",
+            out.diagnostics
+        );
     }
 
     #[test]

@@ -83,11 +83,13 @@ const FX_TAINT_FILES: &[&str] = &[
 const DETERMINISM_CRATES: &[&str] = &["simkit", "soc", "workload", "rlpm", "experiments"];
 
 /// Files containing `xtask-hotpath: begin`/`end` marked regions — the
-/// per-sub-step simulation loops, the per-epoch fault sampling, and the
-/// runner's per-epoch dispatch, all of which must stay allocation-free.
+/// per-sub-step simulation loops (scalar and batched), the per-epoch
+/// fault sampling, and the runner's per-epoch dispatch, all of which must
+/// stay allocation-free.
 const HOTPATH_FILES: &[&str] = &[
     "crates/soc/src/cluster.rs",
     "crates/soc/src/soc_impl.rs",
+    "crates/soc/src/batch.rs",
     "crates/simkit/src/faults.rs",
     "crates/experiments/src/runner.rs",
 ];
@@ -238,6 +240,9 @@ fn print_usage() {
          \n\
          Suppress a finding inline with:\n\
          \u{20}  // xtask-allow: <lint> -- <justification>\n\
+         or a dense span with one shared justification with:\n\
+         \u{20}  // xtask-allow-region: <lint> -- <justification>\n\
+         \u{20}  // xtask-allow-region: end <lint>\n\
          Justify an atomic ordering with:\n\
          \u{20}  // xtask-atomics: <why this ordering is sufficient>"
     );

@@ -18,9 +18,10 @@
 //!
 //! Suppressions compose with the lexical families: a seed silenced by a
 //! justified `xtask-allow: <lexical-lint> -- …` (or the taint family's own
-//! name) never propagates, and a justified allow on a call site blocks
-//! propagation through that edge — so an audited, documented exception
-//! does not poison every caller above it.
+//! name), or sitting inside a justified `xtask-allow-region` span for
+//! either name, never propagates, and a justified allow on a call site
+//! blocks propagation through that edge — so an audited, documented
+//! exception does not poison every caller above it.
 
 use std::collections::BTreeMap;
 
@@ -218,6 +219,7 @@ fn first_seed(
     let f = &ws.fns[fn_idx];
     let file = &ws.files[f.file];
     let lines = ws.lines(f.file);
+    let regions = crate::region_allows(lines);
     let rules = match kind {
         TaintKind::Float => FX_WORDS,
         TaintKind::Panic => NO_PANIC_WORDS,
@@ -259,7 +261,9 @@ fn first_seed(
             matches!(
                 allow_state(lines, idx, kind.lexical_lint()),
                 Allow::Justified
-            ) || matches!(allow_state(lines, idx, kind.taint_lint()), Allow::Justified);
+            ) || matches!(allow_state(lines, idx, kind.taint_lint()), Allow::Justified)
+                || regions.covers(kind.lexical_lint(), idx)
+                || regions.covers(kind.taint_lint(), idx);
         if suppressed {
             continue;
         }
