@@ -7,11 +7,21 @@
 //! - `--quick`: reduced experiment sizes (test/CI scale).
 //! - `--no-cache`: disable the content-addressed result cache.
 //! - `--cache-dir DIR`: cache location (default `target/rlpm-cache`).
+//! - `--resume`: pick up an interrupted sweep — load the sweep journal,
+//!   report how much already finished, and let the warm cache skip it.
+//! - `--max-retries N`: attempts beyond the first before a panicking
+//!   cell is quarantined (default 2).
+//! - `--failpoints SPEC`: deterministic failure injection (see
+//!   `simkit::failpoint`; overrides the `RLPM_FAILPOINTS` env var).
 //!
 //! The cache is on by default: a warm re-run looks every experiment
 //! cell up by content hash and skips straight to table/CSV emission.
 //! Cached results are byte-identical to recomputed ones (pinned by the
 //! `cache_identity` integration test), so the flag only changes speed.
+//!
+//! Exit codes: `0` clean, `1` result files could not be written or a
+//! section died outright, `2` bad arguments or completed-with-quarantine
+//! (some cells gave up after retries; the quarantine report lists them).
 //!
 //! Without the `obs` feature the sections run concurrently on top of
 //! the shared experiment scheduler and their stdout is buffered and
@@ -39,6 +49,12 @@ use experiments::table::{fmt_pct, Table};
 /// Result files that failed to write; a non-zero count fails the run so
 /// a missing artifact can never masquerade as a regenerated one.
 static WRITE_FAILURES: AtomicU32 = AtomicU32::new(0);
+
+/// Sections that panicked. A quarantine summary panic (some cells gave
+/// up after retries; see `experiments::quarantine_report`) lands here
+/// too — the run then finishes the other sections and exits 2 with the
+/// report instead of dying mid-sweep.
+static SECTION_FAILURES: AtomicU32 = AtomicU32::new(0);
 
 /// Per-section stdout buffer. Sections may run concurrently, so each
 /// collects its report here and the buffers are printed in a fixed
@@ -97,7 +113,17 @@ struct Args {
     quick: bool,
     no_cache: bool,
     cache_dir: Option<PathBuf>,
+    resume: bool,
+    max_retries: Option<u32>,
+    failpoints: Option<String>,
     wanted: Vec<String>,
+}
+
+/// Bad-usage exit: argument and journal errors leave code 2 so tests can
+/// tell "refused to start" from "ran and something failed" (code 1).
+fn usage_error(message: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("regen-tables: {message}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -105,6 +131,9 @@ fn parse_args() -> Args {
         quick: false,
         no_cache: false,
         cache_dir: None,
+        resume: false,
+        max_retries: None,
+        failpoints: None,
         wanted: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -113,10 +142,33 @@ fn parse_args() -> Args {
             args.quick = true;
         } else if arg == "--no-cache" {
             args.no_cache = true;
+        } else if arg == "--resume" {
+            args.resume = true;
         } else if arg == "--cache-dir" {
             args.cache_dir = it.next().map(PathBuf::from);
         } else if let Some(dir) = arg.strip_prefix("--cache-dir=") {
             args.cache_dir = Some(PathBuf::from(dir));
+        } else if arg == "--max-retries" || arg.starts_with("--max-retries=") {
+            let value = arg
+                .strip_prefix("--max-retries=")
+                .map(str::to_owned)
+                .or_else(|| it.next());
+            match value.as_deref().map(str::parse::<u32>) {
+                Some(Ok(n)) => args.max_retries = Some(n),
+                _ => usage_error(format_args!(
+                    "--max-retries takes a non-negative integer (got {:?})",
+                    value.unwrap_or_default()
+                )),
+            }
+        } else if arg == "--failpoints" || arg.starts_with("--failpoints=") {
+            match arg
+                .strip_prefix("--failpoints=")
+                .map(str::to_owned)
+                .or_else(|| it.next())
+            {
+                Some(spec) => args.failpoints = Some(spec),
+                None => usage_error(format_args!("--failpoints takes a plan spec")),
+            }
         } else if !arg.starts_with("--") {
             args.wanted.push(arg);
         }
@@ -131,15 +183,56 @@ fn main() {
     let quick = args.quick;
     let want = |id: &str| args.wanted.is_empty() || args.wanted.iter().any(|w| w == id);
 
-    if args.no_cache {
-        experiments::cache::configure(None);
-    } else {
-        experiments::cache::configure(Some(
-            args.cache_dir
-                .clone()
-                .unwrap_or_else(experiments::cache::default_dir),
-        ));
+    // Failure injection and supervision knobs first, so every later
+    // layer (cache, journal, scheduler) sees them.
+    let plan = match &args.failpoints {
+        Some(spec) => simkit::failpoint::FailpointPlan::parse(spec).map(Some),
+        None => simkit::failpoint::plan_from_env(),
+    };
+    match plan {
+        Ok(plan) => simkit::failpoint::configure(plan),
+        Err(e) => usage_error(format_args!("{e}")),
     }
+    if let Some(n) = args.max_retries {
+        experiments::set_max_retries(n);
+    }
+    experiments::clear_quarantine();
+    experiments::register_harness_metrics();
+
+    let journalling = if args.no_cache {
+        if args.resume {
+            usage_error(format_args!(
+                "--resume needs the cache: resuming skips finished cells \
+                 via the on-disk cache and sweep journal (drop --no-cache)"
+            ));
+        }
+        experiments::cache::configure(None);
+        false
+    } else {
+        let cache_dir = args
+            .cache_dir
+            .clone()
+            .unwrap_or_else(experiments::cache::default_dir);
+        experiments::cache::configure(Some(cache_dir.clone()));
+        match experiments::journal::begin(&cache_dir, args.resume) {
+            Ok(summary) => {
+                if args.resume {
+                    let torn = if summary.discarded > 0 {
+                        format!(" ({} torn line(s) dropped)", summary.discarded)
+                    } else {
+                        String::new()
+                    };
+                    eprintln!(
+                        "resuming: {} completed cell(s) journalled at {}{torn}",
+                        summary.completed,
+                        summary.path.display()
+                    );
+                }
+            }
+            Err(e) => usage_error(format_args!("{e}")),
+        }
+        true
+    };
 
     let soc_config = bench::soc_under_test();
     let results_dir = Path::new("results");
@@ -278,11 +371,12 @@ fn main() {
                 eprintln!("running E7 fabric-cost sweep ...");
                 let reports = run_e7(soc);
                 out.emit(&cost_table(&reports), results_dir, "e7_hw_cost.csv");
-                let best = latency_optimal(&reports);
-                out.line(format_args!(
-                    "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
-                    best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
-                ));
+                if let Some(best) = latency_optimal(&reports) {
+                    out.line(format_args!(
+                        "E7 headline: latency-optimal banking is {} banks ({:.3} us/decision at {:.0} MHz)\n",
+                        best.banks, best.decision_us_at_fmax, best.est_fmax_mhz
+                    ));
+                }
             }),
         ));
     }
@@ -421,7 +515,13 @@ fn main() {
         for (id, section) in sections {
             metrics_begin();
             let mut out = SectionOut::default();
-            section(&mut out);
+            // A quarantined section raises one summary panic after its
+            // batch drains; catch it here so the remaining sections (and
+            // their metrics windows) still run. Partial output is kept.
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| section(&mut out))).is_err()
+            {
+                SECTION_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after the sequential loop; same thread
+            }
             print!("{}", out.stdout);
             metrics_end(results_dir, id);
         }
@@ -441,7 +541,7 @@ fn main() {
                 .into_iter()
                 .map(|handle| {
                     handle.join().unwrap_or_else(|_| {
-                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after thread join; the join is the synchronisation
+                        SECTION_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: failure tally read after thread join; the join is the synchronisation
                         SectionOut::default()
                     })
                 })
@@ -457,10 +557,30 @@ fn main() {
         "cache: hits={} misses={} evictions={} stores={}",
         stats.hits, stats.misses, stats.evictions, stats.stores
     );
+    if journalling {
+        let (total, new) = experiments::journal::progress();
+        println!("journal: {total} cell(s) complete ({new} recorded by this run)");
+        experiments::journal::end();
+    }
 
-    let failures = WRITE_FAILURES.load(Ordering::Relaxed); // xtask-atomics: read after join; every worker increment happened-before via the join
-    if failures > 0 {
-        eprintln!("{failures} result file(s) could not be written or section(s) failed");
+    let write_failures = WRITE_FAILURES.load(Ordering::Relaxed); // xtask-atomics: read after join; every worker increment happened-before via the join
+    let section_failures = SECTION_FAILURES.load(Ordering::Relaxed); // xtask-atomics: read after join; every worker increment happened-before via the join
+    let quarantined = experiments::quarantine_report();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "quarantine report: {} cell(s) gave up after retries:",
+            quarantined.len()
+        );
+        for record in &quarantined {
+            eprintln!("  {record}");
+        }
+        eprintln!("run completed with quarantined cells; their tables are missing or partial");
+        std::process::exit(2);
+    }
+    if write_failures + section_failures > 0 {
+        eprintln!(
+            "{write_failures} result file(s) could not be written, {section_failures} section(s) failed"
+        );
         std::process::exit(1);
     }
 }

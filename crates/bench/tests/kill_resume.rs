@@ -1,0 +1,171 @@
+//! Kill–resume and quarantine determinism, end to end through the real
+//! `regen-tables` binary.
+//!
+//! A sweep killed mid-run by an injected abort must, when rerun with
+//! `--resume`, produce `results/*.csv` byte-identical to an
+//! uninterrupted run — at one worker thread and at four. And a
+//! failpoint plan that kills several cells must complete the run,
+//! exit 2, and print the exact same quarantine report every time.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use simkit::failpoint::ABORT_EXIT_CODE;
+
+const BIN: &str = env!("CARGO_BIN_EXE_regen-tables");
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlpm-kill-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+/// Runs `regen-tables --quick <extra..> e8` with `cwd` as the working
+/// directory (so `results/` lands there) and a cache dir inside it.
+fn run_regen(cwd: &Path, threads: &str, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(cwd)
+        .env_remove("RLPM_FAILPOINTS")
+        .env("RLPM_THREADS", threads)
+        .args(["--quick", "--cache-dir"])
+        .arg(cwd.join("cache"))
+        .args(extra)
+        .arg("e8");
+    cmd.output().expect("regen-tables spawns")
+}
+
+/// All result CSVs under `cwd/results`, sorted by name, as raw bytes.
+/// `*_metrics.csv` sidecars (written when the `obs` feature is unified
+/// in) are excluded: they record wall-clock spans and cache hit/miss
+/// counts, which differ between a warm resumed run and a cold one by
+/// design — they are instrumentation, not results.
+fn csv_files(cwd: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(cwd.join("results"))
+        .expect("results dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "csv"))
+        .filter(|e| !e.file_name().to_string_lossy().ends_with("_metrics.csv"))
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(e.path()).expect("csv readable");
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_csvs() {
+    for threads in ["1", "4"] {
+        // Uninterrupted reference run.
+        let base = fresh_dir(&format!("base-t{threads}"));
+        let ok = run_regen(&base, threads, &[]);
+        assert_eq!(
+            ok.status.code(),
+            Some(0),
+            "clean run must exit 0 (threads={threads}): {}",
+            stderr_of(&ok)
+        );
+
+        // Same sweep, killed mid-batch by an injected abort. The exit
+        // code pins that the process died on the failpoint, not on some
+        // unrelated error.
+        let kill = fresh_dir(&format!("kill-t{threads}"));
+        let killed = run_regen(&kill, threads, &["--failpoints", "sched/job=@2:abort"]);
+        assert_eq!(
+            killed.status.code(),
+            Some(ABORT_EXIT_CODE),
+            "injected abort must kill the process (threads={threads}): {}",
+            stderr_of(&killed)
+        );
+
+        // Resume without injection: the journal reports progress and the
+        // warm cache skips every finished cell.
+        let resumed = run_regen(&kill, threads, &["--resume"]);
+        let resumed_err = stderr_of(&resumed);
+        assert_eq!(
+            resumed.status.code(),
+            Some(0),
+            "resume must complete cleanly (threads={threads}): {resumed_err}"
+        );
+        assert!(
+            resumed_err.contains("resuming:"),
+            "resume must report journalled progress (threads={threads}): {resumed_err}"
+        );
+        if threads == "1" {
+            // Single-threaded, cells run in order: cells 0 and 1 finish
+            // and journal before cell 2 aborts, so the resume is a real
+            // skip, not a full recompute.
+            let n: u64 = resumed_err
+                .split("resuming: ")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+                .and_then(|n| n.parse().ok())
+                .expect("resume line carries a count");
+            assert!(
+                n >= 1,
+                "sequential kill must leave journalled cells: {resumed_err}"
+            );
+        }
+
+        let reference = csv_files(&base);
+        let recovered = csv_files(&kill);
+        assert!(!reference.is_empty(), "reference run produced no CSVs");
+        assert_eq!(
+            reference, recovered,
+            "resumed CSVs must be byte-identical to an uninterrupted run (threads={threads})"
+        );
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&kill);
+    }
+}
+
+#[test]
+fn quarantine_report_is_deterministic_and_exits_2() {
+    // Three of E8's four quick cells die on every attempt; the run must
+    // still complete, exit 2, and name exactly those cells — the same
+    // way on every invocation.
+    let spec = "sched/job=@0:panic,sched/job=@1:panic,sched/job=@3:panic";
+    let report_of = |tag: &str| -> (Option<i32>, Vec<String>, String) {
+        let dir = fresh_dir(tag);
+        let out = run_regen(&dir, "4", &["--no-cache", "--failpoints", spec]);
+        let err = stderr_of(&out);
+        let lines: Vec<String> = err
+            .lines()
+            // Report lines are indented ("  quarantined e8[0] ...");
+            // panic-hook noise from the killed attempts is not.
+            .filter(|l| l.starts_with("  quarantined "))
+            .map(str::to_owned)
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        (out.status.code(), lines, err)
+    };
+
+    let (code_a, lines_a, err_a) = report_of("quar-a");
+    let (code_b, lines_b, _) = report_of("quar-b");
+    assert_eq!(code_a, Some(2), "quarantine must exit 2: {err_a}");
+    assert_eq!(code_b, Some(2));
+    assert_eq!(
+        lines_a.len(),
+        3,
+        "exactly the three targeted cells: {err_a}"
+    );
+    for (i, cell) in [0usize, 1, 3].into_iter().enumerate() {
+        assert!(
+            lines_a[i].contains(&format!("e8[{cell}]")),
+            "cell e8[{cell}] missing from report: {err_a}"
+        );
+    }
+    assert_eq!(lines_a, lines_b, "quarantine report must be deterministic");
+    assert!(
+        err_a.contains("quarantine report: 3 cell(s)"),
+        "summary line names the count: {err_a}"
+    );
+}

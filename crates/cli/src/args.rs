@@ -34,7 +34,14 @@ impl fmt::Display for ParseArgsError {
 impl Error for ParseArgsError {}
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["trace", "quiet", "help", "quick", "no-cache"];
+const BARE_FLAGS: &[&str] = &[
+    "trace",
+    "quiet",
+    "help",
+    "quick",
+    "no-cache",
+    "fail-on-quarantine",
+];
 
 /// Every `rlpm-sim` subcommand, in help order.
 ///

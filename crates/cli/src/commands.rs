@@ -86,6 +86,14 @@ fn configure_cache(inv: &Invocation) {
     experiments::cache::configure(Some(dir));
 }
 
+/// Applies the `--max-retries N` supervision knob: how many times a
+/// panicking experiment cell is retried (with bounded backoff) before it
+/// is quarantined. See `experiments::set_max_retries`.
+fn configure_supervision(inv: &Invocation) -> CmdResult {
+    experiments::set_max_retries(inv.flag_or("max-retries", experiments::max_retries())?);
+    Ok(())
+}
+
 /// Writes the process-wide metrics snapshot to `--metrics-out FILE` when
 /// the flag is present. Commands that simulate call this last, so the
 /// snapshot covers everything the invocation did.
@@ -190,11 +198,15 @@ pub fn cmd_fleet(inv: &Invocation) -> CmdResult {
         "secs",
         "seed",
         "soc",
+        "fault-scale",
+        "max-retries",
+        "fail-on-quarantine",
         "cache-dir",
         "no-cache",
         "metrics-out",
     ])?;
     configure_cache(inv);
+    configure_supervision(inv)?;
     let scenario_name = inv.positional.first().map(String::as_str).unwrap_or("idle");
     let policy_name = inv
         .positional
@@ -208,6 +220,10 @@ pub fn cmd_fleet(inv: &Invocation) -> CmdResult {
     if lanes_n == 0 {
         return Err(ParseArgsError("--lanes must be at least 1".into()).into());
     }
+    // The fleet path wires no per-lane fault harness, so a fault request
+    // must fail loudly instead of silently simulating fault-free; scale
+    // 0 is accepted and bit-identical to omitting the flag.
+    experiments::ensure_fleet_faults_supported(inv.flag_or("fault-scale", 0.0)?)?;
 
     let soc_cfg = soc_config(&soc_name)?;
     let kind = scenario_kind(scenario_name)?;
@@ -333,11 +349,14 @@ pub fn cmd_compare(inv: &Invocation) -> CmdResult {
         "secs",
         "seed",
         "soc",
+        "max-retries",
+        "fail-on-quarantine",
         "cache-dir",
         "no-cache",
         "metrics-out",
     ])?;
     configure_cache(inv);
+    configure_supervision(inv)?;
     let scenario_name = inv
         .positional
         .first()
@@ -475,11 +494,14 @@ pub fn cmd_e9(inv: &Invocation) -> CmdResult {
         "soc",
         "out-dir",
         "quick",
+        "max-retries",
+        "fail-on-quarantine",
         "cache-dir",
         "no-cache",
         "metrics-out",
     ])?;
     configure_cache(inv);
+    configure_supervision(inv)?;
     let soc_name: String = inv.flag_or("soc", "xu3".to_owned())?;
     let soc_cfg = soc_config(&soc_name)?;
     let mut config = if inv.has("quick") {
@@ -598,9 +620,10 @@ pub fn cmd_help() -> CmdResult {
 
 USAGE:
   rlpm-sim run      <scenario> <policy> [--secs N] [--seed N] [--soc P] [--trace]
-  rlpm-sim fleet    <scenario> <policy> [--lanes N] [--secs N] [--seed N] [--soc P]
+  rlpm-sim fleet    <scenario> <policy> [--lanes N] [--secs N] [--seed N] [--soc P] [--fault-scale F]
   rlpm-sim compare  <scenario> [--secs N] [--seed N] [--soc P]
-                    (run/fleet/compare/e9 also take [--cache-dir DIR] [--no-cache])
+                    (run/fleet/compare/e9 also take [--cache-dir DIR] [--no-cache];
+                     fleet/compare/e9 also take [--max-retries N] [--fail-on-quarantine])
   rlpm-sim train    <scenario> --out FILE [--episodes N] [--episode-secs N] [--seed N] [--soc P]
   rlpm-sim eval     <scenario> --policy-file FILE [--secs N] [--seed N] [--soc P]
   rlpm-sim record   <scenario> --out FILE [--secs N] [--seed N]
@@ -625,13 +648,18 @@ observability snapshot (counters, gauges, spans, histograms) as CSV.
 run/compare/e9 reuse trained policies and evaluated cells from a
 content-addressed cache (default target/rlpm-cache); cached results are
 byte-identical to recomputed ones. --no-cache disables it, --cache-dir
-moves it."
+moves it.
+
+Experiment sweeps are supervised: a panicking cell is retried
+(--max-retries N, default 2) and then quarantined; a quarantined run
+prints a report and exits 4 (2 with --fail-on-quarantine). fleet has no
+per-lane fault harness, so --fault-scale must be 0; use e9 for fault
+studies."
     );
     Ok(())
 }
 
-/// Dispatches a parsed invocation.
-pub fn dispatch(inv: &Invocation) -> CmdResult {
+fn run_command(inv: &Invocation) -> CmdResult {
     match inv.command.as_str() {
         "run" => cmd_run(inv),
         "fleet" => cmd_fleet(inv),
@@ -649,6 +677,43 @@ pub fn dispatch(inv: &Invocation) -> CmdResult {
             crate::args::COMMANDS.join(", ")
         ))
         .into()),
+    }
+}
+
+/// Dispatches a parsed invocation under quarantine supervision: an
+/// experiment sweep whose cells gave up after retries raises one summary
+/// panic, which is converted here into a typed
+/// [`experiments::QuarantineError`] after printing the quarantine
+/// report — the command "completes with quarantine" instead of crashing.
+/// `main` maps that error to exit code 4 (or 2 with
+/// `--fail-on-quarantine`). Panics with no quarantined cells are real
+/// bugs and propagate unchanged.
+pub fn dispatch(inv: &Invocation) -> CmdResult {
+    experiments::clear_quarantine();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_command(inv)));
+    let quarantined = experiments::quarantine_report();
+    if quarantined.is_empty() {
+        return match outcome {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+    }
+    eprintln!(
+        "quarantine report: {} cell(s) gave up after retries:",
+        quarantined.len()
+    );
+    for record in &quarantined {
+        eprintln!("  {record}");
+    }
+    let quarantine_error = experiments::QuarantineError {
+        cells: quarantined.len(),
+    };
+    match outcome {
+        // The command survived (partial results); still fail typed so
+        // scripts never mistake a quarantined run for a clean one.
+        Ok(Ok(())) | Err(_) => Err(quarantine_error.into()),
+        // A prior error outranks the quarantine summary.
+        Ok(Err(e)) => Err(e),
     }
 }
 

@@ -1,17 +1,37 @@
 //! `rlpm-sim` — command-line front-end for the rlpm power-management
 //! simulator. See `rlpm-sim help` or the crate README.
+//!
+//! Exit codes: `0` clean, `2` usage or command error (including
+//! quarantine with `--fail-on-quarantine`), `4` completed with
+//! quarantined cells (partial results; a report was printed).
 
 mod args;
 mod commands;
 
+/// Exit code for a run that completed but quarantined some cells.
+const QUARANTINE_EXIT_CODE: i32 = 4;
+
 fn main() {
+    // Arm deterministic failure injection (`RLPM_FAILPOINTS`) before any
+    // command touches the scheduler or the cache.
+    match simkit::failpoint::plan_from_env() {
+        Ok(plan) => simkit::failpoint::configure(plan),
+        Err(e) => {
+            eprintln!("rlpm-sim: {e}");
+            std::process::exit(2);
+        }
+    }
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args::parse(raw) {
-        Ok(inv) => commands::dispatch(&inv),
-        Err(e) => Err(e.into()),
+    let (result, fail_on_quarantine) = match args::parse(raw) {
+        Ok(inv) => (commands::dispatch(&inv), inv.has("fail-on-quarantine")),
+        Err(e) => (Err(e.into()), false),
     };
     if let Err(e) = result {
         eprintln!("rlpm-sim: {e}");
+        let quarantined = e.downcast_ref::<experiments::QuarantineError>().is_some();
+        if quarantined && !fail_on_quarantine {
+            std::process::exit(QUARANTINE_EXIT_CODE);
+        }
         std::process::exit(2);
     }
 }

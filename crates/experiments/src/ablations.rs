@@ -153,7 +153,7 @@ fn run_variants(
 ) -> Vec<AblationRow> {
     let soc_config_owned = soc_config.clone();
     let job_config = *config;
-    let rows = parallel_map(variants, move |(label, rl)| {
+    let rows = parallel_map("ablations", variants, move |(label, rl)| {
         evaluate_variant(&soc_config_owned, &job_config, &label, rl)
     });
     rows.into_iter().flatten().collect()

@@ -33,10 +33,19 @@
 //! struct's `Debug` representation, to a seed derivation or to
 //! [`CACHE_FORMAT_VERSION`] changes the key, and the stale entry is
 //! simply never addressed again.
+//!
+//! **Degradation.** A directory that stops cooperating — disk full,
+//! read-only, permissions ripped out from under us, or an injected
+//! `cache/store` / `cache/load` failpoint — downgrades the disk layer
+//! to memo-only *exactly once per configured directory*: a typed
+//! [`CacheDegraded`] warning naming the failing path goes to stderr,
+//! the `cache.degraded` obs counter ticks, and every later store/load
+//! skips the disk. Results stay correct (the memo and recomputation
+//! carry the run); nothing panics and nothing is silently lost.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use rlpm::persist::fnv1a64;
@@ -66,15 +75,69 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
 static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// One-shot degradation latch: set on the first hard disk failure,
+/// cleared by [`configure`] (a fresh directory gets a fresh chance).
+static DEGRADED: AtomicBool = AtomicBool::new(false);
 
 static OBS_HITS: Counter = Counter::new("cache.hits");
 static OBS_MISSES: Counter = Counter::new("cache.misses");
 static OBS_EVICTIONS: Counter = Counter::new("cache.evictions");
+static OBS_DEGRADED: Counter = Counter::new("cache.degraded");
+
+/// Typed warning emitted (once, to stderr) when the on-disk cache layer
+/// downgrades to the in-memory memo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDegraded {
+    /// The entry path whose store or load failed.
+    pub path: PathBuf,
+    /// The underlying failure, rendered.
+    pub cause: String,
+}
+
+impl std::fmt::Display for CacheDegraded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "on-disk cache degraded to in-memory memo ({} at {}); \
+             results stay correct, later runs will recompute",
+            self.cause,
+            self.path.display()
+        )
+    }
+}
+
+impl std::error::Error for CacheDegraded {}
+
+/// Latches degradation, emitting the typed warning exactly once.
+fn degrade(path: &Path, cause: &str) {
+    // xtask-atomics: one-shot latch; swap makes exactly one caller the announcer, ordering of the warning text is not data-bearing
+    if !DEGRADED.swap(true, Ordering::Relaxed) {
+        let warning = CacheDegraded {
+            path: path.to_owned(),
+            cause: cause.to_owned(),
+        };
+        eprintln!("warning: {warning}");
+        OBS_DEGRADED.inc();
+    }
+}
+
+/// Whether the disk layer has been downgraded to memo-only.
+pub fn is_degraded() -> bool {
+    DEGRADED.load(Ordering::Relaxed) // xtask-atomics: advisory latch read; a racing store/load at the flip only costs one extra disk attempt
+}
+
+/// Registers the degradation obs counter (zero-valued) so it appears in
+/// a [`simkit::obs::MetricsSnapshot`] even on healthy runs.
+pub(crate) fn register_obs() {
+    OBS_DEGRADED.add(0);
+}
 
 /// Sets the cache directory (`Some` enables, `None` disables). The
-/// directory is created lazily on first store.
+/// directory is created lazily on first store. Clears the degradation
+/// latch: a newly configured directory is trusted until it fails.
 pub fn configure(dir: Option<PathBuf>) {
     *lock(&DIR) = dir;
+    DEGRADED.store(false, Ordering::Relaxed); // xtask-atomics: latch reset under reconfiguration; callers serialise configuration
 }
 
 /// The conventional default cache location, `target/rlpm-cache/`
@@ -314,6 +377,9 @@ where
     }
     guard.armed = false;
     MEMO_CV.notify_all();
+    if result.is_some() {
+        crate::journal::record(kind, key);
+    }
     result
 }
 
@@ -344,6 +410,7 @@ pub fn lookup(kind: &'static str, key: u64) -> Option<Arc<Vec<u8>>> {
             let bytes = Arc::new(payload);
             lock(&MEMO).insert((kind, key), MemoSlot::Ready(Arc::clone(&bytes)));
             MEMO_CV.notify_all();
+            crate::journal::record(kind, key);
             Some(bytes)
         }
         None => {
@@ -364,6 +431,7 @@ pub fn put(kind: &'static str, key: u64, payload: Vec<u8>) {
     store_to_disk(&dir, kind, key, &payload);
     lock(&MEMO).insert((kind, key), MemoSlot::Ready(Arc::new(payload)));
     MEMO_CV.notify_all();
+    crate::journal::record(kind, key);
 }
 
 // ---------------------------------------------------------------------
@@ -400,12 +468,46 @@ fn parse_envelope(bytes: &[u8]) -> Option<Vec<u8>> {
     Some(payload.to_vec())
 }
 
+/// Maps a fired `cache/*` failpoint onto the cache's typed failure
+/// path: `Delay` sleeps, `Abort` kills the process (crash-safety
+/// tests), and `Error`/`Panic` report an injected I/O failure — the
+/// cache never panics, so both collapse onto the error path.
+fn injected_io_failure(site: &str, key: u64) -> bool {
+    use simkit::failpoint::{check, FailpointAction, ABORT_EXIT_CODE};
+    match check(site, key) {
+        None => false,
+        Some(FailpointAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            false
+        }
+        Some(FailpointAction::Abort) => std::process::exit(ABORT_EXIT_CODE),
+        Some(FailpointAction::Error) | Some(FailpointAction::Panic) => true,
+    }
+}
+
 /// Loads an entry's payload, evicting (deleting) defective files. An
 /// absent file is an ordinary miss; a defective one counts an eviction.
-/// Either way the answer is `None` and the caller recomputes.
+/// Either way the answer is `None` and the caller recomputes. A *hard*
+/// read error (permissions, unreadable directory — anything but
+/// not-found) degrades the disk layer, as does an injected `cache/load`
+/// failpoint.
 fn load_from_disk(dir: &Path, kind: &str, key: u64) -> Option<Vec<u8>> {
+    if is_degraded() {
+        return None;
+    }
     let path = entry_path(dir, kind, key);
-    let bytes = std::fs::read(&path).ok()?;
+    if injected_io_failure(simkit::failpoint::SITE_CACHE_LOAD, key) {
+        degrade(&path, "injected cache/load failpoint");
+        return None;
+    }
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            degrade(&path, &e.to_string());
+            return None;
+        }
+    };
     match parse_envelope(&bytes) {
         Some(payload) => Some(payload),
         None => {
@@ -418,27 +520,38 @@ fn load_from_disk(dir: &Path, kind: &str, key: u64) -> Option<Vec<u8>> {
 }
 
 /// Writes an entry via a temp file + rename so readers never observe a
-/// half-written entry. Failures are counted, never raised.
+/// half-written entry. Failures are counted and degrade the disk layer
+/// (with a one-shot typed warning), never raised.
 fn store_to_disk(dir: &Path, kind: &str, key: u64, payload: &[u8]) {
+    if is_degraded() {
+        STORE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
+        return;
+    }
+    let path = entry_path(dir, kind, key);
+    if injected_io_failure(simkit::failpoint::SITE_CACHE_STORE, key) {
+        STORE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
+        degrade(&path, "injected cache/store failpoint");
+        return;
+    }
     let mut out = Vec::with_capacity(ENVELOPE_HEADER_LEN + payload.len());
     out.extend_from_slice(ENVELOPE_MAGIC);
     out.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
     out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
     out.extend_from_slice(payload);
 
-    let written = std::fs::create_dir_all(dir).is_ok() && {
-        let tmp = dir.join(format!("{kind}-{key:016x}.tmp{}", std::process::id()));
-        if std::fs::write(&tmp, &out).is_ok() {
-            std::fs::rename(&tmp, entry_path(dir, kind, key)).is_ok()
-        } else {
-            let _ = std::fs::remove_file(&tmp);
-            false
+    let tmp = dir.join(format!("{kind}-{key:016x}.tmp{}", std::process::id()));
+    let written = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&tmp, &out))
+        .and_then(|()| std::fs::rename(&tmp, &path));
+    match written {
+        Ok(()) => {
+            STORES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
         }
-    };
-    if written {
-        STORES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
-    } else {
-        STORE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            STORE_FAILURES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: monotone event count; no other memory depends on it
+            degrade(&path, &e.to_string());
+        }
     }
 }
 

@@ -111,7 +111,7 @@ pub fn run_e1(soc_config: &SocConfig, config: &E1Config) -> E1Result {
     // dropped (callers always pass configs that already built a SoC).
     // Each cell goes through the cell cache (a no-op unless a cache
     // directory is configured).
-    let runs = parallel_map(jobs, move |(scenario, policy, seed)| {
+    let runs = parallel_map("e1", jobs, move |(scenario, policy, seed)| {
         let metrics = eval_cell(
             &soc_config_owned,
             scenario,

@@ -64,7 +64,7 @@ pub fn run_e2(soc_config: &SocConfig, config: &E2Config) -> E2Result {
     // dropped (callers always pass configs that already built a SoC).
     let soc_config_owned = soc_config.clone();
     let job_config = config.clone();
-    let per_seed = parallel_map(config.seeds.clone(), move |seed| {
+    let per_seed = parallel_map("e2", config.seeds.clone(), move |seed| {
         run_curve_seed(&soc_config_owned, &job_config, seed)
     });
     let per_seed: Vec<(Vec<f64>, Vec<f64>, f64)> = per_seed.into_iter().flatten().collect();

@@ -158,7 +158,7 @@ pub fn run_policy_over_phases(
 pub fn run_e3(soc_config: &SocConfig, config: &E3Config) -> Vec<E3PolicyResult> {
     let soc_config_owned = soc_config.clone();
     let job_config = config.clone();
-    crate::par::parallel_map(config.policies.clone(), move |policy| {
+    crate::par::parallel_map("e3", config.policies.clone(), move |policy| {
         cached_policy_over_phases(&soc_config_owned, &job_config, policy)
     })
 }

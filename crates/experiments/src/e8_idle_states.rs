@@ -154,7 +154,7 @@ pub fn run_e8(config: &E8Config) -> Vec<E8Cell> {
         }
     }
     let job_config = config.clone();
-    let cells = parallel_map(jobs, move |(scenario, policy)| {
+    let cells = parallel_map("e8", jobs, move |(scenario, policy)| {
         let (energy_plain_j, _) = run_one(&plain, scenario, policy, &job_config)?;
         let (energy_cstates_j, collapsed_core_s) =
             run_one(&cstates, scenario, policy, &job_config)?;

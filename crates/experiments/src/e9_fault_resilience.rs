@@ -209,7 +209,7 @@ pub fn run_e9(soc_config: &SocConfig, config: &E9Config) -> E9Result {
     // against clamping in `scaled`, so in practice nothing is lost).
     let soc_config_owned = soc_config.clone();
     let job_config = config.clone();
-    let runs = parallel_map(jobs, move |(arm, index, multiplier, seed)| {
+    let runs = parallel_map("e9-fault", jobs, move |(arm, index, multiplier, seed)| {
         let metrics = run_e9_cell(&soc_config_owned, &job_config, arm, index, multiplier, seed)?;
         Some(E9CellRun {
             arm,

@@ -1,0 +1,366 @@
+//! Checksummed sweep journal: crash-safe record of completed cells.
+//!
+//! `regen-tables` (and any other sweep driver) calls [`begin`] once per
+//! run; from then on the cache layer reports every completed cell —
+//! computed or served warm — through the crate-private `record` hook,
+//! and the journal
+//! persists the set of `(kind, key)` pairs under
+//! `<cache-dir>/journal/sweep.log`. A run killed mid-sweep (power loss,
+//! OOM kill, an injected `abort` failpoint) leaves behind a journal
+//! whose every line is checksummed; restarting with `--resume` loads
+//! it, reports how much of the sweep already finished, and — because
+//! the journal only ever names cells whose bytes reached the
+//! content-addressed cache or memo — the rerun skips straight through
+//! them as cache hits and reproduces the uninterrupted CSVs
+//! byte-for-byte.
+//!
+//! The file format mirrors the cache envelope's discipline without its
+//! binary framing: a header line, then one `kind,key,checksum` line per
+//! cell (hex, fixed width), where the checksum is the FNV-1a-64 of the
+//! line's own `kind,key` prefix. Every rewrite goes through a temp
+//! file and a rename, so the journal on disk is always a valid prefix
+//! of the sweep — a torn tail line fails its checksum and is dropped,
+//! never misread. Appends rewrite the whole file; sweeps are a few
+//! hundred cells, so the quadratic cost is noise next to one
+//! simulation.
+//!
+//! Everything is a no-op until [`begin`] is called (one relaxed atomic
+//! load per `record` call), so library users and tests that never touch
+//! the journal pay nothing and leave no files behind.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use rlpm::persist::fnv1a64;
+
+use crate::sched::lock;
+
+/// Journal file header; a version bump invalidates old journals.
+const HEADER: &str = "# rlpm sweep journal v1";
+
+/// Fast-path latch mirroring "a journal is active".
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The active journal, if any.
+static STATE: Mutex<Option<Journal>> = Mutex::new(None);
+
+/// Active journal state: the file and the completed-cell set.
+struct Journal {
+    path: PathBuf,
+    completed: BTreeSet<(String, u64)>,
+    /// Cells recorded by *this* process (vs loaded from a previous run).
+    recorded: usize,
+    /// Set once if the journal file itself stops being writable; the
+    /// in-memory set keeps the process consistent.
+    write_failed: bool,
+}
+
+/// What [`begin`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// The journal file path.
+    pub path: PathBuf,
+    /// Completed cells carried over from the interrupted run.
+    pub completed: usize,
+    /// Malformed or torn trailing lines dropped during load.
+    pub discarded: usize,
+}
+
+/// Journal I/O failure, fatal only at [`begin`] time (a sweep must not
+/// start against a journal it cannot read or reset).
+#[derive(Debug)]
+pub struct JournalError {
+    /// The journal path involved.
+    pub path: PathBuf,
+    /// The failing operation.
+    pub op: &'static str,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep journal: cannot {} {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The journal path under a cache directory.
+pub fn journal_path(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("journal").join("sweep.log")
+}
+
+/// Starts journalling under `cache_dir`. With `resume` false any
+/// existing journal is discarded (a fresh sweep); with `resume` true
+/// the completed-cell set of the interrupted run is loaded first and
+/// reported in the returned [`ResumeSummary`].
+///
+/// # Errors
+///
+/// Returns [`JournalError`] when the journal directory cannot be
+/// created or an existing journal cannot be read/removed.
+pub fn begin(cache_dir: &Path, resume: bool) -> Result<ResumeSummary, JournalError> {
+    let path = journal_path(cache_dir);
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    std::fs::create_dir_all(&dir).map_err(|source| JournalError {
+        path: dir.clone(),
+        op: "create",
+        source,
+    })?;
+
+    let mut completed = BTreeSet::new();
+    let mut discarded = 0usize;
+    if resume {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let (loaded, dropped) = parse_journal(&text);
+                completed = loaded;
+                discarded = dropped;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(source) => {
+                return Err(JournalError {
+                    path,
+                    op: "read",
+                    source,
+                })
+            }
+        }
+    } else if let Err(source) = std::fs::remove_file(&path) {
+        if source.kind() != std::io::ErrorKind::NotFound {
+            return Err(JournalError {
+                path,
+                op: "reset",
+                source,
+            });
+        }
+    }
+
+    let summary = ResumeSummary {
+        path: path.clone(),
+        completed: completed.len(),
+        discarded,
+    };
+    *lock(&STATE) = Some(Journal {
+        path,
+        completed,
+        recorded: 0,
+        write_failed: false,
+    });
+    ARMED.store(true, Ordering::Relaxed); // xtask-atomics: fast-path hint only; the STATE mutex orders the journal data behind it
+    Ok(summary)
+}
+
+/// Stops journalling (the file is left behind for inspection).
+pub fn end() {
+    ARMED.store(false, Ordering::Relaxed); // xtask-atomics: fast-path hint only; the STATE mutex orders the teardown behind it
+    *lock(&STATE) = None;
+}
+
+/// Marks `(kind, key)` complete. Called by the cache layer whenever a
+/// cell's bytes are known good (computed, stored, or served warm).
+/// No-op without an active journal; never panics; a journal that stops
+/// being writable keeps recording in memory only.
+pub(crate) fn record(kind: &str, key: u64) {
+    // xtask-atomics: fast-path hint only; a stale read just skips or takes the STATE mutex, which orders the data
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut guard = lock(&STATE);
+    let Some(journal) = guard.as_mut() else {
+        return;
+    };
+    if !journal.completed.insert((kind.to_owned(), key)) {
+        return;
+    }
+    journal.recorded += 1;
+    if journal.write_failed {
+        return;
+    }
+    if persist(&journal.path, &journal.completed).is_err() {
+        journal.write_failed = true;
+        eprintln!(
+            "warning: sweep journal {} is no longer writable; \
+             resume information for this run will be incomplete",
+            journal.path.display()
+        );
+    }
+}
+
+/// Whether `(kind, key)` is already journalled as complete.
+pub fn is_complete(kind: &str, key: u64) -> bool {
+    // xtask-atomics: fast-path hint only; see record
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock(&STATE)
+        .as_ref()
+        .is_some_and(|j| j.completed.contains(&(kind.to_owned(), key)))
+}
+
+/// `(total completed, recorded by this process)` for end-of-run
+/// reporting; `(0, 0)` without an active journal.
+pub fn progress() -> (usize, usize) {
+    lock(&STATE)
+        .as_ref()
+        .map(|j| (j.completed.len(), j.recorded))
+        .unwrap_or((0, 0))
+}
+
+/// One journal line (without newline): `kind,key,checksum` where the
+/// checksum covers the `kind,key` prefix.
+fn render_line(kind: &str, key: u64) -> String {
+    let prefix = format!("{kind},{key:016x}");
+    let checksum = fnv1a64(prefix.as_bytes());
+    format!("{prefix},{checksum:016x}")
+}
+
+/// Parses a journal file: returns the valid completed set and how many
+/// lines were dropped (malformed, bad checksum — e.g. a torn tail).
+fn parse_journal(text: &str) -> (BTreeSet<(String, u64)>, usize) {
+    let mut completed = BTreeSet::new();
+    let mut discarded = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parsed = (|| {
+            let kind = parts.next()?;
+            let key = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            let prefix = format!("{kind},{key:016x}");
+            if fnv1a64(prefix.as_bytes()) != checksum {
+                return None;
+            }
+            Some((kind.to_owned(), key))
+        })();
+        match parsed {
+            Some(entry) => {
+                completed.insert(entry);
+            }
+            None => discarded += 1,
+        }
+    }
+    (completed, discarded)
+}
+
+/// Atomically rewrites the journal (temp file + rename, like the cache
+/// envelope): the on-disk file is always complete and checksummed.
+fn persist(path: &Path, completed: &BTreeSet<(String, u64)>) -> std::io::Result<()> {
+    let mut text = String::with_capacity(32 * (completed.len() + 1));
+    text.push_str(HEADER);
+    text.push('\n');
+    for (kind, key) in completed {
+        text.push_str(&render_line(kind, *key));
+        text.push('\n');
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    std::fs::write(&tmp, text.as_bytes())?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that arm the process-global journal.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rlpm-journal-unit-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lines_are_checksummed_and_torn_tails_dropped() {
+        let a = render_line("cell", 0xdead_beef);
+        let b = render_line("qtbl", 7);
+        let intact = format!("{HEADER}\n{a}\n{b}\n");
+        let (set, dropped) = parse_journal(&intact);
+        assert_eq!(set.len(), 2);
+        assert_eq!(dropped, 0);
+        assert!(set.contains(&("cell".to_owned(), 0xdead_beef)));
+
+        // A torn final line fails its checksum and is dropped; the
+        // prefix survives.
+        let torn = format!("{HEADER}\n{a}\n{}", &b[..b.len() - 3]);
+        let (set, dropped) = parse_journal(&torn);
+        assert_eq!(set.len(), 1);
+        assert_eq!(dropped, 1);
+
+        // Garbage and blank lines are dropped/skipped, never panic.
+        let (set, dropped) = parse_journal("nonsense\n\n# comment\nx,y,z\n");
+        assert!(set.is_empty());
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn begin_record_resume_round_trip() {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = temp_cache_dir("roundtrip");
+
+        // Fresh run: two cells recorded (one twice — deduplicated).
+        let fresh = begin(&dir, false).expect("begin");
+        assert_eq!((fresh.completed, fresh.discarded), (0, 0));
+        record("cell", 1);
+        record("cell", 2);
+        record("cell", 1);
+        assert_eq!(progress(), (2, 2));
+        assert!(is_complete("cell", 1));
+        assert!(!is_complete("cell", 3));
+        end();
+        assert!(!is_complete("cell", 1), "disarmed journal answers false");
+
+        // Simulated restart: resume loads the completed set.
+        let resumed = begin(&dir, true).expect("resume");
+        assert_eq!(resumed.completed, 2);
+        assert_eq!(resumed.discarded, 0);
+        assert!(is_complete("cell", 2));
+        record("cell", 3);
+        assert_eq!(progress(), (3, 1));
+        end();
+
+        // A fresh (non-resume) begin resets the journal.
+        let reset = begin(&dir, false).expect("fresh");
+        assert_eq!(reset.completed, 0);
+        end();
+
+        let _ = std::fs::remove_dir_all(&dir);
+        drop(guard);
+    }
+
+    #[test]
+    fn record_without_begin_is_a_no_op() {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        end();
+        record("cell", 42);
+        assert_eq!(progress(), (0, 0));
+        drop(guard);
+    }
+}

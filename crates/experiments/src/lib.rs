@@ -23,6 +23,17 @@
 //! [`resilience`]), [`PolicyKind`] (every policy under test, including
 //! the pre-trained RL policy), and [`table::Table`] (markdown/CSV
 //! rendering used by the `regen-tables` binary and the benches).
+//!
+//! ## Harness fault tolerance
+//!
+//! Sweeps run under a supervised scheduler: a panicking cell is retried
+//! with bounded backoff ([`set_max_retries`]) and then *quarantined*
+//! ([`quarantine_report`]) instead of aborting the whole run; the
+//! on-disk cache degrades to the in-memory memo layer on I/O trouble
+//! ([`cache::CacheDegraded`]); and the [`journal`] records completed
+//! cells so a killed sweep can `--resume`. Deterministic failure
+//! injection for all of it lives in [`simkit::failpoint`]. See
+//! DESIGN.md, "Harness fault model".
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +49,7 @@ pub mod e6_fixed_point;
 pub mod e7_hw_cost;
 pub mod e8_idle_states;
 pub mod e9_fault_resilience;
+pub mod journal;
 pub mod resilience;
 pub mod table;
 
@@ -46,6 +58,23 @@ mod policies;
 mod runner;
 mod sched;
 
+pub use cache::CacheDegraded;
 pub use policies::{eval_cells_batched, train_rl_governor, EvalCell, PolicyKind, TrainingProtocol};
 pub use resilience::{FaultHarness, Watchdog};
-pub use runner::{run, run_batch, run_with_faults, BatchLane, RunConfig, RunMetrics};
+pub use runner::{
+    ensure_fleet_faults_supported, run, run_batch, run_with_faults, BatchLane,
+    FleetFaultsUnsupported, RunConfig, RunMetrics,
+};
+pub use sched::{
+    clear_quarantine, max_retries, quarantine_report, retry_count, set_max_retries,
+    QuarantineError, QuarantineRecord, DEFAULT_MAX_RETRIES,
+};
+
+/// Registers the harness-resilience counters (`sched.retries`,
+/// `sched.quarantined`, `cache.degraded`) with the obs registry so they
+/// appear — pinned at zero when nothing fails — in every
+/// `MetricsSnapshot`.
+pub fn register_harness_metrics() {
+    sched::register_obs();
+    cache::register_obs();
+}

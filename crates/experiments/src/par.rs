@@ -10,18 +10,36 @@
 //! overrides the worker count (useful for determinism tests and for
 //! pinning CI parallelism), and results still come back in input order,
 //! bit-identical across thread counts.
+//!
+//! The scheduler supervises each job (retry with bounded backoff, then
+//! quarantine — see [`crate::sched`]). `parallel_map` keeps its complete
+//! `Vec<R>` contract: an experiment table cannot be built from a matrix
+//! with holes, so if any cell stays quarantined after retries the call
+//! raises a single summary panic *after the whole batch drained*. The
+//! section boundary (regen-tables' per-section join, the CLI dispatcher)
+//! catches it and turns the process-wide quarantine report into a
+//! non-zero exit — other sections keep running.
 
 use crate::sched;
 
 /// Applies `f` to every item on the shared worker pool, returning
-/// results in input order.
-pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// results in input order. `label` names the submitting experiment in
+/// quarantine reports.
+pub(crate) fn parallel_map<T, R, F>(label: &'static str, items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send + 'static,
+    T: Clone + Send + 'static,
     R: Send + 'static,
     F: Fn(T) -> R + Send + Sync + 'static,
 {
-    sched::scatter(items, f)
+    let outcome = sched::scatter(label, items, f);
+    if !outcome.quarantined.is_empty() {
+        // xtask-allow: no-panic-lib -- deliberate summary panic: carries the quarantine count to the section boundary (regen-tables join / CLI dispatcher), which catches it and reports; the batch itself fully drained first
+        panic!(
+            "{label}: {} cell(s) quarantined after retries; see the quarantine report",
+            outcome.quarantined.len()
+        );
+    }
+    outcome.results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -30,28 +48,48 @@ mod tests {
 
     #[test]
     fn preserves_order() {
-        let out = parallel_map((0..1000).collect(), |x: i32| x * 2);
+        let out = parallel_map("p-order", (0..1000).collect(), |x: i32| x * 2);
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_input_is_fine() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        let out: Vec<i32> = parallel_map("p-empty", Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
     }
 
     #[test]
     fn single_item() {
-        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+        assert_eq!(parallel_map("p-single", vec![7], |x: i32| x + 1), vec![8]);
     }
 
     #[test]
     fn order_preserved_under_skewed_work() {
         // Later items finish first; merging must still restore order.
-        let out = parallel_map((0..64).collect(), |x: u64| {
+        let out = parallel_map("p-skew", (0..64).collect(), |x: u64| {
             std::thread::sleep(std::time::Duration::from_micros(64 - x));
             x * x
         });
         assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quarantine_surfaces_as_one_summary_panic() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map("p-dead", (0..8).collect(), |x: u32| {
+                assert!(x != 5, "cell 5 is broken");
+                x
+            })
+        });
+        let payload = result.expect_err("quarantine must surface");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("p-dead"),
+            "summary names the batch: {message}"
+        );
+        assert!(message.contains("1 cell(s)"), "{message}");
     }
 }

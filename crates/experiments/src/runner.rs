@@ -271,6 +271,50 @@ pub fn run_with_faults(
     }
 }
 
+/// Typed rejection of a fleet-wide fault request (see
+/// [`ensure_fleet_faults_supported`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultsUnsupported {
+    /// The requested fleet-wide fault-rate scale.
+    pub scale: f64,
+}
+
+impl std::fmt::Display for FleetFaultsUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet-wide fault injection (fault scale {}) is not supported: \
+             the fleet path shares one scenario stream across lanes and has \
+             no per-lane fault harness or watchdog; a faulted lane would \
+             also disable idle parking and void the fleet-rate accounting. \
+             Use `e9` for fault studies, or fault scale 0 (bit-identical \
+             to the fault-free fleet).",
+            self.scale
+        )
+    }
+}
+
+impl std::error::Error for FleetFaultsUnsupported {}
+
+/// Validates a fleet-wide fault-rate scale for the batched fleet path.
+///
+/// The fleet path deliberately wires [`BatchLane::faults`] to `None`,
+/// so a non-zero request must fail loudly instead of silently
+/// simulating fault-free: anything other than exactly `0.0` returns a
+/// typed [`FleetFaultsUnsupported`] error.
+///
+/// # Errors
+///
+/// Returns [`FleetFaultsUnsupported`] for any non-zero (or non-finite)
+/// `scale`.
+pub fn ensure_fleet_faults_supported(scale: f64) -> Result<(), FleetFaultsUnsupported> {
+    if scale == 0.0 && scale.is_sign_positive() {
+        Ok(())
+    } else {
+        Err(FleetFaultsUnsupported { scale })
+    }
+}
+
 /// One device lane of a batched run: the workload feeding it, the policy
 /// driving it, and an optional per-lane fault harness.
 ///

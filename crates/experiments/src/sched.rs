@@ -1,5 +1,6 @@
 //! Global work-stealing scheduler: one persistent worker pool executes
-//! the cells of *every* concurrently submitted experiment.
+//! the cells of *every* concurrently submitted experiment, under a
+//! per-job supervisor that retries and quarantines failures.
 //!
 //! [`scatter`] flattens a batch of independent jobs onto a process-wide
 //! pool. Each batch is a shared slice with a lock-free [`AtomicUsize`]
@@ -10,6 +11,17 @@
 //! output is byte-identical no matter how many workers ran or how the
 //! cursor interleaved — the same discipline the old per-call
 //! `parallel_map` pool proved with the `RLPM_THREADS=1` vs `4` test.
+//!
+//! **Supervision.** A job that panics (or is killed by an armed
+//! [`simkit::failpoint`] plan at the [`simkit::failpoint::SITE_SCHED_JOB`]
+//! site) no longer aborts the whole sweep: the supervisor re-runs it up
+//! to [`max_retries`] times with a bounded deterministic backoff, then
+//! **quarantines** it — the panic payload and cell position are recorded
+//! in the process-wide [`quarantine_report`], the job's result slot
+//! stays empty, and every other cell of the batch still completes. The
+//! submitting layer decides what an incomplete batch means (the
+//! experiment tables treat it as a failed section; the run then exits
+//! non-zero with the quarantine report).
 //!
 //! Unlike the old scoped pool, workers are **daemon threads shared by
 //! the whole process**: several experiments (the `regen-tables` sections
@@ -24,17 +36,22 @@
 //!
 //! `RLPM_THREADS` caps the pool exactly as before: it is re-read on
 //! every call, and a value of `1` bypasses the pool entirely for a
-//! sequential in-place map.
+//! sequential in-place map (which runs the *same* supervisor, so retry
+//! and quarantine behave identically at any thread count).
 
 use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use simkit::obs::Counter;
 
 /// Locks a mutex, recovering the guard if another worker panicked while
 /// holding it. The critical sections in this module never panic, so a
 /// poisoned lock still protects coherent data; job panics are caught per
-/// job and re-raised on the submitting thread.
+/// job by the supervisor.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(guard) => guard,
@@ -55,6 +72,180 @@ pub(crate) fn thread_count() -> usize {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4),
     }
+}
+
+/// Default retry budget: a failing job runs at most `1 + 2` times.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+/// First backoff step; doubles per retry up to [`BACKOFF_CAP_MS`].
+const BACKOFF_BASE_MS: u64 = 5;
+/// Upper bound on a single backoff sleep.
+const BACKOFF_CAP_MS: u64 = 100;
+
+/// Process-wide retry budget, set from `--max-retries`.
+static MAX_RETRIES: AtomicU64 = AtomicU64::new(DEFAULT_MAX_RETRIES as u64);
+/// Total job retries this process (for end-of-run reports).
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+/// Quarantined jobs, appended as they are declared dead.
+static QUARANTINE: Mutex<Vec<QuarantineRecord>> = Mutex::new(Vec::new());
+
+/// Obs counter mirroring [`retry_count`].
+static OBS_RETRIES: Counter = Counter::new("sched.retries");
+/// Obs counter mirroring the quarantine report length.
+static OBS_QUARANTINED: Counter = Counter::new("sched.quarantined");
+
+/// Sets the per-job retry budget (`n` re-runs after the first failure).
+pub fn set_max_retries(n: u32) {
+    MAX_RETRIES.store(u64::from(n), Ordering::Relaxed); // xtask-atomics: plain config cell written once at startup; readers tolerate any interleaving
+}
+
+/// The current per-job retry budget.
+pub fn max_retries() -> u32 {
+    MAX_RETRIES.load(Ordering::Relaxed) as u32 // xtask-atomics: plain config cell; see set_max_retries
+}
+
+/// Total job retries performed by this process so far.
+pub fn retry_count() -> u64 {
+    RETRIES.load(Ordering::Relaxed) // xtask-atomics: statistics counter; reporting tolerates in-flight increments
+}
+
+/// Registers the supervisor's obs counters (zero-valued) so they appear
+/// in a [`simkit::obs::MetricsSnapshot`] even before the first retry.
+pub(crate) fn register_obs() {
+    OBS_RETRIES.add(0);
+    OBS_QUARANTINED.add(0);
+}
+
+/// One quarantined job: which batch and cell died, after how many
+/// attempts, and with what panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The submitting batch's label (the experiment section, e.g. `e1`).
+    pub batch: &'static str,
+    /// The job's index within its batch — the cell position.
+    pub index: usize,
+    /// Total attempts made (first run plus retries).
+    pub attempts: u32,
+    /// The panic payload, rendered to a string.
+    pub message: String,
+}
+
+impl fmt::Display for QuarantineRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quarantined {}[{}] after {} attempt(s): {}",
+            self.batch, self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// A snapshot of every quarantined job so far, sorted by batch label
+/// then cell index — deterministic regardless of worker interleaving.
+pub fn quarantine_report() -> Vec<QuarantineRecord> {
+    let mut report = lock(&QUARANTINE).clone();
+    report.sort_by(|a, b| (a.batch, a.index).cmp(&(b.batch, b.index)));
+    report
+}
+
+/// Clears the quarantine registry (one CLI invocation = one report).
+pub fn clear_quarantine() {
+    lock(&QUARANTINE).clear();
+}
+
+/// A run that completed but left quarantined cells behind; carries the
+/// report length for exit-code decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineError {
+    /// How many cells were quarantined.
+    pub cells: usize,
+}
+
+impl fmt::Display for QuarantineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cell(s) quarantined after retries; results are incomplete",
+            self.cells
+        )
+    }
+}
+
+impl std::error::Error for QuarantineError {}
+
+/// Renders a caught panic payload for the quarantine report.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Deterministic bounded backoff before retry `attempt` (1-based).
+fn backoff_ms(attempt: u32) -> u64 {
+    BACKOFF_BASE_MS
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(8))
+        .min(BACKOFF_CAP_MS)
+}
+
+/// Runs one job under the supervisor: consult the `sched/job` failpoint,
+/// run, and on panic retry with backoff up to the process-wide budget.
+/// A job that exhausts its budget is recorded in the quarantine registry
+/// and returned as `Err`.
+fn supervise<T, R, F>(
+    label: &'static str,
+    f: &F,
+    item: &T,
+    index: usize,
+) -> Result<R, QuarantineRecord>
+where
+    T: Clone,
+    F: Fn(T) -> R,
+{
+    let budget = max_retries();
+    let mut attempt: u32 = 0;
+    loop {
+        let job = item.clone();
+        // A panicking job must not take the pool down (daemon workers
+        // are shared by unrelated experiments); the supervisor catches
+        // it here, retries, and finally quarantines.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            simkit::failpoint::fire(simkit::failpoint::SITE_SCHED_JOB, index as u64);
+            f(job)
+        }));
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(payload) => {
+                if attempt >= budget {
+                    let record = QuarantineRecord {
+                        batch: label,
+                        index,
+                        attempts: attempt + 1,
+                        message: panic_message(payload.as_ref()),
+                    };
+                    lock(&QUARANTINE).push(record.clone());
+                    OBS_QUARANTINED.inc();
+                    return Err(record);
+                }
+                attempt += 1;
+                RETRIES.fetch_add(1, Ordering::Relaxed); // xtask-atomics: statistics counter; never synchronises job state
+                OBS_RETRIES.inc();
+                std::thread::sleep(Duration::from_millis(backoff_ms(attempt)));
+            }
+        }
+    }
+}
+
+/// What [`scatter`] hands back: per-cell results in input order (`None`
+/// marks a quarantined cell) plus this batch's quarantine records,
+/// sorted by index.
+pub(crate) struct BatchOutcome<R> {
+    /// One slot per input item, `None` where the job was quarantined.
+    pub results: Vec<Option<R>>,
+    /// The quarantined jobs of *this* batch.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 /// A type-erased batch the pool's workers can participate in.
@@ -118,14 +309,17 @@ struct BatchState<R> {
     results: Vec<(usize, R)>,
     /// Jobs claimed *and* finished (counted per participation, after the
     /// drop-off, so `completed == len` implies the results are merged).
+    /// Quarantined jobs count as finished.
     completed: usize,
-    /// First caught job panic, re-raised by the submitting thread.
-    panic: Option<Box<dyn Any + Send>>,
+    /// Quarantined jobs of this batch, in drop-off order.
+    quarantined: Vec<QuarantineRecord>,
 }
 
 /// One `scatter` call: the job slice, its claim cursor and the shared
 /// result state.
 struct Batch<T, R, F> {
+    /// The submitting experiment's label, carried into quarantine records.
+    label: &'static str,
     /// Job slots; each is taken exactly once by the claiming worker.
     items: Vec<Mutex<Option<T>>>,
     /// Lock-free claim cursor: `fetch_add` hands out each index once.
@@ -137,18 +331,19 @@ struct Batch<T, R, F> {
 
 impl<T, R, F> Batch<T, R, F>
 where
-    T: Send,
+    T: Clone + Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    fn new(items: Vec<T>, f: F) -> Self {
+    fn new(label: &'static str, items: Vec<T>, f: F) -> Self {
         Batch {
+            label,
             items: items.into_iter().map(|i| Mutex::new(Some(i))).collect(),
             next: AtomicUsize::new(0),
             state: Mutex::new(BatchState {
                 results: Vec::new(),
                 completed: 0,
-                panic: None,
+                quarantined: Vec::new(),
             }),
             done: Condvar::new(),
             f,
@@ -161,8 +356,8 @@ where
     fn run_to_exhaustion(&self) {
         let n = self.items.len();
         let mut local: Vec<(usize, R)> = Vec::new();
+        let mut local_quarantined: Vec<QuarantineRecord> = Vec::new();
         let mut claimed = 0usize;
-        let mut caught: Option<Box<dyn Any + Send>> = None;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed); // xtask-atomics: claim by atomic RMW; uniqueness comes from fetch_add itself, results merge under the batch mutex
             if i >= n {
@@ -175,12 +370,9 @@ where
             let Some(item) = lock(slot).take() else {
                 continue;
             };
-            // A panicking job must not take the pool down (daemon workers
-            // are shared by unrelated experiments); it is recorded and
-            // re-raised on the thread that submitted the batch.
-            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+            match supervise(self.label, &self.f, &item, i) {
                 Ok(result) => local.push((i, result)),
-                Err(payload) => caught = Some(payload),
+                Err(record) => local_quarantined.push(record),
             }
         }
         if claimed == 0 {
@@ -188,10 +380,8 @@ where
         }
         let mut state = lock(&self.state);
         state.results.append(&mut local);
+        state.quarantined.append(&mut local_quarantined);
         state.completed += claimed;
-        if state.panic.is_none() {
-            state.panic = caught;
-        }
         if state.completed >= n {
             self.done.notify_all();
         }
@@ -209,14 +399,14 @@ where
         BatchState {
             results: std::mem::take(&mut state.results),
             completed: state.completed,
-            panic: state.panic.take(),
+            quarantined: std::mem::take(&mut state.quarantined),
         }
     }
 }
 
 impl<T, R, F> Task for Batch<T, R, F>
 where
-    T: Send,
+    T: Clone + Send,
     R: Send,
     F: Fn(T) -> R + Send + Sync,
 {
@@ -229,31 +419,69 @@ where
     }
 }
 
-/// Applies `f` to every item on the global pool, returning results in
-/// input order. The calling thread participates, so this also works
-/// with zero pool workers; with `RLPM_THREADS=1` (or a single item) it
-/// degenerates to a plain sequential map with no pool involvement.
+/// Assembles ordered per-slot results from index-tagged drop-offs.
+fn assemble<R>(
+    n: usize,
+    tagged: Vec<(usize, R)>,
+    mut quarantined: Vec<QuarantineRecord>,
+) -> BatchOutcome<R> {
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in tagged {
+        if let Some(slot) = results.get_mut(i) {
+            *slot = Some(r);
+        }
+    }
+    quarantined.sort_by_key(|q| q.index);
+    debug_assert_eq!(
+        results.iter().filter(|r| r.is_some()).count() + quarantined.len(),
+        n,
+        "every job either produces a result or a quarantine record"
+    );
+    BatchOutcome {
+        results,
+        quarantined,
+    }
+}
+
+/// Applies `f` to every item on the global pool under the per-job
+/// supervisor, returning per-slot results in input order (`None` where
+/// a job was quarantined) plus this batch's quarantine records. The
+/// calling thread participates, so this also works with zero pool
+/// workers; with `RLPM_THREADS=1` (or a single item) it degenerates to
+/// a sequential supervised map with no pool involvement.
 ///
 /// Results are bit-identical across worker counts: jobs are independent,
-/// index-tagged and re-sorted, exactly like the scoped pool this
+/// index-tagged and re-sorted, and failpoint decisions are pure
+/// functions of the cell index, exactly like the scoped pool this
 /// replaces.
-pub(crate) fn scatter<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+pub(crate) fn scatter<T, R, F>(label: &'static str, items: Vec<T>, f: F) -> BatchOutcome<R>
 where
-    T: Send + 'static,
+    T: Clone + Send + 'static,
     R: Send + 'static,
     F: Fn(T) -> R + Send + Sync + 'static,
 {
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return BatchOutcome {
+            results: Vec::new(),
+            quarantined: Vec::new(),
+        };
     }
     let threads = thread_count().min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut tagged = Vec::new();
+        let mut quarantined = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match supervise(label, &f, item, i) {
+                Ok(result) => tagged.push((i, result)),
+                Err(record) => quarantined.push(record),
+            }
+        }
+        return assemble(n, tagged, quarantined);
     }
 
     ensure_workers(threads.saturating_sub(1));
-    let batch = Arc::new(Batch::new(items, f));
+    let batch = Arc::new(Batch::new(label, items, f));
     {
         let task: Arc<dyn Task> = Arc::clone(&batch) as Arc<dyn Task>;
         lock(&QUEUE).push(task);
@@ -262,46 +490,43 @@ where
 
     batch.run_to_exhaustion();
     let state = batch.wait();
-    if let Some(payload) = state.panic {
-        resume_unwind(payload);
-    }
-
-    let mut tagged = state.results;
-    // The cursor hands out each index exactly once, so the tags are a
-    // permutation of 0..n and sorting restores input order.
-    debug_assert_eq!(tagged.len(), n, "every job produces exactly one result");
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    assemble(n, state.results, state.quarantined)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Unwraps every slot; the callers below expect no quarantine.
+    fn all<R>(outcome: BatchOutcome<R>) -> Vec<R> {
+        assert!(outcome.quarantined.is_empty(), "unexpected quarantine");
+        outcome.results.into_iter().flatten().collect()
+    }
+
     #[test]
     fn preserves_order() {
-        let out = scatter((0..1000).collect(), |x: i32| x * 2);
+        let out = all(scatter("t-order", (0..1000).collect(), |x: i32| x * 2));
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_input_is_fine() {
-        let out: Vec<i32> = scatter(Vec::<i32>::new(), |x| x);
+        let out: Vec<i32> = all(scatter("t-empty", Vec::<i32>::new(), |x| x));
         assert!(out.is_empty());
     }
 
     #[test]
     fn single_item_runs_inline() {
-        assert_eq!(scatter(vec![7], |x: i32| x + 1), vec![8]);
+        assert_eq!(all(scatter("t-single", vec![7], |x: i32| x + 1)), vec![8]);
     }
 
     #[test]
     fn order_preserved_under_skewed_work() {
         // Later items finish first; merging must still restore order.
-        let out = scatter((0..64).collect(), |x: u64| {
+        let out = all(scatter("t-skew", (0..64).collect(), |x: u64| {
             std::thread::sleep(std::time::Duration::from_micros(64 - x));
             x * x
-        });
+        }));
         assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
     }
 
@@ -311,7 +536,11 @@ mod tests {
         // must still come back complete and ordered.
         let handles: Vec<_> = (0..2)
             .map(|offset: i64| {
-                std::thread::spawn(move || scatter((0..256).collect(), move |x: i64| x + offset))
+                std::thread::spawn(move || {
+                    all(scatter("t-conc", (0..256).collect(), move |x: i64| {
+                        x + offset
+                    }))
+                })
             })
             .collect();
         for (offset, handle) in handles.into_iter().enumerate() {
@@ -321,16 +550,63 @@ mod tests {
     }
 
     #[test]
-    fn job_panic_is_propagated_to_the_submitter() {
-        let result = std::panic::catch_unwind(|| {
-            scatter((0..32).collect(), |x: u32| {
-                assert!(x != 17, "boom");
-                x
-            })
+    fn persistent_panic_is_quarantined_not_propagated() {
+        let outcome = scatter("t-quarantine", (0..32).collect(), |x: u32| {
+            assert!(x != 17, "boom at 17");
+            x
         });
-        assert!(result.is_err(), "panic must reach the submitting thread");
-        // The pool survives a panicking batch.
-        let out = scatter((0..32).collect(), |x: u32| x + 1);
+        // The batch completes: every other cell has its result.
+        assert_eq!(outcome.results.len(), 32);
+        assert!(outcome.results.get(17).is_some_and(Option::is_none));
+        assert_eq!(
+            outcome
+                .results
+                .iter()
+                .filter(|result| result.is_some())
+                .count(),
+            31
+        );
+        // The dead cell is quarantined with its payload and attempts.
+        assert_eq!(outcome.quarantined.len(), 1);
+        let record = outcome.quarantined.first().expect("one record");
+        assert_eq!((record.batch, record.index), ("t-quarantine", 17));
+        assert_eq!(record.attempts, max_retries() + 1);
+        assert!(record.message.contains("boom at 17"), "{}", record.message);
+        // And reported process-wide, deterministically sorted.
+        assert!(quarantine_report()
+            .iter()
+            .any(|r| r.batch == "t-quarantine" && r.index == 17));
+        // The pool survives a quarantining batch.
+        let out = all(scatter("t-survive", (0..32).collect(), |x: u32| x + 1));
         assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        use std::collections::BTreeMap;
+        let attempts: Arc<Mutex<BTreeMap<u32, u32>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let seen = Arc::clone(&attempts);
+        let before = retry_count();
+        let outcome = scatter("t-retry", (0..8).collect(), move |x: u32| {
+            let mut map = lock(&seen);
+            let tries = map.entry(x).or_insert(0);
+            *tries += 1;
+            let first = *tries == 1;
+            drop(map);
+            assert!(!(x == 3 && first), "transient failure on first attempt");
+            x * 10
+        });
+        assert!(outcome.quarantined.is_empty(), "retry must recover");
+        let results: Vec<u32> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(results, (0..8).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(lock(&attempts).get(&3), Some(&2), "cell 3 ran twice");
+        assert!(retry_count() > before, "the retry was counted");
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        assert_eq!(backoff_ms(1), 5);
+        assert_eq!(backoff_ms(2), 10);
+        assert!((1..=64).all(|a| backoff_ms(a) <= BACKOFF_CAP_MS));
     }
 }

@@ -63,6 +63,53 @@ fn corrupt_entries_are_evicted_and_recomputed_identically() {
     assert_eq!(cold, warm, "recomputed results must be byte-identical");
 }
 
+/// An unwritable cache directory (read-only mount, corrupt dir) must
+/// degrade the on-disk layer to the in-memory memo exactly once — a
+/// typed warning, never a panic or silent loss. The blocker here is a
+/// regular *file* where the cache directory should be: `chmod 0o555`
+/// does not bind when tests run as root, but a file in the way fails
+/// `create_dir_all` (and entry reads) for every user, which is the same
+/// read-only-dir code path in `store_to_disk`/`load_from_disk`.
+#[test]
+fn unwritable_cache_dir_degrades_once_to_memo() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let blocker = std::env::temp_dir().join(format!("rlpm-cache-blocked-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&blocker);
+    let _ = std::fs::remove_file(&blocker);
+    std::fs::write(&blocker, b"not a directory").expect("blocker file");
+    let dir = blocker.join("cache");
+
+    cache::configure(Some(dir.clone()));
+    cache::reset_stats();
+    assert!(!cache::is_degraded(), "configure resets the degraded latch");
+
+    // First store fails against the blocked path and trips the one-shot
+    // degradation; the computed result is still returned and memoized.
+    let got = cache::get_or_compute("test", 0xD1, || Some(vec![7, 7]));
+    assert_eq!(got.as_deref().map(Vec::as_slice), Some(&[7u8, 7][..]));
+    assert!(cache::is_degraded(), "failed store must degrade the cache");
+    let stats = cache::stats();
+    assert_eq!(stats.stores, 0, "nothing may claim to be persisted");
+    assert!(stats.store_failures >= 1, "the failure must be counted");
+
+    // Degraded mode: the memo layer still serves repeats without
+    // recomputing, and new keys still compute (memo-only, no disk).
+    let again = cache::get_or_compute("test", 0xD1, || {
+        panic!("degraded repeat must come from the memo")
+    });
+    assert_eq!(again.as_deref(), got.as_deref());
+    let fresh = cache::get_or_compute("test", 0xD2, || Some(vec![9]));
+    assert_eq!(fresh.as_deref().map(Vec::as_slice), Some(&[9u8][..]));
+    let stats = cache::stats();
+    assert_eq!(stats.stores, 0, "degraded cache never writes to disk");
+
+    // Reconfiguring clears the latch for the next run.
+    cache::configure(None);
+    cache::clear_memo();
+    assert!(!cache::is_degraded());
+    let _ = std::fs::remove_file(&blocker);
+}
+
 #[test]
 fn absent_directory_and_disabled_cache_are_plain_misses() {
     let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());

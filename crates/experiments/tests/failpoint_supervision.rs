@@ -1,0 +1,109 @@
+//! Failpoint-driven supervision, end to end through a real experiment
+//! sweep (E8 quick: 4 cells): killed cells are retried, quarantined
+//! deterministically, and reported — the sweep never dies mid-run — and
+//! a plan that injects nothing is a bit-exact no-op.
+
+use std::sync::Mutex;
+
+use experiments::e8_idle_states::{run_e8, E8Config};
+use experiments::QuarantineRecord;
+use simkit::failpoint::{self, FailpointPlan};
+
+/// Failpoints and the quarantine log are process-global; tests in this
+/// binary serialise on this lock.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs the E8 quick sweep under `spec` (uncached) and returns the
+/// quarantine report. A sweep with quarantined cells must raise exactly
+/// one summary panic after draining; a clean sweep must not.
+fn run_under_plan(spec: &str) -> Vec<QuarantineRecord> {
+    experiments::cache::configure(None);
+    failpoint::configure(Some(FailpointPlan::parse(spec).expect("valid spec")));
+    experiments::clear_quarantine();
+    let outcome = std::panic::catch_unwind(|| run_e8(&E8Config::quick()));
+    failpoint::configure(None);
+    let report = experiments::quarantine_report();
+    assert_eq!(
+        outcome.is_err(),
+        !report.is_empty(),
+        "summary panic iff something was quarantined"
+    );
+    report
+}
+
+#[test]
+fn killed_cells_are_retried_then_quarantined_with_exact_keys() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let retries_before = experiments::retry_count();
+    let report = run_under_plan("sched/job=@0:panic,sched/job=@2:panic");
+    assert_eq!(report.len(), 2, "exactly the two targeted cells die");
+    let budget = experiments::max_retries();
+    for record in &report {
+        assert_eq!(record.batch, "e8");
+        assert_eq!(record.attempts, budget + 1, "initial try + every retry");
+        assert!(
+            record.message.contains("failpoint fired"),
+            "panic payload is recorded: {record}"
+        );
+    }
+    let indices: Vec<usize> = report.iter().map(|r| r.index).collect();
+    assert_eq!(indices, vec![0, 2], "report is sorted by cell key");
+    assert_eq!(
+        experiments::retry_count() - retries_before,
+        u64::from(budget) * 2,
+        "every killed cell burned its whole retry budget"
+    );
+}
+
+#[test]
+fn rate_based_plans_quarantine_the_same_cells_per_seed() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The decision is a pure hash of (plan seed, site, cell index), so
+    // the same spec must kill the same cells run after run, at any
+    // thread count — and both injection flavours (panic, error) agree.
+    let spec = "seed=5,sched/job=0.6:panic";
+    let first = run_under_plan(spec);
+    assert!(
+        !first.is_empty(),
+        "rate 0.6 over 4 cells must kill at least one for this seed"
+    );
+    let second = run_under_plan(spec);
+    assert_eq!(first, second, "same plan seed, same quarantine set");
+    let errors = run_under_plan("seed=5,sched/job=0.6:error");
+    assert_eq!(
+        first.iter().map(|r| r.index).collect::<Vec<_>>(),
+        errors.iter().map(|r| r.index).collect::<Vec<_>>(),
+        "error and panic actions kill the same deterministic set"
+    );
+}
+
+#[test]
+fn inert_plans_are_bit_exact_no_ops() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    experiments::cache::configure(None);
+    failpoint::configure(None);
+    let baseline = run_e8(&E8Config::quick());
+    assert_eq!(baseline.len(), 4);
+
+    // Armed zero-rate plan: consulted at every site, fires nowhere.
+    let zero_rate = run_under_plan("seed=9,sched/job=0:panic,cache/store=0:error");
+    assert!(zero_rate.is_empty(), "zero rate must never fire");
+    failpoint::configure(Some(
+        FailpointPlan::parse("seed=9,sched/job=0:panic,cache/store=0:error").expect("valid"),
+    ));
+    let under_zero = run_e8(&E8Config::quick());
+    failpoint::configure(None);
+    assert_eq!(
+        baseline, under_zero,
+        "zero-rate plan must be bit-identical to no plan"
+    );
+
+    // Delay injection perturbs wall time only, never results.
+    failpoint::configure(Some(
+        FailpointPlan::parse("sched/job=@1:delay:5").expect("valid"),
+    ));
+    let delayed = run_e8(&E8Config::quick());
+    failpoint::configure(None);
+    assert!(experiments::quarantine_report().is_empty());
+    assert_eq!(baseline, delayed, "delays must not change any result bit");
+}

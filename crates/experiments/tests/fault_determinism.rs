@@ -155,6 +155,67 @@ fn seeded_fault_plan_replays_bit_identically() {
 }
 
 #[test]
+fn zero_rate_fleet_batch_is_bit_identical_and_nonzero_is_a_typed_error() {
+    use experiments::{ensure_fleet_faults_supported, run_batch, BatchLane};
+    use soc::DeviceBatch;
+
+    let soc_config = SocConfig::odroid_xu3_like().expect("preset is valid");
+    let lanes_n = 3usize;
+    let seed = 42u64;
+    let run_fleet = |with_zero_plan: bool| -> Vec<RunMetrics> {
+        let mut batch = DeviceBatch::new(
+            (0..lanes_n)
+                .map(|_| Soc::new(soc_config.clone()))
+                .collect::<Result<Vec<_>, _>>()
+                .expect("validated config"),
+        )
+        .expect("homogeneous batch");
+        let mut lanes: Vec<BatchLane> = (0..lanes_n as u64)
+            .map(|i| BatchLane {
+                scenario: ScenarioKind::Video.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i)),
+                governor: PolicyKind::Baseline(GovernorKind::Schedutil).build_trained(
+                    &soc_config,
+                    ScenarioKind::Video,
+                    TrainingProtocol::quick(),
+                    seed,
+                ),
+                faults: with_zero_plan.then(|| {
+                    FaultHarness::new(&soc_config, 7, FaultRates::zero())
+                        .expect("zero rates are valid")
+                }),
+            })
+            .collect();
+        run_batch(&mut batch, &mut lanes, RunConfig::seconds(5))
+    };
+
+    let plain = run_fleet(false);
+    let zero_plan = run_fleet(true);
+    assert_eq!(plain.len(), lanes_n);
+    for (i, (p, z)) in plain.iter().zip(&zero_plan).enumerate() {
+        assert_eq!(
+            render_bits(p),
+            render_bits(z),
+            "lane {i}: a zero-rate plan must be a bit-exact no-op on the fleet path"
+        );
+        assert_eq!(z.fault_counts.total(), 0);
+    }
+
+    // The fleet CLI path wires no per-lane harness, so a fleet-wide
+    // fault request must be a *typed* unsupported error — never a
+    // silent fault-free simulation.
+    assert!(ensure_fleet_faults_supported(0.0).is_ok());
+    for bad in [0.5, 1.0, -0.0, f64::NAN] {
+        let err = ensure_fleet_faults_supported(bad)
+            .expect_err("non-zero fleet fault scale must be rejected");
+        assert!(err.scale.is_nan() == bad.is_nan() && (bad.is_nan() || err.scale == bad));
+        assert!(
+            err.to_string().contains("not supported"),
+            "typed error must explain itself: {err}"
+        );
+    }
+}
+
+#[test]
 fn different_fault_seeds_draw_different_traces() {
     let soc_config = SocConfig::odroid_xu3_like().expect("preset is valid");
     let rates = default_base_rates();

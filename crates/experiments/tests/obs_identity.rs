@@ -60,6 +60,28 @@ fn evaluate(attach_sink: bool) -> (RunMetrics, Vec<u8>) {
     (metrics, buf.contents())
 }
 
+/// The harness-resilience counters are part of every snapshot once
+/// registered, pinned at zero while no failpoint fires: a sweep report
+/// that *lacks* the columns (or shows non-zero with injection off) is a
+/// regression in the supervision layer, not noise.
+#[test]
+fn harness_counters_are_registered_and_zero_without_failpoints() {
+    experiments::register_harness_metrics();
+    let snap = simkit::obs::snapshot();
+    let csv = snap.to_csv();
+    for name in ["sched.retries", "sched.quarantined", "cache.degraded"] {
+        assert_eq!(
+            snap.counters.get(name).copied(),
+            Some(0),
+            "{name} must be registered and zero when nothing fails"
+        );
+        assert!(
+            csv.contains(name),
+            "{name} missing from the MetricsSnapshot CSV:\n{csv}"
+        );
+    }
+}
+
 #[test]
 fn active_sink_and_metrics_do_not_perturb_results() {
     simkit::obs::reset();

@@ -12,6 +12,10 @@
 //! * [`faults`] — deterministic, seeded fault-injection schedules
 //!   (telemetry noise/dropout/staleness, thermal throttle, core hotplug,
 //!   decision overruns, Q-table SEUs) consumed by the experiment runner;
+//! * [`failpoint`] — deterministic failpoints for the *harness itself*
+//!   (seeded per-site error/panic/delay/abort injection consumed by the
+//!   experiment scheduler and cache to exercise retry, quarantine and
+//!   crash-resume paths);
 //! * [`stats`] — online statistics (Welford mean/variance, fixed-bin
 //!   histograms with percentile queries, exponentially weighted moving
 //!   averages);
@@ -42,12 +46,14 @@ mod event;
 mod rng;
 mod time;
 
+pub mod failpoint;
 pub mod faults;
 pub mod obs;
 pub mod stats;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use failpoint::{FailpointAction, FailpointPlan};
 pub use faults::{ClusterFaults, FaultCounts, FaultPlan, FaultRates};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

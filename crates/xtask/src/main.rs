@@ -114,7 +114,9 @@ const NO_PANIC_CRATES: &[&str] = &[
 const ATOMICS_FILES: &[&str] = &[
     "crates/experiments/src/sched.rs",
     "crates/experiments/src/cache.rs",
+    "crates/experiments/src/journal.rs",
     "crates/simkit/src/obs.rs",
+    "crates/simkit/src/failpoint.rs",
     "crates/bench/src/bin/regen_tables.rs",
 ];
 
