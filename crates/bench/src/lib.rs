@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod regen;
+pub mod serve_load;
 pub mod simrate;
 
 /// Re-exported so benches and the binary share one definition of the

@@ -41,6 +41,7 @@ const BARE_FLAGS: &[&str] = &[
     "quick",
     "no-cache",
     "fail-on-quarantine",
+    "stdio",
 ];
 
 /// Every `rlpm-sim` subcommand, in help order.
@@ -50,7 +51,7 @@ const BARE_FLAGS: &[&str] = &[
 /// command is mentioned in neither `README.md` nor `EXPERIMENTS.md`.
 pub const COMMANDS: &[&str] = &[
     "run", "fleet", "train", "eval", "compare", "record", "replay", "latency", "e9", "trace",
-    "help",
+    "serve", "client", "help",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -613,6 +613,112 @@ pub fn cmd_trace(inv: &Invocation) -> CmdResult {
     }
 }
 
+/// The socket `serve` binds and `client` connects to when `--socket` is
+/// not given.
+fn default_socket_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("rlpm-serve.sock")
+}
+
+/// `serve [--socket PATH | --stdio] [--cache-dir DIR] [--no-cache] [--max-retries N]`
+///
+/// Starts the persistent JSON-lines simulation service (`rlpm-serve`
+/// crate; wire format in `PROTOCOL.md`). The server runs until a client
+/// sends a `shutdown` request. Requests are deduped through the same
+/// content-addressed cache the CLI uses, so a warm server answers
+/// repeated evaluation requests without simulating.
+pub fn cmd_serve(inv: &Invocation) -> CmdResult {
+    inv.allow_flags(&["socket", "stdio", "cache-dir", "no-cache", "max-retries"])?;
+    configure_cache(inv);
+    configure_supervision(inv)?;
+    experiments::register_harness_metrics();
+    if inv.has("stdio") {
+        if inv.flags.contains_key("socket") {
+            return Err(
+                ParseArgsError("--stdio and --socket are mutually exclusive".into()).into(),
+            );
+        }
+        let service = rlpm_serve::Service::new();
+        rlpm_serve::serve_stdio(&service)?;
+        return Ok(());
+    }
+    let path = inv
+        .flags
+        .get("socket")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_socket_path);
+    let server = rlpm_serve::Server::bind(&path)?;
+    eprintln!(
+        "rlpm-serve listening on {} (protocol v{}; send {{\"type\":\"shutdown\"}} to stop)",
+        path.display(),
+        rlpm_serve::proto::PROTOCOL_VERSION
+    );
+    server.run()?;
+    eprintln!("rlpm-serve stopped");
+    Ok(())
+}
+
+/// `client [REQUEST] [--socket PATH] [--request JSON] [--out FILE] [--quiet] [--fail-on-quarantine]`
+///
+/// Round-trips one request to a running server: events go to stderr
+/// (suppressed by `--quiet`), the terminal response to stdout. With
+/// `--out FILE` the payload's `csv` field is written to the file
+/// instead — the serve-vs-CLI byte-identity smoke relies on this. A
+/// `quarantined` server error maps to the same exit codes as a local
+/// quarantined run (4, or 2 with `--fail-on-quarantine`); any other
+/// server error exits 2.
+pub fn cmd_client(inv: &Invocation) -> CmdResult {
+    use rlpm_serve::json::Value as Json;
+
+    inv.allow_flags(&["socket", "request", "out", "quiet", "fail-on-quarantine"])?;
+    let path = inv
+        .flags
+        .get("socket")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_socket_path);
+    let request = inv
+        .flags
+        .get("request")
+        .or_else(|| inv.positional.first())
+        .cloned()
+        .unwrap_or_else(|| "{\"type\":\"status\"}".to_string());
+    let quiet = inv.has("quiet");
+    let response = rlpm_serve::client::request_over_socket(&path, &request, |event| {
+        if !quiet {
+            eprintln!("{}", event.render());
+        }
+    })?;
+    if response.get("type").and_then(Json::as_str) == Some("error") {
+        let code = response.get("code").and_then(Json::as_str).unwrap_or("?");
+        let message = response
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("(no message)");
+        if code == "quarantined" {
+            let cells = response
+                .get("payload")
+                .and_then(|p| p.get("cells"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize;
+            return Err(experiments::QuarantineError { cells }.into());
+        }
+        return Err(ParseArgsError(format!("server error ({code}): {message}")).into());
+    }
+    if let Some(out) = inv.flags.get("out") {
+        let csv = response
+            .get("payload")
+            .and_then(|p| p.get("csv"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                ParseArgsError("--out needs a response payload with a \"csv\" field".into())
+            })?;
+        std::fs::write(out, csv)?;
+        eprintln!("wrote {} bytes to {out}", csv.len());
+    } else {
+        println!("{}", response.render());
+    }
+    Ok(())
+}
+
 /// `help`
 pub fn cmd_help() -> CmdResult {
     println!(
@@ -631,6 +737,8 @@ USAGE:
   rlpm-sim latency  [--soc P]
   rlpm-sim e9       [--scenario NAME] [--fault-seed N] [--soc P] [--out-dir DIR] [--quick]
   rlpm-sim trace    <scenario> [--secs N] [--seed N] [--soc P] [--format csv|jsonl] [--out FILE]
+  rlpm-sim serve    [--socket PATH | --stdio] [--cache-dir DIR] [--no-cache] [--max-retries N]
+  rlpm-sim client   [REQUEST] [--socket PATH] [--request JSON] [--out FILE] [--quiet]
   rlpm-sim help
 
 SCENARIOS: video web gaming audio camera video-call navigation app-launch idle mixed
@@ -654,7 +762,12 @@ Experiment sweeps are supervised: a panicking cell is retried
 (--max-retries N, default 2) and then quarantined; a quarantined run
 prints a report and exits 4 (2 with --fail-on-quarantine). fleet has no
 per-lane fault harness, so --fault-scale must be 0; use e9 for fault
-studies."
+studies.
+
+serve starts the persistent JSON-lines service (wire format in
+PROTOCOL.md; default socket <tmp>/rlpm-serve.sock) and client
+round-trips one request to it — events on stderr, the response on
+stdout, or the payload's csv field to --out FILE."
     );
     Ok(())
 }
@@ -671,6 +784,8 @@ fn run_command(inv: &Invocation) -> CmdResult {
         "latency" => cmd_latency(inv),
         "e9" => cmd_e9(inv),
         "trace" => cmd_trace(inv),
+        "serve" => cmd_serve(inv),
+        "client" => cmd_client(inv),
         "help" => cmd_help(),
         other => Err(ParseArgsError(format!(
             "unknown command {other:?} (one of: {}); try `rlpm-sim help`",

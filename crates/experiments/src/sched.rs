@@ -38,6 +38,12 @@
 //! every call, and a value of `1` bypasses the pool entirely for a
 //! sequential in-place map (which runs the *same* supervisor, so retry
 //! and quarantine behave identically at any thread count).
+//!
+//! **Progress.** Every completed job (quarantined ones included) pushes
+//! one [`simkit::obs::emit_progress`] event carrying the batch label and
+//! a live `done/total` — the seam the `rlpm-serve` front door streams to
+//! its clients. With no subscribers the emit is a single relaxed load,
+//! so batch results stay bit-identical whether anyone listens or not.
 
 use std::any::Any;
 use std::fmt;
@@ -324,6 +330,9 @@ struct Batch<T, R, F> {
     items: Vec<Mutex<Option<T>>>,
     /// Lock-free claim cursor: `fetch_add` hands out each index once.
     next: AtomicUsize,
+    /// Jobs finished (quarantined ones included), counted as they
+    /// complete so progress events carry a live `done/total`.
+    finished: AtomicUsize,
     state: Mutex<BatchState<R>>,
     done: Condvar,
     f: F,
@@ -340,6 +349,7 @@ where
             label,
             items: items.into_iter().map(|i| Mutex::new(Some(i))).collect(),
             next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
             state: Mutex::new(BatchState {
                 results: Vec::new(),
                 completed: 0,
@@ -374,6 +384,9 @@ where
                 Ok(result) => local.push((i, result)),
                 Err(record) => local_quarantined.push(record),
             }
+            // xtask-atomics: monotone completion count for progress events; result integrity comes from the batch mutex, not this counter
+            let finished = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+            simkit::obs::emit_progress(self.label, finished as u64, n as u64);
         }
         if claimed == 0 {
             return;
@@ -476,6 +489,7 @@ where
                 Ok(result) => tagged.push((i, result)),
                 Err(record) => quarantined.push(record),
             }
+            simkit::obs::emit_progress(label, (i + 1) as u64, n as u64);
         }
         return assemble(n, tagged, quarantined);
     }

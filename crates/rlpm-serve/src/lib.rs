@@ -1,0 +1,35 @@
+//! `rlpm-serve`: a persistent JSON-lines simulation service.
+//!
+//! ROADMAP item 5: instead of one CLI process per run, a long-running
+//! server accepts simulation, training, evaluation, and fleet requests
+//! over a Unix domain socket (or stdio), validates them into the
+//! existing `experiments` configurations, shards the work across the
+//! process-wide scheduler, dedups identical in-flight requests through
+//! the content-addressed cache's memo layer, and streams scheduler
+//! progress events back to the client.
+//!
+//! The wire format is specified in `PROTOCOL.md` at the repository
+//! root; [`proto`] holds the typed message catalogue that the
+//! `docs-protocol` xtask lint diffs against that spec, so the document
+//! and the implementation cannot drift apart silently.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`json`] — dependency-free JSON value, parser, renderer.
+//! * [`proto`] — message types, validation, the version constant.
+//! * [`service`] — request execution against the `experiments` harness.
+//! * [`server`] — Unix-socket accept loop and stdio transport.
+//! * [`client`] — the one-request round-trip the CLI's `client`
+//!   subcommand wraps.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use server::{serve_stdio, Server};
+pub use service::Service;

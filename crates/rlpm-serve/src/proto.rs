@@ -1,0 +1,617 @@
+//! Typed wire messages for the JSON-lines protocol.
+//!
+//! This module is the single source of truth for the message catalogue:
+//! the `*_TYPES` / `ERROR_CODES` const tables below are what the
+//! `docs-protocol` xtask lint diffs against `PROTOCOL.md`, and the unit
+//! tests at the bottom pin the tables to the enum variants in both
+//! directions. Renaming a variant without updating its table entry (or
+//! the spec) fails the build's lint gate — the docs cannot drift.
+//!
+//! Defaults deliberately mirror the `rlpm-sim` CLI: a `simulate` request
+//! with every field omitted runs exactly what `rlpm-sim run` runs with no
+//! flags, so transcripts and shell invocations stay interchangeable.
+
+use crate::json::Value;
+
+/// Protocol version this server speaks. Bumped only on breaking wire
+/// changes; see PROTOCOL.md § Version negotiation.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on one request line, in bytes (newline excluded). Longer
+/// lines are rejected with an `oversized-line` error and discarded to the
+/// next newline so the connection stays usable.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Every request `type` the server accepts, in spec order.
+pub const REQUEST_TYPES: &[&str] = &[
+    "hello", "simulate", "train", "eval", "fleet", "status", "shutdown",
+];
+
+/// Every response `type` the server emits, in spec order.
+pub const RESPONSE_TYPES: &[&str] = &["hello-ok", "result", "error"];
+
+/// Every event `type` the server emits, in spec order.
+pub const EVENT_TYPES: &[&str] = &["accepted", "progress"];
+
+/// Every `code` an `error` response can carry, in spec order.
+pub const ERROR_CODES: &[&str] = &[
+    "bad-json",
+    "oversized-line",
+    "bad-request",
+    "unknown-type",
+    "unsupported-version",
+    "quarantined",
+    "internal",
+];
+
+/// Machine-readable failure class carried by an `error` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    OversizedLine,
+    /// Valid JSON, but a field was missing, mistyped, or named an
+    /// unknown scenario/policy/SoC/experiment.
+    BadRequest,
+    /// The `type` field named no known request.
+    UnknownType,
+    /// `hello` asked for a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The job panicked repeatedly and was quarantined by the scheduler
+    /// (the CLI's exit-4 convention); the payload lists the cells.
+    Quarantined,
+    /// The server failed for a reason that is not the client's fault.
+    Internal,
+}
+
+impl ErrorCode {
+    /// All codes, in the same order as [`ERROR_CODES`].
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::BadJson,
+        ErrorCode::OversizedLine,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownType,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::Quarantined,
+        ErrorCode::Internal,
+    ];
+
+    /// The `code` string written on the wire.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::OversizedLine => "oversized-line",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownType => "unknown-type",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A request that failed validation, with the code the error response
+/// should carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Failure class.
+    pub code: ErrorCode,
+    /// Human-readable one-line explanation.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+/// `simulate`: one device, one scenario, one policy — the protocol twin
+/// of `rlpm-sim run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// Scenario name (catalog plus `standby`). Default `video`.
+    pub scenario: String,
+    /// Policy name. Default `rlpm`.
+    pub policy: String,
+    /// SoC preset. Default `xu3`.
+    pub soc: String,
+    /// Simulated seconds. Default 30.
+    pub secs: u64,
+    /// Seed. Default 42.
+    pub seed: u64,
+}
+
+/// `train`: train an RL policy and return the serialized artifact — the
+/// protocol twin of `rlpm-sim train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSpec {
+    /// Scenario name. Default `mixed`.
+    pub scenario: String,
+    /// SoC preset. Default `xu3`.
+    pub soc: String,
+    /// Training episodes. Default 100.
+    pub episodes: u32,
+    /// Seconds per episode. Default 30.
+    pub episode_secs: u64,
+    /// Seed. Default 42.
+    pub seed: u64,
+}
+
+/// `eval`: run a whole experiment sweep and return its headline table —
+/// the protocol twin of `regen-tables`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSpec {
+    /// Experiment id; only `e1` is served today. Default `e1`.
+    pub experiment: String,
+    /// Quick (CI-sized) configuration instead of the full sweep.
+    /// Default `true`.
+    pub quick: bool,
+}
+
+/// `fleet`: a batched multi-device population — the protocol twin of
+/// `rlpm-sim fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Scenario name. Default `idle`.
+    pub scenario: String,
+    /// Policy name. Default `ondemand`.
+    pub policy: String,
+    /// SoC preset. Default `xu3`.
+    pub soc: String,
+    /// Device lanes. Default 256.
+    pub lanes: u64,
+    /// Simulated seconds per lane. Default 60.
+    pub secs: u64,
+    /// Seed. Default 42.
+    pub seed: u64,
+}
+
+/// A validated request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; answered with `hello-ok`.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u64,
+    },
+    /// Single-device simulation.
+    Simulate(SimulateSpec),
+    /// RL policy training.
+    Train(TrainSpec),
+    /// Experiment sweep.
+    Eval(EvalSpec),
+    /// Batched multi-device simulation.
+    Fleet(FleetSpec),
+    /// Server and cache health snapshot.
+    Status,
+    /// Graceful server stop (the connection gets a `result` first).
+    Shutdown,
+}
+
+impl Request {
+    /// The `type` string this request arrived under.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Simulate(_) => "simulate",
+            Request::Train(_) => "train",
+            Request::Eval(_) => "eval",
+            Request::Fleet(_) => "fleet",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request line: the optional client-chosen `id` (echoed on
+/// every response and event) plus the validated body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client correlation id, echoed verbatim; `null` when absent.
+    pub id: Value,
+    /// The validated request.
+    pub request: Request,
+}
+
+/// Extracts the correlation id from a parsed line, tolerating any JSON
+/// value (it is echoed, never interpreted).
+pub fn request_id(parsed: &Value) -> Value {
+    parsed.get("id").cloned().unwrap_or(Value::Null)
+}
+
+fn field_str(obj: &Value, key: &str, default: &str) -> Result<String, RequestError> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| RequestError::bad(format!("field {key:?} must be a string"))),
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, default: u64) -> Result<u64, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            RequestError::bad(format!("field {key:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn field_bool(obj: &Value, key: &str, default: bool) -> Result<bool, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::bad(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+/// Validates a parsed JSON line into an [`Envelope`].
+///
+/// Unknown fields are ignored for forward compatibility; unknown `type`
+/// values are [`ErrorCode::UnknownType`]. Catalogue names (scenario,
+/// policy, SoC, experiment) are validated later by the service layer,
+/// which owns the resolvers.
+pub fn parse_request(parsed: &Value) -> Result<Envelope, RequestError> {
+    if parsed.as_obj().is_none() {
+        return Err(RequestError::bad("request line must be a JSON object"));
+    }
+    let id = request_id(parsed);
+    let type_name = parsed
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RequestError::bad("missing string field \"type\""))?;
+    let request = match type_name {
+        "hello" => Request::Hello {
+            version: field_u64(parsed, "version", PROTOCOL_VERSION)?,
+        },
+        "simulate" => Request::Simulate(SimulateSpec {
+            scenario: field_str(parsed, "scenario", "video")?,
+            policy: field_str(parsed, "policy", "rlpm")?,
+            soc: field_str(parsed, "soc", "xu3")?,
+            secs: field_u64(parsed, "secs", 30)?,
+            seed: field_u64(parsed, "seed", 42)?,
+        }),
+        "train" => Request::Train(TrainSpec {
+            scenario: field_str(parsed, "scenario", "mixed")?,
+            soc: field_str(parsed, "soc", "xu3")?,
+            episodes: u32::try_from(field_u64(parsed, "episodes", 100)?)
+                .map_err(|_| RequestError::bad("field \"episodes\" exceeds u32"))?,
+            episode_secs: field_u64(parsed, "episode-secs", 30)?,
+            seed: field_u64(parsed, "seed", 42)?,
+        }),
+        "eval" => Request::Eval(EvalSpec {
+            experiment: field_str(parsed, "experiment", "e1")?,
+            quick: field_bool(parsed, "quick", true)?,
+        }),
+        "fleet" => Request::Fleet(FleetSpec {
+            scenario: field_str(parsed, "scenario", "idle")?,
+            policy: field_str(parsed, "policy", "ondemand")?,
+            soc: field_str(parsed, "soc", "xu3")?,
+            lanes: field_u64(parsed, "lanes", 256)?,
+            secs: field_u64(parsed, "secs", 60)?,
+            seed: field_u64(parsed, "seed", 42)?,
+        }),
+        "status" => Request::Status,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(RequestError {
+                code: ErrorCode::UnknownType,
+                message: format!(
+                    "unknown request type {other:?} (one of: {})",
+                    REQUEST_TYPES.join(", ")
+                ),
+            })
+        }
+    };
+    Ok(Envelope { id, request })
+}
+
+/// A terminal response to one request. Exactly one is written per
+/// request line, after any events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `hello`: the version the server will speak.
+    HelloOk {
+        /// Server protocol version.
+        version: u64,
+    },
+    /// Success; the payload shape is per-request (see PROTOCOL.md).
+    Result {
+        /// Request-specific result object.
+        payload: Value,
+    },
+    /// Failure with a machine-readable code.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable one-line explanation.
+        message: String,
+        /// Optional structured detail (e.g. quarantined cells).
+        payload: Option<Value>,
+    },
+}
+
+impl Response {
+    /// The `type` string written on the wire.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Response::HelloOk { .. } => "hello-ok",
+            Response::Result { .. } => "result",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Renders the response as one JSON line (no trailing newline),
+    /// echoing `id`.
+    pub fn render(&self, id: &Value) -> String {
+        let mut members = vec![
+            ("type".to_string(), Value::str(self.wire_name())),
+            ("id".to_string(), id.clone()),
+        ];
+        match self {
+            Response::HelloOk { version } => {
+                members.push(("version".to_string(), Value::num_u64(*version)));
+            }
+            Response::Result { payload } => {
+                members.push(("payload".to_string(), payload.clone()));
+            }
+            Response::Error {
+                code,
+                message,
+                payload,
+            } => {
+                members.push(("code".to_string(), Value::str(code.wire_name())));
+                members.push(("message".to_string(), Value::str(message.clone())));
+                if let Some(p) = payload {
+                    members.push(("payload".to_string(), p.clone()));
+                }
+            }
+        }
+        Value::Obj(members).render()
+    }
+}
+
+/// A non-terminal event streamed while a request is being served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The request parsed and was admitted; work is starting.
+    Accepted,
+    /// Scheduler progress: `done` of `total` jobs in batch `source`.
+    Progress {
+        /// Batch label (e.g. `e1`).
+        source: String,
+        /// Jobs finished so far.
+        done: u64,
+        /// Jobs in the batch.
+        total: u64,
+    },
+}
+
+impl Event {
+    /// The `type` string written on the wire.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Event::Accepted => "accepted",
+            Event::Progress { .. } => "progress",
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline),
+    /// echoing `id`.
+    pub fn render(&self, id: &Value) -> String {
+        let mut members = vec![
+            ("type".to_string(), Value::str(self.wire_name())),
+            ("id".to_string(), id.clone()),
+        ];
+        if let Event::Progress {
+            source,
+            done,
+            total,
+        } = self
+        {
+            members.push(("source".to_string(), Value::str(source.clone())));
+            members.push(("done".to_string(), Value::num_u64(*done)));
+            members.push(("total".to_string(), Value::num_u64(*total)));
+        }
+        Value::Obj(members).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn parse_line(line: &str) -> Result<Envelope, RequestError> {
+        match json::parse(line) {
+            Ok(v) => parse_request(&v),
+            Err(e) => Err(RequestError {
+                code: ErrorCode::BadJson,
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// One representative of every request variant, used to walk the
+    /// enum when diffing against the const table.
+    fn request_representatives() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Simulate(SimulateSpec {
+                scenario: "video".into(),
+                policy: "rlpm".into(),
+                soc: "xu3".into(),
+                secs: 30,
+                seed: 42,
+            }),
+            Request::Train(TrainSpec {
+                scenario: "mixed".into(),
+                soc: "xu3".into(),
+                episodes: 100,
+                episode_secs: 30,
+                seed: 42,
+            }),
+            Request::Eval(EvalSpec {
+                experiment: "e1".into(),
+                quick: true,
+            }),
+            Request::Fleet(FleetSpec {
+                scenario: "idle".into(),
+                policy: "ondemand".into(),
+                soc: "xu3".into(),
+                lanes: 256,
+                secs: 60,
+                seed: 42,
+            }),
+            Request::Status,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn request_table_matches_enum_both_ways() {
+        let names: Vec<&str> = request_representatives()
+            .iter()
+            .map(Request::wire_name)
+            .collect();
+        assert_eq!(names, REQUEST_TYPES, "REQUEST_TYPES drifted from enum");
+        // Every table entry round-trips through the parser.
+        for name in REQUEST_TYPES {
+            let parsed = parse_line(&format!("{{\"type\":\"{name}\"}}"));
+            assert!(
+                parsed.is_ok(),
+                "table entry {name:?} does not parse: {parsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_table_matches_enum_both_ways() {
+        let reps = [
+            Response::HelloOk {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Result {
+                payload: Value::Null,
+            },
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: String::new(),
+                payload: None,
+            },
+        ];
+        let names: Vec<&str> = reps.iter().map(Response::wire_name).collect();
+        assert_eq!(names, RESPONSE_TYPES, "RESPONSE_TYPES drifted from enum");
+    }
+
+    #[test]
+    fn event_table_matches_enum_both_ways() {
+        let reps = [
+            Event::Accepted,
+            Event::Progress {
+                source: "e1".into(),
+                done: 1,
+                total: 2,
+            },
+        ];
+        let names: Vec<&str> = reps.iter().map(Event::wire_name).collect();
+        assert_eq!(names, EVENT_TYPES, "EVENT_TYPES drifted from enum");
+    }
+
+    #[test]
+    fn error_code_table_matches_enum_both_ways() {
+        let names: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.wire_name()).collect();
+        assert_eq!(names, ERROR_CODES, "ERROR_CODES drifted from enum");
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let env = parse_line("{\"type\":\"simulate\"}");
+        assert_eq!(
+            env.map(|e| e.request),
+            Ok(Request::Simulate(SimulateSpec {
+                scenario: "video".into(),
+                policy: "rlpm".into(),
+                soc: "xu3".into(),
+                secs: 30,
+                seed: 42,
+            }))
+        );
+        let env = parse_line("{\"type\":\"fleet\"}");
+        assert_eq!(
+            env.map(|e| e.request),
+            Ok(Request::Fleet(FleetSpec {
+                scenario: "idle".into(),
+                policy: "ondemand".into(),
+                soc: "xu3".into(),
+                lanes: 256,
+                secs: 60,
+                seed: 42,
+            }))
+        );
+    }
+
+    #[test]
+    fn id_is_echoed_verbatim_and_optional() {
+        let line = "{\"type\":\"status\",\"id\":7}";
+        let env = parse_line(line);
+        assert_eq!(
+            env.as_ref().map(|e| &e.id),
+            Ok(&Value::Num(7.0)),
+            "numeric id preserved"
+        );
+        let env = parse_line("{\"type\":\"status\"}");
+        assert_eq!(env.map(|e| e.id), Ok(Value::Null));
+    }
+
+    #[test]
+    fn bad_fields_are_bad_request() {
+        let env = parse_line("{\"type\":\"simulate\",\"secs\":\"ten\"}");
+        assert_eq!(env.err().map(|e| e.code), Some(ErrorCode::BadRequest));
+        let env = parse_line("{\"type\":\"simulate\",\"seed\":-1}");
+        assert_eq!(env.err().map(|e| e.code), Some(ErrorCode::BadRequest));
+        let env = parse_line("[1,2]");
+        assert_eq!(env.err().map(|e| e.code), Some(ErrorCode::BadRequest));
+        let env = parse_line("{\"type\":\"frobnicate\"}");
+        assert_eq!(env.err().map(|e| e.code), Some(ErrorCode::UnknownType));
+    }
+
+    #[test]
+    fn responses_and_events_render_with_id_first_fields() {
+        let id = Value::str("req-1");
+        let r = Response::Result {
+            payload: Value::Obj(vec![("ok".into(), Value::Bool(true))]),
+        };
+        assert_eq!(
+            r.render(&id),
+            "{\"type\":\"result\",\"id\":\"req-1\",\"payload\":{\"ok\":true}}"
+        );
+        let e = Event::Progress {
+            source: "e1".into(),
+            done: 3,
+            total: 14,
+        };
+        assert_eq!(
+            e.render(&id),
+            "{\"type\":\"progress\",\"id\":\"req-1\",\"source\":\"e1\",\"done\":3,\"total\":14}"
+        );
+        let err = Response::Error {
+            code: ErrorCode::UnknownType,
+            message: "nope".into(),
+            payload: None,
+        };
+        assert_eq!(
+            err.render(&Value::Null),
+            "{\"type\":\"error\",\"id\":null,\"code\":\"unknown-type\",\"message\":\"nope\"}"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Connection handling: Unix-socket accept loop and stdio transport.
+//!
+//! One thread per connection, one shared [`Service`]
+//! behind it. Requests on one connection are served strictly in order
+//! (the protocol has no pipelining guarantees beyond that); separate
+//! connections run concurrently and contend only where the experiment
+//! harness itself serialises (the process-wide scheduler and cache).
+//!
+//! While a request runs, a forwarder thread drains the
+//! [`simkit::obs`] progress seam and writes `progress` events tagged
+//! with the request's `id`. The seam is process-wide: under concurrent
+//! load a client can observe progress for batches started by other
+//! requests — the `source` field names the batch, and PROTOCOL.md
+//! documents the sharing.
+//!
+//! Malformed input never tears the connection down: bad JSON, unknown
+//! types, and oversized lines each get a typed `error` response and the
+//! next line is read as usual. Only EOF (or a write failure, meaning the
+//! client vanished) ends a connection.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::json::{self, Value};
+use crate::proto::{ErrorCode, Event, Response, MAX_LINE_BYTES};
+use crate::service::Service;
+
+/// How often the progress forwarder wakes to check for request
+/// completion when no events are flowing.
+const PROGRESS_POLL: Duration = Duration::from_millis(25);
+
+/// A bound Unix-socket server ready to accept connections.
+pub struct Server {
+    listener: UnixListener,
+    path: PathBuf,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the server socket at `path`, replacing a stale socket file
+    /// from a previous run.
+    pub fn bind(path: &Path) -> io::Result<Server> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(Server {
+            listener,
+            path: path.to_path_buf(),
+            service: Arc::new(Service::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, then
+    /// joins every connection thread (in-flight requests finish) and
+    /// removes the socket file.
+    pub fn run(self) -> io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in self.listener.incoming() {
+            // xtask-atomics: shutdown latch; SeqCst so the set in the shutdown thread is seen before its wake-up connect is accepted
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            let path = self.path.clone();
+            handles.push(std::thread::spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let reader = BufReader::new(read_half);
+                let writer = Arc::new(Mutex::new(stream));
+                if let Ok(true) = handle_connection(reader, &writer, &service) {
+                    stop.store(true, Ordering::SeqCst); // xtask-atomics: shutdown latch; see the load in the accept loop
+                                                        // Wake the accept loop so it observes the latch.
+                    let _ = UnixStream::connect(&path);
+                }
+            }));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+/// Serves one session over stdin/stdout — the transport the CLI's
+/// `serve --stdio` flag and one-shot scripting use. Returns when the
+/// client closes stdin or sends `shutdown`.
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let writer = Arc::new(Mutex::new(io::stdout()));
+    handle_connection(stdin.lock(), &writer, service).map(|_| ())
+}
+
+fn lock_writer<W>(writer: &Mutex<W>) -> std::sync::MutexGuard<'_, W> {
+    writer.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Writes one line and flushes; an `Err` means the client is gone.
+fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
+    let mut w = lock_writer(writer);
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// One read off the wire.
+enum LineRead {
+    /// Clean end of stream.
+    Eof,
+    /// A complete line (newline stripped), raw bytes.
+    Line(Vec<u8>),
+    /// The line exceeded the cap; it was discarded up to the newline.
+    Oversized,
+}
+
+enum LineEnd {
+    Eof,
+    Newline,
+}
+
+/// Reads one newline-terminated line, never buffering more than `cap`
+/// bytes: once a line exceeds the cap its bytes are discarded until the
+/// next newline, and [`LineRead::Oversized`] is returned so the caller
+/// can answer with a typed error while the connection stays in sync.
+fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropping = false;
+    loop {
+        let (consumed, end) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                (0, Some(LineEnd::Eof))
+            } else if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                if !dropping {
+                    if let Some(head) = chunk.get(..pos) {
+                        buf.extend_from_slice(head);
+                    }
+                }
+                (pos + 1, Some(LineEnd::Newline))
+            } else {
+                if !dropping {
+                    buf.extend_from_slice(chunk);
+                }
+                (chunk.len(), None)
+            }
+        };
+        reader.consume(consumed);
+        if !dropping && buf.len() > cap {
+            dropping = true;
+            buf.clear();
+        }
+        match end {
+            Some(LineEnd::Eof) => {
+                return Ok(if dropping {
+                    LineRead::Oversized
+                } else if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    // A final line without a trailing newline still counts.
+                    LineRead::Line(buf)
+                });
+            }
+            Some(LineEnd::Newline) => {
+                return Ok(if dropping {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Line(buf)
+                });
+            }
+            None => {}
+        }
+    }
+}
+
+/// Serves one connection to completion. Returns `Ok(true)` when the
+/// session ended with a `shutdown` request.
+pub(crate) fn handle_connection<R, W>(
+    mut reader: R,
+    writer: &Arc<Mutex<W>>,
+    service: &Service,
+) -> io::Result<bool>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    loop {
+        let line = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversized => {
+                let response = Response::Error {
+                    code: ErrorCode::OversizedLine,
+                    message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    payload: None,
+                };
+                write_line(writer, &response.render(&Value::Null))?;
+                continue;
+            }
+            LineRead::Line(bytes) => bytes,
+        };
+        let Ok(text) = String::from_utf8(line) else {
+            let response = Response::Error {
+                code: ErrorCode::BadJson,
+                message: "request line is not valid UTF-8".to_string(),
+                payload: None,
+            };
+            write_line(writer, &response.render(&Value::Null))?;
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let parsed = match json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                let response = Response::Error {
+                    code: ErrorCode::BadJson,
+                    message: e.to_string(),
+                    payload: None,
+                };
+                write_line(writer, &response.render(&Value::Null))?;
+                continue;
+            }
+        };
+        let id = crate::proto::request_id(&parsed);
+        let envelope = match crate::proto::parse_request(&parsed) {
+            Ok(env) => env,
+            Err(e) => {
+                let response = Response::Error {
+                    code: e.code,
+                    message: e.message,
+                    payload: None,
+                };
+                write_line(writer, &response.render(&id))?;
+                continue;
+            }
+        };
+        write_line(writer, &Event::Accepted.render(&id))?;
+        let handled = serve_with_progress(service, &envelope, writer, &id);
+        write_line(writer, &handled.response.render(&id))?;
+        if handled.shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+/// Runs one request while a scoped forwarder thread streams scheduler
+/// progress events to the client, tagged with the request id. The
+/// subscription starts before the work and is drained after it, so no
+/// event emitted during the request is lost; forward-write failures are
+/// ignored (the terminal response write will surface the disconnect).
+fn serve_with_progress<W: Write + Send>(
+    service: &Service,
+    envelope: &crate::proto::Envelope,
+    writer: &Arc<Mutex<W>>,
+    id: &Value,
+) -> crate::service::Handled {
+    let events = simkit::obs::subscribe();
+    let done = AtomicBool::new(false);
+    let done_ref = &done;
+    std::thread::scope(|scope| {
+        let forwarder = scope.spawn(move || {
+            loop {
+                if let Some(ev) = events.recv_timeout(PROGRESS_POLL) {
+                    let event = Event::Progress {
+                        source: ev.source,
+                        done: ev.done,
+                        total: ev.total,
+                    };
+                    let _ = write_line(writer, &event.render(id));
+                // xtask-atomics: completion flag for the poll loop; the final drain below catches any event racing the store
+                } else if done_ref.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            for ev in events.drain() {
+                let event = Event::Progress {
+                    source: ev.source,
+                    done: ev.done,
+                    total: ev.total,
+                };
+                let _ = write_line(writer, &event.render(id));
+            }
+        });
+        let handled = service.handle(&envelope.request);
+        done.store(true, Ordering::Relaxed); // xtask-atomics: completion flag; see the load in the forwarder loop
+        let _ = forwarder.join();
+        handled
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn served(input: &str) -> Vec<String> {
+        let service = Service::new();
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let reader = io::Cursor::new(input.as_bytes().to_vec());
+        let outcome = handle_connection(BufReader::new(reader), &writer, &service);
+        assert!(
+            outcome.is_ok(),
+            "in-memory connection cannot fail: {outcome:?}"
+        );
+        let bytes = lock_writer(&writer).clone();
+        String::from_utf8_lossy(&bytes)
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_ignored() {
+        assert!(served("\n  \n\n").is_empty());
+    }
+
+    #[test]
+    fn bad_json_gets_a_typed_error_and_the_session_continues() {
+        let lines = served("{nope\n{\"type\":\"status\",\"id\":1}\n");
+        assert!(
+            lines.first().is_some_and(|l| l.contains("\"bad-json\"")),
+            "first line is the bad-json error: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"result\"") && l.contains("\"id\":1")),
+            "status after the error still served: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_and_the_session_continues() {
+        let big = "x".repeat(MAX_LINE_BYTES + 10);
+        let input = format!("{big}\n{{\"type\":\"status\",\"id\":2}}\n");
+        let lines = served(&input);
+        assert!(
+            lines
+                .first()
+                .is_some_and(|l| l.contains("\"oversized-line\"")),
+            "oversized error first: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"result\"") && l.contains("\"id\":2")),
+            "status after the oversized line still served: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_type_echoes_the_id() {
+        let lines = served("{\"type\":\"frobnicate\",\"id\":\"a\"}\n");
+        assert!(
+            lines
+                .first()
+                .is_some_and(|l| l.contains("\"unknown-type\"") && l.contains("\"id\":\"a\"")),
+            "typed error with echoed id: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn accepted_event_precedes_the_result() {
+        let lines = served("{\"type\":\"status\",\"id\":3}\n");
+        assert_eq!(lines.len(), 2, "accepted + result: {lines:?}");
+        assert!(lines.first().is_some_and(|l| l.contains("\"accepted\"")));
+        assert!(lines.get(1).is_some_and(|l| l.contains("\"result\"")));
+    }
+
+    #[test]
+    fn final_line_without_newline_is_served() {
+        let lines = served("{\"type\":\"status\",\"id\":4}");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"result\"") && l.contains("\"id\":4")),
+            "unterminated final line served: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn read_line_capped_splits_and_caps() {
+        let mut r = BufReader::new(io::Cursor::new(b"ab\ncd\n".to_vec()));
+        let first = read_line_capped(&mut r, 10);
+        assert!(matches!(first, Ok(LineRead::Line(ref b)) if b == b"ab"));
+        let second = read_line_capped(&mut r, 10);
+        assert!(matches!(second, Ok(LineRead::Line(ref b)) if b == b"cd"));
+        assert!(matches!(read_line_capped(&mut r, 10), Ok(LineRead::Eof)));
+
+        let mut r = BufReader::new(io::Cursor::new(b"0123456789abc\nok\n".to_vec()));
+        assert!(matches!(
+            read_line_capped(&mut r, 4),
+            Ok(LineRead::Oversized)
+        ));
+        let next = read_line_capped(&mut r, 4);
+        assert!(
+            matches!(next, Ok(LineRead::Line(ref b)) if b == b"ok"),
+            "stream resyncs after the oversized line"
+        );
+    }
+}

@@ -77,6 +77,10 @@ pub enum Lint {
     /// Every CLI subcommand must be mentioned in the user docs. Checked by
     /// [`docs_lint`], not by [`scan_source`].
     DocsCli,
+    /// The `PROTOCOL.md` message catalogue must match the serve crate's
+    /// typed message tables, in both directions. Checked by
+    /// [`protocol_lint`], not by [`scan_source`].
+    DocsProtocol,
     /// Transitive fx-purity: a datapath call site reaches float-tainted
     /// code through the call graph.
     FxTaint,
@@ -107,6 +111,7 @@ impl Lint {
             Lint::NoPanicLib => "no-panic-lib",
             Lint::NoAllocHotpath => "no-alloc-hotpath",
             Lint::DocsCli => "docs-cli",
+            Lint::DocsProtocol => "docs-protocol",
             Lint::FxTaint => "fx-taint",
             Lint::DeterminismTaint => "determinism-taint",
             Lint::AllocTaint => "alloc-taint",
@@ -601,6 +606,11 @@ pub(crate) fn has_index_expr(code: &str) -> bool {
                 while start > 0 && is_ident(chars[start - 1]) {
                     start -= 1;
                 }
+                // A lifetime (`&'a [u8]`) is a type position, not an
+                // indexing base.
+                if start > 0 && chars[start - 1] == '\'' {
+                    break;
+                }
                 let ident: String = chars[start..=k].iter().collect();
                 if PATTERN_KEYWORDS.contains(&ident.as_str()) {
                     break;
@@ -813,6 +823,7 @@ fn lint_by_name(name: &str) -> Option<Lint> {
         Lint::NoPanicLib,
         Lint::NoAllocHotpath,
         Lint::DocsCli,
+        Lint::DocsProtocol,
         Lint::FxTaint,
         Lint::DeterminismTaint,
         Lint::AllocTaint,
@@ -1070,10 +1081,21 @@ pub fn format_baseline(lint: &str, map: &BTreeMap<String, usize>) -> String {
 /// empty vector when no such block exists — [`docs_lint`] turns that into
 /// a diagnostic so a renamed table cannot silently disable the check.
 pub fn extract_cli_commands(source: &str) -> Vec<(String, usize)> {
-    // Start after the `=` so the `&[&str]` type annotation's brackets do
-    // not terminate the scan; stop at the `]` matching the initializer's
-    // opening bracket.
-    let Some(start) = source.find("const COMMANDS") else {
+    extract_const_str_table(source, "COMMANDS")
+}
+
+/// Extracts the string literals of a `const <name>: &[&str]` block, with
+/// the 1-based line each literal sits on.
+///
+/// Same lexical strategy as [`extract_cli_commands`] (which delegates
+/// here): find the `const <name>` declaration, skip past the `=` so the
+/// type annotation's brackets do not terminate the scan, then collect
+/// every double-quoted string until the initializer's closing `]`.
+/// Returns an empty vector when no such block exists; callers turn that
+/// into a diagnostic so a renamed table cannot silently disable a check.
+pub fn extract_const_str_table(source: &str, name: &str) -> Vec<(String, usize)> {
+    let needle = format!("const {name}");
+    let Some(start) = source.find(&needle) else {
         return Vec::new();
     };
     let Some(eq) = source[start..].find('=') else {
@@ -1154,6 +1176,122 @@ pub fn docs_lint(args_label: &str, args_source: &str, docs: &[(&str, &str)]) -> 
             )
         })
         .collect()
+}
+
+/// Opens the machine-checked message catalogue in `PROTOCOL.md`.
+pub const PROTOCOL_MARKER_BEGIN: &str = "<!-- protocol-message-catalogue:begin -->";
+
+/// Closes the machine-checked message catalogue in `PROTOCOL.md`.
+pub const PROTOCOL_MARKER_END: &str = "<!-- protocol-message-catalogue:end -->";
+
+/// The `const` tables in the serve crate's `proto.rs` that declare every
+/// wire-visible message and error-code name, paired with a human label.
+const PROTOCOL_TABLES: &[(&str, &str)] = &[
+    ("REQUEST_TYPES", "request type"),
+    ("RESPONSE_TYPES", "response type"),
+    ("EVENT_TYPES", "event type"),
+    ("ERROR_CODES", "error code"),
+];
+
+/// Cross-checks the serve protocol tables against `PROTOCOL.md`.
+///
+/// `proto_label`/`proto_source` are the path label and contents of the
+/// serve crate's `proto.rs`; `doc_label`/`doc_text` name and hold the
+/// protocol document. The document must fence its message catalogue
+/// between [`PROTOCOL_MARKER_BEGIN`] and [`PROTOCOL_MARKER_END`]; inside
+/// the fence, **every** backticked token is taken as a claimed message or
+/// error-code name. The check is bidirectional: a declared name missing
+/// from the catalogue and a catalogued name matching no declared table
+/// entry each produce one [`Lint::DocsProtocol`] diagnostic, as does a
+/// missing table or missing fence.
+pub fn protocol_lint(
+    proto_label: &str,
+    proto_source: &str,
+    doc_label: &str,
+    doc_text: &str,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    // 1. Collect the declared names from the four const tables.
+    let mut declared: Vec<(String, String, usize)> = Vec::new();
+    for (table, kind) in PROTOCOL_TABLES {
+        let entries = extract_const_str_table(proto_source, table);
+        if entries.is_empty() {
+            diagnostics.push(Diagnostic::new(
+                Lint::DocsProtocol,
+                proto_label,
+                1,
+                format!(
+                    "no `const {table}: &[&str]` table found; the protocol lint \
+                     needs it to enumerate {kind}s"
+                ),
+            ));
+            continue;
+        }
+        for (name, line) in entries {
+            declared.push((name, (*kind).to_string(), line));
+        }
+    }
+    // 2. Locate the fenced catalogue in the document.
+    let Some(begin) = doc_text.find(PROTOCOL_MARKER_BEGIN) else {
+        diagnostics.push(Diagnostic::new(
+            Lint::DocsProtocol,
+            doc_label,
+            1,
+            format!("missing `{PROTOCOL_MARKER_BEGIN}` marker; the protocol lint needs it"),
+        ));
+        return diagnostics;
+    };
+    let section_offset = begin + PROTOCOL_MARKER_BEGIN.len();
+    let Some(end) = doc_text[section_offset..].find(PROTOCOL_MARKER_END) else {
+        diagnostics.push(Diagnostic::new(
+            Lint::DocsProtocol,
+            doc_label,
+            1,
+            format!("missing `{PROTOCOL_MARKER_END}` marker; the protocol lint needs it"),
+        ));
+        return diagnostics;
+    };
+    let section = &doc_text[section_offset..section_offset + end];
+    let section_start_line = 1 + doc_text[..section_offset].matches('\n').count();
+    // 3. Every backticked token inside the fence is a claimed name.
+    let mut documented: Vec<(String, usize)> = Vec::new();
+    for (offset, doc_line) in section.lines().enumerate() {
+        let line = section_start_line + offset;
+        let mut rest = doc_line;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else {
+                break;
+            };
+            let token = &after[..close];
+            if !token.is_empty() {
+                documented.push((token.to_string(), line));
+            }
+            rest = &after[close + 1..];
+        }
+    }
+    // 4. Bidirectional diff.
+    for (name, kind, line) in &declared {
+        if !documented.iter().any(|(doc, _)| doc == name) {
+            diagnostics.push(Diagnostic::new(
+                Lint::DocsProtocol,
+                proto_label,
+                *line,
+                format!("{kind} `{name}` is not documented in {doc_label}'s message catalogue"),
+            ));
+        }
+    }
+    for (name, line) in &documented {
+        if !declared.iter().any(|(decl, _, _)| decl == name) {
+            diagnostics.push(Diagnostic::new(
+                Lint::DocsProtocol,
+                doc_label,
+                *line,
+                format!("documented message name `{name}` matches no server protocol table entry"),
+            ));
+        }
+    }
+    diagnostics
 }
 
 /// A `(file, current count, baseline count)` ratchet delta.
@@ -1571,6 +1709,8 @@ mod tests {
         assert!(!has_index_expr("#[derive(Debug)]"));
         assert!(!has_index_expr("let v = vec![1, 2];"));
         assert!(!has_index_expr("fn f(xs: &[u64]) {}"));
+        assert!(!has_index_expr("bytes: &'a [u8],"));
+        assert!(!has_index_expr("fn f<'x>(xs: &'x [u64]) {}"));
         assert!(!has_index_expr("let [s0, s1, s2, s3] = &mut self.state;"));
         assert!(!has_index_expr("for [a, b] in pairs {"));
         assert!(has_index_expr("let y = state[0];"));
@@ -1811,6 +1951,58 @@ const OTHER: &[&str] = &[\"not-a-command\"];
         let diags = docs_lint("args.rs", "fn main() {}", &[("README.md", "run")]);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("no `const COMMANDS"));
+    }
+
+    const PROTO_FIXTURE: &str = "\
+pub const REQUEST_TYPES: &[&str] = &[\"hello\", \"status\"];
+pub const RESPONSE_TYPES: &[&str] = &[\"hello-ok\", \"result\", \"error\"];
+pub const EVENT_TYPES: &[&str] = &[\"progress\"];
+pub const ERROR_CODES: &[&str] = &[\"bad-json\", \"internal\"];
+";
+
+    fn proto_doc(body: &str) -> String {
+        format!("# Protocol\n\n{PROTOCOL_MARKER_BEGIN}\n{body}\n{PROTOCOL_MARKER_END}\n")
+    }
+
+    #[test]
+    fn protocol_lint_passes_when_catalogue_matches_tables() {
+        let doc = proto_doc(
+            "| `hello` | `status` |\n\
+             Responses: `hello-ok`, `result`, `error`.\n\
+             Events: `progress`. Errors: `bad-json`, `internal`.",
+        );
+        let diags = protocol_lint("proto.rs", PROTO_FIXTURE, "PROTOCOL.md", &doc);
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn protocol_lint_is_bidirectional() {
+        // `status` is declared but undocumented; `bogus` is documented but
+        // undeclared.
+        let doc = proto_doc(
+            "`hello` `hello-ok` `result` `error` `progress` `bad-json` `internal` `bogus`",
+        );
+        let diags = protocol_lint("proto.rs", PROTO_FIXTURE, "PROTOCOL.md", &doc);
+        assert_eq!(diags.len(), 2, "got {diags:?}");
+        assert!(diags.iter().any(|d| {
+            d.file == "proto.rs" && d.line == 1 && d.message.contains("request type `status`")
+        }));
+        assert!(diags
+            .iter()
+            .any(|d| d.file == "PROTOCOL.md" && d.line == 4 && d.message.contains("`bogus`")));
+    }
+
+    #[test]
+    fn protocol_lint_reports_missing_tables_and_markers() {
+        let doc = proto_doc("`hello`");
+        let diags = protocol_lint("proto.rs", "fn main() {}", "PROTOCOL.md", &doc);
+        // Four missing tables plus the orphaned `hello` token.
+        assert_eq!(diags.len(), 5, "got {diags:?}");
+        assert!(diags[0].message.contains("no `const REQUEST_TYPES"));
+
+        let diags = protocol_lint("proto.rs", PROTO_FIXTURE, "PROTOCOL.md", "# Protocol\n");
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert!(diags[0].message.contains("marker"));
     }
 
     #[test]

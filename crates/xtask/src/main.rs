@@ -38,7 +38,7 @@ use xtask::graph::Workspace;
 use xtask::taint::{enforce, seed_and_propagate, Surfaces, TaintKind};
 use xtask::{
     atomics_audit, docs_lint, feature_gate_lint, flags_lint, format_baseline, json_escape,
-    parse_baseline, ratchet, scan_source, Diagnostic, Lint,
+    parse_baseline, protocol_lint, ratchet, scan_source, Diagnostic, Lint,
 };
 
 /// Every product crate, by directory under `crates/`. The call graph is
@@ -52,6 +52,7 @@ const PRODUCT_CRATES: &[&str] = &[
     "rlpm",
     "rlpm-hw",
     "experiments",
+    "rlpm-serve",
     "cli",
     "bench",
 ];
@@ -105,6 +106,7 @@ const NO_PANIC_CRATES: &[&str] = &[
     "rlpm",
     "rlpm-hw",
     "experiments",
+    "rlpm-serve",
     "cli",
 ];
 
@@ -118,6 +120,8 @@ const ATOMICS_FILES: &[&str] = &[
     "crates/simkit/src/obs.rs",
     "crates/simkit/src/failpoint.rs",
     "crates/bench/src/bin/regen_tables.rs",
+    "crates/rlpm-serve/src/server.rs",
+    "crates/rlpm-serve/src/service.rs",
 ];
 
 /// Crates that must not contain obs-feature `cfg` seams: the observability
@@ -146,6 +150,11 @@ const DOC_FILES: &[&str] = &["README.md", "EXPERIMENTS.md"];
 
 /// The document that must list every `cargo xtask check` flag.
 const FLAGS_DOC: &str = "README.md";
+
+/// The serve crate's wire-message tables, and the protocol document whose
+/// fenced catalogue must match them in both directions.
+const PROTOCOL_SOURCE: &str = "crates/rlpm-serve/src/proto.rs";
+const PROTOCOL_DOC: &str = "PROTOCOL.md";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -236,6 +245,7 @@ fn print_usage() {
          \u{20}  atomics-audit                   every Ordering::* justified, none mixed\n\
          \u{20}  feature-gate                    obs cfg seams confined to simkit\n\
          \u{20}  docs-cli                        CLI subcommands and xtask flags documented\n\
+         \u{20}  docs-protocol                   PROTOCOL.md catalogue matches serve tables\n\
          \n\
          --lexical-only skips the call-graph taint passes.\n\
          --format json prints one machine-readable report object on stdout.\n\
@@ -444,6 +454,21 @@ fn run_check(root: &Path, opts: &Options) -> Result<bool, String> {
         }
     }
 
+    // docs-protocol: the PROTOCOL.md message catalogue must match the
+    // serve crate's wire tables in both directions.
+    {
+        let proto_src = source_of(PROTOCOL_SOURCE)?;
+        let doc_path = root.join(PROTOCOL_DOC);
+        let doc_text = std::fs::read_to_string(&doc_path)
+            .map_err(|e| format!("cannot read {}: {e}", doc_path.display()))?;
+        diagnostics.extend(protocol_lint(
+            PROTOCOL_SOURCE,
+            &proto_src.text,
+            PROTOCOL_DOC,
+            &doc_text,
+        ));
+    }
+
     // no-panic-lib: counted per file, ratcheted against the baseline.
     let mut no_panic_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut no_panic_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
@@ -566,13 +591,15 @@ fn run_check(root: &Path, opts: &Options) -> Result<bool, String> {
             println!(
                 "xtask check: {scanned} files scanned — fx-purity {} violations, determinism {} \
                  violations, no-alloc-hotpath {} violations, atomics-audit {} violations, \
-                 feature-gate {} violations, docs-cli {} violations, {suppressed} suppressed",
+                 feature-gate {} violations, docs-cli {} violations, docs-protocol {} \
+                 violations, {suppressed} suppressed",
                 count(Lint::FxPurity),
                 count(Lint::Determinism),
                 count(Lint::NoAllocHotpath),
                 count(Lint::AtomicsAudit),
                 count(Lint::FeatureGate),
                 count(Lint::DocsCli),
+                count(Lint::DocsProtocol),
             );
             if !opts.lexical_only {
                 println!(
